@@ -1,0 +1,77 @@
+//! Commercial-Flash ECC configurations (paper Figure 3, §IV).
+//!
+//! Flash chips protect 512 B (4096-bit) words with strong BCH — 12- to
+//! 41-bit correction for MLC parts — and pay little storage for it because
+//! the words are long. The §IV arithmetic: 41-bit-EC costs 13%, and with
+//! one parity chip per eight data chips the storage-style total is
+//! `13% + 1/8 · (1 + 13%) ≈ 27%`.
+
+use crate::storage::bch_code_bits;
+
+/// One Flash ECC configuration from Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashEccEntry {
+    /// Device class label.
+    pub device: &'static str,
+    /// Correction strength in bits per 512 B word.
+    pub t: usize,
+}
+
+/// The Figure 3 configurations (Cypress SLC-vs-MLC application note \[69\]).
+pub const FLASH_ECC_TABLE: [FlashEccEntry; 6] = [
+    FlashEccEntry { device: "SLC NAND (1-bit EC)", t: 1 },
+    FlashEccEntry { device: "SLC NAND (4-bit EC)", t: 4 },
+    FlashEccEntry { device: "MLC NAND (12-bit EC)", t: 12 },
+    FlashEccEntry { device: "MLC NAND (24-bit EC)", t: 24 },
+    FlashEccEntry { device: "MLC NAND (40-bit EC)", t: 40 },
+    FlashEccEntry { device: "MLC NAND (41-bit EC)", t: 41 },
+];
+
+/// Data bits per Flash ECC word (512 B).
+pub const FLASH_WORD_DATA_BITS: usize = 4096;
+
+impl FlashEccEntry {
+    /// Code bits for this entry (`t × 13` over 4096 data bits).
+    pub fn code_bits(&self) -> usize {
+        bch_code_bits(self.t, FLASH_WORD_DATA_BITS)
+    }
+
+    /// Storage overhead of the ECC alone.
+    pub fn ecc_overhead(&self) -> f64 {
+        self.code_bits() as f64 / FLASH_WORD_DATA_BITS as f64
+    }
+
+    /// Total storage-system overhead with one parity chip per eight data
+    /// chips: `ovh + 1/8 · (1 + ovh)`.
+    pub fn total_overhead_with_parity(&self) -> f64 {
+        let o = self.ecc_overhead();
+        o + (1.0 / 8.0) * (1.0 + o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlc_41_matches_section4_numbers() {
+        let e = FLASH_ECC_TABLE[5];
+        assert_eq!(e.t, 41);
+        assert_eq!(e.code_bits(), 533);
+        assert!((e.ecc_overhead() - 0.13).abs() < 0.005);
+        // 13% + 1/8·(1+13%) ≈ 27%.
+        assert!((e.total_overhead_with_parity() - 0.27).abs() < 0.01);
+    }
+
+    #[test]
+    fn overheads_increase_with_t() {
+        for w in FLASH_ECC_TABLE.windows(2) {
+            assert!(w[1].ecc_overhead() > w[0].ecc_overhead());
+        }
+    }
+
+    #[test]
+    fn slc_is_cheap() {
+        assert!(FLASH_ECC_TABLE[0].ecc_overhead() < 0.005);
+    }
+}

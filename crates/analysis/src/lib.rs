@@ -1,0 +1,58 @@
+//! Analytical reliability, storage-cost, and bandwidth models.
+//!
+//! Everything in the paper's Problem/Motivation sections (Figures 2–5, 7)
+//! and its Appendix is standard combinatorial error-probability analysis.
+//! This crate reproduces those models:
+//!
+//! * [`prob`] — log-space binomial tail probabilities that stay accurate
+//!   down to 10⁻³⁰.
+//! * [`storage`] — BCH/RS storage-cost formulas and the minimum correction
+//!   strength needed to hit an uncorrectable-error (UE) target at a given
+//!   RBER (Figure 4, §III-A).
+//! * [`schemes`] — storage cost of extending DRAM chipkill schemes
+//!   (XED, the Samsung study, DUO) to NVRAM RBERs (Figure 2).
+//! * [`sdc`] — the Appendix's Term-A/Term-B miscorrection model for the
+//!   per-block RS code and the paper's threshold-2 design point.
+//! * [`bandwidth`] — read/write bandwidth overheads of naive VLEW
+//!   protection and of the proposal (Figure 5, §V-C).
+//! * [`flash`] — the commercial-Flash ECC configurations of Figure 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmck_analysis::sdc;
+//!
+//! // Appendix numbers: accepting up to t=4 corrections at RBER 2e-4 gives
+//! // an SDC rate ~3.2e-11; limiting to t=2 gives ~3.3e-22.
+//! let sdc_t4 = sdc::sdc_rate(2e-4, 64, 8, 4);
+//! assert!(sdc_t4 > 1e-11 && sdc_t4 < 1e-10);
+//! let sdc_t2 = sdc::sdc_rate(2e-4, 64, 8, 2);
+//! assert!(sdc_t2 < 1e-20);
+//! ```
+
+pub mod bandwidth;
+pub mod flash;
+pub mod prob;
+pub mod proposal;
+pub mod schemes;
+pub mod sdc;
+pub mod storage;
+
+/// The paper's uncorrectable-error reliability target: fewer than one
+/// block with a UE per 10¹⁵ blocks, at any instant.
+pub const UE_TARGET: f64 = 1e-15;
+
+/// The paper's silent-data-corruption target: fewer than one block with
+/// SDC per 10¹⁷ blocks, at any instant.
+pub const SDC_TARGET: f64 = 1e-17;
+
+/// The boot-time RBER design point (ReRAM after ~1 year, or 3-bit PCM
+/// after ~1 week, without refresh).
+pub const BOOT_RBER: f64 = 1e-3;
+
+/// The runtime RBER design points quoted in the paper: ReRAM (~7·10⁻⁵)
+/// and 3-bit PCM refreshed hourly (2·10⁻⁴).
+pub const RUNTIME_RBER_RERAM: f64 = 7e-5;
+
+/// See [`RUNTIME_RBER_RERAM`].
+pub const RUNTIME_RBER_PCM_HOURLY: f64 = 2e-4;

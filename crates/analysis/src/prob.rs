@@ -1,0 +1,173 @@
+//! Log-space combinatorial probability, accurate for the astronomically
+//! small tails that reliability targets live in (10⁻¹⁵ … 10⁻³⁰).
+
+use std::sync::Mutex;
+
+/// Natural log of `n!`, exact summation with caching.
+///
+/// # Examples
+///
+/// ```
+/// let v = pmck_analysis::prob::ln_factorial(5);
+/// assert!((v - 120f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_factorial(n: usize) -> f64 {
+    static TABLE: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let mut table = TABLE.lock().expect("ln_factorial table lock");
+    if table.is_empty() {
+        table.push(0.0); // ln 0! = 0
+    }
+    while table.len() <= n {
+        let k = table.len();
+        let prev = table[k - 1];
+        table.push(prev + (k as f64).ln());
+    }
+    table[n]
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n`.
+pub fn ln_choose(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// The binomial probability mass `P(X = k)` for `X ~ Binomial(n, p)`.
+pub fn binom_pmf(n: usize, k: usize, p: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln_p = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    ln_p.exp()
+}
+
+/// The upper tail `P(X >= k0)` for `X ~ Binomial(n, p)`.
+///
+/// Sums term by term from `k0` upward with early exit once terms stop
+/// contributing, so tails of 10⁻³⁰ remain accurate.
+pub fn binom_tail_ge(n: usize, k0: usize, p: f64) -> f64 {
+    if k0 == 0 {
+        return 1.0;
+    }
+    if k0 > n || p == 0.0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut term = binom_pmf(n, k0, p);
+    let mut k = k0;
+    loop {
+        sum += term;
+        k += 1;
+        if k > n || term == 0.0 {
+            break;
+        }
+        // ratio P(k)/P(k-1) = (n-k+1)/k * p/(1-p)
+        let ratio = (n - k + 1) as f64 / k as f64 * p / (1.0 - p);
+        term *= ratio;
+        if term < sum * 1e-18 {
+            sum += term; // final correction
+            break;
+        }
+    }
+    sum.min(1.0)
+}
+
+/// The strict upper tail `P(X > k0) = P(X >= k0 + 1)`.
+pub fn binom_tail_gt(n: usize, k0: usize, p: f64) -> f64 {
+    binom_tail_ge(n, k0 + 1, p)
+}
+
+/// The byte-error rate implied by an i.i.d. bit error rate `p`:
+/// `q = 1 − (1 − p)^8`. (A byte is erroneous if any of its bits flipped.)
+pub fn byte_error_rate(bit_rate: f64) -> f64 {
+    1.0 - (1.0 - bit_rate).powi(8)
+}
+
+/// Distribution of the number of bit errors in an access of `n_bits`
+/// bits at rate `p`, for counts `0..=max_count`, plus the residual tail
+/// `P(X > max_count)` as the final element. Length is `max_count + 2`.
+pub fn error_count_distribution(n_bits: usize, p: f64, max_count: usize) -> Vec<f64> {
+    let mut out: Vec<f64> = (0..=max_count).map(|k| binom_pmf(n_bits, k, p)).collect();
+    out.push(binom_tail_gt(n_bits, max_count, p));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_known_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(10) - 3628800f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_choose_known_values() {
+        assert!((ln_choose(72, 2) - 2556f64.ln()).abs() < 1e-9);
+        assert!((ln_choose(72, 4) - 1_028_790f64.ln()).abs() < 1e-9);
+        assert_eq!(ln_choose(5, 6), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let n = 100;
+        let p = 0.03;
+        let total: f64 = (0..=n).map(|k| binom_pmf(n, k, p)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_complements_pmf() {
+        let n = 576;
+        let p = 2e-4;
+        let lhs = binom_tail_ge(n, 3, p);
+        let rhs = 1.0 - binom_pmf(n, 0, p) - binom_pmf(n, 1, p) - binom_pmf(n, 2, p);
+        assert!((lhs - rhs).abs() / lhs < 1e-9);
+    }
+
+    #[test]
+    fn tiny_tails_are_positive_and_tiny() {
+        // VLEW design point: 2312-bit word at 1e-3; P(>22) must be ≈1e-15.
+        let p = binom_tail_gt(2312, 22, 1e-3);
+        assert!(p > 1e-17 && p < 1e-13, "got {p:e}");
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(binom_tail_ge(10, 0, 0.5), 1.0);
+        assert_eq!(binom_tail_ge(10, 11, 0.5), 0.0);
+        assert_eq!(binom_tail_ge(10, 3, 0.0), 0.0);
+        assert_eq!(binom_pmf(10, 0, 0.0), 1.0);
+        assert_eq!(binom_pmf(10, 10, 1.0), 1.0);
+    }
+
+    #[test]
+    fn byte_rate_approximation() {
+        let q = byte_error_rate(2e-4);
+        assert!((q - 1.5988e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn figure7_distribution() {
+        // Figure 7 counts bit errors per 64 B request (512 bits) at 2e-4:
+        // >99.98% of accesses have ≤ 2 errors.
+        let dist = error_count_distribution(512, 2e-4, 4);
+        let le2: f64 = dist[0] + dist[1] + dist[2];
+        assert!(le2 > 0.9998, "got {le2}");
+        // Over the whole 72 B RS word (576 bits), ~1.5e-7 of accesses have
+        // five or more errors (§V-C).
+        let ge5 = binom_tail_ge(576, 5, 2e-4);
+        assert!(ge5 > 1e-7 && ge5 < 2e-7, "got {ge5:e}");
+    }
+}

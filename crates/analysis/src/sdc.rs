@@ -1,0 +1,127 @@
+//! The Appendix's miscorrection (SDC) model for the per-block RS code.
+//!
+//! SDC rate = **Term A** × **Term B**:
+//!
+//! * Term A — probability a received word contains at least `nth` symbol
+//!   errors, where `nth = d − t` is the minimum weight that can land
+//!   within distance `t` of a *wrong* codeword (`d = r + 1`).
+//! * Term B — probability such a noncodeword decodes into a codeword:
+//!   `C(n, t) · 2^{8t} · 2^{8k} / 2^{8(k+r)} = C(n, t) · 256^{t−r}`.
+//!
+//! Paper numbers at RBER 2·10⁻⁴ for RS(72, 64): `t=4 → A=1.3e-7,
+//! B=2.4e-4, SDC=3.2e-11`; `t=2 → A=3.6e-11, B=9.1e-12, SDC=3.3e-22`.
+
+use crate::prob::{binom_tail_ge, byte_error_rate, ln_choose};
+
+/// Term A: probability of at least `nth = d − t` byte errors in an
+/// `(k + r)`-byte word at bit error rate `rber`.
+pub fn term_a(rber: f64, k: usize, r: usize, t: usize) -> f64 {
+    let d = r + 1;
+    assert!(t < d, "t must be below the minimum distance");
+    let nth = d - t;
+    let q = byte_error_rate(rber);
+    binom_tail_ge(k + r, nth, q)
+}
+
+/// Term B: probability that an uncorrectable noncodeword lies within
+/// Hamming distance `t` of some unintended codeword.
+pub fn term_b(k: usize, r: usize, t: usize) -> f64 {
+    // C(k+r, t) · 256^t · 256^k / 256^(k+r) = exp(ln C + 8 ln2 ·(t − r))
+    let ln = ln_choose(k + r, t) + 8.0 * std::f64::consts::LN_2 * (t as f64 - r as f64);
+    ln.exp()
+}
+
+/// The SDC rate when the decoder corrects up to `t` byte errors: Term A ×
+/// Term B.
+pub fn sdc_rate(rber: f64, k: usize, r: usize, t: usize) -> f64 {
+    term_a(rber, k, r, t) * term_b(k, r, t)
+}
+
+/// The fraction of reads the runtime path sends to VLEW fallback: blocks
+/// whose RS decode makes more than `threshold` corrections (or is
+/// uncorrectable). Approximated, as in §V-C, by the probability of more
+/// than `threshold` byte errors.
+pub fn fallback_fraction(rber: f64, k: usize, r: usize, threshold: usize) -> f64 {
+    let q = byte_error_rate(rber);
+    binom_tail_ge(k + r, threshold + 1, q)
+}
+
+/// Sweep of the acceptance threshold `t` (the paper's ablation in §V-C):
+/// returns `(t, sdc_rate, fallback_fraction)` for `t = 0..=max_t`.
+pub fn threshold_sweep(rber: f64, k: usize, r: usize, max_t: usize) -> Vec<(usize, f64, f64)> {
+    (0..=max_t)
+        .map(|t| {
+            let sdc = if t == 0 { 0.0 } else { sdc_rate(rber, k, r, t) };
+            (t, sdc, fallback_fraction(rber, k, r, t))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SDC_TARGET;
+
+    const K: usize = 64;
+    const R: usize = 8;
+
+    #[test]
+    fn term_a_matches_appendix() {
+        // t=4 → nth=5 → ~1.3e-7 at 2e-4.
+        let a = term_a(2e-4, K, R, 4);
+        assert!(a > 0.9e-7 && a < 1.9e-7, "got {a:e}");
+        // t=2 → nth=7 → ~3.6e-11.
+        let a2 = term_a(2e-4, K, R, 2);
+        assert!(a2 > 2.5e-11 && a2 < 5.5e-11, "got {a2:e}");
+    }
+
+    #[test]
+    fn term_b_matches_appendix() {
+        let b4 = term_b(K, R, 4);
+        assert!((b4 / 2.4e-4 - 1.0).abs() < 0.05, "got {b4:e}");
+        let b2 = term_b(K, R, 2);
+        assert!((b2 / 9.1e-12 - 1.0).abs() < 0.05, "got {b2:e}");
+    }
+
+    #[test]
+    fn sdc_rates_match_appendix() {
+        let s4 = sdc_rate(2e-4, K, R, 4);
+        assert!(s4 > 1e-11 && s4 < 6e-11, "got {s4:e}");
+        let s2 = sdc_rate(2e-4, K, R, 2);
+        assert!(s2 > 1e-23 && s2 < 1e-21, "got {s2:e}");
+    }
+
+    #[test]
+    fn t4_violates_target_t2_meets_it() {
+        // The design argument: t=4 is ~3,000,000X over the SDC target,
+        // t=2 is orders of magnitude under it.
+        assert!(sdc_rate(2e-4, K, R, 4) / SDC_TARGET > 1e5);
+        assert!(sdc_rate(2e-4, K, R, 2) / SDC_TARGET < 1e-3);
+        // And at the lower runtime RBER 7e-5, t=4 is still ~18,000X over.
+        let ratio = sdc_rate(7e-5, K, R, 4) / SDC_TARGET;
+        assert!(ratio > 1e3 && ratio < 1e6, "ratio {ratio:e}");
+    }
+
+    #[test]
+    fn fallback_fraction_matches_section5c() {
+        // ~0.02% of reads need VLEW fallback at 2e-4 (paper: 0.018% avg).
+        let f = fallback_fraction(2e-4, K, R, 2);
+        assert!(f > 1.0e-4 && f < 3.5e-4, "got {f:e}");
+    }
+
+    #[test]
+    fn sweep_is_monotonic() {
+        let sweep = threshold_sweep(2e-4, K, R, 4);
+        assert_eq!(sweep.len(), 5);
+        for w in sweep.windows(2) {
+            assert!(w[1].1 >= w[0].1, "SDC grows with t");
+            assert!(w[1].2 <= w[0].2, "fallback shrinks with t");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below the minimum distance")]
+    fn t_at_distance_rejected() {
+        let _ = term_a(2e-4, K, R, 9);
+    }
+}

@@ -1,0 +1,149 @@
+//! Storage-cost models for BCH/RS protection (paper §III-A, §IV, Fig 4).
+
+use crate::prob::{binom_tail_gt, byte_error_rate};
+
+/// BCH code bits needed to correct `t` errors over `k_bits` of data,
+/// using the paper's formula `t · (⌊log2(k)⌋ + 1)`.
+///
+/// # Examples
+///
+/// ```
+/// // 14-bit-EC over a 64 B block: 14 × 10 = 140 bits (~28% overhead).
+/// assert_eq!(pmck_analysis::storage::bch_code_bits(14, 512), 140);
+/// // The 22-bit-EC VLEW over 256 B: 22 × 12 = 264 bits = 33 B.
+/// assert_eq!(pmck_analysis::storage::bch_code_bits(22, 2048), 264);
+/// ```
+pub fn bch_code_bits(t: usize, k_bits: usize) -> usize {
+    assert!(k_bits > 0, "k_bits must be positive");
+    let log2k = usize::BITS as usize - 1 - k_bits.leading_zeros() as usize;
+    t * (log2k + 1)
+}
+
+/// BCH storage overhead `r / k` for `t`-bit correction over `k_bits`.
+pub fn bch_overhead(t: usize, k_bits: usize) -> f64 {
+    bch_code_bits(t, k_bits) as f64 / k_bits as f64
+}
+
+/// The smallest `t` such that a `k_bits`-data BCH word at bit error rate
+/// `rber` has `P(more than t errors) <= ue_target`, accounting for errors
+/// in the code bits themselves (the word length grows with `t`).
+///
+/// Returns `None` if no `t <= max_t` meets the target.
+pub fn min_bch_t(k_bits: usize, rber: f64, ue_target: f64, max_t: usize) -> Option<usize> {
+    (1..=max_t).find(|&t| {
+        let n = k_bits + bch_code_bits(t, k_bits);
+        binom_tail_gt(n, t, rber) <= ue_target
+    })
+}
+
+/// Total storage cost of the paper's storage-inspired organization: a
+/// `data_bytes` VLEW per chip (BCH at the minimum `t` for `ue_target`)
+/// plus one parity chip per `data_chips` data chips:
+/// `cost = r/k + (1/data_chips) · (1 + r/k)`.
+///
+/// Returns `(t, cost)`, or `None` if no feasible `t` exists.
+pub fn vlew_plus_parity_cost(
+    data_bytes: usize,
+    rber: f64,
+    ue_target: f64,
+    data_chips: usize,
+) -> Option<(usize, f64)> {
+    let k_bits = data_bytes * 8;
+    let t = min_bch_t(k_bits, rber, ue_target, 512)?;
+    let overhead = bch_overhead(t, k_bits);
+    let cost = overhead + (1.0 / data_chips as f64) * (1.0 + overhead);
+    Some((t, cost))
+}
+
+/// Storage cost of protecting each 64 B block with a dedicated `t`-bit-EC
+/// BCH (the §III-A construction). `t = 14` gives the paper's 28% baseline;
+/// `t = 78` (to absorb a 64-bit chip failure on top) gives its 152%.
+pub fn per_block_bch_cost(t: usize) -> f64 {
+    bch_overhead(t, 512)
+}
+
+/// The smallest number of correctable byte errors `t` such that an RS word
+/// with `data_bytes` data, `erasure_check_bytes` erasure budget and `2t`
+/// error-check bytes meets `ue_target` at bit rate `rber`.
+///
+/// Returns `None` if no `t <= max_t` meets the target.
+pub fn min_rs_t(
+    data_bytes: usize,
+    erasure_check_bytes: usize,
+    rber: f64,
+    ue_target: f64,
+    max_t: usize,
+) -> Option<usize> {
+    let q = byte_error_rate(rber);
+    (1..=max_t).find(|&t| {
+        let n = data_bytes + erasure_check_bytes + 2 * t;
+        binom_tail_gt(n, t, q) <= ue_target
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BOOT_RBER, UE_TARGET};
+
+    #[test]
+    fn paper_bch_sizes() {
+        assert_eq!(bch_code_bits(14, 512), 140);
+        assert_eq!(bch_code_bits(78, 512), 780);
+        assert_eq!(bch_code_bits(22, 2048), 264);
+        assert_eq!(bch_code_bits(41, 4096), 533);
+    }
+
+    #[test]
+    fn paper_overheads() {
+        // §III-A: 14-EC ≈ 28%, 78-EC ≈ 152%.
+        assert!((per_block_bch_cost(14) - 0.2734).abs() < 1e-3);
+        assert!((per_block_bch_cost(78) - 1.5234).abs() < 1e-3);
+    }
+
+    #[test]
+    fn min_t_reproduces_the_papers_design_points() {
+        // 64 B block at 1e-3 needs 14-bit EC (§III-A).
+        assert_eq!(min_bch_t(512, BOOT_RBER, UE_TARGET, 100), Some(14));
+        // 256 B VLEW at 1e-3 needs 22-bit EC (§IV/V).
+        assert_eq!(min_bch_t(2048, BOOT_RBER, UE_TARGET, 100), Some(22));
+    }
+
+    #[test]
+    fn vlew_total_cost_is_27_percent() {
+        let (t, cost) = vlew_plus_parity_cost(256, BOOT_RBER, UE_TARGET, 8).unwrap();
+        assert_eq!(t, 22);
+        // 33/256 + 1/8·(1+33/256) = 0.2699…
+        assert!((cost - 0.27).abs() < 0.005, "cost {cost}");
+    }
+
+    #[test]
+    fn longer_words_cost_less_figure4_trend() {
+        let costs: Vec<f64> = [64usize, 128, 256, 512, 1024]
+            .iter()
+            .map(|&bytes| {
+                vlew_plus_parity_cost(bytes, BOOT_RBER, UE_TARGET, 8)
+                    .unwrap()
+                    .1
+            })
+            .collect();
+        for w in costs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "cost must not increase with length");
+        }
+        // 64 B word is much more expensive than 256 B.
+        assert!(costs[0] > 0.35 && costs[2] < 0.28);
+    }
+
+    #[test]
+    fn min_t_infeasible_returns_none() {
+        assert_eq!(min_bch_t(512, 0.4, 1e-15, 4), None);
+    }
+
+    #[test]
+    fn min_rs_t_sane() {
+        // At boot RBER, DUO-style per-block RS needs roughly 15–18 error
+        // corrections on top of the 8 erasure bytes.
+        let t = min_rs_t(64, 8, BOOT_RBER, UE_TARGET, 64).unwrap();
+        assert!((14..=20).contains(&t), "t={t}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Systematic BCH encoding.
+
+use pmck_gf::BitPoly;
+
+use crate::code::BchCode;
+
+impl BchCode {
+    /// Encodes `data` (exactly [`BchCode::data_bits`] bits) into a fresh
+    /// codeword of [`BchCode::len`] bits: parity in `[0, r)`, data in
+    /// `[r, r+k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.data_bits()`.
+    pub fn encode(&self, data: &BitPoly) -> BitPoly {
+        assert_eq!(
+            data.len(),
+            self.k,
+            "data must have exactly {} bits",
+            self.k
+        );
+        let mut cw = BitPoly::zero(self.len());
+        cw.splice(self.r, data);
+        let parity = self.parity(data);
+        cw.splice(0, &parity);
+        cw
+    }
+
+    /// Encodes a byte slice of exactly `data_bits / 8` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bits` is not byte-aligned or the slice length does
+    /// not match.
+    pub fn encode_bytes(&self, data: &[u8]) -> BitPoly {
+        assert_eq!(self.k % 8, 0, "data_bits must be byte-aligned");
+        assert_eq!(data.len() * 8, self.k, "need {} data bytes", self.k / 8);
+        self.encode(&BitPoly::from_bytes(data))
+    }
+
+    /// Computes the `r` parity bits for `data`: `(data(x) · x^r) mod g(x)`.
+    ///
+    /// Encoding is linear over GF(2), so `parity(a ⊕ b) = parity(a) ⊕
+    /// parity(b)`; the paper's in-chip ECC-update path (§V-D) feeds the
+    /// bitwise sum of old and new data through this function to obtain the
+    /// code-bit update directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.data_bits()`.
+    pub fn parity(&self, data: &BitPoly) -> BitPoly {
+        assert_eq!(
+            data.len(),
+            self.k,
+            "data must have exactly {} bits",
+            self.k
+        );
+        let mut shifted = BitPoly::zero(self.k + self.r);
+        shifted.splice(self.r, data);
+        let rem = shifted.rem(&self.generator);
+        let mut parity = BitPoly::zero(self.r);
+        for i in rem.iter_ones() {
+            parity.set(i, true);
+        }
+        parity
+    }
+
+    /// Extracts the data bits from a codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw.len() != self.len()`.
+    pub fn extract_data(&self, cw: &BitPoly) -> BitPoly {
+        assert_eq!(cw.len(), self.len(), "codeword length mismatch");
+        cw.slice(self.r, self.k)
+    }
+
+    /// Extracts the data bits as bytes (requires byte-aligned `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw.len() != self.len()` or `k` is not byte-aligned.
+    pub fn extract_data_bytes(&self, cw: &BitPoly) -> Vec<u8> {
+        assert_eq!(self.k % 8, 0, "data_bits must be byte-aligned");
+        self.extract_data(cw).to_bytes()
+    }
+
+    /// Whether `cw` is a valid codeword (i.e. divisible by the generator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw.len() != self.len()`.
+    pub fn is_codeword(&self, cw: &BitPoly) -> bool {
+        assert_eq!(cw.len(), self.len(), "codeword length mismatch");
+        cw.rem(&self.generator).is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_produces_valid_codeword() {
+        let code = BchCode::new(6, 3, 24).unwrap();
+        let data = BitPoly::from_bytes(&[0x12, 0x34, 0x56]);
+        let cw = code.encode(&data);
+        assert_eq!(cw.len(), code.len());
+        assert!(code.is_codeword(&cw));
+        assert_eq!(code.extract_data(&cw), data);
+    }
+
+    #[test]
+    fn zero_data_encodes_to_zero_word() {
+        let code = BchCode::new(5, 2, 10).unwrap();
+        let cw = code.encode(&BitPoly::zero(10));
+        assert!(cw.is_zero());
+        assert!(code.is_codeword(&cw));
+    }
+
+    #[test]
+    fn parity_is_linear() {
+        let code = BchCode::new(8, 4, 64).unwrap();
+        let a = BitPoly::from_bytes(&[0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x11, 0x22, 0x33]);
+        let b = BitPoly::from_bytes(&[0x55; 8]);
+        let mut ab = a.clone();
+        ab.xor_assign(&b);
+        let mut pa = code.parity(&a);
+        let pb = code.parity(&b);
+        pa.xor_assign(&pb);
+        // parity(a) ^ parity(b) == parity(a ^ b)
+        assert_eq!(pa, code.parity(&ab));
+    }
+
+    #[test]
+    fn single_bit_error_invalidates_word() {
+        let code = BchCode::new(6, 2, 20).unwrap();
+        let mut cw = code.encode(&BitPoly::from_u64(0xABCDE, 20));
+        assert!(code.is_codeword(&cw));
+        for i in 0..cw.len() {
+            cw.flip(i);
+            assert!(!code.is_codeword(&cw), "flip at {i} must invalidate");
+            cw.flip(i);
+        }
+    }
+
+    #[test]
+    fn vlew_encode_round_trip_bytes() {
+        let code = BchCode::vlew();
+        let data: Vec<u8> = (0..256).map(|i| (i * 31 + 7) as u8).collect();
+        let cw = code.encode_bytes(&data);
+        assert!(code.is_codeword(&cw));
+        assert_eq!(code.extract_data_bytes(&cw), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly")]
+    fn encode_wrong_length_panics() {
+        let code = BchCode::new(6, 2, 20).unwrap();
+        let _ = code.encode(&BitPoly::zero(19));
+    }
+}

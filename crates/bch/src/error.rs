@@ -1,0 +1,43 @@
+//! Error types for the BCH codec.
+
+use std::fmt;
+
+/// Errors produced when constructing a [`crate::BchCode`] or decoding a
+/// codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BchError {
+    /// `m` outside the supported range of the underlying field (3..=16).
+    UnsupportedField(u32),
+    /// `t` must be at least 1.
+    ZeroCorrectionCapability,
+    /// The shortened code would exceed the natural length `2^m − 1`
+    /// (i.e. `k + r > 2^m − 1`). Carries `(needed, natural)`.
+    CodeTooLong(usize, usize),
+    /// The received word's length does not match the code's `n`.
+    /// Carries `(got, expected)`.
+    LengthMismatch(usize, usize),
+    /// The error pattern exceeds the code's correction capability; the word
+    /// was flagged uncorrectable and left unmodified.
+    Uncorrectable,
+}
+
+impl fmt::Display for BchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BchError::UnsupportedField(m) => write!(f, "unsupported field degree m={m}"),
+            BchError::ZeroCorrectionCapability => {
+                write!(f, "correction capability t must be at least 1")
+            }
+            BchError::CodeTooLong(needed, natural) => write!(
+                f,
+                "code length {needed} exceeds natural BCH length {natural}"
+            ),
+            BchError::LengthMismatch(got, expected) => {
+                write!(f, "received word has {got} bits, code expects {expected}")
+            }
+            BchError::Uncorrectable => write!(f, "error pattern is uncorrectable"),
+        }
+    }
+}
+
+impl std::error::Error for BchError {}

@@ -1,0 +1,51 @@
+//! Parametric binary BCH codec.
+//!
+//! Binary BCH codes are the workhorse of the paper's very long ECC words
+//! (VLEWs): a `t`-error-correcting BCH code over GF(2^m) spends
+//! `t·(⌊log2(k)⌋+1)` code bits to protect `k` data bits. This crate builds
+//! shortened systematic BCH codes for arbitrary `(m, t, k)` within
+//! `k + t·m ≤ 2^m − 1`, encodes via polynomial division, and decodes via
+//! syndrome computation, Berlekamp–Massey, and Chien search.
+//!
+//! Instances used by the reproduction:
+//!
+//! * **VLEW** — t=22, k=2048 bits (256 B of per-chip data), GF(2^12):
+//!   264 code bits = 33 B ([`BchCode::vlew`]).
+//! * **Per-block baseline** — t=14, k=512 bits (a 64 B block), GF(2^10):
+//!   140 code bits, the "bit-error correction only" baseline of §III-A
+//!   ([`BchCode::per_block_baseline`]).
+//! * **Flash-style words** — t up to 41, k=4096 bits (512 B), GF(2^13)
+//!   (Figure 3; [`BchCode::flash512`]).
+//!
+//! Encoding is linear: `parity(a ⊕ b) = parity(a) ⊕ parity(b)`. The write
+//! path of the paper (§V-D) relies on exactly this property to turn a
+//! bitwise-sum write into an ECC update, and [`BchCode::parity`] of the
+//! XOR of old and new data is that update.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmck_bch::BchCode;
+//!
+//! let code = BchCode::new(6, 2, 16).unwrap(); // toy: t=2, 16 data bits
+//! let data = [0xAB, 0xCD];
+//! let mut cw = code.encode_bytes(&data);
+//! cw.flip(3);
+//! cw.flip(17);
+//! let outcome = code.decode(&mut cw).unwrap();
+//! assert_eq!(outcome.corrected_bits(), &[3, 17]);
+//! assert_eq!(code.extract_data_bytes(&cw), data);
+//! ```
+
+mod code;
+mod decode;
+mod encode;
+mod error;
+
+pub use code::BchCode;
+pub use decode::DecodeOutcome;
+pub use error::BchError;
+
+// Re-exported so downstream users can manipulate codewords without also
+// depending on pmck-gf directly.
+pub use pmck_gf::BitPoly;

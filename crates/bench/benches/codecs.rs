@@ -1,0 +1,94 @@
+//! Criterion benchmarks for the ECC codecs: the VLEW BCH code and the
+//! per-block RS code, across the paths the memory controller exercises.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pmck_bch::{BchCode, BitPoly};
+use pmck_rs::RsCode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_bch(c: &mut Criterion) {
+    let code = BchCode::vlew();
+    let mut rng = StdRng::seed_from_u64(1);
+    let data: Vec<u8> = (0..256).map(|_| rng.gen()).collect();
+    let clean = code.encode_bytes(&data);
+
+    let mut g = c.benchmark_group("bch_vlew");
+    g.throughput(Throughput::Bytes(256));
+    g.bench_function("encode_256B", |b| {
+        b.iter(|| code.encode_bytes(std::hint::black_box(&data)))
+    });
+    g.bench_function("syndromes_clean", |b| {
+        b.iter(|| code.syndromes(std::hint::black_box(&clean)))
+    });
+    for nerr in [1usize, 5, 22] {
+        let mut word = clean.clone();
+        let mut pos = std::collections::BTreeSet::new();
+        while pos.len() < nerr {
+            pos.insert(rng.gen_range(0..code.len()));
+        }
+        for &p in &pos {
+            word.flip(p);
+        }
+        g.bench_function(format!("decode_{nerr}err"), |b| {
+            b.iter(|| {
+                let mut w = word.clone();
+                code.decode(&mut w).expect("correctable")
+            })
+        });
+    }
+    g.finish();
+
+    // Sparse delta parity: the write path's per-write cost.
+    let mut delta = BitPoly::zero(code.data_bits());
+    for i in 0..64 {
+        delta.set(512 + i, true);
+    }
+    c.bench_function("bch_vlew/parity_sparse_delta", |b| {
+        b.iter(|| code.parity(std::hint::black_box(&delta)))
+    });
+}
+
+fn bench_rs(c: &mut Criterion) {
+    let code = RsCode::per_block();
+    let mut rng = StdRng::seed_from_u64(2);
+    let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+    let clean = code.encode(&data);
+
+    let mut g = c.benchmark_group("rs_per_block");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("encode_64B", |b| {
+        b.iter(|| code.encode(std::hint::black_box(&data)))
+    });
+    g.bench_function("syndromes_clean", |b| {
+        b.iter(|| code.syndromes(std::hint::black_box(&clean)))
+    });
+    for nerr in [1usize, 2, 4] {
+        let mut word = clean.clone();
+        for k in 0..nerr {
+            word[k * 17] ^= 0x5A;
+        }
+        g.bench_function(format!("threshold_decode_{nerr}err"), |b| {
+            b.iter(|| {
+                let mut w = word.clone();
+                code.decode_with_threshold(&mut w, 2).expect("length ok")
+            })
+        });
+    }
+    // Chip-failure erasure correction (8 erasures).
+    let mut erased = clean.clone();
+    for p in 16..24 {
+        erased[p] = 0xFF;
+    }
+    let erasures: Vec<usize> = (16..24).collect();
+    g.bench_function("erasure_decode_chipkill", |b| {
+        b.iter(|| {
+            let mut w = erased.clone();
+            code.decode_with_erasures(&mut w, &erasures).expect("ok")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bch, bench_rs);
+criterion_main!(benches);

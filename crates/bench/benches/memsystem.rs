@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the memory-system and cache simulators.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pmck_cachesim::{Hierarchy, HierarchyConfig};
+use pmck_memsim::{MemConfig, MemRequest, MemoryController, NvramTiming, RankKind, NS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_controller(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let reqs: Vec<MemRequest> = (0..4096u64)
+        .map(|i| {
+            let addr = rng.gen_range(0..1u64 << 20);
+            let rank = if rng.gen_bool(0.5) {
+                RankKind::Nvram
+            } else {
+                RankKind::Dram
+            };
+            if rng.gen_bool(0.35) {
+                MemRequest::write(i, addr, rank)
+            } else {
+                MemRequest::read(i, addr, rank)
+            }
+        })
+        .collect();
+    let mut g = c.benchmark_group("memsim");
+    g.throughput(Throughput::Elements(reqs.len() as u64));
+    g.bench_function("mixed_4k_requests", |b| {
+        b.iter(|| {
+            let mut mc = MemoryController::new(MemConfig::paper_hybrid(NvramTiming::reram()));
+            let mut t = 0u64;
+            for chunk in reqs.chunks(32) {
+                for r in chunk {
+                    while mc.enqueue(*r).is_err() {
+                        t += 1_000 * NS;
+                        mc.advance_to(t);
+                        let _ = mc.drain_completions();
+                    }
+                }
+                t += 400 * NS;
+                mc.advance_to(t);
+                let _ = mc.drain_completions();
+            }
+            while mc.pending() > 0 {
+                t += 10_000 * NS;
+                mc.advance_to(t);
+                let _ = mc.drain_completions();
+            }
+            mc.stats().reads_for(RankKind::Dram)
+        })
+    });
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let addrs: Vec<u64> = (0..8192).map(|_| rng.gen_range(0..200_000u64)).collect();
+    let mut g = c.benchmark_group("cachesim");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("load_store_clwb_cycle", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(HierarchyConfig::paper(true));
+            for (i, &a) in addrs.iter().enumerate() {
+                let core = i % 4;
+                h.load(core, a, true);
+                if i % 3 == 0 {
+                    h.store(core, a, true);
+                    h.clwb(core, a, true);
+                }
+            }
+            h.llc_stats().omv_hits
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_controller, bench_hierarchy);
+criterion_main!(benches);

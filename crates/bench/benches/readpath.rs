@@ -1,0 +1,98 @@
+//! Criterion benchmarks for the end-to-end chipkill engine: the runtime
+//! read path at its three tiers, both write paths, and the boot scrub.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pmck_core::{ChipkillConfig, ChipkillMemory};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn seeded_rank(blocks: u64, seed: u64) -> ChipkillMemory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mem = ChipkillMemory::new(blocks, ChipkillConfig::default());
+    for a in 0..mem.num_blocks() {
+        let mut b = [0u8; 64];
+        rng.fill(&mut b[..]);
+        mem.write_block(a, &b).unwrap();
+    }
+    mem
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    let clean = seeded_rank(256, 5);
+    let mut g = c.benchmark_group("chipkill_read");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("clean_block", |b| {
+        let mut mem = clean.clone();
+        b.iter(|| mem.read_block(17).expect("clean"))
+    });
+
+    // Runtime RBER: mostly clean, occasional RS corrections.
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut runtime = clean.clone();
+    runtime.inject_bit_errors(2e-4, &mut rng);
+    g.bench_function("runtime_rber_2e-4", |b| {
+        let mut mem = runtime.clone();
+        let mut a = 0;
+        b.iter(|| {
+            a = (a + 1) % mem.num_blocks();
+            mem.read_block(a).expect("correctable")
+        })
+    });
+
+    // Boot-level RBER: frequent RS rejections + VLEW fallbacks.
+    let mut boot = clean.clone();
+    boot.inject_bit_errors(1e-3, &mut rng);
+    g.bench_function("boot_rber_1e-3_no_scrub", |b| {
+        let mut mem = boot.clone();
+        let mut a = 0;
+        b.iter(|| {
+            a = (a + 1) % mem.num_blocks();
+            mem.read_block(a).expect("correctable")
+        })
+    });
+    g.finish();
+}
+
+fn bench_write_paths(c: &mut Criterion) {
+    let clean = seeded_rank(256, 7);
+    let block = [0xA5u8; 64];
+    let mut g = c.benchmark_group("chipkill_write");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("conventional", |b| {
+        let mut mem = clean.clone();
+        let mut a = 0;
+        b.iter(|| {
+            a = (a + 1) % mem.num_blocks();
+            mem.write_block(a, &block).expect("in range")
+        })
+    });
+    g.bench_function("bitwise_sum", |b| {
+        let mut mem = clean.clone();
+        let mut a = 0;
+        b.iter(|| {
+            a = (a + 1) % mem.num_blocks();
+            mem.write_block_sum(a, &block).expect("in range")
+        })
+    });
+    g.finish();
+}
+
+fn bench_boot_scrub(c: &mut Criterion) {
+    let clean = seeded_rank(128, 8);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut dirty = clean.clone();
+    dirty.inject_bit_errors(1e-3, &mut rng);
+    let mut g = c.benchmark_group("boot_scrub");
+    g.throughput(Throughput::Bytes(128 * 64));
+    g.sample_size(10);
+    g.bench_function("scrub_128_blocks_1e-3", |b| {
+        b.iter(|| {
+            let mut mem = dirty.clone();
+            mem.boot_scrub().expect("scrub succeeds")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_read_path, bench_write_paths, bench_boot_scrub);
+criterion_main!(benches);

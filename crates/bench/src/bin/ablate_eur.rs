@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact `ablate_eur` (see `pmck_bench::experiments::ablate_eur`).
+//! Pass `--quick` (or set `PMCK_QUICK=1`) to shorten simulation runs.
+
+fn main() {
+    pmck_bench::experiments::ablate_eur::run().print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact `fig02` (see `pmck_bench::experiments::fig02`).
+//! Pass `--quick` (or set `PMCK_QUICK=1`) to shorten simulation runs.
+
+fn main() {
+    pmck_bench::experiments::fig02::run().print();
+}

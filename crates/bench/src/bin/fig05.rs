@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact `fig05` (see `pmck_bench::experiments::fig05`).
+//! Pass `--quick` (or set `PMCK_QUICK=1`) to shorten simulation runs.
+
+fn main() {
+    pmck_bench::experiments::fig05::run().print();
+}

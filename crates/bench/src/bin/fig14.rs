@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact `fig14` (see `pmck_bench::experiments::fig14`).
+//! Pass `--quick` (or set `PMCK_QUICK=1`) to shorten simulation runs.
+
+fn main() {
+    pmck_bench::experiments::fig14::run().print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact `fig16` (see `pmck_bench::experiments::fig16`).
+//! Pass `--quick` (or set `PMCK_QUICK=1`) to shorten simulation runs.
+
+fn main() {
+    pmck_bench::experiments::fig16::run().print();
+}

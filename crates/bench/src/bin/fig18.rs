@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact `fig18` (see `pmck_bench::experiments::fig18`).
+//! Pass `--quick` (or set `PMCK_QUICK=1`) to shorten simulation runs.
+
+fn main() {
+    pmck_bench::experiments::fig18::run().print();
+}

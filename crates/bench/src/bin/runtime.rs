@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact `runtime` (see `pmck_bench::experiments::runtime`).
+//! Pass `--quick` (or set `PMCK_QUICK=1`) to shorten simulation runs.
+
+fn main() {
+    pmck_bench::experiments::runtime::run().print();
+}

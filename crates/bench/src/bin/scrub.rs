@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact `scrub` (see `pmck_bench::experiments::scrub`).
+//! Pass `--quick` (or set `PMCK_QUICK=1`) to shorten simulation runs.
+
+fn main() {
+    pmck_bench::experiments::scrub::run().print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact `sec3a` (see `pmck_bench::experiments::sec3a`).
+//! Pass `--quick` (or set `PMCK_QUICK=1`) to shorten simulation runs.
+
+fn main() {
+    pmck_bench::experiments::sec3a::run().print();
+}

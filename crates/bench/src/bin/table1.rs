@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact `table1` (see `pmck_bench::experiments::table1`).
+//! Pass `--quick` (or set `PMCK_QUICK=1`) to shorten simulation runs.
+
+fn main() {
+    pmck_bench::experiments::table1::run().print();
+}

@@ -1,0 +1,44 @@
+//! Ablation: the proposal without EUR coalescing (§V-D's registerfile).
+
+use pmck_sim::{NvramKind, Scheme, SimConfig, Simulator};
+use pmck_workloads::WorkloadSpec;
+
+use crate::report::Experiment;
+use crate::simsuite::{quick_requested, suite, SUITE_SEED};
+
+/// Reruns a representative subset with the worst-case C = 1 (every PM
+/// write updates its VLEW code bits individually), showing what the ECC
+/// Update Registerfile's coalescing buys in iso-lifetime write slowing.
+pub fn run() -> Experiment {
+    let results = suite(NvramKind::Pcm);
+    let mut e = Experiment::new(
+        "ablate_eur",
+        "Ablation: proposal without EUR coalescing (C = 1)",
+    );
+    for name in ["echo", "hashmap", "btree", "memcached"] {
+        let cmp = results
+            .iter()
+            .find(|c| c.baseline.workload == name)
+            .expect("workload in suite");
+        let spec = WorkloadSpec::by_name(name).expect("known workload");
+        let scheme = Scheme::Proposal { c_factor: 1.0 };
+        let cfg = if quick_requested() {
+            SimConfig::quick(NvramKind::Pcm, scheme)
+        } else {
+            SimConfig::paper(NvramKind::Pcm, scheme)
+        };
+        let no_eur = Simulator::run_workload(spec, cfg, SUITE_SEED);
+        let coalesced = cmp.normalized_performance();
+        let worst = no_eur.ops_per_ns() / cmp.baseline.ops_per_ns();
+        e.row(
+            name,
+            "coalescing lowers C and thus tWR",
+            format!(
+                "C={:.2} → {coalesced:.4}; C=1.0 → {worst:.4}",
+                cmp.c_factor
+            ),
+        );
+    }
+    e.note("tWR scales as 1 + 4.125·C; the EUR's per-row coalescing keeps C well below 1 for workloads with write locality.");
+    e
+}

@@ -1,0 +1,54 @@
+//! Figure 1: RBER bands of memory and storage technologies.
+
+use pmck_analysis::BOOT_RBER;
+use pmck_nvram::{rber_at, rber_band, MemoryTech};
+
+use crate::report::{sci, Experiment};
+
+/// Regenerates Figure 1: per-technology RBER bands from the retention
+/// model, plus the paper's anchor observations.
+pub fn run() -> Experiment {
+    let mut e = Experiment::new("fig01", "Figure 1: RBERs of memory and storage");
+    for tech in MemoryTech::ALL {
+        let (lo, hi) = rber_band(tech);
+        e.row(
+            tech.name(),
+            match tech {
+                MemoryTech::Pcm3Bit => "7e-5 @1s … 1e-3 @1wk".to_string(),
+                MemoryTech::ReRam => "7e-5 runtime … 1e-3 @1yr".to_string(),
+                MemoryTech::FlashMlc => "Flash-like band".to_string(),
+                MemoryTech::Dram => "~1e-6 cell faults".to_string(),
+                _ => "—".to_string(),
+            },
+            format!("{} … {}", sci(lo), sci(hi)),
+        );
+    }
+    e.row(
+        "3-bit PCM @1 week",
+        sci(1e-3),
+        sci(rber_at(MemoryTech::Pcm3Bit, 7.0 * 86400.0)),
+    );
+    e.row(
+        "3-bit PCM @1 hour",
+        sci(2e-4),
+        sci(rber_at(MemoryTech::Pcm3Bit, 3600.0)),
+    );
+    e.row(
+        "ReRAM @1 year",
+        sci(BOOT_RBER),
+        sci(rber_at(MemoryTech::ReRam, 365.25 * 86400.0)),
+    );
+    e.note("NVRAM RBER resembles Flash far more than DRAM (the paper's Figure 1 takeaway).");
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn anchors_match() {
+        let e = super::run();
+        assert!(e.rows.len() >= 9);
+        let week = e.rows.iter().find(|r| r.label.contains("week")).unwrap();
+        assert_eq!(week.paper, week.measured);
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 5: read/write bandwidth overheads of naive VLEW protection.
+
+use pmck_analysis::bandwidth::{
+    fraction_erroneous_accesses, naive_vlew_read_overhead, refresh_scrub_overhead, VlewGeometry,
+    WriteScheme,
+};
+use pmck_analysis::{RUNTIME_RBER_PCM_HOURLY, RUNTIME_RBER_RERAM};
+
+use crate::report::{pct, Experiment};
+
+/// Regenerates Figure 5: the bandwidth cliffs that motivate the design —
+/// 140–360% read overhead and 200–400% write overhead for VLEWs alone.
+pub fn run() -> Experiment {
+    let g = VlewGeometry::default();
+    let mut e = Experiment::new("fig05", "Figure 5: naive-VLEW bandwidth overheads");
+    e.row(
+        "extra blocks per VLEW correction",
+        "32 + 4 − 1 = 35",
+        g.extra_blocks_per_correction().to_string(),
+    );
+    e.row(
+        "erroneous accesses @ 7e-5",
+        "4%",
+        pct(fraction_erroneous_accesses(RUNTIME_RBER_RERAM), 1),
+    );
+    e.row(
+        "erroneous accesses @ 2e-4",
+        "10.3%",
+        pct(fraction_erroneous_accesses(RUNTIME_RBER_PCM_HOURLY), 1),
+    );
+    e.row(
+        "read overhead @ 7e-5",
+        "140%",
+        pct(naive_vlew_read_overhead(RUNTIME_RBER_RERAM, g), 0),
+    );
+    e.row(
+        "read overhead @ 2e-4",
+        "360%",
+        pct(naive_vlew_read_overhead(RUNTIME_RBER_PCM_HOURLY, g), 0),
+    );
+    for scheme in WriteScheme::ALL {
+        e.row(
+            scheme.name(),
+            match scheme {
+                WriteScheme::NaiveVlew => "400%",
+                WriteScheme::InChipEncoder => "200%",
+                WriteScheme::OmvInLlc => "100%",
+                WriteScheme::BitwiseSum => "0%",
+            },
+            pct(scheme.overhead(), 0),
+        );
+    }
+    e.row(
+        "per-second refresh of a 160 GB channel (§IV)",
+        "~1000%",
+        pct(refresh_scrub_overhead(160e9, 1.0, 19.2e9, 0.27), 0),
+    );
+    e.note("The write ladder is the §IV-B → §V-D optimization sequence.");
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn overhead_ladder_is_monotone() {
+        let e = super::run();
+        let read_hi = e
+            .rows
+            .iter()
+            .find(|r| r.label.contains("read overhead @ 2e-4"))
+            .unwrap();
+        let v: f64 = read_hi.measured.trim_end_matches('%').parse().unwrap();
+        assert!((300.0..420.0).contains(&v), "got {v}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 14: off-chip memory-access breakdown.
+
+use pmck_sim::NvramKind;
+
+use crate::report::Experiment;
+use crate::simsuite::suite;
+
+/// Regenerates Figure 14: PM-read / PM-write / DRAM-read / DRAM-write
+/// fractions of off-chip traffic per workload.
+pub fn run() -> Experiment {
+    let results = suite(NvramKind::ReRam);
+    let mut e = Experiment::new("fig14", "Figure 14: off-chip access breakdown");
+    for cmp in results {
+        let (pr, pw, dr, dw) = cmp.baseline.access_breakdown();
+        e.row(
+            &cmp.baseline.workload,
+            "significant PM traffic",
+            format!(
+                "PM r {:.0}% / w {:.0}%, DRAM r {:.0}% / w {:.0}%",
+                pr * 100.0,
+                pw * 100.0,
+                dr * 100.0,
+                dw * 100.0
+            ),
+        );
+    }
+    e.note("All benchmarks significantly exercise persistent memory (the paper's Figure 14 point); WHISPER-style workloads are PM-write heavy, SPLASH-style are PM-read heavy.");
+    e
+}

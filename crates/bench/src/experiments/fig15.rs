@@ -1,0 +1,29 @@
+//! Figure 15: the C factor (VLEW code-bit writes per PM write).
+
+use pmck_sim::NvramKind;
+
+use crate::report::Experiment;
+use crate::simsuite::{mean, suite};
+
+/// Regenerates Figure 15: per-workload C, measured from the EUR model in
+/// the baseline pass and used to derive the proposal's slowed `tWR`
+/// (`tWR × (1 + 33/8·C) + 20 ns`).
+pub fn run() -> Experiment {
+    let results = suite(NvramKind::ReRam);
+    let mut e = Experiment::new("fig15", "Figure 15: VLEW updates per PM write (C factor)");
+    for cmp in results {
+        e.row(
+            &cmp.baseline.workload,
+            "workload-dependent (≤1)",
+            format!(
+                "C = {:.3} → tWR × {:.2} + 20 ns",
+                cmp.c_factor,
+                1.0 + 33.0 / 8.0 * cmp.c_factor
+            ),
+        );
+    }
+    let avg = mean(results.iter().map(|c| c.c_factor));
+    e.row("average", "—", format!("C = {avg:.3}"));
+    e.note("C depends on the spatial locality of PM writes: append-only logs coalesce VLEW updates in the EUR, scattered item writes do not.");
+    e
+}

@@ -1,0 +1,33 @@
+//! Figure 16: performance normalized to the bit-error baseline, ReRAM.
+
+use pmck_sim::NvramKind;
+
+use crate::report::Experiment;
+use crate::simsuite::{mean, suite};
+
+/// Regenerates Figure 16: proposal performance normalized to the
+/// bit-error-correction baseline under ReRAM latencies (120 ns read /
+/// 300 ns write). Paper average: ~98.6%.
+pub fn run() -> Experiment {
+    let results = suite(NvramKind::ReRam);
+    let mut e = Experiment::new(
+        "fig16",
+        "Figure 16: normalized performance, ReRAM latencies",
+    );
+    for cmp in results {
+        let paper = match cmp.baseline.workload.as_str() {
+            "hashmap" => "worst case (~86-90%)",
+            "ctree" | "btree" | "rbtree" => ">= 96.8%",
+            _ => "~99%",
+        };
+        e.row(
+            &cmp.baseline.workload,
+            paper,
+            format!("{:.4}", cmp.normalized_performance()),
+        );
+    }
+    let avg = mean(results.iter().map(|c| c.normalized_performance()));
+    e.row("average", "0.986 (1.4% overhead)", format!("{avg:.4}"));
+    e.note("Write-query workloads with random placement (hashmap) pay the most for iso-lifetime write slowing; request-processing servers hide it.");
+    e
+}

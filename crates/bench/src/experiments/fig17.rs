@@ -1,0 +1,33 @@
+//! Figure 17: performance normalized to the bit-error baseline, PCM.
+
+use pmck_sim::NvramKind;
+
+use crate::report::Experiment;
+use crate::simsuite::{mean, suite};
+
+/// Regenerates Figure 17: proposal performance normalized to the
+/// bit-error-correction baseline under PCM latencies (250 ns read /
+/// 600 ns write). Paper average: ~97.7%.
+pub fn run() -> Experiment {
+    let results = suite(NvramKind::Pcm);
+    let mut e = Experiment::new(
+        "fig17",
+        "Figure 17: normalized performance, PCM latencies",
+    );
+    for cmp in results {
+        let paper = match cmp.baseline.workload.as_str() {
+            "hashmap" => "worst case (86%, 14% overhead)",
+            "ctree" | "btree" | "rbtree" => ">= 96.8%",
+            _ => "~99%",
+        };
+        e.row(
+            &cmp.baseline.workload,
+            paper,
+            format!("{:.4}", cmp.normalized_performance()),
+        );
+    }
+    let avg = mean(results.iter().map(|c| c.normalized_performance()));
+    e.row("average", "0.977 (2.3% overhead)", format!("{avg:.4}"));
+    e.note("Write-query workloads with random placement (hashmap) pay the most for iso-lifetime write slowing; request-processing servers hide it.");
+    e
+}

@@ -1,0 +1,62 @@
+//! One module per paper artifact. Each exposes `run() -> Experiment`.
+//!
+//! Analytic experiments are cheap and exact; simulation experiments
+//! ([`fig10`], [`fig14`], [`fig15`], [`fig16`], [`fig17`], [`fig18`])
+//! replay the workload suite through the full-system simulator.
+
+pub mod ablate_eur;
+pub mod ablate_omv;
+pub mod ablate_threshold;
+pub mod appendix;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig07;
+pub mod fig10;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod runtime;
+pub mod scrub;
+pub mod sec3a;
+pub mod storage;
+pub mod table1;
+
+use crate::report::Experiment;
+
+/// All analytic (fast) experiments in presentation order.
+pub fn analytic() -> Vec<Experiment> {
+    vec![
+        fig01::run(),
+        fig02::run(),
+        fig03::run(),
+        fig04::run(),
+        fig05::run(),
+        fig07::run(),
+        sec3a::run(),
+        storage::run(),
+        scrub::run(),
+        runtime::run(),
+        appendix::run(),
+        table1::run(),
+        ablate_threshold::run(),
+    ]
+}
+
+/// All simulation-driven experiments (each triggers the shared suite).
+pub fn simulation() -> Vec<Experiment> {
+    vec![
+        fig10::run(),
+        fig14::run(),
+        fig15::run(),
+        fig16::run(),
+        fig17::run(),
+        fig18::run(),
+        ablate_omv::run(),
+        ablate_eur::run(),
+    ]
+}

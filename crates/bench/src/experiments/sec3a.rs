@@ -1,0 +1,33 @@
+//! §III-A: the cost of naive per-block protection.
+
+use pmck_analysis::storage::{min_bch_t, per_block_bch_cost};
+use pmck_analysis::{BOOT_RBER, UE_TARGET};
+
+use crate::report::{pct, Experiment};
+
+/// Regenerates the §III-A arithmetic: 14-bit-EC per block ≈28% (bit
+/// errors only); absorbing a chip failure in the same code needs 78-bit
+/// EC at a prohibitive ≈152%.
+pub fn run() -> Experiment {
+    let mut e = Experiment::new("sec3a", "§III-A: naive per-block BCH costs");
+    let t = min_bch_t(512, BOOT_RBER, UE_TARGET, 100).expect("feasible");
+    e.row("minimum t for 64 B @ 1e-3", "14", t.to_string());
+    e.row("14-bit-EC storage", "28%", pct(per_block_bch_cost(14), 1));
+    e.row(
+        "64+14 = 78-bit-EC storage (chipkill folded in)",
+        "152%",
+        pct(per_block_bch_cost(78), 1),
+    );
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn matches_paper() {
+        let e = super::run();
+        assert_eq!(e.rows[0].measured, "14");
+        assert!(e.rows[1].measured.starts_with("27.3"));
+        assert!(e.rows[2].measured.starts_with("152"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Table I: the simulated-system configuration, echoed from the actual
+//! simulator structures (so drift between docs and code is impossible).
+
+use pmck_cachesim::HierarchyConfig;
+use pmck_memsim::{MemConfig, NvramTiming, RankKind, NS};
+use pmck_sim::{NvramKind, Scheme, SimConfig};
+
+use crate::report::Experiment;
+
+/// Regenerates Table I from the live configuration objects.
+pub fn run() -> Experiment {
+    let sim = SimConfig::paper(NvramKind::ReRam, Scheme::Baseline);
+    let h = HierarchyConfig::paper(true);
+    let m = MemConfig::paper_hybrid(NvramTiming::reram());
+    let mut e = Experiment::new("table1", "Table I: microarchitectural parameters");
+    e.row(
+        "cores",
+        "4 cores, 3 GHz",
+        format!(
+            "{} cores, {:.1} GHz",
+            sim.cores,
+            1000.0 / sim.core_period_ps as f64
+        ),
+    );
+    e.row(
+        "L1",
+        "2-way, 64 KB, 1 cycle",
+        format!(
+            "{}-way, {} KB, {} cycle",
+            h.l1.ways,
+            h.l1.capacity_bytes / 1024,
+            h.l1.latency_cycles
+        ),
+    );
+    e.row(
+        "shared LLC",
+        "32-way, 4 MB, 14 cycles",
+        format!(
+            "{}-way, {} MB, {} cycles",
+            h.llc.ways,
+            h.llc.capacity_bytes / (1024 * 1024),
+            h.llc.latency_cycles
+        ),
+    );
+    e.row(
+        "memory controller",
+        "128 rd / 128 wr buffers, closed page, FR-FCFS",
+        format!(
+            "{} rd / {} wr, row closes after {} ns idle, FR-FCFS",
+            m.read_queue,
+            m.write_queue,
+            m.row_idle_close_ps / NS
+        ),
+    );
+    e.row(
+        "memory system",
+        "2400 MT/s channel: 1 DRAM + 1 PM rank, 16 banks/rank",
+        format!(
+            "DRAM tRCD {} ns + NVRAM rank, {} banks/rank",
+            m.timing(RankKind::Dram).t_rcd / NS,
+            m.banks_per_rank
+        ),
+    );
+    e.row(
+        "NVRAM latencies",
+        "ReRAM 120/300 ns; PCM 250/600 ns",
+        format!(
+            "ReRAM {}/{} ns; PCM {}/{} ns",
+            NvramTiming::reram().read_ps / NS,
+            NvramTiming::reram().write_ps / NS,
+            NvramTiming::pcm().read_ps / NS,
+            NvramTiming::pcm().write_ps / NS
+        ),
+    );
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn echoes_live_config() {
+        let e = super::run();
+        assert!(e.rows[0].measured.contains("4 cores"));
+        assert!(e.rows[2].measured.contains("32-way"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Structured experiment reports: paper-reported vs measured values.
+
+use std::fmt::Write as _;
+
+/// One row of an experiment: a labelled paper-vs-measured comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// What the row reports (e.g. a workload or a parameter point).
+    pub label: String,
+    /// The value the paper reports, as prose ("—" when the paper gives
+    /// no number for this point).
+    pub paper: String,
+    /// The value this reproduction measures.
+    pub measured: String,
+}
+
+impl Row {
+    /// Convenience constructor.
+    pub fn new(
+        label: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+    ) -> Self {
+        Row {
+            label: label.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+        }
+    }
+}
+
+/// A regenerated table or figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    /// Stable id (`fig04`, `appendix`, …) matching the binary name.
+    pub id: &'static str,
+    /// Human title (paper artifact).
+    pub title: &'static str,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Interpretation notes: what should match and what is expected to
+    /// deviate (substrate differences).
+    pub notes: Vec<String>,
+}
+
+impl Experiment {
+    /// Creates an empty experiment.
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        Experiment {
+            id,
+            title,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a row.
+    pub fn row(
+        &mut self,
+        label: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+    ) -> &mut Self {
+        self.rows.push(Row::new(label, paper, measured));
+        self
+    }
+
+    /// Adds an interpretation note.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Prints the experiment to stdout as an aligned text table.
+    pub fn print(&self) {
+        println!("== {} — {} ==", self.id, self.title);
+        let w1 = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(["point".len()].into_iter())
+            .max()
+            .unwrap_or(8);
+        let w2 = self
+            .rows
+            .iter()
+            .map(|r| r.paper.len())
+            .chain(["paper".len()].into_iter())
+            .max()
+            .unwrap_or(8);
+        println!("{:<w1$}  {:<w2$}  measured", "point", "paper");
+        for r in &self.rows {
+            println!("{:<w1$}  {:<w2$}  {}", r.label, r.paper, r.measured);
+        }
+        for n in &self.notes {
+            println!("note: {n}");
+        }
+        println!();
+    }
+
+    /// Renders the experiment as a Markdown section (for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "### `{}` — {}\n", self.id, self.title);
+        let _ = writeln!(s, "| point | paper | measured |");
+        let _ = writeln!(s, "|---|---|---|");
+        for r in &self.rows {
+            let _ = writeln!(s, "| {} | {} | {} |", r.label, r.paper, r.measured);
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(s);
+            for n in &self.notes {
+                let _ = writeln!(s, "> {n}");
+            }
+        }
+        let _ = writeln!(s);
+        s
+    }
+}
+
+/// Formats a fraction as a percentage with `digits` decimals.
+pub fn pct(x: f64, digits: usize) -> String {
+    format!("{:.digits$}%", x * 100.0)
+}
+
+/// Formats a small probability in scientific notation.
+pub fn sci(x: f64) -> String {
+    format!("{x:.1e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_renders() {
+        let mut e = Experiment::new("figX", "demo");
+        e.row("a", "1%", "1.1%").note("shape matches");
+        let md = e.to_markdown();
+        assert!(md.contains("| a | 1% | 1.1% |"));
+        assert!(md.contains("> shape matches"));
+        e.print();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.271, 1), "27.1%");
+        assert_eq!(sci(3.3e-22), "3.3e-22");
+    }
+}

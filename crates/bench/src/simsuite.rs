@@ -1,0 +1,59 @@
+//! Shared runner for the simulation-based figures (10, 14–18): one
+//! baseline/proposal comparison per workload per NVRAM technology,
+//! cached per process so the figure modules can share a single pass.
+
+use std::sync::{Mutex, OnceLock};
+
+use pmck_sim::{run_comparison, ComparisonResult, NvramKind};
+use pmck_workloads::WorkloadSpec;
+
+/// The seed used by every suite run (fixed for reproducibility).
+pub const SUITE_SEED: u64 = 42;
+
+/// Whether quick mode was requested (`PMCK_QUICK=1` or `--quick`).
+pub fn quick_requested() -> bool {
+    std::env::var_os("PMCK_QUICK").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// Runs (or returns the cached) full 16-workload suite for `nvram`.
+pub fn suite(nvram: NvramKind) -> &'static [ComparisonResult] {
+    static CACHE: OnceLock<Mutex<Vec<(NvramKind, bool, &'static [ComparisonResult])>>> =
+        OnceLock::new();
+    let quick = quick_requested();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    {
+        let guard = cache.lock().expect("suite cache lock");
+        if let Some(&(_, _, r)) = guard.iter().find(|(k, q, _)| *k == nvram && *q == quick) {
+            return r;
+        }
+    }
+    eprintln!(
+        "[simsuite] running 16-workload suite under {} latencies{} …",
+        nvram.name(),
+        if quick { " (quick)" } else { "" }
+    );
+    let results: Vec<ComparisonResult> = WorkloadSpec::all()
+        .into_iter()
+        .map(|spec| {
+            eprintln!("[simsuite]   {}", spec.name);
+            run_comparison(spec, nvram, SUITE_SEED, quick)
+        })
+        .collect();
+    let leaked: &'static [ComparisonResult] = Box::leak(results.into_boxed_slice());
+    cache
+        .lock()
+        .expect("suite cache lock")
+        .push((nvram, quick, leaked));
+    leaked
+}
+
+/// Geometric-mean helper for normalized performance summaries.
+pub fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}

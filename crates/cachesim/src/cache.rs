@@ -1,0 +1,265 @@
+//! Generic set-associative cache core with LRU replacement.
+
+use crate::config::CacheConfig;
+
+/// One cache line's tag state. `sam`/`omv` are meaningful only in the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Line {
+    /// Block address (line granularity) stored here.
+    pub addr: u64,
+    /// Whether the line holds valid data.
+    pub valid: bool,
+    /// Whether the line is modified relative to the next level.
+    pub dirty: bool,
+    /// "SameAsMem": line value equals off-chip memory (LLC only).
+    pub sam: bool,
+    /// "Old Memory Value": invisible preserved copy (LLC only).
+    pub omv: bool,
+    /// Whether the block belongs to a persistent-memory region.
+    pub is_pm: bool,
+    lru: u64,
+}
+
+impl Line {
+    fn invalid() -> Self {
+        Line {
+            addr: 0,
+            valid: false,
+            dirty: false,
+            sam: false,
+            omv: false,
+            is_pm: false,
+            lru: 0,
+        }
+    }
+}
+
+/// A set-associative cache with LRU replacement over line *state*
+/// (no data bytes).
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: usize,
+    lines: Vec<Line>,
+    tick: u64,
+}
+
+impl SetAssocCache {
+    /// An empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        SetAssocCache {
+            cfg,
+            sets,
+            lines: vec![Line::invalid(); sets * cfg.ways],
+            tick: 0,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
+        let set = (addr % self.sets as u64) as usize;
+        set * self.cfg.ways..(set + 1) * self.cfg.ways
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.tick += 1;
+        self.lines[idx].lru = self.tick;
+    }
+
+    /// Finds the *visible* (non-OMV) line holding `addr`, updating LRU.
+    pub fn lookup(&mut self, addr: u64) -> Option<&mut Line> {
+        let range = self.set_range(addr);
+        let idx = self.lines[range]
+            .iter()
+            .position(|l| l.valid && !l.omv && l.addr == addr)?;
+        let abs = self.set_range(addr).start + idx;
+        self.touch(abs);
+        Some(&mut self.lines[abs])
+    }
+
+    /// Finds the line holding `addr` without updating LRU or filtering
+    /// OMV lines.
+    pub fn peek(&self, addr: u64) -> Option<&Line> {
+        let range = self.set_range(addr);
+        self.lines[range]
+            .iter()
+            .find(|l| l.valid && !l.omv && l.addr == addr)
+    }
+
+    /// Finds the OMV line for `addr`, if any.
+    pub fn peek_omv(&self, addr: u64) -> Option<&Line> {
+        let range = self.set_range(addr);
+        self.lines[range]
+            .iter()
+            .find(|l| l.valid && l.omv && l.addr == addr)
+    }
+
+    /// Invalidates the OMV line for `addr`; returns whether one existed.
+    pub fn take_omv(&mut self, addr: u64) -> bool {
+        let range = self.set_range(addr);
+        let start = range.start;
+        if let Some(i) = self.lines[range]
+            .iter()
+            .position(|l| l.valid && l.omv && l.addr == addr)
+        {
+            self.lines[start + i] = Line::invalid();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a line for `addr`, evicting the LRU victim if the set is
+    /// full. `init` configures the fresh line (dirty/sam/omv/is_pm).
+    /// Returns the evicted valid line, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a visible line for `addr` already exists (callers must
+    /// use [`SetAssocCache::lookup`] first).
+    pub fn insert(&mut self, addr: u64, init: impl FnOnce(&mut Line)) -> Option<Line> {
+        assert!(
+            self.peek(addr).is_none(),
+            "insert of already-present address {addr:#x}"
+        );
+        let range = self.set_range(addr);
+        let start = range.start;
+        // Prefer an invalid way; otherwise evict true-LRU.
+        let victim_rel = self.lines[range.clone()]
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| {
+                let (i, _) = self.lines[range]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .expect("ways > 0");
+                i
+            });
+        let abs = start + victim_rel;
+        let evicted = if self.lines[abs].valid {
+            Some(self.lines[abs])
+        } else {
+            None
+        };
+        let mut fresh = Line::invalid();
+        fresh.addr = addr;
+        fresh.valid = true;
+        init(&mut fresh);
+        self.lines[abs] = fresh;
+        self.touch(abs);
+        evicted
+    }
+
+    /// Invalidates the visible line for `addr`, returning it if present.
+    pub fn invalidate(&mut self, addr: u64) -> Option<Line> {
+        let range = self.set_range(addr);
+        let start = range.start;
+        let idx = self.lines[range]
+            .iter()
+            .position(|l| l.valid && !l.omv && l.addr == addr)?;
+        let line = self.lines[start + idx];
+        self.lines[start + idx] = Line::invalid();
+        Some(line)
+    }
+
+    /// Iterates over all valid lines.
+    pub fn iter_valid(&self) -> impl Iterator<Item = &Line> {
+        self.lines.iter().filter(|l| l.valid)
+    }
+
+    /// Total line slots.
+    pub fn capacity_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Number of valid lines matching a predicate (occupancy sampling).
+    pub fn count_valid(&self, pred: impl Fn(&Line) -> bool) -> usize {
+        self.lines.iter().filter(|l| l.valid && pred(l)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets × 2 ways.
+        SetAssocCache::new(CacheConfig {
+            capacity_bytes: 8 * 64,
+            ways: 2,
+            line_bytes: 64,
+            latency_cycles: 1,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(c.lookup(12).is_none());
+        assert!(c.insert(12, |l| l.dirty = false).is_none());
+        assert!(c.lookup(12).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Addresses 0, 4, 8 map to set 0 (4 sets).
+        c.insert(0, |_| {});
+        c.insert(4, |_| {});
+        c.lookup(0); // 0 is now MRU; 4 is LRU.
+        let evicted = c.insert(8, |_| {}).expect("set full");
+        assert_eq!(evicted.addr, 4);
+        assert!(c.peek(0).is_some());
+        assert!(c.peek(4).is_none());
+    }
+
+    #[test]
+    fn omv_lines_are_invisible_to_lookup() {
+        let mut c = tiny();
+        c.insert(0, |l| l.omv = true);
+        assert!(c.lookup(0).is_none(), "OMV invisible");
+        assert!(c.peek_omv(0).is_some());
+        assert!(c.take_omv(0));
+        assert!(!c.take_omv(0));
+    }
+
+    #[test]
+    fn invalidate_returns_line_state() {
+        let mut c = tiny();
+        c.insert(3, |l| {
+            l.dirty = true;
+            l.is_pm = true;
+        });
+        let line = c.invalidate(3).unwrap();
+        assert!(line.dirty && line.is_pm);
+        assert!(c.peek(3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already-present")]
+    fn double_insert_panics() {
+        let mut c = tiny();
+        c.insert(5, |_| {});
+        c.insert(5, |_| {});
+    }
+
+    #[test]
+    fn count_valid_predicate() {
+        let mut c = tiny();
+        c.insert(0, |l| {
+            l.dirty = true;
+            l.is_pm = true;
+        });
+        c.insert(1, |l| l.dirty = true);
+        c.insert(2, |_| {});
+        assert_eq!(c.count_valid(|l| l.dirty && l.is_pm), 1);
+        assert_eq!(c.count_valid(|l| l.dirty), 2);
+        assert_eq!(c.capacity_lines(), 8);
+    }
+}

@@ -1,0 +1,117 @@
+//! Cache configuration (paper Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (64 throughout the paper).
+    pub line_bytes: usize,
+    /// Access latency in core cycles.
+    pub latency_cycles: u64,
+}
+
+impl CacheConfig {
+    /// Table I L1: 64 KB, 2-way, 1 cycle.
+    pub fn paper_l1() -> Self {
+        CacheConfig {
+            capacity_bytes: 64 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            latency_cycles: 1,
+        }
+    }
+
+    /// Table I shared LLC: 4 MB, 32-way, 14 cycles.
+    pub fn paper_llc() -> Self {
+        CacheConfig {
+            capacity_bytes: 4 * 1024 * 1024,
+            ways: 32,
+            line_bytes: 64,
+            latency_cycles: 14,
+        }
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn sets(&self) -> usize {
+        let lines = self.capacity_bytes / self.line_bytes;
+        assert_eq!(
+            self.capacity_bytes % self.line_bytes,
+            0,
+            "capacity must be a multiple of the line size"
+        );
+        assert_eq!(lines % self.ways, 0, "lines must divide into ways");
+        lines / self.ways
+    }
+
+    /// Total line count.
+    pub fn lines(&self) -> usize {
+        self.capacity_bytes / self.line_bytes
+    }
+}
+
+/// The full hierarchy: per-core L1s over a shared LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Number of cores (= number of L1 caches). Table I: 4.
+    pub cores: usize,
+    /// L1 configuration.
+    pub l1: CacheConfig,
+    /// LLC configuration.
+    pub llc: CacheConfig,
+    /// Whether the SAM/OMV machinery is active (the proposal) or not
+    /// (baseline / ablation).
+    pub omv_enabled: bool,
+}
+
+impl HierarchyConfig {
+    /// The paper's hierarchy: 4 cores, 64 KB 2-way L1s, 4 MB 32-way LLC.
+    pub fn paper(omv_enabled: bool) -> Self {
+        HierarchyConfig {
+            cores: 4,
+            l1: CacheConfig::paper_l1(),
+            llc: CacheConfig::paper_llc(),
+            omv_enabled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheConfig::paper_l1().sets(), 512);
+        assert_eq!(CacheConfig::paper_l1().lines(), 1024);
+        assert_eq!(CacheConfig::paper_llc().sets(), 2048);
+        assert_eq!(CacheConfig::paper_llc().lines(), 65536);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn bad_geometry_panics() {
+        let c = CacheConfig {
+            capacity_bytes: 64 * 1024,
+            ways: 3,
+            line_bytes: 64,
+            latency_cycles: 1,
+        };
+        let _ = c.sets();
+    }
+
+    #[test]
+    fn hierarchy_default() {
+        let h = HierarchyConfig::paper(true);
+        assert_eq!(h.cores, 4);
+        assert!(h.omv_enabled);
+    }
+}

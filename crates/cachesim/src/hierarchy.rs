@@ -1,0 +1,356 @@
+//! The full cache hierarchy: per-core L1s over the shared SAM/OMV LLC.
+
+use crate::cache::SetAssocCache;
+use crate::config::HierarchyConfig;
+use crate::llc::{Llc, WritebackOutcome};
+use crate::stats::CacheStats;
+
+/// A block write emitted toward the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemWrite {
+    /// Block address.
+    pub addr: u64,
+    /// Whether the block belongs to persistent memory.
+    pub is_pm: bool,
+    /// OMV resolution (see [`WritebackOutcome::omv_served`]). A PM write
+    /// with `Some(false)` costs an extra memory read to fetch the old
+    /// value before the write can carry `old ⊕ new`.
+    pub omv_served: Option<bool>,
+}
+
+impl From<WritebackOutcome> for MemWrite {
+    fn from(w: WritebackOutcome) -> Self {
+        MemWrite {
+            addr: w.addr,
+            is_pm: w.is_pm,
+            omv_served: w.omv_served,
+        }
+    }
+}
+
+/// What a cache operation requires of the memory system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemActions {
+    /// The access hit in L1.
+    pub l1_hit: bool,
+    /// LLC lookup result, when one happened.
+    pub llc_hit: Option<bool>,
+    /// Demand block reads to issue `(addr, is_pm)`.
+    pub mem_reads: Vec<(u64, bool)>,
+    /// Block writes to issue.
+    pub mem_writes: Vec<MemWrite>,
+}
+
+/// Per-core L1 caches over a shared LLC (paper Table I: 4 cores, 64 KB
+/// 2-way L1s, one 4 MB 32-way LLC).
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    l1s: Vec<SetAssocCache>,
+    llc: Llc,
+    l1_stats: Vec<CacheStats>,
+}
+
+impl Hierarchy {
+    /// An empty hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        Hierarchy {
+            cfg,
+            l1s: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
+            llc: Llc::new(cfg.llc, cfg.omv_enabled),
+            l1_stats: vec![CacheStats::default(); cfg.cores],
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// A load by `core` from block `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn load(&mut self, core: usize, addr: u64, is_pm: bool) -> MemActions {
+        self.access(core, addr, is_pm, false)
+    }
+
+    /// A store by `core` to block `addr` (write-allocate, write-back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn store(&mut self, core: usize, addr: u64, is_pm: bool) -> MemActions {
+        self.access(core, addr, is_pm, true)
+    }
+
+    fn access(&mut self, core: usize, addr: u64, is_pm: bool, is_store: bool) -> MemActions {
+        assert!(core < self.cfg.cores, "core {core} out of range");
+        let mut acts = MemActions::default();
+        if let Some(line) = self.l1s[core].lookup(addr) {
+            if is_store {
+                line.dirty = true;
+            }
+            self.l1_stats[core].record(true);
+            acts.l1_hit = true;
+            return acts;
+        }
+        self.l1_stats[core].record(false);
+
+        // L1 miss → LLC.
+        let llc_hit = self.llc.read(addr);
+        acts.llc_hit = Some(llc_hit);
+        if !llc_hit {
+            acts.mem_reads.push((addr, is_pm));
+            for wb in self.llc.fill(addr, is_pm) {
+                acts.mem_writes.push(wb.into());
+            }
+        }
+
+        // Fill L1; a dirty victim writes back into the LLC.
+        let evicted = self.l1s[core].insert(addr, |l| {
+            l.dirty = is_store;
+            l.is_pm = is_pm;
+        });
+        if let Some(v) = evicted {
+            if v.dirty {
+                for wb in self.llc.writeback_from_l1(v.addr, v.is_pm) {
+                    acts.mem_writes.push(wb.into());
+                }
+            }
+        }
+        acts
+    }
+
+    /// A cache-line clean (`clwb`) by `core` of block `addr`: dirty data
+    /// anywhere in the hierarchy is written to memory; copies stay valid
+    /// and clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn clwb(&mut self, core: usize, addr: u64, is_pm: bool) -> MemActions {
+        assert!(core < self.cfg.cores, "core {core} out of range");
+        let mut acts = MemActions::default();
+        // Any core's L1 may hold the dirty copy; clwb is coherent.
+        let mut l1_dirty = false;
+        for l1 in &mut self.l1s {
+            if let Some(line) = l1.lookup(addr) {
+                if line.dirty {
+                    l1_dirty = true;
+                    line.dirty = false;
+                }
+            }
+        }
+        if l1_dirty {
+            // Dirty block passes through the LLC on its way to memory.
+            if let Some(wb) = self.llc.clean(addr, is_pm, true) {
+                acts.mem_writes.push(wb.into());
+            }
+        } else if let Some(wb) = self.llc.clean(addr, is_pm, false) {
+            acts.mem_writes.push(wb.into());
+        }
+        acts
+    }
+
+    /// A cache-line flush (`clflush`): like [`Hierarchy::clwb`] but also
+    /// invalidates all copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn clflush(&mut self, core: usize, addr: u64, is_pm: bool) -> MemActions {
+        let acts = self.clwb(core, addr, is_pm);
+        for l1 in &mut self.l1s {
+            l1.invalidate(addr);
+        }
+        // The LLC copy was cleaned by the clwb above, so dropping it
+        // loses nothing.
+        self.llc.invalidate_visible(addr);
+        acts
+    }
+
+    /// Fraction of all cache lines (L1s + LLC) holding dirty
+    /// persistent-memory blocks — the Figure 10 metric.
+    pub fn dirty_pm_fraction(&self) -> f64 {
+        let mut dirty = 0usize;
+        let mut total = 0usize;
+        for l1 in &self.l1s {
+            dirty += l1.count_valid(|l| l.dirty && l.is_pm);
+            total += l1.capacity_lines();
+        }
+        dirty += self.llc.cache().count_valid(|l| l.dirty && l.is_pm);
+        total += self.llc.cache().capacity_lines();
+        dirty as f64 / total as f64
+    }
+
+    /// The LLC statistics (including OMV hit/miss counts — Figure 18).
+    pub fn llc_stats(&self) -> &CacheStats {
+        self.llc.stats()
+    }
+
+    /// L1 statistics for one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn l1_stats(&self, core: usize) -> &CacheStats {
+        &self.l1_stats[core]
+    }
+
+    /// Direct access to the LLC (tests, occupancy probes).
+    pub fn llc(&self) -> &Llc {
+        &self.llc
+    }
+
+    /// Zeroes all hit/miss/OMV counters while keeping cache contents —
+    /// called at the warmup/measurement boundary (paper §VI).
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.l1_stats {
+            *s = CacheStats::default();
+        }
+        self.llc.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HierarchyConfig;
+
+    fn h() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig::paper(true))
+    }
+
+    #[test]
+    fn cold_load_misses_everywhere() {
+        let mut hh = h();
+        let acts = hh.load(0, 42, true);
+        assert!(!acts.l1_hit);
+        assert_eq!(acts.llc_hit, Some(false));
+        assert_eq!(acts.mem_reads, vec![(42, true)]);
+        // Warm now.
+        let acts2 = hh.load(0, 42, true);
+        assert!(acts2.l1_hit);
+    }
+
+    #[test]
+    fn cross_core_shares_llc() {
+        let mut hh = h();
+        hh.load(0, 42, false);
+        let acts = hh.load(1, 42, false);
+        assert!(!acts.l1_hit);
+        assert_eq!(acts.llc_hit, Some(true));
+        assert!(acts.mem_reads.is_empty());
+    }
+
+    #[test]
+    fn store_load_clwb_cycle_serves_omv() {
+        let mut hh = h();
+        hh.load(0, 7, true); // fill: LLC has SAM copy
+        hh.store(0, 7, true); // dirty in L1
+        let acts = hh.clwb(0, 7, true);
+        assert_eq!(acts.mem_writes.len(), 1);
+        let w = acts.mem_writes[0];
+        assert_eq!((w.addr, w.is_pm, w.omv_served), (7, true, Some(true)));
+        // Second clwb: nothing dirty anymore.
+        let acts2 = hh.clwb(0, 7, true);
+        assert!(acts2.mem_writes.is_empty());
+    }
+
+    #[test]
+    fn store_without_prior_load_allocates() {
+        let mut hh = h();
+        let acts = hh.store(0, 9, true);
+        // Write-allocate: fetch for ownership.
+        assert_eq!(acts.mem_reads, vec![(9, true)]);
+        let acts2 = hh.clwb(0, 9, true);
+        assert_eq!(acts2.mem_writes.len(), 1);
+        // The fill put a SAM copy in LLC, so the OMV is served.
+        assert_eq!(acts2.mem_writes[0].omv_served, Some(true));
+    }
+
+    #[test]
+    fn clflush_invalidates() {
+        let mut hh = h();
+        hh.load(0, 11, true);
+        hh.store(0, 11, true);
+        let acts = hh.clflush(0, 11, true);
+        assert_eq!(acts.mem_writes.len(), 1);
+        // Fully gone: the next load misses to memory.
+        let acts2 = hh.load(0, 11, true);
+        assert_eq!(acts2.llc_hit, Some(false));
+        assert_eq!(acts2.mem_reads.len(), 1);
+    }
+
+    #[test]
+    fn dirty_pm_fraction_tracks_stores() {
+        let mut hh = h();
+        assert_eq!(hh.dirty_pm_fraction(), 0.0);
+        for a in 0..100 {
+            hh.load(0, a, true);
+            hh.store(0, a, true);
+        }
+        let f = hh.dirty_pm_fraction();
+        assert!(f > 0.0);
+        // 100 dirty lines out of 4*1024 + 65536.
+        let expect = 100.0 / (4.0 * 1024.0 + 65536.0);
+        assert!((f - expect).abs() < 3.0 * expect, "f={f}, expect≈{expect}");
+        // Cleaning drops it to zero.
+        for a in 0..100 {
+            hh.clwb(0, a, true);
+        }
+        assert_eq!(hh.dirty_pm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dram_stores_do_not_count_as_dirty_pm() {
+        let mut hh = h();
+        for a in 0..50 {
+            hh.store(0, a, false);
+        }
+        assert_eq!(hh.dirty_pm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn omv_hit_rate_high_under_load_store_clean_pattern() {
+        let mut hh = h();
+        for round in 0..5u64 {
+            for a in 0..200u64 {
+                let addr = a + round * 7;
+                hh.load(0, addr, true);
+                hh.store(0, addr, true);
+                hh.clwb(0, addr, true);
+            }
+        }
+        let s = hh.llc_stats();
+        assert!(s.omv_hit_rate() > 0.95, "rate {}", s.omv_hit_rate());
+    }
+
+    #[test]
+    fn l1_eviction_writes_back_to_llc_preserving_omv() {
+        let mut hh = h();
+        // L1: 512 sets × 2 ways. Two addresses in the same L1 set:
+        // a and a + 512.
+        let a = 3u64;
+        hh.load(0, a, true);
+        hh.store(0, a, true);
+        // Evict from L1 by loading two more lines in the same set.
+        hh.load(0, a + 512, true);
+        hh.load(0, a + 1024, true);
+        // The dirty line was written back into the LLC; its OMV preserved.
+        assert!(hh.llc().cache().peek_omv(a).is_some());
+        // clwb of the LLC-dirty line finds the OMV.
+        let acts = hh.clwb(0, a, true);
+        assert_eq!(acts.mem_writes.len(), 1);
+        assert_eq!(acts.mem_writes[0].omv_served, Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_panics() {
+        let mut hh = h();
+        let _ = hh.load(9, 0, false);
+    }
+}

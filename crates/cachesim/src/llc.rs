@@ -1,0 +1,349 @@
+//! The last-level cache with SAM/OMV bits (paper §V-D).
+
+use crate::cache::SetAssocCache;
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+
+/// A persistent-memory block write leaving the LLC toward memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WritebackOutcome {
+    /// Block address.
+    pub addr: u64,
+    /// Whether the block belongs to persistent memory.
+    pub is_pm: bool,
+    /// For PM writes with OMV enabled: whether the old memory value was
+    /// served from the LLC (`Some(true)`) or must be fetched from memory
+    /// (`Some(false)`). `None` for DRAM writes or with OMV disabled.
+    pub omv_served: Option<bool>,
+}
+
+/// The shared LLC with the proposal's SAM ("SameAsMem") and OMV ("Old
+/// Memory Value") tag bits.
+#[derive(Debug, Clone)]
+pub struct Llc {
+    cache: SetAssocCache,
+    omv_enabled: bool,
+    stats: CacheStats,
+}
+
+impl Llc {
+    /// An empty LLC; `omv_enabled` selects the proposal's OMV machinery.
+    pub fn new(cfg: CacheConfig, omv_enabled: bool) -> Self {
+        Llc {
+            cache: SetAssocCache::new(cfg),
+            omv_enabled,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Read lookup for a demand access. Returns whether it hit.
+    pub fn read(&mut self, addr: u64) -> bool {
+        let hit = self.cache.lookup(addr).is_some();
+        self.stats.record(hit);
+        hit
+    }
+
+    /// Fills `addr` after a memory fetch. The fresh line equals memory, so
+    /// SAM is set. Dirty victims become writebacks.
+    pub fn fill(&mut self, addr: u64, is_pm: bool) -> Vec<WritebackOutcome> {
+        let mut out = Vec::new();
+        if self.cache.peek(addr).is_some() {
+            // Raced fill (e.g. two cores missed on the same block): the
+            // line is already present; nothing to do.
+            return out;
+        }
+        let evicted = self.cache.insert(addr, |l| {
+            l.sam = true;
+            l.is_pm = is_pm;
+        });
+        if let Some(v) = evicted {
+            if v.dirty {
+                out.push(self.memory_write(v.addr, v.is_pm));
+            }
+        }
+        out
+    }
+
+    /// A dirty writeback from an upper-level cache lands in the LLC.
+    /// If it hits a SAM line and OMV is enabled, the SAM line is preserved
+    /// as the OMV and a different way receives the dirty data (§V-D).
+    pub fn writeback_from_l1(&mut self, addr: u64, is_pm: bool) -> Vec<WritebackOutcome> {
+        let mut out = Vec::new();
+        let preserve = if let Some(line) = self.cache.lookup(addr) {
+            if line.sam && self.omv_enabled && is_pm && self.cache.peek_omv(addr).is_none() {
+                true
+            } else {
+                // Plain overwrite: the line no longer equals memory.
+                let line = self.cache.lookup(addr).expect("line just found");
+                line.dirty = true;
+                line.sam = false;
+                line.is_pm = is_pm;
+                return out;
+            }
+        } else {
+            false
+        };
+        if preserve {
+            // Convert the SAM line into an invisible OMV line…
+            let line = self.cache.lookup(addr).expect("line just found");
+            line.omv = true;
+            line.sam = false;
+            line.dirty = false;
+            // …and allocate a different way for the dirty data.
+            let evicted = self.cache.insert(addr, |l| {
+                l.dirty = true;
+                l.is_pm = is_pm;
+            });
+            if let Some(v) = evicted {
+                if v.dirty {
+                    out.push(self.memory_write(v.addr, v.is_pm));
+                }
+            }
+        } else {
+            // No previous copy: allocate dirty.
+            let evicted = self.cache.insert(addr, |l| {
+                l.dirty = true;
+                l.is_pm = is_pm;
+            });
+            if let Some(v) = evicted {
+                if v.dirty {
+                    out.push(self.memory_write(v.addr, v.is_pm));
+                }
+            }
+        }
+        out
+    }
+
+    /// Cleans `addr` (clwb semantics). `through` carries dirty data coming
+    /// straight from an upper-level cache; otherwise the LLC's own line is
+    /// cleaned if dirty. Returns the memory write, if one is needed.
+    pub fn clean(&mut self, addr: u64, is_pm: bool, through: bool) -> Option<WritebackOutcome> {
+        let line_state = self.cache.peek(addr).copied();
+        match line_state {
+            Some(line) => {
+                if !line.dirty && !through {
+                    return None; // already equals memory: no write needed
+                }
+                // The old value can come from an OMV line, or — for dirty
+                // data passing through from an upper-level cache — from a
+                // SAM line that still equals memory (§V-D).
+                let omv_served = if is_pm && self.omv_enabled {
+                    let hit = self.cache.take_omv(addr) || (through && line.sam);
+                    self.stats.record_omv(hit);
+                    Some(hit)
+                } else {
+                    None
+                };
+                let l = self.cache.lookup(addr).expect("line present");
+                l.dirty = false;
+                l.sam = true;
+                l.is_pm = is_pm;
+                Some(WritebackOutcome {
+                    addr,
+                    is_pm,
+                    omv_served,
+                })
+            }
+            None if through => {
+                // Dirty block passing through without a visible LLC copy;
+                // an invisible OMV line may still hold the old value.
+                let omv_served = if is_pm && self.omv_enabled {
+                    let hit = self.cache.take_omv(addr);
+                    self.stats.record_omv(hit);
+                    Some(hit)
+                } else {
+                    None
+                };
+                Some(WritebackOutcome {
+                    addr,
+                    is_pm,
+                    omv_served,
+                })
+            }
+            None => None,
+        }
+    }
+
+    /// Accounts one block write to memory, resolving the OMV search for
+    /// persistent-memory blocks (§V-D): a matching OMV line is consumed;
+    /// with no OMV line the old value must be fetched from memory.
+    fn memory_write(&mut self, addr: u64, is_pm: bool) -> WritebackOutcome {
+        let omv_served = if is_pm && self.omv_enabled {
+            let hit = self.cache.take_omv(addr);
+            self.stats.record_omv(hit);
+            Some(hit)
+        } else {
+            None
+        };
+        WritebackOutcome {
+            addr,
+            is_pm,
+            omv_served,
+        }
+    }
+
+    /// Whether a visible line for `addr` exists (no LRU update).
+    pub fn contains(&self, addr: u64) -> bool {
+        self.cache.peek(addr).is_some()
+    }
+
+    /// Invalidates the visible line for `addr` (clflush); returns whether
+    /// a line was dropped. The caller must have cleaned dirty data first.
+    pub fn invalidate_visible(&mut self, addr: u64) -> bool {
+        self.cache.invalidate(addr).is_some()
+    }
+
+    /// Statistics (hits/misses, OMV hits/misses).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Zeroes the counters while keeping cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// The underlying cache array (occupancy sampling).
+    pub fn cache(&self) -> &SetAssocCache {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn llc() -> Llc {
+        // Small: 16 sets × 4 ways.
+        Llc::new(
+            CacheConfig {
+                capacity_bytes: 64 * 64,
+                ways: 4,
+                line_bytes: 64,
+                latency_cycles: 14,
+            },
+            true,
+        )
+    }
+
+    #[test]
+    fn fill_sets_sam() {
+        let mut l = llc();
+        assert!(!l.read(5));
+        l.fill(5, true);
+        assert!(l.read(5));
+        assert!(l.cache.peek(5).unwrap().sam);
+    }
+
+    #[test]
+    fn writeback_to_sam_line_preserves_omv() {
+        let mut l = llc();
+        l.fill(5, true);
+        let wbs = l.writeback_from_l1(5, true);
+        assert!(wbs.is_empty());
+        // Visible line is dirty, OMV line exists.
+        let vis = l.cache.peek(5).unwrap();
+        assert!(vis.dirty && !vis.sam);
+        assert!(l.cache.peek_omv(5).is_some());
+    }
+
+    #[test]
+    fn clean_consumes_omv() {
+        let mut l = llc();
+        l.fill(5, true);
+        l.writeback_from_l1(5, true);
+        let wb = l.clean(5, true, false).expect("dirty line needs a write");
+        assert_eq!(wb.omv_served, Some(true));
+        assert!(l.cache.peek_omv(5).is_none(), "OMV consumed");
+        // Line is clean and SAM again.
+        let vis = l.cache.peek(5).unwrap();
+        assert!(!vis.dirty && vis.sam);
+        // Cleaning again: no memory write.
+        assert!(l.clean(5, true, false).is_none());
+    }
+
+    #[test]
+    fn clean_without_omv_misses() {
+        let mut l = llc();
+        // Dirty allocation with no prior SAM copy → no OMV to preserve.
+        l.writeback_from_l1(9, true);
+        let wb = l.clean(9, true, false).unwrap();
+        assert_eq!(wb.omv_served, Some(false));
+        assert_eq!(l.stats().omv_misses, 1);
+    }
+
+    #[test]
+    fn dram_writes_have_no_omv_accounting() {
+        let mut l = llc();
+        l.writeback_from_l1(9, false);
+        let wb = l.clean(9, false, false).unwrap();
+        assert_eq!(wb.omv_served, None);
+        assert_eq!(l.stats().omv_hits + l.stats().omv_misses, 0);
+    }
+
+    #[test]
+    fn omv_disabled_baseline() {
+        let mut l = Llc::new(
+            CacheConfig {
+                capacity_bytes: 64 * 64,
+                ways: 4,
+                line_bytes: 64,
+                latency_cycles: 14,
+            },
+            false,
+        );
+        l.fill(5, true);
+        l.writeback_from_l1(5, true);
+        assert!(l.cache.peek_omv(5).is_none(), "no OMV machinery");
+        let wb = l.clean(5, true, false).unwrap();
+        assert_eq!(wb.omv_served, None);
+    }
+
+    #[test]
+    fn second_writeback_does_not_duplicate_omv() {
+        let mut l = llc();
+        l.fill(5, true);
+        l.writeback_from_l1(5, true);
+        // The visible line is dirty now; another writeback just overwrites.
+        l.writeback_from_l1(5, true);
+        let omv_count = l
+            .cache
+            .iter_valid()
+            .filter(|ln| ln.omv && ln.addr == 5)
+            .count();
+        assert_eq!(omv_count, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_with_omv_search() {
+        let mut l = llc();
+        // Fill set 0 (addresses ≡ 0 mod 16) with dirty PM lines.
+        for i in 0..4u64 {
+            l.writeback_from_l1(i * 16, true);
+        }
+        // One more forces a dirty eviction.
+        let wbs = l.writeback_from_l1(4 * 16, true);
+        assert_eq!(wbs.len(), 1);
+        assert!(wbs[0].is_pm);
+        assert_eq!(wbs[0].omv_served, Some(false), "no OMV was present");
+    }
+
+    #[test]
+    fn clean_through_uses_sam_copy() {
+        let mut l = llc();
+        l.fill(7, true); // SAM line in LLC; dirty data lives in L1.
+        let wb = l.clean(7, true, true).unwrap();
+        // The SAM line provided the old value: the paper counts this as an
+        // LLC-served OMV.
+        assert_eq!(wb.omv_served, Some(true));
+        let vis = l.cache.peek(7).unwrap();
+        assert!(vis.sam && !vis.dirty);
+    }
+
+    #[test]
+    fn clean_through_with_no_copy_misses() {
+        let mut l = llc();
+        let wb = l.clean(11, true, true).unwrap();
+        assert_eq!(wb.omv_served, Some(false));
+    }
+}

@@ -1,0 +1,73 @@
+//! Cache statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss and OMV counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// PM writes whose old memory value was served from the LLC.
+    pub omv_hits: u64,
+    /// PM writes that must fetch the old value from memory.
+    pub omv_misses: u64,
+}
+
+impl CacheStats {
+    pub(crate) fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    pub(crate) fn record_omv(&mut self, hit: bool) {
+        if hit {
+            self.omv_hits += 1;
+        } else {
+            self.omv_misses += 1;
+        }
+    }
+
+    /// Demand hit rate (0 when no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// OMV service rate: the Figure 18 metric (0 when no PM writes).
+    pub fn omv_hit_rate(&self) -> f64 {
+        let total = self.omv_hits + self.omv_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.omv_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.omv_hit_rate(), 0.0);
+        s.record(true);
+        s.record(true);
+        s.record(false);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        s.record_omv(true);
+        s.record_omv(false);
+        assert_eq!(s.omv_hit_rate(), 0.5);
+    }
+}

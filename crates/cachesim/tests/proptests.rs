@@ -1,0 +1,133 @@
+//! Property tests for the cache hierarchy and the SAM/OMV protocol.
+
+use pmck_cachesim::{CacheConfig, Hierarchy, HierarchyConfig, Llc};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_hierarchy() -> Hierarchy {
+    Hierarchy::new(HierarchyConfig {
+        cores: 2,
+        l1: CacheConfig {
+            capacity_bytes: 2 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            latency_cycles: 1,
+        },
+        llc: CacheConfig {
+            capacity_bytes: 16 * 1024,
+            ways: 4,
+            line_bytes: 64,
+            latency_cycles: 14,
+        },
+        omv_enabled: true,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn at_most_one_omv_line_per_address(seed in any::<u64>(), ops in 50usize..400) {
+        let mut h = small_hierarchy();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..ops {
+            let addr = rng.gen_range(0..512u64);
+            let core = rng.gen_range(0..2);
+            match rng.gen_range(0..3) {
+                0 => { h.load(core, addr, true); }
+                1 => { h.store(core, addr, true); }
+                _ => { h.clwb(core, addr, true); }
+            }
+            // Invariant: never two OMV lines for one address, and an OMV
+            // line never coexists without having had a dirty twin.
+            for a in 0..512u64 {
+                let omv_count = h
+                    .llc()
+                    .cache()
+                    .iter_valid()
+                    .filter(|l| l.omv && l.addr == a)
+                    .count();
+                prop_assert!(omv_count <= 1, "addr {a}: {omv_count} OMV lines");
+            }
+        }
+    }
+
+    #[test]
+    fn second_load_of_same_address_hits(addr in 0u64..100_000) {
+        let mut h = small_hierarchy();
+        h.load(0, addr, true);
+        let acts = h.load(0, addr, true);
+        prop_assert!(acts.l1_hit);
+        prop_assert!(acts.mem_reads.is_empty());
+    }
+
+    #[test]
+    fn clean_hierarchy_emits_no_spurious_writes(seed in any::<u64>()) {
+        // Loads alone (no stores) must never produce memory writes.
+        let mut h = small_hierarchy();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..500 {
+            let addr = rng.gen_range(0..4096u64);
+            let acts = h.load(rng.gen_range(0..2), addr, rng.gen_bool(0.5));
+            prop_assert!(acts.mem_writes.is_empty(), "clean line evictions are silent");
+        }
+    }
+
+    #[test]
+    fn every_dirty_store_is_written_back_exactly_once(seed in any::<u64>(), n in 20usize..150) {
+        // Store n distinct PM addresses, then clean them all: the number
+        // of PM memory writes equals the number of dirtied blocks.
+        let mut h = small_hierarchy();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let addrs: std::collections::BTreeSet<u64> =
+            (0..n).map(|_| rng.gen_range(0..1024u64)).collect();
+        let mut writes = 0usize;
+        for &a in &addrs {
+            let acts = h.store(0, a, true);
+            writes += acts.mem_writes.iter().filter(|w| w.is_pm).count();
+        }
+        for &a in &addrs {
+            let acts = h.clwb(0, a, true);
+            writes += acts.mem_writes.iter().filter(|w| w.is_pm).count();
+        }
+        prop_assert_eq!(writes, addrs.len());
+        // Cleaning again produces nothing.
+        for &a in &addrs {
+            let acts = h.clwb(0, a, true);
+            prop_assert!(acts.mem_writes.is_empty());
+        }
+    }
+}
+
+#[test]
+fn llc_eviction_pressure_never_leaks_omv_lines() {
+    // Saturate one set far beyond its ways; OMV lines must be evictable
+    // and the cache must stay internally consistent.
+    let mut llc = Llc::new(
+        CacheConfig {
+            capacity_bytes: 8 * 64,
+            ways: 2,
+            line_bytes: 64,
+            latency_cycles: 1,
+        },
+        true,
+    );
+    let mut rng = StdRng::seed_from_u64(9);
+    for i in 0..400u64 {
+        let addr = (i % 40) * 4; // all map to set 0 (4 sets)
+        match rng.gen_range(0..3) {
+            0 => {
+                llc.fill(addr, true);
+            }
+            1 => {
+                llc.writeback_from_l1(addr, true);
+            }
+            _ => {
+                llc.clean(addr, true, false);
+            }
+        }
+        let valid = llc.cache().iter_valid().count();
+        assert!(valid <= 8, "capacity respected, got {valid}");
+    }
+}

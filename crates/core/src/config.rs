@@ -1,0 +1,58 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layout::ChipkillLayout;
+
+/// Configuration of the chipkill-correct engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipkillConfig {
+    /// Rank/ECC geometry.
+    pub layout: ChipkillLayout,
+    /// Maximum RS corrections accepted at runtime before distrusting the
+    /// result and falling back to VLEW decoding (paper §V-C: 2).
+    pub threshold: usize,
+    /// Whether VLEW code-bit updates coalesce in the per-chip ECC Update
+    /// Registerfile (EUR, §V-D). Disabling models the no-coalescing
+    /// ablation; functional results are identical either way.
+    pub eur_enabled: bool,
+}
+
+impl Default for ChipkillConfig {
+    fn default() -> Self {
+        ChipkillConfig {
+            layout: ChipkillLayout::default(),
+            threshold: 2,
+            eur_enabled: true,
+        }
+    }
+}
+
+impl ChipkillConfig {
+    /// The paper's configuration with a different acceptance threshold
+    /// (for the threshold ablation of §V-C).
+    pub fn with_threshold(threshold: usize) -> Self {
+        ChipkillConfig {
+            threshold,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ChipkillConfig::default();
+        assert_eq!(c.threshold, 2);
+        assert!(c.eur_enabled);
+        assert_eq!(c.layout.blocks_per_vlew(), 32);
+    }
+
+    #[test]
+    fn threshold_override() {
+        assert_eq!(ChipkillConfig::with_threshold(4).threshold, 4);
+    }
+}

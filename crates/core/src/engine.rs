@@ -1,0 +1,728 @@
+//! The chipkill-correct engine: runtime read/write paths over the
+//! nine-chip functional rank.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use pmck_bch::{BchCode, BitPoly};
+use pmck_nvram::{BitErrorInjector, ChipFailureKind, FailedChip};
+use pmck_rs::{RsCode, ThresholdOutcome};
+use rand::Rng;
+
+use crate::config::ChipkillConfig;
+use crate::layout::ChipkillLayout;
+use crate::rank::{apply_code_delta, ChipStore, EurModel};
+use crate::stats::CoreStats;
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreError {
+    /// Block address beyond the configured capacity.
+    OutOfRange(u64),
+    /// The block was disabled (worn out) and must not be accessed.
+    Disabled(u64),
+    /// The error pattern exceeds the scheme's combined correction
+    /// capability (a detected uncorrectable error — a crash, not SDC).
+    Uncorrectable,
+    /// More than one chip appears failed; the rank is lost.
+    MultiChipFailure,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::OutOfRange(a) => write!(f, "block address {a} out of range"),
+            CoreError::Disabled(a) => write!(f, "block {a} is disabled"),
+            CoreError::Uncorrectable => write!(f, "uncorrectable error"),
+            CoreError::MultiChipFailure => write!(f, "multiple chip failures in one rank"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// How a read was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPath {
+    /// The per-block RS word was already a valid codeword.
+    Clean,
+    /// The RS tier corrected `corrections` symbols (≤ threshold).
+    RsCorrected {
+        /// Symbols corrected.
+        corrections: usize,
+    },
+    /// The RS result was distrusted; VLEW decoding corrected the stripe.
+    VlewFallback {
+        /// Bit errors corrected across the stripe's VLEWs.
+        bits_corrected: usize,
+    },
+    /// A failed chip was reconstructed through RS erasure correction.
+    ChipkillErasure {
+        /// The failed chip index (0..8; 8 is the parity chip).
+        chip: usize,
+    },
+}
+
+/// A successful block read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// The 64 B block contents.
+    pub data: [u8; 64],
+    /// The path that produced them.
+    pub path: ReadPath,
+}
+
+/// The proposal's persistent-memory rank: eight data chips plus one parity
+/// chip, VLEW-protected per chip and RS-protected per block.
+///
+/// See the crate-level docs for the scheme; see [`ChipkillMemory::new`]
+/// for construction.
+#[derive(Debug, Clone)]
+pub struct ChipkillMemory {
+    cfg: ChipkillConfig,
+    layout: ChipkillLayout,
+    num_blocks: u64,
+    stripes: usize,
+    pub(crate) chips: Vec<ChipStore>,
+    pub(crate) vlew: BchCode,
+    pub(crate) rs: RsCode,
+    pub(crate) eur: EurModel,
+    /// Ground-truth injected failure (set by [`ChipkillMemory::fail_chip`]).
+    failed_chip: Option<FailedChip>,
+    /// Failure detected by decode logic (drives erasure reads).
+    pub(crate) known_failed: Option<usize>,
+    disabled: HashSet<u64>,
+    stats: CoreStats,
+}
+
+impl ChipkillMemory {
+    /// Creates a zero-initialized rank holding `num_blocks` 64 B blocks.
+    /// `num_blocks` is rounded up to a whole number of 32-block stripes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks == 0`.
+    pub fn new(num_blocks: u64, cfg: ChipkillConfig) -> Self {
+        assert!(num_blocks > 0, "capacity must be nonzero");
+        let layout = cfg.layout;
+        let bpv = layout.blocks_per_vlew() as u64;
+        let stripes = num_blocks.div_ceil(bpv) as usize;
+        let num_blocks = stripes as u64 * bpv;
+        let chips = (0..layout.total_chips())
+            .map(|_| ChipStore::new(stripes, &layout))
+            .collect();
+        ChipkillMemory {
+            cfg,
+            layout,
+            num_blocks,
+            stripes,
+            chips,
+            vlew: BchCode::vlew(),
+            rs: RsCode::per_block(),
+            eur: EurModel::default(),
+            failed_chip: None,
+            known_failed: None,
+            disabled: HashSet::new(),
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Capacity in blocks (rounded up to whole stripes).
+    pub fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    /// Number of 32-block stripes (VLEW groups).
+    pub fn stripes(&self) -> usize {
+        self.stripes
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// The configured layout.
+    pub fn layout(&self) -> &ChipkillLayout {
+        &self.layout
+    }
+
+    /// The chip failure detected so far, if any.
+    pub fn detected_failed_chip(&self) -> Option<usize> {
+        self.known_failed
+    }
+
+    /// The functional C factor measured by the EUR model (drains per
+    /// write); call [`ChipkillMemory::flush_eur`] first for an exact
+    /// value.
+    pub fn c_factor(&self) -> f64 {
+        self.eur.c_factor()
+    }
+
+    /// Number of dirty EUR registers (pending coalesced code updates).
+    pub fn eur_occupancy(&self) -> usize {
+        self.eur.occupancy()
+    }
+
+    fn check_addr(&self, addr: u64) -> Result<(), CoreError> {
+        if addr >= self.num_blocks {
+            return Err(CoreError::OutOfRange(addr));
+        }
+        if self.disabled.contains(&addr) {
+            return Err(CoreError::Disabled(addr));
+        }
+        Ok(())
+    }
+
+    /// Gathers the physical 72-byte RS word of a block: check bytes from
+    /// the parity chip at positions `0..8`, then each data chip's 8 bytes.
+    pub(crate) fn gather_block(&self, addr: u64) -> Vec<u8> {
+        let stripe = self.layout.stripe_of(addr);
+        let off = self.layout.offset_in_stripe(addr);
+        let mut word = vec![0u8; self.layout.rs_codeword_bytes()];
+        let parity_idx = self.layout.data_chips;
+        word[..self.layout.rs_check_bytes]
+            .copy_from_slice(self.chips[parity_idx].block_slice(stripe, off, &self.layout));
+        for c in 0..self.layout.data_chips {
+            let (s, e) = self.layout.rs_positions_of_data_chip(c);
+            word[s..e].copy_from_slice(self.chips[c].block_slice(stripe, off, &self.layout));
+        }
+        word
+    }
+
+    fn scatter_block(&mut self, addr: u64, word: &[u8]) {
+        let stripe = self.layout.stripe_of(addr);
+        let off = self.layout.offset_in_stripe(addr);
+        let parity_idx = self.layout.data_chips;
+        self.chips[parity_idx]
+            .block_slice_mut(stripe, off, &self.layout)
+            .copy_from_slice(&word[..self.layout.rs_check_bytes]);
+        for c in 0..self.layout.data_chips {
+            let (s, e) = self.layout.rs_positions_of_data_chip(c);
+            self.chips[c]
+                .block_slice_mut(stripe, off, &self.layout)
+                .copy_from_slice(&word[s..e]);
+        }
+    }
+
+    /// Builds the VLEW delta (parity-bit update) for an 8-byte change of
+    /// one chip at stripe offset `off`.
+    fn vlew_delta_for(&self, off: usize, delta8: &[u8]) -> BitPoly {
+        let mut data = BitPoly::zero(self.vlew.data_bits());
+        let base = off * self.layout.chip_bytes * 8;
+        for (i, &b) in delta8.iter().enumerate() {
+            for bit in 0..8 {
+                if b & (1 << bit) != 0 {
+                    data.set(base + i * 8 + bit, true);
+                }
+            }
+        }
+        self.vlew.parity(&data)
+    }
+
+    fn apply_chip_code_update(&mut self, chip: usize, stripe: usize, delta: &BitPoly) {
+        if self.cfg.eur_enabled {
+            self.eur.accumulate(chip, stripe, delta);
+        } else {
+            let layout = self.layout;
+            apply_code_delta(
+                self.chips[chip].vlew_code_mut(stripe, &layout),
+                delta,
+                &self.vlew,
+            );
+            self.eur.drains += 1;
+        }
+    }
+
+    /// Drains every pending EUR register into the code arrays (a full
+    /// "row close"; also required before scrubbing or measuring C).
+    pub fn flush_eur(&mut self) {
+        let layout = self.layout;
+        let code = self.vlew.clone();
+        for (c, s) in self.eur.pending_keys() {
+            let chip = &mut self.chips[c];
+            self.eur
+                .drain_into(c, s, chip.vlew_code_mut(s, &layout), &code);
+        }
+    }
+
+    /// Drains pending EUR registers touching `stripe` (a row close of
+    /// that row).
+    pub fn close_stripe(&mut self, stripe: usize) {
+        if !self.eur.stripe_dirty(stripe) {
+            return;
+        }
+        let layout = self.layout;
+        for c in 0..self.layout.total_chips() {
+            let code = self.vlew.clone();
+            let chip = &mut self.chips[c];
+            self.eur
+                .drain_into(c, stripe, chip.vlew_code_mut(stripe, &layout), &code);
+        }
+    }
+
+    /// Writes a block conventionally (raw data sent to the chips): the
+    /// stored old value is first corrected so the VLEW code update is
+    /// computed from a trusted `x'` (§IV-B/§V-E). Used at initialization
+    /// and after VLEW-corrected writebacks.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfRange`] / [`CoreError::Disabled`]; correction
+    /// failures of the old value surface as [`CoreError::Uncorrectable`].
+    pub fn write_block(&mut self, addr: u64, new: &[u8; 64]) -> Result<(), CoreError> {
+        self.check_addr(addr)?;
+        let old72 = self.corrected_word(addr)?;
+        let mut new72 = vec![0u8; 72];
+        new72[8..].copy_from_slice(new);
+        let check = self.rs.parity(new);
+        new72[..8].copy_from_slice(&check);
+        self.commit_write(addr, &old72, &new72);
+        self.eur.writes_seen += 1;
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    /// Writes a block through the proposal's bitwise-sum path (§V-D):
+    /// `sum = new ⊕ old_corrected` arrives at the chips, each of which
+    /// derives its new data by XORing the sum into its *stored* bytes and
+    /// derives its VLEW code update as `f(sum)`. Pre-existing cell errors
+    /// propagate one-to-one (they remain correctable); they are not
+    /// amplified.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfRange`] / [`CoreError::Disabled`].
+    pub fn write_block_sum(&mut self, addr: u64, sum: &[u8; 64]) -> Result<(), CoreError> {
+        self.check_addr(addr)?;
+        let stripe = self.layout.stripe_of(addr);
+        let off = self.layout.offset_in_stripe(addr);
+        // The controller computes the check-byte sum once; each chip then
+        // updates independently.
+        let check_sum = self.rs.parity(sum);
+        let parity_idx = self.layout.data_chips;
+        for c in 0..self.layout.data_chips {
+            let delta8: Vec<u8> = sum[c * 8..(c + 1) * 8].to_vec();
+            let layout = self.layout;
+            {
+                let slice = self.chips[c].block_slice_mut(stripe, off, &layout);
+                for (b, d) in slice.iter_mut().zip(&delta8) {
+                    *b ^= d;
+                }
+            }
+            if delta8.iter().any(|&d| d != 0) {
+                let delta = self.vlew_delta_for(off, &delta8);
+                self.apply_chip_code_update(c, stripe, &delta);
+            }
+        }
+        {
+            let layout = self.layout;
+            let slice = self.chips[parity_idx].block_slice_mut(stripe, off, &layout);
+            for (b, d) in slice.iter_mut().zip(&check_sum) {
+                *b ^= d;
+            }
+        }
+        if check_sum.iter().any(|&d| d != 0) {
+            let delta = self.vlew_delta_for(off, &check_sum);
+            self.apply_chip_code_update(parity_idx, stripe, &delta);
+        }
+        self.eur.writes_seen += 1;
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    fn commit_write(&mut self, addr: u64, old72: &[u8], new72: &[u8]) {
+        let stripe = self.layout.stripe_of(addr);
+        let off = self.layout.offset_in_stripe(addr);
+        let parity_idx = self.layout.data_chips;
+        // VLEW code updates from the corrected delta.
+        for c in 0..self.layout.data_chips {
+            let (s, e) = self.layout.rs_positions_of_data_chip(c);
+            let delta8: Vec<u8> = (s..e).map(|i| old72[i] ^ new72[i]).collect();
+            if delta8.iter().any(|&d| d != 0) {
+                let delta = self.vlew_delta_for(off, &delta8);
+                self.apply_chip_code_update(c, stripe, &delta);
+            }
+        }
+        let delta_check: Vec<u8> = (0..8).map(|i| old72[i] ^ new72[i]).collect();
+        if delta_check.iter().any(|&d| d != 0) {
+            let delta = self.vlew_delta_for(off, &delta_check);
+            self.apply_chip_code_update(parity_idx, stripe, &delta);
+        }
+        self.scatter_block(addr, new72);
+    }
+
+    /// Reads a block through the runtime path (§V-C, Figure 9): RS with
+    /// the acceptance threshold, VLEW fallback, chip-failure erasure
+    /// correction.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfRange`], [`CoreError::Disabled`],
+    /// [`CoreError::Uncorrectable`], [`CoreError::MultiChipFailure`].
+    pub fn read_block(&mut self, addr: u64) -> Result<ReadOutcome, CoreError> {
+        self.check_addr(addr)?;
+        self.stats.reads += 1;
+
+        // With a known-failed chip, go straight to erasure correction.
+        if let Some(chip) = self.known_failed {
+            let data = self.read_via_erasure(addr, chip)?;
+            self.stats.erasure_reads += 1;
+            return Ok(ReadOutcome {
+                data,
+                path: ReadPath::ChipkillErasure { chip },
+            });
+        }
+
+        let mut word = self.gather_block(addr);
+        match self
+            .rs
+            .decode_with_threshold(&mut word, self.cfg.threshold)
+            .expect("word length is correct")
+        {
+            ThresholdOutcome::Clean => {
+                self.stats.clean_reads += 1;
+                Ok(ReadOutcome {
+                    data: word[8..].try_into().expect("64 data bytes"),
+                    path: ReadPath::Clean,
+                })
+            }
+            ThresholdOutcome::Accepted { corrections } => {
+                self.stats.rs_accepted += 1;
+                self.stats.rs_corrections += corrections as u64;
+                Ok(ReadOutcome {
+                    data: word[8..].try_into().expect("64 data bytes"),
+                    path: ReadPath::RsCorrected { corrections },
+                })
+            }
+            ThresholdOutcome::Rejected(_) => {
+                self.stats.fallbacks += 1;
+                self.vlew_fallback_read(addr)
+            }
+        }
+    }
+
+    /// The VLEW fallback: decode every chip's VLEW for the stripe; if one
+    /// chip is uncorrectable, treat it as failed and erasure-correct.
+    fn vlew_fallback_read(&mut self, addr: u64) -> Result<ReadOutcome, CoreError> {
+        let stripe = self.layout.stripe_of(addr);
+        self.close_stripe(stripe);
+        let mut corrected: Vec<Option<Vec<u8>>> = Vec::new();
+        let mut failed: Vec<usize> = Vec::new();
+        let mut bits = 0usize;
+        for c in 0..self.layout.total_chips() {
+            match self.decode_vlew(c, stripe) {
+                Ok((data, _code, n)) => {
+                    bits += n;
+                    corrected.push(Some(data));
+                }
+                Err(()) => {
+                    failed.push(c);
+                    corrected.push(None);
+                }
+            }
+        }
+        match failed.len() {
+            0 => {
+                self.stats.vlew_bits_corrected += bits as u64;
+                let off = self.layout.offset_in_stripe(addr);
+                let mut data = [0u8; 64];
+                for c in 0..self.layout.data_chips {
+                    let region = corrected[c].as_ref().expect("no failure");
+                    data[c * 8..(c + 1) * 8]
+                        .copy_from_slice(&region[off * 8..(off + 1) * 8]);
+                }
+                Ok(ReadOutcome {
+                    data,
+                    path: ReadPath::VlewFallback {
+                        bits_corrected: bits,
+                    },
+                })
+            }
+            1 => {
+                let chip = failed[0];
+                self.known_failed = Some(chip);
+                self.stats.chip_failures_detected += 1;
+                let data = self.read_via_erasure_with(addr, chip, &corrected)?;
+                Ok(ReadOutcome {
+                    data,
+                    path: ReadPath::ChipkillErasure { chip },
+                })
+            }
+            _ => {
+                self.stats.due_events += 1;
+                Err(CoreError::MultiChipFailure)
+            }
+        }
+    }
+
+    /// Erasure-corrects a block given a known-failed chip, decoding the
+    /// surviving chips' VLEWs first so the RS erasure input is clean.
+    fn read_via_erasure(&mut self, addr: u64, chip: usize) -> Result<[u8; 64], CoreError> {
+        let stripe = self.layout.stripe_of(addr);
+        self.close_stripe(stripe);
+        let mut corrected: Vec<Option<Vec<u8>>> = Vec::new();
+        for c in 0..self.layout.total_chips() {
+            if c == chip {
+                corrected.push(None);
+                continue;
+            }
+            match self.decode_vlew(c, stripe) {
+                Ok((data, _, _)) => corrected.push(Some(data)),
+                Err(()) => {
+                    self.stats.due_events += 1;
+                    return Err(CoreError::MultiChipFailure);
+                }
+            }
+        }
+        self.read_via_erasure_with(addr, chip, &corrected)
+    }
+
+    fn read_via_erasure_with(
+        &mut self,
+        addr: u64,
+        chip: usize,
+        corrected: &[Option<Vec<u8>>],
+    ) -> Result<[u8; 64], CoreError> {
+        self.stats.erasure_reads += 1;
+        let off = self.layout.offset_in_stripe(addr);
+        let parity_idx = self.layout.data_chips;
+        if chip == parity_idx {
+            // Parity chip failed: the data chips alone carry the block.
+            let mut data = [0u8; 64];
+            for c in 0..self.layout.data_chips {
+                let region = corrected[c].as_ref().expect("data chips survived");
+                data[c * 8..(c + 1) * 8].copy_from_slice(&region[off * 8..(off + 1) * 8]);
+            }
+            return Ok(data);
+        }
+        // Build the 72-byte word from corrected survivors; the failed
+        // chip's positions are erasures.
+        let mut word = vec![0u8; 72];
+        let parity_region = corrected[parity_idx].as_ref().expect("parity survived");
+        word[..8].copy_from_slice(&parity_region[off * 8..(off + 1) * 8]);
+        for c in 0..self.layout.data_chips {
+            if c == chip {
+                continue;
+            }
+            let (s, e) = self.layout.rs_positions_of_data_chip(c);
+            let region = corrected[c].as_ref().expect("survivor");
+            word[s..e].copy_from_slice(&region[off * 8..(off + 1) * 8]);
+        }
+        let (es, ee) = self.layout.rs_positions_of_data_chip(chip);
+        let erasures: Vec<usize> = (es..ee).collect();
+        self.rs
+            .decode_with_erasures(&mut word, &erasures)
+            .map_err(|_| CoreError::Uncorrectable)?;
+        Ok(word[8..].try_into().expect("64 data bytes"))
+    }
+
+    /// Decodes one chip's VLEW for `stripe`, returning the corrected
+    /// 256 B data region, 33 B code region, and the number of bit errors
+    /// corrected. The stored arrays are *not* modified.
+    pub(crate) fn decode_vlew(
+        &self,
+        chip: usize,
+        stripe: usize,
+    ) -> Result<(Vec<u8>, Vec<u8>, usize), ()> {
+        let mut cw = BitPoly::zero(self.vlew.len());
+        let code_bits = BitPoly::from_bytes(self.chips[chip].vlew_code(stripe, &self.layout));
+        cw.splice(0, &code_bits.slice(0, self.vlew.parity_bits()));
+        let data_bits = BitPoly::from_bytes(self.chips[chip].vlew_data(stripe, &self.layout));
+        cw.splice(self.vlew.parity_bits(), &data_bits);
+        match self.vlew.decode(&mut cw) {
+            Ok(outcome) => {
+                let data = cw
+                    .slice(self.vlew.parity_bits(), self.vlew.data_bits())
+                    .to_bytes();
+                let code = cw.slice(0, self.vlew.parity_bits()).to_bytes();
+                Ok((data, code, outcome.num_corrected()))
+            }
+            Err(_) => Err(()),
+        }
+    }
+
+    /// Corrects and returns the full 72-byte word of a block (RS first,
+    /// VLEW fallback), without mutating stored state.
+    pub(crate) fn corrected_word(&mut self, addr: u64) -> Result<Vec<u8>, CoreError> {
+        let mut word = self.gather_block(addr);
+        match self
+            .rs
+            .decode_with_threshold(&mut word, self.cfg.threshold)
+            .expect("length correct")
+        {
+            ThresholdOutcome::Clean | ThresholdOutcome::Accepted { .. } => Ok(word),
+            ThresholdOutcome::Rejected(_) => {
+                let stripe = self.layout.stripe_of(addr);
+                self.close_stripe(stripe);
+                let off = self.layout.offset_in_stripe(addr);
+                let mut out = vec![0u8; 72];
+                let parity_idx = self.layout.data_chips;
+                let (pd, _, _) = self
+                    .decode_vlew(parity_idx, stripe)
+                    .map_err(|_| CoreError::Uncorrectable)?;
+                out[..8].copy_from_slice(&pd[off * 8..(off + 1) * 8]);
+                for c in 0..self.layout.data_chips {
+                    let (cd, _, _) = self
+                        .decode_vlew(c, stripe)
+                        .map_err(|_| CoreError::Uncorrectable)?;
+                    let (s, e) = self.layout.rs_positions_of_data_chip(c);
+                    out[s..e].copy_from_slice(&cd[off * 8..(off + 1) * 8]);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Scrubs one block: corrects it (RS or VLEW) and physically rewrites
+    /// the corrected bytes, clearing accumulated cell errors in the
+    /// block's data and check bytes. The VLEW code needs no update — it
+    /// was already consistent with the corrected value (the errors lived
+    /// in the cells, not the code's reference point).
+    ///
+    /// # Errors
+    ///
+    /// As [`ChipkillMemory::read_block`].
+    pub fn scrub_block(&mut self, addr: u64) -> Result<(), CoreError> {
+        self.check_addr(addr)?;
+        let word = self.corrected_word(addr)?;
+        self.scatter_block(addr, &word);
+        Ok(())
+    }
+
+    /// Injects i.i.d. random bit flips at `rber` across every stored cell
+    /// (data, VLEW code, and check bytes alike). Returns the number of
+    /// flipped bits.
+    pub fn inject_bit_errors<R: Rng + ?Sized>(&mut self, rber: f64, rng: &mut R) -> usize {
+        let inj = BitErrorInjector::new(rber);
+        let mut n = 0;
+        for chip in &mut self.chips {
+            n += inj.corrupt(&mut chip.data, rng).len();
+            n += inj.corrupt(&mut chip.code, rng).len();
+        }
+        n
+    }
+
+    /// Fails a chip: corrupts its stored arrays per `kind` and records the
+    /// ground truth. Detection still happens through the decode paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is out of range.
+    pub fn fail_chip<R: Rng + ?Sized>(&mut self, chip: usize, kind: ChipFailureKind, rng: &mut R) {
+        assert!(chip < self.layout.total_chips(), "chip {chip} out of range");
+        let failure = FailedChip::new(chip, kind);
+        {
+            let store = &mut self.chips[chip];
+            failure.corrupt_output(&mut store.data, rng);
+            failure.corrupt_output(&mut store.code, rng);
+        }
+        self.failed_chip = Some(failure);
+    }
+
+    /// The injected ground-truth failure, if any.
+    pub fn injected_failure(&self) -> Option<FailedChip> {
+        self.failed_chip
+    }
+
+    /// Rebuilds a failed chip in place (erasure-correct every block, then
+    /// re-encode the chip's VLEWs) and clears the failure marks. The §V-E
+    /// "correct the faulty chip, then retire/migrate" flow uses this
+    /// before retirement.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Uncorrectable`] if some block cannot be rebuilt.
+    pub fn repair_chip(&mut self, chip: usize) -> Result<(), CoreError> {
+        let parity_idx = self.layout.data_chips;
+        self.flush_eur();
+        for stripe in 0..self.stripes {
+            // Correct the survivors once per stripe.
+            let mut corrected: Vec<Option<Vec<u8>>> = Vec::new();
+            for c in 0..self.layout.total_chips() {
+                if c == chip {
+                    corrected.push(None);
+                } else {
+                    let (d, code, _) =
+                        self.decode_vlew(c, stripe).map_err(|_| CoreError::Uncorrectable)?;
+                    // Write back the corrected survivor regions.
+                    let layout = self.layout;
+                    self.chips[c]
+                        .vlew_data_mut(stripe, &layout)
+                        .copy_from_slice(&d);
+                    self.chips[c]
+                        .vlew_code_mut(stripe, &layout)
+                        .copy_from_slice(&code);
+                    corrected.push(Some(d));
+                }
+            }
+            let bpv = self.layout.blocks_per_vlew();
+            for off in 0..bpv {
+                let addr = (stripe * bpv + off) as u64;
+                if chip == parity_idx {
+                    // Recompute check bytes from the data chips.
+                    let mut data = [0u8; 64];
+                    for c in 0..self.layout.data_chips {
+                        let region = corrected[c].as_ref().expect("survivor");
+                        data[c * 8..(c + 1) * 8]
+                            .copy_from_slice(&region[off * 8..(off + 1) * 8]);
+                    }
+                    let check = self.rs.parity(&data);
+                    let layout = self.layout;
+                    self.chips[parity_idx]
+                        .block_slice_mut(stripe, off, &layout)
+                        .copy_from_slice(&check);
+                } else {
+                    let data = self.read_via_erasure_with(addr, chip, &corrected)?;
+                    let layout = self.layout;
+                    self.chips[chip]
+                        .block_slice_mut(stripe, off, &layout)
+                        .copy_from_slice(&data[chip * 8..(chip + 1) * 8]);
+                }
+            }
+            // Re-encode the rebuilt chip's VLEW code for this stripe.
+            let layout = self.layout;
+            let data_bits = BitPoly::from_bytes(self.chips[chip].vlew_data(stripe, &layout));
+            let parity = self.vlew.parity(&data_bits);
+            let mut code_bytes = parity.to_bytes();
+            code_bytes.resize(layout.vlew_code_bytes, 0);
+            self.chips[chip]
+                .vlew_code_mut(stripe, &layout)
+                .copy_from_slice(&code_bytes);
+        }
+        self.failed_chip = None;
+        self.known_failed = None;
+        Ok(())
+    }
+
+    /// Disables a worn-out block (§V-E): the VLEW code is updated as if
+    /// the block's physical bits were zero, the bits are zeroed, and
+    /// further accesses fail with [`CoreError::Disabled`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfRange`]; disabling twice is a no-op.
+    pub fn disable_block(&mut self, addr: u64) -> Result<(), CoreError> {
+        if addr >= self.num_blocks {
+            return Err(CoreError::OutOfRange(addr));
+        }
+        // The code update must be computed from the *corrected* old value
+        // so the VLEW ends up consistent with zeros at the block's
+        // positions; a worn block that defeats correction falls back to
+        // the raw bits (its residual errors stay within the VLEW budget).
+        let old = self
+            .corrected_word(addr)
+            .unwrap_or_else(|_| self.gather_block(addr));
+        if !self.disabled.insert(addr) {
+            return Ok(());
+        }
+        let zero72 = vec![0u8; 72];
+        self.commit_write(addr, &old, &zero72);
+        Ok(())
+    }
+
+    /// Whether `addr` has been disabled.
+    pub fn is_disabled(&self, addr: u64) -> bool {
+        self.disabled.contains(&addr)
+    }
+}

@@ -1,0 +1,153 @@
+//! Rank-level data and ECC layout (paper §V-A, Figure 6).
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of the proposed layout. The defaults are the paper's:
+/// 64 B blocks over 8 data chips + 1 parity chip; per chip, each 256 B of
+/// row data forms a VLEW with 33 B of code bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChipkillLayout {
+    /// Bytes per memory block (64).
+    pub block_bytes: usize,
+    /// Data chips per rank (8).
+    pub data_chips: usize,
+    /// Bytes each chip contributes per block (8).
+    pub chip_bytes: usize,
+    /// VLEW data bytes per chip (256).
+    pub vlew_data_bytes: usize,
+    /// VLEW code bytes per chip (33 = 264 bits of 22-bit-EC BCH).
+    pub vlew_code_bytes: usize,
+    /// RS check bytes per block, stored in the parity chip (8).
+    pub rs_check_bytes: usize,
+}
+
+impl Default for ChipkillLayout {
+    fn default() -> Self {
+        ChipkillLayout {
+            block_bytes: 64,
+            data_chips: 8,
+            chip_bytes: 8,
+            vlew_data_bytes: 256,
+            vlew_code_bytes: 33,
+            rs_check_bytes: 8,
+        }
+    }
+}
+
+impl ChipkillLayout {
+    /// Total chips including the parity chip (9).
+    pub fn total_chips(&self) -> usize {
+        self.data_chips + 1
+    }
+
+    /// Blocks covered by one VLEW (256 / 8 = 32).
+    pub fn blocks_per_vlew(&self) -> usize {
+        self.vlew_data_bytes / self.chip_bytes
+    }
+
+    /// The stripe (VLEW group) index of a block.
+    pub fn stripe_of(&self, block_addr: u64) -> usize {
+        (block_addr as usize) / self.blocks_per_vlew()
+    }
+
+    /// The block's offset within its stripe.
+    pub fn offset_in_stripe(&self, block_addr: u64) -> usize {
+        (block_addr as usize) % self.blocks_per_vlew()
+    }
+
+    /// Extra blocks fetched when falling back to VLEW correction for one
+    /// block: the 32 data blocks plus ~4 blocks of code bits, minus the
+    /// already-fetched block (paper: 35).
+    pub fn vlew_fallback_extra_blocks(&self) -> usize {
+        self.blocks_per_vlew() + self.vlew_code_bytes.div_ceil(self.chip_bytes) - 2
+    }
+
+    /// VLEW storage overhead per chip: 33/256.
+    pub fn vlew_overhead(&self) -> f64 {
+        self.vlew_code_bytes as f64 / self.vlew_data_bytes as f64
+    }
+
+    /// Total storage cost of the scheme (§V-A):
+    /// `33/256 + 1/8 · (1 + 33/256) ≈ 27%`.
+    pub fn total_storage_cost(&self) -> f64 {
+        let v = self.vlew_overhead();
+        v + (1.0 / self.data_chips as f64) * (1.0 + v)
+    }
+
+    /// RS codeword length for a block: 64 data + 8 check = 72.
+    pub fn rs_codeword_bytes(&self) -> usize {
+        self.block_bytes + self.rs_check_bytes
+    }
+
+    /// RS codeword positions `(first, last_exclusive)` of data chip
+    /// `chip`'s bytes within a block codeword (check bytes occupy
+    /// positions `0..rs_check_bytes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip >= data_chips`.
+    pub fn rs_positions_of_data_chip(&self, chip: usize) -> (usize, usize) {
+        assert!(chip < self.data_chips, "chip {chip} out of range");
+        let start = self.rs_check_bytes + chip * self.chip_bytes;
+        (start, start + self.chip_bytes)
+    }
+
+    /// RS codeword positions of the parity chip's bytes (`0..8`).
+    pub fn rs_positions_of_parity_chip(&self) -> (usize, usize) {
+        (0, self.rs_check_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let l = ChipkillLayout::default();
+        assert_eq!(l.total_chips(), 9);
+        assert_eq!(l.blocks_per_vlew(), 32);
+        assert_eq!(l.rs_codeword_bytes(), 72);
+        assert_eq!(l.vlew_fallback_extra_blocks(), 35);
+    }
+
+    #[test]
+    fn storage_cost_is_27_percent() {
+        let l = ChipkillLayout::default();
+        let cost = l.total_storage_cost();
+        assert!((cost - 0.2699).abs() < 0.001, "cost {cost}");
+    }
+
+    #[test]
+    fn stripe_math() {
+        let l = ChipkillLayout::default();
+        assert_eq!(l.stripe_of(0), 0);
+        assert_eq!(l.stripe_of(31), 0);
+        assert_eq!(l.stripe_of(32), 1);
+        assert_eq!(l.offset_in_stripe(33), 1);
+    }
+
+    #[test]
+    fn rs_position_map_covers_codeword_exactly() {
+        let l = ChipkillLayout::default();
+        let mut covered = vec![false; l.rs_codeword_bytes()];
+        let (ps, pe) = l.rs_positions_of_parity_chip();
+        for p in ps..pe {
+            covered[p] = true;
+        }
+        for c in 0..l.data_chips {
+            let (s, e) = l.rs_positions_of_data_chip(c);
+            for p in s..e {
+                assert!(!covered[p], "overlap at {p}");
+                covered[p] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_chip_panics() {
+        let _ = ChipkillLayout::default().rs_positions_of_data_chip(8);
+    }
+}

@@ -1,0 +1,206 @@
+//! Functional storage for the nine-chip rank: per-chip data and VLEW code
+//! areas, plus the EUR model for coalesced code updates.
+
+use std::collections::HashMap;
+
+use pmck_bch::{BchCode, BitPoly};
+
+use crate::layout::ChipkillLayout;
+
+/// One chip's storage: a flat data area (256 B per stripe) and a VLEW code
+/// area (33 B per stripe), mirroring Figure 6's in-row placement.
+#[derive(Debug, Clone)]
+pub(crate) struct ChipStore {
+    pub data: Vec<u8>,
+    pub code: Vec<u8>,
+}
+
+impl ChipStore {
+    pub fn new(stripes: usize, layout: &ChipkillLayout) -> Self {
+        ChipStore {
+            data: vec![0; stripes * layout.vlew_data_bytes],
+            code: vec![0; stripes * layout.vlew_code_bytes],
+        }
+    }
+
+    /// The chip's 8 B contribution to `block` (stripe-local addressing is
+    /// the caller's job).
+    pub fn block_slice(&self, stripe: usize, offset: usize, layout: &ChipkillLayout) -> &[u8] {
+        let base = stripe * layout.vlew_data_bytes + offset * layout.chip_bytes;
+        &self.data[base..base + layout.chip_bytes]
+    }
+
+    pub fn block_slice_mut(
+        &mut self,
+        stripe: usize,
+        offset: usize,
+        layout: &ChipkillLayout,
+    ) -> &mut [u8] {
+        let base = stripe * layout.vlew_data_bytes + offset * layout.chip_bytes;
+        &mut self.data[base..base + layout.chip_bytes]
+    }
+
+    /// The 256 B VLEW data region of a stripe.
+    pub fn vlew_data(&self, stripe: usize, layout: &ChipkillLayout) -> &[u8] {
+        let base = stripe * layout.vlew_data_bytes;
+        &self.data[base..base + layout.vlew_data_bytes]
+    }
+
+    pub fn vlew_data_mut(&mut self, stripe: usize, layout: &ChipkillLayout) -> &mut [u8] {
+        let base = stripe * layout.vlew_data_bytes;
+        &mut self.data[base..base + layout.vlew_data_bytes]
+    }
+
+    /// The 33 B VLEW code region of a stripe.
+    pub fn vlew_code(&self, stripe: usize, layout: &ChipkillLayout) -> &[u8] {
+        let base = stripe * layout.vlew_code_bytes;
+        &self.code[base..base + layout.vlew_code_bytes]
+    }
+
+    pub fn vlew_code_mut(&mut self, stripe: usize, layout: &ChipkillLayout) -> &mut [u8] {
+        let base = stripe * layout.vlew_code_bytes;
+        &mut self.code[base..base + layout.vlew_code_bytes]
+    }
+}
+
+/// The per-chip ECC Update Registerfile: coalesces VLEW code-bit updates
+/// for open rows, applied when the "row" (stripe) closes (§V-D).
+///
+/// Functionally the engine applies updates eagerly or lazily with
+/// identical results; this model tracks pending deltas per
+/// `(chip, stripe)` plus the drain statistics that define the C factor.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EurModel {
+    pending: HashMap<(usize, usize), BitPoly>,
+    pub writes_seen: u64,
+    pub drains: u64,
+}
+
+impl EurModel {
+    /// Accumulates a code delta for `(chip, stripe)`.
+    pub fn accumulate(&mut self, chip: usize, stripe: usize, delta: &BitPoly) {
+        match self.pending.entry((chip, stripe)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().xor_assign(delta);
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(delta.clone());
+            }
+        }
+    }
+
+    /// Drains the register for `(chip, stripe)` into the stored code
+    /// bytes, if dirty.
+    pub fn drain_into(
+        &mut self,
+        chip: usize,
+        stripe: usize,
+        code_bytes: &mut [u8],
+        code: &BchCode,
+    ) {
+        if let Some(delta) = self.pending.remove(&(chip, stripe)) {
+            apply_code_delta(code_bytes, &delta, code);
+            self.drains += 1;
+        }
+    }
+
+    /// Whether any register for `stripe` on any chip is dirty.
+    pub fn stripe_dirty(&self, stripe: usize) -> bool {
+        self.pending.keys().any(|&(_, s)| s == stripe)
+    }
+
+    /// Dirty register count.
+    pub fn occupancy(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The `(chip, stripe)` keys currently dirty.
+    pub fn pending_keys(&self) -> Vec<(usize, usize)> {
+        self.pending.keys().copied().collect()
+    }
+
+    /// Functional C factor: drains per write request (after a full flush).
+    pub fn c_factor(&self) -> f64 {
+        if self.writes_seen == 0 {
+            0.0
+        } else {
+            self.drains as f64 / self.writes_seen as f64
+        }
+    }
+}
+
+/// XORs a parity-bit delta into stored code bytes.
+pub(crate) fn apply_code_delta(code_bytes: &mut [u8], delta: &BitPoly, code: &BchCode) {
+    debug_assert!(delta.len() <= code.parity_bits());
+    let bytes = delta.to_bytes();
+    for (i, b) in bytes.iter().enumerate() {
+        if i < code_bytes.len() {
+            code_bytes[i] ^= b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> ChipkillLayout {
+        ChipkillLayout::default()
+    }
+
+    #[test]
+    fn chip_store_addressing() {
+        let l = layout();
+        let mut c = ChipStore::new(2, &l);
+        c.block_slice_mut(1, 3, &l).copy_from_slice(&[7u8; 8]);
+        assert_eq!(c.block_slice(1, 3, &l), &[7u8; 8]);
+        assert_eq!(c.block_slice(0, 3, &l), &[0u8; 8]);
+        // Stripe 1's VLEW data contains the bytes at offset 3.
+        assert_eq!(c.vlew_data(1, &l)[3 * 8..3 * 8 + 8], [7u8; 8]);
+    }
+
+    #[test]
+    fn code_region_separate_per_stripe() {
+        let l = layout();
+        let mut c = ChipStore::new(3, &l);
+        c.vlew_code_mut(1, &l).fill(0xAA);
+        assert!(c.vlew_code(0, &l).iter().all(|&b| b == 0));
+        assert!(c.vlew_code(1, &l).iter().all(|&b| b == 0xAA));
+        assert!(c.vlew_code(2, &l).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn eur_coalesces() {
+        let code = BchCode::vlew();
+        let mut eur = EurModel::default();
+        let mut d1 = BitPoly::zero(code.parity_bits());
+        d1.set(0, true);
+        let mut d2 = BitPoly::zero(code.parity_bits());
+        d2.set(0, true);
+        d2.set(5, true);
+        eur.accumulate(0, 0, &d1);
+        eur.accumulate(0, 0, &d2);
+        eur.writes_seen = 2;
+        assert_eq!(eur.occupancy(), 1);
+        let mut bytes = vec![0u8; 33];
+        eur.drain_into(0, 0, &mut bytes, &code);
+        // d1 ^ d2 = bit 5 only.
+        assert_eq!(bytes[0], 0b0010_0000);
+        assert_eq!(eur.drains, 1);
+        assert_eq!(eur.c_factor(), 0.5);
+    }
+
+    #[test]
+    fn eur_stripe_dirty_tracking() {
+        let code = BchCode::vlew();
+        let mut eur = EurModel::default();
+        let mut d = BitPoly::zero(code.parity_bits());
+        d.set(1, true);
+        eur.accumulate(2, 7, &d);
+        assert!(eur.stripe_dirty(7));
+        assert!(!eur.stripe_dirty(8));
+        let mut bytes = vec![0u8; 33];
+        eur.drain_into(2, 7, &mut bytes, &code);
+        assert!(!eur.stripe_dirty(7));
+    }
+}

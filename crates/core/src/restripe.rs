@@ -1,0 +1,244 @@
+//! Post-chip-failure VLEW reconfiguration (§V-E).
+//!
+//! After a permanent chip failure, one option is to remap the faulty
+//! chip's contents onto the ECC (parity) chip, giving up the per-block RS
+//! bits. To keep bit-error correction, the memory controller re-encodes
+//! each VLEW from 256 B of data *across all surviving chips* — i.e. four
+//! consecutive 64 B blocks — instead of 256 B within a single chip. A
+//! reconfigured VLEW spans only 4 blocks, so correction fetches 4 blocks
+//! rather than 32+. Length and strength are unchanged, so storage cost is
+//! unchanged.
+
+use pmck_bch::{BchCode, BitPoly};
+use pmck_nvram::BitErrorInjector;
+use rand::Rng;
+
+use crate::engine::{ChipkillMemory, CoreError};
+
+/// Blocks per reconfigured VLEW (256 B / 64 B).
+pub const BLOCKS_PER_GROUP: usize = 4;
+
+/// A rank that has been reconfigured after a permanent chip failure:
+/// the failed chip's data now lives where the RS check bytes were, and
+/// VLEWs stripe across the rank in 4-block groups.
+#[derive(Debug, Clone)]
+pub struct RestripedMemory {
+    data: Vec<u8>,
+    codes: Vec<u8>, // 33 B per 4-block group
+    num_blocks: u64,
+    vlew: BchCode,
+    bits_corrected: u64,
+}
+
+impl RestripedMemory {
+    /// Reconfigures a rank with a detected chip failure: every block is
+    /// erasure-corrected out of the old layout, then re-encoded into
+    /// rank-striped VLEWs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors from the old layout.
+    pub fn from_failed_rank(mem: &mut ChipkillMemory) -> Result<Self, CoreError> {
+        let num_blocks = mem.num_blocks();
+        let mut data = vec![0u8; num_blocks as usize * 64];
+        for addr in 0..num_blocks {
+            let out = mem.read_block(addr)?;
+            data[addr as usize * 64..(addr as usize + 1) * 64].copy_from_slice(&out.data);
+        }
+        let vlew = BchCode::vlew();
+        let groups = num_blocks as usize / BLOCKS_PER_GROUP;
+        let mut out = RestripedMemory {
+            data,
+            codes: vec![0u8; groups * 33],
+            num_blocks,
+            vlew,
+            bits_corrected: 0,
+        };
+        for g in 0..groups {
+            let code = out.encode_group(g);
+            out.codes[g * 33..(g + 1) * 33].copy_from_slice(&code);
+        }
+        Ok(out)
+    }
+
+    fn encode_group(&self, group: usize) -> Vec<u8> {
+        let base = group * BLOCKS_PER_GROUP * 64;
+        let bits = BitPoly::from_bytes(&self.data[base..base + 256]);
+        let mut code = self.vlew.parity(&bits).to_bytes();
+        code.resize(33, 0);
+        code
+    }
+
+    /// Capacity in blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    /// Blocks fetched to correct one block's errors (4, vs 36 before
+    /// reconfiguration).
+    pub fn blocks_fetched_per_correction(&self) -> usize {
+        BLOCKS_PER_GROUP
+    }
+
+    /// Total bit errors corrected by reads so far.
+    pub fn bits_corrected(&self) -> u64 {
+        self.bits_corrected
+    }
+
+    fn group_word(&self, group: usize) -> BitPoly {
+        let mut cw = BitPoly::zero(self.vlew.len());
+        let code = BitPoly::from_bytes(&self.codes[group * 33..(group + 1) * 33]);
+        cw.splice(0, &code.slice(0, self.vlew.parity_bits()));
+        let base = group * BLOCKS_PER_GROUP * 64;
+        let data = BitPoly::from_bytes(&self.data[base..base + 256]);
+        cw.splice(self.vlew.parity_bits(), &data);
+        cw
+    }
+
+    /// Reads a block, correcting the 4-block group through its VLEW when
+    /// errors are present.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfRange`] / [`CoreError::Uncorrectable`].
+    pub fn read_block(&mut self, addr: u64) -> Result<[u8; 64], CoreError> {
+        if addr >= self.num_blocks {
+            return Err(CoreError::OutOfRange(addr));
+        }
+        let group = addr as usize / BLOCKS_PER_GROUP;
+        let mut cw = self.group_word(group);
+        match self.vlew.decode(&mut cw) {
+            Ok(outcome) => {
+                if !outcome.was_clean() {
+                    self.bits_corrected += outcome.num_corrected() as u64;
+                    // Write the corrected group back (scrub-on-read).
+                    let data = cw
+                        .slice(self.vlew.parity_bits(), self.vlew.data_bits())
+                        .to_bytes();
+                    let base = group * BLOCKS_PER_GROUP * 64;
+                    self.data[base..base + 256].copy_from_slice(&data);
+                    let code = cw.slice(0, self.vlew.parity_bits()).to_bytes();
+                    self.codes[group * 33..group * 33 + 33]
+                        .copy_from_slice(&{
+                            let mut c = code;
+                            c.resize(33, 0);
+                            c
+                        });
+                }
+                let off = (addr as usize % BLOCKS_PER_GROUP) * 64;
+                let base = group * BLOCKS_PER_GROUP * 64;
+                Ok(self.data[base + off..base + off + 64]
+                    .try_into()
+                    .expect("64 bytes"))
+            }
+            Err(_) => Err(CoreError::Uncorrectable),
+        }
+    }
+
+    /// Writes a block, updating the group's VLEW code linearly.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfRange`].
+    pub fn write_block(&mut self, addr: u64, new: &[u8; 64]) -> Result<(), CoreError> {
+        if addr >= self.num_blocks {
+            return Err(CoreError::OutOfRange(addr));
+        }
+        let group = addr as usize / BLOCKS_PER_GROUP;
+        let off = (addr as usize % BLOCKS_PER_GROUP) * 64;
+        let base = group * BLOCKS_PER_GROUP * 64;
+        // Delta against the stored (assumed-corrected by reads) value.
+        let mut delta_bits = BitPoly::zero(self.vlew.data_bits());
+        for i in 0..64 {
+            let d = self.data[base + off + i] ^ new[i];
+            for b in 0..8 {
+                if d & (1 << b) != 0 {
+                    delta_bits.set((off + i) * 8 + b, true);
+                }
+            }
+        }
+        let delta_code = self.vlew.parity(&delta_bits);
+        let mut bytes = delta_code.to_bytes();
+        bytes.resize(33, 0);
+        for (i, b) in bytes.iter().enumerate() {
+            self.codes[group * 33 + i] ^= b;
+        }
+        self.data[base + off..base + off + 64].copy_from_slice(new);
+        Ok(())
+    }
+
+    /// Injects random bit flips across data and code; returns the count.
+    pub fn inject_bit_errors<R: Rng + ?Sized>(&mut self, rber: f64, rng: &mut R) -> usize {
+        let inj = BitErrorInjector::new(rber);
+        inj.corrupt(&mut self.data, rng).len() + inj.corrupt(&mut self.codes, rng).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChipkillConfig;
+    use pmck_nvram::ChipFailureKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seeded_rank() -> (ChipkillMemory, Vec<[u8; 64]>) {
+        let mut mem = ChipkillMemory::new(64, ChipkillConfig::default());
+        let mut blocks = Vec::new();
+        for a in 0..64u64 {
+            let mut b = [0u8; 64];
+            for (i, x) in b.iter_mut().enumerate() {
+                *x = (a as u8).wrapping_mul(31).wrapping_add(i as u8);
+            }
+            mem.write_block(a, &b).unwrap();
+            blocks.push(b);
+        }
+        (mem, blocks)
+    }
+
+    #[test]
+    fn restripe_preserves_data_after_chip_failure() {
+        let (mut mem, blocks) = seeded_rank();
+        let mut rng = StdRng::seed_from_u64(5);
+        mem.fail_chip(3, ChipFailureKind::RandomGarbage, &mut rng);
+        let mut rs = RestripedMemory::from_failed_rank(&mut mem).unwrap();
+        for (a, b) in blocks.iter().enumerate() {
+            assert_eq!(&rs.read_block(a as u64).unwrap(), b, "block {a}");
+        }
+    }
+
+    #[test]
+    fn restriped_corrects_bit_errors() {
+        let (mut mem, blocks) = seeded_rank();
+        let mut rng = StdRng::seed_from_u64(6);
+        mem.fail_chip(8, ChipFailureKind::StuckOne, &mut rng);
+        let mut rs = RestripedMemory::from_failed_rank(&mut mem).unwrap();
+        rs.inject_bit_errors(1e-3, &mut rng);
+        for (a, b) in blocks.iter().enumerate() {
+            assert_eq!(&rs.read_block(a as u64).unwrap(), b, "block {a}");
+        }
+        assert!(rs.bits_corrected() > 0);
+    }
+
+    #[test]
+    fn restriped_write_read_round_trip() {
+        let (mut mem, _) = seeded_rank();
+        let mut rng = StdRng::seed_from_u64(7);
+        mem.fail_chip(0, ChipFailureKind::StuckZero, &mut rng);
+        let mut rs = RestripedMemory::from_failed_rank(&mut mem).unwrap();
+        let nb = [0xEEu8; 64];
+        rs.write_block(17, &nb).unwrap();
+        rs.inject_bit_errors(5e-4, &mut rng);
+        assert_eq!(rs.read_block(17).unwrap(), nb);
+        assert_eq!(rs.blocks_fetched_per_correction(), 4);
+    }
+
+    #[test]
+    fn out_of_range() {
+        let (mut mem, _) = seeded_rank();
+        let mut rng = StdRng::seed_from_u64(8);
+        mem.fail_chip(1, ChipFailureKind::RandomGarbage, &mut rng);
+        let mut rs = RestripedMemory::from_failed_rank(&mut mem).unwrap();
+        assert!(matches!(rs.read_block(64), Err(CoreError::OutOfRange(64))));
+    }
+}

@@ -1,0 +1,54 @@
+//! Engine statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by [`crate::ChipkillMemory`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Demand block reads.
+    pub reads: u64,
+    /// Demand block writes (both write paths).
+    pub writes: u64,
+    /// Reads whose RS word was already clean.
+    pub clean_reads: u64,
+    /// Reads corrected by the RS tier within the threshold.
+    pub rs_accepted: u64,
+    /// Total symbols corrected by accepted RS decodes.
+    pub rs_corrections: u64,
+    /// Reads that fell back to VLEW decoding (§V-C expects ~0.02% at
+    /// RBER 2·10⁻⁴).
+    pub fallbacks: u64,
+    /// Bit errors corrected by fallback VLEW decodes.
+    pub vlew_bits_corrected: u64,
+    /// Reads served through chip-failure erasure correction.
+    pub erasure_reads: u64,
+    /// Chip failures detected by the decode paths.
+    pub chip_failures_detected: u64,
+    /// Detected uncorrectable events (rank loss).
+    pub due_events: u64,
+}
+
+impl CoreStats {
+    /// Fraction of reads that needed the VLEW fallback.
+    pub fn fallback_fraction(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.fallbacks as f64 / self.reads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallback_fraction() {
+        let mut s = CoreStats::default();
+        assert_eq!(s.fallback_fraction(), 0.0);
+        s.reads = 1000;
+        s.fallbacks = 2;
+        assert!((s.fallback_fraction() - 0.002).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,287 @@
+//! Start-Gap wear leveling over the chipkill rank (§V-E).
+//!
+//! The paper notes the proposal is compatible with wear leveling that
+//! dynamically remaps blocks (Qureshi et al.'s Start-Gap \[87\]): after
+//! remapping a block, the memory controller updates the VLEW code bits
+//! as if the physical bits that previously held the block now contain
+//! zeros — the same arithmetic as block disabling.
+//!
+//! Start-Gap keeps one spare ("gap") physical block and a rotation
+//! counter (`start`). Every `gap_move_interval` writes, the gap moves by
+//! one: the block just above it is copied into the gap, freeing its old
+//! location as the new gap. Over `capacity + 1` moves every logical block
+//! has occupied every physical slot, spreading hot writes.
+//!
+//! [`WearLevelledMemory`] wraps [`ChipkillMemory`] with that remap layer,
+//! performing gap moves through the engine's conventional write path (so
+//! every VLEW stays consistent) and zeroing vacated slots exactly as
+//! §V-E prescribes.
+
+use crate::config::ChipkillConfig;
+use crate::engine::{ChipkillMemory, CoreError, ReadOutcome};
+
+/// Start-Gap wear-levelled view of a chipkill rank.
+///
+/// Logical addresses `0..logical_blocks` map onto `logical_blocks + 1`
+/// physical blocks (one gap). Reads and writes are forwarded through the
+/// current mapping; every `gap_move_interval` demand writes the gap
+/// advances one slot.
+///
+/// # Examples
+///
+/// ```
+/// use pmck_core::{ChipkillConfig, WearLevelledMemory};
+///
+/// let mut mem = WearLevelledMemory::new(63, ChipkillConfig::default(), 4);
+/// mem.write(5, &[0xAA; 64]).unwrap();
+/// for i in 0..200 {
+///     mem.write(i % 63, &[i as u8; 64]).unwrap(); // triggers gap moves
+/// }
+/// assert!(mem.gap_moves() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WearLevelledMemory {
+    inner: ChipkillMemory,
+    logical_blocks: u64,
+    /// Physical index of the current gap block.
+    gap: u64,
+    /// Rotation offset: logical 0 currently lives at physical `start`.
+    start: u64,
+    /// Demand writes between gap moves.
+    gap_move_interval: u64,
+    writes_since_move: u64,
+    gap_moves: u64,
+}
+
+impl WearLevelledMemory {
+    /// Creates a wear-levelled rank with `logical_blocks` usable blocks
+    /// (one extra physical block becomes the roving gap) and a gap move
+    /// every `gap_move_interval` writes (Start-Gap uses 100 in \[87\]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_blocks == 0` or `gap_move_interval == 0`.
+    pub fn new(logical_blocks: u64, cfg: ChipkillConfig, gap_move_interval: u64) -> Self {
+        assert!(logical_blocks > 0, "need at least one logical block");
+        assert!(gap_move_interval > 0, "interval must be positive");
+        let inner = ChipkillMemory::new(logical_blocks + 1, cfg);
+        WearLevelledMemory {
+            gap: logical_blocks, // start with the gap at the top
+            start: 0,
+            inner,
+            logical_blocks,
+            gap_move_interval,
+            writes_since_move: 0,
+            gap_moves: 0,
+        }
+    }
+
+    /// Usable (logical) capacity in blocks.
+    pub fn logical_blocks(&self) -> u64 {
+        self.logical_blocks
+    }
+
+    /// Completed gap movements.
+    pub fn gap_moves(&self) -> u64 {
+        self.gap_moves
+    }
+
+    /// The underlying physical rank (for scrubbing, injection, stats).
+    pub fn inner(&self) -> &ChipkillMemory {
+        &self.inner
+    }
+
+    /// Mutable access to the underlying rank (error injection in tests;
+    /// scrubbing).
+    pub fn inner_mut(&mut self) -> &mut ChipkillMemory {
+        &mut self.inner
+    }
+
+    /// The physical block currently backing `logical` (Start-Gap's
+    /// address translation).
+    ///
+    /// With ring size `n = logical_blocks + 1`, `start` the physical slot
+    /// of logical 0 and `gap` the physical slot of the hole, a logical
+    /// address walks `logical` slots forward from `start`, skipping the
+    /// hole if it lies within that span.
+    pub fn physical_of(&self, logical: u64) -> u64 {
+        let n = self.logical_blocks + 1;
+        let gap_offset = (self.gap + n - self.start) % n;
+        let offset = if logical >= gap_offset {
+            logical + 1
+        } else {
+            logical
+        };
+        (self.start + offset) % n
+    }
+
+    fn check(&self, logical: u64) -> Result<(), CoreError> {
+        if logical >= self.logical_blocks {
+            return Err(CoreError::OutOfRange(logical));
+        }
+        Ok(())
+    }
+
+    /// Reads the logical block.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChipkillMemory::read_block`], with logical range checking.
+    pub fn read(&mut self, logical: u64) -> Result<ReadOutcome, CoreError> {
+        self.check(logical)?;
+        let phys = self.physical_of(logical);
+        self.inner.read_block(phys)
+    }
+
+    /// Writes the logical block (conventional path), advancing the gap
+    /// when the interval elapses.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChipkillMemory::write_block`].
+    pub fn write(&mut self, logical: u64, data: &[u8; 64]) -> Result<(), CoreError> {
+        self.check(logical)?;
+        let phys = self.physical_of(logical);
+        self.inner.write_block(phys, data)?;
+        self.writes_since_move += 1;
+        if self.writes_since_move >= self.gap_move_interval {
+            self.writes_since_move = 0;
+            self.move_gap()?;
+        }
+        Ok(())
+    }
+
+    /// Advances the gap one slot backwards around the ring: the block
+    /// physically just below the gap moves into the gap, and its old slot
+    /// — now vacated — is zeroed with the §V-E VLEW update (as if its
+    /// physical bits are zeros). When the victim is the anchor slot, the
+    /// whole rotation advances.
+    fn move_gap(&mut self) -> Result<(), CoreError> {
+        let n = self.logical_blocks + 1;
+        let victim = (self.gap + n - 1) % n;
+        // Copy victim → gap through the trusted write path.
+        let data = self.inner.read_block(victim)?.data;
+        self.inner.write_block(self.gap, &data)?;
+        // Vacate the old slot: zero it so its VLEW contribution is the
+        // all-zero pattern (keeps the stripe consistent, §V-E).
+        self.inner.write_block(victim, &[0u8; 64])?;
+        if victim == self.start {
+            self.start = (self.start + 1) % n;
+        }
+        self.gap = victim;
+        self.gap_moves += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn filled(blocks: u64, interval: u64) -> (WearLevelledMemory, Vec<[u8; 64]>) {
+        let mut mem = WearLevelledMemory::new(blocks, ChipkillConfig::default(), interval);
+        let data: Vec<[u8; 64]> = (0..blocks)
+            .map(|a| {
+                let mut b = [0u8; 64];
+                for (i, x) in b.iter_mut().enumerate() {
+                    *x = (a as u8).wrapping_mul(17) ^ (i as u8);
+                }
+                mem.write(a, &b).unwrap();
+                b
+            })
+            .collect();
+        (mem, data)
+    }
+
+    #[test]
+    fn mapping_is_a_bijection_at_every_step() {
+        let mut mem = WearLevelledMemory::new(31, ChipkillConfig::default(), 1);
+        for step in 0..200 {
+            let mut seen = std::collections::HashSet::new();
+            for l in 0..31 {
+                let p = mem.physical_of(l);
+                assert!(p < 32, "physical in range");
+                assert_ne!(p, mem.gap, "logical never maps to the gap");
+                assert!(seen.insert(p), "step {step}: collision at {p}");
+            }
+            mem.write(step % 31, &[step as u8; 64]).unwrap();
+        }
+    }
+
+    #[test]
+    fn data_survives_many_rotations() {
+        let (mut mem, data) = filled(31, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut truth = data;
+        // Enough writes for several full rotations.
+        for _ in 0..1500 {
+            let l = rng.gen_range(0..31);
+            let mut v = [0u8; 64];
+            rng.fill(&mut v[..]);
+            mem.write(l, &v).unwrap();
+            truth[l as usize] = v;
+        }
+        assert!(mem.gap_moves() > 700);
+        for (l, v) in truth.iter().enumerate() {
+            assert_eq!(&mem.read(l as u64).unwrap().data, v, "logical {l}");
+        }
+    }
+
+    #[test]
+    fn vlew_consistency_maintained_through_remaps() {
+        let (mut mem, _) = filled(63, 1);
+        for i in 0..300u64 {
+            mem.write(i % 63, &[i as u8; 64]).unwrap();
+        }
+        assert!(mem.inner_mut().verify_consistent());
+    }
+
+    #[test]
+    fn scrub_works_on_levelled_rank() {
+        let (mut mem, _) = filled(31, 4);
+        let mut truth: Vec<[u8; 64]> = (0..31)
+            .map(|l| mem.read(l).unwrap().data)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let l = rng.gen_range(0..31);
+            let mut v = [0u8; 64];
+            rng.fill(&mut v[..]);
+            mem.write(l, &v).unwrap();
+            truth[l as usize] = v;
+        }
+        mem.inner_mut().inject_bit_errors(1e-3, &mut rng);
+        mem.inner_mut().boot_scrub().unwrap();
+        for (l, v) in truth.iter().enumerate() {
+            assert_eq!(&mem.read(l as u64).unwrap().data, v);
+        }
+    }
+
+    #[test]
+    fn writes_spread_across_physical_blocks() {
+        // Hammering one logical block must touch many physical slots.
+        let mut mem = WearLevelledMemory::new(15, ChipkillConfig::default(), 1);
+        let mut touched = std::collections::HashSet::new();
+        for i in 0..200u64 {
+            touched.insert(mem.physical_of(3));
+            mem.write(3, &[i as u8; 64]).unwrap();
+        }
+        assert!(
+            touched.len() >= 8,
+            "start-gap must rotate the hot block, got {}",
+            touched.len()
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut mem = WearLevelledMemory::new(8, ChipkillConfig::default(), 4);
+        assert!(matches!(mem.read(8), Err(CoreError::OutOfRange(8))));
+        assert!(matches!(
+            mem.write(100, &[0; 64]),
+            Err(CoreError::OutOfRange(100))
+        ));
+    }
+}

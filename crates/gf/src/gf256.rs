@@ -1,0 +1,328 @@
+//! The byte field GF(2^8) with reduction polynomial `0x11D`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::sync::OnceLock;
+
+const POLY: u32 = 0x11D;
+const ORDER: usize = 255;
+
+struct Tables {
+    exp: [u8; 2 * ORDER],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 2 * ORDER];
+        let mut log = [0u8; 256];
+        let mut x = 1u32;
+        for i in 0..ORDER {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 0..ORDER {
+            exp[ORDER + i] = exp[i];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2^8) with the `x^8 + x^4 + x^3 + x^2 + 1` (`0x11D`)
+/// reduction polynomial — the field used by the per-block Reed-Solomon code.
+///
+/// Arithmetic is exposed through the standard operator traits. Addition and
+/// subtraction coincide (both are XOR); division by zero panics, mirroring
+/// integer division.
+///
+/// # Examples
+///
+/// ```
+/// use pmck_gf::Gf256;
+///
+/// let a = Gf256::from(0x57u8);
+/// let b = Gf256::from(0x13u8);
+/// assert_eq!(a + b, Gf256::from(0x44u8));
+/// assert_eq!((a * b) / b, a);
+/// assert_eq!(a - a, Gf256::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The primitive element alpha (the class of `x`).
+    pub const ALPHA: Gf256 = Gf256(2);
+
+    /// `alpha^i`, with the exponent reduced modulo 255.
+    pub fn alpha_pow(i: u64) -> Gf256 {
+        Gf256(tables().exp[(i % ORDER as u64) as usize])
+    }
+
+    /// The discrete log base alpha of a nonzero element.
+    ///
+    /// Returns `None` for zero, which has no logarithm.
+    pub fn log(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(tables().log[self.0 as usize])
+        }
+    }
+
+    /// The multiplicative inverse, or `None` for zero.
+    pub fn inv(self) -> Option<Gf256> {
+        if self.0 == 0 {
+            return None;
+        }
+        let t = tables();
+        Some(Gf256(t.exp[ORDER - t.log[self.0 as usize] as usize]))
+    }
+
+    /// `self` raised to the power `e`.
+    pub fn pow(self, e: u64) -> Gf256 {
+        if self.0 == 0 {
+            return if e == 0 { Gf256::ONE } else { Gf256::ZERO };
+        }
+        let t = tables();
+        let l = t.log[self.0 as usize] as u64;
+        Gf256(t.exp[((l * (e % ORDER as u64)) % ORDER as u64) as usize])
+    }
+
+    /// Whether this is the zero element.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw byte representation.
+    pub fn to_byte(self) -> u8 {
+        self.0
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(b: u8) -> Self {
+        Gf256(b)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(g: Gf256) -> Self {
+        g.0
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256({:#04x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#04x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf256 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl SubAssign for Gf256 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn neg(self) -> Gf256 {
+        self // characteristic 2: -x == x
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let t = tables();
+        Gf256(t.exp[t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize])
+    }
+}
+
+impl MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf256 {
+    type Output = Gf256;
+
+    /// # Panics
+    ///
+    /// Panics when dividing by zero.
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        let inv = rhs.inv().expect("division by zero in GF(2^8)");
+        self * inv
+    }
+}
+
+impl DivAssign for Gf256 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Gf256) {
+        *self = *self / rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_xor_and_self_inverse() {
+        for a in 0..=255u8 {
+            let ga = Gf256(a);
+            assert_eq!(ga + ga, Gf256::ZERO);
+            assert_eq!(ga - ga, Gf256::ZERO);
+            assert_eq!(-ga, ga);
+        }
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in 0..=255u8 {
+            let ga = Gf256(a);
+            assert_eq!(ga * Gf256::ONE, ga);
+            assert_eq!(ga * Gf256::ZERO, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            let ga = Gf256(a);
+            assert_eq!(ga * ga.inv().unwrap(), Gf256::ONE);
+        }
+        assert_eq!(Gf256::ZERO.inv(), None);
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative_spot() {
+        let xs = [0u8, 1, 2, 3, 0x1D, 0x80, 0xFF, 0x53, 0xCA];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(Gf256(a) * Gf256(b), Gf256(b) * Gf256(a));
+                for &c in &xs {
+                    assert_eq!(
+                        (Gf256(a) * Gf256(b)) * Gf256(c),
+                        Gf256(a) * (Gf256(b) * Gf256(c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity_exhaustive_slice() {
+        for a in 0..=255u8 {
+            let (b, c) = (Gf256(0x35), Gf256(0xA7));
+            let ga = Gf256(a);
+            assert_eq!(ga * (b + c), ga * b + ga * c);
+        }
+    }
+
+    #[test]
+    fn known_vector_aes_field_differs() {
+        // 0x53 * 0xCA = 0x01 in the AES field (0x11B); in 0x11D it must not.
+        // Known 0x11D vectors: alpha^8 = 0x1D.
+        assert_eq!(Gf256::alpha_pow(8), Gf256(0x1D));
+        assert_eq!(Gf256::alpha_pow(0), Gf256::ONE);
+        assert_eq!(Gf256::alpha_pow(255), Gf256::ONE);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let g = Gf256(0x37);
+        let mut acc = Gf256::ONE;
+        for e in 0..600u64 {
+            assert_eq!(g.pow(e), acc, "e={e}");
+            acc *= g;
+        }
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(5), Gf256::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Gf256(5) / Gf256::ZERO;
+    }
+
+    #[test]
+    fn formatting() {
+        let g = Gf256(0x1D);
+        assert_eq!(format!("{g}"), "0x1d");
+        assert_eq!(format!("{g:x}"), "1d");
+        assert_eq!(format!("{g:b}"), "11101");
+        assert_eq!(format!("{g:?}"), "Gf256(0x1d)");
+    }
+}

@@ -1,0 +1,268 @@
+//! Dense polynomials with coefficients in a [`Gf2m`] field.
+
+use std::fmt;
+
+use crate::field::Gf2m;
+
+/// A polynomial over a [`Gf2m`] field, stored dense with `coeffs[i]` the
+/// coefficient of `x^i`. The zero polynomial has an empty coefficient vector.
+///
+/// Used by the BCH and RS decoders for error locator/evaluator polynomials
+/// and generator-polynomial construction.
+///
+/// # Examples
+///
+/// ```
+/// use pmck_gf::{FieldPoly, Gf2m};
+///
+/// let f = Gf2m::new(8).unwrap();
+/// // (x + 1)(x + 2) = x^2 + 3x + 2 over GF(256)
+/// let p = FieldPoly::from_coeffs(&f, vec![1, 1]);
+/// let q = FieldPoly::from_coeffs(&f, vec![2, 1]);
+/// let prod = p.mul(&q);
+/// assert_eq!(prod.coeffs(), &[2, 3, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct FieldPoly {
+    field: Gf2m,
+    coeffs: Vec<u32>,
+}
+
+impl fmt::Debug for FieldPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.coeffs.is_empty() {
+            return write!(f, "FieldPoly(0)");
+        }
+        write!(f, "FieldPoly(")?;
+        for (i, c) in self.coeffs.iter().enumerate().rev() {
+            if *c != 0 {
+                write!(f, "{c}·x^{i} ")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl FieldPoly {
+    /// The zero polynomial over `field`.
+    pub fn zero(field: &Gf2m) -> Self {
+        FieldPoly {
+            field: field.clone(),
+            coeffs: Vec::new(),
+        }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one(field: &Gf2m) -> Self {
+        FieldPoly {
+            field: field.clone(),
+            coeffs: vec![1],
+        }
+    }
+
+    /// Builds a polynomial from coefficients (`coeffs[i]` multiplies `x^i`),
+    /// trimming leading zeros.
+    pub fn from_coeffs(field: &Gf2m, mut coeffs: Vec<u32>) -> Self {
+        while coeffs.last() == Some(&0) {
+            coeffs.pop();
+        }
+        FieldPoly {
+            field: field.clone(),
+            coeffs,
+        }
+    }
+
+    /// The monomial `c·x^d`.
+    pub fn monomial(field: &Gf2m, c: u32, d: usize) -> Self {
+        if c == 0 {
+            return Self::zero(field);
+        }
+        let mut coeffs = vec![0; d + 1];
+        coeffs[d] = c;
+        FieldPoly {
+            field: field.clone(),
+            coeffs,
+        }
+    }
+
+    /// The coefficient slice (index = degree). Empty for the zero polynomial.
+    pub fn coeffs(&self) -> &[u32] {
+        &self.coeffs
+    }
+
+    /// The coefficient of `x^i` (zero beyond the stored degree).
+    pub fn coeff(&self, i: usize) -> u32 {
+        self.coeffs.get(i).copied().unwrap_or(0)
+    }
+
+    /// The degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> &Gf2m {
+        &self.field
+    }
+
+    /// Polynomial addition (XOR of coefficients).
+    pub fn add(&self, other: &FieldPoly) -> FieldPoly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = vec![0u32; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.coeff(i) ^ other.coeff(i);
+        }
+        FieldPoly::from_coeffs(&self.field, out)
+    }
+
+    /// Polynomial multiplication (schoolbook).
+    pub fn mul(&self, other: &FieldPoly) -> FieldPoly {
+        if self.is_zero() || other.is_zero() {
+            return FieldPoly::zero(&self.field);
+        }
+        let mut out = vec![0u32; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] ^= self.field.mul(a, b);
+            }
+        }
+        FieldPoly::from_coeffs(&self.field, out)
+    }
+
+    /// Multiplies every coefficient by the scalar `c`.
+    pub fn scale(&self, c: u32) -> FieldPoly {
+        let coeffs = self.coeffs.iter().map(|&a| self.field.mul(a, c)).collect();
+        FieldPoly::from_coeffs(&self.field, coeffs)
+    }
+
+    /// Multiplies by `x^d` (degree shift).
+    pub fn shift(&self, d: usize) -> FieldPoly {
+        if self.is_zero() {
+            return self.clone();
+        }
+        let mut coeffs = vec![0u32; d];
+        coeffs.extend_from_slice(&self.coeffs);
+        FieldPoly::from_coeffs(&self.field, coeffs)
+    }
+
+    /// Truncates to terms of degree `< n` (i.e. reduces modulo `x^n`).
+    pub fn truncate(&self, n: usize) -> FieldPoly {
+        let coeffs = self.coeffs.iter().take(n).copied().collect();
+        FieldPoly::from_coeffs(&self.field, coeffs)
+    }
+
+    /// Evaluates the polynomial at `x` via Horner's rule.
+    pub fn eval(&self, x: u32) -> u32 {
+        self.field.eval_poly(&self.coeffs, x)
+    }
+
+    /// The formal derivative. Over GF(2^m) even-power terms vanish:
+    /// `d/dx Σ c_i x^i = Σ_{i odd} c_i x^{i-1}`.
+    pub fn derivative(&self) -> FieldPoly {
+        if self.coeffs.len() <= 1 {
+            return FieldPoly::zero(&self.field);
+        }
+        let mut out = vec![0u32; self.coeffs.len() - 1];
+        for (i, o) in out.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *o = self.coeff(i + 1);
+            }
+        }
+        FieldPoly::from_coeffs(&self.field, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> Gf2m {
+        Gf2m::new(8).unwrap()
+    }
+
+    #[test]
+    fn zero_and_one() {
+        let f = f();
+        let z = FieldPoly::zero(&f);
+        let o = FieldPoly::one(&f);
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+        assert_eq!(o.degree(), Some(0));
+        assert_eq!(o.mul(&o).coeffs(), &[1]);
+        assert_eq!(z.mul(&o), z);
+        assert_eq!(z.add(&o), o);
+    }
+
+    #[test]
+    fn trims_leading_zeros() {
+        let f = f();
+        let p = FieldPoly::from_coeffs(&f, vec![1, 2, 0, 0]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(p.coeffs(), &[1, 2]);
+    }
+
+    #[test]
+    fn add_is_self_inverse() {
+        let f = f();
+        let p = FieldPoly::from_coeffs(&f, vec![3, 1, 4, 1, 5]);
+        assert!(p.add(&p).is_zero());
+    }
+
+    #[test]
+    fn mul_roots_product() {
+        let f = f();
+        // prod (x - alpha^i) for i in 0..4 must vanish exactly at those roots.
+        let mut g = FieldPoly::one(&f);
+        for i in 0..4u64 {
+            let root = f.alpha_pow(i);
+            g = g.mul(&FieldPoly::from_coeffs(&f, vec![root, 1]));
+        }
+        assert_eq!(g.degree(), Some(4));
+        for i in 0..8u64 {
+            let v = g.eval(f.alpha_pow(i));
+            if i < 4 {
+                assert_eq!(v, 0, "root alpha^{i}");
+            } else {
+                assert_ne!(v, 0, "non-root alpha^{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_and_truncate() {
+        let f = f();
+        let p = FieldPoly::from_coeffs(&f, vec![1, 2, 3]);
+        let s = p.shift(2);
+        assert_eq!(s.coeffs(), &[0, 0, 1, 2, 3]);
+        assert_eq!(s.truncate(3).coeffs(), &[0, 0, 1]);
+        assert!(s.truncate(0).is_zero());
+    }
+
+    #[test]
+    fn derivative_drops_even_terms() {
+        let f = f();
+        // p = c0 + c1 x + c2 x^2 + c3 x^3 → p' = c1 + c3 x^2 (char 2).
+        let p = FieldPoly::from_coeffs(&f, vec![7, 9, 11, 13]);
+        assert_eq!(p.derivative().coeffs(), &[9, 0, 13]);
+        assert!(FieldPoly::one(&f).derivative().is_zero());
+    }
+
+    #[test]
+    fn scale_distributes() {
+        let f = f();
+        let p = FieldPoly::from_coeffs(&f, vec![1, 2, 3]);
+        let q = FieldPoly::from_coeffs(&f, vec![5, 6]);
+        let c = 0x35;
+        let lhs = p.add(&q).scale(c);
+        let rhs = p.scale(c).add(&q.scale(c));
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,59 @@
+//! Default primitive polynomials for GF(2^m).
+
+/// Returns a conventional primitive polynomial for GF(2^m), encoded with the
+/// leading term included (e.g. `x^8 + x^4 + x^3 + x^2 + 1` is `0x11D`).
+///
+/// These are the polynomials used throughout the coding-theory literature
+/// (Lin & Costello, Appendix B) and by commercial Flash/DRAM ECC engines.
+///
+/// Returns `None` if `m` is outside the supported range `3..=16`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pmck_gf::default_primitive_poly(8), Some(0x11D));
+/// assert_eq!(pmck_gf::default_primitive_poly(2), None);
+/// ```
+pub fn default_primitive_poly(m: u32) -> Option<u32> {
+    Some(match m {
+        3 => 0b1011,        // x^3 + x + 1
+        4 => 0x13,          // x^4 + x + 1
+        5 => 0x25,          // x^5 + x^2 + 1
+        6 => 0x43,          // x^6 + x + 1
+        7 => 0x89,          // x^7 + x^3 + 1
+        8 => 0x11D,         // x^8 + x^4 + x^3 + x^2 + 1
+        9 => 0x211,         // x^9 + x^4 + 1
+        10 => 0x409,        // x^10 + x^3 + 1
+        11 => 0x805,        // x^11 + x^2 + 1
+        12 => 0x1053,       // x^12 + x^6 + x^4 + x + 1
+        13 => 0x201B,       // x^13 + x^4 + x^3 + x + 1
+        14 => 0x4443,       // x^14 + x^10 + x^6 + x + 1
+        15 => 0x8003,       // x^15 + x + 1
+        16 => 0x1100B,      // x^16 + x^12 + x^3 + x + 1
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supported_range() {
+        for m in 3..=16 {
+            let p = default_primitive_poly(m).expect("supported m");
+            // Leading term must be x^m.
+            assert_eq!(32 - p.leading_zeros() - 1, m, "degree for m={m}");
+            // Constant term must be 1 for a primitive polynomial.
+            assert_eq!(p & 1, 1, "constant term for m={m}");
+        }
+    }
+
+    #[test]
+    fn unsupported_range() {
+        assert_eq!(default_primitive_poly(0), None);
+        assert_eq!(default_primitive_poly(1), None);
+        assert_eq!(default_primitive_poly(2), None);
+        assert_eq!(default_primitive_poly(17), None);
+    }
+}

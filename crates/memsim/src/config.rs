@@ -1,0 +1,249 @@
+//! Memory-system configuration (paper Table I and §VI).
+
+use serde::{Deserialize, Serialize};
+
+/// Picoseconds per nanosecond; all simulator times are `u64` picoseconds.
+pub const PS_PER_NS: u64 = 1000;
+
+/// One nanosecond in simulator time units.
+pub const NS: u64 = PS_PER_NS;
+
+/// Which rank a request targets in the paper's hybrid channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RankKind {
+    /// The volatile DRAM rank.
+    Dram,
+    /// The persistent-memory NVRAM rank.
+    Nvram,
+}
+
+/// Core DDR-style timing parameters, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timing {
+    /// Activate-to-read delay (row open). NVRAM ranks carry the
+    /// technology read latency here, as in the paper.
+    pub t_rcd: u64,
+    /// Column access (CAS) latency.
+    pub t_cas: u64,
+    /// Precharge latency.
+    pub t_rp: u64,
+    /// Data burst duration on the bus (BL8 at 2400 MT/s ≈ 3.33 ns).
+    pub t_burst: u64,
+    /// Write recovery: delay after a write burst before the row may be
+    /// precharged. NVRAM ranks carry the technology write latency here.
+    pub t_wr: u64,
+}
+
+impl Timing {
+    /// DDR4-2400-class DRAM timing (CL17-equivalent, ~14.2 ns phases).
+    pub fn ddr4_2400() -> Self {
+        Timing {
+            t_rcd: 14_160,
+            t_cas: 14_160,
+            t_rp: 14_160,
+            t_burst: 3_330,
+            t_wr: 15_000,
+        }
+    }
+}
+
+/// NVRAM read/write latencies, applied as `tRCD`/`tWR` overrides
+/// (the paper's §VI modeling, following Lee et al. \[42\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvramTiming {
+    /// Array read latency, used as `tRCD` (picoseconds).
+    pub read_ps: u64,
+    /// Array write latency, used as `tWR` (picoseconds).
+    pub write_ps: u64,
+}
+
+impl NvramTiming {
+    /// ReRAM: 120 ns read, 300 ns write (paper §VI, following \[89\]).
+    pub fn reram() -> Self {
+        NvramTiming {
+            read_ps: 120 * NS,
+            write_ps: 300 * NS,
+        }
+    }
+
+    /// PCM: 250 ns read, 600 ns write (paper §VI, following \[60\]).
+    pub fn pcm() -> Self {
+        NvramTiming {
+            read_ps: 250 * NS,
+            write_ps: 600 * NS,
+        }
+    }
+
+    /// The timing for an NVRAM rank: DDR4 structure with `tRCD`/`tWR`
+    /// replaced by the technology latencies.
+    pub fn as_timing(self) -> Timing {
+        Timing {
+            t_rcd: self.read_ps,
+            t_wr: self.write_ps,
+            ..Timing::ddr4_2400()
+        }
+    }
+}
+
+/// Full memory-controller configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// DRAM-rank timing.
+    pub dram: Timing,
+    /// NVRAM-rank timing.
+    pub nvram: Timing,
+    /// Banks per rank (Table I: 16).
+    pub banks_per_rank: usize,
+    /// 64 B blocks per row per rank (8 KB rank row = 128 blocks).
+    pub row_blocks: usize,
+    /// Read queue capacity (Table I: 128).
+    pub read_queue: usize,
+    /// Write queue capacity (Table I: 128).
+    pub write_queue: usize,
+    /// Write-drain high watermark (start draining writes).
+    pub wq_high: usize,
+    /// Write-drain low watermark (stop draining).
+    pub wq_low: usize,
+    /// Minimum buffered writes before opportunistic (non-drain) write
+    /// issue is allowed — batching writes preserves their row locality,
+    /// which both reduces read interference and lets the EUR coalesce
+    /// VLEW updates.
+    pub wq_min_drain: usize,
+    /// Forward-progress bound: a write older than this issues regardless
+    /// of batch size.
+    pub write_timeout_ps: u64,
+    /// Idle time after which an open row is closed (50 ns, Ramulator's
+    /// default timeout policy used in §VI).
+    pub row_idle_close_ps: u64,
+    /// `tWR` multiplier on the NVRAM rank (×1000, fixed point) for the
+    /// proposal's iso-lifetime write slowing: `1 + (33/8)·C`, plus the
+    /// 20 ns encoder/internal-read adder below.
+    pub nvram_twr_mult_milli: u64,
+    /// Flat addition to NVRAM `tWR` in ps (the paper's pessimistic 20 ns
+    /// for BCH encoding and internal old-data read).
+    pub nvram_twr_add_ps: u64,
+    /// Whether the EUR (per-row VLEW code-bit update coalescing) is
+    /// modeled; when off, every PM write counts one VLEW code write
+    /// (the no-coalescing ablation).
+    pub eur_enabled: bool,
+    /// Blocks covered by one VLEW within a row (256 B / 8 B = 32).
+    pub vlew_blocks: usize,
+}
+
+impl MemConfig {
+    /// The paper's hybrid channel: DDR4-2400 DRAM rank + NVRAM rank with
+    /// the given technology timing, 16 banks each, 128-entry queues,
+    /// closed-page after 50 ns.
+    pub fn paper_hybrid(nvram: NvramTiming) -> Self {
+        MemConfig {
+            dram: Timing::ddr4_2400(),
+            nvram: nvram.as_timing(),
+            banks_per_rank: 16,
+            row_blocks: 128,
+            read_queue: 128,
+            write_queue: 128,
+            wq_high: 100,
+            wq_low: 32,
+            wq_min_drain: 48,
+            write_timeout_ps: 10_000 * NS,
+            row_idle_close_ps: 50 * NS,
+            nvram_twr_mult_milli: 1000,
+            nvram_twr_add_ps: 0,
+            eur_enabled: true,
+            vlew_blocks: 32,
+        }
+    }
+
+    /// Applies the proposal's iso-lifetime write slowing for a measured C
+    /// factor: `tWR ← tWR · (1 + (33/8)·C) + 20 ns` (§V-E, §VI).
+    pub fn with_proposal_write_slowing(mut self, c_factor: f64) -> Self {
+        assert!(c_factor >= 0.0, "C factor must be nonnegative");
+        self.nvram_twr_mult_milli = ((1.0 + 33.0 / 8.0 * c_factor) * 1000.0).round() as u64;
+        self.nvram_twr_add_ps = 20 * NS;
+        self
+    }
+
+    /// The effective timing for a rank, with NVRAM write slowing applied.
+    pub fn timing(&self, rank: RankKind) -> Timing {
+        match rank {
+            RankKind::Dram => self.dram,
+            RankKind::Nvram => {
+                let mut t = self.nvram;
+                t.t_wr = t.t_wr * self.nvram_twr_mult_milli / 1000 + self.nvram_twr_add_ps;
+                t
+            }
+        }
+    }
+
+    /// Decomposes a block address into `(bank, row, block-in-row)`.
+    /// Sequential blocks fill a row (row-buffer locality), rows interleave
+    /// across banks.
+    pub fn map_addr(&self, block_addr: u64) -> (usize, u64, usize) {
+        let col = (block_addr % self.row_blocks as u64) as usize;
+        let bank = ((block_addr / self.row_blocks as u64) % self.banks_per_rank as u64) as usize;
+        let row = block_addr / (self.row_blocks as u64 * self.banks_per_rank as u64);
+        (bank, row, col)
+    }
+
+    /// The VLEW index of a block within its row (`col / 32`).
+    pub fn vlew_index(&self, block_addr: u64) -> usize {
+        let (_, _, col) = self.map_addr(block_addr);
+        col / self.vlew_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_defaults() {
+        let cfg = MemConfig::paper_hybrid(NvramTiming::reram());
+        assert_eq!(cfg.banks_per_rank, 16);
+        assert_eq!(cfg.read_queue, 128);
+        assert_eq!(cfg.timing(RankKind::Nvram).t_rcd, 120 * NS);
+        assert_eq!(cfg.timing(RankKind::Nvram).t_wr, 300 * NS);
+        assert_eq!(cfg.row_idle_close_ps, 50 * NS);
+    }
+
+    #[test]
+    fn pcm_timing() {
+        let t = NvramTiming::pcm().as_timing();
+        assert_eq!(t.t_rcd, 250 * NS);
+        assert_eq!(t.t_wr, 600 * NS);
+        assert_eq!(t.t_cas, Timing::ddr4_2400().t_cas);
+    }
+
+    #[test]
+    fn write_slowing_math() {
+        // C = 0.2 → multiplier 1.825, +20 ns.
+        let cfg = MemConfig::paper_hybrid(NvramTiming::reram()).with_proposal_write_slowing(0.2);
+        let t = cfg.timing(RankKind::Nvram);
+        assert_eq!(t.t_wr, 300 * NS * 1825 / 1000 + 20 * NS);
+        // DRAM unaffected.
+        assert_eq!(cfg.timing(RankKind::Dram).t_wr, 15 * NS);
+    }
+
+    #[test]
+    fn address_mapping_row_locality() {
+        let cfg = MemConfig::paper_hybrid(NvramTiming::reram());
+        let (b0, r0, c0) = cfg.map_addr(0);
+        let (b1, r1, c1) = cfg.map_addr(1);
+        assert_eq!((b0, r0), (b1, r1), "adjacent blocks share a row");
+        assert_eq!(c1, c0 + 1);
+        let (b2, r2, _) = cfg.map_addr(128);
+        assert_eq!(r2, r0);
+        assert_eq!(b2, b0 + 1, "next row chunk goes to the next bank");
+        let (_, r3, _) = cfg.map_addr(128 * 16);
+        assert_eq!(r3, r0 + 1);
+    }
+
+    #[test]
+    fn vlew_index_spans_32_blocks() {
+        let cfg = MemConfig::paper_hybrid(NvramTiming::reram());
+        assert_eq!(cfg.vlew_index(0), 0);
+        assert_eq!(cfg.vlew_index(31), 0);
+        assert_eq!(cfg.vlew_index(32), 1);
+        assert_eq!(cfg.vlew_index(127), 3);
+    }
+}

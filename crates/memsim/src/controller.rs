@@ -1,0 +1,537 @@
+//! The memory controller: FR-FCFS scheduling over per-bank state with
+//! read priority, write-drain watermarks, and EUR bookkeeping.
+
+use std::fmt;
+
+use crate::bank::{AccessClass, BankState};
+use crate::config::{MemConfig, RankKind};
+use crate::eur::Eur;
+use crate::request::{MemRequest, ReqId};
+use crate::stats::MemStats;
+
+/// A finished request: the echoed id and the completion time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The caller-chosen request id.
+    pub id: ReqId,
+    /// Whether the request was a write.
+    pub is_write: bool,
+    /// Completion time (data returned / write absorbed), picoseconds.
+    pub finish_ps: u64,
+}
+
+/// Returned when a queue has no free entry; the caller must back off and
+/// retry after advancing time (this is the back-pressure the paper's
+/// 128-entry buffers exert).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memory controller queue is full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    req: MemRequest,
+    arrival_ps: u64,
+}
+
+/// A cycle-approximate memory controller for one channel with a DRAM rank
+/// and an NVRAM rank (paper Table I).
+///
+/// Drive it with [`MemoryController::enqueue`] +
+/// [`MemoryController::advance_to`]; collect results with
+/// [`MemoryController::drain_completions`].
+#[derive(Debug)]
+pub struct MemoryController {
+    cfg: MemConfig,
+    banks: [Vec<BankState>; 2],
+    bus_free_ps: u64,
+    rq: Vec<Pending>,
+    wq: Vec<Pending>,
+    draining: bool,
+    time_ps: u64,
+    completions: Vec<Completion>,
+    stats: MemStats,
+    eur: Eur,
+}
+
+impl MemoryController {
+    /// Creates a controller for `cfg` with all banks precharged and idle.
+    pub fn new(cfg: MemConfig) -> Self {
+        let banks_dram = (0..cfg.banks_per_rank).map(|_| BankState::new()).collect();
+        let banks_nvram = (0..cfg.banks_per_rank).map(|_| BankState::new()).collect();
+        let eur = Eur::new(cfg.eur_enabled);
+        MemoryController {
+            cfg,
+            banks: [banks_dram, banks_nvram],
+            bus_free_ps: 0,
+            rq: Vec::new(),
+            wq: Vec::new(),
+            draining: false,
+            time_ps: 0,
+            completions: Vec::new(),
+            stats: MemStats::default(),
+            eur,
+        }
+    }
+
+    fn rank_idx(rank: RankKind) -> usize {
+        match rank {
+            RankKind::Dram => 0,
+            RankKind::Nvram => 1,
+        }
+    }
+
+    /// Whether a read can currently be accepted.
+    pub fn can_accept_read(&self) -> bool {
+        self.rq.len() < self.cfg.read_queue
+    }
+
+    /// Whether a write can currently be accepted.
+    pub fn can_accept_write(&self) -> bool {
+        self.wq.len() < self.cfg.write_queue
+    }
+
+    /// Enqueues `req` at the controller's current time.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the respective queue is at capacity.
+    pub fn enqueue(&mut self, req: MemRequest) -> Result<(), QueueFull> {
+        let p = Pending {
+            req,
+            arrival_ps: self.time_ps,
+        };
+        if req.is_write {
+            if !self.can_accept_write() {
+                return Err(QueueFull);
+            }
+            self.wq.push(p);
+        } else {
+            if !self.can_accept_read() {
+                return Err(QueueFull);
+            }
+            self.rq.push(p);
+        }
+        Ok(())
+    }
+
+    /// Current simulator time in picoseconds.
+    pub fn now_ps(&self) -> u64 {
+        self.time_ps
+    }
+
+    /// Outstanding request count (both queues).
+    pub fn pending(&self) -> usize {
+        self.rq.len() + self.wq.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// The EUR model (C-factor bookkeeping).
+    pub fn eur(&self) -> &Eur {
+        &self.eur
+    }
+
+    /// Drains all EUR registers (simulation end) so the C factor reflects
+    /// rows that never closed.
+    pub fn finalize_eur(&mut self) {
+        self.eur.drain_all();
+    }
+
+    /// Takes the completions produced so far.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// The earliest time any queued request could issue, or `None` when
+    /// both queues are empty. Drives event-driven callers: when all cores
+    /// are blocked, advance the controller exactly this far.
+    pub fn next_issue_time(&self) -> Option<u64> {
+        if self.drain_active() {
+            return self.pick_candidate(&self.wq).map(|(_, _, t)| t);
+        }
+        let a = self.pick_candidate(&self.rq).map(|(_, _, t)| t);
+        let b = self.write_timeout_at().and_then(|allow| {
+            self.pick_candidate(&self.wq)
+                .map(|(_, _, t)| t.max(allow))
+        });
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        }
+    }
+
+    /// Whether the next scheduling decision will be in drain mode (the
+    /// hysteresis of [`MemoryController::update_drain_mode`], evaluated
+    /// without mutating state).
+    fn drain_active(&self) -> bool {
+        if self.draining {
+            self.wq.len() > self.cfg.wq_low
+        } else {
+            self.wq.len() >= self.cfg.wq_high
+                || (self.rq.is_empty() && self.wq.len() >= self.cfg.wq_min_drain)
+        }
+    }
+
+    /// Processes all work schedulable up to time `t` (picoseconds),
+    /// advancing the controller clock to `t`.
+    pub fn advance_to(&mut self, t: u64) {
+        loop {
+            self.update_drain_mode();
+            // Strict two-mode scheduling. Drain mode services writes
+            // exclusively: an uninterrupted burst keeps each write row
+            // open, which preserves row locality and lets the EUR
+            // coalesce VLEW updates. Outside drain mode reads are
+            // serviced; a lone write escapes only via the aging timeout.
+            let candidate = if self.draining {
+                self.pick_candidate(&self.wq)
+            } else {
+                let r = self.pick_candidate(&self.rq);
+                let w = self.write_timeout_at().and_then(|allow| {
+                    self.pick_candidate(&self.wq)
+                        .map(|(i, q, issue)| (i, q, issue.max(allow)))
+                });
+                // Earliest wins; reads take ties. This matters for
+                // liveness: a timed-out write must not starve behind a
+                // read that cannot issue yet.
+                match (r, w) {
+                    (Some(r), Some(w)) => {
+                        if r.2 <= w.2 {
+                            Some(r)
+                        } else {
+                            Some(w)
+                        }
+                    }
+                    (r, w) => r.or(w),
+                }
+            };
+            let Some((qidx, from_wq, issue_ps)) = candidate else {
+                break;
+            };
+            if issue_ps > t {
+                break;
+            }
+            self.issue(qidx, from_wq);
+        }
+        self.time_ps = self.time_ps.max(t);
+    }
+
+    /// The aging bound for buffered writes outside drain mode: the oldest
+    /// write may issue at `arrival + timeout`. `None` when the write
+    /// queue is empty.
+    fn write_timeout_at(&self) -> Option<u64> {
+        self.wq
+            .iter()
+            .map(|p| p.arrival_ps)
+            .min()
+            .map(|oldest| oldest + self.cfg.write_timeout_ps)
+    }
+
+    fn update_drain_mode(&mut self) {
+        if self.draining {
+            if self.wq.len() <= self.cfg.wq_low {
+                self.draining = false;
+            }
+        } else if self.wq.len() >= self.cfg.wq_high
+            || (self.rq.is_empty() && self.wq.len() >= self.cfg.wq_min_drain)
+        {
+            self.draining = true;
+            self.stats.drain_entries += 1;
+        }
+    }
+
+    /// Plans every entry of `queue` and picks the FR-FCFS winner:
+    /// earliest issue; among ties, row hits first, then oldest arrival.
+    /// Returns `(index, is_write_queue, issue_ps)`; the flag reflects
+    /// whether `queue` is this controller's write queue.
+    fn pick_candidate(&self, queue: &[Pending]) -> Option<(usize, bool, u64)> {
+        let mut best: Option<(usize, u64, bool, u64)> = None; // idx, issue, hit, arrival
+        for (i, p) in queue.iter().enumerate() {
+            let (bank_idx, row, _) = self.cfg.map_addr(p.req.block_addr);
+            let rank = Self::rank_idx(p.req.rank);
+            let timing = self.cfg.timing(p.req.rank);
+            let plan = self.banks[rank][bank_idx].plan(
+                row,
+                p.req.is_write,
+                p.arrival_ps.max(self.time_ps),
+                &timing,
+                self.cfg.row_idle_close_ps,
+            );
+            // Bus constraint: the data burst must start after bus_free.
+            let burst_start = plan.complete_ps - timing.t_burst;
+            let shift = self.bus_free_ps.saturating_sub(burst_start);
+            let issue = plan.issue_ps + shift;
+            let hit = plan.class == AccessClass::RowHit;
+            let better = match &best {
+                None => true,
+                Some((_, b_issue, b_hit, b_arr)) => {
+                    (issue, !hit, p.arrival_ps) < (*b_issue, !b_hit, *b_arr)
+                }
+            };
+            if better {
+                best = Some((i, issue, hit, p.arrival_ps));
+            }
+        }
+        let is_wq = queue.as_ptr() == self.wq.as_ptr();
+        best.map(|(i, issue, _, _)| (i, is_wq, issue))
+    }
+
+    fn issue(&mut self, qidx: usize, from_wq: bool) {
+        let p = if from_wq {
+            self.wq.remove(qidx)
+        } else {
+            self.rq.remove(qidx)
+        };
+        let (bank_idx, row, _) = self.cfg.map_addr(p.req.block_addr);
+        let rank = Self::rank_idx(p.req.rank);
+        let timing = self.cfg.timing(p.req.rank);
+        let mut plan = self.banks[rank][bank_idx].plan(
+            row,
+            p.req.is_write,
+            p.arrival_ps.max(self.time_ps),
+            &timing,
+            self.cfg.row_idle_close_ps,
+        );
+        // Re-apply the bus shift used during selection.
+        let burst_start = plan.complete_ps - timing.t_burst;
+        let shift = self.bus_free_ps.saturating_sub(burst_start);
+        plan.issue_ps += shift;
+        plan.complete_ps += shift;
+
+        // EUR: a closing NVRAM row drains its coalesced code-bit updates.
+        if p.req.rank == RankKind::Nvram {
+            if let Some(closed) = plan.closed_row {
+                self.eur.drain_row(bank_idx, closed);
+            }
+            if p.req.is_write {
+                let vlew = self.cfg.vlew_index(p.req.block_addr);
+                self.eur.record_write(bank_idx, row, vlew);
+            }
+        }
+
+        if p.req.is_write {
+            self.stats.write_issues += 1;
+            if plan.class == AccessClass::RowHit {
+                self.stats.write_row_hits += 1;
+            }
+        }
+        match plan.class {
+            AccessClass::RowHit => self.stats.row_hits += 1,
+            AccessClass::RowClosed => self.stats.row_closed += 1,
+            AccessClass::RowConflict => self.stats.row_conflicts += 1,
+        }
+        self.banks[rank][bank_idx].commit(row, p.req.is_write, &plan, &timing);
+        self.bus_free_ps = plan.complete_ps;
+        self.time_ps = self.time_ps.max(plan.issue_ps);
+        self.stats.count_access(p.req.rank, p.req.is_write);
+        if !p.req.is_write {
+            self.stats.read_latency_sum_ps += plan.complete_ps - p.arrival_ps;
+            self.stats.read_latency_samples += 1;
+        }
+        self.completions.push(Completion {
+            id: p.req.id,
+            is_write: p.req.is_write,
+            finish_ps: plan.complete_ps,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NvramTiming, NS};
+
+    fn cfg() -> MemConfig {
+        MemConfig::paper_hybrid(NvramTiming::reram())
+    }
+
+    fn run_until_idle(mc: &mut MemoryController) -> Vec<Completion> {
+        let mut out = Vec::new();
+        let mut t = mc.now_ps();
+        while mc.pending() > 0 {
+            t += 10_000 * NS;
+            mc.advance_to(t);
+            out.extend(mc.drain_completions());
+        }
+        out
+    }
+
+    #[test]
+    fn single_dram_read_latency() {
+        let mut mc = MemoryController::new(cfg());
+        mc.enqueue(MemRequest::read(1, 0, RankKind::Dram)).unwrap();
+        let done = run_until_idle(&mut mc);
+        let t = cfg().timing(RankKind::Dram);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].finish_ps, t.t_rcd + t.t_cas + t.t_burst);
+    }
+
+    #[test]
+    fn nvram_read_slower_than_dram() {
+        let mut mc = MemoryController::new(cfg());
+        mc.enqueue(MemRequest::read(1, 0, RankKind::Dram)).unwrap();
+        mc.enqueue(MemRequest::read(2, 1 << 20, RankKind::Nvram)).unwrap();
+        let done = run_until_idle(&mut mc);
+        let dram = done.iter().find(|c| c.id == 1).unwrap().finish_ps;
+        let nvram = done.iter().find(|c| c.id == 2).unwrap().finish_ps;
+        assert!(nvram > dram + 90 * NS, "dram={dram} nvram={nvram}");
+    }
+
+    #[test]
+    fn row_hits_are_faster() {
+        let mut mc = MemoryController::new(cfg());
+        // Two reads in the same row.
+        mc.enqueue(MemRequest::read(1, 0, RankKind::Dram)).unwrap();
+        mc.enqueue(MemRequest::read(2, 1, RankKind::Dram)).unwrap();
+        let done = run_until_idle(&mut mc);
+        assert_eq!(mc.stats().row_hits, 1);
+        let t = cfg().timing(RankKind::Dram);
+        let first = done.iter().map(|c| c.finish_ps).min().unwrap();
+        let second = done.iter().map(|c| c.finish_ps).max().unwrap();
+        // The second access pays only CAS+burst beyond bus serialization.
+        assert!(second - first <= t.t_cas + t.t_burst);
+    }
+
+    #[test]
+    fn bank_parallelism_overlaps() {
+        let mut mc = MemoryController::new(cfg());
+        // Same rank, different banks (128 blocks apart).
+        mc.enqueue(MemRequest::read(1, 0, RankKind::Dram)).unwrap();
+        mc.enqueue(MemRequest::read(2, 128, RankKind::Dram)).unwrap();
+        let done = run_until_idle(&mut mc);
+        let t = cfg().timing(RankKind::Dram);
+        let single = t.t_rcd + t.t_cas + t.t_burst;
+        let last = done.iter().map(|c| c.finish_ps).max().unwrap();
+        // Overlapped: far less than 2x serial latency.
+        assert!(last < single + t.t_burst + NS, "last={last}, single={single}");
+    }
+
+    #[test]
+    fn queue_full_rejects() {
+        let mut mc = MemoryController::new(cfg());
+        for i in 0..128 {
+            mc.enqueue(MemRequest::read(i, i, RankKind::Dram)).unwrap();
+        }
+        assert!(!mc.can_accept_read());
+        assert_eq!(
+            mc.enqueue(MemRequest::read(999, 0, RankKind::Dram)),
+            Err(QueueFull)
+        );
+        // Writes still accepted.
+        assert!(mc.can_accept_write());
+    }
+
+    #[test]
+    fn reads_prioritized_over_writes_until_watermark() {
+        let mut mc = MemoryController::new(cfg());
+        for i in 0..10 {
+            mc.enqueue(MemRequest::write(1000 + i, 4096 + i, RankKind::Dram))
+                .unwrap();
+        }
+        mc.enqueue(MemRequest::read(1, 0, RankKind::Dram)).unwrap();
+        mc.advance_to(200 * NS);
+        let done = mc.drain_completions();
+        let read_done = done.iter().find(|c| c.id == 1);
+        assert!(read_done.is_some(), "read must be served promptly");
+        assert_eq!(mc.stats().drain_entries, 0);
+    }
+
+    #[test]
+    fn write_drain_mode_triggers_at_watermark() {
+        let mut mc = MemoryController::new(cfg());
+        for i in 0..100 {
+            mc.enqueue(MemRequest::write(i, i * 7, RankKind::Dram)).unwrap();
+        }
+        let _ = run_until_idle(&mut mc);
+        assert!(mc.stats().drain_entries >= 1);
+        assert_eq!(mc.stats().writes_for(RankKind::Dram), 100);
+    }
+
+    #[test]
+    fn nvram_write_recovery_delays_row_conflict_read() {
+        let mut mc = MemoryController::new(cfg());
+        // Write to NVRAM bank 0, row 0.
+        mc.enqueue(MemRequest::write(1, 0, RankKind::Nvram)).unwrap();
+        let done1 = run_until_idle(&mut mc);
+        let w_done = done1[0].finish_ps;
+        // Read a different row in the same bank: must wait out tWR=300ns.
+        mc.enqueue(MemRequest::read(2, 128 * 16, RankKind::Nvram)).unwrap();
+        let done2 = run_until_idle(&mut mc);
+        let t = cfg().timing(RankKind::Nvram);
+        assert!(
+            done2[0].finish_ps >= w_done + t.t_wr,
+            "read at {} vs write recovery {}",
+            done2[0].finish_ps,
+            w_done + t.t_wr
+        );
+    }
+
+    #[test]
+    fn eur_counts_c_factor() {
+        let mut mc = MemoryController::new(cfg());
+        // 32 sequential writes, all in VLEW 0 of row 0.
+        for i in 0..32 {
+            mc.enqueue(MemRequest::write(i, i, RankKind::Nvram)).unwrap();
+        }
+        let _ = run_until_idle(&mut mc);
+        mc.finalize_eur();
+        assert_eq!(mc.eur().pm_writes(), 32);
+        assert_eq!(mc.eur().drains(), 1, "all 32 coalesce into one register");
+        assert!((mc.eur().c_factor() - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eur_drains_on_row_conflict() {
+        let mut mc = MemoryController::new(cfg());
+        mc.enqueue(MemRequest::write(1, 0, RankKind::Nvram)).unwrap();
+        let _ = run_until_idle(&mut mc);
+        assert_eq!(mc.eur().occupancy(), 1);
+        // A conflicting row in the same bank forces the close + drain.
+        mc.enqueue(MemRequest::read(2, 128 * 16, RankKind::Nvram)).unwrap();
+        let _ = run_until_idle(&mut mc);
+        assert_eq!(mc.eur().occupancy(), 0);
+        assert_eq!(mc.eur().drains(), 1);
+    }
+
+    #[test]
+    fn proposal_write_slowing_increases_write_impact() {
+        // Same request stream; proposal config has slower NVRAM writes, so
+        // the total completion time must grow.
+        let stream: Vec<MemRequest> = (0..64)
+            .map(|i| MemRequest::write(i, i * 129, RankKind::Nvram))
+            .collect();
+        let run = |cfg: MemConfig| {
+            let mut mc = MemoryController::new(cfg);
+            for r in &stream {
+                mc.enqueue(*r).unwrap();
+            }
+            run_until_idle(&mut mc)
+                .iter()
+                .map(|c| c.finish_ps)
+                .max()
+                .unwrap()
+        };
+        let base = run(cfg());
+        let slowed = run(cfg().with_proposal_write_slowing(0.5));
+        assert!(slowed > base, "base={base} slowed={slowed}");
+    }
+
+    #[test]
+    fn latency_stats_accumulate() {
+        let mut mc = MemoryController::new(cfg());
+        mc.enqueue(MemRequest::read(1, 0, RankKind::Dram)).unwrap();
+        mc.enqueue(MemRequest::read(2, 500_000, RankKind::Dram)).unwrap();
+        let _ = run_until_idle(&mut mc);
+        assert_eq!(mc.stats().read_latency_samples, 2);
+        assert!(mc.stats().avg_read_latency_ps() > 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! The ECC Update Registerfile (EUR): per-chip coalescing of VLEW
+//! code-bit updates within an open row (paper §V-D, Figure 11).
+//!
+//! Each register accumulates the bitwise sum of all code-bit updates for
+//! one VLEW of an open row; when the row closes, every nonempty register
+//! is drained (one internal read-modify-write of the 33 B code area per
+//! register). The ratio of drains to persistent-memory writes is the
+//! paper's **C factor** (Figure 15), which governs the iso-lifetime write
+//! slowing.
+//!
+//! Timing-wise the registerfile is free (updates happen during the write
+//! burst); lifetime-wise each drain writes 33 extra bytes per chip. This
+//! model tracks drain counts; bytes-written accounting is the caller's.
+
+use std::collections::HashSet;
+
+/// EUR occupancy tracker for one rank.
+///
+/// Registers are keyed by `(bank, row, vlew_index)`. With the EUR
+/// disabled (ablation), every write drains immediately: C approaches 1.
+#[derive(Debug, Clone, Default)]
+pub struct Eur {
+    dirty: HashSet<(usize, u64, usize)>,
+    enabled: bool,
+    pm_writes: u64,
+    drains: u64,
+}
+
+impl Eur {
+    /// Creates an EUR model; `enabled == false` gives the no-coalescing
+    /// ablation in which every write costs one code-bit update.
+    pub fn new(enabled: bool) -> Self {
+        Eur {
+            dirty: HashSet::new(),
+            enabled,
+            pm_writes: 0,
+            drains: 0,
+        }
+    }
+
+    /// Records a persistent-memory write to `(bank, row, vlew_index)`.
+    pub fn record_write(&mut self, bank: usize, row: u64, vlew_index: usize) {
+        self.pm_writes += 1;
+        if self.enabled {
+            self.dirty.insert((bank, row, vlew_index));
+        } else {
+            self.drains += 1;
+        }
+    }
+
+    /// Drains all registers belonging to `(bank, row)` (the row is
+    /// closing); returns how many registers were drained.
+    pub fn drain_row(&mut self, bank: usize, row: u64) -> usize {
+        if !self.enabled {
+            return 0;
+        }
+        let before = self.dirty.len();
+        self.dirty.retain(|&(b, r, _)| !(b == bank && r == row));
+        let n = before - self.dirty.len();
+        self.drains += n as u64;
+        n
+    }
+
+    /// Drains everything (e.g. at simulation end), returning the count.
+    pub fn drain_all(&mut self) -> usize {
+        let n = self.dirty.len();
+        self.dirty.clear();
+        self.drains += n as u64;
+        n
+    }
+
+    /// Registers currently dirty.
+    pub fn occupancy(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Total persistent-memory writes observed.
+    pub fn pm_writes(&self) -> u64 {
+        self.pm_writes
+    }
+
+    /// Total code-bit drains performed.
+    pub fn drains(&self) -> u64 {
+        self.drains
+    }
+
+    /// The measured C factor: code-bit writes per PM write request
+    /// (Figure 15). Zero when no writes were observed. Callers measuring
+    /// C at simulation end should [`Eur::drain_all`] first.
+    pub fn c_factor(&self) -> f64 {
+        if self.pm_writes == 0 {
+            0.0
+        } else {
+            self.drains as f64 / self.pm_writes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesces_writes_to_same_vlew() {
+        let mut eur = Eur::new(true);
+        for _ in 0..32 {
+            eur.record_write(0, 7, 2);
+        }
+        assert_eq!(eur.occupancy(), 1);
+        assert_eq!(eur.drain_row(0, 7), 1);
+        assert_eq!(eur.c_factor(), 1.0 / 32.0);
+    }
+
+    #[test]
+    fn separate_vlews_drain_separately() {
+        let mut eur = Eur::new(true);
+        eur.record_write(0, 7, 0);
+        eur.record_write(0, 7, 1);
+        eur.record_write(0, 8, 0);
+        assert_eq!(eur.drain_row(0, 7), 2);
+        assert_eq!(eur.occupancy(), 1);
+        assert_eq!(eur.drain_all(), 1);
+        assert_eq!(eur.drains(), 3);
+        assert_eq!(eur.c_factor(), 1.0);
+    }
+
+    #[test]
+    fn disabled_eur_counts_every_write() {
+        let mut eur = Eur::new(false);
+        for _ in 0..10 {
+            eur.record_write(1, 1, 1);
+        }
+        assert_eq!(eur.occupancy(), 0);
+        assert_eq!(eur.drain_row(1, 1), 0);
+        assert_eq!(eur.c_factor(), 1.0);
+    }
+
+    #[test]
+    fn c_factor_zero_without_writes() {
+        assert_eq!(Eur::new(true).c_factor(), 0.0);
+    }
+
+    #[test]
+    fn spatial_locality_lowers_c() {
+        // Sequential writes across a row's 4 VLEWs: C = 4/128.
+        let mut eur = Eur::new(true);
+        for blk in 0..128usize {
+            eur.record_write(0, 0, blk / 32);
+        }
+        eur.drain_all();
+        assert!((eur.c_factor() - 4.0 / 128.0).abs() < 1e-12);
+
+        // Scattered single writes to distinct rows: C = 1.
+        let mut eur2 = Eur::new(true);
+        for row in 0..100u64 {
+            eur2.record_write(0, row, 0);
+        }
+        eur2.drain_all();
+        assert_eq!(eur2.c_factor(), 1.0);
+    }
+}

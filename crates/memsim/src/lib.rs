@@ -1,0 +1,46 @@
+//! Bank/row-accurate memory-system timing simulator for hybrid
+//! DRAM + NVRAM channels.
+//!
+//! Reproduces the memory substrate the paper evaluates on (Ramulator-in-
+//! gem5, §VI): one 2400 MT/s channel with one DRAM rank and one persistent
+//! memory (NVRAM) rank, 16 banks per rank, FR-FCFS scheduling, 128-entry
+//! read/write queues, and a closed-page policy that closes a row after
+//! 50 ns of inactivity. NVRAM ranks override `tRCD`/`tWR` with
+//! technology-specific read/write latencies (ReRAM 120/300 ns, PCM
+//! 250/600 ns), as the paper does.
+//!
+//! The proposal's hardware hooks are modeled where the paper puts them:
+//!
+//! * a per-chip **ECC Update Registerfile** ([`Eur`]) coalescing VLEW
+//!   code-bit updates per open row, drained when the row closes — its
+//!   drain count yields the per-workload **C factor** of Figure 15;
+//! * a `tWR` multiplier for iso-lifetime write slowing (§V-E/§VI);
+//! * per-request force-fetch hooks for VLEW fallback reads (§VI).
+//!
+//! # Examples
+//!
+//! ```
+//! use pmck_memsim::{MemConfig, MemoryController, MemRequest, RankKind, NS};
+//!
+//! let cfg = MemConfig::paper_hybrid(pmck_memsim::NvramTiming::reram());
+//! let mut mc = MemoryController::new(cfg);
+//! mc.enqueue(MemRequest::read(0, 42, RankKind::Nvram)).unwrap();
+//! mc.advance_to(2_000 * NS);
+//! let done = mc.drain_completions();
+//! assert_eq!(done.len(), 1);
+//! assert!(done[0].finish_ps > 0);
+//! ```
+
+mod bank;
+mod config;
+mod controller;
+mod eur;
+mod request;
+mod stats;
+
+pub use bank::BankState;
+pub use config::{MemConfig, NvramTiming, RankKind, Timing, NS, PS_PER_NS};
+pub use controller::{Completion, MemoryController, QueueFull};
+pub use eur::Eur;
+pub use request::{MemRequest, ReqId};
+pub use stats::MemStats;

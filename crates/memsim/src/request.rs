@@ -1,0 +1,59 @@
+//! Memory request descriptors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::RankKind;
+
+/// An opaque request identifier chosen by the caller, echoed back in the
+/// matching [`crate::Completion`].
+pub type ReqId = u64;
+
+/// A 64 B block request presented to the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Caller-chosen identifier, echoed in the completion.
+    pub id: ReqId,
+    /// Block address (64 B granularity) within the target rank.
+    pub block_addr: u64,
+    /// Whether this is a write.
+    pub is_write: bool,
+    /// Target rank.
+    pub rank: RankKind,
+}
+
+impl MemRequest {
+    /// A block read.
+    pub fn read(id: ReqId, block_addr: u64, rank: RankKind) -> Self {
+        MemRequest {
+            id,
+            block_addr,
+            is_write: false,
+            rank,
+        }
+    }
+
+    /// A block write.
+    pub fn write(id: ReqId, block_addr: u64, rank: RankKind) -> Self {
+        MemRequest {
+            id,
+            block_addr,
+            is_write: true,
+            rank,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = MemRequest::read(7, 100, RankKind::Dram);
+        assert!(!r.is_write);
+        assert_eq!(r.id, 7);
+        let w = MemRequest::write(8, 200, RankKind::Nvram);
+        assert!(w.is_write);
+        assert_eq!(w.rank, RankKind::Nvram);
+    }
+}

@@ -1,0 +1,96 @@
+//! Memory-controller statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::RankKind;
+
+/// Counters accumulated by the memory controller.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Completed reads per rank `[dram, nvram]`.
+    pub reads: [u64; 2],
+    /// Completed writes per rank `[dram, nvram]`.
+    pub writes: [u64; 2],
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Accesses to a precharged bank.
+    pub row_closed: u64,
+    /// Row conflicts (explicit precharge needed).
+    pub row_conflicts: u64,
+    /// Sum of read latencies (enqueue → data) in ps, for averages.
+    pub read_latency_sum_ps: u64,
+    /// Number of read latency samples.
+    pub read_latency_samples: u64,
+    /// Times the controller entered write-drain mode.
+    pub drain_entries: u64,
+    /// Row-buffer hits among writes only (write-batching diagnostic).
+    pub write_row_hits: u64,
+    /// Issued writes (write-batching diagnostic).
+    pub write_issues: u64,
+}
+
+impl MemStats {
+    fn rank_idx(rank: RankKind) -> usize {
+        match rank {
+            RankKind::Dram => 0,
+            RankKind::Nvram => 1,
+        }
+    }
+
+    pub(crate) fn count_access(&mut self, rank: RankKind, is_write: bool) {
+        let i = Self::rank_idx(rank);
+        if is_write {
+            self.writes[i] += 1;
+        } else {
+            self.reads[i] += 1;
+        }
+    }
+
+    /// Completed reads for a rank.
+    pub fn reads_for(&self, rank: RankKind) -> u64 {
+        self.reads[Self::rank_idx(rank)]
+    }
+
+    /// Completed writes for a rank.
+    pub fn writes_for(&self, rank: RankKind) -> u64 {
+        self.writes[Self::rank_idx(rank)]
+    }
+
+    /// Average read latency in picoseconds (0 if no samples).
+    pub fn avg_read_latency_ps(&self) -> f64 {
+        if self.read_latency_samples == 0 {
+            0.0
+        } else {
+            self.read_latency_sum_ps as f64 / self.read_latency_samples as f64
+        }
+    }
+
+    /// Row-buffer hit rate over all accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_closed + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_rates() {
+        let mut s = MemStats::default();
+        s.count_access(RankKind::Dram, false);
+        s.count_access(RankKind::Nvram, true);
+        s.count_access(RankKind::Nvram, true);
+        assert_eq!(s.reads_for(RankKind::Dram), 1);
+        assert_eq!(s.writes_for(RankKind::Nvram), 2);
+        assert_eq!(s.avg_read_latency_ps(), 0.0);
+        s.row_hits = 3;
+        s.row_closed = 1;
+        assert_eq!(s.row_hit_rate(), 0.75);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the memory controller: conservation, causality,
+//! and scheduling invariants under random request streams.
+
+use pmck_memsim::{Completion, MemConfig, MemRequest, MemoryController, NvramTiming, RankKind, NS};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn drive(seed: u64, n: usize, gap_ns: u64) -> (Vec<Completion>, MemoryController) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mc = MemoryController::new(MemConfig::paper_hybrid(NvramTiming::reram()));
+    let mut out = Vec::new();
+    let mut t = 0u64;
+    for i in 0..n {
+        let req = {
+            let addr = rng.gen_range(0..1u64 << 18);
+            let rank = if rng.gen_bool(0.5) {
+                RankKind::Nvram
+            } else {
+                RankKind::Dram
+            };
+            if rng.gen_bool(0.4) {
+                MemRequest::write(i as u64, addr, rank)
+            } else {
+                MemRequest::read(i as u64, addr, rank)
+            }
+        };
+        while mc.enqueue(req).is_err() {
+            t += 500 * NS;
+            mc.advance_to(t);
+            out.extend(mc.drain_completions());
+        }
+        t += gap_ns * NS;
+        mc.advance_to(t);
+        out.extend(mc.drain_completions());
+    }
+    while mc.pending() > 0 {
+        t += 50_000 * NS;
+        mc.advance_to(t);
+        out.extend(mc.drain_completions());
+    }
+    (out, mc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_request_completes_exactly_once(seed in any::<u64>(), n in 10usize..400, gap in 0u64..200) {
+        let (completions, mc) = drive(seed, n, gap);
+        prop_assert_eq!(completions.len(), n);
+        let mut ids: Vec<u64> = completions.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n, "no duplicate completions");
+        let s = mc.stats();
+        let counted = s.reads[0] + s.reads[1] + s.writes[0] + s.writes[1];
+        prop_assert_eq!(counted as usize, n);
+    }
+
+    #[test]
+    fn completions_have_positive_latency(seed in any::<u64>(), n in 10usize..200) {
+        let (completions, _) = drive(seed, n, 50);
+        for c in &completions {
+            prop_assert!(c.finish_ps > 0);
+        }
+    }
+
+    #[test]
+    fn row_class_counts_partition_accesses(seed in any::<u64>(), n in 10usize..300) {
+        let (_, mc) = drive(seed, n, 20);
+        let s = mc.stats();
+        prop_assert_eq!(
+            s.row_hits + s.row_closed + s.row_conflicts,
+            n as u64,
+            "every access classified exactly once"
+        );
+    }
+
+    #[test]
+    fn eur_drains_never_exceed_pm_writes(seed in any::<u64>(), n in 10usize..300) {
+        let (_, mut mc) = drive(seed, n, 20);
+        mc.finalize_eur();
+        prop_assert!(mc.eur().drains() <= mc.eur().pm_writes());
+        let c = mc.eur().c_factor();
+        prop_assert!((0.0..=1.0).contains(&c), "C = {c}");
+    }
+
+    #[test]
+    fn denser_traffic_is_never_faster_per_request(seed in any::<u64>()) {
+        // Average read latency with zero think time must be >= with
+        // generous spacing (queueing can only hurt).
+        let (_, mc_dense) = drive(seed, 200, 0);
+        let (_, mc_sparse) = drive(seed, 200, 500);
+        prop_assert!(
+            mc_dense.stats().avg_read_latency_ps()
+                >= mc_sparse.stats().avg_read_latency_ps() * 0.99
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Whole-chip failure models for chipkill experiments.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a failed chip corrupts the bytes it contributes to each block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChipFailureKind {
+    /// Output pins stuck at all-zeros.
+    StuckZero,
+    /// Output pins stuck at all-ones.
+    StuckOne,
+    /// Output is uniformly random garbage (e.g. broken sense amps or a
+    /// dead address decoder returning arbitrary rows).
+    RandomGarbage,
+    /// The stored value is returned unchanged — a fault in the chip's
+    /// control logic that happens to leave array contents readable. Still
+    /// counted as failed for retirement purposes.
+    SilentControl,
+}
+
+impl ChipFailureKind {
+    /// All failure kinds.
+    pub const ALL: [ChipFailureKind; 4] = [
+        ChipFailureKind::StuckZero,
+        ChipFailureKind::StuckOne,
+        ChipFailureKind::RandomGarbage,
+        ChipFailureKind::SilentControl,
+    ];
+}
+
+/// A failed chip: which chip in the rank and how its output is corrupted.
+///
+/// # Examples
+///
+/// ```
+/// use pmck_nvram::{ChipFailureKind, FailedChip};
+/// use rand::SeedableRng;
+///
+/// let f = FailedChip::new(3, ChipFailureKind::StuckOne);
+/// let mut out = [0u8; 8];
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// f.corrupt_output(&mut out, &mut rng);
+/// assert_eq!(out, [0xFF; 8]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FailedChip {
+    chip_index: usize,
+    kind: ChipFailureKind,
+}
+
+impl FailedChip {
+    /// Declares chip `chip_index` failed with the given corruption `kind`.
+    pub fn new(chip_index: usize, kind: ChipFailureKind) -> Self {
+        FailedChip { chip_index, kind }
+    }
+
+    /// The failed chip's index within its rank.
+    pub fn chip_index(&self) -> usize {
+        self.chip_index
+    }
+
+    /// The corruption pattern.
+    pub fn kind(&self) -> ChipFailureKind {
+        self.kind
+    }
+
+    /// Applies the failure to the bytes this chip would have returned.
+    pub fn corrupt_output<R: Rng + ?Sized>(&self, bytes: &mut [u8], rng: &mut R) {
+        match self.kind {
+            ChipFailureKind::StuckZero => bytes.fill(0),
+            ChipFailureKind::StuckOne => bytes.fill(0xFF),
+            ChipFailureKind::RandomGarbage => rng.fill(bytes),
+            ChipFailureKind::SilentControl => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stuck_patterns() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = [0xA5u8; 8];
+        FailedChip::new(0, ChipFailureKind::StuckZero).corrupt_output(&mut b, &mut rng);
+        assert_eq!(b, [0u8; 8]);
+        FailedChip::new(0, ChipFailureKind::StuckOne).corrupt_output(&mut b, &mut rng);
+        assert_eq!(b, [0xFFu8; 8]);
+    }
+
+    #[test]
+    fn garbage_differs_from_original_with_high_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let orig = [0xA5u8; 8];
+        let mut changed = 0;
+        for _ in 0..32 {
+            let mut b = orig;
+            FailedChip::new(1, ChipFailureKind::RandomGarbage).corrupt_output(&mut b, &mut rng);
+            if b != orig {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 31);
+    }
+
+    #[test]
+    fn silent_control_preserves_bytes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = [0x42u8; 8];
+        FailedChip::new(2, ChipFailureKind::SilentControl).corrupt_output(&mut b, &mut rng);
+        assert_eq!(b, [0x42u8; 8]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Stochastic bit-error injection.
+
+use rand::Rng;
+
+/// Injects independent random bit flips at a fixed raw bit error rate.
+///
+/// Uses geometric skip sampling (draw the gap to the next error directly),
+/// so the cost of corrupting a buffer is proportional to the number of
+/// errors rather than the number of bits — essential when scrubbing
+/// gigabytes at RBER 10⁻³ or probing terabytes at 10⁻⁵.
+///
+/// # Examples
+///
+/// ```
+/// use pmck_nvram::BitErrorInjector;
+/// use rand::SeedableRng;
+///
+/// let inj = BitErrorInjector::new(1e-2);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut buf = vec![0u8; 8192];
+/// let flips = inj.corrupt(&mut buf, &mut rng);
+/// // ~655 expected flips; loosely bounded here.
+/// assert!(flips.len() > 400 && flips.len() < 1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitErrorInjector {
+    rber: f64,
+}
+
+impl BitErrorInjector {
+    /// Creates an injector with raw bit error rate `rber`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rber < 1.0`.
+    pub fn new(rber: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rber),
+            "rber must be in [0, 1), got {rber}"
+        );
+        BitErrorInjector { rber }
+    }
+
+    /// The configured raw bit error rate.
+    pub fn rber(&self) -> f64 {
+        self.rber
+    }
+
+    /// Samples the bit positions (ascending) that flip in a span of
+    /// `n_bits` independent bits.
+    pub fn sample_positions<R: Rng + ?Sized>(&self, n_bits: usize, rng: &mut R) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.rber == 0.0 || n_bits == 0 {
+            return out;
+        }
+        let ln_q = (1.0 - self.rber).ln(); // < 0
+        let mut pos = 0usize;
+        loop {
+            // Geometric gap: floor(ln(U) / ln(1-p)) failures before the
+            // next success.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let gap = (u.ln() / ln_q).floor();
+            if !gap.is_finite() || gap >= (n_bits - pos) as f64 {
+                break;
+            }
+            pos += gap as usize;
+            out.push(pos);
+            pos += 1;
+            if pos >= n_bits {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Flips random bits of `buf` in place; returns the flipped bit
+    /// positions (bit `i` = bit `i % 8` of byte `i / 8`), ascending.
+    pub fn corrupt<R: Rng + ?Sized>(&self, buf: &mut [u8], rng: &mut R) -> Vec<usize> {
+        let positions = self.sample_positions(buf.len() * 8, rng);
+        for &p in &positions {
+            buf[p / 8] ^= 1 << (p % 8);
+        }
+        positions
+    }
+}
+
+/// The expected number of bit errors in `n_bits` at rate `rber`.
+pub fn expected_errors(n_bits: usize, rber: f64) -> f64 {
+    n_bits as f64 * rber
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_never_flips() {
+        let inj = BitErrorInjector::new(0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut buf = [0xFFu8; 128];
+        assert!(inj.corrupt(&mut buf, &mut rng).is_empty());
+        assert!(buf.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    #[should_panic(expected = "rber must be in")]
+    fn rejects_rate_one() {
+        let _ = BitErrorInjector::new(1.0);
+    }
+
+    #[test]
+    fn positions_are_ascending_and_unique() {
+        let inj = BitErrorInjector::new(0.05);
+        let mut rng = StdRng::seed_from_u64(42);
+        let pos = inj.sample_positions(10_000, &mut rng);
+        assert!(!pos.is_empty());
+        for w in pos.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*pos.last().unwrap() < 10_000);
+    }
+
+    #[test]
+    fn empirical_rate_matches_configured() {
+        let p = 1e-3;
+        let inj = BitErrorInjector::new(p);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n_bits = 4_000_000;
+        let mut total = 0usize;
+        for _ in 0..10 {
+            total += inj.sample_positions(n_bits, &mut rng).len();
+        }
+        let measured = total as f64 / (10.0 * n_bits as f64);
+        let rel = (measured - p).abs() / p;
+        assert!(rel < 0.05, "measured {measured:.3e} vs {p:.1e}");
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_reported_bits() {
+        let inj = BitErrorInjector::new(0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        let original = [0xA5u8; 256];
+        let mut buf = original;
+        let pos = inj.corrupt(&mut buf, &mut rng);
+        let mut expect = original;
+        for &p in &pos {
+            expect[p / 8] ^= 1 << (p % 8);
+        }
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn per_block_distribution_matches_figure7_shape() {
+        // At RBER 2e-4 a 72 B (576-bit) access has ≥1 error with
+        // probability ~0.109; >99.98% have ≤2 errors (paper Fig 7).
+        let inj = BitErrorInjector::new(2e-4);
+        let mut rng = StdRng::seed_from_u64(99);
+        let trials = 200_000;
+        let mut counts = [0usize; 8];
+        for _ in 0..trials {
+            let n = inj.sample_positions(576, &mut rng).len().min(7);
+            counts[n] += 1;
+        }
+        let p0 = counts[0] as f64 / trials as f64;
+        assert!((p0 - 0.8914).abs() < 0.01, "P(0 errors) ≈ 0.891, got {p0:.4}");
+        let le2 = (counts[0] + counts[1] + counts[2]) as f64 / trials as f64;
+        assert!(le2 > 0.9995, "≤2 errors fraction {le2}");
+    }
+
+    #[test]
+    fn expected_errors_helper() {
+        assert_eq!(expected_errors(512, 1e-3), 0.512);
+    }
+}

@@ -1,0 +1,45 @@
+//! NVRAM error models: retention-driven raw bit error rates, stochastic
+//! bit-error injection, chip failures, and write-endurance wear.
+//!
+//! High-density NVRAMs (multi-level PCM, ReRAM) forget data over time: the
+//! raw bit error rate (RBER) grows with time since the last write or
+//! refresh (paper §II-B, Figure 1). This crate models:
+//!
+//! * [`MemoryTech`] / [`rber_at`] — per-technology retention curves
+//!   interpolating the measurements the paper cites (e.g. 3-bit PCM at
+//!   7·10⁻⁵ one second after refresh, 2·10⁻⁴ after an hour, 10⁻³ after a
+//!   week; ReRAM at 10⁻³ after a year).
+//! * [`BitErrorInjector`] — i.i.d. random bit flips at a given RBER, using
+//!   geometric skip sampling so injection cost scales with the number of
+//!   errors, not the number of bits.
+//! * [`ChipFailureKind`] / [`FailedChip`] — whole-chip failure patterns
+//!   (stuck output, random garbage) for chipkill experiments.
+//! * [`WearModel`] — probabilistic wear-out where a cell's error
+//!   probability rises with write count (paper §II-B, \[64\]).
+//!
+//! # Examples
+//!
+//! ```
+//! use pmck_nvram::{rber_at, BitErrorInjector, MemoryTech};
+//! use rand::SeedableRng;
+//!
+//! // 3-bit PCM, one week unrefreshed: the paper's 1e-3 boot-time target.
+//! let p = rber_at(MemoryTech::Pcm3Bit, 7.0 * 86400.0);
+//! assert!((8e-4..2e-3).contains(&p));
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let inj = BitErrorInjector::new(p);
+//! let mut block = [0u8; 64];
+//! let flipped = inj.corrupt(&mut block, &mut rng);
+//! assert_eq!(flipped.len(), block.iter().map(|b| b.count_ones() as usize).sum::<usize>());
+//! ```
+
+mod chipfail;
+mod inject;
+mod tech;
+mod wear;
+
+pub use chipfail::{ChipFailureKind, FailedChip};
+pub use inject::{expected_errors, BitErrorInjector};
+pub use tech::{rber_at, rber_band, MemoryTech, RetentionCurve};
+pub use wear::{WearModel, WearState};

@@ -1,0 +1,176 @@
+//! Write-endurance wear model.
+//!
+//! Wear errors in ReRAM are probabilistic: the probability that a given
+//! cell reads erroneously rises gradually with the number of writes before
+//! eventually reaching 100% (paper §II-B, citing Sills'14 \[64\]). The model
+//! here is a smooth ramp `p(w) = p_max · (w / endurance)^gamma`, clamped
+//! to `[0, 1]`, which captures "gradual rise then certain failure".
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the probabilistic wear model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WearModel {
+    /// Rated write endurance (writes at which `p` reaches `p_max`).
+    pub endurance: u64,
+    /// Sharpness of the ramp; >1 delays onset (typical: 2–4).
+    pub gamma: f64,
+    /// Error probability at the rated endurance (1.0 = certain failure).
+    pub p_max: f64,
+}
+
+impl Default for WearModel {
+    fn default() -> Self {
+        // ReRAM-class endurance (1e8 writes) with a cubic onset.
+        WearModel {
+            endurance: 100_000_000,
+            gamma: 3.0,
+            p_max: 1.0,
+        }
+    }
+}
+
+impl WearModel {
+    /// The per-read wear-induced error probability after `writes` writes.
+    pub fn error_probability(&self, writes: u64) -> f64 {
+        let frac = writes as f64 / self.endurance as f64;
+        (self.p_max * frac.powf(self.gamma)).clamp(0.0, 1.0)
+    }
+
+    /// Whether a block with `writes` writes should be considered worn out
+    /// and disabled, at the given acceptable probability `p_disable`.
+    pub fn is_worn_out(&self, writes: u64, p_disable: f64) -> bool {
+        self.error_probability(writes) >= p_disable
+    }
+}
+
+/// Per-block wear state: write counter plus disabled flag.
+///
+/// # Examples
+///
+/// ```
+/// use pmck_nvram::{WearModel, WearState};
+///
+/// let model = WearModel { endurance: 1000, gamma: 1.0, p_max: 1.0 };
+/// let mut st = WearState::new();
+/// for _ in 0..500 {
+///     st.record_write();
+/// }
+/// assert_eq!(model.error_probability(st.writes()), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WearState {
+    writes: u64,
+    disabled: bool,
+}
+
+impl WearState {
+    /// Fresh, unworn state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total writes recorded.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Records one write.
+    pub fn record_write(&mut self) {
+        self.writes = self.writes.saturating_add(1);
+    }
+
+    /// Records `n` writes at once (e.g. amplified code-bit writes — the
+    /// paper's §V-E lifetime accounting scales physical bits written per
+    /// request by `33B/8B · C`).
+    pub fn record_writes(&mut self, n: u64) {
+        self.writes = self.writes.saturating_add(n);
+    }
+
+    /// Whether the block has been disabled.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
+    }
+
+    /// Marks the block disabled (taken out of service).
+    pub fn disable(&mut self) {
+        self.disabled = true;
+    }
+
+    /// Samples whether a read of this block suffers a wear error.
+    pub fn sample_wear_error<R: Rng + ?Sized>(&self, model: &WearModel, rng: &mut R) -> bool {
+        let p = model.error_probability(self.writes);
+        p > 0.0 && rng.gen_bool(p.min(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probability_ramps_monotonically() {
+        let m = WearModel::default();
+        let mut prev = -1.0;
+        for w in [0u64, 10_000, 1_000_000, 50_000_000, 100_000_000, 1 << 60] {
+            let p = m.error_probability(w);
+            assert!(p >= prev);
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn reaches_certainty_at_endurance() {
+        let m = WearModel {
+            endurance: 1000,
+            gamma: 2.0,
+            p_max: 1.0,
+        };
+        assert_eq!(m.error_probability(1000), 1.0);
+        assert_eq!(m.error_probability(0), 0.0);
+    }
+
+    #[test]
+    fn worn_out_threshold() {
+        let m = WearModel {
+            endurance: 100,
+            gamma: 1.0,
+            p_max: 1.0,
+        };
+        assert!(!m.is_worn_out(9, 0.1));
+        assert!(m.is_worn_out(10, 0.1));
+    }
+
+    #[test]
+    fn state_counts_and_disables() {
+        let mut st = WearState::new();
+        st.record_write();
+        st.record_writes(9);
+        assert_eq!(st.writes(), 10);
+        assert!(!st.is_disabled());
+        st.disable();
+        assert!(st.is_disabled());
+    }
+
+    #[test]
+    fn sampling_respects_probability() {
+        let m = WearModel {
+            endurance: 100,
+            gamma: 1.0,
+            p_max: 1.0,
+        };
+        let mut st = WearState::new();
+        st.record_writes(50); // p = 0.5
+        let mut rng = StdRng::seed_from_u64(8);
+        let hits = (0..10_000)
+            .filter(|_| st.sample_wear_error(&m, &mut rng))
+            .count();
+        assert!((4500..5500).contains(&hits), "hits={hits}");
+        let fresh = WearState::new();
+        assert!(!fresh.sample_wear_error(&m, &mut rng));
+    }
+}

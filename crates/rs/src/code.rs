@@ -1,0 +1,273 @@
+//! RS code construction and systematic encoding.
+
+use pmck_gf::{FieldPoly, Gf2m};
+
+use crate::error::RsError;
+
+/// A systematic Reed-Solomon code RS(n, k) over GF(2^8) with `r = n − k`
+/// check symbols and minimum distance `d = r + 1`.
+///
+/// Code roots are `alpha^1 .. alpha^r` (first consecutive root 1). The
+/// codeword vector is indexed by polynomial degree:
+///
+/// ```text
+/// [0 .. r)    check bytes
+/// [r .. n)    data bytes (data[i] at position r + i)
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use pmck_rs::RsCode;
+///
+/// let code = RsCode::per_block(); // RS(72, 64), the paper's per-block code
+/// assert_eq!(code.check_symbols(), 8);
+/// assert_eq!(code.min_distance(), 9);
+/// assert_eq!(code.max_random_errors(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RsCode {
+    pub(crate) field: Gf2m,
+    pub(crate) k: usize,
+    pub(crate) r: usize,
+    pub(crate) generator: FieldPoly,
+}
+
+impl RsCode {
+    /// Constructs RS(k + r, k) over GF(2^8).
+    ///
+    /// # Errors
+    ///
+    /// * [`RsError::DegenerateParameters`] if `k == 0` or `r == 0`.
+    /// * [`RsError::CodeTooLong`] if `k + r > 255`.
+    pub fn new(k: usize, r: usize) -> Result<Self, RsError> {
+        if k == 0 || r == 0 {
+            return Err(RsError::DegenerateParameters);
+        }
+        if k + r > 255 {
+            return Err(RsError::CodeTooLong(k, r));
+        }
+        let field = Gf2m::new(8).expect("GF(2^8) is supported");
+        // g(x) = prod_{j=1..r} (x + alpha^j)
+        let mut generator = FieldPoly::one(&field);
+        for j in 1..=r as u64 {
+            let root = field.alpha_pow(j);
+            generator = generator.mul(&FieldPoly::from_coeffs(&field, vec![root, 1]));
+        }
+        Ok(RsCode {
+            field,
+            k,
+            r,
+            generator,
+        })
+    }
+
+    /// The paper's per-block code: RS(72, 64) — 64 data bytes (one memory
+    /// block) plus 8 check bytes (the parity chip's contribution).
+    pub fn per_block() -> Self {
+        RsCode::new(64, 8).expect("per-block parameters are valid")
+    }
+
+    /// Number of data symbols `k`.
+    pub fn data_symbols(&self) -> usize {
+        self.k
+    }
+
+    /// Number of check symbols `r`.
+    pub fn check_symbols(&self) -> usize {
+        self.r
+    }
+
+    /// Codeword length `n = k + r`.
+    pub fn len(&self) -> usize {
+        self.k + self.r
+    }
+
+    /// Whether the codeword length is zero (never true for a valid code).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Minimum Hamming distance `d = r + 1`.
+    pub fn min_distance(&self) -> usize {
+        self.r + 1
+    }
+
+    /// Maximum number of random symbol errors correctable, `⌊r/2⌋`.
+    pub fn max_random_errors(&self) -> usize {
+        self.r / 2
+    }
+
+    /// Maximum number of erasures correctable (with no errors), `d − 1 = r`.
+    pub fn max_erasures(&self) -> usize {
+        self.r
+    }
+
+    /// Encodes `data` (exactly `k` bytes) into an `n`-byte codeword:
+    /// check bytes in `[0, r)`, data in `[r, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k`.
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len(), self.k, "need exactly {} data bytes", self.k);
+        let mut cw = vec![0u8; self.len()];
+        cw[self.r..].copy_from_slice(data);
+        let parity = self.parity(data);
+        cw[..self.r].copy_from_slice(&parity);
+        cw
+    }
+
+    /// Computes the `r` check bytes for `data`: `(d(x)·x^r) mod g(x)`.
+    ///
+    /// Like all linear codes, `parity(a ⊕ b) = parity(a) ⊕ parity(b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k`.
+    pub fn parity(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len(), self.k, "need exactly {} data bytes", self.k);
+        // Synthetic LFSR division: process data from the highest degree
+        // (last byte of `data` = degree n−1) down.
+        let f = &self.field;
+        let g = self.generator.coeffs(); // g[r] == 1
+        let mut reg = vec![0u32; self.r];
+        for &byte in data.iter().rev() {
+            let feedback = reg[self.r - 1] ^ byte as u32;
+            for i in (1..self.r).rev() {
+                reg[i] = reg[i - 1] ^ f.mul(feedback, g[i]);
+            }
+            reg[0] = f.mul(feedback, g[0]);
+        }
+        reg.iter().map(|&v| v as u8).collect()
+    }
+
+    /// Extracts the `k` data bytes from a codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw.len() != n`.
+    pub fn extract_data(&self, cw: &[u8]) -> Vec<u8> {
+        assert_eq!(cw.len(), self.len(), "codeword length mismatch");
+        cw[self.r..].to_vec()
+    }
+
+    /// Whether `cw` is a valid codeword (all syndromes zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw.len() != n`.
+    pub fn is_codeword(&self, cw: &[u8]) -> bool {
+        self.syndromes(cw).iter().all(|&s| s == 0)
+    }
+
+    /// Computes the `r` syndromes `S_j = R(alpha^j)`, `j = 1..=r`,
+    /// returned 0-indexed (`result[j-1] = S_j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw.len() != n`.
+    pub fn syndromes(&self, cw: &[u8]) -> Vec<u32> {
+        assert_eq!(cw.len(), self.len(), "codeword length mismatch");
+        let f = &self.field;
+        (1..=self.r as u64)
+            .map(|j| {
+                let x = f.alpha_pow(j);
+                let mut acc = 0u32;
+                for &byte in cw.iter().rev() {
+                    acc = f.mul(acc, x) ^ byte as u32;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// The underlying field GF(2^8).
+    pub fn field(&self) -> &Gf2m {
+        &self.field
+    }
+
+    /// The generator polynomial g(x).
+    pub fn generator(&self) -> &FieldPoly {
+        &self.generator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_block_geometry() {
+        let code = RsCode::per_block();
+        assert_eq!(code.len(), 72);
+        assert_eq!(code.data_symbols(), 64);
+        assert_eq!(code.min_distance(), 9);
+        assert_eq!(code.max_random_errors(), 4);
+        assert_eq!(code.max_erasures(), 8);
+        assert_eq!(
+            code.generator.degree(),
+            Some(8),
+            "generator degree equals r"
+        );
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert_eq!(RsCode::new(0, 8).unwrap_err(), RsError::DegenerateParameters);
+        assert_eq!(RsCode::new(8, 0).unwrap_err(), RsError::DegenerateParameters);
+        assert_eq!(RsCode::new(250, 6).unwrap_err(), RsError::CodeTooLong(250, 6));
+    }
+
+    #[test]
+    fn encode_yields_valid_codeword() {
+        let code = RsCode::per_block();
+        let data: Vec<u8> = (0..64).map(|i| (i * 37 + 11) as u8).collect();
+        let cw = code.encode(&data);
+        assert!(code.is_codeword(&cw));
+        assert_eq!(code.extract_data(&cw), data);
+    }
+
+    #[test]
+    fn zero_data_is_zero_codeword() {
+        let code = RsCode::new(16, 4).unwrap();
+        let cw = code.encode(&[0u8; 16]);
+        assert!(cw.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn parity_is_linear() {
+        let code = RsCode::per_block();
+        let a: Vec<u8> = (0..64).map(|i| (i * 7) as u8).collect();
+        let b: Vec<u8> = (0..64).map(|i| (i * 13 + 5) as u8).collect();
+        let ab: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        let pa = code.parity(&a);
+        let pb = code.parity(&b);
+        let pab = code.parity(&ab);
+        for i in 0..8 {
+            assert_eq!(pa[i] ^ pb[i], pab[i]);
+        }
+    }
+
+    #[test]
+    fn any_single_byte_change_invalidates() {
+        let code = RsCode::new(12, 4).unwrap();
+        let data: Vec<u8> = (0..12).collect();
+        let cw = code.encode(&data);
+        for i in 0..cw.len() {
+            let mut bad = cw.clone();
+            bad[i] ^= 0x01;
+            assert!(!code.is_codeword(&bad), "position {i}");
+        }
+    }
+
+    #[test]
+    fn generator_roots_are_alpha_powers() {
+        let code = RsCode::new(32, 6).unwrap();
+        let f = code.field();
+        for j in 1..=6u64 {
+            assert_eq!(code.generator().eval(f.alpha_pow(j)), 0, "alpha^{j}");
+        }
+        assert_ne!(code.generator().eval(f.alpha_pow(7)), 0);
+    }
+}

@@ -1,0 +1,439 @@
+//! Errors-and-erasures RS decoding (Berlekamp–Massey with erasure
+//! initialization, Chien search, Forney magnitudes).
+
+use pmck_gf::FieldPoly;
+
+use crate::code::RsCode;
+use crate::error::RsError;
+
+/// The result of a successful RS decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsDecodeOutcome {
+    corrected: Vec<(usize, u8)>,
+    erasure_positions: Vec<usize>,
+}
+
+impl RsDecodeOutcome {
+    /// `(position, magnitude)` pairs applied to the word, ascending by
+    /// position. Includes erasure positions whose magnitude was nonzero.
+    pub fn corrections(&self) -> &[(usize, u8)] {
+        &self.corrected
+    }
+
+    /// Positions corrected as *errors* (unknown locations) rather than
+    /// declared erasures.
+    pub fn error_positions(&self) -> Vec<usize> {
+        self.corrected
+            .iter()
+            .map(|&(p, _)| p)
+            .filter(|p| !self.erasure_positions.contains(p))
+            .collect()
+    }
+
+    /// The number of positions whose value actually changed.
+    pub fn num_corrections(&self) -> usize {
+        self.corrected.len()
+    }
+
+    /// Whether the received word was already a valid codeword.
+    pub fn was_clean(&self) -> bool {
+        self.corrected.is_empty()
+    }
+}
+
+impl RsCode {
+    /// Decodes `word` in place, correcting random symbol errors.
+    /// Equivalent to [`RsCode::decode_with_erasures`] with no erasures:
+    /// up to `⌊r/2⌋` errors are corrected.
+    ///
+    /// # Errors
+    ///
+    /// * [`RsError::LengthMismatch`] if `word.len() != n`.
+    /// * [`RsError::Uncorrectable`] if the pattern is detectably beyond
+    ///   capability (word left unmodified). Overweight patterns may also
+    ///   miscorrect silently, as with any bounded-distance decoder.
+    pub fn decode(&self, word: &mut [u8]) -> Result<RsDecodeOutcome, RsError> {
+        self.decode_with_erasures(word, &[])
+    }
+
+    /// Decodes `word` in place given known-bad `erasures` positions.
+    /// Corrects any combination of `e` errors and `ν` erasures with
+    /// `2e + ν ≤ r`.
+    ///
+    /// The paper's chip-failure path declares the failed chip's byte
+    /// positions as erasures (ν = 8 for RS(72, 64)), consuming the whole
+    /// budget; its runtime path uses no erasures and bounds accepted
+    /// corrections via [`RsCode::decode_with_threshold`].
+    ///
+    /// # Errors
+    ///
+    /// * [`RsError::LengthMismatch`] if `word.len() != n`.
+    /// * [`RsError::BadErasure`] for out-of-range or duplicate positions.
+    /// * [`RsError::TooManyErasures`] if `ν > r`.
+    /// * [`RsError::Uncorrectable`] if decoding fails (word unmodified).
+    pub fn decode_with_erasures(
+        &self,
+        word: &mut [u8],
+        erasures: &[usize],
+    ) -> Result<RsDecodeOutcome, RsError> {
+        if word.len() != self.len() {
+            return Err(RsError::LengthMismatch(word.len(), self.len()));
+        }
+        let nu = erasures.len();
+        if nu > self.max_erasures() {
+            return Err(RsError::TooManyErasures(nu));
+        }
+        let mut seen = vec![false; self.len()];
+        for &p in erasures {
+            if p >= self.len() || seen[p] {
+                return Err(RsError::BadErasure(p));
+            }
+            seen[p] = true;
+        }
+
+        let f = &self.field;
+        let s = self.syndromes(word);
+        if s.iter().all(|&x| x == 0) {
+            return Ok(RsDecodeOutcome {
+                corrected: vec![],
+                erasure_positions: erasures.to_vec(),
+            });
+        }
+
+        // Erasure locator Γ(x) = prod (1 + X_l x), X_l = alpha^position.
+        let mut gamma = FieldPoly::one(f);
+        for &p in erasures {
+            let xl = f.alpha_pow(p as u64);
+            gamma = gamma.mul(&FieldPoly::from_coeffs(f, vec![1, xl]));
+        }
+
+        // Berlekamp–Massey initialized with the erasure locator; iterates
+        // over syndromes s[nu..r).
+        let psi = self.berlekamp_massey_erasures(&s, &gamma, nu);
+        let deg = psi.degree().unwrap_or(0);
+        let num_errors = deg - nu.min(deg);
+        if 2 * num_errors + nu > self.r {
+            return Err(RsError::Uncorrectable);
+        }
+
+        // Chien search over the shortened length.
+        let locations = self.chien_search(&psi);
+        if locations.len() != deg {
+            return Err(RsError::Uncorrectable);
+        }
+
+        // Forney: Ω(x) = S(x)·Ψ(x) mod x^r; e_i = Ω(X_i⁻¹)/Ψ'(X_i⁻¹).
+        let s_poly = FieldPoly::from_coeffs(f, s.clone());
+        let omega = s_poly.mul(&psi).truncate(self.r);
+        let psi_deriv = psi.derivative();
+        let order = f.order() as u64;
+        let mut corrections: Vec<(usize, u8)> = Vec::with_capacity(deg);
+        for &p in &locations {
+            let x_inv = f.alpha_pow(order - (p as u64 % order));
+            let denom = psi_deriv.eval(x_inv);
+            if denom == 0 {
+                return Err(RsError::Uncorrectable);
+            }
+            let num = omega.eval(x_inv);
+            let mag = f.div(num, denom).expect("denominator checked nonzero");
+            if mag != 0 {
+                corrections.push((p, mag as u8));
+            }
+        }
+
+        // Apply, then verify; an off-codeword landing means decode failure.
+        for &(p, m) in &corrections {
+            word[p] ^= m;
+        }
+        if !self.is_codeword(word) {
+            for &(p, m) in &corrections {
+                word[p] ^= m;
+            }
+            return Err(RsError::Uncorrectable);
+        }
+        corrections.sort_unstable_by_key(|&(p, _)| p);
+        Ok(RsDecodeOutcome {
+            corrected: corrections,
+            erasure_positions: erasures.to_vec(),
+        })
+    }
+
+    /// Erasure-only decoding: all `erasures` positions are recomputed, and
+    /// no unknown-location errors are tolerated (any residual error makes
+    /// the decode fail rather than risk miscorrection).
+    ///
+    /// # Errors
+    ///
+    /// As [`RsCode::decode_with_erasures`].
+    pub fn decode_erasures(
+        &self,
+        word: &mut [u8],
+        erasures: &[usize],
+    ) -> Result<RsDecodeOutcome, RsError> {
+        let out = self.decode_with_erasures(word, erasures)?;
+        // Any correction outside the declared erasures means random errors
+        // were present; the strict erasure path refuses that.
+        if out
+            .corrections()
+            .iter()
+            .any(|&(p, _)| !erasures.contains(&p))
+        {
+            for &(p, m) in out.corrections() {
+                word[p] ^= m;
+            }
+            return Err(RsError::Uncorrectable);
+        }
+        Ok(out)
+    }
+
+    /// Berlekamp–Massey with erasure initialization (Blahut): Ψ starts as
+    /// Γ, the length starts at ν, and iteration runs over syndromes
+    /// `s[ν..r)`. Returns the combined error-and-erasure locator Ψ.
+    fn berlekamp_massey_erasures(&self, s: &[u32], gamma: &FieldPoly, nu: usize) -> FieldPoly {
+        let f = &self.field;
+        let r = self.r;
+        let mut lambda: Vec<u32> = vec![0; r + 1];
+        for (i, &c) in gamma.coeffs().iter().enumerate() {
+            lambda[i] = c;
+        }
+        let mut b = lambda.clone();
+        let mut l = nu;
+        let mut m = 1usize;
+        let mut bb = 1u32;
+        for i in nu..r {
+            let mut d = 0u32;
+            for j in 0..=l.min(i) {
+                if lambda[j] != 0 {
+                    d ^= f.mul(lambda[j], s[i - j]);
+                }
+            }
+            if d == 0 {
+                m += 1;
+            } else if 2 * l <= i + nu {
+                let saved = lambda.clone();
+                let coef = f.div(d, bb).expect("bb nonzero");
+                for j in 0..=(r - m.min(r)) {
+                    if b[j] != 0 && j + m <= r {
+                        lambda[j + m] ^= f.mul(coef, b[j]);
+                    }
+                }
+                l = i + 1 + nu - l;
+                b = saved;
+                bb = d;
+                m = 1;
+            } else {
+                let coef = f.div(d, bb).expect("bb nonzero");
+                for j in 0..=(r - m.min(r)) {
+                    if b[j] != 0 && j + m <= r {
+                        lambda[j + m] ^= f.mul(coef, b[j]);
+                    }
+                }
+                m += 1;
+            }
+        }
+        FieldPoly::from_coeffs(f, lambda)
+    }
+
+    /// Finds codeword positions whose location value inverse is a root of
+    /// `psi`.
+    fn chien_search(&self, psi: &FieldPoly) -> Vec<usize> {
+        let f = &self.field;
+        let order = f.order() as u64;
+        let mut out = Vec::new();
+        for p in 0..self.len() as u64 {
+            let x_inv = f.alpha_pow(order - (p % order));
+            if psi.eval(x_inv) == 0 {
+                out.push(p as usize);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_data(rng: &mut StdRng, k: usize) -> Vec<u8> {
+        (0..k).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn clean_word_no_corrections() {
+        let code = RsCode::per_block();
+        let data: Vec<u8> = (0..64).collect();
+        let mut cw = code.encode(&data);
+        let out = code.decode(&mut cw).unwrap();
+        assert!(out.was_clean());
+    }
+
+    #[test]
+    fn corrects_up_to_four_errors() {
+        let code = RsCode::per_block();
+        let mut rng = StdRng::seed_from_u64(3);
+        for nerr in 1..=4 {
+            for _ in 0..20 {
+                let data = sample_data(&mut rng, 64);
+                let clean = code.encode(&data);
+                let mut cw = clean.clone();
+                let mut pos = std::collections::BTreeSet::new();
+                while pos.len() < nerr {
+                    pos.insert(rng.gen_range(0..code.len()));
+                }
+                for &p in &pos {
+                    cw[p] ^= rng.gen_range(1..=255u8);
+                }
+                let out = code.decode(&mut cw).unwrap();
+                assert_eq!(cw, clean, "nerr={nerr}");
+                assert_eq!(out.num_corrections(), nerr);
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_eight_erasures_chip_failure() {
+        let code = RsCode::per_block();
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = sample_data(&mut rng, 64);
+        let clean = code.encode(&data);
+        let mut cw = clean.clone();
+        // Simulate a dead chip: 8 consecutive byte positions trashed.
+        let chip_bytes: Vec<usize> = (16..24).collect();
+        for &p in &chip_bytes {
+            cw[p] = rng.gen();
+        }
+        let out = code.decode_erasures(&mut cw, &chip_bytes).unwrap();
+        assert_eq!(cw, clean);
+        assert!(out.num_corrections() <= 8);
+    }
+
+    #[test]
+    fn corrects_mixed_errors_and_erasures() {
+        // 2e + ν ≤ 8: e.g. 2 errors + 4 erasures.
+        let code = RsCode::per_block();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..50 {
+            let data = sample_data(&mut rng, 64);
+            let clean = code.encode(&data);
+            let mut cw = clean.clone();
+            let mut positions = std::collections::BTreeSet::new();
+            while positions.len() < 6 {
+                positions.insert(rng.gen_range(0..code.len()));
+            }
+            let all: Vec<usize> = positions.into_iter().collect();
+            let erasures = &all[..4];
+            let errors = &all[4..];
+            for &p in &all {
+                cw[p] ^= rng.gen_range(1..=255u8);
+            }
+            code.decode_with_erasures(&mut cw, erasures).unwrap();
+            assert_eq!(cw, clean);
+            let _ = errors;
+        }
+    }
+
+    #[test]
+    fn erasure_with_correct_value_is_fine() {
+        // A declared erasure whose stored value happens to be correct must
+        // decode cleanly with zero magnitude at that position.
+        let code = RsCode::per_block();
+        let data: Vec<u8> = (100..164).map(|x| x as u8).collect();
+        let mut cw = code.encode(&data);
+        let clean = cw.clone();
+        let out = code.decode_erasures(&mut cw, &[0, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        assert_eq!(cw, clean);
+        assert_eq!(out.num_corrections(), 0);
+    }
+
+    #[test]
+    fn five_errors_never_returns_wrong_success_with_verification() {
+        // Five errors exceed capability: the decoder must either flag
+        // Uncorrectable or land on a *valid* codeword (counted as SDC by
+        // upper layers) — never return success with an invalid word.
+        let code = RsCode::per_block();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut flagged = 0;
+        for _ in 0..200 {
+            let data = sample_data(&mut rng, 64);
+            let mut cw = code.encode(&data);
+            let mut pos = std::collections::BTreeSet::new();
+            while pos.len() < 5 {
+                pos.insert(rng.gen_range(0..code.len()));
+            }
+            for &p in &pos {
+                cw[p] ^= rng.gen_range(1..=255u8);
+            }
+            match code.decode(&mut cw) {
+                Ok(_) => assert!(code.is_codeword(&cw)),
+                Err(RsError::Uncorrectable) => flagged += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(flagged > 150, "most 5-error patterns must be flagged, got {flagged}");
+    }
+
+    #[test]
+    fn uncorrectable_leaves_word_unmodified() {
+        let code = RsCode::new(16, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..100 {
+            let data = sample_data(&mut rng, 16);
+            let mut cw = code.encode(&data);
+            for p in 0..6 {
+                cw[p * 3] ^= rng.gen_range(1..=255u8);
+            }
+            let before = cw.clone();
+            if code.decode(&mut cw).is_err() {
+                assert_eq!(cw, before);
+                return;
+            }
+        }
+        panic!("expected an uncorrectable pattern");
+    }
+
+    #[test]
+    fn erasure_validation() {
+        let code = RsCode::per_block();
+        let mut cw = vec![0u8; 72];
+        assert_eq!(
+            code.decode_with_erasures(&mut cw, &[72]).unwrap_err(),
+            RsError::BadErasure(72)
+        );
+        assert_eq!(
+            code.decode_with_erasures(&mut cw, &[1, 1]).unwrap_err(),
+            RsError::BadErasure(1)
+        );
+        let nine: Vec<usize> = (0..9).collect();
+        assert_eq!(
+            code.decode_with_erasures(&mut cw, &nine).unwrap_err(),
+            RsError::TooManyErasures(9)
+        );
+        let mut short = vec![0u8; 71];
+        assert_eq!(
+            code.decode(&mut short).unwrap_err(),
+            RsError::LengthMismatch(71, 72)
+        );
+    }
+
+    #[test]
+    fn strict_erasure_decode_rejects_extra_errors() {
+        let code = RsCode::per_block();
+        let mut rng = StdRng::seed_from_u64(41);
+        let data = sample_data(&mut rng, 64);
+        let clean = code.encode(&data);
+        let mut cw = clean.clone();
+        // 4 erasures + 1 real error elsewhere: decode_with_erasures can fix
+        // both, but strict decode_erasures must refuse.
+        for p in 0..4 {
+            cw[p] ^= 0xFF;
+        }
+        cw[40] ^= 0x42;
+        let strict = code.decode_erasures(&mut cw.clone(), &[0, 1, 2, 3]);
+        assert!(strict.is_err());
+        let relaxed = code.decode_with_erasures(&mut cw, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(cw, clean);
+        assert!(relaxed.error_positions().contains(&40));
+    }
+}

@@ -1,0 +1,41 @@
+//! Error types for the Reed-Solomon codec.
+
+use std::fmt;
+
+/// Errors produced when constructing an [`crate::RsCode`] or decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RsError {
+    /// `k + r` exceeds 255, the natural length over GF(2^8).
+    /// Carries `(k, r)`.
+    CodeTooLong(usize, usize),
+    /// `r` must be at least 1 and `k` at least 1.
+    DegenerateParameters,
+    /// The word slice length does not match `n`. Carries `(got, expected)`.
+    LengthMismatch(usize, usize),
+    /// An erasure position is out of range or duplicated.
+    BadErasure(usize),
+    /// More erasures were declared than the code can handle (`> d − 1`).
+    TooManyErasures(usize),
+    /// The error pattern is detectably beyond the code's capability; the
+    /// word is left unmodified.
+    Uncorrectable,
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::CodeTooLong(k, r) => {
+                write!(f, "RS({}, {k}) exceeds GF(2^8) natural length 255", k + r)
+            }
+            RsError::DegenerateParameters => write!(f, "k and r must both be at least 1"),
+            RsError::LengthMismatch(got, expected) => {
+                write!(f, "word has {got} bytes, code expects {expected}")
+            }
+            RsError::BadErasure(p) => write!(f, "invalid or duplicate erasure position {p}"),
+            RsError::TooManyErasures(n) => write!(f, "{n} erasures exceed code capability"),
+            RsError::Uncorrectable => write!(f, "error pattern is uncorrectable"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}

@@ -1,0 +1,187 @@
+//! Threshold-limited decoding (§V-C of the paper).
+//!
+//! A miscorrection is more likely to masquerade as a *large* number of
+//! corrections than a small one, so the memory controller accepts the RS
+//! result only when the decoder touched at most `threshold` symbols
+//! (threshold = 2 in the paper); otherwise it distrusts the correction and
+//! falls back to VLEW decoding.
+
+use crate::code::RsCode;
+use crate::error::RsError;
+
+/// Why a threshold decode refused to accept the RS correction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// The decoder corrected more symbols than the acceptance threshold;
+    /// the corrections were rolled back.
+    TooManyCorrections(usize),
+    /// The decoder flagged the pattern uncorrectable outright.
+    Uncorrectable,
+}
+
+/// The outcome of [`RsCode::decode_with_threshold`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThresholdOutcome {
+    /// The word was already a valid codeword; nothing changed.
+    Clean,
+    /// The correction was accepted; `corrections` symbols were fixed
+    /// (`1..=threshold`).
+    Accepted {
+        /// Number of symbols corrected.
+        corrections: usize,
+    },
+    /// The correction was rejected; the word is unmodified and the caller
+    /// must fall back to VLEW correction.
+    Rejected(RejectReason),
+}
+
+impl ThresholdOutcome {
+    /// Whether the block left this stage with a trusted value (clean or
+    /// accepted correction).
+    pub fn is_trusted(&self) -> bool {
+        !matches!(self, ThresholdOutcome::Rejected(_))
+    }
+}
+
+impl RsCode {
+    /// Decodes `word`, accepting the result only when the number of
+    /// corrected symbols is at most `threshold`; otherwise all corrections
+    /// are rolled back and [`ThresholdOutcome::Rejected`] is returned,
+    /// signalling the caller to fall back to VLEW correction.
+    ///
+    /// # Errors
+    ///
+    /// [`RsError::LengthMismatch`] if `word.len() != n`. (Correction
+    /// failures are not errors here — they are the
+    /// [`ThresholdOutcome::Rejected`] variant, because rejection is an
+    /// expected, handled outcome of the runtime read path.)
+    pub fn decode_with_threshold(
+        &self,
+        word: &mut [u8],
+        threshold: usize,
+    ) -> Result<ThresholdOutcome, RsError> {
+        if word.len() != self.len() {
+            return Err(RsError::LengthMismatch(word.len(), self.len()));
+        }
+        match self.decode(word) {
+            Ok(out) if out.was_clean() => Ok(ThresholdOutcome::Clean),
+            Ok(out) => {
+                let n = out.num_corrections();
+                if n <= threshold {
+                    Ok(ThresholdOutcome::Accepted { corrections: n })
+                } else {
+                    // Roll back: the correction is distrusted.
+                    for &(p, m) in out.corrections() {
+                        word[p] ^= m;
+                    }
+                    Ok(ThresholdOutcome::Rejected(RejectReason::TooManyCorrections(n)))
+                }
+            }
+            Err(RsError::Uncorrectable) => {
+                Ok(ThresholdOutcome::Rejected(RejectReason::Uncorrectable))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn clean_block_is_clean() {
+        let code = RsCode::per_block();
+        let mut cw = code.encode(&[7u8; 64]);
+        assert_eq!(
+            code.decode_with_threshold(&mut cw, 2).unwrap(),
+            ThresholdOutcome::Clean
+        );
+    }
+
+    #[test]
+    fn one_and_two_errors_accepted() {
+        let code = RsCode::per_block();
+        let clean = code.encode(&[0xABu8; 64]);
+        for nerr in 1..=2 {
+            let mut cw = clean.clone();
+            for i in 0..nerr {
+                cw[i * 30] ^= 0x11;
+            }
+            match code.decode_with_threshold(&mut cw, 2).unwrap() {
+                ThresholdOutcome::Accepted { corrections } => assert_eq!(corrections, nerr),
+                other => panic!("unexpected {other:?}"),
+            }
+            assert_eq!(cw, clean);
+        }
+    }
+
+    #[test]
+    fn three_and_four_errors_rejected_and_rolled_back() {
+        let code = RsCode::per_block();
+        let clean = code.encode(&[0x5Au8; 64]);
+        for nerr in 3..=4 {
+            let mut cw = clean.clone();
+            for i in 0..nerr {
+                cw[i * 15 + 2] ^= 0x77;
+            }
+            let before = cw.clone();
+            match code.decode_with_threshold(&mut cw, 2).unwrap() {
+                ThresholdOutcome::Rejected(RejectReason::TooManyCorrections(n)) => {
+                    assert_eq!(n, nerr)
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            assert_eq!(cw, before, "rejected corrections must be rolled back");
+        }
+    }
+
+    #[test]
+    fn uncorrectable_rejected() {
+        let code = RsCode::per_block();
+        let mut rng = StdRng::seed_from_u64(5);
+        let clean = code.encode(&[9u8; 64]);
+        // Scatter many errors until an Uncorrectable rejection appears.
+        for _ in 0..100 {
+            let mut cw = clean.clone();
+            for _ in 0..8 {
+                let p = rng.gen_range(0..72);
+                cw[p] ^= rng.gen_range(1..=255u8);
+            }
+            if let ThresholdOutcome::Rejected(RejectReason::Uncorrectable) =
+                code.decode_with_threshold(&mut cw, 2).unwrap()
+            {
+                return;
+            }
+        }
+        panic!("expected an uncorrectable rejection");
+    }
+
+    #[test]
+    fn threshold_never_accepts_more_than_threshold() {
+        let code = RsCode::per_block();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..500 {
+            let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+            let mut cw = code.encode(&data);
+            let nerr = rng.gen_range(0..=6);
+            let mut pos = std::collections::BTreeSet::new();
+            while pos.len() < nerr {
+                pos.insert(rng.gen_range(0..72));
+            }
+            for &p in &pos {
+                cw[p] ^= rng.gen_range(1..=255u8);
+            }
+            for thr in 0..=4 {
+                let mut w = cw.clone();
+                if let ThresholdOutcome::Accepted { corrections } =
+                    code.decode_with_threshold(&mut w, thr).unwrap()
+                {
+                    assert!(corrections <= thr);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests: RS round trips across the full `2e + ν ≤ r`
+//! envelope, threshold-decode invariants, and linearity.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pmck_rs::{RsCode, ThresholdOutcome};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn round_trip_full_envelope(seed in any::<u64>(), e in 0usize..=4, extra in 0usize..=8) {
+        // 2e + ν ≤ 8 → ν ≤ 8 − 2e.
+        let nu = extra.min(8 - 2 * e);
+        let code = RsCode::per_block();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+        let clean = code.encode(&data);
+        let mut cw = clean.clone();
+        let mut positions = std::collections::BTreeSet::new();
+        while positions.len() < e + nu {
+            positions.insert(rng.gen_range(0..code.len()));
+        }
+        let all: Vec<usize> = positions.into_iter().collect();
+        let erasures = &all[..nu];
+        for &p in &all {
+            cw[p] ^= rng.gen_range(1..=255u8);
+        }
+        code.decode_with_erasures(&mut cw, erasures).unwrap();
+        prop_assert_eq!(cw, clean);
+    }
+
+    #[test]
+    fn threshold_invariant_accept_le_threshold(seed in any::<u64>(), nerr in 0usize..=6, thr in 0usize..=4) {
+        let code = RsCode::per_block();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+        let clean = code.encode(&data);
+        let mut cw = clean.clone();
+        let mut positions = std::collections::BTreeSet::new();
+        while positions.len() < nerr {
+            positions.insert(rng.gen_range(0..code.len()));
+        }
+        for &p in &positions {
+            cw[p] ^= rng.gen_range(1..=255u8);
+        }
+        let before = cw.clone();
+        match code.decode_with_threshold(&mut cw, thr).unwrap() {
+            ThresholdOutcome::Clean => prop_assert_eq!(nerr, 0),
+            ThresholdOutcome::Accepted { corrections } => {
+                prop_assert!(corrections <= thr);
+                prop_assert!(code.is_codeword(&cw));
+            }
+            ThresholdOutcome::Rejected(_) => prop_assert_eq!(&cw, &before),
+        }
+        // Within capability and threshold, correction must be exact.
+        if nerr <= thr {
+            prop_assert_eq!(&cw, &clean);
+        }
+    }
+
+    #[test]
+    fn parity_linearity(seed in any::<u64>()) {
+        let code = RsCode::per_block();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+        let b: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+        let ab: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        let pa = code.parity(&a);
+        let pb = code.parity(&b);
+        let pab = code.parity(&ab);
+        for i in 0..8 {
+            prop_assert_eq!(pa[i] ^ pb[i], pab[i]);
+        }
+    }
+
+    #[test]
+    fn erasures_anywhere_including_check_bytes(seed in any::<u64>(), start in 0usize..=64) {
+        // A dead chip can be the parity chip itself: erasing 8 consecutive
+        // positions anywhere must be recoverable.
+        let code = RsCode::per_block();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+        let clean = code.encode(&data);
+        let mut cw = clean.clone();
+        let erasures: Vec<usize> = (start..start + 8).collect();
+        for &p in &erasures {
+            cw[p] = rng.gen();
+        }
+        code.decode_with_erasures(&mut cw, &erasures).unwrap();
+        prop_assert_eq!(cw, clean);
+    }
+
+    #[test]
+    fn smaller_codes_round_trip(k in 1usize..=32, r_half in 1usize..=4, seed in any::<u64>()) {
+        let r = 2 * r_half;
+        let code = RsCode::new(k, r).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..k).map(|_| rng.gen()).collect();
+        let clean = code.encode(&data);
+        let mut cw = clean.clone();
+        let nerr = rng.gen_range(0..=r_half);
+        let mut positions = std::collections::BTreeSet::new();
+        while positions.len() < nerr {
+            positions.insert(rng.gen_range(0..code.len()));
+        }
+        for &p in &positions {
+            cw[p] ^= rng.gen_range(1..=255u8);
+        }
+        code.decode(&mut cw).unwrap();
+        prop_assert_eq!(cw, clean);
+    }
+}

@@ -1,0 +1,168 @@
+//! Command-line front end for the full-system simulator.
+//!
+//! ```text
+//! pmck-sim [--workload NAME | --all] [--nvram reram|pcm] [--quick] [--seed N] [--json]
+//! ```
+//!
+//! Runs the baseline and the proposal over the same trace and prints the
+//! normalized performance (Figures 16/17) plus the per-workload
+//! characterization metrics (Figures 10, 14, 15, 18).
+
+use std::process::ExitCode;
+
+use pmck_sim::{run_comparison_with, NvramKind, SimConfig};
+use pmck_workloads::WorkloadSpec;
+
+struct Args {
+    workloads: Vec<WorkloadSpec>,
+    nvram: NvramKind,
+    quick: bool,
+    seed: u64,
+    json: bool,
+    measure_ops: Option<u64>,
+    warmup_ops: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut workloads = Vec::new();
+    let mut nvram = NvramKind::ReRam;
+    let mut quick = false;
+    let mut seed = 42;
+    let mut json = false;
+    let mut all = false;
+    let mut measure_ops = None;
+    let mut warmup_ops = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--workload" | "-w" => {
+                i += 1;
+                let name = argv.get(i).ok_or("--workload needs a name")?;
+                workloads.push(
+                    WorkloadSpec::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?,
+                );
+            }
+            "--all" => all = true,
+            "--nvram" => {
+                i += 1;
+                nvram = match argv.get(i).map(String::as_str) {
+                    Some("reram") => NvramKind::ReRam,
+                    Some("pcm") => NvramKind::Pcm,
+                    other => return Err(format!("unknown nvram {other:?}")),
+                };
+            }
+            "--quick" => quick = true,
+            "--seed" => {
+                i += 1;
+                seed = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs an integer")?;
+            }
+            "--json" => json = true,
+            "--measure-ops" => {
+                i += 1;
+                measure_ops = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--measure-ops needs an integer")?,
+                );
+            }
+            "--warmup-ops" => {
+                i += 1;
+                warmup_ops = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--warmup-ops needs an integer")?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err("usage: pmck-sim [--workload NAME]... [--all] [--nvram reram|pcm] \
+                            [--quick] [--seed N] [--json] [--measure-ops N] [--warmup-ops N]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    if all || workloads.is_empty() {
+        workloads = WorkloadSpec::all();
+    }
+    Ok(Args {
+        workloads,
+        nvram,
+        quick,
+        seed,
+        json,
+        measure_ops,
+        warmup_ops,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.json {
+        println!(
+            "{:<10} {:>9} {:>7} {:>8} {:>9} {:>9} {:>8}",
+            "workload", "norm.perf", "C", "OMV-hit", "dirtyPM%", "PMwr%", "LLChit%"
+        );
+    }
+    let mut results = Vec::new();
+    for spec in &args.workloads {
+        let cmp = run_comparison_with(*spec, args.seed, |scheme| {
+            let mut cfg = if args.quick {
+                SimConfig::quick(args.nvram, scheme)
+            } else {
+                SimConfig::paper(args.nvram, scheme)
+            };
+            if let Some(m) = args.measure_ops {
+                cfg.measure_ops = m;
+            }
+            if let Some(w) = args.warmup_ops {
+                cfg.warmup_ops = w;
+            }
+            cfg
+        });
+        if args.json {
+            results.push(cmp);
+            continue;
+        }
+        let (_, pm_w, _, _) = cmp.proposal.access_breakdown();
+        println!(
+            "{:<10} {:>9.4} {:>7.3} {:>8.4} {:>9.4} {:>9.4} {:>8.4}",
+            cmp.baseline.workload,
+            cmp.normalized_performance(),
+            cmp.c_factor,
+            cmp.proposal.omv_hit_rate,
+            cmp.proposal.dirty_pm_avg * 100.0,
+            pm_w * 100.0,
+            cmp.proposal.llc_hit_rate
+        );
+        results.push(cmp);
+    }
+    if args.json {
+        match serde_json::to_string_pretty(&results) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let avg: f64 = results
+            .iter()
+            .map(|c| c.normalized_performance())
+            .sum::<f64>()
+            / results.len().max(1) as f64;
+        println!("---\naverage normalized performance: {avg:.4} ({} workloads, {})",
+            results.len(), args.nvram.name());
+    }
+    ExitCode::SUCCESS
+}

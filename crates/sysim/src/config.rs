@@ -1,0 +1,126 @@
+//! Simulation configuration (paper Table I and §VI).
+
+use pmck_memsim::NvramTiming;
+use serde::{Deserialize, Serialize};
+
+/// The NVRAM technology of the persistent-memory rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NvramKind {
+    /// ReRAM: 120 ns read / 300 ns write (Figure 16's latency set).
+    ReRam,
+    /// PCM: 250 ns read / 600 ns write (Figure 17's latency set).
+    Pcm,
+}
+
+impl NvramKind {
+    /// The timing parameters for this technology.
+    pub fn timing(self) -> NvramTiming {
+        match self {
+            NvramKind::ReRam => NvramTiming::reram(),
+            NvramKind::Pcm => NvramTiming::pcm(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NvramKind::ReRam => "ReRAM",
+            NvramKind::Pcm => "PCM",
+        }
+    }
+}
+
+/// Which protection scheme the simulated system implements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Bit-error correction only (per-block 14-bit-EC BCH): the §VII
+    /// normalization baseline. No OMV, no write slowing, no VLEW traffic.
+    Baseline,
+    /// The proposal, configured with the workload's measured C factor.
+    Proposal {
+        /// VLEW code-bit writes per PM write (Figure 15), measured by a
+        /// profiling pass.
+        c_factor: f64,
+    },
+}
+
+impl Scheme {
+    /// Whether this is the proposal.
+    pub fn is_proposal(&self) -> bool {
+        matches!(self, Scheme::Proposal { .. })
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Cores (Table I: 4).
+    pub cores: usize,
+    /// Core clock period in picoseconds (3 GHz → 333 ps).
+    pub core_period_ps: u64,
+    /// NVRAM technology.
+    pub nvram: NvramKind,
+    /// Protection scheme.
+    pub scheme: Scheme,
+    /// Warmup operations per core (functional cache warmup).
+    pub warmup_ops: u64,
+    /// Measured operations per core (timed phase).
+    pub measure_ops: u64,
+    /// Probability that a PM read triggers the VLEW fallback force-fetch
+    /// (§VI models 0.02%).
+    pub fallback_prob: f64,
+    /// Blocks force-fetched per fallback (§VI: 37).
+    pub fallback_blocks: usize,
+    /// Dirty-PM occupancy sampling interval, in per-core ops.
+    pub sample_interval: u64,
+    /// Ablation: run the proposal *without* OMV caching — every PM write
+    /// must fetch its old value from memory (the §V-D motivation).
+    pub force_omv_off: bool,
+}
+
+impl SimConfig {
+    /// The paper's configuration for a given technology and scheme.
+    pub fn paper(nvram: NvramKind, scheme: Scheme) -> Self {
+        SimConfig {
+            cores: 4,
+            core_period_ps: 333,
+            nvram,
+            scheme,
+            warmup_ops: 220_000,
+            measure_ops: 150_000,
+            fallback_prob: 2e-4,
+            fallback_blocks: 37,
+            sample_interval: 2_000,
+            force_omv_off: false,
+        }
+    }
+
+    /// A faster configuration for tests.
+    pub fn quick(nvram: NvramKind, scheme: Scheme) -> Self {
+        SimConfig {
+            warmup_ops: 80_000,
+            measure_ops: 40_000,
+            ..Self::paper(nvram, scheme)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_to_paper_latencies() {
+        assert_eq!(NvramKind::ReRam.timing().read_ps, 120_000);
+        assert_eq!(NvramKind::Pcm.timing().write_ps, 600_000);
+    }
+
+    #[test]
+    fn paper_config() {
+        let c = SimConfig::paper(NvramKind::ReRam, Scheme::Baseline);
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.core_period_ps, 333);
+        assert!(!c.scheme.is_proposal());
+        assert!(Scheme::Proposal { c_factor: 0.3 }.is_proposal());
+    }
+}

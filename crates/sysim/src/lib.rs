@@ -1,0 +1,41 @@
+//! Trace-driven full-system simulator: cores → caches → memory.
+//!
+//! Couples the workload generators (`pmck-workloads`), the SAM/OMV cache
+//! hierarchy (`pmck-cachesim`) and the bank-timing memory controller
+//! (`pmck-memsim`) into the evaluation platform of §VI:
+//!
+//! * 4 cores at 3 GHz replaying per-core traces (blocking loads, posted
+//!   stores, `clwb`/`sfence` persistence);
+//! * warmup phase (caches run functionally) followed by a timed
+//!   measurement phase, mirroring the paper's gem5 warmup + timing run;
+//! * the **baseline** scheme (per-block bit-error BCH: no OMV machinery,
+//!   no write slowing, no VLEW traffic) versus the **proposal**
+//!   (OMV-enabled LLC; iso-lifetime `tWR` scaling by `1 + (33/8)·C` plus
+//!   20 ns; 0.02%-probability force-fetch of 37 blocks for VLEW fallback
+//!   reads; an extra PM read whenever a PM write misses its OMV).
+//!
+//! The C factor is measured from the EUR model during a profiling pass of
+//! the same trace (Figure 15), exactly as the paper measures per-workload
+//! C and then derives the slowed `tWR`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use pmck_sim::{NvramKind, Scheme, SimConfig, Simulator};
+//! use pmck_workloads::WorkloadSpec;
+//!
+//! let spec = WorkloadSpec::by_name("btree").unwrap();
+//! let cfg = SimConfig::paper(NvramKind::ReRam, Scheme::Baseline);
+//! let result = Simulator::run_workload(spec, cfg, 42);
+//! println!("{} ops in {} ps", result.ops_measured, result.measured_ps);
+//! ```
+
+mod config;
+mod metrics;
+mod runner;
+mod system;
+
+pub use config::{NvramKind, Scheme, SimConfig};
+pub use metrics::SimResult;
+pub use runner::{run_comparison, run_comparison_with, ComparisonResult};
+pub use system::Simulator;

@@ -1,0 +1,112 @@
+//! Simulation results.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one timed simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Workload name.
+    pub workload: String,
+    /// Total trace operations executed in the measured phase (all cores).
+    pub ops_measured: u64,
+    /// Simulated duration of the measured phase, picoseconds.
+    pub measured_ps: u64,
+    /// Off-chip reads to the PM rank.
+    pub pm_reads: u64,
+    /// Off-chip writes to the PM rank.
+    pub pm_writes: u64,
+    /// Off-chip reads to the DRAM rank.
+    pub dram_reads: u64,
+    /// Off-chip writes to the DRAM rank.
+    pub dram_writes: u64,
+    /// Measured C factor (VLEW code-bit writes per PM write).
+    pub c_factor: f64,
+    /// OMV service rate (Figure 18); 0 for the baseline.
+    pub omv_hit_rate: f64,
+    /// PM writes that missed their OMV and paid an extra read.
+    pub omv_misses: u64,
+    /// Average fraction of cache lines holding dirty PM blocks
+    /// (Figure 10).
+    pub dirty_pm_avg: f64,
+    /// VLEW fallback force-fetches injected.
+    pub fallbacks_injected: u64,
+    /// LLC demand hit rate.
+    pub llc_hit_rate: f64,
+    /// Memory-controller row-buffer hit rate.
+    pub row_hit_rate: f64,
+    /// Row-buffer hit rate among writes only (batching diagnostic).
+    pub write_row_hit_rate: f64,
+}
+
+impl SimResult {
+    /// Performance proxy: operations per nanosecond.
+    pub fn ops_per_ns(&self) -> f64 {
+        if self.measured_ps == 0 {
+            0.0
+        } else {
+            self.ops_measured as f64 * 1000.0 / self.measured_ps as f64
+        }
+    }
+
+    /// The off-chip access breakdown as fractions `(pm_read, pm_write,
+    /// dram_read, dram_write)` of all off-chip accesses (Figure 14).
+    pub fn access_breakdown(&self) -> (f64, f64, f64, f64) {
+        let total =
+            (self.pm_reads + self.pm_writes + self.dram_reads + self.dram_writes) as f64;
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.pm_reads as f64 / total,
+            self.pm_writes as f64 / total,
+            self.dram_reads as f64 / total,
+            self.dram_writes as f64 / total,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zero() -> SimResult {
+        SimResult {
+            workload: "x".into(),
+            ops_measured: 0,
+            measured_ps: 0,
+            pm_reads: 0,
+            pm_writes: 0,
+            dram_reads: 0,
+            dram_writes: 0,
+            c_factor: 0.0,
+            omv_hit_rate: 0.0,
+            omv_misses: 0,
+            dirty_pm_avg: 0.0,
+            fallbacks_injected: 0,
+            llc_hit_rate: 0.0,
+            row_hit_rate: 0.0,
+            write_row_hit_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn ops_per_ns() {
+        let mut r = zero();
+        assert_eq!(r.ops_per_ns(), 0.0);
+        r.ops_measured = 1000;
+        r.measured_ps = 500_000; // 500 ns
+        assert!((r.ops_per_ns() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let mut r = zero();
+        r.pm_reads = 10;
+        r.pm_writes = 30;
+        r.dram_reads = 50;
+        r.dram_writes = 10;
+        let (a, b, c, d) = r.access_breakdown();
+        assert!((a + b + c + d - 1.0).abs() < 1e-12);
+        assert!((b - 0.3).abs() < 1e-12);
+    }
+}

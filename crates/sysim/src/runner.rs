@@ -1,0 +1,97 @@
+//! Baseline-vs-proposal orchestration: measure C, then compare.
+
+use pmck_workloads::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{NvramKind, Scheme, SimConfig};
+use crate::metrics::SimResult;
+use crate::system::Simulator;
+
+/// A matched baseline/proposal pair over the same trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonResult {
+    /// The bit-error-correction baseline run.
+    pub baseline: SimResult,
+    /// The proposal run (OMV + write slowing + fallback traffic).
+    pub proposal: SimResult,
+    /// The C factor measured in the baseline run and applied to the
+    /// proposal's `tWR` (Figure 15).
+    pub c_factor: f64,
+}
+
+impl ComparisonResult {
+    /// The proposal's performance normalized to the baseline
+    /// (Figures 16/17): 1.0 = no overhead, 0.9 = 10% slower.
+    pub fn normalized_performance(&self) -> f64 {
+        let b = self.baseline.ops_per_ns();
+        let p = self.proposal.ops_per_ns();
+        if b == 0.0 {
+            0.0
+        } else {
+            p / b
+        }
+    }
+}
+
+/// Runs a workload under the baseline, measures its C factor, then runs
+/// the proposal with the iso-lifetime write slowing derived from that C —
+/// the exact procedure of §VI.
+pub fn run_comparison(spec: WorkloadSpec, nvram: NvramKind, seed: u64, quick: bool) -> ComparisonResult {
+    run_comparison_with(spec, seed, |scheme| {
+        if quick {
+            SimConfig::quick(nvram, scheme)
+        } else {
+            SimConfig::paper(nvram, scheme)
+        }
+    })
+}
+
+/// As [`run_comparison`], but the caller supplies the configuration for
+/// each scheme (custom op counts, ablation flags, …). The same C-factor
+/// measurement protocol applies: the baseline run's measured C is fed to
+/// the proposal's `Scheme::Proposal`.
+pub fn run_comparison_with(
+    spec: WorkloadSpec,
+    seed: u64,
+    mut make: impl FnMut(Scheme) -> SimConfig,
+) -> ComparisonResult {
+    let baseline = Simulator::run_workload(spec, make(Scheme::Baseline), seed);
+    let c_factor = baseline.c_factor;
+    let proposal = Simulator::run_workload(spec, make(Scheme::Proposal { c_factor }), seed);
+    ComparisonResult {
+        baseline,
+        proposal,
+        c_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_and_proposal_complete() {
+        let spec = WorkloadSpec::by_name("btree").unwrap();
+        let cmp = run_comparison(spec, NvramKind::ReRam, 1, true);
+        assert!(cmp.baseline.ops_measured > 0);
+        assert!(cmp.proposal.ops_measured > 0);
+        assert_eq!(cmp.baseline.ops_measured, cmp.proposal.ops_measured);
+        let np = cmp.normalized_performance();
+        assert!(np > 0.5 && np < 1.2, "normalized perf {np}");
+    }
+
+    #[test]
+    fn c_factor_is_measured_and_bounded() {
+        let spec = WorkloadSpec::by_name("echo").unwrap();
+        let cmp = run_comparison(spec, NvramKind::ReRam, 2, true);
+        assert!(cmp.c_factor > 0.0 && cmp.c_factor <= 1.0, "C={}", cmp.c_factor);
+    }
+
+    #[test]
+    fn proposal_reports_omv_rate_baseline_does_not() {
+        let spec = WorkloadSpec::by_name("redis").unwrap();
+        let cmp = run_comparison(spec, NvramKind::Pcm, 3, true);
+        assert_eq!(cmp.baseline.omv_hit_rate, 0.0);
+        assert!(cmp.proposal.omv_hit_rate > 0.5, "{}", cmp.proposal.omv_hit_rate);
+    }
+}

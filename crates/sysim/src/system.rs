@@ -1,0 +1,397 @@
+//! The event-driven full-system simulation loop.
+
+use std::collections::HashSet;
+
+use pmck_cachesim::{Hierarchy, HierarchyConfig, MemActions};
+use pmck_memsim::{MemConfig, MemRequest, MemoryController, RankKind, ReqId};
+use pmck_workloads::{MemRef, Op, TraceGenerator, WorkloadClass, WorkloadSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{Scheme, SimConfig};
+use crate::metrics::SimResult;
+
+/// Cache-address bit marking the persistent-memory region (keeps PM and
+/// DRAM blocks from aliasing in the cache hierarchy).
+const PM_BASE: u64 = 1 << 40;
+
+struct Core {
+    gen: TraceGenerator,
+    ready_ps: u64,
+    ops_done: u64,
+    waiting_read: Option<ReqId>,
+    waiting_fence: bool,
+    persists: HashSet<ReqId>,
+    replay_op: Option<Op>,
+}
+
+/// The trace-driven simulator (see crate docs).
+#[derive(Debug)]
+pub struct Simulator;
+
+impl Simulator {
+    /// Runs `spec` under `cfg`, seeding the trace generators and the
+    /// fallback-injection RNG from `seed`. Warmup runs the caches
+    /// functionally; the returned result covers only the timed phase.
+    pub fn run_workload(spec: WorkloadSpec, cfg: SimConfig, seed: u64) -> SimResult {
+        let omv = cfg.scheme.is_proposal() && !cfg.force_omv_off;
+        let mut hierarchy = Hierarchy::new(HierarchyConfig {
+            cores: cfg.cores,
+            omv_enabled: omv,
+            ..HierarchyConfig::paper(omv)
+        });
+
+        // Per-core generators; WHISPER-style workloads run as separate
+        // processes (disjoint address spaces), SPLASH-style threads share
+        // the heap.
+        let shared = spec.class == WorkloadClass::Scientific;
+        let mut cores: Vec<Core> = (0..cfg.cores)
+            .map(|c| Core {
+                gen: TraceGenerator::new(spec, seed.wrapping_add(c as u64 * 7919)),
+                ready_ps: 0,
+                ops_done: 0,
+                waiting_read: None,
+                waiting_fence: false,
+                persists: HashSet::new(),
+                replay_op: None,
+            })
+            .collect();
+
+        let addr_of = |core: usize, r: MemRef| -> (u64, u64) {
+            // (cache address, rank-local block address)
+            let (foot, off) = if r.pm {
+                (spec.pm_blocks, if shared { 0 } else { core as u64 })
+            } else {
+                (spec.dram_blocks, if shared { 0 } else { core as u64 })
+            };
+            let local = off * foot + r.addr;
+            let cache = if r.pm { PM_BASE | local } else { local };
+            (cache, local)
+        };
+
+        // ---- Warmup: functional cache exercise, no timing. ----
+        for c in 0..cfg.cores {
+            for _ in 0..cfg.warmup_ops {
+                let op = cores[c].gen.next_op();
+                match op {
+                    Op::Load(r) => {
+                        let (ca, _) = addr_of(c, r);
+                        let _ = hierarchy.load(c, ca, r.pm);
+                    }
+                    Op::Store(r) => {
+                        let (ca, _) = addr_of(c, r);
+                        let _ = hierarchy.store(c, ca, r.pm);
+                    }
+                    Op::Clwb(r) => {
+                        let (ca, _) = addr_of(c, r);
+                        let _ = hierarchy.clwb(c, ca, r.pm);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        hierarchy.reset_stats();
+
+        // ---- Timed phase. ----
+        let mut mem_cfg = MemConfig::paper_hybrid(cfg.nvram.timing());
+        if let Scheme::Proposal { c_factor } = cfg.scheme {
+            mem_cfg = mem_cfg.with_proposal_write_slowing(c_factor);
+        }
+        let mut mc = MemoryController::new(mem_cfg);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FF_EE00_DEAD_BEEF);
+        let mut next_id: ReqId = 1;
+        let mut read_waiters: Vec<(ReqId, usize)> = Vec::new();
+
+        let mut demand = [0u64; 4]; // pm_r, pm_w, dram_r, dram_w
+        let mut fallbacks_injected = 0u64;
+        let mut dirty_samples: Vec<f64> = Vec::new();
+        let mut ops_since_sample = 0u64;
+
+        let total_target = cfg.measure_ops * cfg.cores as u64;
+        let mut total_done = 0u64;
+
+        'outer: loop {
+            // Deliver completions.
+            for comp in mc.drain_completions() {
+                if let Some(pos) = read_waiters.iter().position(|&(id, _)| id == comp.id) {
+                    let (_, core) = read_waiters.swap_remove(pos);
+                    let c = &mut cores[core];
+                    if c.waiting_read == Some(comp.id) {
+                        c.waiting_read = None;
+                        c.ready_ps = c.ready_ps.max(comp.finish_ps);
+                    }
+                }
+                for c in cores.iter_mut() {
+                    if c.persists.remove(&comp.id) && c.waiting_fence && c.persists.is_empty() {
+                        c.waiting_fence = false;
+                        c.ready_ps = c.ready_ps.max(comp.finish_ps);
+                    }
+                }
+            }
+
+            if total_done >= total_target {
+                break 'outer;
+            }
+
+            // Pick the earliest runnable core.
+            let runnable = cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| {
+                    c.waiting_read.is_none() && !c.waiting_fence && c.ops_done < cfg.measure_ops
+                })
+                .min_by_key(|(_, c)| c.ready_ps)
+                .map(|(i, _)| i);
+
+            let Some(ci) = runnable else {
+                // Everybody is blocked: advance the memory controller to
+                // its next schedulable event.
+                match mc.next_issue_time() {
+                    Some(t) => {
+                        mc.advance_to(t.max(mc.now_ps()) + 1);
+                        continue;
+                    }
+                    None => {
+                        // Blocked with an empty controller: only possible
+                        // if every unfinished core hit its quota while a
+                        // peer still runs; re-check the exit condition.
+                        if cores.iter().all(|c| c.ops_done >= cfg.measure_ops) {
+                            break 'outer;
+                        }
+                        unreachable!("deadlock: cores blocked, controller empty");
+                    }
+                }
+            };
+
+            let now = cores[ci].ready_ps;
+            mc.advance_to(now);
+
+            // Back-pressure: leave room for the op's worst-case traffic.
+            let need_reads = if cfg.scheme.is_proposal() {
+                cfg.fallback_blocks + 2
+            } else {
+                2
+            };
+            if !mc.can_accept_write() || mc.pending() > 240 - need_reads {
+                cores[ci].ready_ps = now + 20_000; // retry in 20 ns
+                continue;
+            }
+
+            let op = cores[ci]
+                .replay_op
+                .take()
+                .unwrap_or_else(|| cores[ci].gen.next_op());
+            cores[ci].ops_done += 1;
+            total_done += 1;
+            ops_since_sample += 1;
+            if ops_since_sample >= cfg.sample_interval {
+                ops_since_sample = 0;
+                dirty_samples.push(hierarchy.dirty_pm_fraction());
+            }
+
+            match op {
+                Op::Compute(n) => {
+                    cores[ci].ready_ps += n as u64 * cfg.core_period_ps;
+                }
+                Op::Load(r) => {
+                    let (ca, la) = addr_of(ci, r);
+                    let acts = hierarchy.load(ci, ca, r.pm);
+                    let lat = Self::hit_latency(&acts, &cfg);
+                    cores[ci].ready_ps += lat;
+                    Self::emit_actions(
+                        &acts,
+                        ci,
+                        la,
+                        r.pm,
+                        &mut mc,
+                        &mut next_id,
+                        &mut read_waiters,
+                        &mut cores,
+                        &mut demand,
+                        true,
+                        &cfg,
+                    );
+                    // Proposal: occasional VLEW-fallback force-fetch on PM
+                    // demand reads (§VI).
+                    if cfg.scheme.is_proposal()
+                        && r.pm
+                        && acts.llc_hit == Some(false)
+                        && rng.gen_bool(cfg.fallback_prob)
+                    {
+                        fallbacks_injected += 1;
+                        let stripe_base = la & !31;
+                        for k in 0..cfg.fallback_blocks as u64 - 1 {
+                            if mc.can_accept_read() {
+                                let id = next_id;
+                                next_id += 1;
+                                let _ = mc.enqueue(MemRequest::read(
+                                    id,
+                                    stripe_base + k,
+                                    RankKind::Nvram,
+                                ));
+                            }
+                        }
+                    }
+                }
+                Op::Store(r) => {
+                    let (ca, la) = addr_of(ci, r);
+                    let acts = hierarchy.store(ci, ca, r.pm);
+                    cores[ci].ready_ps += cfg.core_period_ps; // store buffer
+                    Self::emit_actions(
+                        &acts,
+                        ci,
+                        la,
+                        r.pm,
+                        &mut mc,
+                        &mut next_id,
+                        &mut read_waiters,
+                        &mut cores,
+                        &mut demand,
+                        false,
+                        &cfg,
+                    );
+                }
+                Op::Clwb(r) => {
+                    let (ca, la) = addr_of(ci, r);
+                    let acts = hierarchy.clwb(ci, ca, r.pm);
+                    cores[ci].ready_ps += 3 * cfg.core_period_ps;
+                    Self::emit_persist_writes(
+                        &acts, ci, la, &mut mc, &mut next_id, &mut cores, &mut demand, &cfg,
+                    );
+                }
+                Op::Fence => {
+                    if !cores[ci].persists.is_empty() {
+                        cores[ci].waiting_fence = true;
+                    }
+                }
+            }
+        }
+
+        // Close out: measure elapsed time as the point the last op retired.
+        let end_ps = cores.iter().map(|c| c.ready_ps).max().unwrap_or(0).max(mc.now_ps());
+        mc.finalize_eur();
+        let stats = mc.stats().clone();
+        let llc = hierarchy.llc_stats();
+        let dirty_pm_avg = if dirty_samples.is_empty() {
+            hierarchy.dirty_pm_fraction()
+        } else {
+            dirty_samples.iter().sum::<f64>() / dirty_samples.len() as f64
+        };
+
+        SimResult {
+            workload: spec.name.to_string(),
+            ops_measured: total_done,
+            measured_ps: end_ps,
+            pm_reads: demand[0],
+            pm_writes: demand[1],
+            dram_reads: demand[2],
+            dram_writes: demand[3],
+            c_factor: mc.eur().c_factor(),
+            omv_hit_rate: llc.omv_hit_rate(),
+            omv_misses: llc.omv_misses,
+            dirty_pm_avg,
+            fallbacks_injected,
+            llc_hit_rate: llc.hit_rate(),
+            row_hit_rate: stats.row_hit_rate(),
+            write_row_hit_rate: if stats.write_issues == 0 {
+                0.0
+            } else {
+                stats.write_row_hits as f64 / stats.write_issues as f64
+            },
+        }
+    }
+
+    fn hit_latency(acts: &MemActions, cfg: &SimConfig) -> u64 {
+        if acts.l1_hit {
+            cfg.core_period_ps
+        } else {
+            // L1 miss pays the LLC lookup; a miss beyond that blocks on
+            // the demand read completion instead.
+            14 * cfg.core_period_ps
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_actions(
+        acts: &MemActions,
+        core: usize,
+        rank_local_addr: u64,
+        is_pm: bool,
+        mc: &mut MemoryController,
+        next_id: &mut ReqId,
+        read_waiters: &mut Vec<(ReqId, usize)>,
+        cores: &mut [Core],
+        demand: &mut [u64; 4],
+        blocking: bool,
+        cfg: &SimConfig,
+    ) {
+        for &(_, pm) in &acts.mem_reads {
+            let rank = if pm { RankKind::Nvram } else { RankKind::Dram };
+            let id = *next_id;
+            *next_id += 1;
+            demand[if pm { 0 } else { 2 }] += 1;
+            if mc.enqueue(MemRequest::read(id, rank_local_addr, rank)).is_ok() && blocking {
+                cores[core].waiting_read = Some(id);
+                read_waiters.push((id, core));
+            }
+        }
+        let _ = is_pm;
+        Self::emit_eviction_writes(acts, mc, next_id, demand, cfg);
+    }
+
+    fn emit_eviction_writes(
+        acts: &MemActions,
+        mc: &mut MemoryController,
+        next_id: &mut ReqId,
+        demand: &mut [u64; 4],
+        cfg: &SimConfig,
+    ) {
+        for w in &acts.mem_writes {
+            let rank = if w.is_pm { RankKind::Nvram } else { RankKind::Dram };
+            // An OMV miss costs an extra PM read of the old value before
+            // the write can carry old ⊕ new.
+            let omv_miss = cfg.scheme.is_proposal()
+                && (w.omv_served == Some(false) || (cfg.force_omv_off && w.is_pm));
+            if omv_miss && mc.can_accept_read() {
+                let id = *next_id;
+                *next_id += 1;
+                let _ = mc.enqueue(MemRequest::read(id, w.addr & 0xFFFF_FFFF, rank));
+            }
+            demand[if w.is_pm { 1 } else { 3 }] += 1;
+            let id = *next_id;
+            *next_id += 1;
+            let _ = mc.enqueue(MemRequest::write(id, w.addr & 0xFFFF_FFFF, rank));
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_persist_writes(
+        acts: &MemActions,
+        core: usize,
+        rank_local_addr: u64,
+        mc: &mut MemoryController,
+        next_id: &mut ReqId,
+        cores: &mut [Core],
+        demand: &mut [u64; 4],
+        cfg: &SimConfig,
+    ) {
+        for w in &acts.mem_writes {
+            let rank = if w.is_pm { RankKind::Nvram } else { RankKind::Dram };
+            let omv_miss = w.omv_served == Some(false) || (cfg.force_omv_off && w.is_pm);
+            if cfg.scheme.is_proposal() && omv_miss && mc.can_accept_read() {
+                let id = *next_id;
+                *next_id += 1;
+                let _ = mc.enqueue(MemRequest::read(id, rank_local_addr, rank));
+            }
+            demand[if w.is_pm { 1 } else { 3 }] += 1;
+            let id = *next_id;
+            *next_id += 1;
+            // ADR persistence domain: a write accepted by the memory
+            // controller is durable, so the fence does not wait on it
+            // (the WHISPER-era assumption the paper's workloads rely on).
+            let _ = mc.enqueue(MemRequest::write(id, rank_local_addr, rank));
+            let _ = core;
+            let _ = &cores;
+        }
+    }
+}

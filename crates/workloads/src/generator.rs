@@ -1,0 +1,389 @@
+//! Deterministic trace generation from a [`WorkloadSpec`].
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{WorkloadClass, WorkloadSpec};
+use crate::trace::{MemRef, Op};
+
+/// A deterministic, seedable generator of workload [`Op`]s.
+///
+/// Two generators constructed with the same spec and seed produce the
+/// same infinite stream — the baseline and proposal simulations replay
+/// identical traces.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    spec: WorkloadSpec,
+    rng: SmallRng,
+    queue: VecDeque<Op>,
+    pending_cleans: VecDeque<MemRef>,
+    last_item_addr: u64,
+    log_head: u64,
+    stream_pos: u64,
+    ops_emitted: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `spec` seeded with `seed`.
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let last_item_addr = rng.gen_range(0..spec.pm_blocks);
+        let stream_pos = rng.gen_range(0..spec.pm_blocks);
+        TraceGenerator {
+            spec,
+            rng,
+            queue: VecDeque::new(),
+            pending_cleans: VecDeque::new(),
+            last_item_addr,
+            log_head: 0,
+            stream_pos,
+            ops_emitted: 0,
+        }
+    }
+
+    /// The workload being generated.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Produces the next operation (the stream is infinite).
+    pub fn next_op(&mut self) -> Op {
+        while self.queue.is_empty() {
+            self.build_transaction();
+        }
+        self.ops_emitted += 1;
+        self.queue.pop_front().expect("queue refilled")
+    }
+
+    /// Total operations emitted so far.
+    pub fn ops_emitted(&self) -> u64 {
+        self.ops_emitted
+    }
+
+    fn range(&mut self, (lo, hi): (u32, u32)) -> u32 {
+        if lo >= hi {
+            lo
+        } else {
+            self.rng.gen_range(lo..=hi)
+        }
+    }
+
+    /// The log region occupies the top 1/16 of the PM footprint; item
+    /// space the rest. The log is append-only with wraparound, giving it
+    /// near-perfect row locality (WHISPER logs behave this way).
+    fn log_addr(&mut self) -> u64 {
+        let log_blocks = (self.spec.pm_blocks / 16).max(64);
+        let base = self.spec.pm_blocks - log_blocks;
+        let a = base + (self.log_head % log_blocks);
+        self.log_head += 1;
+        a
+    }
+
+    fn item_addr(&mut self) -> u64 {
+        let item_blocks = self.spec.pm_blocks - (self.spec.pm_blocks / 16).max(64);
+        let hot_blocks = self.spec.hot_blocks.clamp(1, item_blocks);
+        if self.rng.gen_bool(self.spec.store_locality) {
+            self.last_item_addr = (self.last_item_addr + 1) % item_blocks;
+        } else if self.rng.gen_bool(self.spec.hot_fraction) {
+            // Temporal locality: most accesses revisit the hot set.
+            self.last_item_addr = self.rng.gen_range(0..hot_blocks);
+        } else {
+            self.last_item_addr = self.rng.gen_range(0..item_blocks);
+        }
+        self.last_item_addr
+    }
+
+    fn dram_addr(&mut self) -> u64 {
+        // DRAM accesses (stack, connection state, metadata) are highly
+        // cacheable: 90% land in a small hot region.
+        let hot = (self.spec.dram_blocks / 64).clamp(256, 2048).min(self.spec.dram_blocks);
+        if self.rng.gen_bool(0.9) {
+            self.rng.gen_range(0..hot)
+        } else {
+            self.rng.gen_range(0..self.spec.dram_blocks)
+        }
+    }
+
+    /// Pushes a store and schedules its clean after `clean_lag`
+    /// transactions' worth of delay.
+    fn push_store(&mut self, addr: u64) {
+        self.queue.push_back(Op::Store(MemRef::pm(addr)));
+        self.pending_cleans.push_back(MemRef::pm(addr));
+    }
+
+    /// Emits due cleans (everything beyond the lag window), ending with a
+    /// persist fence when anything was cleaned.
+    fn drain_cleans(&mut self) {
+        let keep = self.spec.clean_lag;
+        let mut cleaned = false;
+        while self.pending_cleans.len() > keep {
+            let r = self.pending_cleans.pop_front().expect("nonempty");
+            self.queue.push_back(Op::Clwb(r));
+            cleaned = true;
+        }
+        if cleaned {
+            self.queue.push_back(Op::Fence);
+        }
+    }
+
+    fn build_transaction(&mut self) {
+        match self.spec.class {
+            WorkloadClass::NetworkServer => self.network_tx(),
+            WorkloadClass::WriteQuery => self.write_query_tx(),
+            WorkloadClass::Scientific => self.scientific_tx(),
+        }
+    }
+
+    fn network_tx(&mut self) {
+        // Request processing (network stack, parsing) hides latency.
+        let gap = self.range(self.spec.compute);
+        self.queue.push_back(Op::Compute(gap));
+        for _ in 0..self.range(self.spec.dram_reads) {
+            let a = self.dram_addr();
+            self.queue.push_back(Op::Load(MemRef::dram(a)));
+        }
+        if self.rng.gen_bool(self.spec.read_query_prob) {
+            for _ in 0..self.range(self.spec.pm_reads).max(1) {
+                let a = self.item_addr();
+                self.queue.push_back(Op::Load(MemRef::pm(a)));
+            }
+        } else {
+            // Write query: log append, then item update.
+            for _ in 0..self.range(self.spec.log_writes) {
+                let a = self.log_addr();
+                self.push_store(a);
+            }
+            for _ in 0..self.range(self.spec.stores_per_op) {
+                let a = self.item_addr();
+                // Read-modify-write of the item.
+                self.queue.push_back(Op::Load(MemRef::pm(a)));
+                self.push_store(a);
+            }
+            self.drain_cleans();
+        }
+    }
+
+    fn write_query_tx(&mut self) {
+        let gap = self.range(self.spec.compute);
+        self.queue.push_back(Op::Compute(gap));
+        for _ in 0..self.range(self.spec.dram_reads) {
+            let a = self.dram_addr();
+            self.queue.push_back(Op::Load(MemRef::dram(a)));
+        }
+        if self.rng.gen_bool(self.spec.read_query_prob) {
+            // Read query: pointer chase only.
+            let depth = self.range(self.spec.chase_depth).max(1);
+            for _ in 0..depth {
+                let a = self.item_addr();
+                self.queue.push_back(Op::Load(MemRef::pm(a)));
+                self.queue.push_back(Op::Compute(15));
+            }
+            return;
+        }
+        // Pointer chase to the target node: dependent loads.
+        let depth = self.range(self.spec.chase_depth).max(1);
+        let mut node = 0;
+        for _ in 0..depth {
+            node = self.item_addr();
+            self.queue.push_back(Op::Load(MemRef::pm(node)));
+            self.queue.push_back(Op::Compute(15));
+        }
+        // Log, then modify the node (adjacent blocks).
+        for _ in 0..self.range(self.spec.log_writes) {
+            let a = self.log_addr();
+            self.push_store(a);
+        }
+        let stores = self.range(self.spec.stores_per_op);
+        let item_blocks = self.spec.pm_blocks - (self.spec.pm_blocks / 16).max(64);
+        for k in 0..stores as u64 {
+            self.push_store((node + k) % item_blocks);
+        }
+        self.drain_cleans();
+    }
+
+    fn scientific_tx(&mut self) {
+        let gap = self.range(self.spec.compute);
+        self.queue.push_back(Op::Compute(gap));
+        for _ in 0..self.range(self.spec.dram_reads) {
+            let a = self.dram_addr();
+            self.queue.push_back(Op::Load(MemRef::dram(a)));
+        }
+        // Streaming reads over the PM heap, with phase-dependent stores.
+        let reads = self.range(self.spec.pm_reads).max(1);
+        let hot_blocks = self.spec.hot_blocks.clamp(1, self.spec.pm_blocks);
+        for _ in 0..reads {
+            if self.rng.gen_bool(self.spec.store_locality) {
+                self.stream_pos = (self.stream_pos + 1) % self.spec.pm_blocks;
+            } else if self.rng.gen_bool(self.spec.hot_fraction) {
+                self.stream_pos = self.rng.gen_range(0..hot_blocks);
+            } else {
+                self.stream_pos = self.rng.gen_range(0..self.spec.pm_blocks);
+            }
+            self.queue.push_back(Op::Load(MemRef::pm(self.stream_pos)));
+            if self.rng.gen_bool(self.spec.store_prob) {
+                let addr = self.stream_pos;
+                self.queue.push_back(Op::Store(MemRef::pm(addr)));
+                self.pending_cleans.push_back(MemRef::pm(addr));
+            }
+        }
+        // ATLAS-style logging at synchronization points.
+        for _ in 0..self.range(self.spec.log_writes) {
+            let a = self.log_addr();
+            self.push_store(a);
+        }
+        self.drain_cleans();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+
+    fn mix(name: &str, n: usize) -> (f64, f64, f64, f64, f64) {
+        let spec = WorkloadSpec::by_name(name).unwrap();
+        let mut g = TraceGenerator::new(spec, 7);
+        let (mut pm_r, mut pm_w, mut d_r, mut d_w, mut clean) = (0f64, 0f64, 0f64, 0f64, 0f64);
+        let mut mem_ops = 0f64;
+        for _ in 0..n {
+            match g.next_op() {
+                Op::Load(r) => {
+                    mem_ops += 1.0;
+                    if r.pm {
+                        pm_r += 1.0
+                    } else {
+                        d_r += 1.0
+                    }
+                }
+                Op::Store(r) => {
+                    mem_ops += 1.0;
+                    if r.pm {
+                        pm_w += 1.0
+                    } else {
+                        d_w += 1.0
+                    }
+                }
+                Op::Clwb(_) => clean += 1.0,
+                _ => {}
+            }
+        }
+        (
+            pm_r / mem_ops,
+            pm_w / mem_ops,
+            d_r / mem_ops,
+            d_w / mem_ops,
+            clean,
+        )
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let spec = WorkloadSpec::by_name("btree").unwrap();
+        let mut a = TraceGenerator::new(spec, 1);
+        let mut b = TraceGenerator::new(spec, 1);
+        for _ in 0..5000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = TraceGenerator::new(spec, 2);
+        let same = (0..5000).filter(|_| a.next_op() == c.next_op()).count();
+        assert!(same < 5000, "different seeds must differ");
+    }
+
+    #[test]
+    fn every_workload_generates_and_touches_pm() {
+        for spec in WorkloadSpec::all() {
+            let mut g = TraceGenerator::new(spec, 3);
+            let mut pm = false;
+            let mut fence = false;
+            for _ in 0..20_000 {
+                match g.next_op() {
+                    Op::Load(r) | Op::Store(r) => pm |= r.pm,
+                    Op::Fence => fence = true,
+                    _ => {}
+                }
+            }
+            assert!(pm, "{}: must touch PM", spec.name);
+            assert!(fence, "{}: must persist", spec.name);
+        }
+    }
+
+    #[test]
+    fn hashmap_is_pm_write_dominated() {
+        let (pm_r, pm_w, _, _, _) = mix("hashmap", 50_000);
+        assert!(pm_w > 0.4, "hashmap pm write frac {pm_w}");
+        assert!(pm_w > pm_r, "writes dominate reads");
+    }
+
+    #[test]
+    fn scientific_is_pm_read_dominated() {
+        let (pm_r, pm_w, _, _, _) = mix("barnes", 50_000);
+        assert!(pm_r > pm_w * 3.0, "barnes reads {pm_r} vs writes {pm_w}");
+    }
+
+    #[test]
+    fn network_workloads_have_dram_traffic() {
+        let (_, _, d_r, _, _) = mix("memcached", 50_000);
+        assert!(d_r > 0.15, "memcached dram read frac {d_r}");
+    }
+
+    #[test]
+    fn every_store_is_eventually_cleaned() {
+        for name in ["echo", "hashmap", "ocean"] {
+            let spec = WorkloadSpec::by_name(name).unwrap();
+            let mut g = TraceGenerator::new(spec, 5);
+            let mut stores = 0i64;
+            let mut cleans = 0i64;
+            for _ in 0..100_000 {
+                match g.next_op() {
+                    Op::Store(r) if r.pm => stores += 1,
+                    Op::Clwb(_) => cleans += 1,
+                    _ => {}
+                }
+            }
+            let lag_bound = spec.clean_lag as i64 + 16;
+            assert!(
+                (stores - cleans) <= lag_bound,
+                "{name}: stores {stores} vs cleans {cleans}"
+            );
+        }
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint() {
+        for spec in WorkloadSpec::all() {
+            let mut g = TraceGenerator::new(spec, 9);
+            for _ in 0..20_000 {
+                if let Some(r) = g.next_op().mem_ref() {
+                    let bound = if r.pm { spec.pm_blocks } else { spec.dram_blocks };
+                    assert!(r.addr < bound, "{}: {} < {}", spec.name, r.addr, bound);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_writes_are_sequential() {
+        let spec = WorkloadSpec::by_name("echo").unwrap();
+        let mut g = TraceGenerator::new(spec, 11);
+        let log_base = spec.pm_blocks - (spec.pm_blocks / 16).max(64);
+        let mut log_addrs = Vec::new();
+        for _ in 0..50_000 {
+            if let Op::Store(r) = g.next_op() {
+                if r.pm && r.addr >= log_base {
+                    log_addrs.push(r.addr);
+                }
+            }
+        }
+        assert!(log_addrs.len() > 100);
+        let sequential = log_addrs
+            .windows(2)
+            .filter(|w| w[1] == w[0] + 1 || w[1] < w[0])
+            .count();
+        assert!(
+            sequential as f64 / (log_addrs.len() - 1) as f64 > 0.95,
+            "log appends are sequential"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Synthetic persistent-memory workload generators.
+//!
+//! The paper evaluates WHISPER persistent-memory benchmarks and SPLASH3
+//! scientific benchmarks running under the ATLAS persistent-memory
+//! library, inside gem5 (§VI). Reproducing that stack verbatim is a
+//! hardware-scale undertaking; what the proposal's costs actually depend
+//! on is a small set of workload properties:
+//!
+//! 1. the off-chip access mix — PM vs DRAM, read vs write (Figure 14);
+//! 2. the row-buffer locality of PM writes, which sets the **C factor**
+//!    (VLEW code-bit writes per PM write, Figure 15);
+//! 3. how promptly dirty PM blocks are cleaned (`clwb`), which sets the
+//!    dirty-PM cache occupancy (Figure 10) and the OMV hit rate
+//!    (Figure 18);
+//! 4. the compute-to-memory ratio and access dependence, which set how
+//!    sensitive performance is to NVRAM write latency (Figures 16/17 —
+//!    e.g. `hashmap`, all write queries with little compute, is the
+//!    worst case; network servers like `memcached` hide write latency
+//!    behind request processing).
+//!
+//! Each generator here is parameterized directly on those axes and
+//! emits a deterministic, seedable stream of [`Op`]s that the
+//! full-system simulator replays. The catalog ([`WorkloadSpec::all`])
+//! mirrors the paper's workload list: WHISPER-style `echo`, `memcached`,
+//! `redis`, `vacation`, `ctree`, `btree`, `rbtree`, `hashmap`, `ycsb`,
+//! `tpcc`, and SPLASH3-style `barnes`, `fft`, `lu`, `ocean`, `radix`,
+//! `water` under an ATLAS-like all-heap-in-PM regime.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmck_workloads::{TraceGenerator, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::by_name("hashmap").unwrap();
+//! let mut g = TraceGenerator::new(spec, 42);
+//! let ops: Vec<_> = (0..1000).map(|_| g.next_op()).collect();
+//! assert!(ops.iter().any(|o| o.is_pm_write()));
+//! ```
+
+mod generator;
+mod spec;
+mod trace;
+
+pub use generator::TraceGenerator;
+pub use spec::{WorkloadClass, WorkloadSpec};
+pub use trace::{MemRef, Op};

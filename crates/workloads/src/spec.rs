@@ -1,0 +1,422 @@
+//! The workload catalog, parameterized on the axes the proposal's costs
+//! depend on (see the crate docs).
+
+use serde::{Deserialize, Serialize};
+
+/// Broad behavioural class of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Query-per-network-request servers (echo, memcached, redis,
+    /// vacation): long per-query processing hides memory latency.
+    NetworkServer,
+    /// Write-query data structures (ctree, btree, rbtree, hashmap):
+    /// pointer chase + node update + log, little compute.
+    WriteQuery,
+    /// SPLASH3-style scientific kernels under ATLAS (heap in PM):
+    /// streaming reads, phase-wise stores, lazy cleaning.
+    Scientific,
+}
+
+/// Parameters of one synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name (matches the paper's figures).
+    pub name: &'static str,
+    /// Behavioural class.
+    pub class: WorkloadClass,
+    /// Persistent-memory footprint in 64 B blocks.
+    pub pm_blocks: u64,
+    /// DRAM footprint in 64 B blocks.
+    pub dram_blocks: u64,
+    /// Per-transaction compute gap, cycles (min, max).
+    pub compute: (u32, u32),
+    /// Fraction of queries that are read-only (network class).
+    pub read_query_prob: f64,
+    /// Pointer-chase depth (write-query class), inclusive range.
+    pub chase_depth: (u32, u32),
+    /// Item stores per write transaction, inclusive range.
+    pub stores_per_op: (u32, u32),
+    /// Sequential log appends per write transaction, inclusive range.
+    pub log_writes: (u32, u32),
+    /// Probability that consecutive item stores are block-sequential
+    /// (drives row-buffer locality and hence the C factor).
+    pub store_locality: f64,
+    /// Transactions a store may stay dirty before it is cleaned
+    /// (drives Figure 10 occupancy and Figure 18 OMV hits).
+    pub clean_lag: usize,
+    /// DRAM reads per transaction, inclusive range.
+    pub dram_reads: (u32, u32),
+    /// PM reads per transaction, inclusive range.
+    pub pm_reads: (u32, u32),
+    /// Scientific: store probability per streamed read.
+    pub store_prob: f64,
+    /// Probability an item access falls in the hot set (temporal
+    /// locality; drives LLC hit rate).
+    pub hot_fraction: f64,
+    /// Hot-set size in blocks.
+    pub hot_blocks: u64,
+}
+
+impl WorkloadSpec {
+    /// The full catalog, in the order the paper's figures list workloads.
+    pub fn all() -> Vec<WorkloadSpec> {
+        vec![
+            // ---- WHISPER-style network servers ----
+            WorkloadSpec {
+                name: "echo",
+                class: WorkloadClass::NetworkServer,
+                pm_blocks: 1 << 21,
+                dram_blocks: 1 << 18,
+                compute: (9600, 24000),
+                read_query_prob: 0.25,
+                chase_depth: (0, 0),
+                stores_per_op: (1, 2),
+                log_writes: (2, 4),
+                store_locality: 0.8,
+                clean_lag: 400,
+                dram_reads: (2, 5),
+                pm_reads: (1, 2),
+                store_prob: 0.0,
+                hot_fraction: 0.95,
+                hot_blocks: 10000,
+            },
+            WorkloadSpec {
+                name: "memcached",
+                class: WorkloadClass::NetworkServer,
+                pm_blocks: 1 << 22,
+                dram_blocks: 1 << 19,
+                compute: (16000, 40000),
+                read_query_prob: 0.5,
+                chase_depth: (0, 0),
+                stores_per_op: (1, 2),
+                log_writes: (1, 2),
+                store_locality: 0.7,
+                clean_lag: 500,
+                dram_reads: (3, 7),
+                pm_reads: (1, 3),
+                store_prob: 0.0,
+                hot_fraction: 0.95,
+                hot_blocks: 12000,
+            },
+            WorkloadSpec {
+                name: "redis",
+                class: WorkloadClass::NetworkServer,
+                pm_blocks: 1 << 22,
+                dram_blocks: 1 << 19,
+                compute: (9000, 22000),
+                read_query_prob: 0.4,
+                chase_depth: (0, 0),
+                stores_per_op: (1, 3),
+                log_writes: (2, 3),
+                store_locality: 0.75,
+                clean_lag: 450,
+                dram_reads: (2, 6),
+                pm_reads: (1, 3),
+                store_prob: 0.0,
+                hot_fraction: 0.95,
+                hot_blocks: 11000,
+            },
+            WorkloadSpec {
+                name: "vacation",
+                class: WorkloadClass::NetworkServer,
+                pm_blocks: 1 << 21,
+                dram_blocks: 1 << 19,
+                compute: (8000, 21000),
+                read_query_prob: 0.35,
+                chase_depth: (0, 0),
+                stores_per_op: (2, 4),
+                log_writes: (1, 3),
+                store_locality: 0.7,
+                clean_lag: 500,
+                dram_reads: (3, 8),
+                pm_reads: (2, 4),
+                store_prob: 0.0,
+                hot_fraction: 0.94,
+                hot_blocks: 12000,
+            },
+            // ---- WHISPER-style write-query data structures ----
+            WorkloadSpec {
+                name: "ctree",
+                class: WorkloadClass::WriteQuery,
+                pm_blocks: 1 << 21,
+                dram_blocks: 1 << 16,
+                compute: (6400, 19200),
+                read_query_prob: 0.0,
+                chase_depth: (3, 6),
+                stores_per_op: (2, 3),
+                log_writes: (1, 2),
+                store_locality: 0.8,
+                clean_lag: 250,
+                dram_reads: (0, 2),
+                pm_reads: (0, 0),
+                store_prob: 0.0,
+                hot_fraction: 0.95,
+                hot_blocks: 9000,
+            },
+            WorkloadSpec {
+                name: "btree",
+                class: WorkloadClass::WriteQuery,
+                pm_blocks: 1 << 21,
+                dram_blocks: 1 << 16,
+                compute: (6000, 17600),
+                read_query_prob: 0.0,
+                chase_depth: (2, 5),
+                stores_per_op: (2, 4),
+                log_writes: (1, 2),
+                store_locality: 0.82,
+                clean_lag: 250,
+                dram_reads: (0, 2),
+                pm_reads: (0, 0),
+                store_prob: 0.0,
+                hot_fraction: 0.95,
+                hot_blocks: 9000,
+            },
+            WorkloadSpec {
+                name: "rbtree",
+                class: WorkloadClass::WriteQuery,
+                pm_blocks: 1 << 21,
+                dram_blocks: 1 << 16,
+                compute: (8000, 24000),
+                read_query_prob: 0.0,
+                chase_depth: (4, 8),
+                stores_per_op: (2, 4),
+                log_writes: (1, 2),
+                store_locality: 0.78,
+                clean_lag: 250,
+                dram_reads: (0, 2),
+                pm_reads: (0, 0),
+                store_prob: 0.0,
+                hot_fraction: 0.95,
+                hot_blocks: 9000,
+            },
+            WorkloadSpec {
+                // The worst case for the proposal (Figure 16/17): only
+                // write queries, no pointer-chase serialization, little
+                // compute, random item placement.
+                name: "hashmap",
+                class: WorkloadClass::WriteQuery,
+                pm_blocks: 1 << 22,
+                dram_blocks: 1 << 15,
+                compute: (3200, 8000),
+                read_query_prob: 0.0,
+                chase_depth: (1, 1),
+                stores_per_op: (1, 2),
+                log_writes: (1, 2),
+                store_locality: 0.25,
+                clean_lag: 350,
+                dram_reads: (0, 1),
+                pm_reads: (0, 0),
+                store_prob: 0.0,
+                hot_fraction: 0.9,
+                hot_blocks: 20000,
+            },
+            WorkloadSpec {
+                name: "ycsb",
+                class: WorkloadClass::WriteQuery,
+                pm_blocks: 1 << 22,
+                dram_blocks: 1 << 16,
+                compute: (4800, 14400),
+                read_query_prob: 0.5,
+                chase_depth: (1, 2),
+                stores_per_op: (1, 2),
+                log_writes: (1, 1),
+                store_locality: 0.6,
+                clean_lag: 400,
+                dram_reads: (0, 2),
+                pm_reads: (1, 2),
+                store_prob: 0.0,
+                hot_fraction: 0.93,
+                hot_blocks: 14000,
+            },
+            WorkloadSpec {
+                name: "tpcc",
+                class: WorkloadClass::WriteQuery,
+                pm_blocks: 1 << 22,
+                dram_blocks: 1 << 17,
+                compute: (6400, 19200),
+                read_query_prob: 0.2,
+                chase_depth: (2, 4),
+                stores_per_op: (3, 6),
+                log_writes: (2, 4),
+                store_locality: 0.75,
+                clean_lag: 500,
+                dram_reads: (1, 4),
+                pm_reads: (1, 3),
+                store_prob: 0.0,
+                hot_fraction: 0.93,
+                hot_blocks: 14000,
+            },
+            // ---- SPLASH3-style scientific under ATLAS ----
+            WorkloadSpec {
+                name: "barnes",
+                class: WorkloadClass::Scientific,
+                pm_blocks: 1 << 20,
+                dram_blocks: 1 << 17,
+                compute: (3200, 9600),
+                read_query_prob: 0.0,
+                chase_depth: (0, 0),
+                stores_per_op: (0, 0),
+                log_writes: (0, 1),
+                store_locality: 0.9,
+                clean_lag: 80,
+                dram_reads: (1, 3),
+                pm_reads: (4, 10),
+                store_prob: 0.03,
+                hot_fraction: 0.97,
+                hot_blocks: 10000,
+            },
+            WorkloadSpec {
+                name: "fft",
+                class: WorkloadClass::Scientific,
+                pm_blocks: 1 << 20,
+                dram_blocks: 1 << 16,
+                compute: (3000, 9600),
+                read_query_prob: 0.0,
+                chase_depth: (0, 0),
+                stores_per_op: (0, 0),
+                log_writes: (0, 1),
+                store_locality: 0.97,
+                clean_lag: 600,
+                dram_reads: (0, 2),
+                pm_reads: (4, 8),
+                store_prob: 0.2,
+                hot_fraction: 0.94,
+                hot_blocks: 12000,
+            },
+            WorkloadSpec {
+                name: "lu",
+                class: WorkloadClass::Scientific,
+                pm_blocks: 1 << 19,
+                dram_blocks: 1 << 16,
+                compute: (2400, 6600),
+                read_query_prob: 0.0,
+                chase_depth: (0, 0),
+                stores_per_op: (0, 0),
+                log_writes: (0, 1),
+                store_locality: 0.95,
+                clean_lag: 500,
+                dram_reads: (0, 2),
+                pm_reads: (3, 8),
+                store_prob: 0.15,
+                hot_fraction: 0.96,
+                hot_blocks: 9000,
+            },
+            WorkloadSpec {
+                name: "ocean",
+                class: WorkloadClass::Scientific,
+                pm_blocks: 1 << 21,
+                dram_blocks: 1 << 16,
+                compute: (2400, 7800),
+                read_query_prob: 0.0,
+                chase_depth: (0, 0),
+                stores_per_op: (0, 0),
+                log_writes: (0, 1),
+                store_locality: 0.97,
+                clean_lag: 700,
+                dram_reads: (0, 2),
+                pm_reads: (5, 10),
+                store_prob: 0.18,
+                hot_fraction: 0.94,
+                hot_blocks: 14000,
+            },
+            WorkloadSpec {
+                name: "radix",
+                class: WorkloadClass::Scientific,
+                pm_blocks: 1 << 20,
+                dram_blocks: 1 << 15,
+                compute: (3600, 11200),
+                read_query_prob: 0.0,
+                chase_depth: (0, 0),
+                stores_per_op: (0, 0),
+                log_writes: (0, 1),
+                store_locality: 0.75,
+                clean_lag: 600,
+                dram_reads: (0, 1),
+                pm_reads: (3, 7),
+                store_prob: 0.3,
+                hot_fraction: 0.9,
+                hot_blocks: 20000,
+            },
+            WorkloadSpec {
+                name: "water",
+                class: WorkloadClass::Scientific,
+                pm_blocks: 1 << 19,
+                dram_blocks: 1 << 16,
+                compute: (1800, 5200),
+                read_query_prob: 0.0,
+                chase_depth: (0, 0),
+                stores_per_op: (0, 0),
+                log_writes: (0, 1),
+                store_locality: 0.9,
+                clean_lag: 150,
+                dram_reads: (1, 3),
+                pm_reads: (3, 8),
+                store_prob: 0.05,
+                hot_fraction: 0.97,
+                hot_blocks: 8000,
+            },
+        ]
+    }
+
+    /// Looks a workload up by name.
+    pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+        Self::all().into_iter().find(|w| w.name == name)
+    }
+
+    /// The WHISPER-style subset (network + write-query).
+    pub fn whisper() -> Vec<WorkloadSpec> {
+        Self::all()
+            .into_iter()
+            .filter(|w| w.class != WorkloadClass::Scientific)
+            .collect()
+    }
+
+    /// The SPLASH3-style subset.
+    pub fn splash() -> Vec<WorkloadSpec> {
+        Self::all()
+            .into_iter()
+            .filter(|w| w.class == WorkloadClass::Scientific)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_sixteen_unique_workloads() {
+        let all = WorkloadSpec::all();
+        assert_eq!(all.len(), 16);
+        let mut names: Vec<&str> = all.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(WorkloadSpec::by_name("hashmap").is_some());
+        assert!(WorkloadSpec::by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn subsets_partition_catalog() {
+        assert_eq!(
+            WorkloadSpec::whisper().len() + WorkloadSpec::splash().len(),
+            WorkloadSpec::all().len()
+        );
+        assert_eq!(WorkloadSpec::splash().len(), 6);
+    }
+
+    #[test]
+    fn parameters_are_sane() {
+        for w in WorkloadSpec::all() {
+            assert!(w.compute.0 <= w.compute.1, "{}", w.name);
+            assert!(w.pm_blocks > 0 && w.dram_blocks > 0, "{}", w.name);
+            assert!((0.0..=1.0).contains(&w.read_query_prob), "{}", w.name);
+            assert!((0.0..=1.0).contains(&w.store_locality), "{}", w.name);
+            assert!((0.0..=1.0).contains(&w.store_prob), "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Trace operation types.
+
+use serde::{Deserialize, Serialize};
+
+/// A block reference: address (64 B granularity) plus region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Block address within the region.
+    pub addr: u64,
+    /// Whether the block belongs to persistent memory (the NVRAM rank)
+    /// rather than volatile DRAM.
+    pub pm: bool,
+}
+
+impl MemRef {
+    /// A persistent-memory reference.
+    pub fn pm(addr: u64) -> Self {
+        MemRef { addr, pm: true }
+    }
+
+    /// A DRAM reference.
+    pub fn dram(addr: u64) -> Self {
+        MemRef { addr, pm: false }
+    }
+}
+
+/// One operation of a workload trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// `cycles` of core-local work with no memory access.
+    Compute(u32),
+    /// A 64 B load.
+    Load(MemRef),
+    /// A 64 B store.
+    Store(MemRef),
+    /// A cache-line write-back (`clwb`) of the given block.
+    Clwb(MemRef),
+    /// A persist fence (`sfence`): all prior cleans must reach memory
+    /// before execution continues.
+    Fence,
+}
+
+impl Op {
+    /// Whether this op stores to persistent memory.
+    pub fn is_pm_write(&self) -> bool {
+        matches!(self, Op::Store(r) if r.pm)
+    }
+
+    /// The memory reference, if this op touches memory.
+    pub fn mem_ref(&self) -> Option<MemRef> {
+        match self {
+            Op::Load(r) | Op::Store(r) | Op::Clwb(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_queries() {
+        let p = MemRef::pm(5);
+        let d = MemRef::dram(5);
+        assert!(p.pm && !d.pm);
+        assert!(Op::Store(p).is_pm_write());
+        assert!(!Op::Store(d).is_pm_write());
+        assert!(!Op::Load(p).is_pm_write());
+        assert_eq!(Op::Clwb(p).mem_ref(), Some(p));
+        assert_eq!(Op::Fence.mem_ref(), None);
+        assert_eq!(Op::Compute(10).mem_ref(), None);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the workload generators: structural guarantees the
+//! simulator relies on.
+
+use pmck_workloads::{Op, TraceGenerator, WorkloadSpec};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (0usize..WorkloadSpec::all().len()).prop_map(|i| WorkloadSpec::all()[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streams_are_deterministic(spec in spec_strategy(), seed in any::<u64>()) {
+        let mut a = TraceGenerator::new(spec, seed);
+        let mut b = TraceGenerator::new(spec, seed);
+        for _ in 0..2_000 {
+            prop_assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn addresses_always_in_bounds(spec in spec_strategy(), seed in any::<u64>()) {
+        let mut g = TraceGenerator::new(spec, seed);
+        for _ in 0..5_000 {
+            if let Some(r) = g.next_op().mem_ref() {
+                let bound = if r.pm { spec.pm_blocks } else { spec.dram_blocks };
+                prop_assert!(r.addr < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn cleans_only_follow_stores(spec in spec_strategy(), seed in any::<u64>()) {
+        // A clwb may only target an address that was stored earlier and
+        // not yet cleaned more times than stored.
+        let mut g = TraceGenerator::new(spec, seed);
+        let mut outstanding: std::collections::HashMap<u64, i64> =
+            std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            match g.next_op() {
+                Op::Store(r) if r.pm => {
+                    *outstanding.entry(r.addr).or_insert(0) += 1;
+                }
+                Op::Clwb(r) => {
+                    let e = outstanding.entry(r.addr).or_insert(0);
+                    *e -= 1;
+                    prop_assert!(*e >= 0, "clean without a prior store at {}", r.addr);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn fences_terminate_clean_batches(spec in spec_strategy(), seed in any::<u64>()) {
+        // Between the last Clwb of a batch and the next non-clean op
+        // there must be a Fence (persistence ordering).
+        let mut g = TraceGenerator::new(spec, seed);
+        let mut pending_clean = false;
+        for _ in 0..10_000 {
+            match g.next_op() {
+                Op::Clwb(_) => pending_clean = true,
+                Op::Fence => pending_clean = false,
+                Op::Compute(_) | Op::Load(_) | Op::Store(_) => {
+                    prop_assert!(!pending_clean, "cleans must be fenced before new work");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_fractions_reflect_class(spec in spec_strategy()) {
+        let mut g = TraceGenerator::new(spec, 7);
+        let mut compute_cycles = 0u64;
+        let mut mem_ops = 0u64;
+        for _ in 0..20_000 {
+            match g.next_op() {
+                Op::Compute(n) => compute_cycles += n as u64,
+                Op::Load(_) | Op::Store(_) => mem_ops += 1,
+                _ => {}
+            }
+        }
+        prop_assert!(mem_ops > 0);
+        let per_op = compute_cycles as f64 / mem_ops as f64;
+        // Every workload does *some* work per memory op, and none is
+        // absurdly compute-starved or compute-drowned.
+        prop_assert!(per_op > 5.0 && per_op < 50_000.0, "{}: {per_op}", spec.name);
+    }
+}

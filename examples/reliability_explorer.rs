@@ -1,0 +1,81 @@
+//! Reliability design-space explorer.
+//!
+//! Sweeps RBER across the NVRAM operating range and prints, at each
+//! point: the minimum ECC strengths, the storage cost of every scheme
+//! from the paper's Figure 2/4 comparison, and the runtime SDC/fallback
+//! trade-off of the threshold decoder — the full §III–§V design argument
+//! as one table.
+//!
+//! ```text
+//! cargo run --example reliability_explorer
+//! ```
+
+use pmck::analysis::schemes::ExtendedScheme;
+use pmck::analysis::sdc::{fallback_fraction, sdc_rate};
+use pmck::analysis::storage::{min_bch_t, vlew_plus_parity_cost};
+use pmck::analysis::{SDC_TARGET, UE_TARGET};
+use pmck::nvram::{rber_at, MemoryTech};
+
+fn main() {
+    println!("== NVRAM operating points (retention model) ==");
+    for (label, tech, secs) in [
+        ("ReRAM, refreshed (runtime)", MemoryTech::ReRam, 1.0),
+        ("3-bit PCM, hourly refresh", MemoryTech::Pcm3Bit, 3600.0),
+        ("3-bit PCM, 1 week unrefreshed", MemoryTech::Pcm3Bit, 7.0 * 86400.0),
+        ("ReRAM, 1 year unrefreshed", MemoryTech::ReRam, 365.25 * 86400.0),
+    ] {
+        println!("  {label:<32} RBER = {:.2e}", rber_at(tech, secs));
+    }
+
+    println!("\n== Storage cost vs RBER (UE target 1e-15/block) ==");
+    println!(
+        "{:<10} {:>10} {:>12} {:>14} {:>14} {:>14}",
+        "RBER", "VLEW t", "proposal", "XED-ext", "Samsung-ext", "DUO-ext"
+    );
+    for exp in [-5i32, -4, -3] {
+        let rber = 10f64.powi(exp);
+        let (t, proposal) =
+            vlew_plus_parity_cost(256, rber, UE_TARGET, 8).expect("feasible");
+        let cost = |s: ExtendedScheme| {
+            s.total_cost(rber, UE_TARGET)
+                .map_or("inf".to_string(), |c| format!("{:.1}%", c * 100.0))
+        };
+        println!(
+            "{:<10.0e} {:>10} {:>11.1}% {:>14} {:>14} {:>14}",
+            rber,
+            t,
+            proposal * 100.0,
+            cost(ExtendedScheme::Xed),
+            cost(ExtendedScheme::Samsung),
+            cost(ExtendedScheme::Duo)
+        );
+    }
+
+    println!("\n== Per-block BCH strength needed (bit errors only) ==");
+    for exp in [-5i32, -4, -3] {
+        let rber = 10f64.powi(exp);
+        let t = min_bch_t(512, rber, UE_TARGET, 100).expect("feasible");
+        println!(
+            "  RBER {rber:.0e}: t = {t:>2}  ({:.1}% storage)",
+            t as f64 * 10.0 / 512.0 * 100.0
+        );
+    }
+
+    println!("\n== Runtime threshold trade-off @ RBER 2e-4 (RS(72,64)) ==");
+    println!(
+        "{:<6} {:>12} {:>14} {:>10}",
+        "t", "SDC rate", "vs 1e-17 tgt", "fallback"
+    );
+    for t in 1..=4usize {
+        let sdc = sdc_rate(2e-4, 64, 8, t);
+        let fb = fallback_fraction(2e-4, 64, 8, t);
+        println!(
+            "{:<6} {:>12.1e} {:>14} {:>9.4}%",
+            t,
+            sdc,
+            if sdc <= SDC_TARGET { "meets ✓" } else { "violates ✗" },
+            fb * 100.0
+        );
+    }
+    println!("\nthe paper's pick: threshold 2 — the largest t that meets the SDC target.");
+}

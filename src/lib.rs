@@ -1,0 +1,44 @@
+//! # pmck — chipkill-correct for persistent memory on high-density NVRAMs
+//!
+//! A full reproduction of *"Exploring and Optimizing Chipkill-correct for
+//! Persistent Memory Based on High-density NVRAMs"* (Zhang, Sridharan,
+//! Jian — MICRO 2018) as a Rust workspace. This facade crate re-exports
+//! every subsystem:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`gf`] | `pmck-gf` | GF(2^m)/GF(2^8) arithmetic, polynomials |
+//! | [`bch`] | `pmck-bch` | parametric binary BCH codec (the VLEWs) |
+//! | [`rs`] | `pmck-rs` | RS(72,64) with erasures + threshold decoding |
+//! | [`nvram`] | `pmck-nvram` | RBER retention curves, error injection |
+//! | [`memsim`] | `pmck-memsim` | bank-timing memory controller + EUR |
+//! | [`cachesim`] | `pmck-cachesim` | SAM/OMV LLC hierarchy |
+//! | [`chipkill`] | `pmck-core` | **the proposal**: boot scrub + runtime path |
+//! | [`workloads`] | `pmck-workloads` | WHISPER/SPLASH-style trace generators |
+//! | [`analysis`] | `pmck-analysis` | storage/SDC/bandwidth analytics |
+//! | [`sim`] | `pmck-sim` | full-system simulator (Figures 10–18) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pmck::chipkill::{ChipkillConfig, ChipkillMemory};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut mem = ChipkillMemory::new(64, ChipkillConfig::default());
+//! mem.write_block(0, &[7u8; 64]).unwrap();
+//! mem.inject_bit_errors(1e-3, &mut rng);
+//! mem.boot_scrub().unwrap();
+//! assert_eq!(mem.read_block(0).unwrap().data, [7u8; 64]);
+//! ```
+
+pub use pmck_analysis as analysis;
+pub use pmck_bch as bch;
+pub use pmck_cachesim as cachesim;
+pub use pmck_core as chipkill;
+pub use pmck_gf as gf;
+pub use pmck_memsim as memsim;
+pub use pmck_nvram as nvram;
+pub use pmck_rs as rs;
+pub use pmck_sim as sim;
+pub use pmck_workloads as workloads;

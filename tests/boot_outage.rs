@@ -1,0 +1,92 @@
+//! Outage scenarios driven by the retention model: the paper's "a week to
+//! a year without refresh" survival claim, end to end.
+
+use pmck::chipkill::{ChipkillConfig, ChipkillMemory};
+use pmck::nvram::{rber_at, MemoryTech};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn outage_cycle(tech: MemoryTech, seconds: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mem = ChipkillMemory::new(128, ChipkillConfig::default());
+    let data: Vec<[u8; 64]> = (0..mem.num_blocks())
+        .map(|a| {
+            let mut b = [0u8; 64];
+            rng.fill(&mut b[..]);
+            mem.write_block(a, &b).unwrap();
+            b
+        })
+        .collect();
+    let rber = rber_at(tech, seconds);
+    mem.inject_bit_errors(rber, &mut rng);
+    mem.boot_scrub().expect("scrub succeeds");
+    assert!(mem.verify_consistent());
+    for (a, b) in data.iter().enumerate() {
+        assert_eq!(&mem.read_block(a as u64).unwrap().data, b, "block {a}");
+    }
+}
+
+#[test]
+fn pcm3_survives_one_week_unrefreshed() {
+    outage_cycle(MemoryTech::Pcm3Bit, 7.0 * 86400.0, 31);
+}
+
+#[test]
+fn reram_survives_one_year_unrefreshed() {
+    outage_cycle(MemoryTech::ReRam, 365.25 * 86400.0, 37);
+}
+
+#[test]
+fn repeated_outages_accumulate_no_damage() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut mem = ChipkillMemory::new(64, ChipkillConfig::default());
+    let data: Vec<[u8; 64]> = (0..mem.num_blocks())
+        .map(|a| {
+            let mut b = [0u8; 64];
+            rng.fill(&mut b[..]);
+            mem.write_block(a, &b).unwrap();
+            b
+        })
+        .collect();
+    // Ten consecutive outage+boot cycles at boot RBER.
+    for cycle in 0..10 {
+        mem.inject_bit_errors(1e-3, &mut rng);
+        mem.boot_scrub().unwrap_or_else(|e| panic!("cycle {cycle}: {e}"));
+    }
+    for (a, b) in data.iter().enumerate() {
+        assert_eq!(&mem.read_block(a as u64).unwrap().data, b);
+    }
+}
+
+#[test]
+fn writes_between_outages_survive() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let mut mem = ChipkillMemory::new(64, ChipkillConfig::default());
+    let mut truth: Vec<[u8; 64]> = vec![[0u8; 64]; mem.num_blocks() as usize];
+    for cycle in 0..5u64 {
+        // Update a random subset (mix of write paths), then crash.
+        for _ in 0..20 {
+            let a = rng.gen_range(0..mem.num_blocks());
+            let mut v = [0u8; 64];
+            rng.fill(&mut v[..]);
+            if rng.gen_bool(0.5) {
+                mem.write_block(a, &v).unwrap();
+            } else {
+                let old = mem.read_block(a).unwrap().data;
+                let mut sum = [0u8; 64];
+                for i in 0..64 {
+                    sum[i] = old[i] ^ v[i];
+                }
+                mem.write_block_sum(a, &sum).unwrap();
+            }
+            truth[a as usize] = v;
+        }
+        mem.flush_eur(); // clean shutdown drains the EUR
+        mem.inject_bit_errors(1e-3, &mut rng);
+        mem.boot_scrub()
+            .unwrap_or_else(|e| panic!("cycle {cycle}: {e}"));
+    }
+    for (a, v) in truth.iter().enumerate() {
+        assert_eq!(&mem.read_block(a as u64).unwrap().data, v, "block {a}");
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end chip-failure scenarios across the whole failure lifecycle,
+//! including the boot/runtime interaction and the baseline comparison.
+
+use pmck::chipkill::{
+    BaselineMemory, ChipFailureKind, ChipkillConfig, ChipkillMemory, ReadPath, RestripedMemory,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pattern(a: u64) -> [u8; 64] {
+    let mut b = [0u8; 64];
+    for (i, x) in b.iter_mut().enumerate() {
+        *x = (a as u8).wrapping_mul(131) ^ (i as u8).wrapping_mul(29);
+    }
+    b
+}
+
+fn filled(blocks: u64) -> ChipkillMemory {
+    let mut mem = ChipkillMemory::new(blocks, ChipkillConfig::default());
+    for a in 0..mem.num_blocks() {
+        mem.write_block(a, &pattern(a)).unwrap();
+    }
+    mem
+}
+
+#[test]
+fn chip_failure_plus_runtime_bit_errors_both_corrected() {
+    // The hard case: a dead chip AND random bit errors in the survivors.
+    let mut rng = StdRng::seed_from_u64(21);
+    for chip in [0usize, 4, 8] {
+        let mut mem = filled(64);
+        mem.inject_bit_errors(2e-4, &mut rng);
+        mem.fail_chip(chip, ChipFailureKind::RandomGarbage, &mut rng);
+        for a in 0..mem.num_blocks() {
+            let out = mem.read_block(a).expect("recoverable");
+            assert_eq!(out.data, pattern(a), "chip {chip} block {a}");
+        }
+    }
+}
+
+#[test]
+fn failure_during_outage_handled_at_boot() {
+    // Chip dies while the system is off; boot scrub finds and rebuilds it.
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut mem = filled(96);
+    mem.inject_bit_errors(1e-3, &mut rng);
+    mem.fail_chip(6, ChipFailureKind::StuckZero, &mut rng);
+    let report = mem.boot_scrub().expect("scrub + rebuild");
+    assert_eq!(report.chip_rebuilt, Some(6));
+    assert!(mem.verify_consistent());
+    for a in 0..mem.num_blocks() {
+        let out = mem.read_block(a).unwrap();
+        assert_eq!(out.data, pattern(a));
+        assert_eq!(out.path, ReadPath::Clean, "rank fully healed");
+    }
+}
+
+#[test]
+fn restripe_then_full_lifecycle() {
+    let mut rng = StdRng::seed_from_u64(25);
+    let mut mem = filled(64);
+    mem.fail_chip(2, ChipFailureKind::RandomGarbage, &mut rng);
+    let mut rs = RestripedMemory::from_failed_rank(&mut mem).expect("restripe");
+    // Writes and errors after reconfiguration.
+    rs.write_block(10, &[0xEE; 64]).unwrap();
+    rs.inject_bit_errors(5e-4, &mut rng);
+    assert_eq!(rs.read_block(10).unwrap(), [0xEE; 64]);
+    for a in 0..rs.num_blocks() {
+        if a == 10 {
+            continue;
+        }
+        assert_eq!(rs.read_block(a).unwrap(), pattern(a), "block {a}");
+    }
+}
+
+#[test]
+fn baseline_handles_bit_errors_but_not_chipkill() {
+    let mut rng = StdRng::seed_from_u64(27);
+    let blocks = 64u64;
+    let mut base = BaselineMemory::new(blocks);
+    for a in 0..blocks {
+        base.write_block(a, &pattern(a)).unwrap();
+    }
+    // Bit errors at boot RBER: fine.
+    base.inject_bit_errors(1e-3, &mut rng);
+    for a in 0..blocks {
+        assert_eq!(base.read_block(a).unwrap().data, pattern(a));
+    }
+    // A chip failure: catastrophic.
+    base.fail_chip(1, ChipFailureKind::RandomGarbage, &mut rng);
+    let lost = (0..blocks)
+        .filter(|&a| match base.read_block(a) {
+            Ok(out) => out.data != pattern(a),
+            Err(_) => true,
+        })
+        .count();
+    assert!(lost as u64 > blocks * 9 / 10, "lost {lost}/{blocks}");
+}
+
+#[test]
+fn detected_double_failure_is_loud_not_silent() {
+    let mut rng = StdRng::seed_from_u64(29);
+    let mut mem = filled(32);
+    mem.fail_chip(1, ChipFailureKind::RandomGarbage, &mut rng);
+    mem.fail_chip(7, ChipFailureKind::RandomGarbage, &mut rng);
+    let mut silent_corruption = 0;
+    for a in 0..mem.num_blocks() {
+        if let Ok(out) = mem.read_block(a) {
+            if out.data != pattern(a) {
+                silent_corruption += 1;
+            }
+        }
+    }
+    assert_eq!(
+        silent_corruption, 0,
+        "double failures must fail loudly (DUE), never silently corrupt"
+    );
+}

@@ -1,0 +1,66 @@
+//! EUR consistency across crates: the functional engine's C factor and
+//! the timing simulator's C factor must agree for equivalent access
+//! patterns (they implement the same §V-D registerfile).
+
+use pmck::chipkill::{ChipkillConfig, ChipkillMemory};
+use pmck::memsim::{MemConfig, MemRequest, MemoryController, NvramTiming, RankKind, NS};
+
+fn run_mc_pattern(addrs: &[u64]) -> f64 {
+    let mut mc = MemoryController::new(MemConfig::paper_hybrid(NvramTiming::reram()));
+    let mut t = 0u64;
+    for (i, &a) in addrs.iter().enumerate() {
+        while mc.enqueue(MemRequest::write(i as u64, a, RankKind::Nvram)).is_err() {
+            t += 1_000 * NS;
+            mc.advance_to(t);
+        }
+    }
+    while mc.pending() > 0 {
+        t += 100_000 * NS;
+        mc.advance_to(t);
+        let _ = mc.drain_completions();
+    }
+    mc.finalize_eur();
+    mc.eur().c_factor()
+}
+
+fn run_engine_pattern(addrs: &[u64]) -> f64 {
+    let max = addrs.iter().copied().max().unwrap_or(0) + 1;
+    let mut mem = ChipkillMemory::new(max, ChipkillConfig::default());
+    for &a in addrs {
+        mem.write_block_sum(a, &[0xFF; 64]).expect("in range");
+    }
+    mem.flush_eur();
+    mem.c_factor()
+}
+
+#[test]
+fn sequential_writes_coalesce_in_both_models() {
+    // One full VLEW's worth of sequential blocks.
+    let addrs: Vec<u64> = (0..32).collect();
+    let mc_c = run_mc_pattern(&addrs);
+    let engine_c = run_engine_pattern(&addrs);
+    // The engine counts one register per (chip, stripe): 9 chips share
+    // the stripe → 9/32. The MC models the rank-level row: 1/32. Both
+    // must show strong coalescing (≪ 1).
+    assert!(mc_c <= 0.05, "mc C = {mc_c}");
+    assert!(engine_c <= 9.0 / 32.0 + 1e-9, "engine C = {engine_c}");
+}
+
+#[test]
+fn scattered_writes_do_not_coalesce() {
+    // One write per stripe/row: nothing to coalesce.
+    let addrs: Vec<u64> = (0..32).map(|i| i * 4096).collect();
+    let mc_c = run_mc_pattern(&addrs);
+    assert!(mc_c >= 0.99, "mc C = {mc_c}");
+}
+
+#[test]
+fn locality_ordering_is_preserved_across_models() {
+    // Three patterns with decreasing locality must order identically in
+    // both models.
+    let seq: Vec<u64> = (0..64).collect();
+    let stride: Vec<u64> = (0..64).map(|i| i * 32).collect(); // one per VLEW
+    let scatter: Vec<u64> = (0..64).map(|i| i * 4096).collect();
+    let mc = [run_mc_pattern(&seq), run_mc_pattern(&stride), run_mc_pattern(&scatter)];
+    assert!(mc[0] < mc[1] && mc[1] <= mc[2], "mc {mc:?}");
+}

@@ -1,0 +1,63 @@
+//! Cross-crate layout consistency: the functional engine, the analytic
+//! models, and the codecs must agree on every geometry number the paper
+//! quotes (Figure 6, §V-A).
+
+use pmck::analysis::storage::{bch_code_bits, min_bch_t, vlew_plus_parity_cost};
+use pmck::analysis::{BOOT_RBER, UE_TARGET};
+use pmck::bch::BchCode;
+use pmck::chipkill::ChipkillLayout;
+use pmck::rs::RsCode;
+
+#[test]
+fn engine_layout_matches_analytic_model() {
+    let layout = ChipkillLayout::default();
+    let (t, analytic_cost) =
+        vlew_plus_parity_cost(layout.vlew_data_bytes, BOOT_RBER, UE_TARGET, layout.data_chips)
+            .expect("feasible");
+    // The analytic minimum t is exactly the strength the engine deploys.
+    assert_eq!(t, BchCode::vlew().t());
+    // And the storage costs agree to within rounding.
+    assert!((analytic_cost - layout.total_storage_cost()).abs() < 1e-3);
+}
+
+#[test]
+fn vlew_code_bytes_match_bch_parity_bits() {
+    let layout = ChipkillLayout::default();
+    let code = BchCode::vlew();
+    assert_eq!(code.parity_bits().div_ceil(8), layout.vlew_code_bytes);
+    assert_eq!(code.data_bits() / 8, layout.vlew_data_bytes);
+    assert_eq!(
+        bch_code_bits(code.t(), code.data_bits()),
+        code.parity_bits(),
+        "the paper's t(⌊log2 k⌋+1) formula is exact for this code"
+    );
+}
+
+#[test]
+fn rs_geometry_matches_block_layout() {
+    let layout = ChipkillLayout::default();
+    let code = RsCode::per_block();
+    assert_eq!(code.data_symbols(), layout.block_bytes);
+    assert_eq!(code.check_symbols(), layout.rs_check_bytes);
+    assert_eq!(code.len(), layout.rs_codeword_bytes());
+    // d−1 erasures exactly cover one chip's contribution.
+    assert_eq!(code.max_erasures(), layout.chip_bytes);
+}
+
+#[test]
+fn minimum_strengths_reproduce_section_3_and_5() {
+    // §III-A: 14-bit EC for a 64 B block at 1e-3.
+    assert_eq!(min_bch_t(512, BOOT_RBER, UE_TARGET, 64), Some(14));
+    // §V-A: 22-bit EC for a 256 B VLEW at 1e-3.
+    assert_eq!(min_bch_t(2048, BOOT_RBER, UE_TARGET, 64), Some(22));
+}
+
+#[test]
+fn proposal_costs_no_more_than_baseline() {
+    let layout = ChipkillLayout::default();
+    let baseline = 140.0 / 512.0; // §III-A per-block 14-EC BCH
+    assert!(
+        layout.total_storage_cost() <= baseline + 1e-9,
+        "chip failure protection must come at no additional storage cost"
+    );
+}

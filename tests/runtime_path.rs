@@ -1,0 +1,103 @@
+//! End-to-end runtime read path (Figure 9) across crates: the engine's
+//! measured behaviour must track the analytic models at both runtime
+//! RBER design points.
+
+use pmck::analysis::sdc::fallback_fraction;
+use pmck::analysis::{RUNTIME_RBER_PCM_HOURLY, RUNTIME_RBER_RERAM};
+use pmck::chipkill::{ChipkillConfig, ChipkillMemory, ReadPath};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn filled(blocks: u64, seed: u64) -> (ChipkillMemory, Vec<[u8; 64]>, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mem = ChipkillMemory::new(blocks, ChipkillConfig::default());
+    let data: Vec<[u8; 64]> = (0..mem.num_blocks())
+        .map(|a| {
+            let mut b = [0u8; 64];
+            rng.fill(&mut b[..]);
+            mem.write_block(a, &b).unwrap();
+            b
+        })
+        .collect();
+    (mem, data, rng)
+}
+
+#[test]
+fn no_read_ever_returns_wrong_data_at_runtime_rber() {
+    for (rber, seed) in [(RUNTIME_RBER_RERAM, 1u64), (RUNTIME_RBER_PCM_HOURLY, 2)] {
+        let (mem0, data, mut rng) = filled(256, seed);
+        for round in 0..6 {
+            let mut mem = mem0.clone();
+            mem.inject_bit_errors(rber, &mut rng);
+            for (a, b) in data.iter().enumerate() {
+                let out = mem.read_block(a as u64).expect("correctable");
+                assert_eq!(&out.data, b, "rber {rber:e} round {round} block {a}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fallback_rate_tracks_analytic_model() {
+    let p = RUNTIME_RBER_PCM_HOURLY;
+    let analytic = fallback_fraction(p, 64, 8, 2);
+    let (mem0, _, mut rng) = filled(1024, 3);
+    let mut reads = 0u64;
+    let mut fallbacks = 0u64;
+    for _ in 0..60 {
+        let mut mem = mem0.clone();
+        mem.inject_bit_errors(p, &mut rng);
+        for a in 0..mem.num_blocks() {
+            let _ = mem.read_block(a).expect("correctable");
+        }
+        reads += mem.stats().reads;
+        fallbacks += mem.stats().fallbacks;
+    }
+    let measured = fallbacks as f64 / reads as f64;
+    // ~0.02% expected; allow generous sampling noise on ~61k reads.
+    assert!(
+        measured < analytic * 4.0 + 1e-4,
+        "measured {measured:e} vs analytic {analytic:e}"
+    );
+    assert!(fallbacks > 0, "at 2e-4 over 61k reads some fallbacks occur");
+}
+
+#[test]
+fn accepted_corrections_never_exceed_threshold() {
+    let (mem0, _, mut rng) = filled(256, 4);
+    for thr in [0usize, 1, 2, 3] {
+        let mut mem = ChipkillMemory::new(256, ChipkillConfig::with_threshold(thr));
+        for a in 0..mem.num_blocks() {
+            let out = mem0
+                .clone()
+                .read_block(a)
+                .expect("clean source");
+            mem.write_block(a, &out.data).unwrap();
+        }
+        mem.inject_bit_errors(5e-4, &mut rng);
+        for a in 0..mem.num_blocks() {
+            if let Ok(out) = mem.read_block(a) {
+                if let ReadPath::RsCorrected { corrections } = out.path {
+                    assert!(corrections <= thr, "thr {thr}: {corrections}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn boot_rber_still_fully_correctable_via_fallback() {
+    // Even if runtime RBER spikes to the boot level (a missed refresh
+    // window), the VLEW fallback keeps every read exact.
+    let (mut mem, data, mut rng) = filled(128, 5);
+    mem.inject_bit_errors(1e-3, &mut rng);
+    let mut fallbacks = 0;
+    for (a, b) in data.iter().enumerate() {
+        let out = mem.read_block(a as u64).expect("correctable");
+        assert_eq!(&out.data, b);
+        if matches!(out.path, ReadPath::VlewFallback { .. }) {
+            fallbacks += 1;
+        }
+    }
+    assert!(fallbacks > 0, "1e-3 must trigger fallbacks on 128 blocks");
+}

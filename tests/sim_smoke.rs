@@ -1,0 +1,103 @@
+//! Full-system simulator smoke tests: determinism, baseline/proposal
+//! trace equivalence, and directionally correct sensitivities.
+
+use pmck::sim::{NvramKind, Scheme, SimConfig, Simulator};
+use pmck::workloads::WorkloadSpec;
+
+fn tiny(nvram: NvramKind, scheme: Scheme) -> SimConfig {
+    SimConfig {
+        warmup_ops: 4_000,
+        measure_ops: 10_000,
+        ..SimConfig::quick(nvram, scheme)
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let spec = WorkloadSpec::by_name("redis").unwrap();
+    let cfg = tiny(NvramKind::ReRam, Scheme::Baseline);
+    let a = Simulator::run_workload(spec, cfg, 7);
+    let b = Simulator::run_workload(spec, cfg, 7);
+    assert_eq!(a, b, "same seed → identical results");
+    let c = Simulator::run_workload(spec, cfg, 8);
+    assert_ne!(a.measured_ps, c.measured_ps, "different seed → different run");
+}
+
+#[test]
+fn baseline_and_proposal_replay_the_same_trace() {
+    let spec = WorkloadSpec::by_name("btree").unwrap();
+    let base = Simulator::run_workload(spec, tiny(NvramKind::Pcm, Scheme::Baseline), 3);
+    let prop = Simulator::run_workload(
+        spec,
+        tiny(NvramKind::Pcm, Scheme::Proposal { c_factor: 0.4 }),
+        3,
+    );
+    assert_eq!(base.ops_measured, prop.ops_measured);
+    // Demand traffic mixes stay close (the proposal adds only OMV-miss
+    // reads and fallback prefetches).
+    assert_eq!(base.pm_writes, prop.pm_writes);
+}
+
+#[test]
+fn proposal_overhead_grows_with_c() {
+    let spec = WorkloadSpec::by_name("hashmap").unwrap();
+    let base = Simulator::run_workload(spec, tiny(NvramKind::Pcm, Scheme::Baseline), 5);
+    let lo = Simulator::run_workload(
+        spec,
+        tiny(NvramKind::Pcm, Scheme::Proposal { c_factor: 0.1 }),
+        5,
+    );
+    let hi = Simulator::run_workload(
+        spec,
+        tiny(NvramKind::Pcm, Scheme::Proposal { c_factor: 1.0 }),
+        5,
+    );
+    let perf = |r: &pmck::sim::SimResult| r.ops_per_ns();
+    assert!(perf(&lo) <= perf(&base) * 1.02, "small C ≈ baseline");
+    assert!(perf(&hi) < perf(&lo), "C=1 must cost more than C=0.1");
+}
+
+#[test]
+fn pcm_overhead_exceeds_reram_overhead() {
+    // The paper's Figure 16-vs-17 observation, on the worst workload.
+    let spec = WorkloadSpec::by_name("hashmap").unwrap();
+    let ratio = |kind| {
+        let base = Simulator::run_workload(spec, tiny(kind, Scheme::Baseline), 9);
+        let prop = Simulator::run_workload(
+            spec,
+            tiny(kind, Scheme::Proposal { c_factor: 0.5 }),
+            9,
+        );
+        prop.ops_per_ns() / base.ops_per_ns()
+    };
+    let reram = ratio(NvramKind::ReRam);
+    let pcm = ratio(NvramKind::Pcm);
+    assert!(
+        pcm <= reram + 0.02,
+        "longer PCM writes amplify the slowing: reram {reram:.3} pcm {pcm:.3}"
+    );
+}
+
+#[test]
+fn omv_misses_cost_extra_reads() {
+    let spec = WorkloadSpec::by_name("echo").unwrap();
+    let with_omv = Simulator::run_workload(
+        spec,
+        tiny(NvramKind::ReRam, Scheme::Proposal { c_factor: 0.3 }),
+        11,
+    );
+    let without = Simulator::run_workload(
+        spec,
+        SimConfig {
+            force_omv_off: true,
+            ..tiny(NvramKind::ReRam, Scheme::Proposal { c_factor: 0.3 })
+        },
+        11,
+    );
+    assert!(with_omv.omv_hit_rate > 0.9);
+    assert_eq!(without.omv_hit_rate, 0.0);
+    assert!(
+        without.ops_per_ns() <= with_omv.ops_per_ns() + 1e-6,
+        "losing OMV caching cannot speed things up"
+    );
+}

@@ -19,12 +19,30 @@ pub struct FlashEccEntry {
 
 /// The Figure 3 configurations (Cypress SLC-vs-MLC application note \[69\]).
 pub const FLASH_ECC_TABLE: [FlashEccEntry; 6] = [
-    FlashEccEntry { device: "SLC NAND (1-bit EC)", t: 1 },
-    FlashEccEntry { device: "SLC NAND (4-bit EC)", t: 4 },
-    FlashEccEntry { device: "MLC NAND (12-bit EC)", t: 12 },
-    FlashEccEntry { device: "MLC NAND (24-bit EC)", t: 24 },
-    FlashEccEntry { device: "MLC NAND (40-bit EC)", t: 40 },
-    FlashEccEntry { device: "MLC NAND (41-bit EC)", t: 41 },
+    FlashEccEntry {
+        device: "SLC NAND (1-bit EC)",
+        t: 1,
+    },
+    FlashEccEntry {
+        device: "SLC NAND (4-bit EC)",
+        t: 4,
+    },
+    FlashEccEntry {
+        device: "MLC NAND (12-bit EC)",
+        t: 12,
+    },
+    FlashEccEntry {
+        device: "MLC NAND (24-bit EC)",
+        t: 24,
+    },
+    FlashEccEntry {
+        device: "MLC NAND (40-bit EC)",
+        t: 40,
+    },
+    FlashEccEntry {
+        device: "MLC NAND (41-bit EC)",
+        t: 41,
+    },
 ];
 
 /// Data bits per Flash ECC word (512 B).

@@ -183,8 +183,8 @@ impl BchCode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pmck_rt::rng::Rng;
+    use pmck_rt::rng::StdRng;
 
     fn random_data(rng: &mut StdRng, bits: usize) -> BitPoly {
         let mut d = BitPoly::zero(bits);

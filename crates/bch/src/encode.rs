@@ -13,12 +13,7 @@ impl BchCode {
     ///
     /// Panics if `data.len() != self.data_bits()`.
     pub fn encode(&self, data: &BitPoly) -> BitPoly {
-        assert_eq!(
-            data.len(),
-            self.k,
-            "data must have exactly {} bits",
-            self.k
-        );
+        assert_eq!(data.len(), self.k, "data must have exactly {} bits", self.k);
         let mut cw = BitPoly::zero(self.len());
         cw.splice(self.r, data);
         let parity = self.parity(data);
@@ -49,12 +44,7 @@ impl BchCode {
     ///
     /// Panics if `data.len() != self.data_bits()`.
     pub fn parity(&self, data: &BitPoly) -> BitPoly {
-        assert_eq!(
-            data.len(),
-            self.k,
-            "data must have exactly {} bits",
-            self.k
-        );
+        assert_eq!(data.len(), self.k, "data must have exactly {} bits", self.k);
         let mut shifted = BitPoly::zero(self.k + self.r);
         shifted.splice(self.r, data);
         let rem = shifted.rem(&self.generator);

@@ -1,70 +1,69 @@
-//! Property-based tests: BCH round trips under random correctable error
-//! patterns, and linearity of the encoder.
+//! Randomized tests: BCH round trips under random correctable error
+//! patterns, and linearity of the encoder. Seeded `pmck-rt` streams
+//! replace the former proptest strategies.
 
 use pmck_bch::{BchCode, BitPoly};
-use proptest::prelude::*;
+use pmck_rt::rng::{Rng, StdRng};
 
-fn bits_from_seed(seed: u64, len: usize) -> BitPoly {
+fn random_bits(rng: &mut StdRng, len: usize) -> BitPoly {
     let mut p = BitPoly::zero(len);
-    let mut s = seed | 1;
     for i in 0..len {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        if s >> 63 == 1 {
+        if rng.gen_bool(0.5) {
             p.set(i, true);
         }
     }
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn round_trip_with_upto_t_errors(
-        seed in any::<u64>(),
-        t in 1usize..=5,
-        nerr_seed in any::<u64>(),
-    ) {
+#[test]
+fn round_trip_with_upto_t_errors() {
+    let mut rng = StdRng::seed_from_u64(0xBC4_0001);
+    for _ in 0..64 {
+        let t = rng.gen_range(1usize..=5);
         let code = BchCode::new(9, t, 128).unwrap();
-        let data = bits_from_seed(seed, 128);
+        let data = random_bits(&mut rng, 128);
         let clean = code.encode(&data);
         let mut cw = clean.clone();
-        let nerr = (nerr_seed % (t as u64 + 1)) as usize;
+        let nerr = rng.gen_range(0..=t);
         let mut positions = std::collections::BTreeSet::new();
-        let mut s = nerr_seed | 1;
         while positions.len() < nerr {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            positions.insert((s >> 16) as usize % code.len());
+            positions.insert(rng.gen_range(0..code.len()));
         }
         for &p in &positions {
             cw.flip(p);
         }
         let out = code.decode(&mut cw).unwrap();
-        prop_assert_eq!(&cw, &clean);
+        assert_eq!(&cw, &clean);
         let got: Vec<usize> = out.corrected_bits().to_vec();
         let want: Vec<usize> = positions.into_iter().collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn parity_linearity(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+#[test]
+fn parity_linearity() {
+    let mut rng = StdRng::seed_from_u64(0xBC4_0002);
+    for _ in 0..64 {
         let code = BchCode::new(8, 3, 96).unwrap();
-        let a = bits_from_seed(seed_a, 96);
-        let b = bits_from_seed(seed_b, 96);
+        let a = random_bits(&mut rng, 96);
+        let b = random_bits(&mut rng, 96);
         let mut ab = a.clone();
         ab.xor_assign(&b);
         let mut p = code.parity(&a);
         p.xor_assign(&code.parity(&b));
-        prop_assert_eq!(p, code.parity(&ab));
+        assert_eq!(p, code.parity(&ab));
     }
+}
 
-    #[test]
-    fn syndromes_zero_iff_codeword(seed in any::<u64>(), flip in any::<u64>()) {
+#[test]
+fn syndromes_zero_iff_codeword() {
+    let mut rng = StdRng::seed_from_u64(0xBC4_0003);
+    for _ in 0..64 {
         let code = BchCode::new(7, 2, 64).unwrap();
-        let data = bits_from_seed(seed, 64);
+        let data = random_bits(&mut rng, 64);
         let mut cw = code.encode(&data);
-        prop_assert!(code.syndromes(&cw).iter().all(|&s| s == 0));
-        cw.flip((flip % code.len() as u64) as usize);
-        prop_assert!(code.syndromes(&cw).iter().any(|&s| s != 0));
+        assert!(code.syndromes(&cw).iter().all(|&s| s == 0));
+        cw.flip(rng.gen_range(0..code.len()));
+        assert!(code.syndromes(&cw).iter().any(|&s| s != 0));
     }
 }

@@ -1,0 +1,263 @@
+//! Microbenchmark harness for the hot codec and read-path kernels.
+//!
+//! Replaces the former `criterion` benches with a dependency-free
+//! `std::time::Instant` timer.  Each scenario is warmed up, then run for
+//! a fixed number of timed batches; the report carries the best and mean
+//! batch cost per operation so run-to-run noise is visible.
+//!
+//! Usage:
+//!
+//! ```text
+//! microbench [--iters N] [--batches N] [--pretty] [--filter SUBSTR]
+//! ```
+//!
+//! Output is a single JSON document (`pmck-rt::json`) on stdout.
+
+use std::time::Instant;
+
+use pmck_bch::BchCode;
+use pmck_core::{ChipkillConfig, ChipkillMemory};
+use pmck_rs::RsCode;
+use pmck_rt::json::Json;
+use pmck_rt::rng::{Rng, StdRng};
+
+struct Config {
+    /// Operations per timed batch.
+    iters: u64,
+    /// Timed batches per scenario (the min and mean are reported).
+    batches: u64,
+    pretty: bool,
+    filter: Option<String>,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let mut cfg = Config {
+            iters: 200,
+            batches: 20,
+            pretty: false,
+            filter: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--iters" => cfg.iters = need(args.next(), "--iters"),
+                "--batches" => cfg.batches = need(args.next(), "--batches"),
+                "--pretty" => cfg.pretty = true,
+                "--filter" => {
+                    cfg.filter = Some(
+                        args.next()
+                            .unwrap_or_else(|| usage("--filter needs a value")),
+                    )
+                }
+                other => usage(&format!("unknown argument: {other}")),
+            }
+        }
+        cfg
+    }
+}
+
+fn need(v: Option<String>, flag: &str) -> u64 {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a positive integer")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: microbench [--iters N] [--batches N] [--pretty] [--filter SUBSTR]");
+    std::process::exit(2);
+}
+
+/// Times `f` for `cfg.batches` batches of `cfg.iters` calls each and
+/// returns a JSON row.  `f` must consume its own input so the optimizer
+/// cannot hoist work out of the loop; each call returns a value that is
+/// fed to `std::hint::black_box`.
+fn scenario<T>(cfg: &Config, name: &str, bytes_per_op: u64, mut f: impl FnMut() -> T) -> Json {
+    // Warmup: one untimed batch.
+    for _ in 0..cfg.iters {
+        std::hint::black_box(f());
+    }
+    let mut best_ns = f64::INFINITY;
+    let mut total_ns = 0.0;
+    for _ in 0..cfg.batches {
+        let start = Instant::now();
+        for _ in 0..cfg.iters {
+            std::hint::black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / cfg.iters as f64;
+        best_ns = best_ns.min(ns);
+        total_ns += ns;
+    }
+    let mean_ns = total_ns / cfg.batches as f64;
+    let mut row = Json::object()
+        .with("name", name)
+        .with("ns_per_op_best", best_ns)
+        .with("ns_per_op_mean", mean_ns);
+    if bytes_per_op > 0 {
+        row = row.with("bytes_per_op", bytes_per_op).with(
+            "gib_per_s_best",
+            bytes_per_op as f64 / best_ns * 1e9 / (1u64 << 30) as f64,
+        );
+    }
+    row
+}
+
+fn wants(cfg: &Config, name: &str) -> bool {
+    cfg.filter.as_deref().is_none_or(|f| name.contains(f))
+}
+
+fn bch_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
+    let code = BchCode::vlew();
+    assert_eq!(code.t(), 22);
+    let mut rng = StdRng::seed_from_u64(1);
+    let data: Vec<u8> = (0..256).map(|_| rng.gen()).collect();
+    let clean = code.encode_bytes(&data);
+
+    if wants(cfg, "bch/encode_256B") {
+        rows.push(scenario(cfg, "bch/encode_256B", 256, || {
+            code.encode_bytes(std::hint::black_box(&data))
+        }));
+    }
+    if wants(cfg, "bch/syndromes_clean") {
+        rows.push(scenario(cfg, "bch/syndromes_clean", 256, || {
+            code.syndromes(std::hint::black_box(&clean))
+        }));
+    }
+    for nerr in [1usize, 5, 22] {
+        let name = format!("bch/decode_{nerr}err");
+        if !wants(cfg, &name) {
+            continue;
+        }
+        let mut word = clean.clone();
+        let mut pos = std::collections::BTreeSet::new();
+        while pos.len() < nerr {
+            pos.insert(rng.gen_range(0..code.len()));
+        }
+        for &p in &pos {
+            word.flip(p);
+        }
+        rows.push(scenario(cfg, &name, 256, || {
+            let mut w = word.clone();
+            code.decode(&mut w).expect("correctable")
+        }));
+    }
+}
+
+fn rs_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
+    let code = RsCode::per_block();
+    let mut rng = StdRng::seed_from_u64(2);
+    let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+    let clean = code.encode(&data);
+
+    if wants(cfg, "rs/encode_64B") {
+        rows.push(scenario(cfg, "rs/encode_64B", 64, || {
+            code.encode(std::hint::black_box(&data))
+        }));
+    }
+    if wants(cfg, "rs/decode_clean") {
+        rows.push(scenario(cfg, "rs/decode_clean", 64, || {
+            let mut w = clean.clone();
+            code.decode(&mut w).expect("clean")
+        }));
+    }
+    for nerr in [1usize, 4] {
+        let name = format!("rs/decode_{nerr}err");
+        if !wants(cfg, &name) {
+            continue;
+        }
+        let mut word = clean.clone();
+        for k in 0..nerr {
+            word[k * 17] ^= 0x5A;
+        }
+        rows.push(scenario(cfg, &name, 64, || {
+            let mut w = word.clone();
+            code.decode(&mut w).expect("correctable")
+        }));
+    }
+    if wants(cfg, "rs/decode_erasure_chipkill") {
+        // A dead chip: 8 known-bad symbol positions.
+        let mut erased = clean.clone();
+        for p in 16..24 {
+            erased[p] = 0xFF;
+        }
+        let erasures: Vec<usize> = (16..24).collect();
+        rows.push(scenario(cfg, "rs/decode_erasure_chipkill", 64, || {
+            let mut w = erased.clone();
+            code.decode_with_erasures(&mut w, &erasures).expect("ok")
+        }));
+    }
+}
+
+fn readpath_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut clean = ChipkillMemory::new(256, ChipkillConfig::default());
+    for a in 0..clean.num_blocks() {
+        let mut b = [0u8; 64];
+        rng.fill_bytes(&mut b[..]);
+        clean.write_block(a, &b).unwrap();
+    }
+
+    if wants(cfg, "readpath/clean") {
+        let mut mem = clean.clone();
+        let mut a = 0;
+        rows.push(scenario(cfg, "readpath/clean", 64, || {
+            a = (a + 1) % mem.num_blocks();
+            mem.read_block(a).expect("clean")
+        }));
+    }
+    if wants(cfg, "readpath/runtime_rber_2e-4") {
+        let mut mem = clean.clone();
+        mem.inject_bit_errors(2e-4, &mut rng);
+        let mut a = 0;
+        rows.push(scenario(cfg, "readpath/runtime_rber_2e-4", 64, || {
+            a = (a + 1) % mem.num_blocks();
+            mem.read_block(a).expect("correctable")
+        }));
+    }
+    if wants(cfg, "readpath/boot_rber_1e-3") {
+        let mut mem = clean.clone();
+        mem.inject_bit_errors(1e-3, &mut rng);
+        let mut a = 0;
+        rows.push(scenario(cfg, "readpath/boot_rber_1e-3", 64, || {
+            a = (a + 1) % mem.num_blocks();
+            mem.read_block(a).expect("correctable")
+        }));
+    }
+    if wants(cfg, "writepath/conventional") {
+        let mut mem = clean.clone();
+        let block = [0xA5u8; 64];
+        let mut a = 0;
+        rows.push(scenario(cfg, "writepath/conventional", 64, || {
+            a = (a + 1) % mem.num_blocks();
+            mem.write_block(a, &block).expect("in range")
+        }));
+    }
+    if wants(cfg, "writepath/bitwise_sum") {
+        let mut mem = clean.clone();
+        let block = [0xA5u8; 64];
+        let mut a = 0;
+        rows.push(scenario(cfg, "writepath/bitwise_sum", 64, || {
+            a = (a + 1) % mem.num_blocks();
+            mem.write_block_sum(a, &block).expect("in range")
+        }));
+    }
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let mut rows = Vec::new();
+    bch_scenarios(&cfg, &mut rows);
+    rs_scenarios(&cfg, &mut rows);
+    readpath_scenarios(&cfg, &mut rows);
+
+    let doc = Json::object()
+        .with("harness", "microbench")
+        .with("iters_per_batch", cfg.iters)
+        .with("batches", cfg.batches)
+        .with("scenarios", Json::Arr(rows));
+    if cfg.pretty {
+        println!("{}", doc.pretty());
+    } else {
+        println!("{}", doc.dump());
+    }
+}

@@ -33,10 +33,7 @@ pub fn run() -> Experiment {
         e.row(
             name,
             "coalescing lowers C and thus tWR",
-            format!(
-                "C={:.2} → {coalesced:.4}; C=1.0 → {worst:.4}",
-                cmp.c_factor
-            ),
+            format!("C={:.2} → {coalesced:.4}; C=1.0 → {worst:.4}", cmp.c_factor),
         );
     }
     e.note("tWR scales as 1 + 4.125·C; the EUR's per-row coalescing keeps C well below 1 for workloads with write locality.");

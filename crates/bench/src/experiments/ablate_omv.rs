@@ -23,13 +23,19 @@ pub fn run() -> Experiment {
         let spec = WorkloadSpec::by_name(name).expect("known workload");
         let cfg = {
             let base = if quick_requested() {
-                SimConfig::quick(NvramKind::Pcm, Scheme::Proposal {
-                    c_factor: cmp.c_factor,
-                })
+                SimConfig::quick(
+                    NvramKind::Pcm,
+                    Scheme::Proposal {
+                        c_factor: cmp.c_factor,
+                    },
+                )
             } else {
-                SimConfig::paper(NvramKind::Pcm, Scheme::Proposal {
-                    c_factor: cmp.c_factor,
-                })
+                SimConfig::paper(
+                    NvramKind::Pcm,
+                    Scheme::Proposal {
+                        c_factor: cmp.c_factor,
+                    },
+                )
             };
             SimConfig {
                 force_omv_off: true,

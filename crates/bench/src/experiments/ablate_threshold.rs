@@ -15,7 +15,11 @@ pub fn run() -> Experiment {
         "Ablation: RS acceptance threshold (SDC vs fallback)",
     );
     for (t, sdc, fb) in threshold_sweep(p, 64, 8, 4) {
-        let verdict = if sdc <= SDC_TARGET { "meets" } else { "violates" };
+        let verdict = if sdc <= SDC_TARGET {
+            "meets"
+        } else {
+            "violates"
+        };
         e.row(
             format!("t = {t}"),
             match t {
@@ -23,11 +27,7 @@ pub fn run() -> Experiment {
                 4 => "rejected: SDC 3.2e-11 (3e6X over)".to_string(),
                 _ => "—".to_string(),
             },
-            format!(
-                "SDC {} ({verdict} target), fallback {}",
-                sci(sdc),
-                sci(fb)
-            ),
+            format!("SDC {} ({verdict} target), fallback {}", sci(sdc), sci(fb)),
         );
     }
     e.note("t=2 is the largest threshold meeting the SDC target; t=3,4 trade unacceptable SDC for negligible bandwidth.");

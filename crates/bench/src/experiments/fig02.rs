@@ -47,13 +47,7 @@ mod tests {
     fn min_cost_is_prohibitive() {
         let e = super::run();
         let last = e.rows.last().unwrap();
-        let v: f64 = last
-            .measured
-            .split('%')
-            .next()
-            .unwrap()
-            .parse()
-            .unwrap();
+        let v: f64 = last.measured.split('%').next().unwrap().parse().unwrap();
         assert!(v >= 55.0, "measured {v}%");
     }
 }

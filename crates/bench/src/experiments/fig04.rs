@@ -10,8 +10,8 @@ use crate::report::{pct, Experiment};
 pub fn run() -> Experiment {
     let mut e = Experiment::new("fig04", "Figure 4: storage cost vs codeword length");
     for &bytes in &[64usize, 128, 256, 512, 1024, 2048, 4096] {
-        let (t, cost) = vlew_plus_parity_cost(bytes, BOOT_RBER, UE_TARGET, 8)
-            .expect("feasible at boot RBER");
+        let (t, cost) =
+            vlew_plus_parity_cost(bytes, BOOT_RBER, UE_TARGET, 8).expect("feasible at boot RBER");
         let paper = match bytes {
             64 => "~40%+".to_string(),
             256 => "27% (t=22)".to_string(),
@@ -32,11 +32,7 @@ mod tests {
     #[test]
     fn cost_at_256b_is_27() {
         let e = super::run();
-        let r = e
-            .rows
-            .iter()
-            .find(|r| r.label.starts_with("256"))
-            .unwrap();
+        let r = e.rows.iter().find(|r| r.label.starts_with("256")).unwrap();
         assert!(r.measured.starts_with("27."), "{}", r.measured);
         assert!(r.measured.contains("t=22"));
     }

@@ -4,27 +4,51 @@
 use pmck_analysis::prob::error_count_distribution;
 use pmck_analysis::RUNTIME_RBER_PCM_HOURLY;
 use pmck_nvram::BitErrorInjector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pmck_rt::par;
 
 use crate::report::{sci, Experiment};
+
+/// Monte-Carlo histogram of bit-error counts per 512-bit request (counts
+/// of 6 and above share the last bucket), run on `workers` threads.
+///
+/// Chunked through [`par::mc_chunks`], so the histogram is bit-identical
+/// for any worker count.
+pub fn monte_carlo_counts(trials: u64, rber: f64, workers: usize) -> [u64; 7] {
+    let n_bits = 512;
+    let inj = BitErrorInjector::new(rber);
+    let partials = par::mc_chunks(trials, 20_000, workers, 7, |rng, n| {
+        let mut counts = [0u64; 7];
+        for _ in 0..n {
+            let k = inj.sample_positions(n_bits, rng).len().min(6);
+            counts[k] += 1;
+        }
+        counts
+    });
+    let mut counts = [0u64; 7];
+    for part in partials {
+        for (total, c) in counts.iter_mut().zip(part) {
+            *total += c;
+        }
+    }
+    counts
+}
 
 /// Regenerates Figure 7 and the §V-C threshold argument (>99.98% of
 /// accesses carry ≤2 errors).
 pub fn run() -> Experiment {
+    run_with_workers(par::default_workers())
+}
+
+/// [`run`] with an explicit worker count; the report is identical for
+/// every choice (see the determinism test below).
+pub fn run_with_workers(workers: usize) -> Experiment {
     let p = RUNTIME_RBER_PCM_HOURLY;
     let n_bits = 512;
     let dist = error_count_distribution(n_bits, p, 5);
 
     // Monte-Carlo overlay.
     let trials = 400_000u64;
-    let inj = BitErrorInjector::new(p);
-    let mut rng = StdRng::seed_from_u64(7);
-    let mut counts = [0u64; 7];
-    for _ in 0..trials {
-        let k = inj.sample_positions(n_bits, &mut rng).len().min(6);
-        counts[k] += 1;
-    }
+    let counts = monte_carlo_counts(trials, p, workers);
 
     let mut e = Experiment::new(
         "fig07",
@@ -52,5 +76,12 @@ mod tests {
         let r = e.rows.iter().find(|r| r.label == "≤2 errors").unwrap();
         let v: f64 = r.measured.trim_end_matches('%').parse().unwrap();
         assert!(v > 99.98);
+    }
+
+    #[test]
+    fn report_identical_across_worker_counts() {
+        let one = super::run_with_workers(1).to_json().dump();
+        assert_eq!(one, super::run_with_workers(2).to_json().dump());
+        assert_eq!(one, super::run_with_workers(8).to_json().dump());
     }
 }

@@ -10,10 +10,7 @@ use crate::simsuite::{mean, suite};
 /// 600 ns write). Paper average: ~97.7%.
 pub fn run() -> Experiment {
     let results = suite(NvramKind::Pcm);
-    let mut e = Experiment::new(
-        "fig17",
-        "Figure 17: normalized performance, PCM latencies",
-    );
+    let mut e = Experiment::new("fig17", "Figure 17: normalized performance, PCM latencies");
     for cmp in results {
         let paper = match cmp.baseline.workload.as_str() {
             "hashmap" => "worst case (86%, 14% overhead)",

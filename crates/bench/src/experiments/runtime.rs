@@ -5,8 +5,7 @@ use pmck_analysis::bandwidth::proposal_read_overhead;
 use pmck_analysis::sdc::fallback_fraction;
 use pmck_analysis::RUNTIME_RBER_PCM_HOURLY;
 use pmck_core::{ChipkillConfig, ChipkillMemory};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pmck_rt::rng::StdRng;
 
 use crate::report::{pct, sci, Experiment};
 

@@ -2,8 +2,7 @@
 //! scrub-time arithmetic.
 
 use pmck_core::{ChipkillConfig, ChipkillMemory};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pmck_rt::rng::StdRng;
 
 use crate::report::Experiment;
 

@@ -56,7 +56,11 @@ mod tests {
     #[test]
     fn twenty_seven_percent() {
         let e = super::run();
-        let r = e.rows.iter().find(|r| r.label.starts_with("total")).unwrap();
+        let r = e
+            .rows
+            .iter()
+            .find(|r| r.label.starts_with("total"))
+            .unwrap();
         assert!(r.measured.starts_with("27."), "{}", r.measured);
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use pmck_rt::json::Json;
+
 /// One row of an experiment: a labelled paper-vs-measured comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Row {
@@ -96,6 +98,26 @@ impl Experiment {
             println!("note: {n}");
         }
         println!();
+    }
+
+    /// Renders the experiment as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::object()
+                    .with("label", r.label.as_str())
+                    .with("paper", r.paper.as_str())
+                    .with("measured", r.measured.as_str())
+            })
+            .collect();
+        let notes = self.notes.iter().map(|n| Json::from(n.as_str())).collect();
+        Json::object()
+            .with("id", self.id)
+            .with("title", self.title)
+            .with("rows", Json::Arr(rows))
+            .with("notes", Json::Arr(notes))
     }
 
     /// Renders the experiment as a Markdown section (for EXPERIMENTS.md).

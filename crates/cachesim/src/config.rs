@@ -1,9 +1,7 @@
 //! Cache configuration (paper Table I).
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry and latency of one cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: usize,
@@ -59,7 +57,7 @@ impl CacheConfig {
 }
 
 /// The full hierarchy: per-core L1s over a shared LLC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// Number of cores (= number of L1 caches). Table I: 4.
     pub cores: usize,

@@ -1,9 +1,7 @@
 //! Cache statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Hit/miss and OMV counters for one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand hits.
     pub hits: u64,
@@ -51,6 +49,17 @@ impl CacheStats {
             self.omv_hits as f64 / total as f64
         }
     }
+
+    /// Publishes every counter (and the derived rates as gauges) into
+    /// `reg` under `<prefix>.<name>`.
+    pub fn publish_metrics(&self, reg: &pmck_rt::metrics::MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.hits"), self.hits);
+        reg.set_counter(&format!("{prefix}.misses"), self.misses);
+        reg.set_counter(&format!("{prefix}.omv_hits"), self.omv_hits);
+        reg.set_counter(&format!("{prefix}.omv_misses"), self.omv_misses);
+        reg.set_gauge(&format!("{prefix}.hit_rate"), self.hit_rate());
+        reg.set_gauge(&format!("{prefix}.omv_hit_rate"), self.omv_hit_rate());
+    }
 }
 
 #[cfg(test)]
@@ -69,5 +78,18 @@ mod tests {
         s.record_omv(true);
         s.record_omv(false);
         assert_eq!(s.omv_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn publishes_metrics() {
+        let mut s = CacheStats::default();
+        s.record(true);
+        s.record(false);
+        s.record_omv(true);
+        let reg = pmck_rt::metrics::MetricsRegistry::new();
+        s.publish_metrics(&reg, "llc");
+        assert_eq!(reg.counter("llc.hits"), 1);
+        assert_eq!(reg.counter("llc.misses"), 1);
+        assert_eq!(reg.gauge("llc.omv_hit_rate"), Some(1.0));
     }
 }

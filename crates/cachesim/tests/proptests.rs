@@ -1,9 +1,8 @@
-//! Property tests for the cache hierarchy and the SAM/OMV protocol.
+//! Randomized tests for the cache hierarchy and the SAM/OMV protocol,
+//! driven by seeded `pmck-rt` streams.
 
 use pmck_cachesim::{CacheConfig, Hierarchy, HierarchyConfig, Llc};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmck_rt::rng::{Rng, StdRng};
 
 fn small_hierarchy() -> Hierarchy {
     Hierarchy::new(HierarchyConfig {
@@ -24,20 +23,25 @@ fn small_hierarchy() -> Hierarchy {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn at_most_one_omv_line_per_address(seed in any::<u64>(), ops in 50usize..400) {
+#[test]
+fn at_most_one_omv_line_per_address() {
+    let mut rng = StdRng::seed_from_u64(0xCA5E_0001);
+    for _ in 0..48 {
+        let ops = rng.gen_range(50usize..400);
         let mut h = small_hierarchy();
-        let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..ops {
             let addr = rng.gen_range(0..512u64);
             let core = rng.gen_range(0..2);
             match rng.gen_range(0..3) {
-                0 => { h.load(core, addr, true); }
-                1 => { h.store(core, addr, true); }
-                _ => { h.clwb(core, addr, true); }
+                0 => {
+                    h.load(core, addr, true);
+                }
+                1 => {
+                    h.store(core, addr, true);
+                }
+                _ => {
+                    h.clwb(core, addr, true);
+                }
             }
             // Invariant: never two OMV lines for one address, and an OMV
             // line never coexists without having had a dirty twin.
@@ -48,38 +52,50 @@ proptest! {
                     .iter_valid()
                     .filter(|l| l.omv && l.addr == a)
                     .count();
-                prop_assert!(omv_count <= 1, "addr {a}: {omv_count} OMV lines");
+                assert!(omv_count <= 1, "addr {a}: {omv_count} OMV lines");
             }
         }
     }
+}
 
-    #[test]
-    fn second_load_of_same_address_hits(addr in 0u64..100_000) {
+#[test]
+fn second_load_of_same_address_hits() {
+    let mut rng = StdRng::seed_from_u64(0xCA5E_0002);
+    for _ in 0..48 {
+        let addr = rng.gen_range(0u64..100_000);
         let mut h = small_hierarchy();
         h.load(0, addr, true);
         let acts = h.load(0, addr, true);
-        prop_assert!(acts.l1_hit);
-        prop_assert!(acts.mem_reads.is_empty());
+        assert!(acts.l1_hit);
+        assert!(acts.mem_reads.is_empty());
     }
+}
 
-    #[test]
-    fn clean_hierarchy_emits_no_spurious_writes(seed in any::<u64>()) {
+#[test]
+fn clean_hierarchy_emits_no_spurious_writes() {
+    let mut rng = StdRng::seed_from_u64(0xCA5E_0003);
+    for _ in 0..48 {
         // Loads alone (no stores) must never produce memory writes.
         let mut h = small_hierarchy();
-        let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..500 {
             let addr = rng.gen_range(0..4096u64);
             let acts = h.load(rng.gen_range(0..2), addr, rng.gen_bool(0.5));
-            prop_assert!(acts.mem_writes.is_empty(), "clean line evictions are silent");
+            assert!(
+                acts.mem_writes.is_empty(),
+                "clean line evictions are silent"
+            );
         }
     }
+}
 
-    #[test]
-    fn every_dirty_store_is_written_back_exactly_once(seed in any::<u64>(), n in 20usize..150) {
+#[test]
+fn every_dirty_store_is_written_back_exactly_once() {
+    let mut rng = StdRng::seed_from_u64(0xCA5E_0004);
+    for _ in 0..48 {
+        let n = rng.gen_range(20usize..150);
         // Store n distinct PM addresses, then clean them all: the number
         // of PM memory writes equals the number of dirtied blocks.
         let mut h = small_hierarchy();
-        let mut rng = StdRng::seed_from_u64(seed);
         let addrs: std::collections::BTreeSet<u64> =
             (0..n).map(|_| rng.gen_range(0..1024u64)).collect();
         let mut writes = 0usize;
@@ -91,11 +107,11 @@ proptest! {
             let acts = h.clwb(0, a, true);
             writes += acts.mem_writes.iter().filter(|w| w.is_pm).count();
         }
-        prop_assert_eq!(writes, addrs.len());
+        assert_eq!(writes, addrs.len());
         // Cleaning again produces nothing.
         for &a in &addrs {
             let acts = h.clwb(0, a, true);
-            prop_assert!(acts.mem_writes.is_empty());
+            assert!(acts.mem_writes.is_empty());
         }
     }
 }

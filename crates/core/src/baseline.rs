@@ -10,7 +10,7 @@
 
 use pmck_bch::{BchCode, BitPoly};
 use pmck_nvram::{BitErrorInjector, ChipFailureKind, FailedChip};
-use rand::Rng;
+use pmck_rt::rng::Rng;
 
 use crate::engine::CoreError;
 
@@ -144,8 +144,7 @@ impl BaselineMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pmck_rt::rng::StdRng;
 
     #[test]
     fn round_trip_and_overhead() {

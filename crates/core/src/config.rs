@@ -1,11 +1,9 @@
 //! Engine configuration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::layout::ChipkillLayout;
 
 /// Configuration of the chipkill-correct engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChipkillConfig {
     /// Rank/ECC geometry.
     pub layout: ChipkillLayout,

@@ -7,7 +7,7 @@ use std::fmt;
 use pmck_bch::{BchCode, BitPoly};
 use pmck_nvram::{BitErrorInjector, ChipFailureKind, FailedChip};
 use pmck_rs::{RsCode, ThresholdOutcome};
-use rand::Rng;
+use pmck_rt::rng::Rng;
 
 use crate::config::ChipkillConfig;
 use crate::layout::ChipkillLayout;
@@ -181,8 +181,11 @@ impl ChipkillMemory {
         let off = self.layout.offset_in_stripe(addr);
         let mut word = vec![0u8; self.layout.rs_codeword_bytes()];
         let parity_idx = self.layout.data_chips;
-        word[..self.layout.rs_check_bytes]
-            .copy_from_slice(self.chips[parity_idx].block_slice(stripe, off, &self.layout));
+        word[..self.layout.rs_check_bytes].copy_from_slice(self.chips[parity_idx].block_slice(
+            stripe,
+            off,
+            &self.layout,
+        ));
         for c in 0..self.layout.data_chips {
             let (s, e) = self.layout.rs_positions_of_data_chip(c);
             word[s..e].copy_from_slice(self.chips[c].block_slice(stripe, off, &self.layout));
@@ -429,8 +432,7 @@ impl ChipkillMemory {
                 let mut data = [0u8; 64];
                 for c in 0..self.layout.data_chips {
                     let region = corrected[c].as_ref().expect("no failure");
-                    data[c * 8..(c + 1) * 8]
-                        .copy_from_slice(&region[off * 8..(off + 1) * 8]);
+                    data[c * 8..(c + 1) * 8].copy_from_slice(&region[off * 8..(off + 1) * 8]);
                 }
                 Ok(ReadOutcome {
                     data,
@@ -643,8 +645,9 @@ impl ChipkillMemory {
                 if c == chip {
                     corrected.push(None);
                 } else {
-                    let (d, code, _) =
-                        self.decode_vlew(c, stripe).map_err(|_| CoreError::Uncorrectable)?;
+                    let (d, code, _) = self
+                        .decode_vlew(c, stripe)
+                        .map_err(|_| CoreError::Uncorrectable)?;
                     // Write back the corrected survivor regions.
                     let layout = self.layout;
                     self.chips[c]
@@ -664,8 +667,7 @@ impl ChipkillMemory {
                     let mut data = [0u8; 64];
                     for c in 0..self.layout.data_chips {
                         let region = corrected[c].as_ref().expect("survivor");
-                        data[c * 8..(c + 1) * 8]
-                            .copy_from_slice(&region[off * 8..(off + 1) * 8]);
+                        data[c * 8..(c + 1) * 8].copy_from_slice(&region[off * 8..(off + 1) * 8]);
                     }
                     let check = self.rs.parity(&data);
                     let layout = self.layout;

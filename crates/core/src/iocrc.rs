@@ -9,7 +9,7 @@
 //! receiving chip verifies the CRC, triggering bounded retransmission.
 
 use pmck_nvram::BitErrorInjector;
-use rand::Rng;
+use pmck_rt::rng::Rng;
 
 /// CRC-16/CCITT-FALSE over `data` (polynomial 0x1021, init 0xFFFF) —
 /// the DDR4 Write-CRC uses the same CRC-family link protection.
@@ -137,8 +137,7 @@ impl WriteLink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pmck_rt::rng::StdRng;
 
     #[test]
     fn crc16_known_vectors() {

@@ -1,11 +1,9 @@
 //! Rank-level data and ECC layout (paper §V-A, Figure 6).
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of the proposed layout. The defaults are the paper's:
 /// 64 B blocks over 8 data chips + 1 parity chip; per chip, each 256 B of
 /// row data forms a VLEW with 33 B of code bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChipkillLayout {
     /// Bytes per memory block (64).
     pub block_bytes: usize,

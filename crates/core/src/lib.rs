@@ -35,9 +35,8 @@
 //!
 //! ```
 //! use pmck_core::{ChipkillConfig, ChipkillMemory};
-//! use rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = pmck_rt::rng::StdRng::seed_from_u64(1);
 //! let mut mem = ChipkillMemory::new(64, ChipkillConfig::default());
 //! let block = [0x5Au8; 64];
 //! mem.write_block(3, &block);
@@ -65,8 +64,8 @@ mod wearlevel;
 pub use baseline::{BaselineMemory, BaselineReadOutcome};
 pub use config::ChipkillConfig;
 pub use engine::{ChipkillMemory, CoreError, ReadOutcome, ReadPath};
-pub use layout::ChipkillLayout;
 pub use iocrc::{crc16, BusFault, TransmitOutcome, WriteLink};
+pub use layout::ChipkillLayout;
 pub use patrol::{PatrolReport, PatrolScrubber};
 pub use restripe::{RestripedMemory, BLOCKS_PER_GROUP};
 pub use scrub::ScrubReport;

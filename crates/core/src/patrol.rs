@@ -8,12 +8,10 @@
 //! (as real memory controllers do) so each full pass bounds every
 //! block's time-since-correction.
 
-use serde::{Deserialize, Serialize};
-
 use crate::engine::{ChipkillMemory, CoreError};
 
 /// Progress report from one patrol increment.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PatrolReport {
     /// Blocks scrubbed in this increment.
     pub blocks_scrubbed: u64,
@@ -35,7 +33,7 @@ pub struct PatrolReport {
 /// let report = patrol.step(&mut mem).unwrap();
 /// assert_eq!(report.blocks_scrubbed, 16);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PatrolScrubber {
     cursor: u64,
     blocks_per_step: u64,
@@ -116,8 +114,8 @@ impl PatrolScrubber {
 mod tests {
     use super::*;
     use crate::config::ChipkillConfig;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pmck_rt::rng::Rng;
+    use pmck_rt::rng::StdRng;
 
     fn filled(blocks: u64, seed: u64) -> (ChipkillMemory, Vec<[u8; 64]>, StdRng) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -125,7 +123,7 @@ mod tests {
         let data = (0..mem.num_blocks())
             .map(|a| {
                 let mut b = [0u8; 64];
-                rng.fill(&mut b[..]);
+                rng.fill_bytes(&mut b[..]);
                 mem.write_block(a, &b).unwrap();
                 b
             })

@@ -11,7 +11,7 @@
 
 use pmck_bch::{BchCode, BitPoly};
 use pmck_nvram::BitErrorInjector;
-use rand::Rng;
+use pmck_rt::rng::Rng;
 
 use crate::engine::{ChipkillMemory, CoreError};
 
@@ -118,12 +118,11 @@ impl RestripedMemory {
                     let base = group * BLOCKS_PER_GROUP * 64;
                     self.data[base..base + 256].copy_from_slice(&data);
                     let code = cw.slice(0, self.vlew.parity_bits()).to_bytes();
-                    self.codes[group * 33..group * 33 + 33]
-                        .copy_from_slice(&{
-                            let mut c = code;
-                            c.resize(33, 0);
-                            c
-                        });
+                    self.codes[group * 33..group * 33 + 33].copy_from_slice(&{
+                        let mut c = code;
+                        c.resize(33, 0);
+                        c
+                    });
                 }
                 let off = (addr as usize % BLOCKS_PER_GROUP) * 64;
                 let base = group * BLOCKS_PER_GROUP * 64;
@@ -179,8 +178,7 @@ mod tests {
     use super::*;
     use crate::config::ChipkillConfig;
     use pmck_nvram::ChipFailureKind;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pmck_rt::rng::StdRng;
 
     fn seeded_rank() -> (ChipkillMemory, Vec<[u8; 64]>) {
         let mut mem = ChipkillMemory::new(64, ChipkillConfig::default());

@@ -2,12 +2,11 @@
 //! chips, and report what happened.
 
 use pmck_bch::BitPoly;
-use serde::{Deserialize, Serialize};
 
 use crate::engine::{ChipkillMemory, CoreError};
 
 /// The result of a completed boot scrub.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScrubReport {
     /// Stripes processed (each spans 32 blocks × 9 chips).
     pub stripes_scrubbed: usize,

@@ -1,9 +1,7 @@
 //! Engine statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by [`crate::ChipkillMemory`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Demand block reads.
     pub reads: u64,
@@ -37,6 +35,26 @@ impl CoreStats {
             self.fallbacks as f64 / self.reads as f64
         }
     }
+
+    /// Publishes every counter (and the derived fallback fraction as a
+    /// gauge) into `reg` under `<prefix>.<name>`.
+    pub fn publish_metrics(&self, reg: &pmck_rt::metrics::MetricsRegistry, prefix: &str) {
+        let c = |name: &str, v: u64| reg.set_counter(&format!("{prefix}.{name}"), v);
+        c("reads", self.reads);
+        c("writes", self.writes);
+        c("clean_reads", self.clean_reads);
+        c("rs_accepted", self.rs_accepted);
+        c("rs_corrections", self.rs_corrections);
+        c("fallbacks", self.fallbacks);
+        c("vlew_bits_corrected", self.vlew_bits_corrected);
+        c("erasure_reads", self.erasure_reads);
+        c("chip_failures_detected", self.chip_failures_detected);
+        c("due_events", self.due_events);
+        reg.set_gauge(
+            &format!("{prefix}.fallback_fraction"),
+            self.fallback_fraction(),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -50,5 +68,17 @@ mod tests {
         s.reads = 1000;
         s.fallbacks = 2;
         assert!((s.fallback_fraction() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publishes_metrics() {
+        let mut s = CoreStats::default();
+        s.reads = 1000;
+        s.fallbacks = 2;
+        let reg = pmck_rt::metrics::MetricsRegistry::new();
+        s.publish_metrics(&reg, "engine");
+        assert_eq!(reg.counter("engine.reads"), 1000);
+        assert_eq!(reg.counter("engine.fallbacks"), 2);
+        assert_eq!(reg.gauge("engine.fallback_fraction"), Some(0.002));
     }
 }

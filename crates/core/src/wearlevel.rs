@@ -177,8 +177,8 @@ impl WearLevelledMemory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pmck_rt::rng::Rng;
+    use pmck_rt::rng::StdRng;
 
     fn filled(blocks: u64, interval: u64) -> (WearLevelledMemory, Vec<[u8; 64]>) {
         let mut mem = WearLevelledMemory::new(blocks, ChipkillConfig::default(), interval);
@@ -219,7 +219,7 @@ mod tests {
         for _ in 0..1500 {
             let l = rng.gen_range(0..31);
             let mut v = [0u8; 64];
-            rng.fill(&mut v[..]);
+            rng.fill_bytes(&mut v[..]);
             mem.write(l, &v).unwrap();
             truth[l as usize] = v;
         }
@@ -241,14 +241,12 @@ mod tests {
     #[test]
     fn scrub_works_on_levelled_rank() {
         let (mut mem, _) = filled(31, 4);
-        let mut truth: Vec<[u8; 64]> = (0..31)
-            .map(|l| mem.read(l).unwrap().data)
-            .collect();
+        let mut truth: Vec<[u8; 64]> = (0..31).map(|l| mem.read(l).unwrap().data).collect();
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..100 {
             let l = rng.gen_range(0..31);
             let mut v = [0u8; 64];
-            rng.fill(&mut v[..]);
+            rng.fill_bytes(&mut v[..]);
             mem.write(l, &v).unwrap();
             truth[l as usize] = v;
         }

@@ -1,9 +1,8 @@
-//! Property tests for the chipkill engine's key invariants.
+//! Randomized tests for the chipkill engine's key invariants, driven by
+//! seeded `pmck-rt` streams.
 
 use pmck_core::{ChipkillConfig, ChipkillMemory, ReadPath};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmck_rt::rng::{Rng, StdRng};
 
 fn filled(seed: u64, blocks: u64) -> (ChipkillMemory, Vec<[u8; 64]>, StdRng) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -11,7 +10,7 @@ fn filled(seed: u64, blocks: u64) -> (ChipkillMemory, Vec<[u8; 64]>, StdRng) {
     let data: Vec<[u8; 64]> = (0..mem.num_blocks())
         .map(|a| {
             let mut b = [0u8; 64];
-            rng.fill(&mut b[..]);
+            rng.fill_bytes(&mut b[..]);
             mem.write_block(a, &b).unwrap();
             b
         })
@@ -19,44 +18,50 @@ fn filled(seed: u64, blocks: u64) -> (ChipkillMemory, Vec<[u8; 64]>, StdRng) {
     (mem, data, rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn reads_always_return_written_data_under_runtime_rber(seed in any::<u64>()) {
+#[test]
+fn reads_always_return_written_data_under_runtime_rber() {
+    let mut meta = StdRng::seed_from_u64(0xC03E_0001);
+    for _ in 0..16 {
         // At runtime RBER (2e-4) every read must return exactly what was
         // written — through whichever path.
-        let (mut mem, data, mut rng) = filled(seed, 32);
+        let (mut mem, data, mut rng) = filled(meta.gen(), 32);
         mem.inject_bit_errors(2e-4, &mut rng);
         for (a, b) in data.iter().enumerate() {
             let out = mem.read_block(a as u64).unwrap();
-            prop_assert_eq!(&out.data, b);
+            assert_eq!(&out.data, b);
         }
     }
+}
 
-    #[test]
-    fn boot_scrub_is_idempotent_and_complete(seed in any::<u64>()) {
-        let (mut mem, data, mut rng) = filled(seed, 32);
+#[test]
+fn boot_scrub_is_idempotent_and_complete() {
+    let mut meta = StdRng::seed_from_u64(0xC03E_0002);
+    for _ in 0..16 {
+        let (mut mem, data, mut rng) = filled(meta.gen(), 32);
         mem.inject_bit_errors(1e-3, &mut rng);
         mem.boot_scrub().unwrap();
-        prop_assert!(mem.verify_consistent());
+        assert!(mem.verify_consistent());
         // A second scrub finds nothing to fix.
         let second = mem.boot_scrub().unwrap();
-        prop_assert_eq!(second.bits_corrected, 0);
+        assert_eq!(second.bits_corrected, 0);
         for (a, b) in data.iter().enumerate() {
-            prop_assert_eq!(&mem.read_block(a as u64).unwrap().data, b);
+            assert_eq!(&mem.read_block(a as u64).unwrap().data, b);
         }
     }
+}
 
-    #[test]
-    fn sum_write_equivalence(seed in any::<u64>(), n_writes in 1usize..40) {
-        let (mem0, _, mut rng) = filled(seed, 32);
+#[test]
+fn sum_write_equivalence() {
+    let mut meta = StdRng::seed_from_u64(0xC03E_0003);
+    for _ in 0..16 {
+        let n_writes = meta.gen_range(1usize..40);
+        let (mem0, _, mut rng) = filled(meta.gen(), 32);
         let mut a_mem = mem0.clone();
         let mut b_mem = mem0.clone();
         for _ in 0..n_writes {
             let addr = rng.gen_range(0..mem0.num_blocks());
             let mut new = [0u8; 64];
-            rng.fill(&mut new[..]);
+            rng.fill_bytes(&mut new[..]);
             let old = a_mem.read_block(addr).unwrap().data;
             a_mem.write_block(addr, &new).unwrap();
             let mut sum = [0u8; 64];
@@ -66,46 +71,54 @@ proptest! {
             b_mem.write_block_sum(addr, &sum).unwrap();
         }
         for addr in 0..mem0.num_blocks() {
-            prop_assert_eq!(
+            assert_eq!(
                 a_mem.read_block(addr).unwrap().data,
                 b_mem.read_block(addr).unwrap().data
             );
         }
-        prop_assert!(a_mem.verify_consistent());
-        prop_assert!(b_mem.verify_consistent());
+        assert!(a_mem.verify_consistent());
+        assert!(b_mem.verify_consistent());
     }
+}
 
-    #[test]
-    fn threshold_respected_on_every_path(seed in any::<u64>(), thr in 0usize..=4) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn threshold_respected_on_every_path() {
+    let mut meta = StdRng::seed_from_u64(0xC03E_0004);
+    for _ in 0..16 {
+        let thr = meta.gen_range(0usize..=4);
+        let mut rng = StdRng::seed_from_u64(meta.gen());
         let mut mem = ChipkillMemory::new(32, ChipkillConfig::with_threshold(thr));
         let mut data = Vec::new();
         for a in 0..mem.num_blocks() {
             let mut b = [0u8; 64];
-            rng.fill(&mut b[..]);
+            rng.fill_bytes(&mut b[..]);
             mem.write_block(a, &b).unwrap();
             data.push(b);
         }
         mem.inject_bit_errors(5e-4, &mut rng);
         for (a, b) in data.iter().enumerate() {
             let out = mem.read_block(a as u64).unwrap();
-            prop_assert_eq!(&out.data, b);
+            assert_eq!(&out.data, b);
             if let ReadPath::RsCorrected { corrections } = out.path {
-                prop_assert!(corrections <= thr);
+                assert!(corrections <= thr);
             }
         }
     }
+}
 
-    #[test]
-    fn any_single_chip_failure_is_recoverable(seed in any::<u64>(), chip in 0usize..9) {
-        let (mut mem, data, mut rng) = filled(seed, 32);
-        let kind = pmck_core::ChipFailureKind::ALL[seed as usize % 4];
+#[test]
+fn any_single_chip_failure_is_recoverable() {
+    let mut meta = StdRng::seed_from_u64(0xC03E_0005);
+    for case in 0..16 {
+        let chip = meta.gen_range(0usize..9);
+        let (mut mem, data, mut rng) = filled(meta.gen(), 32);
+        let kind = pmck_core::ChipFailureKind::ALL[case % 4];
         mem.fail_chip(chip, kind, &mut rng);
         // SilentControl leaves data readable; all kinds must round-trip.
         mem.boot_scrub().unwrap();
         for (a, b) in data.iter().enumerate() {
-            prop_assert_eq!(&mem.read_block(a as u64).unwrap().data, b);
+            assert_eq!(&mem.read_block(a as u64).unwrap().data, b);
         }
-        prop_assert!(mem.verify_consistent());
+        assert!(mem.verify_consistent());
     }
 }

@@ -16,20 +16,20 @@
 /// ```
 pub fn default_primitive_poly(m: u32) -> Option<u32> {
     Some(match m {
-        3 => 0b1011,        // x^3 + x + 1
-        4 => 0x13,          // x^4 + x + 1
-        5 => 0x25,          // x^5 + x^2 + 1
-        6 => 0x43,          // x^6 + x + 1
-        7 => 0x89,          // x^7 + x^3 + 1
-        8 => 0x11D,         // x^8 + x^4 + x^3 + x^2 + 1
-        9 => 0x211,         // x^9 + x^4 + 1
-        10 => 0x409,        // x^10 + x^3 + 1
-        11 => 0x805,        // x^11 + x^2 + 1
-        12 => 0x1053,       // x^12 + x^6 + x^4 + x + 1
-        13 => 0x201B,       // x^13 + x^4 + x^3 + x + 1
-        14 => 0x4443,       // x^14 + x^10 + x^6 + x + 1
-        15 => 0x8003,       // x^15 + x + 1
-        16 => 0x1100B,      // x^16 + x^12 + x^3 + x + 1
+        3 => 0b1011,   // x^3 + x + 1
+        4 => 0x13,     // x^4 + x + 1
+        5 => 0x25,     // x^5 + x^2 + 1
+        6 => 0x43,     // x^6 + x + 1
+        7 => 0x89,     // x^7 + x^3 + 1
+        8 => 0x11D,    // x^8 + x^4 + x^3 + x^2 + 1
+        9 => 0x211,    // x^9 + x^4 + 1
+        10 => 0x409,   // x^10 + x^3 + 1
+        11 => 0x805,   // x^11 + x^2 + 1
+        12 => 0x1053,  // x^12 + x^6 + x^4 + x + 1
+        13 => 0x201B,  // x^13 + x^4 + x^3 + x + 1
+        14 => 0x4443,  // x^14 + x^10 + x^6 + x + 1
+        15 => 0x8003,  // x^15 + x + 1
+        16 => 0x1100B, // x^16 + x^12 + x^3 + x + 1
         _ => return None,
     })
 }

@@ -1,67 +1,92 @@
-//! Property-based tests for field and polynomial arithmetic.
+//! Randomized property tests for field and polynomial arithmetic,
+//! driven by a seeded `pmck-rt` generator (many iterations per test,
+//! reproducible by construction).
 
 use pmck_gf::{BitPoly, FieldPoly, Gf256, Gf2m};
-use proptest::prelude::*;
+use pmck_rt::rng::{Rng, StdRng};
 
-proptest! {
-    #[test]
-    fn gf256_field_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
-        let (a, b, c) = (Gf256(a), Gf256(b), Gf256(c));
+#[test]
+fn gf256_field_axioms() {
+    let mut rng = StdRng::seed_from_u64(0x67F2_5601);
+    for _ in 0..4096 {
+        let (a, b, c) = (Gf256(rng.gen()), Gf256(rng.gen()), Gf256(rng.gen()));
         // Commutativity
-        prop_assert_eq!(a + b, b + a);
-        prop_assert_eq!(a * b, b * a);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
         // Associativity
-        prop_assert_eq!((a + b) + c, a + (b + c));
-        prop_assert_eq!((a * b) * c, a * (b * c));
+        assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!((a * b) * c, a * (b * c));
         // Distributivity
-        prop_assert_eq!(a * (b + c), a * b + a * c);
+        assert_eq!(a * (b + c), a * b + a * c);
         // Identities
-        prop_assert_eq!(a + Gf256::ZERO, a);
-        prop_assert_eq!(a * Gf256::ONE, a);
+        assert_eq!(a + Gf256::ZERO, a);
+        assert_eq!(a * Gf256::ONE, a);
         // Inverses
-        prop_assert_eq!(a + a, Gf256::ZERO);
+        assert_eq!(a + a, Gf256::ZERO);
         if !b.is_zero() {
-            prop_assert_eq!((a * b) / b, a);
+            assert_eq!((a * b) / b, a);
         }
     }
+}
 
-    #[test]
-    fn gf2m_field_axioms(m in 3u32..=13, seed in any::<u64>()) {
+#[test]
+fn gf2m_field_axioms() {
+    let mut rng = StdRng::seed_from_u64(0x67F2_5602);
+    for _ in 0..512 {
+        let m = rng.gen_range(3u32..=13);
         let f = Gf2m::new(m).unwrap();
         let mask = f.order();
+        let seed: u64 = rng.gen();
         let a = (seed as u32) & mask;
         let b = ((seed >> 16) as u32) & mask;
         let c = ((seed >> 32) as u32) & mask;
-        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
-        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
-        prop_assert_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+        assert_eq!(f.mul(a, b), f.mul(b, a));
+        assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        assert_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
         if a != 0 {
-            prop_assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+            assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
         }
     }
+}
 
-    #[test]
-    fn gf2m_pow_laws(m in 3u32..=12, e1 in 0u64..10_000, e2 in 0u64..10_000) {
+#[test]
+fn gf2m_pow_laws() {
+    let mut rng = StdRng::seed_from_u64(0x67F2_5603);
+    for _ in 0..256 {
+        let m = rng.gen_range(3u32..=12);
+        let e1 = rng.gen_range(0u64..10_000);
+        let e2 = rng.gen_range(0u64..10_000);
         let f = Gf2m::new(m).unwrap();
         let a = f.alpha_pow(7);
-        prop_assert_eq!(f.mul(f.pow(a, e1), f.pow(a, e2)), f.pow(a, e1 + e2));
+        assert_eq!(f.mul(f.pow(a, e1), f.pow(a, e2)), f.pow(a, e1 + e2));
     }
+}
 
-    #[test]
-    fn bitpoly_bytes_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn bitpoly_bytes_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x67F2_5604);
+    for _ in 0..512 {
+        let len = rng.gen_range(0..64usize);
+        let mut bytes = vec![0u8; len];
+        rng.fill_bytes(&mut bytes);
         let p = BitPoly::from_bytes(&bytes);
-        prop_assert_eq!(p.to_bytes(), bytes);
+        assert_eq!(p.to_bytes(), bytes);
     }
+}
 
-    #[test]
-    fn bitpoly_rem_is_remainder(a in 1u64..u64::MAX, g in 2u64..(1 << 20)) {
+#[test]
+fn bitpoly_rem_is_remainder() {
+    let mut rng = StdRng::seed_from_u64(0x67F2_5605);
+    for _ in 0..1024 {
+        let a = rng.gen_range(1u64..u64::MAX);
+        let g = rng.gen_range(2u64..1 << 20);
         // rem(a, g) must differ from a by a multiple of g and have
         // degree < deg(g).
         let pa = BitPoly::from_u64(a, 0);
         let pg = BitPoly::from_u64(g | 1, 0); // ensure nonzero constant term
         let r = pa.rem(&pg);
         if let (Some(dr), Some(dg)) = (r.degree(), pg.degree()) {
-            prop_assert!(dr < dg);
+            assert!(dr < dg);
         }
         // (a - r) mod g == 0
         let mut diff = BitPoly::zero(pa.len().max(r.len()).max(1));
@@ -69,29 +94,42 @@ proptest! {
         for i in r.iter_ones() {
             diff.flip(i);
         }
-        prop_assert!(diff.rem(&pg).is_zero());
+        assert!(diff.rem(&pg).is_zero());
     }
+}
 
-    #[test]
-    fn bitpoly_clmul_degree_additive(a in 1u64..u64::MAX, b in 1u64..u64::MAX) {
+#[test]
+fn bitpoly_clmul_degree_additive() {
+    let mut rng = StdRng::seed_from_u64(0x67F2_5606);
+    for _ in 0..1024 {
+        let a = rng.gen_range(1u64..u64::MAX);
+        let b = rng.gen_range(1u64..u64::MAX);
         let pa = BitPoly::from_u64(a, 0);
         let pb = BitPoly::from_u64(b, 0);
         let prod = pa.clmul(&pb);
-        prop_assert_eq!(
+        assert_eq!(
             prod.degree(),
             Some(pa.degree().unwrap() + pb.degree().unwrap())
         );
     }
+}
 
-    #[test]
-    fn fieldpoly_eval_linear(seed in any::<u64>()) {
+#[test]
+fn fieldpoly_eval_linear() {
+    let mut rng = StdRng::seed_from_u64(0x67F2_5607);
+    for _ in 0..512 {
+        let seed: u64 = rng.gen();
         let f = Gf2m::new(10).unwrap();
-        let coeffs_a: Vec<u32> = (0..8).map(|i| ((seed >> i) as u32 ^ i) & f.order()).collect();
-        let coeffs_b: Vec<u32> = (0..8).map(|i| ((seed >> (i + 8)) as u32) & f.order()).collect();
+        let coeffs_a: Vec<u32> = (0..8)
+            .map(|i| ((seed >> i) as u32 ^ i) & f.order())
+            .collect();
+        let coeffs_b: Vec<u32> = (0..8)
+            .map(|i| ((seed >> (i + 8)) as u32) & f.order())
+            .collect();
         let pa = FieldPoly::from_coeffs(&f, coeffs_a);
         let pb = FieldPoly::from_coeffs(&f, coeffs_b);
         let x = (seed as u32) & f.order();
-        prop_assert_eq!(pa.add(&pb).eval(x), pa.eval(x) ^ pb.eval(x));
-        prop_assert_eq!(pa.mul(&pb).eval(x), f.mul(pa.eval(x), pb.eval(x)));
+        assert_eq!(pa.add(&pb).eval(x), pa.eval(x) ^ pb.eval(x));
+        assert_eq!(pa.mul(&pb).eval(x), f.mul(pa.eval(x), pb.eval(x)));
     }
 }

@@ -64,9 +64,7 @@ impl BankState {
     /// write recovery), or `None` if no row is open.
     pub fn close_time(&self, idle_close_ps: u64) -> Option<u64> {
         self.open_row?;
-        Some(
-            (self.last_activity_ps + idle_close_ps).max(self.precharge_ok_ps),
-        )
+        Some((self.last_activity_ps + idle_close_ps).max(self.precharge_ok_ps))
     }
 
     /// Plans an access to `row` no earlier than `earliest_ps`, without
@@ -102,9 +100,7 @@ impl BankState {
         let access = match class {
             AccessClass::RowHit => timing.t_cas + timing.t_burst,
             AccessClass::RowClosed => timing.t_rcd + timing.t_cas + timing.t_burst,
-            AccessClass::RowConflict => {
-                timing.t_rp + timing.t_rcd + timing.t_cas + timing.t_burst
-            }
+            AccessClass::RowConflict => timing.t_rp + timing.t_rcd + timing.t_cas + timing.t_burst,
         };
         AccessPlan {
             issue_ps,

@@ -1,7 +1,5 @@
 //! Memory-system configuration (paper Table I and §VI).
 
-use serde::{Deserialize, Serialize};
-
 /// Picoseconds per nanosecond; all simulator times are `u64` picoseconds.
 pub const PS_PER_NS: u64 = 1000;
 
@@ -9,7 +7,7 @@ pub const PS_PER_NS: u64 = 1000;
 pub const NS: u64 = PS_PER_NS;
 
 /// Which rank a request targets in the paper's hybrid channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RankKind {
     /// The volatile DRAM rank.
     Dram,
@@ -18,7 +16,7 @@ pub enum RankKind {
 }
 
 /// Core DDR-style timing parameters, in picoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Timing {
     /// Activate-to-read delay (row open). NVRAM ranks carry the
     /// technology read latency here, as in the paper.
@@ -49,7 +47,7 @@ impl Timing {
 
 /// NVRAM read/write latencies, applied as `tRCD`/`tWR` overrides
 /// (the paper's §VI modeling, following Lee et al. \[42\]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NvramTiming {
     /// Array read latency, used as `tRCD` (picoseconds).
     pub read_ps: u64,
@@ -86,7 +84,7 @@ impl NvramTiming {
 }
 
 /// Full memory-controller configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemConfig {
     /// DRAM-rank timing.
     pub dram: Timing,

@@ -160,10 +160,9 @@ impl MemoryController {
             return self.pick_candidate(&self.wq).map(|(_, _, t)| t);
         }
         let a = self.pick_candidate(&self.rq).map(|(_, _, t)| t);
-        let b = self.write_timeout_at().and_then(|allow| {
-            self.pick_candidate(&self.wq)
-                .map(|(_, _, t)| t.max(allow))
-        });
+        let b = self
+            .write_timeout_at()
+            .and_then(|allow| self.pick_candidate(&self.wq).map(|(_, _, t)| t.max(allow)));
         match (a, b) {
             (Some(x), Some(y)) => Some(x.min(y)),
             (x, y) => x.or(y),
@@ -379,7 +378,8 @@ mod tests {
     fn nvram_read_slower_than_dram() {
         let mut mc = MemoryController::new(cfg());
         mc.enqueue(MemRequest::read(1, 0, RankKind::Dram)).unwrap();
-        mc.enqueue(MemRequest::read(2, 1 << 20, RankKind::Nvram)).unwrap();
+        mc.enqueue(MemRequest::read(2, 1 << 20, RankKind::Nvram))
+            .unwrap();
         let done = run_until_idle(&mut mc);
         let dram = done.iter().find(|c| c.id == 1).unwrap().finish_ps;
         let nvram = done.iter().find(|c| c.id == 2).unwrap().finish_ps;
@@ -406,13 +406,17 @@ mod tests {
         let mut mc = MemoryController::new(cfg());
         // Same rank, different banks (128 blocks apart).
         mc.enqueue(MemRequest::read(1, 0, RankKind::Dram)).unwrap();
-        mc.enqueue(MemRequest::read(2, 128, RankKind::Dram)).unwrap();
+        mc.enqueue(MemRequest::read(2, 128, RankKind::Dram))
+            .unwrap();
         let done = run_until_idle(&mut mc);
         let t = cfg().timing(RankKind::Dram);
         let single = t.t_rcd + t.t_cas + t.t_burst;
         let last = done.iter().map(|c| c.finish_ps).max().unwrap();
         // Overlapped: far less than 2x serial latency.
-        assert!(last < single + t.t_burst + NS, "last={last}, single={single}");
+        assert!(
+            last < single + t.t_burst + NS,
+            "last={last}, single={single}"
+        );
     }
 
     #[test]
@@ -449,7 +453,8 @@ mod tests {
     fn write_drain_mode_triggers_at_watermark() {
         let mut mc = MemoryController::new(cfg());
         for i in 0..100 {
-            mc.enqueue(MemRequest::write(i, i * 7, RankKind::Dram)).unwrap();
+            mc.enqueue(MemRequest::write(i, i * 7, RankKind::Dram))
+                .unwrap();
         }
         let _ = run_until_idle(&mut mc);
         assert!(mc.stats().drain_entries >= 1);
@@ -460,11 +465,13 @@ mod tests {
     fn nvram_write_recovery_delays_row_conflict_read() {
         let mut mc = MemoryController::new(cfg());
         // Write to NVRAM bank 0, row 0.
-        mc.enqueue(MemRequest::write(1, 0, RankKind::Nvram)).unwrap();
+        mc.enqueue(MemRequest::write(1, 0, RankKind::Nvram))
+            .unwrap();
         let done1 = run_until_idle(&mut mc);
         let w_done = done1[0].finish_ps;
         // Read a different row in the same bank: must wait out tWR=300ns.
-        mc.enqueue(MemRequest::read(2, 128 * 16, RankKind::Nvram)).unwrap();
+        mc.enqueue(MemRequest::read(2, 128 * 16, RankKind::Nvram))
+            .unwrap();
         let done2 = run_until_idle(&mut mc);
         let t = cfg().timing(RankKind::Nvram);
         assert!(
@@ -480,7 +487,8 @@ mod tests {
         let mut mc = MemoryController::new(cfg());
         // 32 sequential writes, all in VLEW 0 of row 0.
         for i in 0..32 {
-            mc.enqueue(MemRequest::write(i, i, RankKind::Nvram)).unwrap();
+            mc.enqueue(MemRequest::write(i, i, RankKind::Nvram))
+                .unwrap();
         }
         let _ = run_until_idle(&mut mc);
         mc.finalize_eur();
@@ -492,11 +500,13 @@ mod tests {
     #[test]
     fn eur_drains_on_row_conflict() {
         let mut mc = MemoryController::new(cfg());
-        mc.enqueue(MemRequest::write(1, 0, RankKind::Nvram)).unwrap();
+        mc.enqueue(MemRequest::write(1, 0, RankKind::Nvram))
+            .unwrap();
         let _ = run_until_idle(&mut mc);
         assert_eq!(mc.eur().occupancy(), 1);
         // A conflicting row in the same bank forces the close + drain.
-        mc.enqueue(MemRequest::read(2, 128 * 16, RankKind::Nvram)).unwrap();
+        mc.enqueue(MemRequest::read(2, 128 * 16, RankKind::Nvram))
+            .unwrap();
         let _ = run_until_idle(&mut mc);
         assert_eq!(mc.eur().occupancy(), 0);
         assert_eq!(mc.eur().drains(), 1);
@@ -529,7 +539,8 @@ mod tests {
     fn latency_stats_accumulate() {
         let mut mc = MemoryController::new(cfg());
         mc.enqueue(MemRequest::read(1, 0, RankKind::Dram)).unwrap();
-        mc.enqueue(MemRequest::read(2, 500_000, RankKind::Dram)).unwrap();
+        mc.enqueue(MemRequest::read(2, 500_000, RankKind::Dram))
+            .unwrap();
         let _ = run_until_idle(&mut mc);
         assert_eq!(mc.stats().read_latency_samples, 2);
         assert!(mc.stats().avg_read_latency_ps() > 0.0);

@@ -1,7 +1,5 @@
 //! Memory request descriptors.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::RankKind;
 
 /// An opaque request identifier chosen by the caller, echoed back in the
@@ -9,7 +7,7 @@ use crate::config::RankKind;
 pub type ReqId = u64;
 
 /// A 64 B block request presented to the memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRequest {
     /// Caller-chosen identifier, echoed in the completion.
     pub id: ReqId,

@@ -1,11 +1,9 @@
 //! Memory-controller statistics.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::RankKind;
 
 /// Counters accumulated by the memory controller.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MemStats {
     /// Completed reads per rank `[dram, nvram]`.
     pub reads: [u64; 2],
@@ -74,6 +72,27 @@ impl MemStats {
             self.row_hits as f64 / total as f64
         }
     }
+
+    /// Publishes every counter (and the derived rates as gauges) into
+    /// `reg` under `<prefix>.<name>`.
+    pub fn publish_metrics(&self, reg: &pmck_rt::metrics::MetricsRegistry, prefix: &str) {
+        let c = |name: &str, v: u64| reg.set_counter(&format!("{prefix}.{name}"), v);
+        c("dram_reads", self.reads[0]);
+        c("pm_reads", self.reads[1]);
+        c("dram_writes", self.writes[0]);
+        c("pm_writes", self.writes[1]);
+        c("row_hits", self.row_hits);
+        c("row_closed", self.row_closed);
+        c("row_conflicts", self.row_conflicts);
+        c("drain_entries", self.drain_entries);
+        c("write_row_hits", self.write_row_hits);
+        c("write_issues", self.write_issues);
+        reg.set_gauge(&format!("{prefix}.row_hit_rate"), self.row_hit_rate());
+        reg.set_gauge(
+            &format!("{prefix}.avg_read_latency_ps"),
+            self.avg_read_latency_ps(),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +111,17 @@ mod tests {
         s.row_hits = 3;
         s.row_closed = 1;
         assert_eq!(s.row_hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn publishes_metrics() {
+        let mut s = MemStats::default();
+        s.count_access(RankKind::Nvram, true);
+        s.row_hits = 3;
+        s.row_closed = 1;
+        let reg = pmck_rt::metrics::MetricsRegistry::new();
+        s.publish_metrics(&reg, "mem");
+        assert_eq!(reg.counter("mem.pm_writes"), 1);
+        assert_eq!(reg.gauge("mem.row_hit_rate"), Some(0.75));
     }
 }

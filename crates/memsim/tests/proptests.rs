@@ -1,10 +1,9 @@
-//! Property tests for the memory controller: conservation, causality,
-//! and scheduling invariants under random request streams.
+//! Randomized tests for the memory controller: conservation, causality,
+//! and scheduling invariants under random request streams, driven by
+//! seeded `pmck-rt` streams.
 
 use pmck_memsim::{Completion, MemConfig, MemRequest, MemoryController, NvramTiming, RankKind, NS};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmck_rt::rng::{Rng, StdRng};
 
 fn drive(seed: u64, n: usize, gap_ns: u64) -> (Vec<Completion>, MemoryController) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -42,57 +41,78 @@ fn drive(seed: u64, n: usize, gap_ns: u64) -> (Vec<Completion>, MemoryController
     (out, mc)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_request_completes_exactly_once(seed in any::<u64>(), n in 10usize..400, gap in 0u64..200) {
+#[test]
+fn every_request_completes_exactly_once() {
+    let mut rng = StdRng::seed_from_u64(0x3E35_0001);
+    for _ in 0..24 {
+        let seed: u64 = rng.gen();
+        let n = rng.gen_range(10usize..400);
+        let gap = rng.gen_range(0u64..200);
         let (completions, mc) = drive(seed, n, gap);
-        prop_assert_eq!(completions.len(), n);
+        assert_eq!(completions.len(), n);
         let mut ids: Vec<u64> = completions.iter().map(|c| c.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), n, "no duplicate completions");
+        assert_eq!(ids.len(), n, "no duplicate completions");
         let s = mc.stats();
         let counted = s.reads[0] + s.reads[1] + s.writes[0] + s.writes[1];
-        prop_assert_eq!(counted as usize, n);
+        assert_eq!(counted as usize, n);
     }
+}
 
-    #[test]
-    fn completions_have_positive_latency(seed in any::<u64>(), n in 10usize..200) {
+#[test]
+fn completions_have_positive_latency() {
+    let mut rng = StdRng::seed_from_u64(0x3E35_0002);
+    for _ in 0..24 {
+        let seed: u64 = rng.gen();
+        let n = rng.gen_range(10usize..200);
         let (completions, _) = drive(seed, n, 50);
         for c in &completions {
-            prop_assert!(c.finish_ps > 0);
+            assert!(c.finish_ps > 0);
         }
     }
+}
 
-    #[test]
-    fn row_class_counts_partition_accesses(seed in any::<u64>(), n in 10usize..300) {
+#[test]
+fn row_class_counts_partition_accesses() {
+    let mut rng = StdRng::seed_from_u64(0x3E35_0003);
+    for _ in 0..24 {
+        let seed: u64 = rng.gen();
+        let n = rng.gen_range(10usize..300);
         let (_, mc) = drive(seed, n, 20);
         let s = mc.stats();
-        prop_assert_eq!(
+        assert_eq!(
             s.row_hits + s.row_closed + s.row_conflicts,
             n as u64,
             "every access classified exactly once"
         );
     }
+}
 
-    #[test]
-    fn eur_drains_never_exceed_pm_writes(seed in any::<u64>(), n in 10usize..300) {
+#[test]
+fn eur_drains_never_exceed_pm_writes() {
+    let mut rng = StdRng::seed_from_u64(0x3E35_0004);
+    for _ in 0..24 {
+        let seed: u64 = rng.gen();
+        let n = rng.gen_range(10usize..300);
         let (_, mut mc) = drive(seed, n, 20);
         mc.finalize_eur();
-        prop_assert!(mc.eur().drains() <= mc.eur().pm_writes());
+        assert!(mc.eur().drains() <= mc.eur().pm_writes());
         let c = mc.eur().c_factor();
-        prop_assert!((0.0..=1.0).contains(&c), "C = {c}");
+        assert!((0.0..=1.0).contains(&c), "C = {c}");
     }
+}
 
-    #[test]
-    fn denser_traffic_is_never_faster_per_request(seed in any::<u64>()) {
+#[test]
+fn denser_traffic_is_never_faster_per_request() {
+    let mut rng = StdRng::seed_from_u64(0x3E35_0005);
+    for _ in 0..24 {
+        let seed: u64 = rng.gen();
         // Average read latency with zero think time must be >= with
         // generous spacing (queueing can only hurt).
         let (_, mc_dense) = drive(seed, 200, 0);
         let (_, mc_sparse) = drive(seed, 200, 500);
-        prop_assert!(
+        assert!(
             mc_dense.stats().avg_read_latency_ps()
                 >= mc_sparse.stats().avg_read_latency_ps() * 0.99
         );

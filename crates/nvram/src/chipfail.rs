@@ -1,10 +1,9 @@
 //! Whole-chip failure models for chipkill experiments.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use pmck_rt::rng::Rng;
 
 /// How a failed chip corrupts the bytes it contributes to each block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChipFailureKind {
     /// Output pins stuck at all-zeros.
     StuckZero,
@@ -35,15 +34,14 @@ impl ChipFailureKind {
 ///
 /// ```
 /// use pmck_nvram::{ChipFailureKind, FailedChip};
-/// use rand::SeedableRng;
 ///
 /// let f = FailedChip::new(3, ChipFailureKind::StuckOne);
 /// let mut out = [0u8; 8];
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = pmck_rt::rng::StdRng::seed_from_u64(0);
 /// f.corrupt_output(&mut out, &mut rng);
 /// assert_eq!(out, [0xFF; 8]);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FailedChip {
     chip_index: usize,
     kind: ChipFailureKind,
@@ -70,7 +68,7 @@ impl FailedChip {
         match self.kind {
             ChipFailureKind::StuckZero => bytes.fill(0),
             ChipFailureKind::StuckOne => bytes.fill(0xFF),
-            ChipFailureKind::RandomGarbage => rng.fill(bytes),
+            ChipFailureKind::RandomGarbage => rng.fill_bytes(bytes),
             ChipFailureKind::SilentControl => {}
         }
     }
@@ -79,8 +77,7 @@ impl FailedChip {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pmck_rt::rng::StdRng;
 
     #[test]
     fn stuck_patterns() {

@@ -1,6 +1,6 @@
 //! Stochastic bit-error injection.
 
-use rand::Rng;
+use pmck_rt::rng::Rng;
 
 /// Injects independent random bit flips at a fixed raw bit error rate.
 ///
@@ -13,10 +13,9 @@ use rand::Rng;
 ///
 /// ```
 /// use pmck_nvram::BitErrorInjector;
-/// use rand::SeedableRng;
 ///
 /// let inj = BitErrorInjector::new(1e-2);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = pmck_rt::rng::StdRng::seed_from_u64(7);
 /// let mut buf = vec![0u8; 8192];
 /// let flips = inj.corrupt(&mut buf, &mut rng);
 /// // ~655 expected flips; loosely bounded here.
@@ -92,8 +91,7 @@ pub fn expected_errors(n_bits: usize, rber: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pmck_rt::rng::StdRng;
 
     #[test]
     fn zero_rate_never_flips() {
@@ -164,7 +162,10 @@ mod tests {
             counts[n] += 1;
         }
         let p0 = counts[0] as f64 / trials as f64;
-        assert!((p0 - 0.8914).abs() < 0.01, "P(0 errors) ≈ 0.891, got {p0:.4}");
+        assert!(
+            (p0 - 0.8914).abs() < 0.01,
+            "P(0 errors) ≈ 0.891, got {p0:.4}"
+        );
         let le2 = (counts[0] + counts[1] + counts[2]) as f64 / trials as f64;
         assert!(le2 > 0.9995, "≤2 errors fraction {le2}");
     }

@@ -21,13 +21,12 @@
 //!
 //! ```
 //! use pmck_nvram::{rber_at, BitErrorInjector, MemoryTech};
-//! use rand::SeedableRng;
 //!
 //! // 3-bit PCM, one week unrefreshed: the paper's 1e-3 boot-time target.
 //! let p = rber_at(MemoryTech::Pcm3Bit, 7.0 * 86400.0);
 //! assert!((8e-4..2e-3).contains(&p));
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = pmck_rt::rng::StdRng::seed_from_u64(1);
 //! let inj = BitErrorInjector::new(p);
 //! let mut block = [0u8; 64];
 //! let flipped = inj.corrupt(&mut block, &mut rng);

@@ -5,10 +5,8 @@
 //! *value* at a given time-since-refresh enters the downstream ECC math,
 //! so matching the anchors reproduces every number in the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// A memory or storage technology with a published RBER characterization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemoryTech {
     /// 2-bit (MLC) phase-change memory.
     Pcm2Bit,
@@ -55,11 +53,7 @@ impl MemoryTech {
         // [63] for ReRAM; Naeimi'13 [34] for STT-RAM; Cai'13 [66] and
         // Parnell'17 [65] for Flash; Cha'17 [29] for DRAM cell faults.
         let anchors: &[(f64, f64)] = match self {
-            MemoryTech::Pcm3Bit => &[
-                (1.0, 7.0e-5),
-                (3600.0, 2.0e-4),
-                (7.0 * 86400.0, 1.0e-3),
-            ],
+            MemoryTech::Pcm3Bit => &[(1.0, 7.0e-5), (3600.0, 2.0e-4), (7.0 * 86400.0, 1.0e-3)],
             MemoryTech::Pcm2Bit => &[
                 (1.0, 1.0e-6),
                 (3600.0, 6.0e-6),
@@ -96,7 +90,7 @@ impl std::fmt::Display for MemoryTech {
 }
 
 /// A piecewise power-law RBER-vs-time curve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RetentionCurve {
     tech: MemoryTech,
     /// `(seconds_since_refresh, rber)` anchor points, ascending in time.

@@ -6,11 +6,10 @@
 //! here is a smooth ramp `p(w) = p_max · (w / endurance)^gamma`, clamped
 //! to `[0, 1]`, which captures "gradual rise then certain failure".
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use pmck_rt::rng::Rng;
 
 /// Parameters of the probabilistic wear model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WearModel {
     /// Rated write endurance (writes at which `p` reaches `p_max`).
     pub endurance: u64,
@@ -59,7 +58,7 @@ impl WearModel {
 /// }
 /// assert_eq!(model.error_probability(st.writes()), 0.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WearState {
     writes: u64,
     disabled: bool,
@@ -108,8 +107,7 @@ impl WearState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pmck_rt::rng::StdRng;
 
     #[test]
     fn probability_ramps_monotonically() {

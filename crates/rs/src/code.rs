@@ -214,9 +214,18 @@ mod tests {
 
     #[test]
     fn invalid_parameters() {
-        assert_eq!(RsCode::new(0, 8).unwrap_err(), RsError::DegenerateParameters);
-        assert_eq!(RsCode::new(8, 0).unwrap_err(), RsError::DegenerateParameters);
-        assert_eq!(RsCode::new(250, 6).unwrap_err(), RsError::CodeTooLong(250, 6));
+        assert_eq!(
+            RsCode::new(0, 8).unwrap_err(),
+            RsError::DegenerateParameters
+        );
+        assert_eq!(
+            RsCode::new(8, 0).unwrap_err(),
+            RsError::DegenerateParameters
+        );
+        assert_eq!(
+            RsCode::new(250, 6).unwrap_err(),
+            RsError::CodeTooLong(250, 6)
+        );
     }
 
     #[test]

@@ -253,8 +253,8 @@ impl RsCode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pmck_rt::rng::Rng;
+    use pmck_rt::rng::StdRng;
 
     fn sample_data(rng: &mut StdRng, k: usize) -> Vec<u8> {
         (0..k).map(|_| rng.gen()).collect()
@@ -342,7 +342,9 @@ mod tests {
         let data: Vec<u8> = (100..164).map(|x| x as u8).collect();
         let mut cw = code.encode(&data);
         let clean = cw.clone();
-        let out = code.decode_erasures(&mut cw, &[0, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        let out = code
+            .decode_erasures(&mut cw, &[0, 1, 2, 3, 4, 5, 6, 7])
+            .unwrap();
         assert_eq!(cw, clean);
         assert_eq!(out.num_corrections(), 0);
     }
@@ -371,7 +373,10 @@ mod tests {
                 Err(e) => panic!("unexpected {e}"),
             }
         }
-        assert!(flagged > 150, "most 5-error patterns must be flagged, got {flagged}");
+        assert!(
+            flagged > 150,
+            "most 5-error patterns must be flagged, got {flagged}"
+        );
     }
 
     #[test]

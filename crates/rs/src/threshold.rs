@@ -74,7 +74,9 @@ impl RsCode {
                     for &(p, m) in out.corrections() {
                         word[p] ^= m;
                     }
-                    Ok(ThresholdOutcome::Rejected(RejectReason::TooManyCorrections(n)))
+                    Ok(ThresholdOutcome::Rejected(
+                        RejectReason::TooManyCorrections(n),
+                    ))
                 }
             }
             Err(RsError::Uncorrectable) => {
@@ -88,8 +90,8 @@ impl RsCode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pmck_rt::rng::Rng;
+    use pmck_rt::rng::StdRng;
 
     #[test]
     fn clean_block_is_clean() {

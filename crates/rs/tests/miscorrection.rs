@@ -3,8 +3,8 @@
 //! paper's acceptance threshold of 2 rejects every such pattern.
 
 use pmck_rs::{RejectReason, RsCode, ThresholdOutcome};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmck_rt::rng::Rng;
+use pmck_rt::rng::StdRng;
 
 /// Searches for an overweight (5-error) pattern that the full-strength
 /// decoder miscorrects into a *wrong* codeword. Term B says ~2.4e-4 of
@@ -103,5 +103,8 @@ fn threshold_two_never_accepts_wrong_data_across_campaign() {
             ThresholdOutcome::Rejected(_) => {}
         }
     }
-    assert!(accepted > 9_000, "0..2-error patterns must be accepted: {accepted}");
+    assert!(
+        accepted > 9_000,
+        "0..2-error patterns must be accepted: {accepted}"
+    );
 }

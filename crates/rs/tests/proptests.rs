@@ -1,21 +1,19 @@
-//! Property-based tests: RS round trips across the full `2e + ν ≤ r`
-//! envelope, threshold-decode invariants, and linearity.
+//! Randomized tests: RS round trips across the full `2e + ν ≤ r`
+//! envelope, threshold-decode invariants, and linearity. Seeded
+//! `pmck-rt` streams replace the former proptest strategies.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmck_rt::rng::{Rng, StdRng};
 
 use pmck_rs::{RsCode, ThresholdOutcome};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn round_trip_full_envelope(seed in any::<u64>(), e in 0usize..=4, extra in 0usize..=8) {
+#[test]
+fn round_trip_full_envelope() {
+    let mut rng = StdRng::seed_from_u64(0x4507_0001);
+    for _ in 0..128 {
+        let e = rng.gen_range(0usize..=4);
         // 2e + ν ≤ 8 → ν ≤ 8 − 2e.
-        let nu = extra.min(8 - 2 * e);
+        let nu = rng.gen_range(0usize..=8).min(8 - 2 * e);
         let code = RsCode::per_block();
-        let mut rng = StdRng::seed_from_u64(seed);
         let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
         let clean = code.encode(&data);
         let mut cw = clean.clone();
@@ -29,13 +27,17 @@ proptest! {
             cw[p] ^= rng.gen_range(1..=255u8);
         }
         code.decode_with_erasures(&mut cw, erasures).unwrap();
-        prop_assert_eq!(cw, clean);
+        assert_eq!(cw, clean);
     }
+}
 
-    #[test]
-    fn threshold_invariant_accept_le_threshold(seed in any::<u64>(), nerr in 0usize..=6, thr in 0usize..=4) {
+#[test]
+fn threshold_invariant_accept_le_threshold() {
+    let mut rng = StdRng::seed_from_u64(0x4507_0002);
+    for _ in 0..128 {
+        let nerr = rng.gen_range(0usize..=6);
+        let thr = rng.gen_range(0usize..=4);
         let code = RsCode::per_block();
-        let mut rng = StdRng::seed_from_u64(seed);
         let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
         let clean = code.encode(&data);
         let mut cw = clean.clone();
@@ -48,23 +50,25 @@ proptest! {
         }
         let before = cw.clone();
         match code.decode_with_threshold(&mut cw, thr).unwrap() {
-            ThresholdOutcome::Clean => prop_assert_eq!(nerr, 0),
+            ThresholdOutcome::Clean => assert_eq!(nerr, 0),
             ThresholdOutcome::Accepted { corrections } => {
-                prop_assert!(corrections <= thr);
-                prop_assert!(code.is_codeword(&cw));
+                assert!(corrections <= thr);
+                assert!(code.is_codeword(&cw));
             }
-            ThresholdOutcome::Rejected(_) => prop_assert_eq!(&cw, &before),
+            ThresholdOutcome::Rejected(_) => assert_eq!(&cw, &before),
         }
         // Within capability and threshold, correction must be exact.
         if nerr <= thr {
-            prop_assert_eq!(&cw, &clean);
+            assert_eq!(&cw, &clean);
         }
     }
+}
 
-    #[test]
-    fn parity_linearity(seed in any::<u64>()) {
+#[test]
+fn parity_linearity() {
+    let mut rng = StdRng::seed_from_u64(0x4507_0003);
+    for _ in 0..128 {
         let code = RsCode::per_block();
-        let mut rng = StdRng::seed_from_u64(seed);
         let a: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
         let b: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
         let ab: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
@@ -72,16 +76,19 @@ proptest! {
         let pb = code.parity(&b);
         let pab = code.parity(&ab);
         for i in 0..8 {
-            prop_assert_eq!(pa[i] ^ pb[i], pab[i]);
+            assert_eq!(pa[i] ^ pb[i], pab[i]);
         }
     }
+}
 
-    #[test]
-    fn erasures_anywhere_including_check_bytes(seed in any::<u64>(), start in 0usize..=64) {
+#[test]
+fn erasures_anywhere_including_check_bytes() {
+    let mut rng = StdRng::seed_from_u64(0x4507_0004);
+    for _ in 0..128 {
         // A dead chip can be the parity chip itself: erasing 8 consecutive
         // positions anywhere must be recoverable.
+        let start = rng.gen_range(0usize..=64);
         let code = RsCode::per_block();
-        let mut rng = StdRng::seed_from_u64(seed);
         let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
         let clean = code.encode(&data);
         let mut cw = clean.clone();
@@ -90,14 +97,18 @@ proptest! {
             cw[p] = rng.gen();
         }
         code.decode_with_erasures(&mut cw, &erasures).unwrap();
-        prop_assert_eq!(cw, clean);
+        assert_eq!(cw, clean);
     }
+}
 
-    #[test]
-    fn smaller_codes_round_trip(k in 1usize..=32, r_half in 1usize..=4, seed in any::<u64>()) {
+#[test]
+fn smaller_codes_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x4507_0005);
+    for _ in 0..128 {
+        let k = rng.gen_range(1usize..=32);
+        let r_half = rng.gen_range(1usize..=4);
         let r = 2 * r_half;
         let code = RsCode::new(k, r).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
         let data: Vec<u8> = (0..k).map(|_| rng.gen()).collect();
         let clean = code.encode(&data);
         let mut cw = clean.clone();
@@ -110,6 +121,6 @@ proptest! {
             cw[p] ^= rng.gen_range(1..=255u8);
         }
         code.decode(&mut cw).unwrap();
-        prop_assert_eq!(cw, clean);
+        assert_eq!(cw, clean);
     }
 }

@@ -1,0 +1,331 @@
+//! A lightweight metrics registry: counters, gauges, histograms, JSON
+//! export.
+//!
+//! Simulator components (memory controller, LLC, chipkill engine) publish
+//! their counters into one [`MetricsRegistry`], giving every experiment
+//! binary a uniform observability surface: `registry.to_json().pretty()`
+//! is the whole story of a run.
+//!
+//! All mutation goes through `&self` (a mutex guards the map), so one
+//! registry can be shared across components and threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmck_rt::MetricsRegistry;
+//!
+//! let reg = MetricsRegistry::new();
+//! reg.inc("mem.reads", 3);
+//! reg.set_gauge("llc.hit_rate", 0.93);
+//! reg.observe("read.latency_ns", 120.0);
+//! assert_eq!(reg.counter("mem.reads"), 3);
+//! let json = reg.to_json();
+//! assert_eq!(json.get("mem.reads").unwrap().as_u64(), Some(3));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Histogram bucket layout: powers of two up to 2⁶³ plus overflow.
+const HIST_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of non-negative samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// `counts[i]` holds samples with `floor(log2(v)) == i - 1`
+    /// (`counts[0]` holds samples `< 1`); the last bucket is overflow.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; HIST_BUCKETS],
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket(v: f64) -> usize {
+        if v < 1.0 {
+            0
+        } else {
+            let exp = v.log2().floor() as usize;
+            (exp + 1).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample; negative or non-finite samples clamp to 0.
+    pub fn observe(&mut self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        self.counts[Self::bucket(v)] += 1;
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile from the bucket boundaries
+    /// (0 when empty; `q` clamps to `[0, 1]`).
+    pub fn quantile_bound(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Bucket i spans [2^(i-1), 2^i); report the upper edge.
+                return if i == 0 { 1.0 } else { 2f64.powi(i as i32) };
+            }
+        }
+        self.max
+    }
+
+    fn to_json(&self) -> Json {
+        let mut j = Json::object();
+        j.set("count", self.count);
+        j.set("sum", self.sum);
+        j.set("mean", self.mean());
+        j.set("min", if self.count == 0 { 0.0 } else { self.min });
+        j.set("max", if self.count == 0 { 0.0 } else { self.max });
+        j.set("p50_bound", self.quantile_bound(0.5));
+        j.set("p99_bound", self.quantile_bound(0.99));
+        j
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Names are free-form; the convention used by the simulators is
+/// dotted paths with a component prefix (`mem.row_hits`,
+/// `llc.omv_hits`, `core.fallbacks`).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_lock<T>(&self, f: impl FnOnce(&mut BTreeMap<String, Metric>) -> T) -> T {
+        f(&mut self.metrics.lock().expect("metrics registry poisoned"))
+    }
+
+    /// Adds `by` to the counter `name` (creating it at 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already names a gauge or histogram.
+    pub fn inc(&self, name: &str, by: u64) {
+        self.with_lock(
+            |m| match m.entry(name.to_owned()).or_insert(Metric::Counter(0)) {
+                Metric::Counter(v) => *v += by,
+                _ => panic!("metric {name} is not a counter"),
+            },
+        );
+    }
+
+    /// Sets the counter `name` to an absolute value (for publishing a
+    /// finished stats struct in one shot).
+    pub fn set_counter(&self, name: &str, value: u64) {
+        self.with_lock(|m| {
+            m.insert(name.to_owned(), Metric::Counter(value));
+        });
+    }
+
+    /// Sets the gauge `name`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.with_lock(|m| {
+            m.insert(name.to_owned(), Metric::Gauge(value));
+        });
+    }
+
+    /// Records a sample into the histogram `name` (creating it empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already names a counter or gauge.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.with_lock(|m| {
+            match m
+                .entry(name.to_owned())
+                .or_insert_with(|| Metric::Histogram(Histogram::default()))
+            {
+                Metric::Histogram(h) => h.observe(value),
+                _ => panic!("metric {name} is not a histogram"),
+            }
+        });
+    }
+
+    /// Reads a counter (0 if absent or a different kind).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.with_lock(|m| match m.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        })
+    }
+
+    /// Reads a gauge (`None` if absent or a different kind).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.with_lock(|m| match m.get(name) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Reads a snapshot of the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.with_lock(|m| match m.get(name) {
+            Some(Metric::Histogram(h)) => Some(h.clone()),
+            _ => None,
+        })
+    }
+
+    /// The sorted metric names currently registered.
+    pub fn names(&self) -> Vec<String> {
+        self.with_lock(|m| m.keys().cloned().collect())
+    }
+
+    /// Removes every metric.
+    pub fn clear(&self) {
+        self.with_lock(|m| m.clear());
+    }
+
+    /// Exports every metric as one JSON object, keys sorted; counters
+    /// become integers, gauges floats, histograms summary objects.
+    pub fn to_json(&self) -> Json {
+        self.with_lock(|m| {
+            let mut out = Json::object();
+            for (name, metric) in m.iter() {
+                match metric {
+                    Metric::Counter(v) => out.set(name.clone(), *v),
+                    Metric::Gauge(v) => out.set(name.clone(), *v),
+                    Metric::Histogram(h) => out.set(name.clone(), h.to_json()),
+                };
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.inc("a", 1);
+        reg.inc("a", 2);
+        assert_eq!(reg.counter("a"), 3);
+        assert_eq!(reg.counter("missing"), 0);
+        reg.set_counter("a", 10);
+        assert_eq!(reg.counter("a"), 10);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let reg = MetricsRegistry::new();
+        reg.set_gauge("g", 1.5);
+        reg.set_gauge("g", 2.5);
+        assert_eq!(reg.gauge("g"), Some(2.5));
+        assert_eq!(reg.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 26.5).abs() < 1e-12);
+        assert!(h.quantile_bound(0.5) <= 4.0);
+        assert!(h.quantile_bound(1.0) >= 100.0);
+        let empty = Histogram::default();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.quantile_bound(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.set_gauge("x", 1.0);
+        reg.inc("x", 1);
+    }
+
+    #[test]
+    fn json_export_sorted_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.inc("z.counter", 5);
+        reg.set_gauge("a.gauge", 0.5);
+        reg.observe("m.hist", 7.0);
+        let j = reg.to_json();
+        let keys: Vec<&str> = j
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["a.gauge", "m.hist", "z.counter"]);
+        assert_eq!(j.get("z.counter").unwrap().as_u64(), Some(5));
+        assert_eq!(j.get("a.gauge").unwrap().as_f64(), Some(0.5));
+        assert_eq!(
+            j.get("m.hist").unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        reg.inc("t", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("t"), 4000);
+    }
+}

@@ -1,0 +1,190 @@
+//! Deterministic chunked parallelism for Monte-Carlo campaigns.
+//!
+//! The scheduling invariant everything here preserves: *worker count and
+//! thread interleaving decide only who computes a chunk, never what the
+//! chunk computes*. Each chunk owns an index-derived RNG stream
+//! ([`crate::rng::Xoshiro256StarStar::from_seed_stream`]) and results are
+//! returned in chunk order, so a campaign run with 1 worker and with 32
+//! workers produces bit-identical output.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmck_rt::par;
+//! use pmck_rt::rng::Rng;
+//!
+//! // 100k Bernoulli(0.25) trials in 8 chunks, summed — identical for
+//! // any worker count.
+//! let count = |workers: usize| -> u64 {
+//!     par::mc_chunks(100_000, 12_500, workers, 42, |rng, trials| {
+//!         (0..trials).filter(|_| rng.gen_bool(0.25)).count() as u64
+//!     })
+//!     .into_iter()
+//!     .sum()
+//! };
+//! assert_eq!(count(1), count(8));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::rng::StdRng;
+
+/// The number of workers to use by default: the machine's available
+/// parallelism (1 if it cannot be queried).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Computes `f(0), f(1), …, f(n-1)` on `workers` scoped threads and
+/// returns the results in index order.
+///
+/// Work is distributed by an atomic work-stealing counter, so uneven
+/// item costs balance automatically; determinism comes from keying every
+/// result to its index, not to its thread.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map_indexed<U, F>(n: usize, workers: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = workers.max(1).min(n.max(1));
+    if workers == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pmck-rt par worker panicked"))
+            .collect()
+    });
+    let mut all: Vec<(usize, U)> = parts.into_iter().flatten().collect();
+    all.sort_unstable_by_key(|(i, _)| *i);
+    all.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Parallel map over a slice; results are in item order.
+pub fn par_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), workers, |i| f(&items[i]))
+}
+
+/// Runs a Monte-Carlo campaign of `total_trials` trials split into
+/// chunks of (at most) `chunk_trials`, in parallel on `workers` threads.
+///
+/// Chunk `c` receives a fresh RNG derived from `(seed, c)` and its trial
+/// count, and produces one accumulator value; the per-chunk results come
+/// back in chunk order. Because the chunking depends only on
+/// `(total_trials, chunk_trials, seed)`, the output is bit-identical at
+/// any worker count — the determinism contract the fig07/appendix
+/// experiments and their tests rely on.
+///
+/// # Panics
+///
+/// Panics if `chunk_trials == 0`.
+pub fn mc_chunks<A, F>(
+    total_trials: u64,
+    chunk_trials: u64,
+    workers: usize,
+    seed: u64,
+    f: F,
+) -> Vec<A>
+where
+    A: Send,
+    F: Fn(&mut StdRng, u64) -> A + Sync,
+{
+    assert!(chunk_trials > 0, "mc_chunks: chunk_trials must be > 0");
+    let n_chunks = total_trials.div_ceil(chunk_trials);
+    let n_chunks = usize::try_from(n_chunks).expect("mc_chunks: too many chunks");
+    par_map_indexed(n_chunks, workers, |c| {
+        let start = c as u64 * chunk_trials;
+        let trials = chunk_trials.min(total_trials - start);
+        let mut rng = StdRng::from_seed_stream(seed, c as u64);
+        f(&mut rng, trials)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let doubled = par_map(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_indexed_handles_edges() {
+        assert_eq!(par_map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, 4, |i| i), vec![0]);
+        assert_eq!(par_map_indexed(5, 0, |i| i), vec![0, 1, 2, 3, 4]);
+        assert_eq!(par_map_indexed(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mc_chunks_identical_across_worker_counts() {
+        let run = |workers| {
+            mc_chunks(10_000, 512, workers, 7, |rng, trials| {
+                (0..trials).map(|_| rng.gen_range(0..1000u64)).sum::<u64>()
+            })
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+        // ceil(10000/512) = 20 chunks, last one short.
+        assert_eq!(one.len(), 20);
+    }
+
+    #[test]
+    fn mc_chunks_trial_counts_cover_total() {
+        let counts = mc_chunks(1000, 300, 4, 0, |_, trials| trials);
+        assert_eq!(counts, vec![300, 300, 300, 100]);
+        let exact = mc_chunks(600, 300, 4, 0, |_, trials| trials);
+        assert_eq!(exact, vec![300, 300]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Make early items slow to force out-of-order completion.
+        let out = par_map_indexed(32, 8, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i * i
+        });
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_trials must be > 0")]
+    fn rejects_zero_chunk() {
+        let _ = mc_chunks(10, 0, 1, 0, |_, _| ());
+    }
+}

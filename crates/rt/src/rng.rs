@@ -1,0 +1,533 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The workspace's randomness needs are Monte-Carlo shaped: billions of
+//! uniform draws, geometric gap sampling for RBER bit-flip injection, and
+//! reproducible streams that can be split across worker threads. Two
+//! generators cover all of it:
+//!
+//! * [`SplitMix64`] — a 64-bit state mixer used for seeding and for
+//!   deriving independent per-chunk streams.
+//! * [`Xoshiro256StarStar`] — the workhorse generator (Blackman/Vigna
+//!   xoshiro256\*\*, period 2²⁵⁶−1), aliased as [`StdRng`]/[`SmallRng`].
+//!
+//! The [`Rng`] trait carries the sampling surface (`gen`, `gen_range`,
+//! `gen_bool`, `fill_bytes`, `binomial`, …) so simulator code can stay
+//! generic over the generator, exactly as it was over `rand::Rng`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmck_rt::rng::{Rng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let byte: u8 = rng.gen();
+//! let die = rng.gen_range(1..=6u32);
+//! let coin = rng.gen_bool(0.5);
+//! assert!((1..=6).contains(&die));
+//! let _ = (byte, coin);
+//! ```
+
+/// SplitMix64 (Steele/Lea/Flood): a tiny, well-mixed 64-bit generator.
+///
+/// Used to expand a single `u64` seed into xoshiro state words and to
+/// derive independent streams for parallel Monte-Carlo chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// The golden-ratio increment used by SplitMix64.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SplitMix64 {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+/// xoshiro256\*\* (Blackman/Vigna): fast, high-quality, 256-bit state.
+///
+/// This is the workspace's standard generator; [`StdRng`] and
+/// [`SmallRng`] are aliases for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+/// The workspace's default generator.
+pub type StdRng = Xoshiro256StarStar;
+
+/// Alias kept for call sites that want a cheap thread-local generator;
+/// xoshiro256\*\* is already small and fast.
+pub type SmallRng = Xoshiro256StarStar;
+
+impl Xoshiro256StarStar {
+    /// Seeds the 256-bit state from a single `u64` via SplitMix64, the
+    /// seeding procedure recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Xoshiro256StarStar { s }
+    }
+
+    /// Derives the generator for stream `stream` of master seed `seed`.
+    ///
+    /// For a fixed `seed`, distinct streams are seeded from distinct
+    /// SplitMix64 states, giving statistically independent sequences;
+    /// [`crate::par::mc_chunks`] uses one stream per Monte-Carlo chunk so
+    /// results do not depend on which thread runs which chunk.
+    pub fn from_seed_stream(seed: u64, stream: u64) -> Self {
+        // Mix the stream index through one SplitMix64 step so that
+        // (seed, stream) and (seed + k·GAMMA, 0) cannot collide for the
+        // small stream indices used in practice.
+        let salt = SplitMix64::new(stream).next_u64();
+        Self::seed_from_u64(seed ^ salt)
+    }
+
+    /// Returns the next value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256StarStar::next_u64(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Uniformly samples one value of `Self` from an [`Rng`] — the glue
+/// behind [`Rng::gen`].
+pub trait Random: Sized {
+    /// Draws one uniformly distributed value.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_uint {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                // Truncation of a uniform u64 is uniform.
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for u128 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Random for i128 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        u128::random(rng) as i128
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// An integer type usable with [`Rng::gen_range`]; the `u64` round trip
+/// is modular, so signed offsets work out via wrapping arithmetic.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Converts to `u64` (sign-extending for signed types).
+    fn to_u64(self) -> u64;
+    /// Converts back from `u64` (truncating).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Single generic impls (rather than one per type) so an unsuffixed
+// literal like `0..72` unifies with the use site's type instead of
+// falling back to `i32`.
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = self.end.to_u64().wrapping_sub(self.start.to_u64());
+        let off = uniform_below(rng, span);
+        T::from_u64(self.start.to_u64().wrapping_add(off))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        let span = hi.to_u64().wrapping_sub(lo.to_u64());
+        if span == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        let off = uniform_below(rng, span + 1);
+        T::from_u64(lo.to_u64().wrapping_add(off))
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = f64::random(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+/// Uniform draw from `[0, n)` by Lemire's multiply-with-rejection; exact
+/// (no modulo bias). `n == 0` means the full 64-bit range.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    if n == 0 {
+        return rng.next_u64();
+    }
+    let mut m = (rng.next_u64() as u128) * (n as u128);
+    let mut lo = m as u64;
+    if lo < n {
+        let threshold = n.wrapping_neg() % n;
+        while lo < threshold {
+            m = (rng.next_u64() as u128) * (n as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// The sampling interface shared by all generators.
+///
+/// Only [`Rng::next_u64`] is required; everything else is derived from
+/// it, so any implementor automatically gets the full surface.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns 32 uniformly distributed bits (the upper half of
+    /// [`Rng::next_u64`], which carries the best-mixed bits).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with uniformly random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+
+    /// Draws one uniformly distributed value of type `T`.
+    fn gen<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Draws a value uniformly from `range` (`lo..hi` or `lo..=hi` for
+    /// integers, `lo..hi` for `f64`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} outside [0, 1]");
+        f64::random(self) < p
+    }
+
+    /// Samples a Binomial(n, p) count of successes.
+    ///
+    /// Uses geometric gap sampling (cost proportional to the number of
+    /// successes, not to `n`), which is exactly the regime of RBER
+    /// bit-flip injection: huge `n`, tiny `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn binomial(&mut self, n: u64, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "binomial: p={p} outside [0, 1]");
+        if n == 0 || p == 0.0 {
+            return 0;
+        }
+        if p == 1.0 {
+            return n;
+        }
+        // Flip to the rarer outcome so the expected work is min(np, nq).
+        if p > 0.5 {
+            return n - self.binomial(n, 1.0 - p);
+        }
+        let ln_q = (1.0 - p).ln();
+        let mut successes = 0u64;
+        let mut pos = 0u64;
+        loop {
+            let gap = geometric_gap(self, ln_q);
+            if gap >= (n - pos) as f64 {
+                return successes;
+            }
+            pos += gap as u64;
+            successes += 1;
+            pos += 1;
+            if pos >= n {
+                return successes;
+            }
+        }
+    }
+}
+
+/// Draws the Geometric(p) number of failures before the next success,
+/// given `ln_q = ln(1 - p)`; may be `+inf`.
+fn geometric_gap<R: Rng + ?Sized>(rng: &mut R, ln_q: f64) -> f64 {
+    let u = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let gap = (u.ln() / ln_q).floor();
+    if gap.is_finite() {
+        gap
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// A pre-validated Bernoulli(p) sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a sampler that fires with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "Bernoulli: p={p} outside [0, 1]");
+        Bernoulli { p }
+    }
+
+    /// Draws one trial.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen_bool(self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain
+        // splitmix64.c by Sebastiano Vigna.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_spread() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let v = a.next_u64();
+            assert_eq!(v, b.next_u64());
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+
+    #[test]
+    fn streams_are_distinct() {
+        let mut s0 = StdRng::from_seed_stream(7, 0);
+        let mut s1 = StdRng::from_seed_stream(7, 1);
+        let same = (0..64).filter(|_| s0.next_u64() == s1.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_all() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        for _ in 0..1000 {
+            let v = rng.gen_range(10..=12u64);
+            assert!((10..=12).contains(&v));
+            let f = rng.gen_range(2.5..3.0f64);
+            assert!((2.5..3.0).contains(&f));
+            let s = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_min_positive_open_unit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5..5u32);
+    }
+
+    #[test]
+    fn gen_bool_rate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for len in [0usize, 1, 7, 8, 9, 31] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len} all zero");
+            }
+        }
+        // Determinism: same seed, same bytes.
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let mut ba = [0u8; 13];
+        let mut bb = [0u8; 13];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn binomial_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (n, p) = (576u64, 2e-4);
+        let trials = 200_000;
+        let total: u64 = (0..trials).map(|_| rng.binomial(n, p)).sum();
+        let mean = total as f64 / trials as f64;
+        let expect = n as f64 * p;
+        assert!(
+            (mean / expect - 1.0).abs() < 0.05,
+            "mean {mean} vs {expect}"
+        );
+        assert_eq!(rng.binomial(0, 0.5), 0);
+        assert_eq!(rng.binomial(10, 0.0), 0);
+        assert_eq!(rng.binomial(10, 1.0), 10);
+    }
+
+    #[test]
+    fn binomial_high_p_flips() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let total: u64 = (0..10_000).map(|_| rng.binomial(100, 0.9)).sum();
+        let mean = total as f64 / 10_000.0;
+        assert!((mean - 90.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn generic_rng_via_mut_ref() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u8 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = draw(&mut rng);
+        let _ = draw(&mut &mut rng);
+    }
+
+    #[test]
+    fn bernoulli_sampler() {
+        let b = Bernoulli::new(0.25);
+        let mut rng = StdRng::seed_from_u64(21);
+        let hits = (0..40_000).filter(|_| b.sample(&mut rng)).count();
+        let rate = hits as f64 / 40_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+}

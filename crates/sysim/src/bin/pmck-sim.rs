@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pmck-sim [--workload NAME | --all] [--nvram reram|pcm] [--quick] [--seed N] [--json]
+//!          [--metrics]
 //! ```
 //!
 //! Runs the baseline and the proposal over the same trace and prints the
@@ -10,6 +11,7 @@
 
 use std::process::ExitCode;
 
+use pmck_rt::json::{Json, ToJson};
 use pmck_sim::{run_comparison_with, NvramKind, SimConfig};
 use pmck_workloads::WorkloadSpec;
 
@@ -19,6 +21,7 @@ struct Args {
     quick: bool,
     seed: u64,
     json: bool,
+    metrics: bool,
     measure_ops: Option<u64>,
     warmup_ops: Option<u64>,
 }
@@ -29,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
     let mut quick = false;
     let mut seed = 42;
     let mut json = false;
+    let mut metrics = false;
     let mut all = false;
     let mut measure_ops = None;
     let mut warmup_ops = None;
@@ -40,7 +44,8 @@ fn parse_args() -> Result<Args, String> {
                 i += 1;
                 let name = argv.get(i).ok_or("--workload needs a name")?;
                 workloads.push(
-                    WorkloadSpec::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?,
+                    WorkloadSpec::by_name(name)
+                        .ok_or_else(|| format!("unknown workload {name}"))?,
                 );
             }
             "--all" => all = true,
@@ -61,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--seed needs an integer")?;
             }
             "--json" => json = true,
+            "--metrics" => metrics = true,
             "--measure-ops" => {
                 i += 1;
                 measure_ops = Some(
@@ -78,9 +84,12 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--help" | "-h" => {
-                return Err("usage: pmck-sim [--workload NAME]... [--all] [--nvram reram|pcm] \
-                            [--quick] [--seed N] [--json] [--measure-ops N] [--warmup-ops N]"
-                    .into())
+                return Err(
+                    "usage: pmck-sim [--workload NAME]... [--all] [--nvram reram|pcm] \
+                            [--quick] [--seed N] [--json] [--metrics] [--measure-ops N] \
+                            [--warmup-ops N]"
+                        .into(),
+                )
             }
             other => return Err(format!("unknown argument {other}")),
         }
@@ -95,6 +104,7 @@ fn parse_args() -> Result<Args, String> {
         quick,
         seed,
         json,
+        metrics,
         measure_ops,
         warmup_ops,
     })
@@ -147,22 +157,33 @@ fn main() -> ExitCode {
         );
         results.push(cmp);
     }
-    if args.json {
-        match serde_json::to_string_pretty(&results) {
-            Ok(s) => println!("{s}"),
-            Err(e) => {
-                eprintln!("serialization failed: {e}");
-                return ExitCode::FAILURE;
-            }
+    if args.metrics {
+        // Uniform observability: every run's counters and gauges in the
+        // registry's JSON layout, keyed by workload and scheme.
+        let reg = pmck_rt::metrics::MetricsRegistry::new();
+        for cmp in &results {
+            let wl = &cmp.baseline.workload;
+            cmp.baseline
+                .publish_metrics(&reg, &format!("{wl}.baseline"));
+            cmp.proposal
+                .publish_metrics(&reg, &format!("{wl}.proposal"));
         }
+        eprintln!("{}", reg.to_json().pretty());
+    }
+    if args.json {
+        let out = Json::Arr(results.iter().map(ToJson::to_json).collect());
+        println!("{}", out.pretty());
     } else {
         let avg: f64 = results
             .iter()
             .map(|c| c.normalized_performance())
             .sum::<f64>()
             / results.len().max(1) as f64;
-        println!("---\naverage normalized performance: {avg:.4} ({} workloads, {})",
-            results.len(), args.nvram.name());
+        println!(
+            "---\naverage normalized performance: {avg:.4} ({} workloads, {})",
+            results.len(),
+            args.nvram.name()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -1,10 +1,9 @@
 //! Simulation configuration (paper Table I and §VI).
 
 use pmck_memsim::NvramTiming;
-use serde::{Deserialize, Serialize};
 
 /// The NVRAM technology of the persistent-memory rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NvramKind {
     /// ReRAM: 120 ns read / 300 ns write (Figure 16's latency set).
     ReRam,
@@ -31,7 +30,7 @@ impl NvramKind {
 }
 
 /// Which protection scheme the simulated system implements.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Scheme {
     /// Bit-error correction only (per-block 14-bit-EC BCH): the §VII
     /// normalization baseline. No OMV, no write slowing, no VLEW traffic.
@@ -52,7 +51,7 @@ impl Scheme {
 }
 
 /// Full simulator configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Cores (Table I: 4).
     pub cores: usize,

@@ -1,9 +1,10 @@
 //! Simulation results.
 
-use serde::{Deserialize, Serialize};
+use pmck_rt::json::{Json, ToJson};
+use pmck_rt::metrics::MetricsRegistry;
 
 /// The outcome of one timed simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Workload name.
     pub workload: String,
@@ -51,8 +52,7 @@ impl SimResult {
     /// The off-chip access breakdown as fractions `(pm_read, pm_write,
     /// dram_read, dram_write)` of all off-chip accesses (Figure 14).
     pub fn access_breakdown(&self) -> (f64, f64, f64, f64) {
-        let total =
-            (self.pm_reads + self.pm_writes + self.dram_reads + self.dram_writes) as f64;
+        let total = (self.pm_reads + self.pm_writes + self.dram_reads + self.dram_writes) as f64;
         if total == 0.0 {
             return (0.0, 0.0, 0.0, 0.0);
         }
@@ -62,6 +62,56 @@ impl SimResult {
             self.dram_reads as f64 / total,
             self.dram_writes as f64 / total,
         )
+    }
+}
+
+impl ToJson for SimResult {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("workload", self.workload.as_str())
+            .with("ops_measured", self.ops_measured)
+            .with("measured_ps", self.measured_ps)
+            .with("pm_reads", self.pm_reads)
+            .with("pm_writes", self.pm_writes)
+            .with("dram_reads", self.dram_reads)
+            .with("dram_writes", self.dram_writes)
+            .with("c_factor", self.c_factor)
+            .with("omv_hit_rate", self.omv_hit_rate)
+            .with("omv_misses", self.omv_misses)
+            .with("dirty_pm_avg", self.dirty_pm_avg)
+            .with("fallbacks_injected", self.fallbacks_injected)
+            .with("llc_hit_rate", self.llc_hit_rate)
+            .with("row_hit_rate", self.row_hit_rate)
+            .with("write_row_hit_rate", self.write_row_hit_rate)
+    }
+}
+
+impl SimResult {
+    /// Publishes the run's counters and rates into `reg` under
+    /// `prefix.*`, the uniform observability surface shared with the
+    /// memory controller, LLC, and chipkill engine.
+    pub fn publish_metrics(&self, reg: &MetricsRegistry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.ops_measured"), self.ops_measured);
+        reg.set_counter(&format!("{prefix}.measured_ps"), self.measured_ps);
+        reg.set_counter(&format!("{prefix}.pm_reads"), self.pm_reads);
+        reg.set_counter(&format!("{prefix}.pm_writes"), self.pm_writes);
+        reg.set_counter(&format!("{prefix}.dram_reads"), self.dram_reads);
+        reg.set_counter(&format!("{prefix}.dram_writes"), self.dram_writes);
+        reg.set_counter(&format!("{prefix}.omv_misses"), self.omv_misses);
+        reg.set_counter(
+            &format!("{prefix}.fallbacks_injected"),
+            self.fallbacks_injected,
+        );
+        reg.set_gauge(&format!("{prefix}.c_factor"), self.c_factor);
+        reg.set_gauge(&format!("{prefix}.omv_hit_rate"), self.omv_hit_rate);
+        reg.set_gauge(&format!("{prefix}.dirty_pm_avg"), self.dirty_pm_avg);
+        reg.set_gauge(&format!("{prefix}.llc_hit_rate"), self.llc_hit_rate);
+        reg.set_gauge(&format!("{prefix}.row_hit_rate"), self.row_hit_rate);
+        reg.set_gauge(
+            &format!("{prefix}.write_row_hit_rate"),
+            self.write_row_hit_rate,
+        );
+        reg.set_gauge(&format!("{prefix}.ops_per_ns"), self.ops_per_ns());
     }
 }
 

@@ -1,14 +1,14 @@
 //! Baseline-vs-proposal orchestration: measure C, then compare.
 
+use pmck_rt::json::{Json, ToJson};
 use pmck_workloads::WorkloadSpec;
-use serde::{Deserialize, Serialize};
 
 use crate::config::{NvramKind, Scheme, SimConfig};
 use crate::metrics::SimResult;
 use crate::system::Simulator;
 
 /// A matched baseline/proposal pair over the same trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonResult {
     /// The bit-error-correction baseline run.
     pub baseline: SimResult,
@@ -17,6 +17,16 @@ pub struct ComparisonResult {
     /// The C factor measured in the baseline run and applied to the
     /// proposal's `tWR` (Figure 15).
     pub c_factor: f64,
+}
+
+impl ToJson for ComparisonResult {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("baseline", self.baseline.to_json())
+            .with("proposal", self.proposal.to_json())
+            .with("c_factor", self.c_factor)
+            .with("normalized_performance", self.normalized_performance())
+    }
 }
 
 impl ComparisonResult {
@@ -36,7 +46,12 @@ impl ComparisonResult {
 /// Runs a workload under the baseline, measures its C factor, then runs
 /// the proposal with the iso-lifetime write slowing derived from that C —
 /// the exact procedure of §VI.
-pub fn run_comparison(spec: WorkloadSpec, nvram: NvramKind, seed: u64, quick: bool) -> ComparisonResult {
+pub fn run_comparison(
+    spec: WorkloadSpec,
+    nvram: NvramKind,
+    seed: u64,
+    quick: bool,
+) -> ComparisonResult {
     run_comparison_with(spec, seed, |scheme| {
         if quick {
             SimConfig::quick(nvram, scheme)
@@ -84,7 +99,11 @@ mod tests {
     fn c_factor_is_measured_and_bounded() {
         let spec = WorkloadSpec::by_name("echo").unwrap();
         let cmp = run_comparison(spec, NvramKind::ReRam, 2, true);
-        assert!(cmp.c_factor > 0.0 && cmp.c_factor <= 1.0, "C={}", cmp.c_factor);
+        assert!(
+            cmp.c_factor > 0.0 && cmp.c_factor <= 1.0,
+            "C={}",
+            cmp.c_factor
+        );
     }
 
     #[test]
@@ -92,6 +111,10 @@ mod tests {
         let spec = WorkloadSpec::by_name("redis").unwrap();
         let cmp = run_comparison(spec, NvramKind::Pcm, 3, true);
         assert_eq!(cmp.baseline.omv_hit_rate, 0.0);
-        assert!(cmp.proposal.omv_hit_rate > 0.5, "{}", cmp.proposal.omv_hit_rate);
+        assert!(
+            cmp.proposal.omv_hit_rate > 0.5,
+            "{}",
+            cmp.proposal.omv_hit_rate
+        );
     }
 }

@@ -4,9 +4,9 @@ use std::collections::HashSet;
 
 use pmck_cachesim::{Hierarchy, HierarchyConfig, MemActions};
 use pmck_memsim::{MemConfig, MemRequest, MemoryController, RankKind, ReqId};
+use pmck_rt::rng::Rng;
+use pmck_rt::rng::SmallRng;
 use pmck_workloads::{MemRef, Op, TraceGenerator, WorkloadClass, WorkloadSpec};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::config::{Scheme, SimConfig};
 use crate::metrics::SimResult;
@@ -256,7 +256,14 @@ impl Simulator {
                     let acts = hierarchy.clwb(ci, ca, r.pm);
                     cores[ci].ready_ps += 3 * cfg.core_period_ps;
                     Self::emit_persist_writes(
-                        &acts, ci, la, &mut mc, &mut next_id, &mut cores, &mut demand, &cfg,
+                        &acts,
+                        ci,
+                        la,
+                        &mut mc,
+                        &mut next_id,
+                        &mut cores,
+                        &mut demand,
+                        &cfg,
                     );
                 }
                 Op::Fence => {
@@ -268,7 +275,12 @@ impl Simulator {
         }
 
         // Close out: measure elapsed time as the point the last op retired.
-        let end_ps = cores.iter().map(|c| c.ready_ps).max().unwrap_or(0).max(mc.now_ps());
+        let end_ps = cores
+            .iter()
+            .map(|c| c.ready_ps)
+            .max()
+            .unwrap_or(0)
+            .max(mc.now_ps());
         mc.finalize_eur();
         let stats = mc.stats().clone();
         let llc = hierarchy.llc_stats();
@@ -330,7 +342,11 @@ impl Simulator {
             let id = *next_id;
             *next_id += 1;
             demand[if pm { 0 } else { 2 }] += 1;
-            if mc.enqueue(MemRequest::read(id, rank_local_addr, rank)).is_ok() && blocking {
+            if mc
+                .enqueue(MemRequest::read(id, rank_local_addr, rank))
+                .is_ok()
+                && blocking
+            {
                 cores[core].waiting_read = Some(id);
                 read_waiters.push((id, core));
             }
@@ -347,7 +363,11 @@ impl Simulator {
         cfg: &SimConfig,
     ) {
         for w in &acts.mem_writes {
-            let rank = if w.is_pm { RankKind::Nvram } else { RankKind::Dram };
+            let rank = if w.is_pm {
+                RankKind::Nvram
+            } else {
+                RankKind::Dram
+            };
             // An OMV miss costs an extra PM read of the old value before
             // the write can carry old ⊕ new.
             let omv_miss = cfg.scheme.is_proposal()
@@ -376,7 +396,11 @@ impl Simulator {
         cfg: &SimConfig,
     ) {
         for w in &acts.mem_writes {
-            let rank = if w.is_pm { RankKind::Nvram } else { RankKind::Dram };
+            let rank = if w.is_pm {
+                RankKind::Nvram
+            } else {
+                RankKind::Dram
+            };
             let omv_miss = w.omv_served == Some(false) || (cfg.force_omv_off && w.is_pm);
             if cfg.scheme.is_proposal() && omv_miss && mc.can_accept_read() {
                 let id = *next_id;

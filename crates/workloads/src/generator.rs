@@ -2,8 +2,8 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pmck_rt::rng::Rng;
+use pmck_rt::rng::SmallRng;
 
 use crate::spec::{WorkloadClass, WorkloadSpec};
 use crate::trace::{MemRef, Op};
@@ -98,7 +98,9 @@ impl TraceGenerator {
     fn dram_addr(&mut self) -> u64 {
         // DRAM accesses (stack, connection state, metadata) are highly
         // cacheable: 90% land in a small hot region.
-        let hot = (self.spec.dram_blocks / 64).clamp(256, 2048).min(self.spec.dram_blocks);
+        let hot = (self.spec.dram_blocks / 64)
+            .clamp(256, 2048)
+            .min(self.spec.dram_blocks);
         if self.rng.gen_bool(0.9) {
             self.rng.gen_range(0..hot)
         } else {
@@ -356,7 +358,11 @@ mod tests {
             let mut g = TraceGenerator::new(spec, 9);
             for _ in 0..20_000 {
                 if let Some(r) = g.next_op().mem_ref() {
-                    let bound = if r.pm { spec.pm_blocks } else { spec.dram_blocks };
+                    let bound = if r.pm {
+                        spec.pm_blocks
+                    } else {
+                        spec.dram_blocks
+                    };
                     assert!(r.addr < bound, "{}: {} < {}", spec.name, r.addr, bound);
                 }
             }

@@ -1,10 +1,8 @@
 //! The workload catalog, parameterized on the axes the proposal's costs
 //! depend on (see the crate docs).
 
-use serde::{Deserialize, Serialize};
-
 /// Broad behavioural class of a workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadClass {
     /// Query-per-network-request servers (echo, memcached, redis,
     /// vacation): long per-query processing hides memory latency.
@@ -18,7 +16,7 @@ pub enum WorkloadClass {
 }
 
 /// Parameters of one synthetic workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadSpec {
     /// Workload name (matches the paper's figures).
     pub name: &'static str,

@@ -1,9 +1,7 @@
 //! Trace operation types.
 
-use serde::{Deserialize, Serialize};
-
 /// A block reference: address (64 B granularity) plus region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemRef {
     /// Block address within the region.
     pub addr: u64,
@@ -25,7 +23,7 @@ impl MemRef {
 }
 
 /// One operation of a workload trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// `cycles` of core-local work with no memory access.
     Compute(u32),

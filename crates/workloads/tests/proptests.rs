@@ -1,43 +1,55 @@
-//! Property tests for the workload generators: structural guarantees the
-//! simulator relies on.
+//! Randomized tests for the workload generators: structural guarantees
+//! the simulator relies on, checked for every workload spec across many
+//! seeded iterations.
 
+use pmck_rt::rng::{Rng, StdRng};
 use pmck_workloads::{Op, TraceGenerator, WorkloadSpec};
-use proptest::prelude::*;
 
-fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
-    (0usize..WorkloadSpec::all().len()).prop_map(|i| WorkloadSpec::all()[i])
+/// Runs `f` for every workload spec with several derived seeds.
+fn for_each_spec(test_seed: u64, seeds_per_spec: usize, mut f: impl FnMut(WorkloadSpec, u64)) {
+    let mut rng = StdRng::seed_from_u64(test_seed);
+    for spec in WorkloadSpec::all() {
+        for _ in 0..seeds_per_spec {
+            f(spec, rng.gen());
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn streams_are_deterministic(spec in spec_strategy(), seed in any::<u64>()) {
+#[test]
+fn streams_are_deterministic() {
+    for_each_spec(0x3019_0001, 3, |spec, seed| {
         let mut a = TraceGenerator::new(spec, seed);
         let mut b = TraceGenerator::new(spec, seed);
         for _ in 0..2_000 {
-            prop_assert_eq!(a.next_op(), b.next_op());
+            assert_eq!(a.next_op(), b.next_op());
         }
-    }
+    });
+}
 
-    #[test]
-    fn addresses_always_in_bounds(spec in spec_strategy(), seed in any::<u64>()) {
+#[test]
+fn addresses_always_in_bounds() {
+    for_each_spec(0x3019_0002, 3, |spec, seed| {
         let mut g = TraceGenerator::new(spec, seed);
         for _ in 0..5_000 {
             if let Some(r) = g.next_op().mem_ref() {
-                let bound = if r.pm { spec.pm_blocks } else { spec.dram_blocks };
-                prop_assert!(r.addr < bound);
+                let bound = if r.pm {
+                    spec.pm_blocks
+                } else {
+                    spec.dram_blocks
+                };
+                assert!(r.addr < bound);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cleans_only_follow_stores(spec in spec_strategy(), seed in any::<u64>()) {
+#[test]
+fn cleans_only_follow_stores() {
+    for_each_spec(0x3019_0003, 3, |spec, seed| {
         // A clwb may only target an address that was stored earlier and
         // not yet cleaned more times than stored.
         let mut g = TraceGenerator::new(spec, seed);
-        let mut outstanding: std::collections::HashMap<u64, i64> =
-            std::collections::HashMap::new();
+        let mut outstanding: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
         for _ in 0..10_000 {
             match g.next_op() {
                 Op::Store(r) if r.pm => {
@@ -46,15 +58,17 @@ proptest! {
                 Op::Clwb(r) => {
                     let e = outstanding.entry(r.addr).or_insert(0);
                     *e -= 1;
-                    prop_assert!(*e >= 0, "clean without a prior store at {}", r.addr);
+                    assert!(*e >= 0, "clean without a prior store at {}", r.addr);
                 }
                 _ => {}
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn fences_terminate_clean_batches(spec in spec_strategy(), seed in any::<u64>()) {
+#[test]
+fn fences_terminate_clean_batches() {
+    for_each_spec(0x3019_0004, 3, |spec, seed| {
         // Between the last Clwb of a batch and the next non-clean op
         // there must be a Fence (persistence ordering).
         let mut g = TraceGenerator::new(spec, seed);
@@ -64,14 +78,16 @@ proptest! {
                 Op::Clwb(_) => pending_clean = true,
                 Op::Fence => pending_clean = false,
                 Op::Compute(_) | Op::Load(_) | Op::Store(_) => {
-                    prop_assert!(!pending_clean, "cleans must be fenced before new work");
+                    assert!(!pending_clean, "cleans must be fenced before new work");
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn compute_fractions_reflect_class(spec in spec_strategy()) {
+#[test]
+fn compute_fractions_reflect_class() {
+    for spec in WorkloadSpec::all() {
         let mut g = TraceGenerator::new(spec, 7);
         let mut compute_cycles = 0u64;
         let mut mem_ops = 0u64;
@@ -82,10 +98,10 @@ proptest! {
                 _ => {}
             }
         }
-        prop_assert!(mem_ops > 0);
+        assert!(mem_ops > 0);
         let per_op = compute_cycles as f64 / mem_ops as f64;
         // Every workload does *some* work per memory op, and none is
         // absurdly compute-starved or compute-drowned.
-        prop_assert!(per_op > 5.0 && per_op < 50_000.0, "{}: {per_op}", spec.name);
+        assert!(per_op > 5.0 && per_op < 50_000.0, "{}: {per_op}", spec.name);
     }
 }

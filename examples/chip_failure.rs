@@ -17,8 +17,7 @@
 use pmck::chipkill::{
     BaselineMemory, ChipFailureKind, ChipkillConfig, ChipkillMemory, ReadPath, RestripedMemory,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pmck_rt::rng::StdRng;
 
 fn pattern(a: u64) -> [u8; 64] {
     let mut b = [0u8; 64];
@@ -85,9 +84,7 @@ fn main() {
             Err(_) => true,
         })
         .count();
-    println!(
-        "baseline (bit-error BCH only) under the same failure: {lost}/{blocks} blocks lost"
-    );
+    println!("baseline (bit-error BCH only) under the same failure: {lost}/{blocks} blocks lost");
     assert!(lost > blocks as usize * 9 / 10);
     println!("chipkill-correct is the difference between a rebuild and a dead rank.");
 }

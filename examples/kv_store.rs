@@ -12,8 +12,8 @@
 //! ```
 
 use pmck::chipkill::{ChipkillConfig, ChipkillMemory};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmck_rt::rng::Rng;
+use pmck_rt::rng::StdRng;
 
 const LOG_BLOCKS: u64 = 64; // log region
 const VALUES_BASE: u64 = 1 + LOG_BLOCKS;
@@ -72,7 +72,9 @@ impl KvStore {
     fn put(&mut self, key: u64, value: [u8; 48]) {
         let rec = Record { key, value };
         let log_block = 1 + (self.log_head % LOG_BLOCKS);
-        self.mem.write_block(log_block, &rec.to_block()).expect("log");
+        self.mem
+            .write_block(log_block, &rec.to_block())
+            .expect("log");
         self.log_head += 1;
         // Header records the log head (the commit point).
         let mut header = [0u8; 64];
@@ -117,7 +119,7 @@ fn main() {
     let mut truth = std::collections::HashMap::new();
     for k in 0..500u64 {
         let mut v = [0u8; 48];
-        rng.fill(&mut v[..]);
+        rng.fill_bytes(&mut v[..]);
         store.put(k, v);
         truth.insert(k, v);
     }
@@ -144,5 +146,8 @@ fn main() {
         assert_eq!(&got, v, "key {k} corrupted");
         ok += 1;
     }
-    println!("verified {ok}/{} records after crash + outage — zero data loss", truth.len());
+    println!(
+        "verified {ok}/{} records after crash + outage — zero data loss",
+        truth.len()
+    );
 }

@@ -9,8 +9,7 @@
 //! ```
 
 use pmck::chipkill::{ChipFailureKind, ChipkillConfig, ChipkillMemory, ReadPath};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pmck_rt::rng::StdRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2024);

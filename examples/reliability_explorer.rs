@@ -21,8 +21,16 @@ fn main() {
     for (label, tech, secs) in [
         ("ReRAM, refreshed (runtime)", MemoryTech::ReRam, 1.0),
         ("3-bit PCM, hourly refresh", MemoryTech::Pcm3Bit, 3600.0),
-        ("3-bit PCM, 1 week unrefreshed", MemoryTech::Pcm3Bit, 7.0 * 86400.0),
-        ("ReRAM, 1 year unrefreshed", MemoryTech::ReRam, 365.25 * 86400.0),
+        (
+            "3-bit PCM, 1 week unrefreshed",
+            MemoryTech::Pcm3Bit,
+            7.0 * 86400.0,
+        ),
+        (
+            "ReRAM, 1 year unrefreshed",
+            MemoryTech::ReRam,
+            365.25 * 86400.0,
+        ),
     ] {
         println!("  {label:<32} RBER = {:.2e}", rber_at(tech, secs));
     }
@@ -34,8 +42,7 @@ fn main() {
     );
     for exp in [-5i32, -4, -3] {
         let rber = 10f64.powi(exp);
-        let (t, proposal) =
-            vlew_plus_parity_cost(256, rber, UE_TARGET, 8).expect("feasible");
+        let (t, proposal) = vlew_plus_parity_cost(256, rber, UE_TARGET, 8).expect("feasible");
         let cost = |s: ExtendedScheme| {
             s.total_cost(rber, UE_TARGET)
                 .map_or("inf".to_string(), |c| format!("{:.1}%", c * 100.0))
@@ -73,7 +80,11 @@ fn main() {
             "{:<6} {:>12.1e} {:>14} {:>9.4}%",
             t,
             sdc,
-            if sdc <= SDC_TARGET { "meets ✓" } else { "violates ✗" },
+            if sdc <= SDC_TARGET {
+                "meets ✓"
+            } else {
+                "violates ✗"
+            },
             fb * 100.0
         );
     }

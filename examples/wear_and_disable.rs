@@ -8,8 +8,7 @@
 
 use pmck::chipkill::{ChipkillConfig, ChipkillMemory, CoreError, WearLevelledMemory};
 use pmck::nvram::{WearModel, WearState};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pmck_rt::rng::StdRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(5);
@@ -91,6 +90,9 @@ fn main() {
     assert!(touched.len() >= 8);
     // Data integrity under leveling + errors.
     levelled.inner_mut().inject_bit_errors(2e-4, &mut rng);
-    assert_eq!(levelled.read(7).expect("readable").data[0], ((4000 - 1) % 256) as u8);
+    assert_eq!(
+        levelled.read(7).expect("readable").data[0],
+        ((4000 - 1) % 256) as u8
+    );
     println!("levelled rank reads back the latest value through the remap + ECC stack.");
 }

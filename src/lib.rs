@@ -17,14 +17,17 @@
 //! | [`workloads`] | `pmck-workloads` | WHISPER/SPLASH-style trace generators |
 //! | [`analysis`] | `pmck-analysis` | storage/SDC/bandwidth analytics |
 //! | [`sim`] | `pmck-sim` | full-system simulator (Figures 10–18) |
+//! | [`rt`] | `pmck-rt` | runtime: deterministic RNG, JSON, parallel MC, metrics |
+//!
+//! The workspace has **zero third-party dependencies**: everything above
+//! builds offline from `std` alone (see `pmck-rt`).
 //!
 //! # Quickstart
 //!
 //! ```
 //! use pmck::chipkill::{ChipkillConfig, ChipkillMemory};
-//! use rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = pmck::rt::rng::StdRng::seed_from_u64(0);
 //! let mut mem = ChipkillMemory::new(64, ChipkillConfig::default());
 //! mem.write_block(0, &[7u8; 64]).unwrap();
 //! mem.inject_bit_errors(1e-3, &mut rng);
@@ -40,5 +43,6 @@ pub use pmck_gf as gf;
 pub use pmck_memsim as memsim;
 pub use pmck_nvram as nvram;
 pub use pmck_rs as rs;
+pub use pmck_rt as rt;
 pub use pmck_sim as sim;
 pub use pmck_workloads as workloads;

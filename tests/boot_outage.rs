@@ -3,8 +3,8 @@
 
 use pmck::chipkill::{ChipkillConfig, ChipkillMemory};
 use pmck::nvram::{rber_at, MemoryTech};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmck_rt::rng::Rng;
+use pmck_rt::rng::StdRng;
 
 fn outage_cycle(tech: MemoryTech, seconds: f64, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -12,7 +12,7 @@ fn outage_cycle(tech: MemoryTech, seconds: f64, seed: u64) {
     let data: Vec<[u8; 64]> = (0..mem.num_blocks())
         .map(|a| {
             let mut b = [0u8; 64];
-            rng.fill(&mut b[..]);
+            rng.fill_bytes(&mut b[..]);
             mem.write_block(a, &b).unwrap();
             b
         })
@@ -43,7 +43,7 @@ fn repeated_outages_accumulate_no_damage() {
     let data: Vec<[u8; 64]> = (0..mem.num_blocks())
         .map(|a| {
             let mut b = [0u8; 64];
-            rng.fill(&mut b[..]);
+            rng.fill_bytes(&mut b[..]);
             mem.write_block(a, &b).unwrap();
             b
         })
@@ -51,7 +51,8 @@ fn repeated_outages_accumulate_no_damage() {
     // Ten consecutive outage+boot cycles at boot RBER.
     for cycle in 0..10 {
         mem.inject_bit_errors(1e-3, &mut rng);
-        mem.boot_scrub().unwrap_or_else(|e| panic!("cycle {cycle}: {e}"));
+        mem.boot_scrub()
+            .unwrap_or_else(|e| panic!("cycle {cycle}: {e}"));
     }
     for (a, b) in data.iter().enumerate() {
         assert_eq!(&mem.read_block(a as u64).unwrap().data, b);
@@ -68,7 +69,7 @@ fn writes_between_outages_survive() {
         for _ in 0..20 {
             let a = rng.gen_range(0..mem.num_blocks());
             let mut v = [0u8; 64];
-            rng.fill(&mut v[..]);
+            rng.fill_bytes(&mut v[..]);
             if rng.gen_bool(0.5) {
                 mem.write_block(a, &v).unwrap();
             } else {

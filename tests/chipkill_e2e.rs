@@ -4,8 +4,7 @@
 use pmck::chipkill::{
     BaselineMemory, ChipFailureKind, ChipkillConfig, ChipkillMemory, ReadPath, RestripedMemory,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pmck_rt::rng::StdRng;
 
 fn pattern(a: u64) -> [u8; 64] {
     let mut b = [0u8; 64];

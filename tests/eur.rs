@@ -9,7 +9,10 @@ fn run_mc_pattern(addrs: &[u64]) -> f64 {
     let mut mc = MemoryController::new(MemConfig::paper_hybrid(NvramTiming::reram()));
     let mut t = 0u64;
     for (i, &a) in addrs.iter().enumerate() {
-        while mc.enqueue(MemRequest::write(i as u64, a, RankKind::Nvram)).is_err() {
+        while mc
+            .enqueue(MemRequest::write(i as u64, a, RankKind::Nvram))
+            .is_err()
+        {
             t += 1_000 * NS;
             mc.advance_to(t);
         }
@@ -61,6 +64,10 @@ fn locality_ordering_is_preserved_across_models() {
     let seq: Vec<u64> = (0..64).collect();
     let stride: Vec<u64> = (0..64).map(|i| i * 32).collect(); // one per VLEW
     let scatter: Vec<u64> = (0..64).map(|i| i * 4096).collect();
-    let mc = [run_mc_pattern(&seq), run_mc_pattern(&stride), run_mc_pattern(&scatter)];
+    let mc = [
+        run_mc_pattern(&seq),
+        run_mc_pattern(&stride),
+        run_mc_pattern(&scatter),
+    ];
     assert!(mc[0] < mc[1] && mc[1] <= mc[2], "mc {mc:?}");
 }

@@ -11,9 +11,13 @@ use pmck::rs::RsCode;
 #[test]
 fn engine_layout_matches_analytic_model() {
     let layout = ChipkillLayout::default();
-    let (t, analytic_cost) =
-        vlew_plus_parity_cost(layout.vlew_data_bytes, BOOT_RBER, UE_TARGET, layout.data_chips)
-            .expect("feasible");
+    let (t, analytic_cost) = vlew_plus_parity_cost(
+        layout.vlew_data_bytes,
+        BOOT_RBER,
+        UE_TARGET,
+        layout.data_chips,
+    )
+    .expect("feasible");
     // The analytic minimum t is exactly the strength the engine deploys.
     assert_eq!(t, BchCode::vlew().t());
     // And the storage costs agree to within rounding.

@@ -5,8 +5,8 @@
 use pmck::analysis::sdc::fallback_fraction;
 use pmck::analysis::{RUNTIME_RBER_PCM_HOURLY, RUNTIME_RBER_RERAM};
 use pmck::chipkill::{ChipkillConfig, ChipkillMemory, ReadPath};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmck_rt::rng::Rng;
+use pmck_rt::rng::StdRng;
 
 fn filled(blocks: u64, seed: u64) -> (ChipkillMemory, Vec<[u8; 64]>, StdRng) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -14,7 +14,7 @@ fn filled(blocks: u64, seed: u64) -> (ChipkillMemory, Vec<[u8; 64]>, StdRng) {
     let data: Vec<[u8; 64]> = (0..mem.num_blocks())
         .map(|a| {
             let mut b = [0u8; 64];
-            rng.fill(&mut b[..]);
+            rng.fill_bytes(&mut b[..]);
             mem.write_block(a, &b).unwrap();
             b
         })
@@ -68,10 +68,7 @@ fn accepted_corrections_never_exceed_threshold() {
     for thr in [0usize, 1, 2, 3] {
         let mut mem = ChipkillMemory::new(256, ChipkillConfig::with_threshold(thr));
         for a in 0..mem.num_blocks() {
-            let out = mem0
-                .clone()
-                .read_block(a)
-                .expect("clean source");
+            let out = mem0.clone().read_block(a).expect("clean source");
             mem.write_block(a, &out.data).unwrap();
         }
         mem.inject_bit_errors(5e-4, &mut rng);

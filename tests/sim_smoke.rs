@@ -20,7 +20,10 @@ fn simulation_is_deterministic() {
     let b = Simulator::run_workload(spec, cfg, 7);
     assert_eq!(a, b, "same seed → identical results");
     let c = Simulator::run_workload(spec, cfg, 8);
-    assert_ne!(a.measured_ps, c.measured_ps, "different seed → different run");
+    assert_ne!(
+        a.measured_ps, c.measured_ps,
+        "different seed → different run"
+    );
 }
 
 #[test]
@@ -63,11 +66,7 @@ fn pcm_overhead_exceeds_reram_overhead() {
     let spec = WorkloadSpec::by_name("hashmap").unwrap();
     let ratio = |kind| {
         let base = Simulator::run_workload(spec, tiny(kind, Scheme::Baseline), 9);
-        let prop = Simulator::run_workload(
-            spec,
-            tiny(kind, Scheme::Proposal { c_factor: 0.5 }),
-            9,
-        );
+        let prop = Simulator::run_workload(spec, tiny(kind, Scheme::Proposal { c_factor: 0.5 }), 9);
         prop.ops_per_ns() / base.ops_per_ns()
     };
     let reram = ratio(NvramKind::ReRam);

@@ -1,12 +1,10 @@
 //! Wear management end to end: Start-Gap leveling + patrol scrubbing +
 //! block disabling + a chip failure, all composed on one rank.
 
-use pmck::chipkill::{
-    ChipFailureKind, ChipkillConfig, PatrolScrubber, WearLevelledMemory,
-};
+use pmck::chipkill::{ChipFailureKind, ChipkillConfig, PatrolScrubber, WearLevelledMemory};
 use pmck::nvram::{WearModel, WearState};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmck_rt::rng::Rng;
+use pmck_rt::rng::StdRng;
 
 #[test]
 fn leveling_plus_patrol_plus_errors() {
@@ -15,7 +13,7 @@ fn leveling_plus_patrol_plus_errors() {
     let mut truth = vec![[0u8; 64]; 63];
     for l in 0..63u64 {
         let mut v = [0u8; 64];
-        rng.fill(&mut v[..]);
+        rng.fill_bytes(&mut v[..]);
         mem.write(l, &v).unwrap();
         truth[l as usize] = v;
     }
@@ -25,7 +23,7 @@ fn leveling_plus_patrol_plus_errors() {
         for _ in 0..8 {
             let l = rng.gen_range(0..8);
             let mut v = [0u8; 64];
-            rng.fill(&mut v[..]);
+            rng.fill_bytes(&mut v[..]);
             mem.write(l, &v).unwrap();
             truth[l as usize] = v;
         }
@@ -47,7 +45,7 @@ fn chip_failure_under_wear_leveling() {
     let mut truth = vec![[0u8; 64]; 31];
     for l in 0..31u64 {
         let mut v = [0u8; 64];
-        rng.fill(&mut v[..]);
+        rng.fill_bytes(&mut v[..]);
         mem.write(l, &v).unwrap();
         truth[l as usize] = v;
     }
@@ -55,7 +53,7 @@ fn chip_failure_under_wear_leveling() {
     for i in 0..100u64 {
         let l = (i % 31) as u64;
         let mut v = [0u8; 64];
-        rng.fill(&mut v[..]);
+        rng.fill_bytes(&mut v[..]);
         mem.write(l, &v).unwrap();
         truth[l as usize] = v;
     }

@@ -4,8 +4,8 @@
 
 use pmck::cachesim::{Hierarchy, HierarchyConfig};
 use pmck::chipkill::{ChipkillConfig, ChipkillMemory};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pmck_rt::rng::Rng;
+use pmck_rt::rng::StdRng;
 
 /// A miniature system: a cache hierarchy whose data values we shadow, in
 /// front of a chipkill rank written exclusively through bitwise sums —
@@ -74,7 +74,7 @@ fn cache_fed_sum_writes_match_conventional_writes() {
     for _ in 0..600 {
         let addr = rng.gen_range(0..blocks);
         let mut value = [0u8; 64];
-        rng.fill(&mut value[..]);
+        rng.fill_bytes(&mut value[..]);
         sys.store(addr, value);
         sys.clwb(addr);
         reference.write_block(addr, &value).unwrap();
@@ -97,7 +97,7 @@ fn omv_hit_rate_is_high_for_store_clean_patterns() {
     for _ in 0..2000 {
         let addr = rng.gen_range(0..256);
         let mut value = [0u8; 64];
-        rng.fill(&mut value[..]);
+        rng.fill_bytes(&mut value[..]);
         sys.store(addr, value);
         sys.clwb(addr);
     }
@@ -118,7 +118,7 @@ fn sum_writes_survive_subsequent_outage() {
     let mut truth = Vec::new();
     for a in 0..64u64 {
         let mut value = [0u8; 64];
-        rng.fill(&mut value[..]);
+        rng.fill_bytes(&mut value[..]);
         sys.store(a, value);
         sys.clwb(a);
         truth.push(value);

@@ -183,18 +183,10 @@ impl BchCode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmck_rt::rng::Rng;
-    use pmck_rt::rng::StdRng;
 
-    fn random_data(rng: &mut StdRng, bits: usize) -> BitPoly {
-        let mut d = BitPoly::zero(bits);
-        for i in 0..bits {
-            if rng.gen_bool(0.5) {
-                d.set(i, true);
-            }
-        }
-        d
-    }
+    // The seeded randomized properties (historical seeds 42, 7, 99, 1)
+    // live in `tests/props.rs` on the harness runner with shrinking and
+    // corpus replay; only deterministic/exhaustive checks remain inline.
 
     #[test]
     fn clean_word_decodes_with_no_corrections() {
@@ -231,79 +223,6 @@ mod tests {
     }
 
     #[test]
-    fn vlew_corrects_22_random_errors() {
-        let code = BchCode::vlew();
-        let mut rng = StdRng::seed_from_u64(42);
-        for trial in 0..5 {
-            let data = random_data(&mut rng, code.data_bits());
-            let clean = code.encode(&data);
-            let mut cw = clean.clone();
-            let mut positions: Vec<usize> = Vec::new();
-            while positions.len() < code.t() {
-                let p = rng.gen_range(0..code.len());
-                if !positions.contains(&p) {
-                    positions.push(p);
-                    cw.flip(p);
-                }
-            }
-            let out = code.decode(&mut cw).unwrap();
-            assert_eq!(out.num_corrected(), code.t(), "trial {trial}");
-            assert_eq!(cw, clean, "trial {trial}");
-        }
-    }
-
-    #[test]
-    fn detects_overweight_patterns_often() {
-        // t+1 errors must never be "corrected" back to the wrong data
-        // silently *and* still match the original; we check the decoder
-        // either flags Uncorrectable or lands on some valid codeword
-        // (miscorrection), never returns success with an invalid word.
-        let code = BchCode::new(8, 3, 64).unwrap();
-        let mut rng = StdRng::seed_from_u64(7);
-        let mut flagged = 0;
-        for _ in 0..50 {
-            let data = random_data(&mut rng, 64);
-            let mut cw = code.encode(&data);
-            let mut touched = std::collections::HashSet::new();
-            while touched.len() < code.t() + 2 {
-                let p = rng.gen_range(0..code.len());
-                if touched.insert(p) {
-                    cw.flip(p);
-                }
-            }
-            match code.decode(&mut cw) {
-                Ok(_) => assert!(code.is_codeword(&cw)),
-                Err(BchError::Uncorrectable) => flagged += 1,
-                Err(e) => panic!("unexpected error {e}"),
-            }
-        }
-        assert!(flagged > 0, "at least some overweight patterns flagged");
-    }
-
-    #[test]
-    fn uncorrectable_leaves_word_unmodified() {
-        let code = BchCode::new(8, 3, 64).unwrap();
-        let mut rng = StdRng::seed_from_u64(99);
-        for _ in 0..100 {
-            let data = random_data(&mut rng, 64);
-            let mut cw = code.encode(&data);
-            let mut touched = std::collections::HashSet::new();
-            while touched.len() < 2 * code.t() {
-                let p = rng.gen_range(0..code.len());
-                if touched.insert(p) {
-                    cw.flip(p);
-                }
-            }
-            let before = cw.clone();
-            if code.decode(&mut cw).is_err() {
-                assert_eq!(cw, before);
-                return;
-            }
-        }
-        panic!("expected at least one uncorrectable pattern in 100 trials");
-    }
-
-    #[test]
     fn wrong_length_rejected() {
         let code = BchCode::new(6, 2, 20).unwrap();
         let mut w = BitPoly::zero(code.len() + 1);
@@ -323,25 +242,6 @@ mod tests {
         cw.flip(1);
         cw.flip(code.parity_bits() - 1);
         code.decode(&mut cw).unwrap();
-        assert_eq!(cw, clean);
-    }
-
-    #[test]
-    fn flash_word_t41_round_trip() {
-        let code = BchCode::flash512(41).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
-        let data = random_data(&mut rng, code.data_bits());
-        let clean = code.encode(&data);
-        let mut cw = clean.clone();
-        let mut touched = std::collections::HashSet::new();
-        while touched.len() < 41 {
-            let p = rng.gen_range(0..code.len());
-            if touched.insert(p) {
-                cw.flip(p);
-            }
-        }
-        let out = code.decode(&mut cw).unwrap();
-        assert_eq!(out.num_corrected(), 41);
         assert_eq!(cw, clean);
     }
 }

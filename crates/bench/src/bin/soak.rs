@@ -1,0 +1,380 @@
+//! Soak driver: the full read/write/scrub/re-stripe stack under a
+//! scheduled fault campaign.
+//!
+//! A [`FaultSchedule`] (the text DSL from `pmck-nvram`, or the built-in
+//! default timeline) is drained cycle by cycle against a
+//! [`WearLevelledMemory`] while a mirror model holds ground truth. Every
+//! demand read is checked byte-for-byte against the mirror; a detected
+//! chip failure is repaired in place; the run closes with a full patrol
+//! pass, a boot scrub, a rank-wide consistency verify, a complete
+//! readback sweep, and a §V-E re-stripe leg (chip failure → 4-block
+//! VLEW reconfiguration → readback).
+//!
+//! Usage:
+//!
+//! ```text
+//! soak [--blocks N] [--cycles N] [--seed N] [--schedule FILE] [--short] [--pretty]
+//! ```
+//!
+//! `--short` is the CI profile (small rank, few cycles). Output is a
+//! single JSON document on stdout; the exit code is nonzero if any read
+//! diverged from the mirror, the final verify failed, or the re-stripe
+//! readback diverged.
+
+use pmck_core::{
+    ChipkillConfig, CoreError, PatrolScrubber, ReadPath, RestripedMemory, WearLevelledMemory,
+};
+use pmck_memsim::FaultTimeline;
+use pmck_nvram::{ChipFailureKind, FaultSchedule};
+use pmck_rt::json::Json;
+use pmck_rt::rng::{Rng, StdRng};
+
+struct Config {
+    blocks: u64,
+    cycles: u64,
+    seed: u64,
+    schedule_file: Option<String>,
+    pretty: bool,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let mut cfg = Config {
+            blocks: 256,
+            cycles: 20_000,
+            seed: 0x50AC,
+            schedule_file: None,
+            pretty: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--blocks" => cfg.blocks = need(args.next(), "--blocks"),
+                "--cycles" => cfg.cycles = need(args.next(), "--cycles"),
+                "--seed" => cfg.seed = need(args.next(), "--seed"),
+                "--schedule" => {
+                    cfg.schedule_file = Some(
+                        args.next()
+                            .unwrap_or_else(|| usage("--schedule needs a file path")),
+                    )
+                }
+                "--short" => {
+                    cfg.blocks = 64;
+                    cfg.cycles = 3_000;
+                }
+                "--pretty" => cfg.pretty = true,
+                other => usage(&format!("unknown argument: {other}")),
+            }
+        }
+        cfg
+    }
+}
+
+fn need(v: Option<String>, flag: &str) -> u64 {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a non-negative integer")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: soak [--blocks N] [--cycles N] [--seed N] [--schedule FILE] [--short] [--pretty]"
+    );
+    std::process::exit(2);
+}
+
+/// The built-in campaign, scaled to the run length: a low background
+/// RBER from cycle 0, a burst and a correlated row fault early on, a
+/// retention ramp through mid-run, and a chip-kill at 70%.
+///
+/// The background rate is applied once per cycle, so errors accumulate
+/// between patrol passes; the rates here are sized so the steady-state
+/// per-VLEW error count stays well inside t = 22 while the scheduled
+/// burst, row-fault, and chip-kill events stress the heavier paths.
+fn default_schedule(cycles: u64) -> FaultSchedule {
+    let pct = |p: u64| cycles * p / 100;
+    let text = format!(
+        "at 0 rber 1e-8\n\
+         at {burst} burst 6 width 64\n\
+         at {row} row 2 1 rber 5e-3\n\
+         ramp {r0}..{r1} rber 1e-8..1e-6\n\
+         at {kill} chipkill 4 garbage\n",
+        burst = pct(15),
+        row = pct(30),
+        r0 = pct(40),
+        r1 = pct(60),
+        kill = pct(70),
+    );
+    FaultSchedule::parse(&text).expect("built-in schedule must parse")
+}
+
+fn load_schedule(cfg: &Config) -> FaultSchedule {
+    let Some(path) = &cfg.schedule_file else {
+        return default_schedule(cfg.cycles);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read schedule {path}: {e}");
+        std::process::exit(2);
+    });
+    let parsed = if text.trim_start().starts_with('{') {
+        Json::parse(&text)
+            .map_err(|e| e.to_string())
+            .and_then(|j| FaultSchedule::from_json(&j).map_err(|e| e.to_string()))
+    } else {
+        FaultSchedule::parse(&text).map_err(|e| e.to_string())
+    };
+    parsed.unwrap_or_else(|e| {
+        eprintln!("error: bad schedule {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn pattern(rng: &mut StdRng) -> [u8; 64] {
+    let mut b = [0u8; 64];
+    rng.fill_bytes(&mut b[..]);
+    b
+}
+
+#[derive(Default)]
+struct Counters {
+    events_applied: u64,
+    event_bits: u64,
+    background_bits: u64,
+    ops_write: u64,
+    ops_read: u64,
+    ops_scrub: u64,
+    scrub_uncorrectable: u64,
+    read_mismatches: u64,
+    read_errors: u64,
+    chip_repairs: u64,
+    repair_cycles: Vec<u64>,
+    extra_fetches: u64,
+    path_clean: u64,
+    path_rs: u64,
+    path_fallback: u64,
+    path_erasure: u64,
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let schedule = load_schedule(&cfg);
+    let timeline = FaultTimeline::new(schedule.clone(), 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut wl = WearLevelledMemory::new(cfg.blocks, ChipkillConfig::default(), 8);
+    let mut scrubber = PatrolScrubber::new(2);
+    let mut mirror: Vec<[u8; 64]> = Vec::with_capacity(cfg.blocks as usize);
+    for block in 0..cfg.blocks {
+        let data = pattern(&mut rng);
+        wl.write(block, &data).expect("initial fill");
+        mirror.push(data);
+    }
+
+    let mut c = Counters::default();
+    for cycle in 0..cfg.cycles {
+        for event in schedule.events_in(cycle, cycle + 1).to_vec() {
+            c.event_bits += wl.inner_mut().apply_fault_event(&event, &mut rng) as u64;
+            c.events_applied += 1;
+        }
+        let rber = schedule.rber_at(cycle);
+        if rber > 0.0 {
+            c.background_bits += wl.inner_mut().inject_bit_errors(rber, &mut rng) as u64;
+        }
+
+        let block = rng.gen_range(0..cfg.blocks);
+        match rng.gen_range(0u32..5) {
+            0 | 1 => {
+                let data = pattern(&mut rng);
+                let mut wrote = wl.write(block, &data);
+                if wrote.is_err() {
+                    // The write's read-modify step hit an undetected dead
+                    // chip. Route a demand read through the detection
+                    // path, repair, and retry once.
+                    let _ = wl.read(block);
+                    if let Some(chip) = wl.inner().detected_failed_chip() {
+                        wl.inner_mut()
+                            .repair_chip(chip)
+                            .expect("detected chip must be repairable");
+                        c.chip_repairs += 1;
+                        c.repair_cycles.push(cycle);
+                    }
+                    wrote = wl.write(block, &data);
+                }
+                if let Err(e) = wrote {
+                    eprintln!("cycle {cycle}: block {block} write failed: {e}");
+                    std::process::exit(1);
+                }
+                mirror[block as usize] = data;
+                c.ops_write += 1;
+            }
+            2 | 3 => {
+                c.ops_read += 1;
+                c.extra_fetches += u64::from(timeline.sample_extra_fetches(cycle, &mut rng));
+                match wl.read(block) {
+                    Ok(out) => {
+                        match out.path {
+                            ReadPath::Clean => c.path_clean += 1,
+                            ReadPath::RsCorrected { .. } => c.path_rs += 1,
+                            ReadPath::VlewFallback { .. } => c.path_fallback += 1,
+                            ReadPath::ChipkillErasure { .. } => c.path_erasure += 1,
+                        }
+                        if out.data != mirror[block as usize] {
+                            c.read_mismatches += 1;
+                            eprintln!("cycle {cycle}: block {block} read diverged from mirror");
+                        }
+                    }
+                    Err(e) => {
+                        c.read_errors += 1;
+                        eprintln!("cycle {cycle}: block {block} read failed: {e}");
+                    }
+                }
+            }
+            _ => {
+                match scrubber.step(wl.inner_mut()) {
+                    Ok(_) => {}
+                    Err(CoreError::Uncorrectable) => {
+                        // A scrub UE: an undetected dead chip defeats the
+                        // in-place block rewrite. Route a demand read
+                        // through the detection path so the failure is
+                        // identified (and repaired below).
+                        c.scrub_uncorrectable += 1;
+                        let _ = wl.read(block);
+                    }
+                    Err(e) => {
+                        eprintln!("cycle {cycle}: patrol step failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                c.ops_scrub += 1;
+            }
+        }
+
+        if let Some(chip) = wl.inner().detected_failed_chip() {
+            wl.inner_mut()
+                .repair_chip(chip)
+                .expect("detected chip must be repairable");
+            c.chip_repairs += 1;
+            c.repair_cycles.push(cycle);
+        }
+    }
+
+    // Closing sweep: the boot scrub first (it repairs a still-failed
+    // chip and clears residual VLEW-level damage), then a full patrol
+    // pass, a rank verify, and a complete readback against the mirror.
+    let scrub_report = wl.inner_mut().boot_scrub().expect("closing boot scrub");
+    scrubber
+        .full_pass(wl.inner_mut())
+        .expect("closing patrol pass");
+    let consistent = wl.inner_mut().verify_consistent();
+    let mut sweep_mismatches = 0u64;
+    for block in 0..cfg.blocks {
+        match wl.read(block) {
+            Ok(out) if out.data == mirror[block as usize] => {}
+            _ => sweep_mismatches += 1,
+        }
+    }
+
+    // Re-stripe leg (§V-E): fail a chip on a copy of the rank, fold it
+    // into the 4-block VLEW layout, and confirm every block survives.
+    let mut restripe_mismatches = 0u64;
+    {
+        let mut copy = wl.inner().clone();
+        let expected: Result<Vec<[u8; 64]>, CoreError> = (0..copy.num_blocks())
+            .map(|a| copy.read_block(a).map(|o| o.data))
+            .collect();
+        let expected = expected.expect("pre-restripe readback");
+        copy.fail_chip(3, ChipFailureKind::RandomGarbage, &mut rng);
+        let mut restriped =
+            RestripedMemory::from_failed_rank(&mut copy).expect("re-stripe after chip failure");
+        for addr in 0..restriped.num_blocks() {
+            match restriped.read_block(addr) {
+                Ok(data) if data == expected[addr as usize] => {}
+                _ => restripe_mismatches += 1,
+            }
+        }
+    }
+
+    let stats = *wl.inner().stats();
+    let failed = c.read_mismatches > 0
+        || c.read_errors > 0
+        || sweep_mismatches > 0
+        || restripe_mismatches > 0
+        || !consistent;
+
+    let doc = Json::object()
+        .with("harness", "soak")
+        .with(
+            "config",
+            Json::object()
+                .with("blocks", cfg.blocks)
+                .with("cycles", cfg.cycles)
+                .with("seed", cfg.seed),
+        )
+        .with("schedule", schedule.to_json())
+        .with(
+            "campaign",
+            Json::object()
+                .with("events_applied", c.events_applied)
+                .with("event_bits", c.event_bits)
+                .with("background_bits", c.background_bits)
+                .with("writes", c.ops_write)
+                .with("reads", c.ops_read)
+                .with("scrub_steps", c.ops_scrub)
+                .with("scrub_uncorrectable", c.scrub_uncorrectable)
+                .with("gap_moves", wl.gap_moves())
+                .with("patrol_passes", scrubber.passes() as u64)
+                .with("chip_repairs", c.chip_repairs)
+                .with(
+                    "repair_cycles",
+                    Json::Arr(c.repair_cycles.iter().map(|&x| Json::from(x)).collect()),
+                )
+                .with("timeline_extra_fetches", c.extra_fetches),
+        )
+        .with(
+            "read_paths",
+            Json::object()
+                .with("clean", c.path_clean)
+                .with("rs_corrected", c.path_rs)
+                .with("vlew_fallback", c.path_fallback)
+                .with("chipkill_erasure", c.path_erasure),
+        )
+        .with(
+            "core_stats",
+            Json::object()
+                .with("reads", stats.reads)
+                .with("writes", stats.writes)
+                .with("clean_reads", stats.clean_reads)
+                .with("rs_accepted", stats.rs_accepted)
+                .with("rs_corrections", stats.rs_corrections)
+                .with("fallbacks", stats.fallbacks)
+                .with("vlew_bits_corrected", stats.vlew_bits_corrected)
+                .with("erasure_reads", stats.erasure_reads)
+                .with("chip_failures_detected", stats.chip_failures_detected)
+                .with("due_events", stats.due_events)
+                .with("fallback_fraction", stats.fallback_fraction()),
+        )
+        .with(
+            "verdict",
+            Json::object()
+                .with("read_mismatches", c.read_mismatches)
+                .with("read_errors", c.read_errors)
+                .with("final_verify_consistent", consistent)
+                .with(
+                    "closing_scrub_bits_corrected",
+                    scrub_report.bits_corrected as u64,
+                )
+                .with("sweep_mismatches", sweep_mismatches)
+                .with("restripe_mismatches", restripe_mismatches)
+                .with("passed", !failed),
+        );
+
+    if cfg.pretty {
+        println!("{}", doc.pretty());
+    } else {
+        println!("{}", doc.dump());
+    }
+    if failed {
+        eprintln!("soak: FAILED (see verdict in report)");
+        std::process::exit(1);
+    }
+}

@@ -5,7 +5,7 @@ use std::collections::HashSet;
 use std::fmt;
 
 use pmck_bch::{BchCode, BitPoly};
-use pmck_nvram::{BitErrorInjector, ChipFailureKind, FailedChip};
+use pmck_nvram::{BitErrorInjector, ChipFailureKind, FailedChip, FaultEvent, FaultKind};
 use pmck_rs::{RsCode, ThresholdOutcome};
 use pmck_rt::rng::Rng;
 
@@ -603,6 +603,92 @@ impl ChipkillMemory {
             n += inj.corrupt(&mut chip.code, rng).len();
         }
         n
+    }
+
+    /// Injects i.i.d. bit flips at `rber` into one chip's slice of one
+    /// stripe (data and VLEW code cells alike) — a spatially-correlated
+    /// row fault. Returns the number of flipped bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` or `stripe` is out of range.
+    pub fn inject_row_fault<R: Rng + ?Sized>(
+        &mut self,
+        chip: usize,
+        stripe: usize,
+        rber: f64,
+        rng: &mut R,
+    ) -> usize {
+        assert!(chip < self.layout.total_chips(), "chip {chip} out of range");
+        assert!(stripe < self.stripes, "stripe {stripe} out of range");
+        let inj = BitErrorInjector::new(rber);
+        let layout = self.layout;
+        let store = &mut self.chips[chip];
+        inj.corrupt(store.vlew_data_mut(stripe, &layout), rng).len()
+            + inj.corrupt(store.vlew_code_mut(stripe, &layout), rng).len()
+    }
+
+    /// Flips `bits` random bits confined to a window of `width_bits`
+    /// consecutive stored data bits of `chip` — a burst error. Returns
+    /// the flipped global bit positions within the chip's data array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is out of range.
+    pub fn inject_burst<R: Rng + ?Sized>(
+        &mut self,
+        chip: usize,
+        bits: u32,
+        width_bits: u32,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        assert!(chip < self.layout.total_chips(), "chip {chip} out of range");
+        let store = &mut self.chips[chip];
+        let total_bits = store.data.len() * 8;
+        let width = (width_bits.max(1) as usize).min(total_bits);
+        let start = rng.gen_range(0..=(total_bits - width));
+        let mut flipped = Vec::new();
+        for _ in 0..bits {
+            let p = start + rng.gen_range(0..width);
+            store.data[p / 8] ^= 1 << (p % 8);
+            flipped.push(p);
+        }
+        flipped.sort_unstable();
+        flipped
+    }
+
+    /// Applies one scheduled [`FaultEvent`] from a fault campaign to the
+    /// stored arrays. Background-rate events ([`FaultKind::Rber`],
+    /// [`FaultKind::RberRamp`]) carry no instantaneous action — the
+    /// campaign driver samples [`FaultSchedule::rber_at`] and calls
+    /// [`ChipkillMemory::inject_bit_errors`] itself — so they return 0.
+    /// Returns the number of bits (or cells) disturbed.
+    ///
+    /// [`FaultSchedule::rber_at`]: pmck_nvram::FaultSchedule::rber_at
+    pub fn apply_fault_event<R: Rng + ?Sized>(&mut self, event: &FaultEvent, rng: &mut R) -> usize {
+        match event.kind {
+            FaultKind::Rber { .. } | FaultKind::RberRamp { .. } => 0,
+            FaultKind::Burst {
+                bits,
+                width_bits,
+                chip,
+            } => {
+                let chip = chip.unwrap_or_else(|| rng.gen_range(0..self.layout.total_chips()));
+                self.inject_burst(chip % self.layout.total_chips(), bits, width_bits, rng)
+                    .len()
+            }
+            FaultKind::RowFault { chip, stripe, rber } => self.inject_row_fault(
+                chip % self.layout.total_chips(),
+                stripe % self.stripes,
+                rber,
+                rng,
+            ),
+            FaultKind::ChipKill { chip, kind } => {
+                let chip = chip % self.layout.total_chips();
+                self.fail_chip(chip, kind, rng);
+                self.chips[chip].data.len() * 8
+            }
+        }
     }
 
     /// Fails a chip: corrupts its stored arrays per `kind` and records the

@@ -1,0 +1,60 @@
+//! Seeded algebraic properties, migrated onto the harness runner.
+//!
+//! The Frobenius test previously lived inline in `field.rs` with a
+//! hand-rolled LCG; it keeps its historical seed (`0x12345678`) here but
+//! gains shrinking and corpus replay.
+
+use pmck_gf::Gf2m;
+use pmck_harness::{FieldPairCase, Runner};
+use pmck_rt::Rng;
+
+#[test]
+fn frobenius_square_is_additive() {
+    let f = Gf2m::new(13).unwrap();
+    let mask = (1u32 << 13) - 1;
+    Runner::new("gf:frobenius-additive")
+        .seed(0x12345678)
+        .cases(1000)
+        .run(
+            |rng| FieldPairCase {
+                a: rng.gen_range(0u32..=mask),
+                b: rng.gen_range(0u32..=mask),
+            },
+            |c| {
+                let lhs = f.square(c.a ^ c.b);
+                let rhs = f.square(c.a) ^ f.square(c.b);
+                if lhs == rhs {
+                    Ok(())
+                } else {
+                    Err(format!("(a+b)^2 = {lhs} but a^2+b^2 = {rhs}"))
+                }
+            },
+        );
+}
+
+#[test]
+fn multiplication_distributes_over_addition() {
+    let f = Gf2m::new(12).unwrap();
+    let mask = (1u32 << 12) - 1;
+    Runner::new("gf:mul-distributive")
+        .seed(0x12345678)
+        .cases(1000)
+        .run(
+            |rng| FieldPairCase {
+                a: rng.gen_range(0u32..=mask),
+                b: rng.gen_range(0u32..=mask),
+            },
+            |c| {
+                // c fixed per case via the pair itself: use a ^ b as the
+                // third operand so the case stays two-dimensional.
+                let third = c.a ^ c.b;
+                let lhs = f.mul(c.a, c.b ^ third);
+                let rhs = f.mul(c.a, c.b) ^ f.mul(c.a, third);
+                if lhs == rhs {
+                    Ok(())
+                } else {
+                    Err(format!("a*(b+c) = {lhs} but a*b+a*c = {rhs}"))
+                }
+            },
+        );
+}

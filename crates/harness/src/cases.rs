@@ -1,0 +1,554 @@
+//! Ready-made [`Case`] types for the workspace's codecs and runtime.
+//!
+//! Each type pairs a JSON encoding (for corpus persistence) with a
+//! shrink strategy tuned to its domain: error lists lose one entry at a
+//! time, payloads collapse to all-zeros, bit masks collapse to a single
+//! bit, JSON trees lose children and promote grandchildren. Generation
+//! stays in the tests (a closure over the runner's `StdRng`) because the
+//! interesting distributions are code-parameter-specific.
+
+use pmck_rt::Json;
+
+use crate::runner::Case;
+
+fn bytes_to_json(bytes: &[u8]) -> Json {
+    let mut arr = Json::array();
+    for &b in bytes {
+        arr.push(b as u64);
+    }
+    arr
+}
+
+fn bytes_from_json(value: &Json) -> Option<Vec<u8>> {
+    value
+        .as_array()?
+        .iter()
+        .map(|v| v.as_u64().and_then(|n| u8::try_from(n).ok()))
+        .collect()
+}
+
+fn usizes_from_json(value: &Json) -> Option<Vec<usize>> {
+    value
+        .as_array()?
+        .iter()
+        .map(|v| v.as_u64().and_then(|n| usize::try_from(n).ok()))
+        .collect()
+}
+
+fn errors_to_json(errors: &[(usize, u8)]) -> Json {
+    let mut arr = Json::array();
+    for &(p, m) in errors {
+        let mut pair = Json::array();
+        pair.push(p as u64);
+        pair.push(m as u64);
+        arr.push(pair);
+    }
+    arr
+}
+
+fn errors_from_json(value: &Json) -> Option<Vec<(usize, u8)>> {
+    value
+        .as_array()?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            let p = pair[0].as_u64().and_then(|n| usize::try_from(n).ok())?;
+            let m = pair[1].as_u64().and_then(|n| u8::try_from(n).ok())?;
+            Some((p, m))
+        })
+        .collect()
+}
+
+/// Two field elements; the case shape for GF(2^m) algebraic laws.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldPairCase {
+    /// First operand.
+    pub a: u32,
+    /// Second operand.
+    pub b: u32,
+}
+
+impl Case for FieldPairCase {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("a", self.a as u64)
+            .with("b", self.b as u64)
+    }
+
+    fn from_json(value: &Json) -> Option<Self> {
+        Some(FieldPairCase {
+            a: value.get("a")?.as_u64()? as u32,
+            b: value.get("b")?.as_u64()? as u32,
+        })
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for cand in [
+            FieldPairCase { a: 0, b: self.b },
+            FieldPairCase { a: self.a, b: 0 },
+            FieldPairCase {
+                a: self.a / 2,
+                b: self.b,
+            },
+            FieldPairCase {
+                a: self.a,
+                b: self.b / 2,
+            },
+        ] {
+            if cand != *self && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+/// A data payload plus symbol-error XOR masks; the case shape for
+/// RS(72, 64) random-error properties. `errors` positions index the
+/// codeword (`encode(data)`), masks are the XOR applied there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteErrorCase {
+    /// The data symbols handed to `encode`.
+    pub data: Vec<u8>,
+    /// `(codeword position, xor mask)` pairs; masks should be nonzero.
+    pub errors: Vec<(usize, u8)>,
+}
+
+impl ByteErrorCase {
+    /// The codeword `encode(data)` with every error mask applied.
+    pub fn corrupted(&self, code: &pmck_rs::RsCode) -> Vec<u8> {
+        let mut word = code.encode(&self.data);
+        let n = word.len();
+        for &(p, m) in &self.errors {
+            word[p % n] ^= m;
+        }
+        word
+    }
+}
+
+impl Case for ByteErrorCase {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("data", bytes_to_json(&self.data))
+            .with("errors", errors_to_json(&self.errors))
+    }
+
+    fn from_json(value: &Json) -> Option<Self> {
+        Some(ByteErrorCase {
+            data: bytes_from_json(value.get("data")?)?,
+            errors: errors_from_json(value.get("errors")?)?,
+        })
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for i in 0..self.errors.len() {
+            let mut errors = self.errors.clone();
+            errors.remove(i);
+            out.push(ByteErrorCase {
+                data: self.data.clone(),
+                errors,
+            });
+        }
+        if self.data.iter().any(|&b| b != 0) {
+            out.push(ByteErrorCase {
+                data: vec![0; self.data.len()],
+                errors: self.errors.clone(),
+            });
+        }
+        for i in 0..self.errors.len() {
+            let (p, m) = self.errors[i];
+            let lowest = m & m.wrapping_neg();
+            if lowest != m && lowest != 0 {
+                let mut errors = self.errors.clone();
+                errors[i] = (p, lowest);
+                out.push(ByteErrorCase {
+                    data: self.data.clone(),
+                    errors,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A data payload, declared erasures with the garbage found there, and
+/// optional extra (undeclared) errors; the case shape for RS erasure
+/// properties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErasureCase {
+    /// The data symbols handed to `encode`.
+    pub data: Vec<u8>,
+    /// Declared erasure positions (distinct, in codeword coordinates).
+    pub erasures: Vec<usize>,
+    /// The byte *written over* each erased position (same length as
+    /// `erasures`); models a dead chip returning garbage.
+    pub fills: Vec<u8>,
+    /// Undeclared `(position, xor mask)` errors outside the erasures.
+    pub errors: Vec<(usize, u8)>,
+}
+
+impl ErasureCase {
+    /// The codeword `encode(data)` with fills and errors applied.
+    pub fn corrupted(&self, code: &pmck_rs::RsCode) -> Vec<u8> {
+        let mut word = code.encode(&self.data);
+        let n = word.len();
+        for (&p, &fill) in self.erasures.iter().zip(&self.fills) {
+            word[p % n] = fill;
+        }
+        for &(p, m) in &self.errors {
+            word[p % n] ^= m;
+        }
+        word
+    }
+}
+
+impl Case for ErasureCase {
+    fn to_json(&self) -> Json {
+        let mut erasures = Json::array();
+        for &p in &self.erasures {
+            erasures.push(p as u64);
+        }
+        Json::object()
+            .with("data", bytes_to_json(&self.data))
+            .with("erasures", erasures)
+            .with("fills", bytes_to_json(&self.fills))
+            .with("errors", errors_to_json(&self.errors))
+    }
+
+    fn from_json(value: &Json) -> Option<Self> {
+        let case = ErasureCase {
+            data: bytes_from_json(value.get("data")?)?,
+            erasures: usizes_from_json(value.get("erasures")?)?,
+            fills: bytes_from_json(value.get("fills")?)?,
+            errors: errors_from_json(value.get("errors")?)?,
+        };
+        if case.fills.len() != case.erasures.len() {
+            return None;
+        }
+        Some(case)
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for i in 0..self.erasures.len() {
+            let mut cand = self.clone();
+            cand.erasures.remove(i);
+            cand.fills.remove(i);
+            out.push(cand);
+        }
+        for i in 0..self.errors.len() {
+            let mut cand = self.clone();
+            cand.errors.remove(i);
+            out.push(cand);
+        }
+        if self.data.iter().any(|&b| b != 0) {
+            let mut cand = self.clone();
+            cand.data = vec![0; self.data.len()];
+            out.push(cand);
+        }
+        if self.fills.iter().any(|&b| b != 0) {
+            let mut cand = self.clone();
+            cand.fills = vec![0; self.fills.len()];
+            out.push(cand);
+        }
+        out
+    }
+}
+
+/// A data payload plus codeword bit-flip positions; the case shape for
+/// BCH properties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitFlipCase {
+    /// The data bytes handed to `encode_bytes`.
+    pub data: Vec<u8>,
+    /// Distinct bit positions flipped in the codeword.
+    pub flips: Vec<usize>,
+}
+
+impl BitFlipCase {
+    /// The codeword `encode_bytes(data)` with every flip applied.
+    pub fn corrupted(&self, code: &pmck_bch::BchCode) -> pmck_bch::BitPoly {
+        let mut word = code.encode_bytes(&self.data);
+        for &p in &self.flips {
+            word.flip(p % code.len());
+        }
+        word
+    }
+}
+
+impl Case for BitFlipCase {
+    fn to_json(&self) -> Json {
+        let mut flips = Json::array();
+        for &p in &self.flips {
+            flips.push(p as u64);
+        }
+        Json::object()
+            .with("data", bytes_to_json(&self.data))
+            .with("flips", flips)
+    }
+
+    fn from_json(value: &Json) -> Option<Self> {
+        Some(BitFlipCase {
+            data: bytes_from_json(value.get("data")?)?,
+            flips: usizes_from_json(value.get("flips")?)?,
+        })
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for i in 0..self.flips.len() {
+            let mut cand = self.clone();
+            cand.flips.remove(i);
+            out.push(cand);
+        }
+        if self.data.iter().any(|&b| b != 0) {
+            let mut cand = self.clone();
+            cand.data = vec![0; self.data.len()];
+            out.push(cand);
+        }
+        out
+    }
+}
+
+/// An arbitrary JSON value tree; the case shape for `pmck_rt::json`
+/// round-trip properties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonCase(pub Json);
+
+impl JsonCase {
+    /// Generates a random value tree of depth at most `depth`, using
+    /// only values that survive a text round trip exactly (floats keep
+    /// a fractional part so they re-parse as floats, strings draw from
+    /// a palette heavy in escapes and multi-byte characters).
+    pub fn generate<R: pmck_rt::Rng + ?Sized>(rng: &mut R, depth: u32) -> JsonCase {
+        JsonCase(gen_value(rng, depth))
+    }
+}
+
+const STRING_PALETTE: &[char] = &[
+    'a',
+    'b',
+    'z',
+    '0',
+    ' ',
+    '"',
+    '\\',
+    '/',
+    '\n',
+    '\r',
+    '\t',
+    '\u{8}',
+    '\u{c}',
+    '\u{1}',
+    '\u{7f}',
+    'é',
+    'Ω',
+    '→',
+    '🦀',
+    '\u{10FFFF}',
+];
+
+fn gen_value<R: pmck_rt::Rng + ?Sized>(rng: &mut R, depth: u32) -> Json {
+    let top = if depth == 0 { 6 } else { 8 };
+    match rng.gen_range(0u32..top) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_bool(0.5)),
+        2 => Json::I64(rng.gen_range(-1_000_000i64..0)),
+        3 => Json::U64(if rng.gen_bool(0.2) {
+            u64::MAX - rng.gen_range(0u64..4)
+        } else {
+            rng.gen_range(0u64..1_000_000)
+        }),
+        // Always fractional, exactly representable: round trips as F64.
+        4 => Json::F64(rng.gen_range(-100_000i64..100_000) as f64 + 0.5),
+        5 => {
+            let len = rng.gen_range(0usize..12);
+            Json::Str(
+                (0..len)
+                    .map(|_| STRING_PALETTE[rng.gen_range(0usize..STRING_PALETTE.len())])
+                    .collect(),
+            )
+        }
+        6 => {
+            let len = rng.gen_range(0usize..5);
+            Json::Arr((0..len).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.gen_range(0usize..5);
+            Json::Obj(
+                (0..len)
+                    .map(|i| {
+                        let klen = rng.gen_range(0usize..6);
+                        let mut key: String = (0..klen)
+                            .map(|_| STRING_PALETTE[rng.gen_range(0usize..STRING_PALETTE.len())])
+                            .collect();
+                        // Duplicate keys are legal JSON but ambiguous for
+                        // `get`; suffix with the index to keep them unique.
+                        key.push_str(&i.to_string());
+                        (key, gen_value(rng, depth - 1))
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn shrink_value(value: &Json) -> Vec<Json> {
+    let mut out = Vec::new();
+    match value {
+        Json::Null => {}
+        Json::Bool(_) => out.push(Json::Null),
+        Json::I64(n) => {
+            out.push(Json::Null);
+            if *n != 0 {
+                out.push(Json::I64(0));
+            }
+        }
+        Json::U64(n) => {
+            out.push(Json::Null);
+            if *n != 0 {
+                out.push(Json::U64(0));
+            }
+        }
+        Json::F64(x) => {
+            out.push(Json::Null);
+            if *x != 0.5 {
+                out.push(Json::F64(0.5));
+            }
+        }
+        Json::Str(s) => {
+            out.push(Json::Null);
+            if !s.is_empty() {
+                out.push(Json::Str(String::new()));
+                let half: String = s.chars().take(s.chars().count() / 2).collect();
+                out.push(Json::Str(half));
+            }
+        }
+        Json::Arr(items) => {
+            out.push(Json::Null);
+            for i in 0..items.len() {
+                let mut a = items.clone();
+                a.remove(i);
+                out.push(Json::Arr(a));
+            }
+            // Promote each child, then shrink children in place.
+            out.extend(items.iter().cloned());
+            for i in 0..items.len() {
+                for cand in shrink_value(&items[i]) {
+                    let mut a = items.clone();
+                    a[i] = cand;
+                    out.push(Json::Arr(a));
+                }
+            }
+        }
+        Json::Obj(entries) => {
+            out.push(Json::Null);
+            for i in 0..entries.len() {
+                let mut e = entries.clone();
+                e.remove(i);
+                out.push(Json::Obj(e));
+            }
+            out.extend(entries.iter().map(|(_, v)| v.clone()));
+            for i in 0..entries.len() {
+                for cand in shrink_value(&entries[i].1) {
+                    let mut e = entries.clone();
+                    e[i].1 = cand;
+                    out.push(Json::Obj(e));
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Case for JsonCase {
+    fn to_json(&self) -> Json {
+        // Wrap the value so `null` cases still have a payload object.
+        Json::object().with("value", self.0.clone())
+    }
+
+    fn from_json(value: &Json) -> Option<Self> {
+        value.get("value").cloned().map(JsonCase)
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        shrink_value(&self.0).into_iter().map(JsonCase).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmck_rt::rng::StdRng;
+
+    #[test]
+    fn byte_error_case_round_trips_through_json() {
+        let case = ByteErrorCase {
+            data: vec![1, 2, 3],
+            errors: vec![(0, 0x80), (70, 1)],
+        };
+        assert_eq!(ByteErrorCase::from_json(&case.to_json()), Some(case));
+    }
+
+    #[test]
+    fn erasure_case_round_trips_and_validates_fill_length() {
+        let case = ErasureCase {
+            data: vec![9; 4],
+            erasures: vec![1, 5],
+            fills: vec![0xaa, 0xbb],
+            errors: vec![(3, 4)],
+        };
+        assert_eq!(ErasureCase::from_json(&case.to_json()), Some(case.clone()));
+        let mut bad = case.to_json();
+        bad.set("fills", bytes_to_json(&[1]));
+        assert_eq!(ErasureCase::from_json(&bad), None);
+    }
+
+    #[test]
+    fn bit_flip_case_round_trips_through_json() {
+        let case = BitFlipCase {
+            data: vec![0xff; 8],
+            flips: vec![0, 17, 2311],
+        };
+        assert_eq!(BitFlipCase::from_json(&case.to_json()), Some(case));
+    }
+
+    #[test]
+    fn shrink_removes_one_error_at_a_time() {
+        let case = ByteErrorCase {
+            data: vec![0; 4],
+            errors: vec![(0, 1), (1, 2), (2, 3)],
+        };
+        let two_error_candidates = case
+            .shrink()
+            .into_iter()
+            .filter(|c| c.errors.len() == 2)
+            .count();
+        assert_eq!(two_error_candidates, 3);
+    }
+
+    #[test]
+    fn generated_json_values_round_trip_by_construction() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let case = JsonCase::generate(&mut rng, 3);
+            let text = case.0.dump();
+            assert_eq!(Json::parse(&text).unwrap(), case.0, "dump: {text}");
+        }
+    }
+
+    #[test]
+    fn json_case_shrinks_toward_null() {
+        let case = JsonCase(Json::Arr(vec![Json::U64(3), Json::Str("x".into())]));
+        let shrunk = case.shrink();
+        assert!(shrunk.contains(&JsonCase(Json::Null)));
+        assert!(shrunk
+            .iter()
+            .any(|c| matches!(&c.0, Json::Arr(a) if a.len() == 1)));
+    }
+}

@@ -1,0 +1,183 @@
+//! Regression-corpus persistence: failing cases as checked-in JSON.
+//!
+//! Every [`crate::Runner`] replays the corpus before generating fresh
+//! cases, so a counterexample found once is re-checked on every test run
+//! forever after. Files live in `tests/corpus/` at the workspace root
+//! (override with the `PMCK_CORPUS_DIR` environment variable) and carry
+//! the owning property name, the seed that found them, the shrunk case,
+//! and the failure message — enough to triage without re-running.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pmck_rt::Json;
+
+/// Corpus format version written into every file.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// The corpus directory: `$PMCK_CORPUS_DIR` if set, else the checked-in
+/// `tests/corpus/` at the workspace root.
+pub fn default_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("PMCK_CORPUS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus"))
+}
+
+/// One corpus file that matched the requesting property.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Where the file lives (reported on replay failure).
+    pub path: PathBuf,
+    /// The persisted case payload, still as JSON.
+    pub case: Json,
+    /// The seed that originally found the case, if recorded.
+    pub seed: Option<u64>,
+    /// The original failure message, if recorded.
+    pub error: Option<String>,
+}
+
+/// Loads every corpus entry owned by `prop`, sorted by file name so
+/// replay order is deterministic.
+///
+/// # Errors
+///
+/// Returns a message naming the offending file if the directory is
+/// unreadable, a `.json` file fails to parse, or a file claims `prop`
+/// but has no `case` payload. A corrupt corpus must fail loudly, not be
+/// skipped: it is checked-in regression evidence.
+pub fn load_for(dir: &Path, prop: &str) -> Result<Vec<CorpusEntry>, String> {
+    let mut entries = Vec::new();
+    let read_dir = match fs::read_dir(dir) {
+        Ok(rd) => rd,
+        // A missing corpus directory just means no corpus yet.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(entries),
+        Err(e) => return Err(format!("cannot read corpus dir {}: {e}", dir.display())),
+    };
+    let mut paths: Vec<PathBuf> = read_dir
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read corpus file {}: {e}", path.display()))?;
+        let value = Json::parse(&text)
+            .map_err(|e| format!("corpus file {} is not valid JSON: {e}", path.display()))?;
+        if value.get("prop").and_then(Json::as_str) != Some(prop) {
+            continue;
+        }
+        let case = value
+            .get("case")
+            .cloned()
+            .ok_or_else(|| format!("corpus file {} has no `case` payload", path.display()))?;
+        entries.push(CorpusEntry {
+            path,
+            case,
+            seed: value.get("seed").and_then(Json::as_u64),
+            error: value.get("error").and_then(Json::as_str).map(String::from),
+        });
+    }
+    Ok(entries)
+}
+
+/// Writes a shrunk failing case into the corpus, returning its path.
+/// The file name is derived from the property name and a hash of the
+/// case, so re-finding the same counterexample overwrites in place
+/// instead of accumulating duplicates.
+pub fn persist(
+    dir: &Path,
+    prop: &str,
+    seed: u64,
+    case: &Json,
+    error: &str,
+    shrink_steps: u64,
+) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let mut doc = Json::object();
+    doc.set("version", FORMAT_VERSION);
+    doc.set("prop", prop);
+    doc.set("seed", seed);
+    doc.set("shrink_steps", shrink_steps);
+    doc.set("error", error);
+    doc.set("case", case.clone());
+    let path = dir.join(format!(
+        "{}-{:016x}.json",
+        sanitize(prop),
+        fnv1a(case.dump().as_bytes())
+    ));
+    fs::write(&path, doc.pretty() + "\n")?;
+    Ok(path)
+}
+
+/// Maps a property name onto a filesystem-safe slug.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// FNV-1a 64-bit hash (stable across runs and platforms, unlike
+/// `DefaultHasher`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pmck-corpus-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persist_then_load_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let case = Json::object().with("x", 3u64);
+        let path = persist(&dir, "demo:prop", 42, &case, "boom", 5).unwrap();
+        assert!(path.exists());
+        let loaded = load_for(&dir, "demo:prop").unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].case, case);
+        assert_eq!(loaded[0].seed, Some(42));
+        assert_eq!(loaded[0].error.as_deref(), Some("boom"));
+        assert!(load_for(&dir, "other:prop").unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn same_case_overwrites_instead_of_duplicating() {
+        let dir = tmp_dir("dedup");
+        let case = Json::object().with("x", 1u64);
+        let p1 = persist(&dir, "p", 1, &case, "e1", 0).unwrap();
+        let p2 = persist(&dir, "p", 2, &case, "e2", 0).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(load_for(&dir, "p").unwrap().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_is_empty_corpus() {
+        let dir = tmp_dir("missing");
+        assert!(load_for(&dir, "p").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_corpus_file_errors_loudly() {
+        let dir = tmp_dir("malformed");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("broken.json"), "{not json").unwrap();
+        assert!(load_for(&dir, "p").is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

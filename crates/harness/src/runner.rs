@@ -1,0 +1,424 @@
+//! Seeded property-test runner with shrinking and corpus replay.
+//!
+//! A [`Runner`] executes a property over (1) every case in the
+//! regression corpus owned by the property name, then (2) `cases` fresh
+//! cases generated from a fixed seed. On failure the case is greedily
+//! shrunk and, unless disabled, persisted into the corpus so the next
+//! run replays it first. Properties return `Result<(), String>` rather
+//! than panicking, which keeps shrinking cheap and deterministic.
+
+use std::path::PathBuf;
+
+use pmck_rt::rng::StdRng;
+use pmck_rt::Json;
+
+use crate::corpus;
+
+/// A generatable, shrinkable, JSON-serializable test case.
+pub trait Case: Clone {
+    /// Serializes the case for corpus persistence.
+    fn to_json(&self) -> Json;
+    /// Deserializes a case from a corpus payload. `None` means the
+    /// payload is malformed (the runner fails loudly in that situation).
+    fn from_json(value: &Json) -> Option<Self>;
+    /// Candidate simplifications, most aggressive first. The runner
+    /// repeatedly descends into the first candidate that still fails,
+    /// so returning an empty list disables shrinking.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+/// Statistics from a successful run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Property name the run was registered under.
+    pub prop: String,
+    /// Corpus cases replayed (all passed).
+    pub corpus_replayed: usize,
+    /// Freshly generated cases executed (all passed).
+    pub generated: usize,
+}
+
+/// A failing case, post-shrinking.
+#[derive(Debug, Clone)]
+pub struct Failure<C> {
+    /// The shrunk counterexample.
+    pub case: C,
+    /// The failure message for the shrunk case.
+    pub error: String,
+    /// The case as originally found, before shrinking.
+    pub original: C,
+    /// The failure message for the original case.
+    pub original_error: String,
+    /// How many shrink steps were applied.
+    pub shrink_steps: usize,
+    /// Where the counterexample lives on disk (the corpus file it was
+    /// replayed from, or the file it was just persisted to).
+    pub persisted: Option<PathBuf>,
+    /// Whether the failure came from corpus replay rather than fresh
+    /// generation.
+    pub from_corpus: bool,
+    /// The runner seed in effect.
+    pub seed: u64,
+    /// Index of the failing case within its phase (corpus or generated).
+    pub case_index: usize,
+}
+
+/// A configured property run. See the module docs for the execution
+/// order (corpus replay first, then seeded generation).
+#[derive(Debug, Clone)]
+pub struct Runner {
+    name: String,
+    seed: u64,
+    cases: usize,
+    corpus_dir: PathBuf,
+    persist: bool,
+    max_shrink_steps: usize,
+}
+
+impl Runner {
+    /// A runner for the property registered as `name`. The name keys
+    /// corpus ownership: only files whose `prop` field matches are
+    /// replayed, and new failures are persisted under it.
+    pub fn new(name: &str) -> Self {
+        Runner {
+            name: name.to_string(),
+            seed: 0,
+            cases: 256,
+            corpus_dir: corpus::default_dir(),
+            persist: true,
+            max_shrink_steps: 10_000,
+        }
+    }
+
+    /// Sets the generation seed (default 0). Migrated tests keep their
+    /// historical seeds here.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets how many fresh cases to generate (default 256).
+    pub fn cases(mut self, cases: usize) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Overrides the corpus directory (default: the checked-in
+    /// `tests/corpus/`, or `$PMCK_CORPUS_DIR`).
+    pub fn corpus_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.corpus_dir = dir.into();
+        self
+    }
+
+    /// Disables persisting new failures (replay still happens).
+    pub fn no_persist(mut self) -> Self {
+        self.persist = false;
+        self
+    }
+
+    /// Caps the shrink descent (default 10 000 steps).
+    pub fn max_shrink_steps(mut self, steps: usize) -> Self {
+        self.max_shrink_steps = steps;
+        self
+    }
+
+    /// Runs the property, panicking with a readable report on failure.
+    /// This is the entry point for ordinary `#[test]` functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any corpus or generated case fails, after shrinking and
+    /// (for fresh failures) persisting the counterexample.
+    pub fn run<C, G, P>(&self, gen: G, prop: P) -> RunReport
+    where
+        C: Case,
+        G: FnMut(&mut StdRng) -> C,
+        P: FnMut(&C) -> Result<(), String>,
+    {
+        match self.try_run(gen, prop) {
+            Ok(report) => report,
+            Err(failure) => {
+                let where_found = if failure.from_corpus {
+                    "corpus replay"
+                } else {
+                    "generated case"
+                };
+                let persisted = match &failure.persisted {
+                    Some(p) => format!("\n  counterexample file: {}", p.display()),
+                    None => String::new(),
+                };
+                panic!(
+                    "property `{}` failed on {} #{} (seed {}):\n  \
+                     error: {}\n  \
+                     shrunk case ({} steps): {}\n  \
+                     original error: {}\n  \
+                     original case: {}{}",
+                    self.name,
+                    where_found,
+                    failure.case_index,
+                    failure.seed,
+                    failure.error,
+                    failure.shrink_steps,
+                    failure.case.to_json().dump(),
+                    failure.original_error,
+                    failure.original.to_json().dump(),
+                    persisted,
+                );
+            }
+        }
+    }
+
+    /// Runs the property, returning the shrunk failure instead of
+    /// panicking. Used by the mutation self-tests that *expect* a
+    /// failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on corpus corruption (unreadable directory, invalid
+    /// JSON, or a payload the [`Case`] impl cannot decode) — those are
+    /// repository bugs, not property failures.
+    pub fn try_run<C, G, P>(&self, mut gen: G, mut prop: P) -> Result<RunReport, Box<Failure<C>>>
+    where
+        C: Case,
+        G: FnMut(&mut StdRng) -> C,
+        P: FnMut(&C) -> Result<(), String>,
+    {
+        let entries = corpus::load_for(&self.corpus_dir, &self.name)
+            .unwrap_or_else(|e| panic!("property `{}`: {e}", self.name));
+        let mut replayed = 0usize;
+        for entry in &entries {
+            let case = C::from_json(&entry.case).unwrap_or_else(|| {
+                panic!(
+                    "property `{}`: corpus file {} has a case payload this Case type \
+                     cannot decode; fix or delete it",
+                    self.name,
+                    entry.path.display()
+                )
+            });
+            if let Err(error) = prop(&case) {
+                let (shrunk, shrunk_error, steps) = shrink_case(
+                    &mut prop,
+                    case.clone(),
+                    error.clone(),
+                    self.max_shrink_steps,
+                );
+                return Err(Box::new(Failure {
+                    case: shrunk,
+                    error: shrunk_error,
+                    original: case,
+                    original_error: error,
+                    shrink_steps: steps,
+                    persisted: Some(entry.path.clone()),
+                    from_corpus: true,
+                    seed: entry.seed.unwrap_or(self.seed),
+                    case_index: replayed,
+                }));
+            }
+            replayed += 1;
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for i in 0..self.cases {
+            let case = gen(&mut rng);
+            if let Err(error) = prop(&case) {
+                let (shrunk, shrunk_error, steps) = shrink_case(
+                    &mut prop,
+                    case.clone(),
+                    error.clone(),
+                    self.max_shrink_steps,
+                );
+                let persisted = if self.persist {
+                    corpus::persist(
+                        &self.corpus_dir,
+                        &self.name,
+                        self.seed,
+                        &shrunk.to_json(),
+                        &shrunk_error,
+                        steps as u64,
+                    )
+                    .ok()
+                } else {
+                    None
+                };
+                return Err(Box::new(Failure {
+                    case: shrunk,
+                    error: shrunk_error,
+                    original: case,
+                    original_error: error,
+                    shrink_steps: steps,
+                    persisted,
+                    from_corpus: false,
+                    seed: self.seed,
+                    case_index: i,
+                }));
+            }
+        }
+        Ok(RunReport {
+            prop: self.name.clone(),
+            corpus_replayed: replayed,
+            generated: self.cases,
+        })
+    }
+}
+
+/// Greedy shrink: repeatedly replace the case with its first shrink
+/// candidate that still fails, until no candidate fails or the step cap
+/// is hit.
+fn shrink_case<C, P>(
+    prop: &mut P,
+    mut case: C,
+    mut error: String,
+    max_steps: usize,
+) -> (C, String, usize)
+where
+    C: Case,
+    P: FnMut(&C) -> Result<(), String>,
+{
+    let mut steps = 0usize;
+    'outer: while steps < max_steps {
+        for candidate in case.shrink() {
+            if let Err(e) = prop(&candidate) {
+                case = candidate;
+                error = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (case, error, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmck_rt::Rng;
+
+    /// A bare u64 case shrinking by halving toward zero.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct N(u64);
+
+    impl Case for N {
+        fn to_json(&self) -> Json {
+            Json::object().with("n", self.0)
+        }
+        fn from_json(value: &Json) -> Option<Self> {
+            value.get("n").and_then(Json::as_u64).map(N)
+        }
+        fn shrink(&self) -> Vec<Self> {
+            if self.0 == 0 {
+                Vec::new()
+            } else {
+                vec![N(0), N(self.0 / 2), N(self.0 - 1)]
+            }
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pmck-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn passing_property_reports_counts() {
+        let report = Runner::new("runner:pass")
+            .seed(1)
+            .cases(50)
+            .corpus_dir(tmp_dir("pass"))
+            .run(|rng| N(rng.next_u64()), |_| Ok(()));
+        assert_eq!(report.corpus_replayed, 0);
+        assert_eq!(report.generated, 50);
+    }
+
+    #[test]
+    fn failure_shrinks_to_the_boundary_and_persists() {
+        let dir = tmp_dir("shrink");
+        // Fails for n >= 1000; minimal counterexample is exactly 1000.
+        let failure = Runner::new("runner:shrink")
+            .seed(2)
+            .cases(200)
+            .corpus_dir(&dir)
+            .try_run(
+                |rng| N(rng.gen_range(0u64..1_000_000)),
+                |c| {
+                    if c.0 < 1000 {
+                        Ok(())
+                    } else {
+                        Err(format!("{} >= 1000", c.0))
+                    }
+                },
+            )
+            .expect_err("property must fail");
+        assert_eq!(
+            failure.case,
+            N(1000),
+            "greedy shrink must reach the boundary"
+        );
+        assert!(!failure.from_corpus);
+        let path = failure.persisted.as_ref().expect("failure must persist");
+        assert!(path.exists());
+
+        // Second run replays the corpus and fails before generating.
+        let replayed = Runner::new("runner:shrink")
+            .seed(99)
+            .cases(0)
+            .corpus_dir(&dir)
+            .try_run(
+                |rng| N(rng.next_u64()),
+                |c| {
+                    if c.0 < 1000 {
+                        Ok(())
+                    } else {
+                        Err("still failing".into())
+                    }
+                },
+            )
+            .expect_err("corpus replay must fail");
+        assert!(replayed.from_corpus);
+        assert_eq!(replayed.case, N(1000));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn same_seed_generates_same_cases() {
+        let mut first = Vec::new();
+        Runner::new("runner:det")
+            .seed(7)
+            .cases(20)
+            .corpus_dir(tmp_dir("det"))
+            .run(
+                |rng| N(rng.next_u64()),
+                |c| {
+                    first.push(c.0);
+                    Ok(())
+                },
+            );
+        let mut second = Vec::new();
+        Runner::new("runner:det")
+            .seed(7)
+            .cases(20)
+            .corpus_dir(tmp_dir("det2"))
+            .run(
+                |rng| N(rng.next_u64()),
+                |c| {
+                    second.push(c.0);
+                    Ok(())
+                },
+            );
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `runner:panic` failed")]
+    fn run_panics_with_context() {
+        Runner::new("runner:panic")
+            .seed(3)
+            .cases(10)
+            .corpus_dir(tmp_dir("panic"))
+            .no_persist()
+            .run(|rng| N(rng.next_u64()), |_| Err("always".into()));
+    }
+}

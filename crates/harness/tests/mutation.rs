@@ -1,0 +1,142 @@
+//! Mutation self-check: the harness must catch a deliberately broken
+//! decoder, shrink the counterexample to its minimal form, persist it,
+//! and replay it from the corpus on the next run.
+//!
+//! The mutant emulates a decoder that forgets to apply corrections when
+//! more than one symbol is in error — it still *claims* success, which
+//! is exactly the class of silent bug the differential campaigns exist
+//! to catch.
+
+use std::fs;
+use std::path::PathBuf;
+
+use pmck_harness::{ByteErrorCase, Case, Runner};
+use pmck_rs::RsCode;
+use pmck_rt::rng::{Rng, StdRng};
+use pmck_rt::Json;
+
+/// MUTANT: applies corrections only for single-error words, but reports
+/// success for anything the real decoder accepts.
+fn mutant_decode(code: &RsCode, word: &mut [u8]) -> bool {
+    let mut scratch = word.to_vec();
+    match code.decode(&mut scratch) {
+        Ok(out) if out.num_corrections() <= 1 => {
+            word.copy_from_slice(&scratch);
+            true
+        }
+        Ok(_) => true, // the bug: claims success without fixing the word
+        Err(_) => false,
+    }
+}
+
+fn gen_case(rng: &mut StdRng, code: &RsCode) -> ByteErrorCase {
+    let mut data = vec![0u8; code.data_symbols()];
+    rng.fill_bytes(&mut data);
+    let num_errors = rng.gen_range(0usize..=3);
+    let mut errors: Vec<(usize, u8)> = Vec::with_capacity(num_errors);
+    while errors.len() < num_errors {
+        let p = rng.gen_range(0usize..code.len());
+        if !errors.iter().any(|&(q, _)| q == p) {
+            errors.push((p, rng.gen_range(1u32..256) as u8));
+        }
+    }
+    ByteErrorCase { data, errors }
+}
+
+#[test]
+fn broken_decoder_is_caught_shrunk_persisted_and_replayed() {
+    let code = RsCode::per_block();
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("pmck-mutation-corpus-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+
+    let prop = |case: &ByteErrorCase| {
+        let mut word = case.corrupted(&code);
+        if mutant_decode(&code, &mut word) && !code.is_codeword(&word) {
+            return Err(format!(
+                "mutant claimed success but left a non-codeword ({} errors)",
+                case.errors.len()
+            ));
+        }
+        Ok(())
+    };
+
+    let failure = Runner::new("mutation:rs:unapplied-corrections")
+        .seed(7)
+        .cases(2_000)
+        .corpus_dir(&dir)
+        .try_run(|rng| gen_case(rng, &code), prop)
+        .expect_err("the mutant must be caught within 2000 cases");
+
+    // Shrinking must reach the minimal counterexample: all-zero data and
+    // exactly two single-bit errors (one error is correctly handled).
+    assert!(!failure.from_corpus);
+    assert_eq!(
+        failure.case.errors.len(),
+        2,
+        "shrunk to the failure boundary"
+    );
+    assert!(
+        failure.case.data.iter().all(|&b| b == 0),
+        "data shrunk to zeros"
+    );
+    for &(_, mask) in &failure.case.errors {
+        assert_eq!(mask.count_ones(), 1, "masks shrunk to single bits");
+    }
+    assert!(failure.shrink_steps > 0);
+
+    // The counterexample must be on disk, well-formed, and decodable.
+    let path = failure
+        .persisted
+        .as_ref()
+        .expect("failure must be persisted");
+    assert!(path.exists());
+    let doc = Json::parse(&fs::read_to_string(path).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("prop").and_then(Json::as_str),
+        Some("mutation:rs:unapplied-corrections")
+    );
+    let replayable = ByteErrorCase::from_json(doc.get("case").unwrap()).unwrap();
+    assert_eq!(replayable, failure.case);
+
+    // A second run replays the corpus and fails before generating
+    // anything (cases(0) proves replay alone catches the mutant).
+    let replay = Runner::new("mutation:rs:unapplied-corrections")
+        .seed(999)
+        .cases(0)
+        .corpus_dir(&dir)
+        .try_run(|rng| gen_case(rng, &code), prop)
+        .expect_err("corpus replay must re-catch the mutant");
+    assert!(replay.from_corpus);
+    assert_eq!(replay.case, failure.case);
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The unmutated production decoder passes the same property, so the
+/// mutation test demonstrates detection power rather than a vacuously
+/// failing property.
+#[test]
+fn unmutated_decoder_passes_the_same_property() {
+    let code = RsCode::per_block();
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("pmck-mutation-clean-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let report = Runner::new("mutation:rs:control")
+        .seed(7)
+        .cases(2_000)
+        .corpus_dir(&dir)
+        .run(
+            |rng| gen_case(rng, &code),
+            |case| {
+                let mut word = case.corrupted(&code);
+                match code.decode(&mut word) {
+                    Ok(_) if code.is_codeword(&word) => Ok(()),
+                    Ok(_) => Err("accepted but off-codeword".into()),
+                    Err(_) => Err(format!("{} errors must decode", case.errors.len())),
+                }
+            },
+        );
+    assert_eq!(report.generated, 2_000);
+    let _ = fs::remove_dir_all(&dir);
+}

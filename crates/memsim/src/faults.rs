@@ -1,0 +1,197 @@
+//! Fault-timeline adapter: scheduled faults seen through the memory
+//! controller's clock.
+//!
+//! The campaign DSL ([`FaultSchedule`]) speaks abstract cycles; the
+//! timing simulator speaks picoseconds. [`FaultTimeline`] bridges the
+//! two and derives the *timing-visible* consequences of a fault history:
+//!
+//! * the background RBER in effect at a wall-clock instant;
+//! * the probability that a 72 B chipkill read at that instant rejects at
+//!   the RS acceptance threshold and pays the VLEW-fallback stripe fetch
+//!   (the paper's §V-C fallback storm under an RBER ramp);
+//! * whether a chip-kill has occurred, after which *every* read runs in
+//!   degraded (erasure) mode and fetches its whole stripe.
+//!
+//! The `soak` driver uses these to enqueue the extra block fetches into
+//! the [`crate::MemoryController`], so fallback storms show up as real
+//! queueing pressure rather than a bookkeeping footnote.
+
+use pmck_nvram::{FaultKind, FaultSchedule};
+use pmck_rt::rng::Rng;
+
+/// Blocks in one VLEW stripe (a fallback or erasure read fetches them
+/// all; the demand block itself is one of them).
+pub const STRIPE_BLOCKS: u32 = 32;
+
+/// A [`FaultSchedule`] projected onto the controller's picosecond clock.
+#[derive(Debug, Clone)]
+pub struct FaultTimeline {
+    schedule: FaultSchedule,
+    ps_per_cycle: u64,
+    threshold: usize,
+}
+
+impl FaultTimeline {
+    /// Wraps `schedule` with a clock mapping of `ps_per_cycle`
+    /// picoseconds per campaign cycle and the paper's RS acceptance
+    /// threshold of 2 corrections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ps_per_cycle == 0`.
+    pub fn new(schedule: FaultSchedule, ps_per_cycle: u64) -> Self {
+        assert!(ps_per_cycle > 0, "ps_per_cycle must be positive");
+        FaultTimeline {
+            schedule,
+            ps_per_cycle,
+            threshold: 2,
+        }
+    }
+
+    /// Overrides the RS acceptance threshold used for fallback-rate
+    /// estimation.
+    pub fn with_threshold(mut self, threshold: usize) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// The underlying schedule.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// The campaign cycle containing instant `t_ps`.
+    pub fn cycle_at(&self, t_ps: u64) -> u64 {
+        t_ps / self.ps_per_cycle
+    }
+
+    /// The background RBER in effect at instant `t_ps`.
+    pub fn rber_at_ps(&self, t_ps: u64) -> f64 {
+        self.schedule.rber_at(self.cycle_at(t_ps))
+    }
+
+    /// Whether a chip-kill has fired at or before instant `t_ps`
+    /// (degraded mode: every read erasure-corrects and fetches its whole
+    /// stripe).
+    pub fn degraded_at_ps(&self, t_ps: u64) -> bool {
+        let cycle = self.cycle_at(t_ps);
+        self.schedule
+            .events()
+            .iter()
+            .take_while(|e| e.at_cycle <= cycle)
+            .any(|e| matches!(e.kind, FaultKind::ChipKill { .. }))
+    }
+
+    /// The probability that a 72 B (576-bit) chipkill read at instant
+    /// `t_ps` is rejected at the RS acceptance threshold and falls back
+    /// to VLEW decoding: `P(byte errors > threshold)` with per-byte
+    /// error probability `1 − (1 − rber)^8` over 72 independent bytes.
+    pub fn fallback_probability(&self, t_ps: u64) -> f64 {
+        let rber = self.rber_at_ps(t_ps);
+        if rber <= 0.0 {
+            return 0.0;
+        }
+        let q = 1.0 - (1.0 - rber).powi(8); // per-byte error probability
+        let n = 72u32;
+        // P(X <= threshold) for X ~ Binomial(72, q), summed directly.
+        let mut p_le = 0.0;
+        let mut coeff = 1.0; // C(n, k)
+        for k in 0..=self.threshold as u32 {
+            if k > 0 {
+                coeff = coeff * (n - k + 1) as f64 / k as f64;
+            }
+            p_le += coeff * q.powi(k as i32) * (1.0 - q).powi((n - k) as i32);
+        }
+        (1.0 - p_le).max(0.0)
+    }
+
+    /// The number of *extra* block fetches a demand read issued at
+    /// instant `t_ps` costs beyond itself: `STRIPE_BLOCKS − 1` when the
+    /// rank is degraded or when the Bernoulli fallback fires, else 0.
+    pub fn sample_extra_fetches<R: Rng + ?Sized>(&self, t_ps: u64, rng: &mut R) -> u32 {
+        if self.degraded_at_ps(t_ps) || rng.gen_bool(self.fallback_probability(t_ps)) {
+            STRIPE_BLOCKS - 1
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmck_rt::rng::StdRng;
+
+    fn ramp_schedule() -> FaultSchedule {
+        FaultSchedule::parse(
+            "at 0 rber 2e-4\nramp 1000..2000 rber 2e-4..1e-2\nat 3000 chipkill 3 garbage",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clock_mapping() {
+        let t = FaultTimeline::new(ramp_schedule(), 1000);
+        assert_eq!(t.cycle_at(0), 0);
+        assert_eq!(t.cycle_at(999), 0);
+        assert_eq!(t.cycle_at(1_500_000), 1500);
+        assert_eq!(t.rber_at_ps(500_000), 2e-4);
+        assert!(t.rber_at_ps(1_500_000) > 2e-4);
+    }
+
+    #[test]
+    fn degradation_starts_at_chipkill() {
+        let t = FaultTimeline::new(ramp_schedule(), 1000);
+        assert!(!t.degraded_at_ps(2_999_999));
+        assert!(t.degraded_at_ps(3_000_000));
+        assert!(t.degraded_at_ps(u64::MAX / 2));
+    }
+
+    #[test]
+    fn fallback_probability_tracks_the_ramp() {
+        let t = FaultTimeline::new(ramp_schedule(), 1000);
+        let at_base = t.fallback_probability(0);
+        let mid_ramp = t.fallback_probability(1_500_000);
+        let post_ramp = t.fallback_probability(2_500_000);
+        // Paper Figure 7: at 2e-4 essentially every access has <=2 byte
+        // errors; at 1e-2 fallbacks are common.
+        assert!(at_base < 1e-3, "base fallback {at_base}");
+        assert!(mid_ramp > at_base);
+        assert!(post_ramp > 0.01, "post-ramp fallback {post_ramp}");
+        assert!(post_ramp < 1.0);
+    }
+
+    #[test]
+    fn zero_rber_never_falls_back() {
+        let t = FaultTimeline::new(FaultSchedule::new(), 1000);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(t.fallback_probability(123), 0.0);
+        assert_eq!(t.sample_extra_fetches(123, &mut rng), 0);
+    }
+
+    #[test]
+    fn degraded_mode_always_fetches_the_stripe() {
+        let t = FaultTimeline::new(ramp_schedule(), 1000);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(
+                t.sample_extra_fetches(3_000_000, &mut rng),
+                STRIPE_BLOCKS - 1
+            );
+        }
+    }
+
+    #[test]
+    fn fallback_sampling_rate_matches_probability() {
+        let s = FaultSchedule::new().with(0, pmck_nvram::FaultKind::Rber { rber: 5e-3 });
+        let t = FaultTimeline::new(s, 1000);
+        let p = t.fallback_probability(0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 40_000;
+        let hits = (0..trials)
+            .filter(|_| t.sample_extra_fetches(0, &mut rng) > 0)
+            .count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - p).abs() < 0.01, "rate {rate} vs p {p}");
+    }
+}

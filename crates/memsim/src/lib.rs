@@ -35,6 +35,7 @@ mod bank;
 mod config;
 mod controller;
 mod eur;
+mod faults;
 mod request;
 mod stats;
 
@@ -42,5 +43,6 @@ pub use bank::BankState;
 pub use config::{MemConfig, NvramTiming, RankKind, Timing, NS, PS_PER_NS};
 pub use controller::{Completion, MemoryController, QueueFull};
 pub use eur::Eur;
+pub use faults::{FaultTimeline, STRIPE_BLOCKS};
 pub use request::{MemRequest, ReqId};
 pub use stats::MemStats;

@@ -16,6 +16,9 @@
 //!   (stuck output, random garbage) for chipkill experiments.
 //! * [`WearModel`] — probabilistic wear-out where a cell's error
 //!   probability rises with write count (paper §II-B, \[64\]).
+//! * [`FaultSchedule`] — a deterministic fault-timeline DSL (bursts,
+//!   correlated row faults, chip-kill at cycle N, RBER ramps) consumed by
+//!   the engine, the memory simulator, and the `soak` campaign driver.
 //!
 //! # Examples
 //!
@@ -35,10 +38,12 @@
 
 mod chipfail;
 mod inject;
+mod schedule;
 mod tech;
 mod wear;
 
 pub use chipfail::{ChipFailureKind, FailedChip};
 pub use inject::{expected_errors, BitErrorInjector};
+pub use schedule::{FaultEvent, FaultKind, FaultSchedule, ScheduleError};
 pub use tech::{rber_at, rber_band, MemoryTech, RetentionCurve};
 pub use wear::{WearModel, WearState};

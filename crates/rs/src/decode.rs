@@ -253,12 +253,10 @@ impl RsCode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmck_rt::rng::Rng;
-    use pmck_rt::rng::StdRng;
 
-    fn sample_data(rng: &mut StdRng, k: usize) -> Vec<u8> {
-        (0..k).map(|_| rng.gen()).collect()
-    }
+    // The seeded randomized properties (historical seeds 3, 11, 17, 23,
+    // 31, 41) live in `tests/props.rs` on the harness runner with
+    // shrinking and corpus replay; only deterministic checks remain.
 
     #[test]
     fn clean_word_no_corrections() {
@@ -267,71 +265,6 @@ mod tests {
         let mut cw = code.encode(&data);
         let out = code.decode(&mut cw).unwrap();
         assert!(out.was_clean());
-    }
-
-    #[test]
-    fn corrects_up_to_four_errors() {
-        let code = RsCode::per_block();
-        let mut rng = StdRng::seed_from_u64(3);
-        for nerr in 1..=4 {
-            for _ in 0..20 {
-                let data = sample_data(&mut rng, 64);
-                let clean = code.encode(&data);
-                let mut cw = clean.clone();
-                let mut pos = std::collections::BTreeSet::new();
-                while pos.len() < nerr {
-                    pos.insert(rng.gen_range(0..code.len()));
-                }
-                for &p in &pos {
-                    cw[p] ^= rng.gen_range(1..=255u8);
-                }
-                let out = code.decode(&mut cw).unwrap();
-                assert_eq!(cw, clean, "nerr={nerr}");
-                assert_eq!(out.num_corrections(), nerr);
-            }
-        }
-    }
-
-    #[test]
-    fn corrects_eight_erasures_chip_failure() {
-        let code = RsCode::per_block();
-        let mut rng = StdRng::seed_from_u64(11);
-        let data = sample_data(&mut rng, 64);
-        let clean = code.encode(&data);
-        let mut cw = clean.clone();
-        // Simulate a dead chip: 8 consecutive byte positions trashed.
-        let chip_bytes: Vec<usize> = (16..24).collect();
-        for &p in &chip_bytes {
-            cw[p] = rng.gen();
-        }
-        let out = code.decode_erasures(&mut cw, &chip_bytes).unwrap();
-        assert_eq!(cw, clean);
-        assert!(out.num_corrections() <= 8);
-    }
-
-    #[test]
-    fn corrects_mixed_errors_and_erasures() {
-        // 2e + ν ≤ 8: e.g. 2 errors + 4 erasures.
-        let code = RsCode::per_block();
-        let mut rng = StdRng::seed_from_u64(17);
-        for _ in 0..50 {
-            let data = sample_data(&mut rng, 64);
-            let clean = code.encode(&data);
-            let mut cw = clean.clone();
-            let mut positions = std::collections::BTreeSet::new();
-            while positions.len() < 6 {
-                positions.insert(rng.gen_range(0..code.len()));
-            }
-            let all: Vec<usize> = positions.into_iter().collect();
-            let erasures = &all[..4];
-            let errors = &all[4..];
-            for &p in &all {
-                cw[p] ^= rng.gen_range(1..=255u8);
-            }
-            code.decode_with_erasures(&mut cw, erasures).unwrap();
-            assert_eq!(cw, clean);
-            let _ = errors;
-        }
     }
 
     #[test]
@@ -347,55 +280,6 @@ mod tests {
             .unwrap();
         assert_eq!(cw, clean);
         assert_eq!(out.num_corrections(), 0);
-    }
-
-    #[test]
-    fn five_errors_never_returns_wrong_success_with_verification() {
-        // Five errors exceed capability: the decoder must either flag
-        // Uncorrectable or land on a *valid* codeword (counted as SDC by
-        // upper layers) — never return success with an invalid word.
-        let code = RsCode::per_block();
-        let mut rng = StdRng::seed_from_u64(23);
-        let mut flagged = 0;
-        for _ in 0..200 {
-            let data = sample_data(&mut rng, 64);
-            let mut cw = code.encode(&data);
-            let mut pos = std::collections::BTreeSet::new();
-            while pos.len() < 5 {
-                pos.insert(rng.gen_range(0..code.len()));
-            }
-            for &p in &pos {
-                cw[p] ^= rng.gen_range(1..=255u8);
-            }
-            match code.decode(&mut cw) {
-                Ok(_) => assert!(code.is_codeword(&cw)),
-                Err(RsError::Uncorrectable) => flagged += 1,
-                Err(e) => panic!("unexpected {e}"),
-            }
-        }
-        assert!(
-            flagged > 150,
-            "most 5-error patterns must be flagged, got {flagged}"
-        );
-    }
-
-    #[test]
-    fn uncorrectable_leaves_word_unmodified() {
-        let code = RsCode::new(16, 4).unwrap();
-        let mut rng = StdRng::seed_from_u64(31);
-        for _ in 0..100 {
-            let data = sample_data(&mut rng, 16);
-            let mut cw = code.encode(&data);
-            for p in 0..6 {
-                cw[p * 3] ^= rng.gen_range(1..=255u8);
-            }
-            let before = cw.clone();
-            if code.decode(&mut cw).is_err() {
-                assert_eq!(cw, before);
-                return;
-            }
-        }
-        panic!("expected an uncorrectable pattern");
     }
 
     #[test]
@@ -420,25 +304,5 @@ mod tests {
             code.decode(&mut short).unwrap_err(),
             RsError::LengthMismatch(71, 72)
         );
-    }
-
-    #[test]
-    fn strict_erasure_decode_rejects_extra_errors() {
-        let code = RsCode::per_block();
-        let mut rng = StdRng::seed_from_u64(41);
-        let data = sample_data(&mut rng, 64);
-        let clean = code.encode(&data);
-        let mut cw = clean.clone();
-        // 4 erasures + 1 real error elsewhere: decode_with_erasures can fix
-        // both, but strict decode_erasures must refuse.
-        for p in 0..4 {
-            cw[p] ^= 0xFF;
-        }
-        cw[40] ^= 0x42;
-        let strict = code.decode_erasures(&mut cw.clone(), &[0, 1, 2, 3]);
-        assert!(strict.is_err());
-        let relaxed = code.decode_with_erasures(&mut cw, &[0, 1, 2, 3]).unwrap();
-        assert_eq!(cw, clean);
-        assert!(relaxed.error_positions().contains(&40));
     }
 }

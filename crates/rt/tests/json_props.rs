@@ -1,0 +1,69 @@
+//! Round-trip properties for `pmck_rt::json` on the harness runner:
+//! `parse ∘ dump` and `parse ∘ pretty` are the identity on generated
+//! value trees, including escape-heavy strings, nested arrays/objects,
+//! and both integer flavors.
+
+use pmck_harness::{JsonCase, Runner};
+use pmck_rt::Json;
+
+#[test]
+fn parse_after_dump_is_identity() {
+    Runner::new("rt:json:roundtrip-compact")
+        .seed(0xD0C)
+        .cases(3000)
+        .run(
+            |rng| JsonCase::generate(rng, 4),
+            |case| {
+                let text = case.0.dump();
+                match Json::parse(&text) {
+                    Ok(back) if back == case.0 => Ok(()),
+                    Ok(back) => Err(format!(
+                        "round trip changed the value: {text} reparsed as {}",
+                        back.dump()
+                    )),
+                    Err(e) => Err(format!("reparse failed on {text}: {e}")),
+                }
+            },
+        );
+}
+
+#[test]
+fn parse_after_pretty_is_identity() {
+    Runner::new("rt:json:roundtrip-pretty")
+        .seed(0xD0D)
+        .cases(3000)
+        .run(
+            |rng| JsonCase::generate(rng, 4),
+            |case| {
+                let text = case.0.pretty();
+                match Json::parse(&text) {
+                    Ok(back) if back == case.0 => Ok(()),
+                    Ok(back) => Err(format!(
+                        "pretty round trip changed the value: {} vs {}",
+                        case.0.dump(),
+                        back.dump()
+                    )),
+                    Err(e) => Err(format!("reparse of pretty output failed: {e}")),
+                }
+            },
+        );
+}
+
+#[test]
+fn dump_and_pretty_parse_to_the_same_value() {
+    Runner::new("rt:json:dump-pretty-agree")
+        .seed(0xD0E)
+        .cases(1000)
+        .run(
+            |rng| JsonCase::generate(rng, 3),
+            |case| {
+                let compact = Json::parse(&case.0.dump()).map_err(|e| e.to_string())?;
+                let pretty = Json::parse(&case.0.pretty()).map_err(|e| e.to_string())?;
+                if compact == pretty {
+                    Ok(())
+                } else {
+                    Err("compact and pretty renderings disagree after parsing".into())
+                }
+            },
+        );
+}

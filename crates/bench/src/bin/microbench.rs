@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use pmck_bch::BchCode;
-use pmck_core::{ChipkillConfig, ChipkillMemory};
+use pmck_core::{ChipkillConfig, Stack, StackBuilder};
 use pmck_rs::RsCode;
 use pmck_rt::json::Json;
 use pmck_rt::rng::{Rng, StdRng};
@@ -177,9 +177,7 @@ fn rs_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
     if wants(cfg, "rs/decode_erasure_chipkill") {
         // A dead chip: 8 known-bad symbol positions.
         let mut erased = clean.clone();
-        for p in 16..24 {
-            erased[p] = 0xFF;
-        }
+        erased[16..24].fill(0xFF);
         let erasures: Vec<usize> = (16..24).collect();
         rows.push(scenario(cfg, "rs/decode_erasure_chipkill", 64, || {
             let mut w = erased.clone();
@@ -188,57 +186,78 @@ fn rs_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
     }
 }
 
-fn readpath_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
+/// Builds a filled proposal stack for the read/write-path scenarios.
+/// Each scenario gets a fresh stack (they are not clonable: the pipeline
+/// is a boxed device chain), written with the same seeded pattern and
+/// optionally pre-damaged at `rber`.
+fn filled_stack(build: impl FnOnce(StackBuilder) -> StackBuilder, rber: f64) -> Stack {
     let mut rng = StdRng::seed_from_u64(5);
-    let mut clean = ChipkillMemory::new(256, ChipkillConfig::default());
-    for a in 0..clean.num_blocks() {
+    let mut stack = build(StackBuilder::proposal(256, ChipkillConfig::default()))
+        .seed(5)
+        .build();
+    for a in 0..stack.num_blocks() {
         let mut b = [0u8; 64];
         rng.fill_bytes(&mut b[..]);
-        clean.write_block(a, &b).unwrap();
+        stack.write(a, &b).unwrap();
     }
+    if rber > 0.0 {
+        stack.inject_bit_errors(rber).unwrap();
+    }
+    stack
+}
 
+fn readpath_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
     if wants(cfg, "readpath/clean") {
-        let mut mem = clean.clone();
+        let mut stack = filled_stack(|b| b, 0.0);
         let mut a = 0;
         rows.push(scenario(cfg, "readpath/clean", 64, || {
-            a = (a + 1) % mem.num_blocks();
-            mem.read_block(a).expect("clean")
+            a = (a + 1) % stack.num_blocks();
+            stack.read(a).expect("clean")
         }));
     }
     if wants(cfg, "readpath/runtime_rber_2e-4") {
-        let mut mem = clean.clone();
-        mem.inject_bit_errors(2e-4, &mut rng);
+        let mut stack = filled_stack(|b| b, 2e-4);
         let mut a = 0;
         rows.push(scenario(cfg, "readpath/runtime_rber_2e-4", 64, || {
-            a = (a + 1) % mem.num_blocks();
-            mem.read_block(a).expect("correctable")
+            a = (a + 1) % stack.num_blocks();
+            stack.read(a).expect("correctable")
         }));
     }
     if wants(cfg, "readpath/boot_rber_1e-3") {
-        let mut mem = clean.clone();
-        mem.inject_bit_errors(1e-3, &mut rng);
+        let mut stack = filled_stack(|b| b, 1e-3);
         let mut a = 0;
         rows.push(scenario(cfg, "readpath/boot_rber_1e-3", 64, || {
-            a = (a + 1) % mem.num_blocks();
-            mem.read_block(a).expect("correctable")
+            a = (a + 1) % stack.num_blocks();
+            stack.read(a).expect("correctable")
         }));
     }
     if wants(cfg, "writepath/conventional") {
-        let mut mem = clean.clone();
+        let mut stack = filled_stack(|b| b, 0.0);
         let block = [0xA5u8; 64];
         let mut a = 0;
         rows.push(scenario(cfg, "writepath/conventional", 64, || {
-            a = (a + 1) % mem.num_blocks();
-            mem.write_block(a, &block).expect("in range")
+            a = (a + 1) % stack.num_blocks();
+            stack.write(a, &block).expect("in range")
         }));
     }
     if wants(cfg, "writepath/bitwise_sum") {
-        let mut mem = clean.clone();
+        let mut stack = filled_stack(|b| b, 0.0);
         let block = [0xA5u8; 64];
         let mut a = 0;
         rows.push(scenario(cfg, "writepath/bitwise_sum", 64, || {
-            a = (a + 1) % mem.num_blocks();
-            mem.write_block_sum(a, &block).expect("in range")
+            a = (a + 1) % stack.num_blocks();
+            stack.write_sum(a, &block).expect("in range")
+        }));
+    }
+    if wants(cfg, "stack/full_pipeline_read") {
+        // The whole middleware chain: wear-level remap + auto patrol on
+        // top of the chipkill base — the per-access composition overhead
+        // relative to readpath/clean.
+        let mut stack = filled_stack(|b| b.wear_levelled(64).patrolled(4, 16), 0.0);
+        let mut a = 0;
+        rows.push(scenario(cfg, "stack/full_pipeline_read", 64, || {
+            a = (a + 1) % stack.num_blocks();
+            stack.read(a).expect("clean")
         }));
     }
 }

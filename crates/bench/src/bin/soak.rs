@@ -2,13 +2,15 @@
 //! scheduled fault campaign.
 //!
 //! A [`FaultSchedule`] (the text DSL from `pmck-nvram`, or the built-in
-//! default timeline) is drained cycle by cycle against a
-//! [`WearLevelledMemory`] while a mirror model holds ground truth. Every
-//! demand read is checked byte-for-byte against the mirror; a detected
-//! chip failure is repaired in place; the run closes with a full patrol
-//! pass, a boot scrub, a rank-wide consistency verify, a complete
-//! readback sweep, and a §V-E re-stripe leg (chip failure → 4-block
-//! VLEW reconfiguration → readback).
+//! default timeline) is drained cycle by cycle against a composed
+//! protection [`Stack`] (`chipkill` behind a restripeable base, Start-Gap
+//! wear leveling, manual-step patrol) while a mirror model holds ground
+//! truth. Every demand read is checked byte-for-byte against the mirror;
+//! a detected chip failure is repaired in place; the run closes with a
+//! full patrol pass, a boot scrub, a rank-wide consistency verify, a
+//! complete readback sweep, and a §V-E re-stripe leg — a chip failure
+//! followed by an **in-place** transition to the 4-block VLEW layout
+//! through the same pipeline, then a readback.
 //!
 //! Usage:
 //!
@@ -21,11 +23,9 @@
 //! diverged from the mirror, the final verify failed, or the re-stripe
 //! readback diverged.
 
-use pmck_core::{
-    ChipkillConfig, CoreError, PatrolScrubber, ReadPath, RestripedMemory, WearLevelledMemory,
-};
+use pmck_core::{ChipkillConfig, CoreError, ReadPath, Stack, StackBuilder};
 use pmck_memsim::FaultTimeline;
-use pmck_nvram::{ChipFailureKind, FaultSchedule};
+use pmck_nvram::{ChipFailureKind, FaultEvent, FaultKind, FaultSchedule};
 use pmck_rt::json::Json;
 use pmck_rt::rng::{Rng, StdRng};
 
@@ -155,50 +155,71 @@ struct Counters {
     path_erasure: u64,
 }
 
+/// Rebuilds the detected failed chip, if the decode paths found one.
+fn repair_if_detected(stack: &mut Stack, cycle: u64, c: &mut Counters) {
+    if stack.detected_failed_chip().is_some() {
+        stack
+            .repair_detected()
+            .expect("detected chip must be repairable");
+        c.chip_repairs += 1;
+        c.repair_cycles.push(cycle);
+    }
+}
+
+/// One full patrol pass through the pipeline's patrol layer.
+fn full_patrol_pass(stack: &mut Stack) -> Result<(), CoreError> {
+    let target = stack.layer("patrol").map_or(0, |s| s.patrol_passes) + 1;
+    while stack.layer("patrol").map_or(0, |s| s.patrol_passes) < target {
+        stack.patrol_step()?;
+    }
+    Ok(())
+}
+
 fn main() {
     let cfg = Config::from_args();
     let schedule = load_schedule(&cfg);
     let timeline = FaultTimeline::new(schedule.clone(), 1);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
-    let mut wl = WearLevelledMemory::new(cfg.blocks, ChipkillConfig::default(), 8);
-    let mut scrubber = PatrolScrubber::new(2);
+    // The whole protection configuration comes from the composition API:
+    // restripeable chipkill base, patrol (manual stepping) over physical
+    // addresses, Start-Gap wear leveling on top.
+    let mut stack = StackBuilder::proposal(cfg.blocks, ChipkillConfig::default())
+        .restripeable()
+        .patrolled(2, 0)
+        .wear_levelled(8)
+        .seed(cfg.seed ^ 0x5011_D1E5)
+        .build();
     let mut mirror: Vec<[u8; 64]> = Vec::with_capacity(cfg.blocks as usize);
     for block in 0..cfg.blocks {
         let data = pattern(&mut rng);
-        wl.write(block, &data).expect("initial fill");
+        stack.write(block, &data).expect("initial fill");
         mirror.push(data);
     }
 
     let mut c = Counters::default();
     for cycle in 0..cfg.cycles {
         for event in schedule.events_in(cycle, cycle + 1).to_vec() {
-            c.event_bits += wl.inner_mut().apply_fault_event(&event, &mut rng) as u64;
+            c.event_bits += stack.apply_fault(&event).expect("fault event") as u64;
             c.events_applied += 1;
         }
         let rber = schedule.rber_at(cycle);
         if rber > 0.0 {
-            c.background_bits += wl.inner_mut().inject_bit_errors(rber, &mut rng) as u64;
+            c.background_bits += stack.inject_bit_errors(rber).expect("background rber") as u64;
         }
 
         let block = rng.gen_range(0..cfg.blocks);
         match rng.gen_range(0u32..5) {
             0 | 1 => {
                 let data = pattern(&mut rng);
-                let mut wrote = wl.write(block, &data);
+                let mut wrote = stack.write(block, &data);
                 if wrote.is_err() {
                     // The write's read-modify step hit an undetected dead
                     // chip. Route a demand read through the detection
                     // path, repair, and retry once.
-                    let _ = wl.read(block);
-                    if let Some(chip) = wl.inner().detected_failed_chip() {
-                        wl.inner_mut()
-                            .repair_chip(chip)
-                            .expect("detected chip must be repairable");
-                        c.chip_repairs += 1;
-                        c.repair_cycles.push(cycle);
-                    }
-                    wrote = wl.write(block, &data);
+                    let _ = stack.read(block);
+                    repair_if_detected(&mut stack, cycle, &mut c);
+                    wrote = stack.write(block, &data);
                 }
                 if let Err(e) = wrote {
                     eprintln!("cycle {cycle}: block {block} write failed: {e}");
@@ -210,10 +231,10 @@ fn main() {
             2 | 3 => {
                 c.ops_read += 1;
                 c.extra_fetches += u64::from(timeline.sample_extra_fetches(cycle, &mut rng));
-                match wl.read(block) {
+                match stack.read(block) {
                     Ok(out) => {
                         match out.path {
-                            ReadPath::Clean => c.path_clean += 1,
+                            ReadPath::Clean | ReadPath::BitCorrected { .. } => c.path_clean += 1,
                             ReadPath::RsCorrected { .. } => c.path_rs += 1,
                             ReadPath::VlewFallback { .. } => c.path_fallback += 1,
                             ReadPath::ChipkillErasure { .. } => c.path_erasure += 1,
@@ -230,7 +251,7 @@ fn main() {
                 }
             }
             _ => {
-                match scrubber.step(wl.inner_mut()) {
+                match stack.patrol_step() {
                     Ok(_) => {}
                     Err(CoreError::Uncorrectable) => {
                         // A scrub UE: an undetected dead chip defeats the
@@ -238,7 +259,7 @@ fn main() {
                         // through the detection path so the failure is
                         // identified (and repaired below).
                         c.scrub_uncorrectable += 1;
-                        let _ = wl.read(block);
+                        let _ = stack.read(block);
                     }
                     Err(e) => {
                         eprintln!("cycle {cycle}: patrol step failed: {e}");
@@ -249,57 +270,58 @@ fn main() {
             }
         }
 
-        if let Some(chip) = wl.inner().detected_failed_chip() {
-            wl.inner_mut()
-                .repair_chip(chip)
-                .expect("detected chip must be repairable");
-            c.chip_repairs += 1;
-            c.repair_cycles.push(cycle);
-        }
+        repair_if_detected(&mut stack, cycle, &mut c);
     }
 
     // Closing sweep: the boot scrub first (it repairs a still-failed
     // chip and clears residual VLEW-level damage), then a full patrol
     // pass, a rank verify, and a complete readback against the mirror.
-    let scrub_report = wl.inner_mut().boot_scrub().expect("closing boot scrub");
-    scrubber
-        .full_pass(wl.inner_mut())
-        .expect("closing patrol pass");
-    let consistent = wl.inner_mut().verify_consistent();
+    let scrub_report = stack.boot_scrub().expect("closing boot scrub");
+    full_patrol_pass(&mut stack).expect("closing patrol pass");
+    let consistent = stack.verify_consistent().expect("closing verify");
     let mut sweep_mismatches = 0u64;
     for block in 0..cfg.blocks {
-        match wl.read(block) {
+        match stack.read(block) {
             Ok(out) if out.data == mirror[block as usize] => {}
             _ => sweep_mismatches += 1,
         }
     }
 
-    // Re-stripe leg (§V-E): fail a chip on a copy of the rank, fold it
-    // into the 4-block VLEW layout, and confirm every block survives.
+    let stats = stack.core_stats().expect("chipkill base");
+
+    // Re-stripe leg (§V-E): fail a chip, transition the live rank into
+    // the 4-block VLEW layout *in place* through the pipeline, and
+    // confirm every block survives under the same wear-level remap.
     let mut restripe_mismatches = 0u64;
-    {
-        let mut copy = wl.inner().clone();
-        let expected: Result<Vec<[u8; 64]>, CoreError> = (0..copy.num_blocks())
-            .map(|a| copy.read_block(a).map(|o| o.data))
-            .collect();
-        let expected = expected.expect("pre-restripe readback");
-        copy.fail_chip(3, ChipFailureKind::RandomGarbage, &mut rng);
-        let mut restriped =
-            RestripedMemory::from_failed_rank(&mut copy).expect("re-stripe after chip failure");
-        for addr in 0..restriped.num_blocks() {
-            match restriped.read_block(addr) {
-                Ok(data) if data == expected[addr as usize] => {}
-                _ => restripe_mismatches += 1,
-            }
+    stack
+        .apply_fault(&FaultEvent {
+            at_cycle: cfg.cycles,
+            kind: FaultKind::ChipKill {
+                chip: 3,
+                kind: ChipFailureKind::RandomGarbage,
+            },
+        })
+        .expect("re-stripe chip failure");
+    stack.restripe().expect("re-stripe after chip failure");
+    for block in 0..cfg.blocks {
+        match stack.read(block) {
+            Ok(out) if out.data == mirror[block as usize] => {}
+            _ => restripe_mismatches += 1,
         }
     }
+    let restripe_consistent = stack.verify_consistent().expect("post-restripe verify");
 
-    let stats = *wl.inner().stats();
     let failed = c.read_mismatches > 0
         || c.read_errors > 0
         || sweep_mismatches > 0
         || restripe_mismatches > 0
-        || !consistent;
+        || !consistent
+        || !restripe_consistent;
+
+    let mut layers = Json::object();
+    for (label, stats) in stack.layers() {
+        layers = layers.with(*label, stats.to_json());
+    }
 
     let doc = Json::object()
         .with("harness", "soak")
@@ -321,8 +343,14 @@ fn main() {
                 .with("reads", c.ops_read)
                 .with("scrub_steps", c.ops_scrub)
                 .with("scrub_uncorrectable", c.scrub_uncorrectable)
-                .with("gap_moves", wl.gap_moves())
-                .with("patrol_passes", scrubber.passes() as u64)
+                .with(
+                    "gap_moves",
+                    stack.layer("wearlevel").map_or(0, |s| s.gap_moves),
+                )
+                .with(
+                    "patrol_passes",
+                    stack.layer("patrol").map_or(0, |s| s.patrol_passes),
+                )
                 .with("chip_repairs", c.chip_repairs)
                 .with(
                     "repair_cycles",
@@ -338,21 +366,8 @@ fn main() {
                 .with("vlew_fallback", c.path_fallback)
                 .with("chipkill_erasure", c.path_erasure),
         )
-        .with(
-            "core_stats",
-            Json::object()
-                .with("reads", stats.reads)
-                .with("writes", stats.writes)
-                .with("clean_reads", stats.clean_reads)
-                .with("rs_accepted", stats.rs_accepted)
-                .with("rs_corrections", stats.rs_corrections)
-                .with("fallbacks", stats.fallbacks)
-                .with("vlew_bits_corrected", stats.vlew_bits_corrected)
-                .with("erasure_reads", stats.erasure_reads)
-                .with("chip_failures_detected", stats.chip_failures_detected)
-                .with("due_events", stats.due_events)
-                .with("fallback_fraction", stats.fallback_fraction()),
-        )
+        .with("core_stats", stats.to_json())
+        .with("layers", layers)
         .with(
             "verdict",
             Json::object()
@@ -365,6 +380,7 @@ fn main() {
                 )
                 .with("sweep_mismatches", sweep_mismatches)
                 .with("restripe_mismatches", restripe_mismatches)
+                .with("restripe_verify_consistent", restripe_consistent)
                 .with("passed", !failed),
         );
 

@@ -80,14 +80,14 @@ impl Experiment {
             .rows
             .iter()
             .map(|r| r.label.len())
-            .chain(["point".len()].into_iter())
+            .chain(["point".len()])
             .max()
             .unwrap_or(8);
         let w2 = self
             .rows
             .iter()
             .map(|r| r.paper.len())
-            .chain(["paper".len()].into_iter())
+            .chain(["paper".len()])
             .max()
             .unwrap_or(8);
         println!("{:<w1$}  {:<w2$}  measured", "point", "paper");

@@ -16,10 +16,12 @@ pub fn quick_requested() -> bool {
         || std::env::args().any(|a| a == "--quick")
 }
 
+/// One memoised suite run: (nvram, quick, leaked results).
+type CachedSuite = (NvramKind, bool, &'static [ComparisonResult]);
+
 /// Runs (or returns the cached) full 16-workload suite for `nvram`.
 pub fn suite(nvram: NvramKind) -> &'static [ComparisonResult] {
-    static CACHE: OnceLock<Mutex<Vec<(NvramKind, bool, &'static [ComparisonResult])>>> =
-        OnceLock::new();
+    static CACHE: OnceLock<Mutex<Vec<CachedSuite>>> = OnceLock::new();
     let quick = quick_requested();
     let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
     {

@@ -1,0 +1,730 @@
+//! The composable block-device pipeline (the functional stack's spine).
+//!
+//! Every functional layer of the reproduction — the chipkill rank, the
+//! §III-A baseline, the re-striped post-failure layout, Start-Gap wear
+//! leveling, patrol scrubbing, and the Write-CRC link — speaks one
+//! uniform interface: [`BlockDevice`]. An access is a value of
+//! [`Access`], the result a value of [`AccessOutcome`], and every call
+//! threads an [`AccessContext`] that carries the fault-injection RNG,
+//! per-layer [`LayerStats`], and an optional trace sink.
+//!
+//! Middleware layers ([`crate::WearLevelled`], [`crate::Patrolled`],
+//! [`crate::LinkProtected`], [`crate::Restripeable`]) wrap any inner
+//! `BlockDevice`, so a full protection stack is built by composition —
+//! see [`crate::StackBuilder`] — instead of bespoke wrapper plumbing.
+//! Layers that do not implement an access kind return
+//! [`CoreError::Unsupported`] rather than silently no-opping.
+
+use pmck_nvram::{FaultEvent, FaultKind};
+use pmck_rt::json::Json;
+use pmck_rt::metrics::MetricsRegistry;
+use pmck_rt::rng::StdRng;
+
+use crate::baseline::BaselineMemory;
+use crate::engine::{ChipkillMemory, CoreError, ReadOutcome, ReadPath};
+use crate::restripe::{RestripedMemory, BLOCKS_PER_GROUP};
+use crate::scrub::ScrubReport;
+use crate::stats::CoreStats;
+
+/// One request against a [`BlockDevice`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Access {
+    /// Demand read of one 64 B block.
+    Read(u64),
+    /// Conventional write of one 64 B block.
+    Write {
+        /// Block address.
+        addr: u64,
+        /// New block contents.
+        data: [u8; 64],
+    },
+    /// Bitwise-sum write (§V-D): `data` carries `old ⊕ new`.
+    WriteSum {
+        /// Block address.
+        addr: u64,
+        /// The bitwise sum delivered to the chips.
+        data: [u8; 64],
+    },
+    /// Correct one block and rewrite it in place.
+    Scrub(u64),
+    /// Fault-injection hook: i.i.d. bit flips at the given RBER across
+    /// every stored cell.
+    InjectRber(f64),
+    /// Fault-injection hook: one scheduled campaign event.
+    Fault(FaultEvent),
+    /// Advance the patrol scrubber by one increment (handled by a
+    /// [`crate::Patrolled`] layer).
+    PatrolStep,
+    /// Full boot-time scrub of the device.
+    BootScrub,
+    /// Check that stored code bits are consistent with stored data.
+    Verify,
+    /// Rebuild the detected failed chip in place, if any.
+    Repair,
+    /// Reconfigure into the §V-E re-striped layout (handled by a
+    /// [`crate::Restripeable`] layer).
+    Restripe,
+}
+
+impl Access {
+    /// Short, stable name of the access kind (used in errors and traces).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Access::Read(_) => "read",
+            Access::Write { .. } => "write",
+            Access::WriteSum { .. } => "write_sum",
+            Access::Scrub(_) => "scrub",
+            Access::InjectRber(_) => "inject_rber",
+            Access::Fault(_) => "fault",
+            Access::PatrolStep => "patrol_step",
+            Access::BootScrub => "boot_scrub",
+            Access::Verify => "verify",
+            Access::Repair => "repair",
+            Access::Restripe => "restripe",
+        }
+    }
+
+    /// The block address the access targets, if it has one.
+    pub fn addr(&self) -> Option<u64> {
+        match self {
+            Access::Read(a) | Access::Scrub(a) => Some(*a),
+            Access::Write { addr, .. } | Access::WriteSum { addr, .. } => Some(*addr),
+            _ => None,
+        }
+    }
+}
+
+/// The successful result of an [`Access`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessOutcome {
+    /// Data plus the decode path that produced it.
+    Read(ReadOutcome),
+    /// The write (conventional or sum) committed.
+    Written,
+    /// The block was corrected and rewritten.
+    Scrubbed,
+    /// Fault injection disturbed `bits` stored bits.
+    Injected {
+        /// Bits (or cells) disturbed.
+        bits: usize,
+    },
+    /// One patrol increment ran.
+    Patrolled(crate::patrol::PatrolReport),
+    /// The boot scrub completed.
+    BootScrubbed(ScrubReport),
+    /// Result of the consistency check.
+    Verified(bool),
+    /// The failed chip (if any) was rebuilt.
+    Repaired {
+        /// The chip that was rebuilt, or `None` if none was detected.
+        chip: Option<usize>,
+    },
+    /// The device reconfigured into the re-striped layout.
+    Restriped,
+}
+
+/// One entry in the optional access trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Label of the layer that recorded the event.
+    pub layer: &'static str,
+    /// Human-readable summary (`"read 5 -> clean"`).
+    pub event: String,
+}
+
+/// Per-layer access counters, keyed by [`BlockDevice::label`] inside an
+/// [`AccessContext`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerStats {
+    /// Demand reads routed through the layer.
+    pub reads: u64,
+    /// Demand writes (conventional and sum) routed through the layer.
+    pub writes: u64,
+    /// Scrub accesses routed through the layer.
+    pub scrubs: u64,
+    /// Accesses that returned an error (excluding `Unsupported`).
+    pub errors: u64,
+    /// Reads whose RS word was already clean.
+    pub clean_reads: u64,
+    /// Reads corrected by the RS tier.
+    pub rs_corrected: u64,
+    /// Reads that fell back to VLEW decoding.
+    pub vlew_fallbacks: u64,
+    /// Reads served through chip-failure erasure correction.
+    pub erasure_reads: u64,
+    /// Reads corrected by a single-tier BCH (baseline / re-striped).
+    pub bit_corrected_reads: u64,
+    /// Bit errors corrected across all read paths.
+    pub bits_corrected: u64,
+    /// Bits disturbed by fault injection at this layer.
+    pub injected_bits: u64,
+    /// Start-Gap remaps performed.
+    pub gap_moves: u64,
+    /// Patrol increments executed.
+    pub patrol_steps: u64,
+    /// Full patrol passes completed.
+    pub patrol_passes: u64,
+    /// Write-CRC retransmissions performed.
+    pub retransmissions: u64,
+    /// Writes whose link retry budget was exhausted.
+    pub link_failures: u64,
+}
+
+impl LayerStats {
+    /// Publishes every counter into `reg` under `<prefix>.<name>`.
+    pub fn publish_metrics(&self, reg: &MetricsRegistry, prefix: &str) {
+        let c = |name: &str, v: u64| reg.set_counter(&format!("{prefix}.{name}"), v);
+        c("reads", self.reads);
+        c("writes", self.writes);
+        c("scrubs", self.scrubs);
+        c("errors", self.errors);
+        c("clean_reads", self.clean_reads);
+        c("rs_corrected", self.rs_corrected);
+        c("vlew_fallbacks", self.vlew_fallbacks);
+        c("erasure_reads", self.erasure_reads);
+        c("bit_corrected_reads", self.bit_corrected_reads);
+        c("bits_corrected", self.bits_corrected);
+        c("injected_bits", self.injected_bits);
+        c("gap_moves", self.gap_moves);
+        c("patrol_steps", self.patrol_steps);
+        c("patrol_passes", self.patrol_passes);
+        c("retransmissions", self.retransmissions);
+        c("link_failures", self.link_failures);
+    }
+
+    /// The counters as a JSON object (stable key order).
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("reads", self.reads)
+            .with("writes", self.writes)
+            .with("scrubs", self.scrubs)
+            .with("errors", self.errors)
+            .with("clean_reads", self.clean_reads)
+            .with("rs_corrected", self.rs_corrected)
+            .with("vlew_fallbacks", self.vlew_fallbacks)
+            .with("erasure_reads", self.erasure_reads)
+            .with("bit_corrected_reads", self.bit_corrected_reads)
+            .with("bits_corrected", self.bits_corrected)
+            .with("injected_bits", self.injected_bits)
+            .with("gap_moves", self.gap_moves)
+            .with("patrol_steps", self.patrol_steps)
+            .with("patrol_passes", self.patrol_passes)
+            .with("retransmissions", self.retransmissions)
+            .with("link_failures", self.link_failures)
+    }
+}
+
+/// Shared state threaded through every access of a composed stack: the
+/// fault-injection RNG, per-layer statistics, and an optional trace.
+#[derive(Debug, Clone)]
+pub struct AccessContext {
+    rng: StdRng,
+    layers: Vec<(&'static str, LayerStats)>,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl AccessContext {
+    /// A context with a deterministic fault-injection RNG.
+    pub fn new(seed: u64) -> Self {
+        AccessContext {
+            rng: StdRng::seed_from_u64(seed),
+            layers: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// A throwaway context for convenience call paths that do not need
+    /// stats or tracing.
+    pub fn scratch() -> Self {
+        Self::new(0)
+    }
+
+    /// Enables the trace sink.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Some(Vec::new());
+        self
+    }
+
+    /// The fault-injection RNG (consumed by `InjectRber` / `Fault`
+    /// accesses and the Write-CRC bus model).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Mutable stats slot for `label`, created on first use. Layers
+    /// appear in first-access order.
+    pub fn layer_mut(&mut self, label: &'static str) -> &mut LayerStats {
+        if let Some(i) = self.layers.iter().position(|(l, _)| *l == label) {
+            return &mut self.layers[i].1;
+        }
+        self.layers.push((label, LayerStats::default()));
+        &mut self.layers.last_mut().expect("just pushed").1
+    }
+
+    /// Stats for `label`, if that layer has recorded anything.
+    pub fn layer(&self, label: &str) -> Option<LayerStats> {
+        self.layers
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, s)| *s)
+    }
+
+    /// All per-layer stats in first-access order.
+    pub fn layers(&self) -> &[(&'static str, LayerStats)] {
+        &self.layers
+    }
+
+    /// Records a trace event; `f` is only evaluated when tracing is on.
+    pub fn trace(&mut self, layer: &'static str, f: impl FnOnce() -> String) {
+        if let Some(sink) = &mut self.trace {
+            sink.push(TraceEvent { layer, event: f() });
+        }
+    }
+
+    /// Drains the recorded trace (empty when tracing is off).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+}
+
+/// A functional memory layer addressable in 64 B blocks.
+///
+/// Implemented by the concrete ranks ([`ChipkillMemory`],
+/// [`BaselineMemory`], [`RestripedMemory`]) and by every middleware
+/// layer; `Box<dyn BlockDevice>` composes them into arbitrary stacks.
+pub trait BlockDevice {
+    /// Stable label identifying the layer in stats and traces.
+    fn label(&self) -> &'static str;
+
+    /// Capacity in blocks as seen *above* this layer.
+    fn num_blocks(&self) -> u64;
+
+    /// Executes one access.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unsupported`] when the stack has no layer handling
+    /// this access kind, plus whatever the underlying operation surfaces.
+    fn access(
+        &mut self,
+        access: Access,
+        ctx: &mut AccessContext,
+    ) -> Result<AccessOutcome, CoreError>;
+
+    /// The chip failure detected by decode logic, if any.
+    fn detected_failed_chip(&self) -> Option<usize> {
+        None
+    }
+
+    /// The chipkill engine counters, when a chipkill rank is (or was)
+    /// at the bottom of the stack.
+    fn core_stats(&self) -> Option<CoreStats> {
+        None
+    }
+}
+
+impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
+    fn label(&self) -> &'static str {
+        (**self).label()
+    }
+    fn num_blocks(&self) -> u64 {
+        (**self).num_blocks()
+    }
+    fn access(
+        &mut self,
+        access: Access,
+        ctx: &mut AccessContext,
+    ) -> Result<AccessOutcome, CoreError> {
+        (**self).access(access, ctx)
+    }
+    fn detected_failed_chip(&self) -> Option<usize> {
+        (**self).detected_failed_chip()
+    }
+    fn core_stats(&self) -> Option<CoreStats> {
+        (**self).core_stats()
+    }
+}
+
+/// Folds one access result into the layer's stats and trace. Every
+/// `BlockDevice` impl calls this exactly once per access it handles.
+pub(crate) fn record_access(
+    ctx: &mut AccessContext,
+    label: &'static str,
+    access: &Access,
+    result: &Result<AccessOutcome, CoreError>,
+) {
+    let st = ctx.layer_mut(label);
+    match access {
+        Access::Read(_) => st.reads += 1,
+        Access::Write { .. } | Access::WriteSum { .. } => st.writes += 1,
+        Access::Scrub(_) => st.scrubs += 1,
+        _ => {}
+    }
+    match result {
+        Ok(AccessOutcome::Read(out)) => record_read_path(st, &out.path),
+        Ok(AccessOutcome::Injected { bits }) => st.injected_bits += *bits as u64,
+        Ok(_) => {}
+        // An unsupported access is a routing miss, not a device fault.
+        Err(CoreError::Unsupported(_)) => {}
+        Err(_) => st.errors += 1,
+    }
+    ctx.trace(label, || {
+        let what = match access.addr() {
+            Some(a) => format!("{} {a}", access.kind()),
+            None => access.kind().to_string(),
+        };
+        match result {
+            Ok(out) => format!("{what} -> {}", describe_outcome(out)),
+            Err(e) => format!("{what} -> error: {e}"),
+        }
+    });
+}
+
+fn record_read_path(st: &mut LayerStats, path: &ReadPath) {
+    match path {
+        ReadPath::Clean => st.clean_reads += 1,
+        ReadPath::RsCorrected { .. } => st.rs_corrected += 1,
+        ReadPath::VlewFallback { bits_corrected } => {
+            st.vlew_fallbacks += 1;
+            st.bits_corrected += *bits_corrected as u64;
+        }
+        ReadPath::ChipkillErasure { .. } => st.erasure_reads += 1,
+        ReadPath::BitCorrected { bits_corrected } => {
+            st.bit_corrected_reads += 1;
+            st.bits_corrected += *bits_corrected as u64;
+        }
+    }
+}
+
+fn describe_outcome(out: &AccessOutcome) -> String {
+    match out {
+        AccessOutcome::Read(o) => match o.path {
+            ReadPath::Clean => "clean".into(),
+            ReadPath::RsCorrected { corrections } => format!("rs_corrected {corrections}"),
+            ReadPath::VlewFallback { bits_corrected } => format!("vlew_fallback {bits_corrected}"),
+            ReadPath::ChipkillErasure { chip } => format!("erasure chip {chip}"),
+            ReadPath::BitCorrected { bits_corrected } => format!("bit_corrected {bits_corrected}"),
+        },
+        AccessOutcome::Written => "written".into(),
+        AccessOutcome::Scrubbed => "scrubbed".into(),
+        AccessOutcome::Injected { bits } => format!("injected {bits}"),
+        AccessOutcome::Patrolled(r) => format!("patrolled {}", r.blocks_scrubbed),
+        AccessOutcome::BootScrubbed(r) => format!("boot_scrubbed {}", r.stripes_scrubbed),
+        AccessOutcome::Verified(ok) => format!("verified {ok}"),
+        AccessOutcome::Repaired { chip } => format!("repaired {chip:?}"),
+        AccessOutcome::Restriped => "restriped".into(),
+    }
+}
+
+impl BlockDevice for ChipkillMemory {
+    fn label(&self) -> &'static str {
+        "chipkill"
+    }
+
+    fn num_blocks(&self) -> u64 {
+        ChipkillMemory::num_blocks(self)
+    }
+
+    fn detected_failed_chip(&self) -> Option<usize> {
+        ChipkillMemory::detected_failed_chip(self)
+    }
+
+    fn core_stats(&self) -> Option<CoreStats> {
+        Some(*self.stats())
+    }
+
+    fn access(
+        &mut self,
+        access: Access,
+        ctx: &mut AccessContext,
+    ) -> Result<AccessOutcome, CoreError> {
+        let result = match access {
+            Access::Read(addr) => self.read_block(addr).map(AccessOutcome::Read),
+            Access::Write { addr, data } => self
+                .write_block(addr, &data)
+                .map(|_| AccessOutcome::Written),
+            Access::WriteSum { addr, data } => self
+                .write_block_sum(addr, &data)
+                .map(|_| AccessOutcome::Written),
+            Access::Scrub(addr) => self.scrub_block(addr).map(|_| AccessOutcome::Scrubbed),
+            Access::InjectRber(rber) => Ok(AccessOutcome::Injected {
+                bits: self.inject_bit_errors(rber, ctx.rng()),
+            }),
+            Access::Fault(ev) => Ok(AccessOutcome::Injected {
+                bits: self.apply_fault_event(&ev, ctx.rng()),
+            }),
+            Access::BootScrub => self.boot_scrub().map(AccessOutcome::BootScrubbed),
+            Access::Verify => Ok(AccessOutcome::Verified(self.verify_consistent())),
+            Access::Repair => match ChipkillMemory::detected_failed_chip(self) {
+                Some(chip) => self
+                    .repair_chip(chip)
+                    .map(|_| AccessOutcome::Repaired { chip: Some(chip) }),
+                None => Ok(AccessOutcome::Repaired { chip: None }),
+            },
+            Access::PatrolStep | Access::Restripe => Err(CoreError::Unsupported(access.kind())),
+        };
+        record_access(ctx, "chipkill", &access, &result);
+        result
+    }
+}
+
+impl BlockDevice for BaselineMemory {
+    fn label(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn num_blocks(&self) -> u64 {
+        BaselineMemory::num_blocks(self)
+    }
+
+    fn access(
+        &mut self,
+        access: Access,
+        ctx: &mut AccessContext,
+    ) -> Result<AccessOutcome, CoreError> {
+        let result = match access {
+            Access::Read(addr) => self.read_block(addr).map(|out| {
+                AccessOutcome::Read(ReadOutcome {
+                    data: out.data,
+                    path: if out.bits_corrected == 0 {
+                        ReadPath::Clean
+                    } else {
+                        ReadPath::BitCorrected {
+                            bits_corrected: out.bits_corrected,
+                        }
+                    },
+                })
+            }),
+            Access::Write { addr, data } => self
+                .write_block(addr, &data)
+                .map(|_| AccessOutcome::Written),
+            // Scrub-by-rewrite: decode, then store the corrected block
+            // (and a freshly encoded code word) back.
+            Access::Scrub(addr) => self.read_block(addr).and_then(|out| {
+                self.write_block(addr, &out.data)
+                    .map(|_| AccessOutcome::Scrubbed)
+            }),
+            Access::InjectRber(rber) => Ok(AccessOutcome::Injected {
+                bits: self.inject_bit_errors(rber, ctx.rng()),
+            }),
+            Access::Fault(ev) => match ev.kind {
+                // Background-rate events carry no instantaneous action.
+                FaultKind::Rber { .. } | FaultKind::RberRamp { .. } => {
+                    Ok(AccessOutcome::Injected { bits: 0 })
+                }
+                FaultKind::ChipKill { chip, kind } => {
+                    self.fail_chip(chip % 8, kind, ctx.rng());
+                    Ok(AccessOutcome::Injected {
+                        bits: BaselineMemory::num_blocks(self) as usize * 64,
+                    })
+                }
+                _ => Err(CoreError::Unsupported("fault")),
+            },
+            Access::BootScrub => {
+                let mut report = ScrubReport::default();
+                for addr in 0..BaselineMemory::num_blocks(self) {
+                    let out = self.read_block(addr)?;
+                    report.bits_corrected += out.bits_corrected;
+                    if out.bits_corrected > 0 {
+                        report.words_with_errors += 1;
+                    }
+                    self.write_block(addr, &out.data)?;
+                    report.stripes_scrubbed += 1;
+                }
+                Ok(AccessOutcome::BootScrubbed(report))
+            }
+            Access::Verify => {
+                let mut clean = true;
+                for addr in 0..BaselineMemory::num_blocks(self) {
+                    match self.read_block(addr) {
+                        Ok(out) if out.bits_corrected == 0 => {}
+                        _ => {
+                            clean = false;
+                            break;
+                        }
+                    }
+                }
+                Ok(AccessOutcome::Verified(clean))
+            }
+            Access::WriteSum { .. } | Access::PatrolStep | Access::Repair | Access::Restripe => {
+                Err(CoreError::Unsupported(access.kind()))
+            }
+        };
+        record_access(ctx, "baseline", &access, &result);
+        result
+    }
+}
+
+impl BlockDevice for RestripedMemory {
+    fn label(&self) -> &'static str {
+        "restriped"
+    }
+
+    fn num_blocks(&self) -> u64 {
+        RestripedMemory::num_blocks(self)
+    }
+
+    fn access(
+        &mut self,
+        access: Access,
+        ctx: &mut AccessContext,
+    ) -> Result<AccessOutcome, CoreError> {
+        let result = match access {
+            Access::Read(addr) => {
+                let before = self.bits_corrected();
+                self.read_block(addr).map(|data| {
+                    let n = (self.bits_corrected() - before) as usize;
+                    AccessOutcome::Read(ReadOutcome {
+                        data,
+                        path: if n == 0 {
+                            ReadPath::Clean
+                        } else {
+                            ReadPath::BitCorrected { bits_corrected: n }
+                        },
+                    })
+                })
+            }
+            Access::Write { addr, data } => self
+                .write_block(addr, &data)
+                .map(|_| AccessOutcome::Written),
+            // A group read corrects and writes back the whole group.
+            Access::Scrub(addr) => self.read_block(addr).map(|_| AccessOutcome::Scrubbed),
+            Access::InjectRber(rber) => Ok(AccessOutcome::Injected {
+                bits: self.inject_bit_errors(rber, ctx.rng()),
+            }),
+            Access::Fault(ev) => match ev.kind {
+                FaultKind::Rber { .. } | FaultKind::RberRamp { .. } => {
+                    Ok(AccessOutcome::Injected { bits: 0 })
+                }
+                // The re-striped layout has already absorbed its one
+                // permitted chip failure; chip-structured faults no
+                // longer apply.
+                _ => Err(CoreError::Unsupported("fault")),
+            },
+            Access::BootScrub => {
+                let before = self.bits_corrected();
+                let groups = RestripedMemory::num_blocks(self) as usize / BLOCKS_PER_GROUP;
+                for g in 0..groups {
+                    self.read_block((g * BLOCKS_PER_GROUP) as u64)?;
+                }
+                Ok(AccessOutcome::BootScrubbed(ScrubReport {
+                    stripes_scrubbed: groups,
+                    bits_corrected: (self.bits_corrected() - before) as usize,
+                    words_with_errors: 0,
+                    chip_rebuilt: None,
+                }))
+            }
+            Access::Verify => Ok(AccessOutcome::Verified(self.verify_consistent())),
+            Access::WriteSum { .. } | Access::PatrolStep | Access::Repair | Access::Restripe => {
+                Err(CoreError::Unsupported(access.kind()))
+            }
+        };
+        record_access(ctx, "restriped", &access, &result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChipkillConfig;
+
+    #[test]
+    fn chipkill_round_trip_through_the_trait() {
+        let mut dev = ChipkillMemory::new(32, ChipkillConfig::default());
+        let mut ctx = AccessContext::new(1).with_trace();
+        let data = [0x5Au8; 64];
+        dev.access(Access::Write { addr: 3, data }, &mut ctx)
+            .unwrap();
+        match dev.access(Access::Read(3), &mut ctx).unwrap() {
+            AccessOutcome::Read(out) => {
+                assert_eq!(out.data, data);
+                assert_eq!(out.path, ReadPath::Clean);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let st = ctx.layer("chipkill").unwrap();
+        assert_eq!(st.reads, 1);
+        assert_eq!(st.writes, 1);
+        assert_eq!(st.clean_reads, 1);
+        let trace = ctx.take_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[1].event, "read 3 -> clean");
+    }
+
+    #[test]
+    fn unsupported_accesses_are_routing_misses_not_errors() {
+        let mut dev = ChipkillMemory::new(32, ChipkillConfig::default());
+        let mut ctx = AccessContext::scratch();
+        assert_eq!(
+            dev.access(Access::Restripe, &mut ctx),
+            Err(CoreError::Unsupported("restripe"))
+        );
+        assert_eq!(ctx.layer("chipkill").unwrap().errors, 0);
+    }
+
+    #[test]
+    fn baseline_reports_bit_corrected_reads() {
+        let mut dev = BaselineMemory::new(64);
+        let mut ctx = AccessContext::new(7);
+        for a in 0..64 {
+            dev.access(
+                Access::Write {
+                    addr: a,
+                    data: [a as u8; 64],
+                },
+                &mut ctx,
+            )
+            .unwrap();
+        }
+        dev.access(Access::InjectRber(1e-3), &mut ctx).unwrap();
+        for a in 0..64 {
+            match dev.access(Access::Read(a), &mut ctx).unwrap() {
+                AccessOutcome::Read(out) => assert_eq!(out.data, [a as u8; 64]),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        let st = ctx.layer("baseline").unwrap();
+        assert!(st.bit_corrected_reads > 0);
+        assert!(st.injected_bits > 0);
+        // Scrub-by-rewrite then verify clean.
+        for a in 0..64 {
+            dev.access(Access::Scrub(a), &mut ctx).unwrap();
+        }
+        assert_eq!(
+            dev.access(Access::Verify, &mut ctx).unwrap(),
+            AccessOutcome::Verified(true)
+        );
+    }
+
+    #[test]
+    fn fault_hook_drives_detection_through_the_trait() {
+        use pmck_nvram::{ChipFailureKind, FaultEvent, FaultKind};
+        let mut dev = ChipkillMemory::new(32, ChipkillConfig::default());
+        let mut ctx = AccessContext::new(3);
+        let data = [0x11u8; 64];
+        dev.access(Access::Write { addr: 9, data }, &mut ctx)
+            .unwrap();
+        dev.access(
+            Access::Fault(FaultEvent {
+                at_cycle: 0,
+                kind: FaultKind::ChipKill {
+                    chip: 4,
+                    kind: ChipFailureKind::RandomGarbage,
+                },
+            }),
+            &mut ctx,
+        )
+        .unwrap();
+        match dev.access(Access::Read(9), &mut ctx).unwrap() {
+            AccessOutcome::Read(out) => {
+                assert_eq!(out.data, data);
+                assert_eq!(out.path, ReadPath::ChipkillErasure { chip: 4 });
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(BlockDevice::detected_failed_chip(&dev), Some(4));
+        dev.access(Access::Repair, &mut ctx).unwrap();
+        assert_eq!(BlockDevice::detected_failed_chip(&dev), None);
+    }
+}

@@ -26,6 +26,12 @@ pub enum CoreError {
     Uncorrectable,
     /// More than one chip appears failed; the rank is lost.
     MultiChipFailure,
+    /// No layer in the composed stack handles this access kind. The
+    /// payload is the access kind name (`"restripe"`, `"patrol_step"`,
+    /// ...). A routing miss, not a device fault.
+    Unsupported(&'static str),
+    /// A Write-CRC protected transfer exhausted its retry budget.
+    LinkFailed,
 }
 
 impl fmt::Display for CoreError {
@@ -35,6 +41,10 @@ impl fmt::Display for CoreError {
             CoreError::Disabled(a) => write!(f, "block {a} is disabled"),
             CoreError::Uncorrectable => write!(f, "uncorrectable error"),
             CoreError::MultiChipFailure => write!(f, "multiple chip failures in one rank"),
+            CoreError::Unsupported(kind) => {
+                write!(f, "no layer in the stack handles `{kind}` accesses")
+            }
+            CoreError::LinkFailed => write!(f, "write link exhausted its retry budget"),
         }
     }
 }
@@ -60,6 +70,12 @@ pub enum ReadPath {
     ChipkillErasure {
         /// The failed chip index (0..8; 8 is the parity chip).
         chip: usize,
+    },
+    /// A single-tier BCH device (baseline or re-striped layout)
+    /// corrected scattered bit errors in place.
+    BitCorrected {
+        /// Bit errors corrected while serving the read.
+        bits_corrected: usize,
     },
 }
 
@@ -492,8 +508,8 @@ impl ChipkillMemory {
         if chip == parity_idx {
             // Parity chip failed: the data chips alone carry the block.
             let mut data = [0u8; 64];
-            for c in 0..self.layout.data_chips {
-                let region = corrected[c].as_ref().expect("data chips survived");
+            for (c, region) in corrected.iter().take(self.layout.data_chips).enumerate() {
+                let region = region.as_ref().expect("data chips survived");
                 data[c * 8..(c + 1) * 8].copy_from_slice(&region[off * 8..(off + 1) * 8]);
             }
             return Ok(data);
@@ -503,12 +519,12 @@ impl ChipkillMemory {
         let mut word = vec![0u8; 72];
         let parity_region = corrected[parity_idx].as_ref().expect("parity survived");
         word[..8].copy_from_slice(&parity_region[off * 8..(off + 1) * 8]);
-        for c in 0..self.layout.data_chips {
+        for (c, region) in corrected.iter().take(self.layout.data_chips).enumerate() {
             if c == chip {
                 continue;
             }
             let (s, e) = self.layout.rs_positions_of_data_chip(c);
-            let region = corrected[c].as_ref().expect("survivor");
+            let region = region.as_ref().expect("survivor");
             word[s..e].copy_from_slice(&region[off * 8..(off + 1) * 8]);
         }
         let (es, ee) = self.layout.rs_positions_of_data_chip(chip);
@@ -655,6 +671,24 @@ impl ChipkillMemory {
         }
         flipped.sort_unstable();
         flipped
+    }
+
+    /// XORs `mask` into one stored byte of `chip`'s 8 B contribution to
+    /// block `addr` (`byte` indexes within that contribution). A
+    /// deterministic single-symbol fault hook for crafted corpus cases:
+    /// unlike [`ChipkillMemory::inject_burst`] it consumes no RNG, so
+    /// the disturbed symbol is exactly where the case says it is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` or `byte` is out of range.
+    pub fn corrupt_chip_byte(&mut self, chip: usize, addr: u64, byte: usize, mask: u8) {
+        assert!(chip < self.layout.total_chips(), "chip {chip} out of range");
+        assert!(byte < self.layout.chip_bytes, "byte {byte} out of range");
+        let stripe = self.layout.stripe_of(addr);
+        let off = self.layout.offset_in_stripe(addr);
+        let layout = self.layout;
+        self.chips[chip].block_slice_mut(stripe, off, &layout)[byte] ^= mask;
     }
 
     /// Applies one scheduled [`FaultEvent`] from a fault campaign to the

@@ -11,6 +11,10 @@
 use pmck_nvram::BitErrorInjector;
 use pmck_rt::rng::Rng;
 
+use crate::device::{Access, AccessContext, AccessOutcome, BlockDevice};
+use crate::engine::CoreError;
+use crate::stats::CoreStats;
+
 /// CRC-16/CCITT-FALSE over `data` (polynomial 0x1021, init 0xFFFF) —
 /// the DDR4 Write-CRC uses the same CRC-family link protection.
 ///
@@ -134,6 +138,102 @@ impl WriteLink {
     }
 }
 
+/// Write-CRC middleware: every write payload (conventional or bitwise
+/// sum) crosses a [`WriteLink`] before reaching the inner device. A
+/// transfer that exhausts its retry budget surfaces as
+/// [`CoreError::LinkFailed`] without touching the stored bits.
+#[derive(Debug, Clone)]
+pub struct LinkProtected<D> {
+    inner: D,
+    link: WriteLink,
+}
+
+impl<D: BlockDevice> LinkProtected<D> {
+    /// Wraps `inner` behind a Write-CRC link with the given fault
+    /// process and retry budget.
+    pub fn over(inner: D, fault: BusFault, max_retries: u32) -> Self {
+        LinkProtected {
+            inner,
+            link: WriteLink::new(fault, max_retries),
+        }
+    }
+
+    /// The link's transfer counters.
+    pub fn link(&self) -> &WriteLink {
+        &self.link
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped device.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    fn transmit(
+        &mut self,
+        addr: u64,
+        data: [u8; 64],
+        sum: bool,
+        ctx: &mut AccessContext,
+    ) -> Result<AccessOutcome, CoreError> {
+        let mut delivered = None;
+        let outcome = self.link.send(&data, ctx.rng(), |w| delivered = Some(*w));
+        let st = ctx.layer_mut("link");
+        st.writes += 1;
+        match outcome {
+            TransmitOutcome::Clean => {}
+            TransmitOutcome::Retransmitted { retries } => st.retransmissions += retries as u64,
+            TransmitOutcome::Failed => {
+                st.link_failures += 1;
+                ctx.trace("link", || format!("write {addr} -> link failed"));
+                return Err(CoreError::LinkFailed);
+            }
+        }
+        let data = delivered.expect("successful transfers deliver");
+        let access = if sum {
+            Access::WriteSum { addr, data }
+        } else {
+            Access::Write { addr, data }
+        };
+        self.inner.access(access, ctx)
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for LinkProtected<D> {
+    fn label(&self) -> &'static str {
+        "link"
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn detected_failed_chip(&self) -> Option<usize> {
+        self.inner.detected_failed_chip()
+    }
+
+    fn core_stats(&self) -> Option<CoreStats> {
+        self.inner.core_stats()
+    }
+
+    fn access(
+        &mut self,
+        access: Access,
+        ctx: &mut AccessContext,
+    ) -> Result<AccessOutcome, CoreError> {
+        match access {
+            Access::Write { addr, data } => self.transmit(addr, data, false, ctx),
+            Access::WriteSum { addr, data } => self.transmit(addr, data, true, ctx),
+            // Reads and maintenance traffic stay on-module.
+            other => self.inner.access(other, ctx),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +319,62 @@ mod tests {
         // the original value.
         assert_eq!(mem.read_block(5).unwrap().data, [0x11; 64]);
         assert!(mem.verify_consistent());
+    }
+
+    #[test]
+    fn link_protected_layer_delivers_and_counts_retries() {
+        use crate::{ChipkillConfig, ChipkillMemory};
+        let mem = ChipkillMemory::new(32, ChipkillConfig::default());
+        let mut dev = LinkProtected::over(mem, BusFault { ber: 1e-3 }, 16);
+        let mut ctx = AccessContext::new(11);
+        for i in 0..200u64 {
+            let addr = i % 32;
+            dev.access(
+                Access::Write {
+                    addr,
+                    data: [i as u8; 64],
+                },
+                &mut ctx,
+            )
+            .unwrap();
+        }
+        for addr in 0..32u64 {
+            // Last i < 200 with i % 32 == addr.
+            let last = addr + 32 * ((199 - addr) / 32);
+            let want = [last as u8; 64];
+            match dev.access(Access::Read(addr), &mut ctx).unwrap() {
+                AccessOutcome::Read(out) => assert_eq!(out.data, want, "block {addr}"),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        let st = ctx.layer("link").unwrap();
+        assert_eq!(st.writes, 200);
+        assert!(st.retransmissions > 0, "1e-3 BER must force resends");
+        assert_eq!(st.retransmissions, dev.link().retransmissions());
+        assert_eq!(st.link_failures, 0);
+    }
+
+    #[test]
+    fn hopeless_link_fails_the_write_without_storing() {
+        use crate::{ChipkillConfig, ChipkillMemory};
+        let mut mem = ChipkillMemory::new(32, ChipkillConfig::default());
+        mem.write_block(3, &[0x77; 64]).unwrap();
+        let mut dev = LinkProtected::over(mem, BusFault { ber: 0.2 }, 1);
+        let mut ctx = AccessContext::new(13);
+        let mut failures = 0;
+        for _ in 0..30 {
+            if dev.access(
+                Access::Write {
+                    addr: 3,
+                    data: [0xFF; 64],
+                },
+                &mut ctx,
+            ) == Err(CoreError::LinkFailed)
+            {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0);
+        assert_eq!(ctx.layer("link").unwrap().link_failures, failures);
     }
 }

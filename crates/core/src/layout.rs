@@ -130,14 +130,12 @@ mod tests {
         let l = ChipkillLayout::default();
         let mut covered = vec![false; l.rs_codeword_bytes()];
         let (ps, pe) = l.rs_positions_of_parity_chip();
-        for p in ps..pe {
-            covered[p] = true;
-        }
+        covered[ps..pe].fill(true);
         for c in 0..l.data_chips {
             let (s, e) = l.rs_positions_of_data_chip(c);
-            for p in s..e {
-                assert!(!covered[p], "overlap at {p}");
-                covered[p] = true;
+            for (p, slot) in covered.iter_mut().enumerate().take(e).skip(s) {
+                assert!(!*slot, "overlap at {p}");
+                *slot = true;
             }
         }
         assert!(covered.iter().all(|&c| c));

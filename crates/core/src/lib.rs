@@ -51,6 +51,7 @@
 
 mod baseline;
 mod config;
+mod device;
 mod engine;
 mod iocrc;
 mod layout;
@@ -58,19 +59,22 @@ mod patrol;
 mod rank;
 mod restripe;
 mod scrub;
+mod stack;
 mod stats;
 mod wearlevel;
 
 pub use baseline::{BaselineMemory, BaselineReadOutcome};
 pub use config::ChipkillConfig;
+pub use device::{Access, AccessContext, AccessOutcome, BlockDevice, LayerStats, TraceEvent};
 pub use engine::{ChipkillMemory, CoreError, ReadOutcome, ReadPath};
-pub use iocrc::{crc16, BusFault, TransmitOutcome, WriteLink};
+pub use iocrc::{crc16, BusFault, LinkProtected, TransmitOutcome, WriteLink};
 pub use layout::ChipkillLayout;
-pub use patrol::{PatrolReport, PatrolScrubber};
-pub use restripe::{RestripedMemory, BLOCKS_PER_GROUP};
+pub use patrol::{PatrolReport, PatrolScrubber, Patrolled};
+pub use restripe::{Restripeable, RestripedMemory, BLOCKS_PER_GROUP};
 pub use scrub::ScrubReport;
+pub use stack::{Stack, StackBuilder};
 pub use stats::CoreStats;
-pub use wearlevel::WearLevelledMemory;
+pub use wearlevel::{WearLevelled, WearLevelledMemory};
 
 // Re-exports used in public signatures.
 pub use pmck_nvram::{ChipFailureKind, FailedChip};

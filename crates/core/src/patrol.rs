@@ -4,11 +4,15 @@
 //! The analytic model (§III) assumes errors accumulate between refreshes
 //! and that a refresh corrects them; the runtime RBER targets (7·10⁻⁵
 //! ReRAM, 2·10⁻⁴ hourly-refresh PCM) are *defined* by how often memory is
-//! scrubbed. [`PatrolScrubber`] walks the rank in fixed-size increments
-//! (as real memory controllers do) so each full pass bounds every
-//! block's time-since-correction.
+//! scrubbed. [`PatrolScrubber`] walks any [`BlockDevice`] in fixed-size
+//! increments (as real memory controllers do) so each full pass bounds
+//! every block's time-since-correction. [`Patrolled`] packages the
+//! scrubber as middleware: it answers [`Access::PatrolStep`] and can
+//! interleave increments automatically with demand traffic.
 
-use crate::engine::{ChipkillMemory, CoreError};
+use crate::device::{Access, AccessContext, AccessOutcome, BlockDevice};
+use crate::engine::CoreError;
+use crate::stats::CoreStats;
 
 /// Progress report from one patrol increment.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -21,7 +25,7 @@ pub struct PatrolReport {
     pub completed_pass: bool,
 }
 
-/// A round-robin patrol scrubber over one rank.
+/// A round-robin patrol scrubber over one block device.
 ///
 /// # Examples
 ///
@@ -55,7 +59,7 @@ impl PatrolScrubber {
         }
     }
 
-    /// Completed full passes over the rank.
+    /// Completed full passes over the device.
     pub fn passes(&self) -> u64 {
         self.passes
     }
@@ -65,24 +69,41 @@ impl PatrolScrubber {
         self.cursor
     }
 
-    /// Scrubs the next increment of `mem`.
+    /// Scrubs the next increment of `dev`.
     ///
     /// # Errors
     ///
     /// Propagates the first uncorrectable error encountered; the cursor
     /// stays on the failing block so the caller can inspect it.
-    pub fn step(&mut self, mem: &mut ChipkillMemory) -> Result<PatrolReport, CoreError> {
+    pub fn step<D: BlockDevice + ?Sized>(
+        &mut self,
+        dev: &mut D,
+    ) -> Result<PatrolReport, CoreError> {
+        let mut ctx = AccessContext::scratch();
+        self.step_ctx(dev, &mut ctx)
+    }
+
+    /// [`PatrolScrubber::step`] with the caller's [`AccessContext`]
+    /// (stats and trace land in the composed stack's context).
+    ///
+    /// # Errors
+    ///
+    /// As [`PatrolScrubber::step`].
+    pub fn step_ctx<D: BlockDevice + ?Sized>(
+        &mut self,
+        dev: &mut D,
+        ctx: &mut AccessContext,
+    ) -> Result<PatrolReport, CoreError> {
         let mut report = PatrolReport::default();
         for _ in 0..self.blocks_per_step {
             let addr = self.cursor;
-            if mem.is_disabled(addr) {
-                report.blocks_skipped += 1;
-            } else {
-                mem.scrub_block(addr)?;
-                report.blocks_scrubbed += 1;
+            match dev.access(Access::Scrub(addr), ctx) {
+                Ok(_) => report.blocks_scrubbed += 1,
+                Err(CoreError::Disabled(_)) => report.blocks_skipped += 1,
+                Err(e) => return Err(e),
             }
             self.cursor += 1;
-            if self.cursor >= mem.num_blocks() {
+            if self.cursor >= dev.num_blocks() {
                 self.cursor = 0;
                 self.passes += 1;
                 report.completed_pass = true;
@@ -96,10 +117,13 @@ impl PatrolScrubber {
     /// # Errors
     ///
     /// As [`PatrolScrubber::step`].
-    pub fn full_pass(&mut self, mem: &mut ChipkillMemory) -> Result<PatrolReport, CoreError> {
+    pub fn full_pass<D: BlockDevice + ?Sized>(
+        &mut self,
+        dev: &mut D,
+    ) -> Result<PatrolReport, CoreError> {
         let mut total = PatrolReport::default();
         loop {
-            let r = self.step(mem)?;
+            let r = self.step(dev)?;
             total.blocks_scrubbed += r.blocks_scrubbed;
             total.blocks_skipped += r.blocks_skipped;
             if r.completed_pass {
@@ -110,10 +134,112 @@ impl PatrolScrubber {
     }
 }
 
+/// Patrol-scrub middleware: carries a [`PatrolScrubber`] over its inner
+/// device, answering [`Access::PatrolStep`] and (optionally) running one
+/// increment automatically every `every` demand accesses — the
+/// background-scrub cadence a memory controller would schedule.
+#[derive(Debug, Clone)]
+pub struct Patrolled<D> {
+    inner: D,
+    scrubber: PatrolScrubber,
+    /// Demand accesses between automatic increments; 0 = manual only.
+    every: u64,
+    since_step: u64,
+}
+
+impl<D: BlockDevice> Patrolled<D> {
+    /// Wraps `inner` with a patrol scrubber visiting `blocks_per_step`
+    /// blocks per increment. `every > 0` schedules an automatic
+    /// increment after that many demand reads/writes; `every == 0`
+    /// leaves stepping entirely to [`Access::PatrolStep`].
+    pub fn over(inner: D, blocks_per_step: u64, every: u64) -> Self {
+        Patrolled {
+            inner,
+            scrubber: PatrolScrubber::new(blocks_per_step),
+            every,
+            since_step: 0,
+        }
+    }
+
+    /// The patrol scrubber's state (cursor, completed passes).
+    pub fn scrubber(&self) -> &PatrolScrubber {
+        &self.scrubber
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped device.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    fn run_step(&mut self, ctx: &mut AccessContext) -> Result<PatrolReport, CoreError> {
+        let report = self.scrubber.step_ctx(&mut self.inner, ctx)?;
+        let st = ctx.layer_mut("patrol");
+        st.patrol_steps += 1;
+        if report.completed_pass {
+            st.patrol_passes += 1;
+        }
+        Ok(report)
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for Patrolled<D> {
+    fn label(&self) -> &'static str {
+        "patrol"
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn detected_failed_chip(&self) -> Option<usize> {
+        self.inner.detected_failed_chip()
+    }
+
+    fn core_stats(&self) -> Option<CoreStats> {
+        self.inner.core_stats()
+    }
+
+    fn access(
+        &mut self,
+        access: Access,
+        ctx: &mut AccessContext,
+    ) -> Result<AccessOutcome, CoreError> {
+        match access {
+            Access::PatrolStep => self.run_step(ctx).map(AccessOutcome::Patrolled),
+            other => {
+                let demand = matches!(
+                    other,
+                    Access::Read(_) | Access::Write { .. } | Access::WriteSum { .. }
+                );
+                let out = self.inner.access(other, ctx)?;
+                if demand && self.every > 0 {
+                    self.since_step += 1;
+                    if self.since_step >= self.every {
+                        self.since_step = 0;
+                        // A background increment tripping over damage
+                        // must not fail the demand access that scheduled
+                        // it; the error is visible in the layer stats.
+                        if self.run_step(ctx).is_err() {
+                            ctx.layer_mut("patrol").errors += 1;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::ChipkillConfig;
+    use crate::engine::ChipkillMemory;
     use pmck_rt::rng::Rng;
     use pmck_rt::rng::StdRng;
 
@@ -199,5 +325,39 @@ mod tests {
             fb_without > fb_patrol,
             "accumulation must hurt: {fb_without} vs {fb_patrol}"
         );
+    }
+
+    #[test]
+    fn patrolled_layer_steps_automatically_with_demand_traffic() {
+        let (mem, data, mut rng) = filled(64, 5);
+        let mut dev = Patrolled::over(mem, 8, 4);
+        let mut ctx = AccessContext::new(6);
+        dev.access(Access::InjectRber(1e-4), &mut ctx).unwrap();
+        for round in 0..64u64 {
+            let a = rng.gen_range(0..64);
+            match dev.access(Access::Read(a), &mut ctx).unwrap() {
+                AccessOutcome::Read(out) => {
+                    assert_eq!(out.data, data[a as usize], "round {round}")
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        let st = ctx.layer("patrol").unwrap();
+        assert_eq!(st.patrol_steps, 64 / 4);
+        assert!(dev.scrubber().passes() >= 1);
+        assert_eq!(st.patrol_passes, dev.scrubber().passes());
+    }
+
+    #[test]
+    fn manual_patrol_step_through_the_trait() {
+        let (mem, _, _) = filled(64, 7);
+        let mut dev = Patrolled::over(mem, 16, 0);
+        let mut ctx = AccessContext::scratch();
+        match dev.access(Access::PatrolStep, &mut ctx).unwrap() {
+            AccessOutcome::Patrolled(r) => assert_eq!(r.blocks_scrubbed, 16),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(ctx.layer("patrol").unwrap().patrol_steps, 1);
+        assert_eq!(ctx.layer("chipkill").unwrap().scrubs, 16);
     }
 }

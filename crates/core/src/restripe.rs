@@ -13,7 +13,9 @@ use pmck_bch::{BchCode, BitPoly};
 use pmck_nvram::BitErrorInjector;
 use pmck_rt::rng::Rng;
 
+use crate::device::{Access, AccessContext, AccessOutcome, BlockDevice};
 use crate::engine::{ChipkillMemory, CoreError};
+use crate::stats::CoreStats;
 
 /// Blocks per reconfigured VLEW (256 B / 64 B).
 pub const BLOCKS_PER_GROUP: usize = 4;
@@ -148,8 +150,8 @@ impl RestripedMemory {
         let base = group * BLOCKS_PER_GROUP * 64;
         // Delta against the stored (assumed-corrected by reads) value.
         let mut delta_bits = BitPoly::zero(self.vlew.data_bits());
-        for i in 0..64 {
-            let d = self.data[base + off + i] ^ new[i];
+        for (i, &n) in new.iter().enumerate() {
+            let d = self.data[base + off + i] ^ n;
             for b in 0..8 {
                 if d & (1 << b) != 0 {
                     delta_bits.set((off + i) * 8 + b, true);
@@ -170,6 +172,124 @@ impl RestripedMemory {
     pub fn inject_bit_errors<R: Rng + ?Sized>(&mut self, rber: f64, rng: &mut R) -> usize {
         let inj = BitErrorInjector::new(rber);
         inj.corrupt(&mut self.data, rng).len() + inj.corrupt(&mut self.codes, rng).len()
+    }
+
+    /// Checks that every group's stored VLEW code matches its data —
+    /// i.e. the layout holds no latent errors.
+    pub fn verify_consistent(&self) -> bool {
+        let groups = self.num_blocks as usize / BLOCKS_PER_GROUP;
+        (0..groups).all(|g| self.codes[g * 33..(g + 1) * 33] == self.encode_group(g)[..])
+    }
+}
+
+// The size skew is intentional: there is exactly one RestripeState per
+// stack, and boxing the engine would put an indirection on every access.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum RestripeState {
+    Chipkill(ChipkillMemory),
+    Restriped(RestripedMemory),
+    /// Transient marker while ownership moves between layouts; never
+    /// observable from outside `access`.
+    Poisoned,
+}
+
+/// A chipkill rank that can reconfigure itself into the §V-E re-striped
+/// layout *in place* on [`Access::Restripe`]. Before the transition it
+/// behaves exactly like the wrapped [`ChipkillMemory`]; afterwards like
+/// the [`RestripedMemory`] rebuilt from it. The engine's demand-period
+/// [`CoreStats`] are captured at the transition (the rebuild itself
+/// reads every block, which would otherwise pollute them).
+#[derive(Debug, Clone)]
+pub struct Restripeable {
+    state: RestripeState,
+    final_stats: Option<CoreStats>,
+}
+
+impl Restripeable {
+    /// Wraps a live chipkill rank.
+    pub fn new(rank: ChipkillMemory) -> Self {
+        Restripeable {
+            state: RestripeState::Chipkill(rank),
+            final_stats: None,
+        }
+    }
+
+    /// Whether the §V-E transition has happened.
+    pub fn is_restriped(&self) -> bool {
+        matches!(self.state, RestripeState::Restriped(_))
+    }
+
+    fn active(&self) -> &dyn BlockDevice {
+        match &self.state {
+            RestripeState::Chipkill(m) => m,
+            RestripeState::Restriped(m) => m,
+            RestripeState::Poisoned => unreachable!("restripe state poisoned"),
+        }
+    }
+
+    fn active_mut(&mut self) -> &mut dyn BlockDevice {
+        match &mut self.state {
+            RestripeState::Chipkill(m) => m,
+            RestripeState::Restriped(m) => m,
+            RestripeState::Poisoned => unreachable!("restripe state poisoned"),
+        }
+    }
+}
+
+impl BlockDevice for Restripeable {
+    fn label(&self) -> &'static str {
+        "restripeable"
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.active().num_blocks()
+    }
+
+    fn detected_failed_chip(&self) -> Option<usize> {
+        self.active().detected_failed_chip()
+    }
+
+    fn core_stats(&self) -> Option<CoreStats> {
+        match &self.state {
+            RestripeState::Chipkill(m) => Some(*m.stats()),
+            _ => self.final_stats,
+        }
+    }
+
+    fn access(
+        &mut self,
+        access: Access,
+        ctx: &mut AccessContext,
+    ) -> Result<AccessOutcome, CoreError> {
+        match access {
+            Access::Restripe => match std::mem::replace(&mut self.state, RestripeState::Poisoned) {
+                RestripeState::Chipkill(mut rank) => {
+                    // Snapshot demand-period stats before the rebuild
+                    // reads (and erasure-decodes) every block.
+                    let stats = *rank.stats();
+                    match RestripedMemory::from_failed_rank(&mut rank) {
+                        Ok(restriped) => {
+                            self.state = RestripeState::Restriped(restriped);
+                            self.final_stats = Some(stats);
+                            ctx.trace("restripeable", || "restripe -> restriped".into());
+                            Ok(AccessOutcome::Restriped)
+                        }
+                        Err(e) => {
+                            self.state = RestripeState::Chipkill(rank);
+                            ctx.layer_mut("restripeable").errors += 1;
+                            Err(e)
+                        }
+                    }
+                }
+                other => {
+                    self.state = other;
+                    Err(CoreError::Unsupported("restripe"))
+                }
+            },
+            // Per-access stats land under the active layout's label.
+            other => self.active_mut().access(other, ctx),
+        }
     }
 }
 

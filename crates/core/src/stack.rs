@@ -1,0 +1,497 @@
+//! Stack composition: building any protection configuration of the
+//! paper — baseline, proposal, proposal+restripe, +wear-level, +patrol,
+//! +Write-CRC — from the same middleware layers.
+//!
+//! [`StackBuilder`] assembles the layers bottom-up (`chipkill` or
+//! `baseline`, optionally [`crate::Restripeable`], then
+//! [`crate::Patrolled`] walking physical addresses, then
+//! [`crate::WearLevelled`] translating logical ones, then
+//! [`crate::LinkProtected`] on top) and [`Stack`] bundles the boxed
+//! device with its [`AccessContext`], exposing typed convenience
+//! wrappers over [`BlockDevice::access`].
+
+use pmck_nvram::FaultEvent;
+use pmck_rt::metrics::MetricsRegistry;
+
+use crate::baseline::BaselineMemory;
+use crate::config::ChipkillConfig;
+use crate::device::{Access, AccessContext, AccessOutcome, BlockDevice, LayerStats, TraceEvent};
+use crate::engine::{ChipkillMemory, CoreError, ReadOutcome};
+use crate::iocrc::{BusFault, LinkProtected};
+use crate::patrol::{PatrolReport, Patrolled};
+use crate::restripe::Restripeable;
+use crate::scrub::ScrubReport;
+use crate::stats::CoreStats;
+use crate::wearlevel::WearLevelled;
+
+/// A composed protection stack: a boxed [`BlockDevice`] pipeline plus
+/// the [`AccessContext`] threaded through every access.
+pub struct Stack {
+    dev: Box<dyn BlockDevice>,
+    ctx: AccessContext,
+}
+
+impl std::fmt::Debug for Stack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stack")
+            .field("top", &self.dev.label())
+            .field("num_blocks", &self.dev.num_blocks())
+            .finish()
+    }
+}
+
+impl Stack {
+    /// Bundles an already-composed device with a context.
+    pub fn from_parts(dev: Box<dyn BlockDevice>, ctx: AccessContext) -> Self {
+        Stack { dev, ctx }
+    }
+
+    /// Runs one raw access through the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::access`].
+    pub fn access(&mut self, access: Access) -> Result<AccessOutcome, CoreError> {
+        self.dev.access(access, &mut self.ctx)
+    }
+
+    /// Capacity (in blocks) as seen at the top of the stack.
+    pub fn num_blocks(&self) -> u64 {
+        self.dev.num_blocks()
+    }
+
+    /// Reads one block.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::access`].
+    pub fn read(&mut self, addr: u64) -> Result<ReadOutcome, CoreError> {
+        match self.access(Access::Read(addr))? {
+            AccessOutcome::Read(out) => Ok(out),
+            other => unreachable!("read returned {other:?}"),
+        }
+    }
+
+    /// Writes one block (conventional path).
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::access`].
+    pub fn write(&mut self, addr: u64, data: &[u8; 64]) -> Result<(), CoreError> {
+        self.access(Access::Write { addr, data: *data }).map(|_| ())
+    }
+
+    /// Writes one block via the bitwise-sum path (`data` = old ⊕ new).
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::access`].
+    pub fn write_sum(&mut self, addr: u64, data: &[u8; 64]) -> Result<(), CoreError> {
+        self.access(Access::WriteSum { addr, data: *data })
+            .map(|_| ())
+    }
+
+    /// Scrubs one block in place.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::access`].
+    pub fn scrub(&mut self, addr: u64) -> Result<(), CoreError> {
+        self.access(Access::Scrub(addr)).map(|_| ())
+    }
+
+    /// Runs one patrol increment (requires a patrol layer).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unsupported`] without a patrol layer.
+    pub fn patrol_step(&mut self) -> Result<PatrolReport, CoreError> {
+        match self.access(Access::PatrolStep)? {
+            AccessOutcome::Patrolled(r) => Ok(r),
+            other => unreachable!("patrol_step returned {other:?}"),
+        }
+    }
+
+    /// Injects i.i.d. bit errors at `rber`; returns flipped bits.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::access`].
+    pub fn inject_bit_errors(&mut self, rber: f64) -> Result<usize, CoreError> {
+        match self.access(Access::InjectRber(rber))? {
+            AccessOutcome::Injected { bits } => Ok(bits),
+            other => unreachable!("inject returned {other:?}"),
+        }
+    }
+
+    /// Applies one fault-campaign event; returns disturbed bits/cells.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::access`].
+    pub fn apply_fault(&mut self, event: &FaultEvent) -> Result<usize, CoreError> {
+        match self.access(Access::Fault(*event))? {
+            AccessOutcome::Injected { bits } => Ok(bits),
+            other => unreachable!("fault returned {other:?}"),
+        }
+    }
+
+    /// Full boot-time scrub.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::access`].
+    pub fn boot_scrub(&mut self) -> Result<ScrubReport, CoreError> {
+        match self.access(Access::BootScrub)? {
+            AccessOutcome::BootScrubbed(r) => Ok(r),
+            other => unreachable!("boot_scrub returned {other:?}"),
+        }
+    }
+
+    /// Whether stored code bits are consistent with stored data.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::access`].
+    pub fn verify_consistent(&mut self) -> Result<bool, CoreError> {
+        match self.access(Access::Verify)? {
+            AccessOutcome::Verified(ok) => Ok(ok),
+            other => unreachable!("verify returned {other:?}"),
+        }
+    }
+
+    /// Rebuilds the detected failed chip, if any; returns which.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::access`].
+    pub fn repair_detected(&mut self) -> Result<Option<usize>, CoreError> {
+        match self.access(Access::Repair)? {
+            AccessOutcome::Repaired { chip } => Ok(chip),
+            other => unreachable!("repair returned {other:?}"),
+        }
+    }
+
+    /// Reconfigures into the §V-E re-striped layout in place (requires a
+    /// [`crate::Restripeable`] base).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unsupported`] without a restripeable base.
+    pub fn restripe(&mut self) -> Result<(), CoreError> {
+        self.access(Access::Restripe).map(|_| ())
+    }
+
+    /// The chip failure detected by decode logic, if any.
+    pub fn detected_failed_chip(&self) -> Option<usize> {
+        self.dev.detected_failed_chip()
+    }
+
+    /// The chipkill engine's counters, when one anchors the stack.
+    pub fn core_stats(&self) -> Option<CoreStats> {
+        self.dev.core_stats()
+    }
+
+    /// Stats recorded under `label`, if that layer has seen traffic.
+    pub fn layer(&self, label: &str) -> Option<LayerStats> {
+        self.ctx.layer(label)
+    }
+
+    /// All per-layer stats in first-access order.
+    pub fn layers(&self) -> &[(&'static str, LayerStats)] {
+        self.ctx.layers()
+    }
+
+    /// The shared context.
+    pub fn context(&self) -> &AccessContext {
+        &self.ctx
+    }
+
+    /// Mutable access to the shared context.
+    pub fn context_mut(&mut self) -> &mut AccessContext {
+        &mut self.ctx
+    }
+
+    /// The composed device.
+    pub fn device(&self) -> &dyn BlockDevice {
+        &*self.dev
+    }
+
+    /// Mutable access to the composed device.
+    pub fn device_mut(&mut self) -> &mut dyn BlockDevice {
+        &mut *self.dev
+    }
+
+    /// Drains the trace (empty unless built with tracing).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.ctx.take_trace()
+    }
+
+    /// Publishes per-layer counters (`<prefix>.layer.<label>.*`) and, if
+    /// present, the engine stats (`<prefix>.engine.*`).
+    pub fn publish_metrics(&self, reg: &MetricsRegistry, prefix: &str) {
+        for (label, stats) in self.ctx.layers() {
+            stats.publish_metrics(reg, &format!("{prefix}.layer.{label}"));
+        }
+        if let Some(core) = self.core_stats() {
+            core.publish_metrics(reg, &format!("{prefix}.engine"));
+        }
+    }
+}
+
+enum BaseKind {
+    Proposal { cfg: ChipkillConfig },
+    Baseline,
+}
+
+/// Builder assembling any permutation of the paper's protection layers.
+///
+/// # Examples
+///
+/// ```
+/// use pmck_core::StackBuilder;
+///
+/// let mut stack = StackBuilder::proposal(96, Default::default())
+///     .wear_levelled(8)
+///     .patrolled(4, 0)
+///     .seed(7)
+///     .build();
+/// stack.write(5, &[0xAB; 64]).unwrap();
+/// assert_eq!(stack.read(5).unwrap().data, [0xAB; 64]);
+/// assert!(stack.layer("chipkill").is_some());
+/// ```
+pub struct StackBuilder {
+    blocks: u64,
+    base: BaseKind,
+    restripeable: bool,
+    wear_level: Option<u64>,
+    patrol: Option<(u64, u64)>,
+    link: Option<(BusFault, u32)>,
+    seed: u64,
+    trace: bool,
+}
+
+impl StackBuilder {
+    /// A proposal (chipkill) stack with `blocks` usable blocks.
+    pub fn proposal(blocks: u64, cfg: ChipkillConfig) -> Self {
+        StackBuilder {
+            blocks,
+            base: BaseKind::Proposal { cfg },
+            restripeable: false,
+            wear_level: None,
+            patrol: None,
+            link: None,
+            seed: 0,
+            trace: false,
+        }
+    }
+
+    /// A §III-A baseline stack with `blocks` usable blocks.
+    pub fn baseline(blocks: u64) -> Self {
+        StackBuilder {
+            blocks,
+            base: BaseKind::Baseline,
+            restripeable: false,
+            wear_level: None,
+            patrol: None,
+            link: None,
+            seed: 0,
+            trace: false,
+        }
+    }
+
+    /// Allows the §V-E in-place re-stripe transition ([`Stack::restripe`]).
+    ///
+    /// # Panics
+    ///
+    /// [`StackBuilder::build`] panics if combined with a baseline base.
+    pub fn restripeable(mut self) -> Self {
+        self.restripeable = true;
+        self
+    }
+
+    /// Adds Start-Gap wear leveling with a gap move every `interval`
+    /// demand writes.
+    pub fn wear_levelled(mut self, interval: u64) -> Self {
+        self.wear_level = Some(interval);
+        self
+    }
+
+    /// Adds patrol scrubbing: `blocks_per_step` blocks per increment,
+    /// automatically every `every` demand accesses (0 = only on
+    /// [`Stack::patrol_step`]).
+    pub fn patrolled(mut self, blocks_per_step: u64, every: u64) -> Self {
+        self.patrol = Some((blocks_per_step, every));
+        self
+    }
+
+    /// Adds Write-CRC link protection on top of the stack.
+    pub fn link_protected(mut self, fault: BusFault, max_retries: u32) -> Self {
+        self.link = Some((fault, max_retries));
+        self
+    }
+
+    /// Seeds the context's fault-injection RNG (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables the trace sink.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Builds the composed stack, bottom-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restripeable` was requested on a baseline base, or on
+    /// the layers' own invalid-parameter conditions.
+    pub fn build(self) -> Stack {
+        // Wear leveling needs one spare physical block for the gap.
+        let physical = if self.wear_level.is_some() {
+            self.blocks + 1
+        } else {
+            self.blocks
+        };
+        let mut dev: Box<dyn BlockDevice> = match self.base {
+            BaseKind::Proposal { cfg } => {
+                let rank = ChipkillMemory::new(physical, cfg);
+                if self.restripeable {
+                    Box::new(Restripeable::new(rank))
+                } else {
+                    Box::new(rank)
+                }
+            }
+            BaseKind::Baseline => {
+                assert!(
+                    !self.restripeable,
+                    "re-striping is a proposal-only mechanism"
+                );
+                Box::new(BaselineMemory::new(physical))
+            }
+        };
+        // Patrol sits below wear leveling: it walks physical addresses,
+        // oblivious to the logical remap above it.
+        if let Some((per_step, every)) = self.patrol {
+            dev = Box::new(Patrolled::over(dev, per_step, every));
+        }
+        if let Some(interval) = self.wear_level {
+            dev = Box::new(WearLevelled::over(dev, self.blocks, interval));
+        }
+        if let Some((fault, max_retries)) = self.link {
+            dev = Box::new(LinkProtected::over(dev, fault, max_retries));
+        }
+        let mut ctx = AccessContext::new(self.seed);
+        if self.trace {
+            ctx = ctx.with_trace();
+        }
+        Stack::from_parts(dev, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmck_nvram::{ChipFailureKind, FaultKind};
+
+    fn fill(stack: &mut Stack) -> Vec<[u8; 64]> {
+        (0..stack.num_blocks())
+            .map(|a| {
+                let mut b = [0u8; 64];
+                for (i, x) in b.iter_mut().enumerate() {
+                    *x = (a as u8).wrapping_mul(29) ^ (i as u8);
+                }
+                stack.write(a, &b).unwrap();
+                b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_proposal_stack_round_trips() {
+        let mut stack = StackBuilder::proposal(96, ChipkillConfig::default())
+            .restripeable()
+            .wear_levelled(8)
+            .patrolled(4, 16)
+            .link_protected(BusFault { ber: 1e-4 }, 8)
+            .seed(21)
+            .build();
+        assert_eq!(stack.num_blocks(), 96);
+        let truth = fill(&mut stack);
+        stack.inject_bit_errors(1e-5).unwrap();
+        for (a, b) in truth.iter().enumerate() {
+            assert_eq!(&stack.read(a as u64).unwrap().data, b, "block {a}");
+        }
+        // Every configured layer saw traffic.
+        for label in ["link", "wearlevel", "patrol", "chipkill"] {
+            assert!(stack.layer(label).is_some(), "layer {label} silent");
+        }
+        assert!(stack.core_stats().unwrap().reads > 0);
+    }
+
+    #[test]
+    fn restripe_transitions_in_place_and_preserves_data() {
+        let mut stack = StackBuilder::proposal(64, ChipkillConfig::default())
+            .restripeable()
+            .seed(22)
+            .build();
+        let truth = fill(&mut stack);
+        stack
+            .apply_fault(&FaultEvent {
+                at_cycle: 0,
+                kind: FaultKind::ChipKill {
+                    chip: 2,
+                    kind: ChipFailureKind::RandomGarbage,
+                },
+            })
+            .unwrap();
+        // A demand read detects the failure via erasure decode.
+        let _ = stack.read(0).unwrap();
+        let demand_reads = stack.core_stats().unwrap().reads;
+        stack.restripe().unwrap();
+        // The snapshot excludes the rebuild's own reads.
+        assert_eq!(stack.core_stats().unwrap().reads, demand_reads);
+        for (a, b) in truth.iter().enumerate() {
+            assert_eq!(&stack.read(a as u64).unwrap().data, b, "block {a}");
+        }
+        assert!(stack.verify_consistent().unwrap());
+        // A second restripe is a routing miss.
+        assert_eq!(stack.restripe(), Err(CoreError::Unsupported("restripe")));
+    }
+
+    #[test]
+    fn baseline_stack_supports_wearlevel_but_not_restripe() {
+        let mut stack = StackBuilder::baseline(48).wear_levelled(4).seed(23).build();
+        let truth = fill(&mut stack);
+        for (a, b) in truth.iter().enumerate() {
+            assert_eq!(&stack.read(a as u64).unwrap().data, b);
+        }
+        assert!(stack.layer("wearlevel").unwrap().gap_moves > 0);
+        assert_eq!(stack.restripe(), Err(CoreError::Unsupported("restripe")));
+        assert_eq!(stack.core_stats(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "proposal-only")]
+    fn baseline_cannot_be_restripeable() {
+        let _ = StackBuilder::baseline(32).restripeable().build();
+    }
+
+    #[test]
+    fn metrics_publish_layers_and_engine() {
+        let mut stack = StackBuilder::proposal(32, ChipkillConfig::default())
+            .patrolled(8, 0)
+            .build();
+        stack.write(1, &[9; 64]).unwrap();
+        stack.read(1).unwrap();
+        stack.patrol_step().unwrap();
+        let reg = MetricsRegistry::new();
+        stack.publish_metrics(&reg, "stack");
+        assert_eq!(reg.counter("stack.layer.chipkill.reads"), 1);
+        assert_eq!(reg.counter("stack.layer.patrol.patrol_steps"), 1);
+        assert_eq!(reg.counter("stack.engine.writes"), 1);
+    }
+}

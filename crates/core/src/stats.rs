@@ -55,6 +55,22 @@ impl CoreStats {
             self.fallback_fraction(),
         );
     }
+
+    /// The counters as a JSON object (stable key order).
+    pub fn to_json(&self) -> pmck_rt::Json {
+        pmck_rt::Json::object()
+            .with("reads", self.reads)
+            .with("writes", self.writes)
+            .with("clean_reads", self.clean_reads)
+            .with("rs_accepted", self.rs_accepted)
+            .with("rs_corrections", self.rs_corrections)
+            .with("fallbacks", self.fallbacks)
+            .with("vlew_bits_corrected", self.vlew_bits_corrected)
+            .with("erasure_reads", self.erasure_reads)
+            .with("chip_failures_detected", self.chip_failures_detected)
+            .with("due_events", self.due_events)
+            .with("fallback_fraction", self.fallback_fraction())
+    }
 }
 
 #[cfg(test)]
@@ -72,9 +88,11 @@ mod tests {
 
     #[test]
     fn publishes_metrics() {
-        let mut s = CoreStats::default();
-        s.reads = 1000;
-        s.fallbacks = 2;
+        let s = CoreStats {
+            reads: 1000,
+            fallbacks: 2,
+            ..Default::default()
+        };
         let reg = pmck_rt::metrics::MetricsRegistry::new();
         s.publish_metrics(&reg, "engine");
         assert_eq!(reg.counter("engine.reads"), 1000);

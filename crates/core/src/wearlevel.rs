@@ -12,36 +12,28 @@
 //! location as the new gap. Over `capacity + 1` moves every logical block
 //! has occupied every physical slot, spreading hot writes.
 //!
-//! [`WearLevelledMemory`] wraps [`ChipkillMemory`] with that remap layer,
-//! performing gap moves through the engine's conventional write path (so
-//! every VLEW stays consistent) and zeroing vacated slots exactly as
-//! §V-E prescribes.
+//! [`WearLevelled`] is middleware over any [`BlockDevice`]: it remaps
+//! demand reads/writes/scrubs through the current Start-Gap mapping and
+//! performs gap moves through the inner device's own access path (so
+//! every VLEW stays consistent), zeroing vacated slots exactly as §V-E
+//! prescribes. [`WearLevelledMemory`] is the classic concrete form over
+//! a bare [`ChipkillMemory`].
 
 use crate::config::ChipkillConfig;
+use crate::device::{record_access, Access, AccessContext, AccessOutcome, BlockDevice};
 use crate::engine::{ChipkillMemory, CoreError, ReadOutcome};
+use crate::stats::CoreStats;
 
-/// Start-Gap wear-levelled view of a chipkill rank.
+/// Start-Gap wear-levelled view of an inner block device.
 ///
-/// Logical addresses `0..logical_blocks` map onto `logical_blocks + 1`
-/// physical blocks (one gap). Reads and writes are forwarded through the
-/// current mapping; every `gap_move_interval` demand writes the gap
-/// advances one slot.
-///
-/// # Examples
-///
-/// ```
-/// use pmck_core::{ChipkillConfig, WearLevelledMemory};
-///
-/// let mut mem = WearLevelledMemory::new(63, ChipkillConfig::default(), 4);
-/// mem.write(5, &[0xAA; 64]).unwrap();
-/// for i in 0..200 {
-///     mem.write(i % 63, &[i as u8; 64]).unwrap(); // triggers gap moves
-/// }
-/// assert!(mem.gap_moves() > 0);
-/// ```
+/// Logical addresses `0..logical_blocks` map onto a ring of
+/// `logical_blocks + 1` physical blocks (one gap) at the bottom of the
+/// inner device. Reads and writes are forwarded through the current
+/// mapping; every `gap_move_interval` demand writes the gap advances one
+/// slot.
 #[derive(Debug, Clone)]
-pub struct WearLevelledMemory {
-    inner: ChipkillMemory,
+pub struct WearLevelled<D> {
+    inner: D,
     logical_blocks: u64,
     /// Physical index of the current gap block.
     gap: u64,
@@ -53,29 +45,23 @@ pub struct WearLevelledMemory {
     gap_moves: u64,
 }
 
-impl WearLevelledMemory {
-    /// Creates a wear-levelled rank with `logical_blocks` usable blocks
-    /// (one extra physical block becomes the roving gap) and a gap move
-    /// every `gap_move_interval` writes (Start-Gap uses 100 in \[87\]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `logical_blocks == 0` or `gap_move_interval == 0`.
-    pub fn new(logical_blocks: u64, cfg: ChipkillConfig, gap_move_interval: u64) -> Self {
-        assert!(logical_blocks > 0, "need at least one logical block");
-        assert!(gap_move_interval > 0, "interval must be positive");
-        let inner = ChipkillMemory::new(logical_blocks + 1, cfg);
-        WearLevelledMemory {
-            gap: logical_blocks, // start with the gap at the top
-            start: 0,
-            inner,
-            logical_blocks,
-            gap_move_interval,
-            writes_since_move: 0,
-            gap_moves: 0,
-        }
-    }
+/// The classic concrete form: Start-Gap directly over a chipkill rank.
+///
+/// # Examples
+///
+/// ```
+/// use pmck_core::{ChipkillConfig, WearLevelledMemory};
+///
+/// let mut mem = WearLevelledMemory::new(63, ChipkillConfig::default(), 4);
+/// mem.write_block(5, &[0xAA; 64]).unwrap();
+/// for i in 0..200 {
+///     mem.write_block(i % 63, &[i as u8; 64]).unwrap(); // triggers gap moves
+/// }
+/// assert!(mem.gap_moves() > 0);
+/// ```
+pub type WearLevelledMemory = WearLevelled<ChipkillMemory>;
 
+impl<D> WearLevelled<D> {
     /// Usable (logical) capacity in blocks.
     pub fn logical_blocks(&self) -> u64 {
         self.logical_blocks
@@ -86,14 +72,14 @@ impl WearLevelledMemory {
         self.gap_moves
     }
 
-    /// The underlying physical rank (for scrubbing, injection, stats).
-    pub fn inner(&self) -> &ChipkillMemory {
+    /// The wrapped device (for scrubbing, injection, stats).
+    pub fn inner(&self) -> &D {
         &self.inner
     }
 
-    /// Mutable access to the underlying rank (error injection in tests;
+    /// Mutable access to the wrapped device (error injection in tests;
     /// scrubbing).
-    pub fn inner_mut(&mut self) -> &mut ChipkillMemory {
+    pub fn inner_mut(&mut self) -> &mut D {
         &mut self.inner
     }
 
@@ -122,12 +108,100 @@ impl WearLevelledMemory {
         Ok(())
     }
 
+    /// Advances the ring bookkeeping for a completed gap move, returning
+    /// the (victim, old_gap) physical pair the caller just swapped.
+    fn advance_gap(&mut self) -> (u64, u64) {
+        let n = self.logical_blocks + 1;
+        let victim = (self.gap + n - 1) % n;
+        let old_gap = self.gap;
+        if victim == self.start {
+            self.start = (self.start + 1) % n;
+        }
+        self.gap = victim;
+        self.gap_moves += 1;
+        (victim, old_gap)
+    }
+}
+
+impl<D: BlockDevice> WearLevelled<D> {
+    /// Wraps `inner` with Start-Gap leveling over its bottom
+    /// `logical_blocks + 1` physical blocks, moving the gap every
+    /// `gap_move_interval` demand writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_blocks == 0`, `gap_move_interval == 0`, or
+    /// `inner` has fewer than `logical_blocks + 1` blocks.
+    pub fn over(inner: D, logical_blocks: u64, gap_move_interval: u64) -> Self {
+        assert!(logical_blocks > 0, "need at least one logical block");
+        assert!(gap_move_interval > 0, "interval must be positive");
+        assert!(
+            inner.num_blocks() > logical_blocks,
+            "inner device must spare one gap block ({} <= {logical_blocks})",
+            inner.num_blocks()
+        );
+        WearLevelled {
+            gap: logical_blocks, // start with the gap at the top
+            start: 0,
+            inner,
+            logical_blocks,
+            gap_move_interval,
+            writes_since_move: 0,
+            gap_moves: 0,
+        }
+    }
+
+    /// One Start-Gap move through the inner device's access path: the
+    /// block physically just below the gap moves into the gap, and its
+    /// old slot — now vacated — is zeroed with the §V-E VLEW update (as
+    /// if its physical bits are zeros).
+    fn move_gap_ctx(&mut self, ctx: &mut AccessContext) -> Result<(), CoreError> {
+        let n = self.logical_blocks + 1;
+        let victim = (self.gap + n - 1) % n;
+        let data = match self.inner.access(Access::Read(victim), ctx)? {
+            AccessOutcome::Read(out) => out.data,
+            other => unreachable!("read returned {other:?}"),
+        };
+        self.inner.access(
+            Access::Write {
+                addr: self.gap,
+                data,
+            },
+            ctx,
+        )?;
+        self.inner.access(
+            Access::Write {
+                addr: victim,
+                data: [0u8; 64],
+            },
+            ctx,
+        )?;
+        self.advance_gap();
+        ctx.layer_mut("wearlevel").gap_moves += 1;
+        Ok(())
+    }
+}
+
+impl WearLevelled<ChipkillMemory> {
+    /// Creates a wear-levelled rank with `logical_blocks` usable blocks
+    /// (one extra physical block becomes the roving gap) and a gap move
+    /// every `gap_move_interval` writes (Start-Gap uses 100 in \[87\]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_blocks == 0` or `gap_move_interval == 0`.
+    pub fn new(logical_blocks: u64, cfg: ChipkillConfig, gap_move_interval: u64) -> Self {
+        assert!(logical_blocks > 0, "need at least one logical block");
+        let inner = ChipkillMemory::new(logical_blocks + 1, cfg);
+        Self::over(inner, logical_blocks, gap_move_interval)
+    }
+
     /// Reads the logical block.
     ///
     /// # Errors
     ///
     /// As [`ChipkillMemory::read_block`], with logical range checking.
-    pub fn read(&mut self, logical: u64) -> Result<ReadOutcome, CoreError> {
+    pub fn read_block(&mut self, logical: u64) -> Result<ReadOutcome, CoreError> {
         self.check(logical)?;
         let phys = self.physical_of(logical);
         self.inner.read_block(phys)
@@ -139,7 +213,7 @@ impl WearLevelledMemory {
     /// # Errors
     ///
     /// As [`ChipkillMemory::write_block`].
-    pub fn write(&mut self, logical: u64, data: &[u8; 64]) -> Result<(), CoreError> {
+    pub fn write_block(&mut self, logical: u64, data: &[u8; 64]) -> Result<(), CoreError> {
         self.check(logical)?;
         let phys = self.physical_of(logical);
         self.inner.write_block(phys, data)?;
@@ -151,11 +225,27 @@ impl WearLevelledMemory {
         Ok(())
     }
 
-    /// Advances the gap one slot backwards around the ring: the block
-    /// physically just below the gap moves into the gap, and its old slot
-    /// — now vacated — is zeroed with the §V-E VLEW update (as if its
-    /// physical bits are zeros). When the victim is the anchor slot, the
-    /// whole rotation advances.
+    /// Deprecated spelling of [`WearLevelledMemory::read_block`].
+    ///
+    /// # Errors
+    ///
+    /// As [`WearLevelledMemory::read_block`].
+    #[deprecated(note = "renamed to `read_block` for API consistency across layers")]
+    pub fn read(&mut self, logical: u64) -> Result<ReadOutcome, CoreError> {
+        self.read_block(logical)
+    }
+
+    /// Deprecated spelling of [`WearLevelledMemory::write_block`].
+    ///
+    /// # Errors
+    ///
+    /// As [`WearLevelledMemory::write_block`].
+    #[deprecated(note = "renamed to `write_block` for API consistency across layers")]
+    pub fn write(&mut self, logical: u64, data: &[u8; 64]) -> Result<(), CoreError> {
+        self.write_block(logical, data)
+    }
+
+    /// Direct-path gap move (outside any [`AccessContext`]).
     fn move_gap(&mut self) -> Result<(), CoreError> {
         let n = self.logical_blocks + 1;
         let victim = (self.gap + n - 1) % n;
@@ -165,12 +255,70 @@ impl WearLevelledMemory {
         // Vacate the old slot: zero it so its VLEW contribution is the
         // all-zero pattern (keeps the stripe consistent, §V-E).
         self.inner.write_block(victim, &[0u8; 64])?;
-        if victim == self.start {
-            self.start = (self.start + 1) % n;
-        }
-        self.gap = victim;
-        self.gap_moves += 1;
+        self.advance_gap();
         Ok(())
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for WearLevelled<D> {
+    fn label(&self) -> &'static str {
+        "wearlevel"
+    }
+
+    /// Capacity as seen above the layer: logical blocks only.
+    fn num_blocks(&self) -> u64 {
+        self.logical_blocks
+    }
+
+    fn detected_failed_chip(&self) -> Option<usize> {
+        self.inner.detected_failed_chip()
+    }
+
+    fn core_stats(&self) -> Option<CoreStats> {
+        self.inner.core_stats()
+    }
+
+    fn access(
+        &mut self,
+        access: Access,
+        ctx: &mut AccessContext,
+    ) -> Result<AccessOutcome, CoreError> {
+        let result = match access {
+            Access::Read(logical) => self.check(logical).and_then(|()| {
+                let phys = self.physical_of(logical);
+                self.inner.access(Access::Read(phys), ctx)
+            }),
+            Access::Write { addr, data } => self.check(addr).and_then(|()| {
+                let phys = self.physical_of(addr);
+                let out = self.inner.access(Access::Write { addr: phys, data }, ctx)?;
+                self.writes_since_move += 1;
+                if self.writes_since_move >= self.gap_move_interval {
+                    self.writes_since_move = 0;
+                    self.move_gap_ctx(ctx)?;
+                }
+                Ok(out)
+            }),
+            Access::WriteSum { addr, data } => self.check(addr).and_then(|()| {
+                let phys = self.physical_of(addr);
+                let out = self
+                    .inner
+                    .access(Access::WriteSum { addr: phys, data }, ctx)?;
+                self.writes_since_move += 1;
+                if self.writes_since_move >= self.gap_move_interval {
+                    self.writes_since_move = 0;
+                    self.move_gap_ctx(ctx)?;
+                }
+                Ok(out)
+            }),
+            Access::Scrub(logical) => self.check(logical).and_then(|()| {
+                let phys = self.physical_of(logical);
+                self.inner.access(Access::Scrub(phys), ctx)
+            }),
+            // Whole-device operations are not address-translated.
+            other => self.inner.access(other, ctx),
+        };
+        record_access(ctx, "wearlevel", &access, &result);
+        result
     }
 }
 
@@ -188,7 +336,7 @@ mod tests {
                 for (i, x) in b.iter_mut().enumerate() {
                     *x = (a as u8).wrapping_mul(17) ^ (i as u8);
                 }
-                mem.write(a, &b).unwrap();
+                mem.write_block(a, &b).unwrap();
                 b
             })
             .collect();
@@ -206,7 +354,7 @@ mod tests {
                 assert_ne!(p, mem.gap, "logical never maps to the gap");
                 assert!(seen.insert(p), "step {step}: collision at {p}");
             }
-            mem.write(step % 31, &[step as u8; 64]).unwrap();
+            mem.write_block(step % 31, &[step as u8; 64]).unwrap();
         }
     }
 
@@ -220,12 +368,12 @@ mod tests {
             let l = rng.gen_range(0..31);
             let mut v = [0u8; 64];
             rng.fill_bytes(&mut v[..]);
-            mem.write(l, &v).unwrap();
+            mem.write_block(l, &v).unwrap();
             truth[l as usize] = v;
         }
         assert!(mem.gap_moves() > 700);
         for (l, v) in truth.iter().enumerate() {
-            assert_eq!(&mem.read(l as u64).unwrap().data, v, "logical {l}");
+            assert_eq!(&mem.read_block(l as u64).unwrap().data, v, "logical {l}");
         }
     }
 
@@ -233,7 +381,7 @@ mod tests {
     fn vlew_consistency_maintained_through_remaps() {
         let (mut mem, _) = filled(63, 1);
         for i in 0..300u64 {
-            mem.write(i % 63, &[i as u8; 64]).unwrap();
+            mem.write_block(i % 63, &[i as u8; 64]).unwrap();
         }
         assert!(mem.inner_mut().verify_consistent());
     }
@@ -241,19 +389,19 @@ mod tests {
     #[test]
     fn scrub_works_on_levelled_rank() {
         let (mut mem, _) = filled(31, 4);
-        let mut truth: Vec<[u8; 64]> = (0..31).map(|l| mem.read(l).unwrap().data).collect();
+        let mut truth: Vec<[u8; 64]> = (0..31).map(|l| mem.read_block(l).unwrap().data).collect();
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..100 {
             let l = rng.gen_range(0..31);
             let mut v = [0u8; 64];
             rng.fill_bytes(&mut v[..]);
-            mem.write(l, &v).unwrap();
+            mem.write_block(l, &v).unwrap();
             truth[l as usize] = v;
         }
         mem.inner_mut().inject_bit_errors(1e-3, &mut rng);
         mem.inner_mut().boot_scrub().unwrap();
         for (l, v) in truth.iter().enumerate() {
-            assert_eq!(&mem.read(l as u64).unwrap().data, v);
+            assert_eq!(&mem.read_block(l as u64).unwrap().data, v);
         }
     }
 
@@ -264,7 +412,7 @@ mod tests {
         let mut touched = std::collections::HashSet::new();
         for i in 0..200u64 {
             touched.insert(mem.physical_of(3));
-            mem.write(3, &[i as u8; 64]).unwrap();
+            mem.write_block(3, &[i as u8; 64]).unwrap();
         }
         assert!(
             touched.len() >= 8,
@@ -276,10 +424,46 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut mem = WearLevelledMemory::new(8, ChipkillConfig::default(), 4);
-        assert!(matches!(mem.read(8), Err(CoreError::OutOfRange(8))));
+        assert!(matches!(mem.read_block(8), Err(CoreError::OutOfRange(8))));
         assert!(matches!(
-            mem.write(100, &[0; 64]),
+            mem.write_block(100, &[0; 64]),
             Err(CoreError::OutOfRange(100))
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_still_work() {
+        let mut mem = WearLevelledMemory::new(8, ChipkillConfig::default(), 4);
+        mem.write(2, &[0x42; 64]).unwrap();
+        assert_eq!(mem.read(2).unwrap().data, [0x42; 64]);
+    }
+
+    #[test]
+    fn trait_access_matches_direct_calls() {
+        let mut direct = WearLevelledMemory::new(31, ChipkillConfig::default(), 2);
+        let mut stacked =
+            WearLevelled::over(ChipkillMemory::new(32, ChipkillConfig::default()), 31, 2);
+        let mut ctx = AccessContext::scratch();
+        for i in 0..200u64 {
+            let l = i % 31;
+            let data = [i as u8; 64];
+            direct.write_block(l, &data).unwrap();
+            stacked
+                .access(Access::Write { addr: l, data }, &mut ctx)
+                .unwrap();
+        }
+        assert_eq!(direct.gap_moves(), stacked.gap_moves());
+        for l in 0..31u64 {
+            let want = direct.read_block(l).unwrap().data;
+            match stacked.access(Access::Read(l), &mut ctx).unwrap() {
+                AccessOutcome::Read(out) => assert_eq!(out.data, want, "logical {l}"),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(
+            ctx.layer("wearlevel").unwrap().gap_moves,
+            stacked.gap_moves()
+        );
     }
 }

@@ -56,7 +56,7 @@ fn one_or_two_byte_errors_use_rs_path() {
         match out.path {
             ReadPath::Clean => continue,
             ReadPath::RsCorrected { corrections } => {
-                assert!(corrections >= 1 && corrections <= 2);
+                assert!((1..=2).contains(&corrections));
                 break;
             }
             other => panic!("unexpected path {other:?}"),

@@ -18,17 +18,16 @@ fn tables() -> &'static Tables {
         let mut exp = [0u8; 2 * ORDER];
         let mut log = [0u8; 256];
         let mut x = 1u32;
-        for i in 0..ORDER {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().take(ORDER).enumerate() {
+            *e = x as u8;
             log[x as usize] = i as u8;
             x <<= 1;
             if x & 0x100 != 0 {
                 x ^= POLY;
             }
         }
-        for i in 0..ORDER {
-            exp[ORDER + i] = exp[i];
-        }
+        let (lo, hi) = exp.split_at_mut(ORDER);
+        hi.copy_from_slice(lo);
         Tables { exp, log }
     })
 }
@@ -158,6 +157,9 @@ impl fmt::Octal for Gf256 {
 
 impl Add for Gf256 {
     type Output = Gf256;
+    // Addition in GF(2^8) IS carry-less XOR; clippy's "suspicious
+    // arithmetic" heuristic does not apply to characteristic-2 fields.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn add(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
@@ -165,6 +167,7 @@ impl Add for Gf256 {
 }
 
 impl AddAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
     #[inline]
     fn add_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
@@ -173,6 +176,7 @@ impl AddAssign for Gf256 {
 
 impl Sub for Gf256 {
     type Output = Gf256;
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn sub(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
@@ -180,6 +184,7 @@ impl Sub for Gf256 {
 }
 
 impl SubAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
     #[inline]
     fn sub_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
@@ -219,6 +224,7 @@ impl Div for Gf256 {
     /// # Panics
     ///
     /// Panics when dividing by zero.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Gf256) -> Gf256 {
         let inv = rhs.inv().expect("division by zero in GF(2^8)");

@@ -315,6 +315,88 @@ impl Case for BitFlipCase {
     }
 }
 
+/// A whole-chip failure plus one scattered symbol error on a *surviving*
+/// chip; the case shape for engine-level chipkill-erasure properties.
+///
+/// The dead chip consumes all eight RS check symbols as erasures, so the
+/// stray error on the survivor is only recoverable because the erasure
+/// path decodes the survivors' VLEWs before reconstructing — exactly the
+/// §V-C layering the property pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipkillErasureCase {
+    /// The chip that fails outright (any of the nine, parity included).
+    pub failed_chip: usize,
+    /// A different, surviving chip carrying the scattered error.
+    pub error_chip: usize,
+    /// Block whose slice of `error_chip` takes the error.
+    pub error_block: u64,
+    /// Byte offset within the chip's 8-byte block slice.
+    pub error_byte: usize,
+    /// Nonzero XOR mask applied to that byte.
+    pub error_mask: u8,
+}
+
+impl Case for ChipkillErasureCase {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("failed_chip", self.failed_chip as u64)
+            .with("error_chip", self.error_chip as u64)
+            .with("error_block", self.error_block)
+            .with("error_byte", self.error_byte as u64)
+            .with("error_mask", self.error_mask as u64)
+    }
+
+    fn from_json(value: &Json) -> Option<Self> {
+        let case = ChipkillErasureCase {
+            failed_chip: value
+                .get("failed_chip")?
+                .as_u64()
+                .and_then(|n| usize::try_from(n).ok())?,
+            error_chip: value
+                .get("error_chip")?
+                .as_u64()
+                .and_then(|n| usize::try_from(n).ok())?,
+            error_block: value.get("error_block")?.as_u64()?,
+            error_byte: value
+                .get("error_byte")?
+                .as_u64()
+                .and_then(|n| usize::try_from(n).ok())?,
+            error_mask: value
+                .get("error_mask")?
+                .as_u64()
+                .and_then(|n| u8::try_from(n).ok())?,
+        };
+        if case.failed_chip == case.error_chip || case.error_mask == 0 {
+            return None;
+        }
+        Some(case)
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let lowest = self.error_mask & self.error_mask.wrapping_neg();
+        if lowest != self.error_mask {
+            out.push(ChipkillErasureCase {
+                error_mask: lowest,
+                ..self.clone()
+            });
+        }
+        if self.error_byte != 0 {
+            out.push(ChipkillErasureCase {
+                error_byte: 0,
+                ..self.clone()
+            });
+        }
+        if self.error_block != 0 {
+            out.push(ChipkillErasureCase {
+                error_block: 0,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
 /// An arbitrary JSON value tree; the case shape for `pmck_rt::json`
 /// round-trip properties.
 #[derive(Debug, Clone, PartialEq)]

@@ -46,7 +46,9 @@ pub mod corpus;
 pub mod oracle;
 pub mod runner;
 
-pub use cases::{BitFlipCase, ByteErrorCase, ErasureCase, FieldPairCase, JsonCase};
+pub use cases::{
+    BitFlipCase, ByteErrorCase, ChipkillErasureCase, ErasureCase, FieldPairCase, JsonCase,
+};
 pub use oracle::{
     diff_bch, diff_rs_erasures, ref_bch_decode, ref_rs_erasure_decode, RefBchOutcome, RefRsOutcome,
 };

@@ -73,9 +73,9 @@ fn solve(f: &Gf2m, mut a: Vec<Vec<u32>>, mut b: Vec<u32>) -> LinearSolution {
         for r2 in pivot_row + 1..rows {
             if a[r2][col] != 0 {
                 let factor = f.div(a[r2][col], pivot).expect("pivot nonzero");
-                for c in col..cols {
-                    let sub = f.mul(factor, a[pivot_row][c]);
-                    a[r2][c] ^= sub;
+                let (upper, lower) = a.split_at_mut(r2);
+                for (dst, &src) in lower[0][col..].iter_mut().zip(&upper[pivot_row][col..]) {
+                    *dst ^= f.mul(factor, src);
                 }
                 b[r2] ^= f.mul(factor, b[pivot_row]);
             }
@@ -88,10 +88,8 @@ fn solve(f: &Gf2m, mut a: Vec<Vec<u32>>, mut b: Vec<u32>) -> LinearSolution {
     }
     // Rows below the last pivot now have all-zero coefficients; a
     // nonzero right-hand side there means the system has no solution.
-    for r in pivots.len()..rows {
-        if b[r] != 0 {
-            return LinearSolution::Inconsistent;
-        }
+    if b[pivots.len()..rows].iter().any(|&rhs| rhs != 0) {
+        return LinearSolution::Inconsistent;
     }
     if pivots.len() < cols {
         return LinearSolution::Underdetermined;

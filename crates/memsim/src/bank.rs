@@ -3,6 +3,9 @@
 use crate::config::Timing;
 
 /// How an access found the bank's row buffer.
+// "Row hit / row closed / row conflict" is the standard DRAM vocabulary;
+// stripping the prefix would lose the domain terms.
+#[allow(clippy::enum_variant_names)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessClass {
     /// The target row was open: column access only.

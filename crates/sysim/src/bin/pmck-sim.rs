@@ -24,6 +24,7 @@ struct Args {
     metrics: bool,
     measure_ops: Option<u64>,
     warmup_ops: Option<u64>,
+    engine_rber: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
     let mut all = false;
     let mut measure_ops = None;
     let mut warmup_ops = None;
+    let mut engine_rber = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -83,11 +85,19 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or("--warmup-ops needs an integer")?,
                 );
             }
+            "--engine-rber" => {
+                i += 1;
+                engine_rber = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--engine-rber needs a float")?,
+                );
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: pmck-sim [--workload NAME]... [--all] [--nvram reram|pcm] \
                             [--quick] [--seed N] [--json] [--metrics] [--measure-ops N] \
-                            [--warmup-ops N]"
+                            [--warmup-ops N] [--engine-rber P]"
                         .into(),
                 )
             }
@@ -107,6 +117,7 @@ fn parse_args() -> Result<Args, String> {
         metrics,
         measure_ops,
         warmup_ops,
+        engine_rber,
     })
 }
 
@@ -120,8 +131,8 @@ fn main() -> ExitCode {
     };
     if !args.json {
         println!(
-            "{:<10} {:>9} {:>7} {:>8} {:>9} {:>9} {:>8}",
-            "workload", "norm.perf", "C", "OMV-hit", "dirtyPM%", "PMwr%", "LLChit%"
+            "{:<10} {:>9} {:>7} {:>8} {:>9} {:>9} {:>8} {:>6}",
+            "workload", "norm.perf", "C", "OMV-hit", "dirtyPM%", "PMwr%", "LLChit%", "fallb"
         );
     }
     let mut results = Vec::new();
@@ -138,6 +149,9 @@ fn main() -> ExitCode {
             if let Some(w) = args.warmup_ops {
                 cfg.warmup_ops = w;
             }
+            if let Some(r) = args.engine_rber {
+                cfg.engine_rber = r;
+            }
             cfg
         });
         if args.json {
@@ -146,14 +160,15 @@ fn main() -> ExitCode {
         }
         let (_, pm_w, _, _) = cmp.proposal.access_breakdown();
         println!(
-            "{:<10} {:>9.4} {:>7.3} {:>8.4} {:>9.4} {:>9.4} {:>8.4}",
+            "{:<10} {:>9.4} {:>7.3} {:>8.4} {:>9.4} {:>9.4} {:>8.4} {:>6}",
             cmp.baseline.workload,
             cmp.normalized_performance(),
             cmp.c_factor,
             cmp.proposal.omv_hit_rate,
             cmp.proposal.dirty_pm_avg * 100.0,
             pm_w * 100.0,
-            cmp.proposal.llc_hit_rate
+            cmp.proposal.llc_hit_rate,
+            cmp.proposal.vlew_fallbacks
         );
         results.push(cmp);
     }

@@ -65,11 +65,19 @@ pub struct SimConfig {
     pub warmup_ops: u64,
     /// Measured operations per core (timed phase).
     pub measure_ops: u64,
-    /// Probability that a PM read triggers the VLEW fallback force-fetch
-    /// (§VI models 0.02%).
-    pub fallback_prob: f64,
     /// Blocks force-fetched per fallback (§VI: 37).
     pub fallback_blocks: usize,
+    /// Blocks in the functional chipkill rank the proposal's timing loop
+    /// drives (PM addresses fold onto it modulo this size).
+    pub engine_blocks: u64,
+    /// RBER injected into the functional rank once per
+    /// [`SimConfig::engine_interval`]. At the §V-C design point (2·10⁻⁴,
+    /// patrol-scrubbed each interval) the engine's emergent VLEW-fallback
+    /// rate sits at the paper's ~0.02%.
+    pub engine_rber: f64,
+    /// Engine accesses per error-injection interval; the patrol layer is
+    /// paced to complete one full pass over the rank per interval.
+    pub engine_interval: u64,
     /// Dirty-PM occupancy sampling interval, in per-core ops.
     pub sample_interval: u64,
     /// Ablation: run the proposal *without* OMV caching — every PM write
@@ -87,8 +95,10 @@ impl SimConfig {
             scheme,
             warmup_ops: 220_000,
             measure_ops: 150_000,
-            fallback_prob: 2e-4,
             fallback_blocks: 37,
+            engine_blocks: 512,
+            engine_rber: 2e-4,
+            engine_interval: 2_048,
             sample_interval: 2_000,
             force_omv_off: false,
         }

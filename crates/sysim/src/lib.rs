@@ -11,8 +11,11 @@
 //! * the **baseline** scheme (per-block bit-error BCH: no OMV machinery,
 //!   no write slowing, no VLEW traffic) versus the **proposal**
 //!   (OMV-enabled LLC; iso-lifetime `tWR` scaling by `1 + (33/8)·C` plus
-//!   20 ns; 0.02%-probability force-fetch of 37 blocks for VLEW fallback
-//!   reads; an extra PM read whenever a PM write misses its OMV).
+//!   20 ns; a 37-block force-fetch whenever the coupled functional
+//!   chipkill stack (`pmck-core`'s [`pmck_core::Stack`]) actually decodes
+//!   a demand read through its VLEW fallback — at the §V-C design point
+//!   the emergent rate is the paper's ~0.02%; an extra PM read whenever a
+//!   PM write misses its OMV).
 //!
 //! The C factor is measured from the EUR model during a profiling pass of
 //! the same trace (Figure 15), exactly as the paper measures per-workload

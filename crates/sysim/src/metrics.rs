@@ -1,5 +1,6 @@
 //! Simulation results.
 
+use pmck_core::{CoreStats, LayerStats};
 use pmck_rt::json::{Json, ToJson};
 use pmck_rt::metrics::MetricsRegistry;
 
@@ -29,8 +30,17 @@ pub struct SimResult {
     /// Average fraction of cache lines holding dirty PM blocks
     /// (Figure 10).
     pub dirty_pm_avg: f64,
-    /// VLEW fallback force-fetches injected.
-    pub fallbacks_injected: u64,
+    /// VLEW-fallback force-fetch events the timing loop charged. These
+    /// come from real decode outcomes of the coupled functional stack —
+    /// one per demand read the engine served via
+    /// [`pmck_core::ReadPath::VlewFallback`] — and equal the engine's
+    /// [`CoreStats::fallbacks`] for the run.
+    pub vlew_fallbacks: u64,
+    /// The coupled chipkill engine's counters (proposal runs only).
+    pub engine: Option<CoreStats>,
+    /// Per-layer breakdown from the functional stack's
+    /// [`pmck_core::AccessContext`], bottom-up order as first accessed.
+    pub layers: Vec<(String, LayerStats)>,
     /// LLC demand hit rate.
     pub llc_hit_rate: f64,
     /// Memory-controller row-buffer hit rate.
@@ -67,7 +77,11 @@ impl SimResult {
 
 impl ToJson for SimResult {
     fn to_json(&self) -> Json {
-        Json::object()
+        let mut layers = Json::object();
+        for (label, stats) in &self.layers {
+            layers = layers.with(label.as_str(), stats.to_json());
+        }
+        let mut out = Json::object()
             .with("workload", self.workload.as_str())
             .with("ops_measured", self.ops_measured)
             .with("measured_ps", self.measured_ps)
@@ -79,17 +93,24 @@ impl ToJson for SimResult {
             .with("omv_hit_rate", self.omv_hit_rate)
             .with("omv_misses", self.omv_misses)
             .with("dirty_pm_avg", self.dirty_pm_avg)
-            .with("fallbacks_injected", self.fallbacks_injected)
+            .with("vlew_fallbacks", self.vlew_fallbacks)
+            .with("layers", layers)
             .with("llc_hit_rate", self.llc_hit_rate)
             .with("row_hit_rate", self.row_hit_rate)
-            .with("write_row_hit_rate", self.write_row_hit_rate)
+            .with("write_row_hit_rate", self.write_row_hit_rate);
+        if let Some(engine) = &self.engine {
+            out = out.with("engine", engine.to_json());
+        }
+        out
     }
 }
 
 impl SimResult {
     /// Publishes the run's counters and rates into `reg` under
     /// `prefix.*`, the uniform observability surface shared with the
-    /// memory controller, LLC, and chipkill engine.
+    /// memory controller, LLC, and chipkill engine. Engine counters land
+    /// under `prefix.engine.*` and per-layer stats under
+    /// `prefix.layer.<label>.*`.
     pub fn publish_metrics(&self, reg: &MetricsRegistry, prefix: &str) {
         reg.set_counter(&format!("{prefix}.ops_measured"), self.ops_measured);
         reg.set_counter(&format!("{prefix}.measured_ps"), self.measured_ps);
@@ -98,10 +119,7 @@ impl SimResult {
         reg.set_counter(&format!("{prefix}.dram_reads"), self.dram_reads);
         reg.set_counter(&format!("{prefix}.dram_writes"), self.dram_writes);
         reg.set_counter(&format!("{prefix}.omv_misses"), self.omv_misses);
-        reg.set_counter(
-            &format!("{prefix}.fallbacks_injected"),
-            self.fallbacks_injected,
-        );
+        reg.set_counter(&format!("{prefix}.vlew_fallbacks"), self.vlew_fallbacks);
         reg.set_gauge(&format!("{prefix}.c_factor"), self.c_factor);
         reg.set_gauge(&format!("{prefix}.omv_hit_rate"), self.omv_hit_rate);
         reg.set_gauge(&format!("{prefix}.dirty_pm_avg"), self.dirty_pm_avg);
@@ -112,6 +130,12 @@ impl SimResult {
             self.write_row_hit_rate,
         );
         reg.set_gauge(&format!("{prefix}.ops_per_ns"), self.ops_per_ns());
+        if let Some(engine) = &self.engine {
+            engine.publish_metrics(reg, &format!("{prefix}.engine"));
+        }
+        for (label, stats) in &self.layers {
+            stats.publish_metrics(reg, &format!("{prefix}.layer.{label}"));
+        }
     }
 }
 
@@ -132,7 +156,9 @@ mod tests {
             omv_hit_rate: 0.0,
             omv_misses: 0,
             dirty_pm_avg: 0.0,
-            fallbacks_injected: 0,
+            vlew_fallbacks: 0,
+            engine: None,
+            layers: Vec::new(),
             llc_hit_rate: 0.0,
             row_hit_rate: 0.0,
             write_row_hit_rate: 0.0,
@@ -158,5 +184,31 @@ mod tests {
         let (a, b, c, d) = r.access_breakdown();
         assert!((a + b + c + d - 1.0).abs() < 1e-12);
         assert!((b - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_includes_engine_and_layers_when_present() {
+        let mut r = zero();
+        r.engine = Some(CoreStats {
+            fallbacks: 3,
+            ..CoreStats::default()
+        });
+        r.layers = vec![(
+            "chipkill".to_string(),
+            LayerStats {
+                reads: 7,
+                ..LayerStats::default()
+            },
+        )];
+        r.vlew_fallbacks = 3;
+        let dumped = r.to_json().dump();
+        assert!(dumped.contains("\"vlew_fallbacks\":3"), "{dumped}");
+        assert!(dumped.contains("\"engine\""), "{dumped}");
+        assert!(dumped.contains("\"chipkill\""), "{dumped}");
+
+        let reg = MetricsRegistry::new();
+        r.publish_metrics(&reg, "sim");
+        assert_eq!(reg.counter("sim.engine.fallbacks"), 3);
+        assert_eq!(reg.counter("sim.layer.chipkill.reads"), 7);
     }
 }

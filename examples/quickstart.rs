@@ -41,7 +41,9 @@ fn main() {
             ReadPath::Clean => paths[0] += 1,
             ReadPath::RsCorrected { .. } => paths[1] += 1,
             ReadPath::VlewFallback { .. } => paths[2] += 1,
-            ReadPath::ChipkillErasure { .. } => unreachable!("no chip failed yet"),
+            ReadPath::ChipkillErasure { .. } | ReadPath::BitCorrected { .. } => {
+                unreachable!("no chip failed and the proposal has no bit-only tier")
+            }
         }
     }
     println!(

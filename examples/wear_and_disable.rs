@@ -79,7 +79,7 @@ fn main() {
     for round in 0..4000u64 {
         touched.insert(levelled.physical_of(7));
         levelled
-            .write(7, &[(round % 256) as u8; 64])
+            .write_block(7, &[(round % 256) as u8; 64])
             .expect("in range");
     }
     println!(
@@ -91,7 +91,7 @@ fn main() {
     // Data integrity under leveling + errors.
     levelled.inner_mut().inject_bit_errors(2e-4, &mut rng);
     assert_eq!(
-        levelled.read(7).expect("readable").data[0],
+        levelled.read_block(7).expect("readable").data[0],
         ((4000 - 1) % 256) as u8
     );
     println!("levelled rank reads back the latest value through the remap + ECC stack.");

@@ -1,0 +1,117 @@
+//! Engine-level chipkill-erasure properties, corpus-seeded.
+//!
+//! The RS tier's eight check symbols are fully consumed as erasures once
+//! a chip dies, so a *second* chip carrying even one scattered symbol
+//! error is beyond the RS word's reach. Reconstruction still succeeds
+//! because the erasure path decodes every survivor's VLEW before
+//! rebuilding the dead chip — the §V-C layering this property pins. The
+//! checked-in corpus seeds it with a crafted dead-chip-plus-stray-bit
+//! case (`tests/corpus/engine-erasure-scattered-crafted.json`), replayed
+//! before the generated ones.
+
+use pmck::chipkill::{ChipkillConfig, ChipkillMemory, ReadPath};
+use pmck::rt::rng::{Rng, StdRng};
+use pmck_harness::{ChipkillErasureCase, Runner};
+
+const BLOCKS: u64 = 32;
+const TOTAL_CHIPS: usize = 9;
+const CHIP_BYTES: usize = 8;
+
+fn pattern(block: u64) -> [u8; 64] {
+    let mut data = [0u8; 64];
+    for (i, byte) in data.iter_mut().enumerate() {
+        *byte = (block as u8).wrapping_mul(67).wrapping_add(i as u8 ^ 0x2D);
+    }
+    data
+}
+
+fn check(case: &ChipkillErasureCase) -> Result<(), String> {
+    let mut mem = ChipkillMemory::new(BLOCKS, ChipkillConfig::default());
+    for block in 0..mem.num_blocks() {
+        mem.write_block(block, &pattern(block))
+            .map_err(|e| format!("fill failed: {e}"))?;
+    }
+    let failed_chip = case.failed_chip % TOTAL_CHIPS;
+    let mut rng = StdRng::seed_from_u64(0xE7A5);
+    mem.fail_chip(
+        failed_chip,
+        pmck::chipkill::ChipFailureKind::StuckOne,
+        &mut rng,
+    );
+    let error_block = case.error_block % mem.num_blocks();
+    mem.corrupt_chip_byte(
+        case.error_chip % TOTAL_CHIPS,
+        error_block,
+        case.error_byte % CHIP_BYTES,
+        case.error_mask,
+    );
+
+    // The block carrying both the dead chip and the scattered error is
+    // the hard one: read it first so detection happens there.
+    let out = mem
+        .read_block(error_block)
+        .map_err(|e| format!("read of the doubly-damaged block failed: {e}"))?;
+    if out.data != pattern(error_block) {
+        return Err(format!(
+            "block {error_block} reconstructed wrong data via {:?}",
+            out.path
+        ));
+    }
+    if !matches!(
+        out.path,
+        ReadPath::VlewFallback { .. } | ReadPath::ChipkillErasure { .. }
+    ) {
+        return Err(format!(
+            "a dead chip cannot be served by {:?}; the RS tier has no margin left",
+            out.path
+        ));
+    }
+    if mem.detected_failed_chip() != Some(failed_chip) {
+        return Err(format!(
+            "decode paths detected {:?}, expected chip {failed_chip}",
+            mem.detected_failed_chip()
+        ));
+    }
+    // Every other block must reconstruct too.
+    for block in 0..mem.num_blocks() {
+        let out = mem
+            .read_block(block)
+            .map_err(|e| format!("block {block} failed after detection: {e}"))?;
+        if out.data != pattern(block) {
+            return Err(format!("block {block} diverged after detection"));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn dead_chip_plus_scattered_bit_reconstructs() {
+    let report = Runner::new("engine:erasure:scattered-bit")
+        .seed(0xC41F)
+        .cases(24)
+        .run(
+            |rng| {
+                let failed_chip = rng.gen_range(0..TOTAL_CHIPS as u64) as usize;
+                let error_chip = {
+                    let pick = rng.gen_range(0..(TOTAL_CHIPS - 1) as u64) as usize;
+                    if pick >= failed_chip {
+                        pick + 1
+                    } else {
+                        pick
+                    }
+                };
+                ChipkillErasureCase {
+                    failed_chip,
+                    error_chip,
+                    error_block: rng.gen_range(0..BLOCKS),
+                    error_byte: rng.gen_range(0..CHIP_BYTES as u64) as usize,
+                    error_mask: (rng.gen_range(0..255u64) + 1) as u8,
+                }
+            },
+            check,
+        );
+    assert!(
+        report.corpus_replayed >= 1,
+        "the crafted corpus case must be present and replayed"
+    );
+}

@@ -1,20 +1,33 @@
-//! Integration: PatrolScrubber × Start-Gap wear leveling.
+//! Integration: patrol scrubbing × Start-Gap wear leveling, composed
+//! through the `BlockDevice` pipeline.
 //!
-//! The patrol scrubber walks *physical* block addresses while Start-Gap
-//! remaps logical→physical underneath it, one block per gap move. A
-//! scrub step landing mid-remap must still observe consistent VLEW code
-//! bits — the gap move rewrites a block (updating its chips' VLEWs via
-//! the EUR), and the scrubber re-encodes whatever stripe its cursor is
-//! on, so any window where the two disagree would show up as a VLEW
-//! verify failure or as data corruption on readback.
+//! The patrol layer walks *physical* block addresses while Start-Gap
+//! remaps logical→physical above it, one block per gap move. A scrub
+//! step landing mid-remap must still observe consistent VLEW code bits —
+//! the gap move rewrites a block (updating its chips' VLEWs via the
+//! EUR), and the scrubber re-encodes whatever stripe its cursor is on,
+//! so any window where the two disagree would show up as a VLEW verify
+//! failure or as data corruption on readback.
+//!
+//! Both campaigns build their stack exclusively through
+//! [`StackBuilder`]: `chipkill` base, manual-step patrol below the
+//! wear-level remap.
 
-use pmck_core::{ChipkillConfig, PatrolScrubber, WearLevelledMemory};
-use pmck_rt::rng::{Rng, StdRng};
+use pmck::chipkill::{ChipkillConfig, Stack, StackBuilder};
+use pmck::rt::rng::{Rng, StdRng};
 
 const LOGICAL_BLOCKS: u64 = 96;
 /// Aggressive gap cadence: a gap move every 4 writes keeps remaps
 /// happening constantly under the scrubber.
 const GAP_MOVE_INTERVAL: u64 = 4;
+
+fn stack(seed: u64) -> Stack {
+    StackBuilder::proposal(LOGICAL_BLOCKS, ChipkillConfig::default())
+        .patrolled(3, 0)
+        .wear_levelled(GAP_MOVE_INTERVAL)
+        .seed(seed)
+        .build()
+}
 
 fn pattern(block: u64, version: u32) -> [u8; 64] {
     let mut data = [0u8; 64];
@@ -33,14 +46,12 @@ fn pattern(block: u64, version: u32) -> [u8; 64] {
 /// any granularity without ever leaving VLEW or RS state torn.
 #[test]
 fn scrub_mid_remap_sees_consistent_vlew_code_bits() {
-    let mut wl =
-        WearLevelledMemory::new(LOGICAL_BLOCKS, ChipkillConfig::default(), GAP_MOVE_INTERVAL);
-    let mut scrubber = PatrolScrubber::new(3);
+    let mut stack = stack(0x9A7);
     let mut rng = StdRng::seed_from_u64(0x9A7);
     let mut versions = vec![0u32; LOGICAL_BLOCKS as usize];
 
     for block in 0..LOGICAL_BLOCKS {
-        wl.write(block, &pattern(block, 0)).unwrap();
+        stack.write(block, &pattern(block, 0)).unwrap();
     }
 
     for round in 0..400 {
@@ -48,11 +59,12 @@ fn scrub_mid_remap_sees_consistent_vlew_code_bits() {
         match rng.gen_range(0u32..3) {
             0 => {
                 versions[block as usize] += 1;
-                wl.write(block, &pattern(block, versions[block as usize]))
+                stack
+                    .write(block, &pattern(block, versions[block as usize]))
                     .unwrap();
             }
             1 => {
-                let out = wl.read(block).unwrap();
+                let out = stack.read(block).unwrap();
                 assert_eq!(
                     out.data,
                     pattern(block, versions[block as usize]),
@@ -60,31 +72,30 @@ fn scrub_mid_remap_sees_consistent_vlew_code_bits() {
                 );
             }
             _ => {
-                scrubber.step(wl.inner_mut()).unwrap();
+                stack.patrol_step().unwrap();
             }
         }
-        // The scrubber's cursor is independent of the gap position, so
-        // some steps land exactly on the block being remapped; with no
+        // The patrol cursor is independent of the gap position, so some
+        // steps land exactly on the block being remapped; with no
         // injected faults, consistency must hold at every round.
         if round % 25 == 0 {
             assert!(
-                wl.inner_mut().verify_consistent(),
+                stack.verify_consistent().unwrap(),
                 "round {round}: VLEW/RS state inconsistent mid-campaign"
             );
         }
     }
 
+    let wearlevel = stack.layer("wearlevel").expect("wear-level layer");
     assert!(
-        wl.gap_moves() > 0,
+        wearlevel.gap_moves > 0,
         "the campaign must have exercised remaps"
     );
-    assert!(
-        scrubber.passes() > 0 || scrubber.cursor() > 0,
-        "patrol must have run"
-    );
-    assert!(wl.inner_mut().verify_consistent());
+    let patrol = stack.layer("patrol").expect("patrol layer");
+    assert!(patrol.patrol_steps > 0, "patrol must have run");
+    assert!(stack.verify_consistent().unwrap());
     for block in 0..LOGICAL_BLOCKS {
-        let out = wl.read(block).unwrap();
+        let out = stack.read(block).unwrap();
         assert_eq!(out.data, pattern(block, versions[block as usize]));
     }
 }
@@ -95,14 +106,12 @@ fn scrub_mid_remap_sees_consistent_vlew_code_bits() {
 /// must verify consistent again and every block must read back clean.
 #[test]
 fn patrol_under_wear_leveling_repairs_injected_errors() {
-    let mut wl =
-        WearLevelledMemory::new(LOGICAL_BLOCKS, ChipkillConfig::default(), GAP_MOVE_INTERVAL);
-    let mut scrubber = PatrolScrubber::new(3);
+    let mut stack = stack(0xF417);
     let mut rng = StdRng::seed_from_u64(0xF417);
     let mut versions = vec![0u32; LOGICAL_BLOCKS as usize];
 
     for block in 0..LOGICAL_BLOCKS {
-        wl.write(block, &pattern(block, 0)).unwrap();
+        stack.write(block, &pattern(block, 0)).unwrap();
     }
 
     let mut injected_total = 0usize;
@@ -111,14 +120,15 @@ fn patrol_under_wear_leveling_repairs_injected_errors() {
         match rng.gen_range(0u32..4) {
             0 => {
                 versions[block as usize] += 1;
-                wl.write(block, &pattern(block, versions[block as usize]))
+                stack
+                    .write(block, &pattern(block, versions[block as usize]))
                     .unwrap();
             }
             1 => {
-                injected_total += wl.inner_mut().inject_bit_errors(5e-6, &mut rng);
+                injected_total += stack.inject_bit_errors(5e-6).unwrap();
             }
             2 => {
-                let out = wl.read(block).unwrap();
+                let out = stack.read(block).unwrap();
                 assert_eq!(
                     out.data,
                     pattern(block, versions[block as usize]),
@@ -126,14 +136,18 @@ fn patrol_under_wear_leveling_repairs_injected_errors() {
                 );
             }
             _ => {
-                scrubber.step(wl.inner_mut()).unwrap();
+                stack.patrol_step().unwrap();
             }
         }
     }
 
     assert!(injected_total > 0, "the campaign must have injected errors");
     assert!(
-        wl.gap_moves() > 0,
+        stack
+            .layer("wearlevel")
+            .expect("wear-level layer")
+            .gap_moves
+            > 0,
         "the campaign must have exercised remaps"
     );
 
@@ -141,11 +155,14 @@ fn patrol_under_wear_leveling_repairs_injected_errors() {
     // boot scrub repairs any remaining VLEW-level damage (including bits
     // that landed in parity storage), after which the whole rank must
     // verify and every logical block must read back its last write.
-    scrubber.full_pass(wl.inner_mut()).unwrap();
-    wl.inner_mut().boot_scrub().unwrap();
-    assert!(wl.inner_mut().verify_consistent());
+    let target = stack.layer("patrol").map_or(0, |s| s.patrol_passes) + 1;
+    while stack.layer("patrol").map_or(0, |s| s.patrol_passes) < target {
+        stack.patrol_step().unwrap();
+    }
+    stack.boot_scrub().unwrap();
+    assert!(stack.verify_consistent().unwrap());
     for block in 0..LOGICAL_BLOCKS {
-        let out = wl.read(block).unwrap();
+        let out = stack.read(block).unwrap();
         assert_eq!(out.data, pattern(block, versions[block as usize]));
     }
 }

@@ -1,0 +1,97 @@
+//! Timing-loop ↔ functional-stack coupling: the simulator's VLEW-fallback
+//! latency events must come from real decode outcomes of the composed
+//! chipkill stack, not from an RNG draw.
+
+use pmck::sim::{NvramKind, Scheme, SimConfig, Simulator};
+use pmck::workloads::WorkloadSpec;
+
+fn tiny(scheme: Scheme) -> SimConfig {
+    SimConfig {
+        warmup_ops: 4_000,
+        measure_ops: 10_000,
+        ..SimConfig::quick(NvramKind::ReRam, scheme)
+    }
+}
+
+/// The acceptance pin: every fallback force-fetch the timing loop charged
+/// corresponds to exactly one demand read the functional engine served
+/// through its VLEW fallback — the two counters agree for the same seed.
+#[test]
+fn fallback_events_equal_engine_fallback_counts() {
+    let spec = WorkloadSpec::by_name("redis").unwrap();
+    // Raise the injected RBER well past the §V-C design point so a short
+    // run still produces a healthy number of fallbacks.
+    let cfg = SimConfig {
+        engine_rber: 1.5e-3,
+        ..tiny(Scheme::Proposal { c_factor: 0.3 })
+    };
+    let r = Simulator::run_workload(spec, cfg, 21);
+    let engine = r.engine.expect("proposal runs couple the engine");
+    assert!(
+        r.vlew_fallbacks > 0,
+        "RBER 1.5e-3 must produce fallbacks in {} engine reads",
+        engine.reads
+    );
+    assert_eq!(
+        r.vlew_fallbacks, engine.fallbacks,
+        "timing-loop fallback events must equal the engine's count"
+    );
+    // The per-layer breakdown exposes the same stack the coupling drove.
+    let chipkill = r
+        .layers
+        .iter()
+        .find(|(label, _)| label == "chipkill")
+        .map(|(_, stats)| *stats)
+        .expect("chipkill layer in the breakdown");
+    assert_eq!(chipkill.vlew_fallbacks, engine.fallbacks);
+    assert!(chipkill.reads >= engine.reads - chipkill.scrubs);
+    let patrol = r
+        .layers
+        .iter()
+        .find(|(label, _)| label == "patrol")
+        .map(|(_, stats)| *stats)
+        .expect("patrol layer in the breakdown");
+    assert!(
+        patrol.patrol_steps > 0,
+        "patrol must run between injections"
+    );
+}
+
+#[test]
+fn coupled_runs_are_deterministic() {
+    let spec = WorkloadSpec::by_name("btree").unwrap();
+    let cfg = SimConfig {
+        engine_rber: 1.5e-3,
+        ..tiny(Scheme::Proposal { c_factor: 0.4 })
+    };
+    let a = Simulator::run_workload(spec, cfg, 5);
+    let b = Simulator::run_workload(spec, cfg, 5);
+    assert_eq!(a, b, "same seed → identical engine and layer counters");
+}
+
+#[test]
+fn baseline_runs_have_no_engine_coupling() {
+    let spec = WorkloadSpec::by_name("echo").unwrap();
+    let r = Simulator::run_workload(spec, tiny(Scheme::Baseline), 13);
+    assert_eq!(r.vlew_fallbacks, 0);
+    assert!(r.engine.is_none());
+    assert!(r.layers.is_empty());
+}
+
+/// At the paper's design point (RBER 2·10⁻⁴, one patrol pass per
+/// injection interval) the emergent fallback rate stays near §V-C's
+/// ~0.02% — a short run cannot pin the rate tightly, but it must stay
+/// well under one in a thousand reads.
+#[test]
+fn design_point_fallback_rate_is_small() {
+    let spec = WorkloadSpec::by_name("hashmap").unwrap();
+    let r = Simulator::run_workload(spec, tiny(Scheme::Proposal { c_factor: 0.5 }), 17);
+    let engine = r.engine.expect("proposal runs couple the engine");
+    assert!(engine.reads > 0, "the workload must drive PM demand reads");
+    assert_eq!(r.vlew_fallbacks, engine.fallbacks);
+    assert!(
+        engine.fallback_fraction() < 1e-3,
+        "design-point fallback fraction {} too high",
+        engine.fallback_fraction()
+    );
+}

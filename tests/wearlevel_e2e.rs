@@ -14,7 +14,7 @@ fn leveling_plus_patrol_plus_errors() {
     for l in 0..63u64 {
         let mut v = [0u8; 64];
         rng.fill_bytes(&mut v[..]);
-        mem.write(l, &v).unwrap();
+        mem.write_block(l, &v).unwrap();
         truth[l as usize] = v;
     }
     let mut patrol = PatrolScrubber::new(16);
@@ -24,7 +24,7 @@ fn leveling_plus_patrol_plus_errors() {
             let l = rng.gen_range(0..8);
             let mut v = [0u8; 64];
             rng.fill_bytes(&mut v[..]);
-            mem.write(l, &v).unwrap();
+            mem.write_block(l, &v).unwrap();
             truth[l as usize] = v;
         }
         // Runtime errors trickle in; patrol cleans behind them.
@@ -33,7 +33,7 @@ fn leveling_plus_patrol_plus_errors() {
         let _ = round;
     }
     for (l, v) in truth.iter().enumerate() {
-        assert_eq!(&mem.read(l as u64).unwrap().data, v, "logical {l}");
+        assert_eq!(&mem.read_block(l as u64).unwrap().data, v, "logical {l}");
     }
     assert!(mem.gap_moves() > 50);
 }
@@ -46,29 +46,29 @@ fn chip_failure_under_wear_leveling() {
     for l in 0..31u64 {
         let mut v = [0u8; 64];
         rng.fill_bytes(&mut v[..]);
-        mem.write(l, &v).unwrap();
+        mem.write_block(l, &v).unwrap();
         truth[l as usize] = v;
     }
     // Rotate a while, then kill a chip.
     for i in 0..100u64 {
-        let l = (i % 31) as u64;
+        let l = i % 31;
         let mut v = [0u8; 64];
         rng.fill_bytes(&mut v[..]);
-        mem.write(l, &v).unwrap();
+        mem.write_block(l, &v).unwrap();
         truth[l as usize] = v;
     }
     mem.inner_mut()
         .fail_chip(3, ChipFailureKind::RandomGarbage, &mut rng);
     // Reads still resolve through the remap + erasure correction.
     for (l, v) in truth.iter().enumerate() {
-        assert_eq!(&mem.read(l as u64).unwrap().data, v, "logical {l}");
+        assert_eq!(&mem.read_block(l as u64).unwrap().data, v, "logical {l}");
     }
     // Rebuild and confirm clean operation resumes (including gap moves,
     // which read+write through the engine).
     mem.inner_mut().repair_chip(3).unwrap();
     for i in 0..50u64 {
-        let l = (i % 31) as u64;
-        mem.write(l, &truth[l as usize]).unwrap();
+        let l = i % 31;
+        mem.write_block(l, &truth[l as usize]).unwrap();
     }
     assert!(mem.inner_mut().verify_consistent());
 }
@@ -96,7 +96,7 @@ fn wear_accounting_drives_disabling_decision() {
     for i in 0..1_500u64 {
         let phys = mem.physical_of(3);
         *per_slot.entry(phys).or_insert(0) += 1 + 33 / 8;
-        mem.write(3, &[i as u8; 64]).unwrap();
+        mem.write_block(3, &[i as u8; 64]).unwrap();
     }
     let worst = per_slot.values().copied().max().unwrap();
     assert!(

@@ -4,6 +4,7 @@
 use pmck_gf::{BitPoly, FieldPoly, Gf2m};
 
 use crate::error::BchError;
+use crate::syndrome::SyndromePlan;
 
 /// A systematic, shortened, binary `t`-error-correcting BCH code over
 /// GF(2^m) protecting `k` data bits.
@@ -35,6 +36,8 @@ pub struct BchCode {
     pub(crate) k: usize,
     pub(crate) r: usize,
     pub(crate) generator: BitPoly,
+    /// Byte-sliced syndrome evaluation plan (the decode hot-path kernel).
+    pub(crate) plan: SyndromePlan,
 }
 
 impl BchCode {
@@ -58,12 +61,14 @@ impl BchCode {
         if k + r > natural {
             return Err(BchError::CodeTooLong(k + r, natural));
         }
+        let plan = SyndromePlan::new(&field, t);
         Ok(BchCode {
             field,
             t,
             k,
             r,
             generator,
+            plan,
         })
     }
 

@@ -48,8 +48,8 @@ impl BchCode {
         if word.len() != self.len() {
             return Err(BchError::LengthMismatch(word.len(), self.len()));
         }
-        let syndromes = self.syndromes(word);
-        if syndromes.iter().all(|&s| s == 0) {
+        let mut syndromes = vec![0u32; 2 * self.t];
+        if self.syndromes_into(word, &mut syndromes) {
             return Ok(DecodeOutcome { corrected: vec![] });
         }
         let sigma = self.berlekamp_massey(&syndromes);
@@ -80,29 +80,30 @@ impl BchCode {
 
     /// Computes the 2t syndromes `S_j = r(alpha^j)`, `j = 1..=2t`.
     ///
-    /// Exploits the binary-code identity `S_{2j} = S_j^2`: only odd
-    /// syndromes are evaluated directly.
+    /// Runs the byte-sliced kernel (reduce mod the minimal polynomial of
+    /// `alpha^j`, then evaluate the short remainder) and exploits the
+    /// binary-code identity `S_{2j} = S_j^2`: only odd syndromes are
+    /// evaluated directly.
     ///
     /// # Panics
     ///
     /// Panics if `word` is not `n` bits long.
     pub fn syndromes(&self, word: &BitPoly) -> Vec<u32> {
-        assert_eq!(word.len(), self.len(), "codeword length mismatch");
-        let f = &self.field;
-        let order = f.order() as u64;
         let mut s = vec![0u32; 2 * self.t];
-        let ones: Vec<usize> = word.iter_ones().collect();
-        for j in (1..=2 * self.t as u64).step_by(2) {
-            let mut acc = 0u32;
-            for &p in &ones {
-                acc ^= f.alpha_pow((j * p as u64) % order);
-            }
-            s[(j - 1) as usize] = acc;
-        }
-        for j in (2..=2 * self.t).step_by(2) {
-            s[j - 1] = f.square(s[j / 2 - 1]);
-        }
+        self.syndromes_into(word, &mut s);
         s
+    }
+
+    /// Computes all 2t syndromes into `out` (`out[j-1] = S_j`) without
+    /// allocating. Returns `true` when every syndrome is zero, i.e. the
+    /// word is already a codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is not `n` bits long or `out.len() != 2t`.
+    pub fn syndromes_into(&self, word: &BitPoly, out: &mut [u32]) -> bool {
+        assert_eq!(word.len(), self.len(), "codeword length mismatch");
+        self.plan.syndromes_into(&self.field, word, out)
     }
 
     /// Berlekamp–Massey: returns the error-locator polynomial sigma as a

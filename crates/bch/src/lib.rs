@@ -41,10 +41,12 @@ mod code;
 mod decode;
 mod encode;
 mod error;
+mod syndrome;
 
 pub use code::BchCode;
 pub use decode::DecodeOutcome;
 pub use error::BchError;
+pub use syndrome::SyndromePlan;
 
 // Re-exported so downstream users can manipulate codewords without also
 // depending on pmck-gf directly.

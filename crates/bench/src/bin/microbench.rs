@@ -3,23 +3,65 @@
 //! Replaces the former `criterion` benches with a dependency-free
 //! `std::time::Instant` timer.  Each scenario is warmed up, then run for
 //! a fixed number of timed batches; the report carries the best and mean
-//! batch cost per operation so run-to-run noise is visible.
+//! batch cost per operation so run-to-run noise is visible, plus the
+//! heap allocations per operation measured by a counting global
+//! allocator (the runtime read path is expected to sit at 0).
 //!
 //! Usage:
 //!
 //! ```text
 //! microbench [--iters N] [--batches N] [--pretty] [--filter SUBSTR]
+//!            [--baseline FILE] [--max-regression X]
 //! ```
+//!
+//! With `--baseline FILE` the run is compared scenario-by-scenario
+//! against a previously saved report: any scenario whose best ns/op
+//! exceeds its per-scenario threshold (default `--max-regression`, 2.0)
+//! times the baseline fails the run (exit code 1). This is the CI
+//! perf-smoke gate.
 //!
 //! Output is a single JSON document (`pmck-rt::json`) on stdout.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use pmck_bch::BchCode;
 use pmck_core::{ChipkillConfig, Stack, StackBuilder};
-use pmck_rs::RsCode;
+use pmck_gf::SyndromeRows;
+use pmck_rs::{RsCode, RsScratch};
 use pmck_rt::json::Json;
 use pmck_rt::rng::{Rng, StdRng};
+
+/// A pass-through allocator that counts allocation calls, so each
+/// scenario can report heap allocations per operation.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 struct Config {
     /// Operations per timed batch.
@@ -28,6 +70,10 @@ struct Config {
     batches: u64,
     pretty: bool,
     filter: Option<String>,
+    /// A saved report to gate against.
+    baseline: Option<String>,
+    /// Default regression threshold (current/baseline best ns ratio).
+    max_regression: f64,
 }
 
 impl Config {
@@ -37,6 +83,8 @@ impl Config {
             batches: 20,
             pretty: false,
             filter: None,
+            baseline: None,
+            max_regression: 2.0,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -49,6 +97,19 @@ impl Config {
                         args.next()
                             .unwrap_or_else(|| usage("--filter needs a value")),
                     )
+                }
+                "--baseline" => {
+                    cfg.baseline = Some(
+                        args.next()
+                            .unwrap_or_else(|| usage("--baseline needs a file path")),
+                    )
+                }
+                "--max-regression" => {
+                    cfg.max_regression = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&x: &f64| x > 0.0)
+                        .unwrap_or_else(|| usage("--max-regression needs a positive number"))
                 }
                 other => usage(&format!("unknown argument: {other}")),
             }
@@ -64,21 +125,26 @@ fn need(v: Option<String>, flag: &str) -> u64 {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: microbench [--iters N] [--batches N] [--pretty] [--filter SUBSTR]");
+    eprintln!(
+        "usage: microbench [--iters N] [--batches N] [--pretty] [--filter SUBSTR] \
+         [--baseline FILE] [--max-regression X]"
+    );
     std::process::exit(2);
 }
 
 /// Times `f` for `cfg.batches` batches of `cfg.iters` calls each and
 /// returns a JSON row.  `f` must consume its own input so the optimizer
 /// cannot hoist work out of the loop; each call returns a value that is
-/// fed to `std::hint::black_box`.
+/// fed to `std::hint::black_box`. Allocation calls across the timed
+/// batches are averaged into `allocs_per_op`.
 fn scenario<T>(cfg: &Config, name: &str, bytes_per_op: u64, mut f: impl FnMut() -> T) -> Json {
-    // Warmup: one untimed batch.
+    // Warmup: one untimed batch (fills lazy tables and scratch pools).
     for _ in 0..cfg.iters {
         std::hint::black_box(f());
     }
     let mut best_ns = f64::INFINITY;
     let mut total_ns = 0.0;
+    let allocs_before = ALLOC_CALLS.load(Ordering::Relaxed);
     for _ in 0..cfg.batches {
         let start = Instant::now();
         for _ in 0..cfg.iters {
@@ -88,11 +154,16 @@ fn scenario<T>(cfg: &Config, name: &str, bytes_per_op: u64, mut f: impl FnMut() 
         best_ns = best_ns.min(ns);
         total_ns += ns;
     }
+    let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - allocs_before;
     let mean_ns = total_ns / cfg.batches as f64;
     let mut row = Json::object()
         .with("name", name)
         .with("ns_per_op_best", best_ns)
-        .with("ns_per_op_mean", mean_ns);
+        .with("ns_per_op_mean", mean_ns)
+        .with(
+            "allocs_per_op",
+            allocs as f64 / (cfg.batches * cfg.iters) as f64,
+        );
     if bytes_per_op > 0 {
         row = row.with("bytes_per_op", bytes_per_op).with(
             "gib_per_s_best",
@@ -104,6 +175,19 @@ fn scenario<T>(cfg: &Config, name: &str, bytes_per_op: u64, mut f: impl FnMut() 
 
 fn wants(cfg: &Config, name: &str) -> bool {
     cfg.filter.as_deref().is_none_or(|f| name.contains(f))
+}
+
+fn gf_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
+    if wants(cfg, "gf/syndrome_row_table") {
+        // The raw row-table kernel: all 8 syndromes of a 72-byte word.
+        let rows_tbl = SyndromeRows::gf256(8);
+        let word: Vec<u8> = (0..72).map(|i| (i * 37 + 5) as u8).collect();
+        let mut s = [0u32; 8];
+        rows.push(scenario(cfg, "gf/syndrome_row_table", 72, || {
+            rows_tbl.syndromes_into(std::hint::black_box(&word), &mut s);
+            s[0]
+        }));
+    }
 }
 
 fn bch_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
@@ -121,6 +205,17 @@ fn bch_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
     if wants(cfg, "bch/syndromes_clean") {
         rows.push(scenario(cfg, "bch/syndromes_clean", 256, || {
             code.syndromes(std::hint::black_box(&clean))
+        }));
+    }
+    if wants(cfg, "bch/syndromes_sliced") {
+        // The allocation-free sliced kernel on a dirty word (clean words
+        // cost the same — the kernel is weight-independent).
+        let mut dirty = clean.clone();
+        dirty.flip(17);
+        dirty.flip(1031);
+        let mut s = vec![0u32; 2 * code.t()];
+        rows.push(scenario(cfg, "bch/syndromes_sliced", 256, || {
+            code.syndromes_into(std::hint::black_box(&dirty), &mut s)
         }));
     }
     for nerr in [1usize, 5, 22] {
@@ -155,9 +250,14 @@ fn rs_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
         }));
     }
     if wants(cfg, "rs/decode_clean") {
+        // The hot path: scratch decode of an already-valid word.
+        let mut scratch = RsScratch::new(&code);
+        let mut w = clean.clone();
         rows.push(scenario(cfg, "rs/decode_clean", 64, || {
-            let mut w = clean.clone();
-            code.decode(&mut w).expect("clean")
+            w.copy_from_slice(std::hint::black_box(&clean));
+            code.decode_scratch(&mut w, &mut scratch)
+                .expect("clean")
+                .num_corrections()
         }));
     }
     for nerr in [1usize, 4] {
@@ -169,9 +269,13 @@ fn rs_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
         for k in 0..nerr {
             word[k * 17] ^= 0x5A;
         }
+        let mut scratch = RsScratch::new(&code);
+        let mut w = word.clone();
         rows.push(scenario(cfg, &name, 64, || {
-            let mut w = word.clone();
-            code.decode(&mut w).expect("correctable")
+            w.copy_from_slice(std::hint::black_box(&word));
+            code.decode_scratch(&mut w, &mut scratch)
+                .expect("correctable")
+                .num_corrections()
         }));
     }
     if wants(cfg, "rs/decode_erasure_chipkill") {
@@ -179,9 +283,13 @@ fn rs_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
         let mut erased = clean.clone();
         erased[16..24].fill(0xFF);
         let erasures: Vec<usize> = (16..24).collect();
+        let mut scratch = RsScratch::new(&code);
+        let mut w = erased.clone();
         rows.push(scenario(cfg, "rs/decode_erasure_chipkill", 64, || {
-            let mut w = erased.clone();
-            code.decode_with_erasures(&mut w, &erasures).expect("ok")
+            w.copy_from_slice(std::hint::black_box(&erased));
+            code.decode_with_erasures_scratch(&mut w, &erasures, &mut scratch)
+                .expect("ok")
+                .num_corrections()
         }));
     }
 }
@@ -262,21 +370,109 @@ fn readpath_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
     }
 }
 
+/// Per-scenario regression thresholds for the baseline gate. Scenarios
+/// dominated by rare slow iterations (fault-heavy reads, patrol-driven
+/// stacks) get more headroom than tight single-kernel loops.
+fn threshold_for(name: &str, default: f64) -> f64 {
+    match name {
+        "readpath/boot_rber_1e-3" | "readpath/runtime_rber_2e-4" | "writepath/bitwise_sum" => {
+            default * 1.5
+        }
+        _ => default,
+    }
+}
+
+/// Compares `rows` against a saved baseline report. Returns the
+/// comparison rows and whether any scenario regressed past its
+/// threshold.
+fn compare_with_baseline(cfg: &Config, rows: &[Json], baseline_text: &str) -> (Vec<Json>, bool) {
+    let baseline = match Json::parse(baseline_text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: cannot parse baseline: {e}");
+            std::process::exit(2);
+        }
+    };
+    let empty = [];
+    let base_rows = baseline
+        .get("scenarios")
+        .and_then(|s| s.as_array())
+        .unwrap_or(&empty);
+    let base_best = |name: &str| -> Option<f64> {
+        base_rows
+            .iter()
+            .find(|r| r.get("name").and_then(|n| n.as_str()) == Some(name))
+            .and_then(|r| r.get("ns_per_op_best"))
+            .and_then(|v| v.as_f64())
+    };
+    let mut failed = false;
+    let mut report = Vec::new();
+    for row in rows {
+        let name = row
+            .get("name")
+            .and_then(|n| n.as_str())
+            .unwrap_or_default()
+            .to_string();
+        let cur = row
+            .get("ns_per_op_best")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(f64::INFINITY);
+        let Some(base) = base_best(&name) else {
+            eprintln!("baseline: {name:<28} (new scenario, not gated)");
+            continue;
+        };
+        let ratio = cur / base;
+        let limit = threshold_for(&name, cfg.max_regression);
+        let regressed = ratio > limit;
+        failed |= regressed;
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        eprintln!(
+            "baseline: {name:<28} {base:>10.0} -> {cur:>10.0} ns/op  ({ratio:>5.2}x, limit {limit:.2}x)  {verdict}"
+        );
+        report.push(
+            Json::object()
+                .with("name", name)
+                .with("baseline_ns_per_op_best", base)
+                .with("ratio", ratio)
+                .with("limit", limit)
+                .with("regressed", regressed),
+        );
+    }
+    (report, failed)
+}
+
 fn main() {
     let cfg = Config::from_args();
     let mut rows = Vec::new();
+    gf_scenarios(&cfg, &mut rows);
     bch_scenarios(&cfg, &mut rows);
     rs_scenarios(&cfg, &mut rows);
     readpath_scenarios(&cfg, &mut rows);
 
-    let doc = Json::object()
+    let mut doc = Json::object()
         .with("harness", "microbench")
         .with("iters_per_batch", cfg.iters)
         .with("batches", cfg.batches)
-        .with("scenarios", Json::Arr(rows));
+        .with("scenarios", Json::Arr(rows.clone()));
+
+    let mut failed = false;
+    if let Some(path) = &cfg.baseline {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let (report, regressed) = compare_with_baseline(&cfg, &rows, &text);
+        doc = doc.with("baseline_compare", Json::Arr(report));
+        failed = regressed;
+    }
+
     if cfg.pretty {
         println!("{}", doc.pretty());
     } else {
         println!("{}", doc.dump());
+    }
+    if failed {
+        eprintln!("perf-smoke: regression beyond threshold — failing");
+        std::process::exit(1);
     }
 }

@@ -6,7 +6,7 @@ use std::fmt;
 
 use pmck_bch::{BchCode, BitPoly};
 use pmck_nvram::{BitErrorInjector, ChipFailureKind, FailedChip, FaultEvent, FaultKind};
-use pmck_rs::{RsCode, ThresholdOutcome};
+use pmck_rs::{RsCode, RsScratch, ThresholdOutcome};
 use pmck_rt::rng::Rng;
 
 use crate::config::ChipkillConfig;
@@ -102,6 +102,9 @@ pub struct ChipkillMemory {
     pub(crate) chips: Vec<ChipStore>,
     pub(crate) vlew: BchCode,
     pub(crate) rs: RsCode,
+    /// Reusable RS decoder working memory: the runtime read path decodes
+    /// into this instead of allocating per access.
+    rs_scratch: RsScratch,
     pub(crate) eur: EurModel,
     /// Ground-truth injected failure (set by [`ChipkillMemory::fail_chip`]).
     failed_chip: Option<FailedChip>,
@@ -124,9 +127,16 @@ impl ChipkillMemory {
         let bpv = layout.blocks_per_vlew() as u64;
         let stripes = num_blocks.div_ceil(bpv) as usize;
         let num_blocks = stripes as u64 * bpv;
+        assert_eq!(
+            layout.rs_codeword_bytes(),
+            72,
+            "engine read/write scratch buffers assume the RS(72, 64) layout"
+        );
         let chips = (0..layout.total_chips())
             .map(|_| ChipStore::new(stripes, &layout))
             .collect();
+        let rs = RsCode::per_block();
+        let rs_scratch = RsScratch::new(&rs);
         ChipkillMemory {
             cfg,
             layout,
@@ -134,7 +144,8 @@ impl ChipkillMemory {
             stripes,
             chips,
             vlew: BchCode::vlew(),
-            rs: RsCode::per_block(),
+            rs,
+            rs_scratch,
             eur: EurModel::default(),
             failed_chip: None,
             known_failed: None,
@@ -190,12 +201,12 @@ impl ChipkillMemory {
         Ok(())
     }
 
-    /// Gathers the physical 72-byte RS word of a block: check bytes from
-    /// the parity chip at positions `0..8`, then each data chip's 8 bytes.
-    pub(crate) fn gather_block(&self, addr: u64) -> Vec<u8> {
+    /// Gathers the physical 72-byte RS word of a block into the
+    /// caller-provided buffer: check bytes from the parity chip at
+    /// positions `0..8`, then each data chip's 8 bytes. Allocation-free.
+    pub(crate) fn gather_block_into(&self, addr: u64, word: &mut [u8; 72]) {
         let stripe = self.layout.stripe_of(addr);
         let off = self.layout.offset_in_stripe(addr);
-        let mut word = vec![0u8; self.layout.rs_codeword_bytes()];
         let parity_idx = self.layout.data_chips;
         word[..self.layout.rs_check_bytes].copy_from_slice(self.chips[parity_idx].block_slice(
             stripe,
@@ -206,7 +217,6 @@ impl ChipkillMemory {
             let (s, e) = self.layout.rs_positions_of_data_chip(c);
             word[s..e].copy_from_slice(self.chips[c].block_slice(stripe, off, &self.layout));
         }
-        word
     }
 
     fn scatter_block(&mut self, addr: u64, word: &[u8]) {
@@ -291,8 +301,9 @@ impl ChipkillMemory {
     /// failures of the old value surface as [`CoreError::Uncorrectable`].
     pub fn write_block(&mut self, addr: u64, new: &[u8; 64]) -> Result<(), CoreError> {
         self.check_addr(addr)?;
-        let old72 = self.corrected_word(addr)?;
-        let mut new72 = vec![0u8; 72];
+        let mut old72 = [0u8; 72];
+        self.corrected_word_into(addr, &mut old72)?;
+        let mut new72 = [0u8; 72];
         new72[8..].copy_from_slice(new);
         let check = self.rs.parity(new);
         new72[..8].copy_from_slice(&check);
@@ -321,7 +332,8 @@ impl ChipkillMemory {
         let check_sum = self.rs.parity(sum);
         let parity_idx = self.layout.data_chips;
         for c in 0..self.layout.data_chips {
-            let delta8: Vec<u8> = sum[c * 8..(c + 1) * 8].to_vec();
+            let mut delta8 = [0u8; 8];
+            delta8.copy_from_slice(&sum[c * 8..(c + 1) * 8]);
             let layout = self.layout;
             {
                 let slice = self.chips[c].block_slice_mut(stripe, off, &layout);
@@ -355,17 +367,22 @@ impl ChipkillMemory {
         let off = self.layout.offset_in_stripe(addr);
         let parity_idx = self.layout.data_chips;
         // VLEW code updates from the corrected delta.
+        let mut delta8 = [0u8; 8];
         for c in 0..self.layout.data_chips {
             let (s, e) = self.layout.rs_positions_of_data_chip(c);
-            let delta8: Vec<u8> = (s..e).map(|i| old72[i] ^ new72[i]).collect();
+            for (d, i) in delta8.iter_mut().zip(s..e) {
+                *d = old72[i] ^ new72[i];
+            }
             if delta8.iter().any(|&d| d != 0) {
                 let delta = self.vlew_delta_for(off, &delta8);
                 self.apply_chip_code_update(c, stripe, &delta);
             }
         }
-        let delta_check: Vec<u8> = (0..8).map(|i| old72[i] ^ new72[i]).collect();
-        if delta_check.iter().any(|&d| d != 0) {
-            let delta = self.vlew_delta_for(off, &delta_check);
+        for (d, i) in delta8.iter_mut().zip(0..8) {
+            *d = old72[i] ^ new72[i];
+        }
+        if delta8.iter().any(|&d| d != 0) {
+            let delta = self.vlew_delta_for(off, &delta8);
             self.apply_chip_code_update(parity_idx, stripe, &delta);
         }
         self.scatter_block(addr, new72);
@@ -393,10 +410,11 @@ impl ChipkillMemory {
             });
         }
 
-        let mut word = self.gather_block(addr);
+        let mut word = [0u8; 72];
+        self.gather_block_into(addr, &mut word);
         match self
             .rs
-            .decode_with_threshold(&mut word, self.cfg.threshold)
+            .decode_with_threshold_scratch(&mut word, self.cfg.threshold, &mut self.rs_scratch)
             .expect("word length is correct")
         {
             ThresholdOutcome::Clean => {
@@ -516,7 +534,7 @@ impl ChipkillMemory {
         }
         // Build the 72-byte word from corrected survivors; the failed
         // chip's positions are erasures.
-        let mut word = vec![0u8; 72];
+        let mut word = [0u8; 72];
         let parity_region = corrected[parity_idx].as_ref().expect("parity survived");
         word[..8].copy_from_slice(&parity_region[off * 8..(off + 1) * 8]);
         for (c, region) in corrected.iter().take(self.layout.data_chips).enumerate() {
@@ -528,9 +546,12 @@ impl ChipkillMemory {
             word[s..e].copy_from_slice(&region[off * 8..(off + 1) * 8]);
         }
         let (es, ee) = self.layout.rs_positions_of_data_chip(chip);
-        let erasures: Vec<usize> = (es..ee).collect();
+        let mut erasures = [0usize; 8];
+        for (slot, p) in erasures.iter_mut().zip(es..ee) {
+            *slot = p;
+        }
         self.rs
-            .decode_with_erasures(&mut word, &erasures)
+            .decode_with_erasures_scratch(&mut word, &erasures, &mut self.rs_scratch)
             .map_err(|_| CoreError::Uncorrectable)?;
         Ok(word[8..].try_into().expect("64 data bytes"))
     }
@@ -560,34 +581,38 @@ impl ChipkillMemory {
         }
     }
 
-    /// Corrects and returns the full 72-byte word of a block (RS first,
-    /// VLEW fallback), without mutating stored state.
-    pub(crate) fn corrected_word(&mut self, addr: u64) -> Result<Vec<u8>, CoreError> {
-        let mut word = self.gather_block(addr);
+    /// Corrects the full 72-byte word of a block into `word` (RS first,
+    /// VLEW fallback), without mutating stored state. Allocation-free on
+    /// the RS-trusted path.
+    pub(crate) fn corrected_word_into(
+        &mut self,
+        addr: u64,
+        word: &mut [u8; 72],
+    ) -> Result<(), CoreError> {
+        self.gather_block_into(addr, word);
         match self
             .rs
-            .decode_with_threshold(&mut word, self.cfg.threshold)
+            .decode_with_threshold_scratch(word, self.cfg.threshold, &mut self.rs_scratch)
             .expect("length correct")
         {
-            ThresholdOutcome::Clean | ThresholdOutcome::Accepted { .. } => Ok(word),
+            ThresholdOutcome::Clean | ThresholdOutcome::Accepted { .. } => Ok(()),
             ThresholdOutcome::Rejected(_) => {
                 let stripe = self.layout.stripe_of(addr);
                 self.close_stripe(stripe);
                 let off = self.layout.offset_in_stripe(addr);
-                let mut out = vec![0u8; 72];
                 let parity_idx = self.layout.data_chips;
                 let (pd, _, _) = self
                     .decode_vlew(parity_idx, stripe)
                     .map_err(|_| CoreError::Uncorrectable)?;
-                out[..8].copy_from_slice(&pd[off * 8..(off + 1) * 8]);
+                word[..8].copy_from_slice(&pd[off * 8..(off + 1) * 8]);
                 for c in 0..self.layout.data_chips {
                     let (cd, _, _) = self
                         .decode_vlew(c, stripe)
                         .map_err(|_| CoreError::Uncorrectable)?;
                     let (s, e) = self.layout.rs_positions_of_data_chip(c);
-                    out[s..e].copy_from_slice(&cd[off * 8..(off + 1) * 8]);
+                    word[s..e].copy_from_slice(&cd[off * 8..(off + 1) * 8]);
                 }
-                Ok(out)
+                Ok(())
             }
         }
     }
@@ -603,7 +628,8 @@ impl ChipkillMemory {
     /// As [`ChipkillMemory::read_block`].
     pub fn scrub_block(&mut self, addr: u64) -> Result<(), CoreError> {
         self.check_addr(addr)?;
-        let word = self.corrected_word(addr)?;
+        let mut word = [0u8; 72];
+        self.corrected_word_into(addr, &mut word)?;
         self.scatter_block(addr, &word);
         Ok(())
     }
@@ -832,13 +858,14 @@ impl ChipkillMemory {
         // so the VLEW ends up consistent with zeros at the block's
         // positions; a worn block that defeats correction falls back to
         // the raw bits (its residual errors stay within the VLEW budget).
-        let old = self
-            .corrected_word(addr)
-            .unwrap_or_else(|_| self.gather_block(addr));
+        let mut old = [0u8; 72];
+        if self.corrected_word_into(addr, &mut old).is_err() {
+            self.gather_block_into(addr, &mut old);
+        }
         if !self.disabled.insert(addr) {
             return Ok(());
         }
-        let zero72 = vec![0u8; 72];
+        let zero72 = [0u8; 72];
         self.commit_write(addr, &old, &zero72);
         Ok(())
     }

@@ -96,7 +96,8 @@ impl ChipkillMemory {
             if self.is_disabled(addr) {
                 continue;
             }
-            let word = self.gather_block(addr);
+            let mut word = [0u8; 72];
+            self.gather_block_into(addr, &mut word);
             if !self.rs.is_codeword(&word) {
                 return false;
             }

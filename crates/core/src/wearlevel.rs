@@ -225,26 +225,6 @@ impl WearLevelled<ChipkillMemory> {
         Ok(())
     }
 
-    /// Deprecated spelling of [`WearLevelledMemory::read_block`].
-    ///
-    /// # Errors
-    ///
-    /// As [`WearLevelledMemory::read_block`].
-    #[deprecated(note = "renamed to `read_block` for API consistency across layers")]
-    pub fn read(&mut self, logical: u64) -> Result<ReadOutcome, CoreError> {
-        self.read_block(logical)
-    }
-
-    /// Deprecated spelling of [`WearLevelledMemory::write_block`].
-    ///
-    /// # Errors
-    ///
-    /// As [`WearLevelledMemory::write_block`].
-    #[deprecated(note = "renamed to `write_block` for API consistency across layers")]
-    pub fn write(&mut self, logical: u64, data: &[u8; 64]) -> Result<(), CoreError> {
-        self.write_block(logical, data)
-    }
-
     /// Direct-path gap move (outside any [`AccessContext`]).
     fn move_gap(&mut self) -> Result<(), CoreError> {
         let n = self.logical_blocks + 1;
@@ -429,14 +409,6 @@ mod tests {
             mem.write_block(100, &[0; 64]),
             Err(CoreError::OutOfRange(100))
         ));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_aliases_still_work() {
-        let mut mem = WearLevelledMemory::new(8, ChipkillConfig::default(), 4);
-        mem.write(2, &[0x42; 64]).unwrap();
-        assert_eq!(mem.read(2).unwrap().data, [0x42; 64]);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Proves the clean read path performs zero heap allocations after
+//! warm-up, using a counting `#[global_allocator]`.
+//!
+//! This file intentionally holds a single `#[test]`: the allocation
+//! counter is process-global, so a second test running in a parallel
+//! thread would pollute the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pmck_core::{ChipkillConfig, ChipkillMemory, ReadPath, StackBuilder};
+
+/// Pass-through allocator that counts allocation calls.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn count_allocs(mut f: impl FnMut()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    f();
+    ALLOC_CALLS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn clean_read_path_is_allocation_free_after_warmup() {
+    // --- Engine-direct: ChipkillMemory::read_block on clean blocks. ---
+    let blocks = 64u64;
+    let mut mem = ChipkillMemory::new(blocks, ChipkillConfig::default());
+    for a in 0..blocks {
+        mem.write_block(a, &[a as u8; 64]).unwrap();
+    }
+    // Warm-up pass (first reads may fault in lazily-built state).
+    for a in 0..blocks {
+        assert!(matches!(mem.read_block(a).unwrap().path, ReadPath::Clean));
+    }
+    let engine_allocs = count_allocs(|| {
+        for _ in 0..4 {
+            for a in 0..blocks {
+                let out = mem.read_block(a).unwrap();
+                assert!(matches!(out.path, ReadPath::Clean));
+                assert_eq!(out.data, [a as u8; 64]);
+            }
+        }
+    });
+    assert_eq!(
+        engine_allocs,
+        0,
+        "clean ChipkillMemory::read_block must not allocate after warm-up \
+         (counted {engine_allocs} allocations over {} reads)",
+        4 * blocks
+    );
+
+    // --- Full pipeline: wear-levelling + patrol scrub over the engine.
+    // The composed BlockDevice stack must preserve the property (patrol
+    // scrubs of clean blocks are allocation-free too). ---
+    let mut stack = StackBuilder::proposal(blocks, ChipkillConfig::default())
+        .wear_levelled(1 << 20) // remap interval beyond this test's writes
+        .patrolled(4, 16)
+        .seed(7)
+        .build();
+    for a in 0..stack.num_blocks() {
+        stack.write(a, &[a as u8; 64]).unwrap();
+    }
+    // Warm-up: enough reads to run the patrol scheduler through several
+    // full cycles and fill every lazily-grown context buffer.
+    for round in 0..4u64 {
+        for a in 0..stack.num_blocks() {
+            let _ = (round, stack.read(a).unwrap());
+        }
+    }
+    let n = stack.num_blocks();
+    let stack_allocs = count_allocs(|| {
+        for _ in 0..4 {
+            for a in 0..n {
+                let out = stack.read(a).unwrap();
+                assert!(matches!(out.path, ReadPath::Clean));
+            }
+        }
+    });
+    assert_eq!(
+        stack_allocs,
+        0,
+        "clean reads through the full wear-levelled + patrolled stack must \
+         not allocate after warm-up (counted {stack_allocs} allocations over \
+         {} reads)",
+        4 * n
+    );
+}

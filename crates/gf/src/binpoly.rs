@@ -88,6 +88,15 @@ impl BitPoly {
         self.len
     }
 
+    /// The raw little-endian `u64` limbs (bit `i` of the polynomial is
+    /// bit `i % 64` of `limbs()[i / 64]`). Bits at or beyond
+    /// [`BitPoly::len`] in the last limb are always zero, so lane-sliced
+    /// kernels may consume whole limbs without masking.
+    #[inline]
+    pub fn limbs(&self) -> &[u64] {
+        &self.bits
+    }
+
     /// Whether the logical length is zero.
     pub fn is_empty(&self) -> bool {
         self.len == 0

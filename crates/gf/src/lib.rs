@@ -13,6 +13,9 @@
 //!   field (error locators, evaluators, generator polynomials).
 //! * [`BitPoly`] — bit-packed polynomials over GF(2) (codewords and
 //!   generator polynomials of binary BCH codes).
+//! * [`SyndromeRows`] — precomputed multiply-by-`alpha^j` row tables that
+//!   turn syndrome evaluation over byte fields into branch-free table
+//!   lookups (the RS hot-path kernel).
 //!
 //! # Examples
 //!
@@ -34,9 +37,11 @@ mod field;
 mod gf256;
 mod poly;
 mod primitive;
+mod syndrome;
 
 pub use binpoly::BitPoly;
 pub use field::{Gf2m, GfError};
 pub use gf256::Gf256;
 pub use poly::FieldPoly;
 pub use primitive::default_primitive_poly;
+pub use syndrome::SyndromeRows;

@@ -1,6 +1,6 @@
 //! RS code construction and systematic encoding.
 
-use pmck_gf::{FieldPoly, Gf2m};
+use pmck_gf::{FieldPoly, Gf2m, SyndromeRows};
 
 use crate::error::RsError;
 
@@ -31,6 +31,9 @@ pub struct RsCode {
     pub(crate) k: usize,
     pub(crate) r: usize,
     pub(crate) generator: FieldPoly,
+    /// Precomputed multiply-by-`alpha^j` rows: the syndrome hot-path
+    /// kernel (one table lookup per byte instead of log/exp multiplies).
+    pub(crate) rows: SyndromeRows,
 }
 
 impl RsCode {
@@ -54,11 +57,13 @@ impl RsCode {
             let root = field.alpha_pow(j);
             generator = generator.mul(&FieldPoly::from_coeffs(&field, vec![root, 1]));
         }
+        let rows = SyndromeRows::new(&field, r);
         Ok(RsCode {
             field,
             k,
             r,
             generator,
+            rows,
         })
     }
 
@@ -153,12 +158,14 @@ impl RsCode {
     }
 
     /// Whether `cw` is a valid codeword (all syndromes zero).
+    /// Allocation-free, exiting early on the first nonzero syndrome.
     ///
     /// # Panics
     ///
     /// Panics if `cw.len() != n`.
     pub fn is_codeword(&self, cw: &[u8]) -> bool {
-        self.syndromes(cw).iter().all(|&s| s == 0)
+        assert_eq!(cw.len(), self.len(), "codeword length mismatch");
+        self.rows.is_codeword(cw)
     }
 
     /// Computes the `r` syndromes `S_j = R(alpha^j)`, `j = 1..=r`,
@@ -168,18 +175,22 @@ impl RsCode {
     ///
     /// Panics if `cw.len() != n`.
     pub fn syndromes(&self, cw: &[u8]) -> Vec<u32> {
+        let mut s = vec![0u32; self.r];
+        self.syndromes_into(cw, &mut s);
+        s
+    }
+
+    /// Computes all `r` syndromes into `out` (`out[j-1] = S_j`) via the
+    /// precomputed row tables, without allocating. Returns `true` when
+    /// every syndrome is zero, i.e. `cw` is already a codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw.len() != n` or `out.len() != r`.
+    pub fn syndromes_into(&self, cw: &[u8], out: &mut [u32]) -> bool {
         assert_eq!(cw.len(), self.len(), "codeword length mismatch");
-        let f = &self.field;
-        (1..=self.r as u64)
-            .map(|j| {
-                let x = f.alpha_pow(j);
-                let mut acc = 0u32;
-                for &byte in cw.iter().rev() {
-                    acc = f.mul(acc, x) ^ byte as u32;
-                }
-                acc
-            })
-            .collect()
+        assert_eq!(out.len(), self.r, "syndrome buffer length mismatch");
+        self.rows.syndromes_into(cw, out)
     }
 
     /// The underlying field GF(2^8).

@@ -1,16 +1,128 @@
 //! Errors-and-erasures RS decoding (Berlekamp–Massey with erasure
 //! initialization, Chien search, Forney magnitudes).
+//!
+//! The decoder is allocation-free on the hot path: syndromes, the BM
+//! polynomials, and the Chien/Forney results all live in a reusable
+//! [`RsScratch`], and a zero-syndrome early exit serves the
+//! overwhelmingly-common clean word before any locator machinery runs.
+//! The `*_scratch` entry points take an explicit scratch and return
+//! [`RsDecodeView`] slices into it; the classic entry points
+//! ([`RsCode::decode`], [`RsCode::decode_with_erasures`]) borrow a
+//! per-thread pooled scratch, so they too stop allocating once warm.
 
-use pmck_gf::FieldPoly;
+use std::cell::RefCell;
 
 use crate::code::RsCode;
 use crate::error::RsError;
 
-/// The result of a successful RS decode.
+/// Reusable decoder working memory, sized once for a given code
+/// (`r = n − k` check symbols, length-`n` codewords) so that every
+/// subsequent decode is heap-allocation-free.
+///
+/// A scratch built for one `(k, r)` geometry works for any [`RsCode`]
+/// with the same geometry. Build one per decoding context (engine,
+/// bench loop, test) and reuse it across calls.
+#[derive(Debug, Clone)]
+pub struct RsScratch {
+    /// Syndromes `S_1..S_r` (`s[j-1] = S_j`).
+    s: Vec<u32>,
+    /// The combined error-and-erasure locator Ψ (degree ≤ r).
+    lambda: Vec<u32>,
+    /// BM correction polynomial B.
+    b: Vec<u32>,
+    /// BM save buffer (old Ψ during length changes).
+    saved: Vec<u32>,
+    /// Forney evaluator Ω = S·Ψ mod x^r.
+    omega: Vec<u32>,
+    /// Formal derivative Ψ′.
+    deriv: Vec<u32>,
+    /// Chien-search root positions.
+    locations: Vec<usize>,
+    /// Applied `(position, magnitude)` pairs, ascending by position.
+    corrections: Vec<(usize, u8)>,
+    /// Corrected positions that were *not* declared erasures.
+    error_pos: Vec<usize>,
+}
+
+impl RsScratch {
+    /// A scratch sized for `code`'s geometry.
+    pub fn new(code: &RsCode) -> Self {
+        Self::with_geometry(code.data_symbols(), code.check_symbols())
+    }
+
+    pub(crate) fn with_geometry(k: usize, r: usize) -> Self {
+        let n = k + r;
+        RsScratch {
+            s: vec![0; r],
+            lambda: vec![0; r + 1],
+            b: vec![0; r + 1],
+            saved: vec![0; r + 1],
+            omega: vec![0; r],
+            deriv: vec![0; r],
+            locations: Vec::with_capacity(n),
+            corrections: Vec::with_capacity(r),
+            error_pos: Vec::with_capacity(r),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch pool backing the classic (scratch-less) decode
+    /// API, keyed by code geometry. Codes are tiny (r ≤ 255) and the few
+    /// geometries in play per thread make a linear scan cheaper than any
+    /// map.
+    static SCRATCH_POOL: RefCell<Vec<(usize, usize, RsScratch)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// A view of a successful decode, borrowing the scratch it ran in.
+///
+/// All accessors return slices into the scratch — no heap allocation.
+/// Convert with [`RsDecodeView::to_outcome`] when the result must
+/// outlive the scratch borrow.
+#[derive(Debug, Clone, Copy)]
+pub struct RsDecodeView<'s> {
+    corrections: &'s [(usize, u8)],
+    error_pos: &'s [usize],
+}
+
+impl RsDecodeView<'_> {
+    /// `(position, magnitude)` pairs applied to the word, ascending by
+    /// position. Includes erasure positions whose magnitude was nonzero.
+    pub fn corrections(&self) -> &[(usize, u8)] {
+        self.corrections
+    }
+
+    /// Positions corrected as *errors* (unknown locations) rather than
+    /// declared erasures, ascending.
+    pub fn error_positions(&self) -> &[usize] {
+        self.error_pos
+    }
+
+    /// The number of positions whose value actually changed.
+    pub fn num_corrections(&self) -> usize {
+        self.corrections.len()
+    }
+
+    /// Whether the received word was already a valid codeword.
+    pub fn was_clean(&self) -> bool {
+        self.corrections.is_empty()
+    }
+
+    /// Copies the view into an owned [`RsDecodeOutcome`].
+    pub fn to_outcome(&self) -> RsDecodeOutcome {
+        RsDecodeOutcome {
+            corrected: self.corrections.to_vec(),
+            error_pos: self.error_pos.to_vec(),
+        }
+    }
+}
+
+/// The owned result of a successful RS decode (the scratch-less API).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RsDecodeOutcome {
     corrected: Vec<(usize, u8)>,
-    erasure_positions: Vec<usize>,
+    error_pos: Vec<usize>,
 }
 
 impl RsDecodeOutcome {
@@ -21,13 +133,9 @@ impl RsDecodeOutcome {
     }
 
     /// Positions corrected as *errors* (unknown locations) rather than
-    /// declared erasures.
-    pub fn error_positions(&self) -> Vec<usize> {
-        self.corrected
-            .iter()
-            .map(|&(p, _)| p)
-            .filter(|p| !self.erasure_positions.contains(p))
-            .collect()
+    /// declared erasures, ascending.
+    pub fn error_positions(&self) -> &[usize] {
+        &self.error_pos
     }
 
     /// The number of positions whose value actually changed.
@@ -46,6 +154,9 @@ impl RsCode {
     /// Equivalent to [`RsCode::decode_with_erasures`] with no erasures:
     /// up to `⌊r/2⌋` errors are corrected.
     ///
+    /// Borrows a per-thread pooled scratch; use
+    /// [`RsCode::decode_scratch`] to control the scratch explicitly.
+    ///
     /// # Errors
     ///
     /// * [`RsError::LengthMismatch`] if `word.len() != n`.
@@ -56,6 +167,20 @@ impl RsCode {
         self.decode_with_erasures(word, &[])
     }
 
+    /// As [`RsCode::decode`], but running in the caller's `scratch` and
+    /// returning a slice view into it. Performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// As [`RsCode::decode`].
+    pub fn decode_scratch<'s>(
+        &self,
+        word: &mut [u8],
+        scratch: &'s mut RsScratch,
+    ) -> Result<RsDecodeView<'s>, RsError> {
+        self.decode_with_erasures_scratch(word, &[], scratch)
+    }
+
     /// Decodes `word` in place given known-bad `erasures` positions.
     /// Corrects any combination of `e` errors and `ν` erasures with
     /// `2e + ν ≤ r`.
@@ -64,6 +189,9 @@ impl RsCode {
     /// positions as erasures (ν = 8 for RS(72, 64)), consuming the whole
     /// budget; its runtime path uses no erasures and bounds accepted
     /// corrections via [`RsCode::decode_with_threshold`].
+    ///
+    /// Borrows a per-thread pooled scratch; use
+    /// [`RsCode::decode_with_erasures_scratch`] to control it explicitly.
     ///
     /// # Errors
     ///
@@ -76,85 +204,29 @@ impl RsCode {
         word: &mut [u8],
         erasures: &[usize],
     ) -> Result<RsDecodeOutcome, RsError> {
-        if word.len() != self.len() {
-            return Err(RsError::LengthMismatch(word.len(), self.len()));
-        }
-        let nu = erasures.len();
-        if nu > self.max_erasures() {
-            return Err(RsError::TooManyErasures(nu));
-        }
-        let mut seen = vec![false; self.len()];
-        for &p in erasures {
-            if p >= self.len() || seen[p] {
-                return Err(RsError::BadErasure(p));
-            }
-            seen[p] = true;
-        }
+        self.with_pooled_scratch(|code, scratch| {
+            code.decode_with_erasures_scratch(word, erasures, scratch)
+                .map(|view| view.to_outcome())
+        })
+    }
 
-        let f = &self.field;
-        let s = self.syndromes(word);
-        if s.iter().all(|&x| x == 0) {
-            return Ok(RsDecodeOutcome {
-                corrected: vec![],
-                erasure_positions: erasures.to_vec(),
-            });
-        }
-
-        // Erasure locator Γ(x) = prod (1 + X_l x), X_l = alpha^position.
-        let mut gamma = FieldPoly::one(f);
-        for &p in erasures {
-            let xl = f.alpha_pow(p as u64);
-            gamma = gamma.mul(&FieldPoly::from_coeffs(f, vec![1, xl]));
-        }
-
-        // Berlekamp–Massey initialized with the erasure locator; iterates
-        // over syndromes s[nu..r).
-        let psi = self.berlekamp_massey_erasures(&s, &gamma, nu);
-        let deg = psi.degree().unwrap_or(0);
-        let num_errors = deg - nu.min(deg);
-        if 2 * num_errors + nu > self.r {
-            return Err(RsError::Uncorrectable);
-        }
-
-        // Chien search over the shortened length.
-        let locations = self.chien_search(&psi);
-        if locations.len() != deg {
-            return Err(RsError::Uncorrectable);
-        }
-
-        // Forney: Ω(x) = S(x)·Ψ(x) mod x^r; e_i = Ω(X_i⁻¹)/Ψ'(X_i⁻¹).
-        let s_poly = FieldPoly::from_coeffs(f, s.clone());
-        let omega = s_poly.mul(&psi).truncate(self.r);
-        let psi_deriv = psi.derivative();
-        let order = f.order() as u64;
-        let mut corrections: Vec<(usize, u8)> = Vec::with_capacity(deg);
-        for &p in &locations {
-            let x_inv = f.alpha_pow(order - (p as u64 % order));
-            let denom = psi_deriv.eval(x_inv);
-            if denom == 0 {
-                return Err(RsError::Uncorrectable);
-            }
-            let num = omega.eval(x_inv);
-            let mag = f.div(num, denom).expect("denominator checked nonzero");
-            if mag != 0 {
-                corrections.push((p, mag as u8));
-            }
-        }
-
-        // Apply, then verify; an off-codeword landing means decode failure.
-        for &(p, m) in &corrections {
-            word[p] ^= m;
-        }
-        if !self.is_codeword(word) {
-            for &(p, m) in &corrections {
-                word[p] ^= m;
-            }
-            return Err(RsError::Uncorrectable);
-        }
-        corrections.sort_unstable_by_key(|&(p, _)| p);
-        Ok(RsDecodeOutcome {
-            corrected: corrections,
-            erasure_positions: erasures.to_vec(),
+    /// As [`RsCode::decode_with_erasures`], but running in the caller's
+    /// `scratch` and returning a slice view into it. Performs zero heap
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// As [`RsCode::decode_with_erasures`].
+    pub fn decode_with_erasures_scratch<'s>(
+        &self,
+        word: &mut [u8],
+        erasures: &[usize],
+        scratch: &'s mut RsScratch,
+    ) -> Result<RsDecodeView<'s>, RsError> {
+        self.decode_core(word, erasures, scratch)?;
+        Ok(RsDecodeView {
+            corrections: &scratch.corrections,
+            error_pos: &scratch.error_pos,
         })
     }
 
@@ -173,11 +245,7 @@ impl RsCode {
         let out = self.decode_with_erasures(word, erasures)?;
         // Any correction outside the declared erasures means random errors
         // were present; the strict erasure path refuses that.
-        if out
-            .corrections()
-            .iter()
-            .any(|&(p, _)| !erasures.contains(&p))
-        {
+        if !out.error_positions().is_empty() {
             for &(p, m) in out.corrections() {
                 word[p] ^= m;
             }
@@ -186,17 +254,156 @@ impl RsCode {
         Ok(out)
     }
 
-    /// Berlekamp–Massey with erasure initialization (Blahut): Ψ starts as
-    /// Γ, the length starts at ν, and iteration runs over syndromes
-    /// `s[ν..r)`. Returns the combined error-and-erasure locator Ψ.
-    fn berlekamp_massey_erasures(&self, s: &[u32], gamma: &FieldPoly, nu: usize) -> FieldPoly {
+    /// Runs `f` with the pooled scratch for this code's geometry,
+    /// creating it on the thread's first decode of this geometry.
+    pub(crate) fn with_pooled_scratch<T>(&self, f: impl FnOnce(&RsCode, &mut RsScratch) -> T) -> T {
+        let (k, r) = (self.k, self.r);
+        SCRATCH_POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            let idx = match pool.iter().position(|&(pk, pr, _)| pk == k && pr == r) {
+                Some(i) => i,
+                None => {
+                    pool.push((k, r, RsScratch::with_geometry(k, r)));
+                    pool.len() - 1
+                }
+            };
+            f(self, &mut pool[idx].2)
+        })
+    }
+
+    /// The decode engine. On `Ok(())` the word has been corrected and
+    /// verified, `scratch.corrections` holds the applied pairs (ascending
+    /// by position) and `scratch.error_pos` the non-erasure subset; on
+    /// error the word is unmodified.
+    fn decode_core(
+        &self,
+        word: &mut [u8],
+        erasures: &[usize],
+        scratch: &mut RsScratch,
+    ) -> Result<(), RsError> {
+        if word.len() != self.len() {
+            return Err(RsError::LengthMismatch(word.len(), self.len()));
+        }
+        let nu = erasures.len();
+        if nu > self.max_erasures() {
+            return Err(RsError::TooManyErasures(nu));
+        }
+        for (i, &p) in erasures.iter().enumerate() {
+            if p >= self.len() || erasures[..i].contains(&p) {
+                return Err(RsError::BadErasure(p));
+            }
+        }
+
+        scratch.corrections.clear();
+        scratch.error_pos.clear();
+        scratch.locations.clear();
+
+        // Fast path: a clean word exits before any locator machinery.
+        if self.syndromes_into(word, &mut scratch.s) {
+            return Ok(());
+        }
+
         let f = &self.field;
         let r = self.r;
-        let mut lambda: Vec<u32> = vec![0; r + 1];
-        for (i, &c) in gamma.coeffs().iter().enumerate() {
-            lambda[i] = c;
+        let order = f.order() as u64;
+
+        // Erasure locator Γ(x) = prod (1 + X_l x), X_l = alpha^position,
+        // built in place in the Ψ buffer (BM starts from Γ anyway).
+        let lambda = &mut scratch.lambda;
+        lambda.fill(0);
+        lambda[0] = 1;
+        for (deg, &p) in erasures.iter().enumerate() {
+            let xl = f.alpha_pow(p as u64);
+            for i in (1..=deg + 1).rev() {
+                lambda[i] ^= f.mul(xl, lambda[i - 1]);
+            }
         }
-        let mut b = lambda.clone();
+
+        // Berlekamp–Massey initialized with the erasure locator; iterates
+        // over syndromes s[nu..r).
+        self.berlekamp_massey_erasures(scratch, nu);
+        let deg = (0..=r).rev().find(|&i| scratch.lambda[i] != 0).unwrap_or(0);
+        let num_errors = deg - nu.min(deg);
+        if 2 * num_errors + nu > r {
+            return Err(RsError::Uncorrectable);
+        }
+
+        // Chien search over the shortened length.
+        let psi = &scratch.lambda[..=deg];
+        for p in 0..self.len() as u64 {
+            let x_inv = f.alpha_pow(order - (p % order));
+            if f.eval_poly(psi, x_inv) == 0 {
+                scratch.locations.push(p as usize);
+            }
+        }
+        if scratch.locations.len() != deg {
+            return Err(RsError::Uncorrectable);
+        }
+
+        // Forney: Ω(x) = S(x)·Ψ(x) mod x^r; e_i = Ω(X_i⁻¹)/Ψ'(X_i⁻¹).
+        for i in 0..r {
+            let mut acc = 0u32;
+            for j in 0..=deg.min(i) {
+                let c = scratch.lambda[j];
+                if c != 0 {
+                    acc ^= f.mul(c, scratch.s[i - j]);
+                }
+            }
+            scratch.omega[i] = acc;
+        }
+        // Ψ' over characteristic 2: only odd-degree terms survive.
+        scratch.deriv.fill(0);
+        for i in (1..=deg).step_by(2) {
+            scratch.deriv[i - 1] = scratch.lambda[i];
+        }
+        for &p in &scratch.locations {
+            let x_inv = f.alpha_pow(order - (p as u64 % order));
+            let denom = f.eval_poly(&scratch.deriv[..deg.max(1)], x_inv);
+            if denom == 0 {
+                return Err(RsError::Uncorrectable);
+            }
+            let num = f.eval_poly(&scratch.omega, x_inv);
+            let mag = f.div(num, denom).expect("denominator checked nonzero");
+            if mag != 0 {
+                scratch.corrections.push((p, mag as u8));
+            }
+        }
+
+        // Apply, then verify; an off-codeword landing means decode failure.
+        for &(p, m) in &scratch.corrections {
+            word[p] ^= m;
+        }
+        if !self.is_codeword(word) {
+            for &(p, m) in &scratch.corrections {
+                word[p] ^= m;
+            }
+            scratch.corrections.clear();
+            return Err(RsError::Uncorrectable);
+        }
+        scratch.corrections.sort_unstable_by_key(|&(p, _)| p);
+        for &(p, _) in &scratch.corrections {
+            if !erasures.contains(&p) {
+                scratch.error_pos.push(p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Berlekamp–Massey with erasure initialization (Blahut): Ψ starts as
+    /// Γ (already in `scratch.lambda`), the length starts at ν, and
+    /// iteration runs over syndromes `s[ν..r)`. Leaves the combined
+    /// error-and-erasure locator Ψ in `scratch.lambda`.
+    fn berlekamp_massey_erasures(&self, scratch: &mut RsScratch, nu: usize) {
+        let f = &self.field;
+        let r = self.r;
+        let RsScratch {
+            s,
+            lambda,
+            b,
+            saved,
+            ..
+        } = scratch;
+        b.copy_from_slice(lambda);
         let mut l = nu;
         let mut m = 1usize;
         let mut bb = 1u32;
@@ -210,7 +417,7 @@ impl RsCode {
             if d == 0 {
                 m += 1;
             } else if 2 * l <= i + nu {
-                let saved = lambda.clone();
+                saved.copy_from_slice(lambda);
                 let coef = f.div(d, bb).expect("bb nonzero");
                 for j in 0..=(r - m.min(r)) {
                     if b[j] != 0 && j + m <= r {
@@ -218,7 +425,7 @@ impl RsCode {
                     }
                 }
                 l = i + 1 + nu - l;
-                b = saved;
+                std::mem::swap(b, saved);
                 bb = d;
                 m = 1;
             } else {
@@ -231,22 +438,6 @@ impl RsCode {
                 m += 1;
             }
         }
-        FieldPoly::from_coeffs(f, lambda)
-    }
-
-    /// Finds codeword positions whose location value inverse is a root of
-    /// `psi`.
-    fn chien_search(&self, psi: &FieldPoly) -> Vec<usize> {
-        let f = &self.field;
-        let order = f.order() as u64;
-        let mut out = Vec::new();
-        for p in 0..self.len() as u64 {
-            let x_inv = f.alpha_pow(order - (p % order));
-            if psi.eval(x_inv) == 0 {
-                out.push(p as usize);
-            }
-        }
-        out
     }
 }
 
@@ -304,5 +495,66 @@ mod tests {
             code.decode(&mut short).unwrap_err(),
             RsError::LengthMismatch(71, 72)
         );
+    }
+
+    #[test]
+    fn scratch_and_pooled_paths_agree() {
+        let code = RsCode::per_block();
+        let mut scratch = RsScratch::new(&code);
+        let data: Vec<u8> = (0..64).map(|i| (i * 31 + 7) as u8).collect();
+        let clean = code.encode(&data);
+        for errs in 0..=4usize {
+            let mut w1 = clean.clone();
+            let mut w2 = clean.clone();
+            for e in 0..errs {
+                w1[e * 13 + 1] ^= 0x3C;
+                w2[e * 13 + 1] ^= 0x3C;
+            }
+            let pooled = code.decode(&mut w1).unwrap();
+            let view = code.decode_scratch(&mut w2, &mut scratch).unwrap();
+            assert_eq!(pooled.corrections(), view.corrections(), "{errs} errors");
+            assert_eq!(
+                pooled.error_positions(),
+                view.error_positions(),
+                "{errs} errors"
+            );
+            assert_eq!(w1, w2);
+            assert_eq!(w1, clean);
+        }
+    }
+
+    #[test]
+    fn error_positions_exclude_declared_erasures() {
+        let code = RsCode::per_block();
+        let data = [0x42u8; 64];
+        let clean = code.encode(&data);
+        let mut w = clean.clone();
+        // Two erased symbols (one genuinely wrong) plus one random error.
+        w[3] ^= 0xFF;
+        w[40] ^= 0x55;
+        let mut scratch = RsScratch::new(&code);
+        let view = code
+            .decode_with_erasures_scratch(&mut w, &[3, 4], &mut scratch)
+            .unwrap();
+        assert_eq!(w, clean);
+        assert_eq!(view.error_positions(), &[40]);
+        assert_eq!(view.corrections().len(), 2);
+    }
+
+    #[test]
+    fn scratch_reuse_across_geometries_is_rejected_by_capacity() {
+        // A scratch for a small code still decodes the geometry it was
+        // built for after being used heavily.
+        let code = RsCode::new(16, 4).unwrap();
+        let mut scratch = RsScratch::new(&code);
+        let data: Vec<u8> = (0..16).collect();
+        let clean = code.encode(&data);
+        for round in 0..10 {
+            let mut w = clean.clone();
+            w[(round * 3) % 20] ^= 0x11;
+            let view = code.decode_scratch(&mut w, &mut scratch).unwrap();
+            assert_eq!(view.num_corrections(), 1);
+            assert_eq!(w, clean);
+        }
     }
 }

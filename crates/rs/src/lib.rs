@@ -40,6 +40,6 @@ mod error;
 mod threshold;
 
 pub use code::RsCode;
-pub use decode::RsDecodeOutcome;
+pub use decode::{RsDecodeOutcome, RsDecodeView, RsScratch};
 pub use error::RsError;
 pub use threshold::{RejectReason, ThresholdOutcome};

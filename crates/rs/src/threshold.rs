@@ -7,6 +7,7 @@
 //! falls back to VLEW decoding.
 
 use crate::code::RsCode;
+use crate::decode::RsScratch;
 use crate::error::RsError;
 
 /// Why a threshold decode refused to accept the RS correction.
@@ -60,18 +61,33 @@ impl RsCode {
         word: &mut [u8],
         threshold: usize,
     ) -> Result<ThresholdOutcome, RsError> {
-        if word.len() != self.len() {
-            return Err(RsError::LengthMismatch(word.len(), self.len()));
-        }
-        match self.decode(word) {
-            Ok(out) if out.was_clean() => Ok(ThresholdOutcome::Clean),
-            Ok(out) => {
-                let n = out.num_corrections();
+        self.with_pooled_scratch(|code, scratch| {
+            code.decode_with_threshold_scratch(word, threshold, scratch)
+        })
+    }
+
+    /// As [`RsCode::decode_with_threshold`], but running in the caller's
+    /// `scratch`. The runtime read path calls this with the engine-owned
+    /// scratch, making the clean-read common case allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// As [`RsCode::decode_with_threshold`].
+    pub fn decode_with_threshold_scratch(
+        &self,
+        word: &mut [u8],
+        threshold: usize,
+        scratch: &mut RsScratch,
+    ) -> Result<ThresholdOutcome, RsError> {
+        match self.decode_scratch(word, scratch) {
+            Ok(view) if view.was_clean() => Ok(ThresholdOutcome::Clean),
+            Ok(view) => {
+                let n = view.num_corrections();
                 if n <= threshold {
                     Ok(ThresholdOutcome::Accepted { corrections: n })
                 } else {
                     // Roll back: the correction is distrusted.
-                    for &(p, m) in out.corrections() {
+                    for &(p, m) in view.corrections() {
                         word[p] ^= m;
                     }
                     Ok(ThresholdOutcome::Rejected(

@@ -27,11 +27,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use pmck_bch::BchCode;
-use pmck_core::{ChipkillConfig, Stack, StackBuilder};
+use pmck_core::{ChipkillConfig, Request, Stack, StackBuilder};
 use pmck_gf::SyndromeRows;
 use pmck_rs::{RsCode, RsScratch};
 use pmck_rt::json::Json;
 use pmck_rt::rng::{Rng, StdRng};
+use pmck_service::ShardedService;
 
 /// A pass-through allocator that counts allocation calls, so each
 /// scenario can report heap allocations per operation.
@@ -315,28 +316,37 @@ fn filled_stack(build: impl FnOnce(StackBuilder) -> StackBuilder, rber: f64) -> 
 }
 
 fn readpath_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
+    // The read scenarios run on `Stack::read_into` — the hot-path form
+    // that decodes straight into a caller buffer, skipping the outcome
+    // copy `Stack::read` pays.
     if wants(cfg, "readpath/clean") {
         let mut stack = filled_stack(|b| b, 0.0);
         let mut a = 0;
+        let mut buf = [0u8; 64];
         rows.push(scenario(cfg, "readpath/clean", 64, || {
             a = (a + 1) % stack.num_blocks();
-            stack.read(a).expect("clean")
+            let path = stack.read_into(a, &mut buf).expect("clean");
+            (buf[0], path)
         }));
     }
     if wants(cfg, "readpath/runtime_rber_2e-4") {
         let mut stack = filled_stack(|b| b, 2e-4);
         let mut a = 0;
+        let mut buf = [0u8; 64];
         rows.push(scenario(cfg, "readpath/runtime_rber_2e-4", 64, || {
             a = (a + 1) % stack.num_blocks();
-            stack.read(a).expect("correctable")
+            let path = stack.read_into(a, &mut buf).expect("correctable");
+            (buf[0], path)
         }));
     }
     if wants(cfg, "readpath/boot_rber_1e-3") {
         let mut stack = filled_stack(|b| b, 1e-3);
         let mut a = 0;
+        let mut buf = [0u8; 64];
         rows.push(scenario(cfg, "readpath/boot_rber_1e-3", 64, || {
             a = (a + 1) % stack.num_blocks();
-            stack.read(a).expect("correctable")
+            let path = stack.read_into(a, &mut buf).expect("correctable");
+            (buf[0], path)
         }));
     }
     if wants(cfg, "writepath/conventional") {
@@ -363,10 +373,82 @@ fn readpath_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
         // relative to readpath/clean.
         let mut stack = filled_stack(|b| b.wear_levelled(64).patrolled(4, 16), 0.0);
         let mut a = 0;
+        let mut buf = [0u8; 64];
         rows.push(scenario(cfg, "stack/full_pipeline_read", 64, || {
             a = (a + 1) % stack.num_blocks();
-            stack.read(a).expect("clean")
+            let path = stack.read_into(a, &mut buf).expect("clean");
+            (buf[0], path)
         }));
+    }
+}
+
+/// `service/parallel_read_throughput`: clean-read ops/sec through the
+/// sharded service at 1/2/4/8 shards over the same 256-block address
+/// space, batched full-space read sweeps. `allocs_per_op` measures the
+/// per-shard steady state (buffers circulate; nothing allocates after
+/// warmup). Measured speedup tracks the machine's core count — on a
+/// single-core host the shard counts tie.
+fn service_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
+    const TOTAL_BLOCKS: u64 = 256;
+    for shards in [1usize, 2, 4, 8] {
+        let name = format!("service/parallel_read_throughput/{shards}shard");
+        if !wants(cfg, &name) {
+            continue;
+        }
+        let per_shard = TOTAL_BLOCKS / shards as u64;
+        let mut svc = ShardedService::new(shards, 5, |_, seed| {
+            StackBuilder::proposal(per_shard, ChipkillConfig::default())
+                .seed(seed)
+                .build()
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        let writes: Vec<Request> = (0..TOTAL_BLOCKS)
+            .map(|a| {
+                let mut data = [0u8; 64];
+                rng.fill_bytes(&mut data[..]);
+                Request::Write { addr: a, data }
+            })
+            .collect();
+        for r in svc.submit_batch(&writes) {
+            r.expect("prefill");
+        }
+        let reads: Vec<Request> = (0..TOTAL_BLOCKS).map(Request::Read).collect();
+        let mut out = Vec::new();
+        // One batch submission serves TOTAL_BLOCKS read ops.
+        let batches_per_iter = (cfg.iters / TOTAL_BLOCKS).max(1);
+        // Warm up for several rounds: the job/result buffers circulate
+        // through three hands (staging, mailbox, worker), so every Vec
+        // in the cycle needs a few batches to reach final capacity.
+        for _ in 0..batches_per_iter.max(4) {
+            svc.submit_batch_into(&reads, &mut out); // warmup
+        }
+        let mut best_ns = f64::INFINITY;
+        let mut total_ns = 0.0;
+        let allocs_before = ALLOC_CALLS.load(Ordering::Relaxed);
+        for _ in 0..cfg.batches {
+            let start = Instant::now();
+            for _ in 0..batches_per_iter {
+                svc.submit_batch_into(&reads, &mut out);
+                std::hint::black_box(&out);
+            }
+            let ops = (batches_per_iter * TOTAL_BLOCKS) as f64;
+            let ns = start.elapsed().as_nanos() as f64 / ops;
+            best_ns = best_ns.min(ns);
+            total_ns += ns;
+        }
+        let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - allocs_before;
+        let total_ops = cfg.batches * batches_per_iter * TOTAL_BLOCKS;
+        rows.push(
+            Json::object()
+                .with("name", name)
+                .with("shards", shards as u64)
+                .with("ns_per_op_best", best_ns)
+                .with("ns_per_op_mean", total_ns / cfg.batches as f64)
+                .with("ops_per_s_best", 1e9 / best_ns)
+                .with("allocs_per_op", allocs as f64 / total_ops as f64)
+                .with("bytes_per_op", 64u64),
+        );
+        svc.shutdown();
     }
 }
 
@@ -448,6 +530,7 @@ fn main() {
     bch_scenarios(&cfg, &mut rows);
     rs_scenarios(&cfg, &mut rows);
     readpath_scenarios(&cfg, &mut rows);
+    service_scenarios(&cfg, &mut rows);
 
     let mut doc = Json::object()
         .with("harness", "microbench")

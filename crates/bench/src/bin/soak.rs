@@ -15,25 +15,35 @@
 //! Usage:
 //!
 //! ```text
-//! soak [--blocks N] [--cycles N] [--seed N] [--schedule FILE] [--short] [--pretty]
+//! soak [--blocks N] [--cycles N] [--seed N] [--schedule FILE] [--short]
+//!      [--shards N] [--pretty]
 //! ```
 //!
-//! `--short` is the CI profile (small rank, few cycles). Output is a
-//! single JSON document on stdout; the exit code is nonzero if any read
-//! diverged from the mirror, the final verify failed, or the re-stripe
-//! readback diverged.
+//! `--short` is the CI profile (small rank, few cycles). `--shards N`
+//! drives the same campaign through the `pmck-service` sharded front
+//! end instead of a single `Stack`: the workload is submitted in
+//! batched [`Request`] windows, whole-device events are broadcast, and
+//! the mirror checks run on the batched responses (the re-stripe leg is
+//! skipped — re-striping is a per-rank transition, not a service
+//! request). Output is a single JSON document on stdout; the exit code
+//! is nonzero if any read diverged from the mirror, the final verify
+//! failed, or the re-stripe readback diverged.
 
-use pmck_core::{ChipkillConfig, CoreError, ReadPath, Stack, StackBuilder};
+use pmck_core::{
+    ChipkillConfig, CoreError, LayerId, ReadPath, Request, Response, Stack, StackBuilder,
+};
 use pmck_memsim::FaultTimeline;
 use pmck_nvram::{ChipFailureKind, FaultEvent, FaultKind, FaultSchedule};
 use pmck_rt::json::Json;
 use pmck_rt::rng::{Rng, StdRng};
+use pmck_service::ShardedService;
 
 struct Config {
     blocks: u64,
     cycles: u64,
     seed: u64,
     schedule_file: Option<String>,
+    shards: Option<usize>,
     pretty: bool,
 }
 
@@ -44,6 +54,7 @@ impl Config {
             cycles: 20_000,
             seed: 0x50AC,
             schedule_file: None,
+            shards: None,
             pretty: false,
         };
         let mut args = std::env::args().skip(1);
@@ -57,6 +68,13 @@ impl Config {
                         args.next()
                             .unwrap_or_else(|| usage("--schedule needs a file path")),
                     )
+                }
+                "--shards" => {
+                    let n = need(args.next(), "--shards");
+                    if n == 0 {
+                        usage("--shards needs a positive integer");
+                    }
+                    cfg.shards = Some(n as usize);
                 }
                 "--short" => {
                     cfg.blocks = 64;
@@ -78,7 +96,8 @@ fn need(v: Option<String>, flag: &str) -> u64 {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: soak [--blocks N] [--cycles N] [--seed N] [--schedule FILE] [--short] [--pretty]"
+        "usage: soak [--blocks N] [--cycles N] [--seed N] [--schedule FILE] [--short] \
+         [--shards N] [--pretty]"
     );
     std::process::exit(2);
 }
@@ -168,15 +187,354 @@ fn repair_if_detected(stack: &mut Stack, cycle: u64, c: &mut Counters) {
 
 /// One full patrol pass through the pipeline's patrol layer.
 fn full_patrol_pass(stack: &mut Stack) -> Result<(), CoreError> {
-    let target = stack.layer("patrol").map_or(0, |s| s.patrol_passes) + 1;
-    while stack.layer("patrol").map_or(0, |s| s.patrol_passes) < target {
+    let target = stack.layer(LayerId::Patrol).map_or(0, |s| s.patrol_passes) + 1;
+    while stack.layer(LayerId::Patrol).map_or(0, |s| s.patrol_passes) < target {
         stack.patrol_step()?;
     }
     Ok(())
 }
 
+/// Summed patrol passes across the service's shards.
+fn service_patrol_passes(svc: &ShardedService) -> u64 {
+    svc.layers()
+        .iter()
+        .find(|(id, _)| *id == LayerId::Patrol)
+        .map_or(0, |(_, s)| s.patrol_passes)
+}
+
+/// The same campaign through the `pmck-service` sharded front end.
+///
+/// The workload is generated exactly as in single-stack mode but
+/// submitted in batched request windows: fault events and background
+/// RBER are broadcast, demand ops route to their owning shard, and the
+/// mirror checks walk the batched responses in request order (a write
+/// updates the mirror before any later read of that block is checked,
+/// matching each shard's in-order execution). Chip repairs run as a
+/// per-window sweep over the shards instead of per cycle; the §V-E
+/// re-stripe leg is skipped because re-striping is a per-rank layout
+/// transition, not a service request.
+fn run_sharded(cfg: &Config, shards: usize) -> ! {
+    const WINDOW: u64 = 64;
+
+    let schedule = load_schedule(cfg);
+    let timeline = FaultTimeline::new(schedule.clone(), 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let per_shard = cfg.blocks.div_ceil(shards as u64);
+    let mut svc = ShardedService::new(shards, cfg.seed ^ 0x5011_D1E5, |_, seed| {
+        StackBuilder::proposal(per_shard, ChipkillConfig::default())
+            .patrolled(2, 0)
+            .wear_levelled(8)
+            .seed(seed)
+            .build()
+    });
+    // Per-shard capacity rounds up to whole stripes, so the campaign
+    // covers the service's real (interleaved) address space.
+    let total = svc.num_blocks();
+
+    let mut mirror: Vec<[u8; 64]> = Vec::with_capacity(total as usize);
+    let fills: Vec<Request> = (0..total)
+        .map(|a| {
+            let data = pattern(&mut rng);
+            mirror.push(data);
+            Request::Write { addr: a, data }
+        })
+        .collect();
+    for r in svc.submit_batch(&fills) {
+        r.expect("initial fill");
+    }
+
+    /// What the walk over a batch's responses should do at each slot.
+    enum Expect {
+        Write { addr: u64, data: [u8; 64] },
+        Read { addr: u64 },
+        Event,
+        Rber,
+        Patrol,
+    }
+
+    let mut c = Counters::default();
+    let mut reqs: Vec<Request> = Vec::new();
+    let mut expects: Vec<Expect> = Vec::new();
+    let mut out: Vec<Result<Response, CoreError>> = Vec::new();
+    // Blocks whose failed write was repaired-and-retried *after* the
+    // batch ran: a read of the same block later in the same batch saw
+    // the pre-retry contents, so its mirror check is skipped (the
+    // closing sweep still validates the final state).
+    let mut retried: Vec<u64> = Vec::new();
+
+    let mut window_start = 0u64;
+    while window_start < cfg.cycles {
+        let window_end = (window_start + WINDOW).min(cfg.cycles);
+        reqs.clear();
+        expects.clear();
+        retried.clear();
+        for cycle in window_start..window_end {
+            for event in schedule.events_in(cycle, cycle + 1).to_vec() {
+                reqs.push(Request::Fault(event));
+                expects.push(Expect::Event);
+            }
+            let rber = schedule.rber_at(cycle);
+            if rber > 0.0 {
+                reqs.push(Request::InjectRber(rber));
+                expects.push(Expect::Rber);
+            }
+            let block = rng.gen_range(0..total);
+            match rng.gen_range(0u32..5) {
+                0 | 1 => {
+                    let data = pattern(&mut rng);
+                    reqs.push(Request::Write { addr: block, data });
+                    expects.push(Expect::Write { addr: block, data });
+                }
+                2 | 3 => {
+                    c.extra_fetches += u64::from(timeline.sample_extra_fetches(cycle, &mut rng));
+                    reqs.push(Request::Read(block));
+                    expects.push(Expect::Read { addr: block });
+                }
+                _ => {
+                    reqs.push(Request::PatrolStep);
+                    expects.push(Expect::Patrol);
+                }
+            }
+        }
+
+        svc.submit_batch_into(&reqs, &mut out);
+        let mut needs_detection = false;
+        for (res, expect) in out.drain(..).zip(expects.iter()) {
+            match expect {
+                Expect::Event => {
+                    c.events_applied += 1;
+                    c.event_bits += res
+                        .expect("fault event")
+                        .injected_bits()
+                        .expect("fault responds with injected bits")
+                        as u64;
+                }
+                Expect::Rber => {
+                    c.background_bits += res
+                        .expect("background rber")
+                        .injected_bits()
+                        .expect("injection responds with injected bits")
+                        as u64;
+                }
+                Expect::Write { addr, data } => {
+                    c.ops_write += 1;
+                    if res.is_err() {
+                        // The write's read-modify step hit an undetected
+                        // dead chip on its shard. Route a demand read
+                        // through that shard's detection path, repair,
+                        // and retry once.
+                        let (shard, local) = svc.route(*addr).expect("mirror address routes");
+                        let rewrote = svc.with_shard(shard, |stack| {
+                            let _ = stack.read(local);
+                            if stack.detected_failed_chip().is_some() {
+                                stack
+                                    .repair_detected()
+                                    .expect("detected chip must be repairable");
+                                c.chip_repairs += 1;
+                                c.repair_cycles.push(window_end);
+                            }
+                            stack.write(local, data)
+                        });
+                        if let Err(e) = rewrote {
+                            eprintln!("window ending {window_end}: block {addr} write failed: {e}");
+                            std::process::exit(1);
+                        }
+                        retried.push(*addr);
+                    }
+                    mirror[*addr as usize] = *data;
+                }
+                Expect::Read { addr } => {
+                    c.ops_read += 1;
+                    match res {
+                        Ok(resp) => {
+                            let o = resp.read().expect("read responds with an outcome");
+                            match o.path {
+                                ReadPath::Clean | ReadPath::BitCorrected { .. } => {
+                                    c.path_clean += 1;
+                                }
+                                ReadPath::RsCorrected { .. } => c.path_rs += 1,
+                                ReadPath::VlewFallback { .. } => c.path_fallback += 1,
+                                ReadPath::ChipkillErasure { .. } => c.path_erasure += 1,
+                            }
+                            if o.data != mirror[*addr as usize] && !retried.contains(addr) {
+                                c.read_mismatches += 1;
+                                eprintln!("block {addr} read diverged from mirror");
+                            }
+                        }
+                        Err(e) => {
+                            c.read_errors += 1;
+                            eprintln!("block {addr} read failed: {e}");
+                        }
+                    }
+                }
+                Expect::Patrol => {
+                    c.ops_scrub += 1;
+                    match res {
+                        Ok(_) => {}
+                        Err(CoreError::Uncorrectable) => {
+                            // A scrub UE on some shard: flag it so the
+                            // repair sweep below pushes a demand read
+                            // through every shard's detection path.
+                            c.scrub_uncorrectable += 1;
+                            needs_detection = true;
+                        }
+                        Err(e) => {
+                            eprintln!("window ending {window_end}: patrol step failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Per-window repair sweep: any shard whose decode paths flagged
+        // a dead chip gets rebuilt before the next window starts.
+        for shard in 0..shards {
+            svc.with_shard(shard, |stack| {
+                if needs_detection {
+                    let _ = stack.read(0);
+                }
+                if stack.detected_failed_chip().is_some() {
+                    stack
+                        .repair_detected()
+                        .expect("detected chip must be repairable");
+                    c.chip_repairs += 1;
+                    c.repair_cycles.push(window_end);
+                }
+            });
+        }
+
+        window_start = window_end;
+    }
+
+    // Closing sweep, batched: a broadcast boot scrub, a full patrol
+    // pass on every shard, a rank verify on every shard (ANDed), and a
+    // complete readback against the mirror.
+    let scrub_report = svc
+        .submit(&Request::BootScrub)
+        .expect("closing boot scrub")
+        .boot_scrubbed()
+        .expect("boot scrub responds with a report");
+    let patrol_target = service_patrol_passes(&svc) + shards as u64;
+    while service_patrol_passes(&svc) < patrol_target {
+        svc.submit(&Request::PatrolStep)
+            .expect("closing patrol pass");
+    }
+    let consistent = svc
+        .submit(&Request::Verify)
+        .expect("closing verify")
+        .verified()
+        .expect("verify responds with a verdict");
+
+    let mut sweep_mismatches = 0u64;
+    let mut start = 0u64;
+    while start < total {
+        let end = (start + 256).min(total);
+        reqs.clear();
+        reqs.extend((start..end).map(Request::Read));
+        svc.submit_batch_into(&reqs, &mut out);
+        for (i, res) in out.drain(..).enumerate() {
+            let a = (start + i as u64) as usize;
+            match res {
+                Ok(resp) if resp.read().is_some_and(|o| o.data == mirror[a]) => {}
+                _ => sweep_mismatches += 1,
+            }
+        }
+        start = end;
+    }
+
+    let stats = svc.core_stats().expect("chipkill base");
+    let merged_layers = svc.layers();
+    svc.shutdown();
+
+    let failed = c.read_mismatches > 0 || c.read_errors > 0 || sweep_mismatches > 0 || !consistent;
+
+    let mut layers = Json::object();
+    for (id, stats) in &merged_layers {
+        layers = layers.with(id.as_str(), stats.to_json());
+    }
+    let gap_moves = merged_layers
+        .iter()
+        .find(|(id, _)| *id == LayerId::Wearlevel)
+        .map_or(0, |(_, s)| s.gap_moves);
+    let patrol_passes = merged_layers
+        .iter()
+        .find(|(id, _)| *id == LayerId::Patrol)
+        .map_or(0, |(_, s)| s.patrol_passes);
+
+    let doc = Json::object()
+        .with("harness", "soak")
+        .with(
+            "config",
+            Json::object()
+                .with("blocks", total)
+                .with("cycles", cfg.cycles)
+                .with("seed", cfg.seed)
+                .with("shards", shards as u64),
+        )
+        .with("schedule", schedule.to_json())
+        .with(
+            "campaign",
+            Json::object()
+                .with("events_applied", c.events_applied)
+                .with("event_bits", c.event_bits)
+                .with("background_bits", c.background_bits)
+                .with("writes", c.ops_write)
+                .with("reads", c.ops_read)
+                .with("scrub_steps", c.ops_scrub)
+                .with("scrub_uncorrectable", c.scrub_uncorrectable)
+                .with("gap_moves", gap_moves)
+                .with("patrol_passes", patrol_passes)
+                .with("chip_repairs", c.chip_repairs)
+                .with(
+                    "repair_cycles",
+                    Json::Arr(c.repair_cycles.iter().map(|&x| Json::from(x)).collect()),
+                )
+                .with("timeline_extra_fetches", c.extra_fetches),
+        )
+        .with(
+            "read_paths",
+            Json::object()
+                .with("clean", c.path_clean)
+                .with("rs_corrected", c.path_rs)
+                .with("vlew_fallback", c.path_fallback)
+                .with("chipkill_erasure", c.path_erasure),
+        )
+        .with("core_stats", stats.to_json())
+        .with("layers", layers)
+        .with(
+            "verdict",
+            Json::object()
+                .with("read_mismatches", c.read_mismatches)
+                .with("read_errors", c.read_errors)
+                .with("final_verify_consistent", consistent)
+                .with(
+                    "closing_scrub_bits_corrected",
+                    scrub_report.bits_corrected as u64,
+                )
+                .with("sweep_mismatches", sweep_mismatches)
+                .with("restripe_skipped", true)
+                .with("passed", !failed),
+        );
+
+    if cfg.pretty {
+        println!("{}", doc.pretty());
+    } else {
+        println!("{}", doc.dump());
+    }
+    if failed {
+        eprintln!("soak: FAILED (see verdict in report)");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let cfg = Config::from_args();
+    if let Some(shards) = cfg.shards {
+        run_sharded(&cfg, shards);
+    }
     let schedule = load_schedule(&cfg);
     let timeline = FaultTimeline::new(schedule.clone(), 1);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -231,15 +589,18 @@ fn main() {
             2 | 3 => {
                 c.ops_read += 1;
                 c.extra_fetches += u64::from(timeline.sample_extra_fetches(cycle, &mut rng));
-                match stack.read(block) {
-                    Ok(out) => {
-                        match out.path {
+                // The hot-path read form: decode straight into the check
+                // buffer, no outcome copy.
+                let mut buf = [0u8; 64];
+                match stack.read_into(block, &mut buf) {
+                    Ok(path) => {
+                        match path {
                             ReadPath::Clean | ReadPath::BitCorrected { .. } => c.path_clean += 1,
                             ReadPath::RsCorrected { .. } => c.path_rs += 1,
                             ReadPath::VlewFallback { .. } => c.path_fallback += 1,
                             ReadPath::ChipkillErasure { .. } => c.path_erasure += 1,
                         }
-                        if out.data != mirror[block as usize] {
+                        if buf != mirror[block as usize] {
                             c.read_mismatches += 1;
                             eprintln!("cycle {cycle}: block {block} read diverged from mirror");
                         }
@@ -280,9 +641,10 @@ fn main() {
     full_patrol_pass(&mut stack).expect("closing patrol pass");
     let consistent = stack.verify_consistent().expect("closing verify");
     let mut sweep_mismatches = 0u64;
+    let mut buf = [0u8; 64];
     for block in 0..cfg.blocks {
-        match stack.read(block) {
-            Ok(out) if out.data == mirror[block as usize] => {}
+        match stack.read_into(block, &mut buf) {
+            Ok(_) if buf == mirror[block as usize] => {}
             _ => sweep_mismatches += 1,
         }
     }
@@ -304,8 +666,8 @@ fn main() {
         .expect("re-stripe chip failure");
     stack.restripe().expect("re-stripe after chip failure");
     for block in 0..cfg.blocks {
-        match stack.read(block) {
-            Ok(out) if out.data == mirror[block as usize] => {}
+        match stack.read_into(block, &mut buf) {
+            Ok(_) if buf == mirror[block as usize] => {}
             _ => restripe_mismatches += 1,
         }
     }
@@ -319,8 +681,8 @@ fn main() {
         || !restripe_consistent;
 
     let mut layers = Json::object();
-    for (label, stats) in stack.layers() {
-        layers = layers.with(*label, stats.to_json());
+    for (id, stats) in stack.layers() {
+        layers = layers.with(id.as_str(), stats.to_json());
     }
 
     let doc = Json::object()
@@ -345,11 +707,11 @@ fn main() {
                 .with("scrub_uncorrectable", c.scrub_uncorrectable)
                 .with(
                     "gap_moves",
-                    stack.layer("wearlevel").map_or(0, |s| s.gap_moves),
+                    stack.layer(LayerId::Wearlevel).map_or(0, |s| s.gap_moves),
                 )
                 .with(
                     "patrol_passes",
-                    stack.layer("patrol").map_or(0, |s| s.patrol_passes),
+                    stack.layer(LayerId::Patrol).map_or(0, |s| s.patrol_passes),
                 )
                 .with("chip_repairs", c.chip_repairs)
                 .with(

@@ -123,16 +123,94 @@ pub enum AccessOutcome {
     Restriped,
 }
 
+/// Identifies one layer of a composed stack.
+///
+/// Stats lookups and layer addressing use this enum; the string form
+/// (via [`std::fmt::Display`] / [`std::str::FromStr`]) is kept for JSON
+/// reports and metric names, which embed the same labels as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerId {
+    /// The chipkill rank ([`ChipkillMemory`]).
+    Chipkill,
+    /// The §III-A baseline rank ([`BaselineMemory`]).
+    Baseline,
+    /// The §V-E re-striped layout ([`RestripedMemory`]).
+    Restriped,
+    /// The in-place re-stripe switch ([`crate::Restripeable`]).
+    Restripeable,
+    /// Start-Gap wear leveling ([`crate::WearLevelled`]).
+    Wearlevel,
+    /// Patrol scrubbing ([`crate::Patrolled`]).
+    Patrol,
+    /// Write-CRC link protection ([`crate::LinkProtected`]).
+    Link,
+}
+
+impl LayerId {
+    /// Every layer, in stack order (base layouts first).
+    pub const ALL: [LayerId; 7] = [
+        LayerId::Chipkill,
+        LayerId::Baseline,
+        LayerId::Restriped,
+        LayerId::Restripeable,
+        LayerId::Wearlevel,
+        LayerId::Patrol,
+        LayerId::Link,
+    ];
+
+    /// The stable string form used in JSON reports and metric names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LayerId::Chipkill => "chipkill",
+            LayerId::Baseline => "baseline",
+            LayerId::Restriped => "restriped",
+            LayerId::Restripeable => "restripeable",
+            LayerId::Wearlevel => "wearlevel",
+            LayerId::Patrol => "patrol",
+            LayerId::Link => "link",
+        }
+    }
+}
+
+impl std::fmt::Display for LayerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error from parsing a [`LayerId`] string form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLayerIdError(String);
+
+impl std::fmt::Display for ParseLayerIdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown layer `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseLayerIdError {}
+
+impl std::str::FromStr for LayerId {
+    type Err = ParseLayerIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        LayerId::ALL
+            .into_iter()
+            .find(|id| id.as_str() == s)
+            .ok_or_else(|| ParseLayerIdError(s.to_string()))
+    }
+}
+
 /// One entry in the optional access trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
-    /// Label of the layer that recorded the event.
-    pub layer: &'static str,
+    /// The layer that recorded the event.
+    pub layer: LayerId,
     /// Human-readable summary (`"read 5 -> clean"`).
     pub event: String,
 }
 
-/// Per-layer access counters, keyed by [`BlockDevice::label`] inside an
+/// Per-layer access counters, keyed by [`BlockDevice::id`] inside an
 /// [`AccessContext`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LayerStats {
@@ -171,6 +249,26 @@ pub struct LayerStats {
 }
 
 impl LayerStats {
+    /// Folds `other` into `self` (cross-shard aggregation).
+    pub fn merge(&mut self, other: &LayerStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.scrubs += other.scrubs;
+        self.errors += other.errors;
+        self.clean_reads += other.clean_reads;
+        self.rs_corrected += other.rs_corrected;
+        self.vlew_fallbacks += other.vlew_fallbacks;
+        self.erasure_reads += other.erasure_reads;
+        self.bit_corrected_reads += other.bit_corrected_reads;
+        self.bits_corrected += other.bits_corrected;
+        self.injected_bits += other.injected_bits;
+        self.gap_moves += other.gap_moves;
+        self.patrol_steps += other.patrol_steps;
+        self.patrol_passes += other.patrol_passes;
+        self.retransmissions += other.retransmissions;
+        self.link_failures += other.link_failures;
+    }
+
     /// Publishes every counter into `reg` under `<prefix>.<name>`.
     pub fn publish_metrics(&self, reg: &MetricsRegistry, prefix: &str) {
         let c = |name: &str, v: u64| reg.set_counter(&format!("{prefix}.{name}"), v);
@@ -219,7 +317,7 @@ impl LayerStats {
 #[derive(Debug, Clone)]
 pub struct AccessContext {
     rng: StdRng,
-    layers: Vec<(&'static str, LayerStats)>,
+    layers: Vec<(LayerId, LayerStats)>,
     trace: Option<Vec<TraceEvent>>,
 }
 
@@ -251,31 +349,28 @@ impl AccessContext {
         &mut self.rng
     }
 
-    /// Mutable stats slot for `label`, created on first use. Layers
+    /// Mutable stats slot for `id`, created on first use. Layers
     /// appear in first-access order.
-    pub fn layer_mut(&mut self, label: &'static str) -> &mut LayerStats {
-        if let Some(i) = self.layers.iter().position(|(l, _)| *l == label) {
+    pub fn layer_mut(&mut self, id: LayerId) -> &mut LayerStats {
+        if let Some(i) = self.layers.iter().position(|(l, _)| *l == id) {
             return &mut self.layers[i].1;
         }
-        self.layers.push((label, LayerStats::default()));
+        self.layers.push((id, LayerStats::default()));
         &mut self.layers.last_mut().expect("just pushed").1
     }
 
-    /// Stats for `label`, if that layer has recorded anything.
-    pub fn layer(&self, label: &str) -> Option<LayerStats> {
-        self.layers
-            .iter()
-            .find(|(l, _)| *l == label)
-            .map(|(_, s)| *s)
+    /// Stats for `id`, if that layer has recorded anything.
+    pub fn layer(&self, id: LayerId) -> Option<LayerStats> {
+        self.layers.iter().find(|(l, _)| *l == id).map(|(_, s)| *s)
     }
 
     /// All per-layer stats in first-access order.
-    pub fn layers(&self) -> &[(&'static str, LayerStats)] {
+    pub fn layers(&self) -> &[(LayerId, LayerStats)] {
         &self.layers
     }
 
     /// Records a trace event; `f` is only evaluated when tracing is on.
-    pub fn trace(&mut self, layer: &'static str, f: impl FnOnce() -> String) {
+    pub fn trace(&mut self, layer: LayerId, f: impl FnOnce() -> String) {
         if let Some(sink) = &mut self.trace {
             sink.push(TraceEvent { layer, event: f() });
         }
@@ -292,9 +387,16 @@ impl AccessContext {
 /// Implemented by the concrete ranks ([`ChipkillMemory`],
 /// [`BaselineMemory`], [`RestripedMemory`]) and by every middleware
 /// layer; `Box<dyn BlockDevice>` composes them into arbitrary stacks.
-pub trait BlockDevice {
-    /// Stable label identifying the layer in stats and traces.
-    fn label(&self) -> &'static str;
+/// Devices are `Send` so composed stacks can be owned by shard worker
+/// threads (`pmck-service`).
+pub trait BlockDevice: Send {
+    /// Identifies the layer in stats and traces.
+    fn id(&self) -> LayerId;
+
+    /// The layer's stable string label (the [`LayerId`] string form).
+    fn label(&self) -> &'static str {
+        self.id().as_str()
+    }
 
     /// Capacity in blocks as seen *above* this layer.
     fn num_blocks(&self) -> u64;
@@ -311,6 +413,31 @@ pub trait BlockDevice {
         ctx: &mut AccessContext,
     ) -> Result<AccessOutcome, CoreError>;
 
+    /// Reads one block directly into `data` — the hot-path form of
+    /// `access(Access::Read(addr))`, skipping the [`AccessOutcome`]
+    /// copy. Observationally identical to the access form (same stats,
+    /// trace, remapping, and background-scrub scheduling); layers with
+    /// an allocation-free read path override it. On error the buffer
+    /// contents are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// As `access(Access::Read(addr))`.
+    fn read_into(
+        &mut self,
+        addr: u64,
+        data: &mut [u8; 64],
+        ctx: &mut AccessContext,
+    ) -> Result<ReadPath, CoreError> {
+        match self.access(Access::Read(addr), ctx)? {
+            AccessOutcome::Read(out) => {
+                *data = out.data;
+                Ok(out.path)
+            }
+            other => unreachable!("read returned {other:?}"),
+        }
+    }
+
     /// The chip failure detected by decode logic, if any.
     fn detected_failed_chip(&self) -> Option<usize> {
         None
@@ -324,8 +451,8 @@ pub trait BlockDevice {
 }
 
 impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
-    fn label(&self) -> &'static str {
-        (**self).label()
+    fn id(&self) -> LayerId {
+        (**self).id()
     }
     fn num_blocks(&self) -> u64 {
         (**self).num_blocks()
@@ -336,6 +463,14 @@ impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
         ctx: &mut AccessContext,
     ) -> Result<AccessOutcome, CoreError> {
         (**self).access(access, ctx)
+    }
+    fn read_into(
+        &mut self,
+        addr: u64,
+        data: &mut [u8; 64],
+        ctx: &mut AccessContext,
+    ) -> Result<ReadPath, CoreError> {
+        (**self).read_into(addr, data, ctx)
     }
     fn detected_failed_chip(&self) -> Option<usize> {
         (**self).detected_failed_chip()
@@ -349,11 +484,11 @@ impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
 /// `BlockDevice` impl calls this exactly once per access it handles.
 pub(crate) fn record_access(
     ctx: &mut AccessContext,
-    label: &'static str,
+    id: LayerId,
     access: &Access,
     result: &Result<AccessOutcome, CoreError>,
 ) {
-    let st = ctx.layer_mut(label);
+    let st = ctx.layer_mut(id);
     match access {
         Access::Read(_) => st.reads += 1,
         Access::Write { .. } | Access::WriteSum { .. } => st.writes += 1,
@@ -368,7 +503,7 @@ pub(crate) fn record_access(
         Err(CoreError::Unsupported(_)) => {}
         Err(_) => st.errors += 1,
     }
-    ctx.trace(label, || {
+    ctx.trace(id, || {
         let what = match access.addr() {
             Some(a) => format!("{} {a}", access.kind()),
             None => access.kind().to_string(),
@@ -377,6 +512,28 @@ pub(crate) fn record_access(
             Ok(out) => format!("{what} -> {}", describe_outcome(out)),
             Err(e) => format!("{what} -> error: {e}"),
         }
+    });
+}
+
+/// [`record_access`] for the `read_into` hot path: identical stats and
+/// trace to `access(Access::Read(addr))`, without materializing an
+/// [`AccessOutcome`].
+pub(crate) fn record_read_into(
+    ctx: &mut AccessContext,
+    id: LayerId,
+    addr: u64,
+    result: &Result<ReadPath, CoreError>,
+) {
+    let st = ctx.layer_mut(id);
+    st.reads += 1;
+    match result {
+        Ok(path) => record_read_path(st, path),
+        Err(CoreError::Unsupported(_)) => {}
+        Err(_) => st.errors += 1,
+    }
+    ctx.trace(id, || match result {
+        Ok(path) => format!("read {addr} -> {}", describe_read_path(path)),
+        Err(e) => format!("read {addr} -> error: {e}"),
     });
 }
 
@@ -396,15 +553,19 @@ fn record_read_path(st: &mut LayerStats, path: &ReadPath) {
     }
 }
 
+fn describe_read_path(path: &ReadPath) -> String {
+    match path {
+        ReadPath::Clean => "clean".into(),
+        ReadPath::RsCorrected { corrections } => format!("rs_corrected {corrections}"),
+        ReadPath::VlewFallback { bits_corrected } => format!("vlew_fallback {bits_corrected}"),
+        ReadPath::ChipkillErasure { chip } => format!("erasure chip {chip}"),
+        ReadPath::BitCorrected { bits_corrected } => format!("bit_corrected {bits_corrected}"),
+    }
+}
+
 fn describe_outcome(out: &AccessOutcome) -> String {
     match out {
-        AccessOutcome::Read(o) => match o.path {
-            ReadPath::Clean => "clean".into(),
-            ReadPath::RsCorrected { corrections } => format!("rs_corrected {corrections}"),
-            ReadPath::VlewFallback { bits_corrected } => format!("vlew_fallback {bits_corrected}"),
-            ReadPath::ChipkillErasure { chip } => format!("erasure chip {chip}"),
-            ReadPath::BitCorrected { bits_corrected } => format!("bit_corrected {bits_corrected}"),
-        },
+        AccessOutcome::Read(o) => describe_read_path(&o.path),
         AccessOutcome::Written => "written".into(),
         AccessOutcome::Scrubbed => "scrubbed".into(),
         AccessOutcome::Injected { bits } => format!("injected {bits}"),
@@ -417,12 +578,23 @@ fn describe_outcome(out: &AccessOutcome) -> String {
 }
 
 impl BlockDevice for ChipkillMemory {
-    fn label(&self) -> &'static str {
-        "chipkill"
+    fn id(&self) -> LayerId {
+        LayerId::Chipkill
     }
 
     fn num_blocks(&self) -> u64 {
         ChipkillMemory::num_blocks(self)
+    }
+
+    fn read_into(
+        &mut self,
+        addr: u64,
+        data: &mut [u8; 64],
+        ctx: &mut AccessContext,
+    ) -> Result<ReadPath, CoreError> {
+        let result = self.read_block_into(addr, data);
+        record_read_into(ctx, LayerId::Chipkill, addr, &result);
+        result
     }
 
     fn detected_failed_chip(&self) -> Option<usize> {
@@ -463,14 +635,14 @@ impl BlockDevice for ChipkillMemory {
             },
             Access::PatrolStep | Access::Restripe => Err(CoreError::Unsupported(access.kind())),
         };
-        record_access(ctx, "chipkill", &access, &result);
+        record_access(ctx, LayerId::Chipkill, &access, &result);
         result
     }
 }
 
 impl BlockDevice for BaselineMemory {
-    fn label(&self) -> &'static str {
-        "baseline"
+    fn id(&self) -> LayerId {
+        LayerId::Baseline
     }
 
     fn num_blocks(&self) -> u64 {
@@ -550,14 +722,14 @@ impl BlockDevice for BaselineMemory {
                 Err(CoreError::Unsupported(access.kind()))
             }
         };
-        record_access(ctx, "baseline", &access, &result);
+        record_access(ctx, LayerId::Baseline, &access, &result);
         result
     }
 }
 
 impl BlockDevice for RestripedMemory {
-    fn label(&self) -> &'static str {
-        "restriped"
+    fn id(&self) -> LayerId {
+        LayerId::Restriped
     }
 
     fn num_blocks(&self) -> u64 {
@@ -619,7 +791,7 @@ impl BlockDevice for RestripedMemory {
                 Err(CoreError::Unsupported(access.kind()))
             }
         };
-        record_access(ctx, "restriped", &access, &result);
+        record_access(ctx, LayerId::Restriped, &access, &result);
         result
     }
 }
@@ -643,7 +815,7 @@ mod tests {
             }
             other => panic!("unexpected outcome {other:?}"),
         }
-        let st = ctx.layer("chipkill").unwrap();
+        let st = ctx.layer(LayerId::Chipkill).unwrap();
         assert_eq!(st.reads, 1);
         assert_eq!(st.writes, 1);
         assert_eq!(st.clean_reads, 1);
@@ -660,7 +832,7 @@ mod tests {
             dev.access(Access::Restripe, &mut ctx),
             Err(CoreError::Unsupported("restripe"))
         );
-        assert_eq!(ctx.layer("chipkill").unwrap().errors, 0);
+        assert_eq!(ctx.layer(LayerId::Chipkill).unwrap().errors, 0);
     }
 
     #[test]
@@ -684,7 +856,7 @@ mod tests {
                 other => panic!("unexpected outcome {other:?}"),
             }
         }
-        let st = ctx.layer("baseline").unwrap();
+        let st = ctx.layer(LayerId::Baseline).unwrap();
         assert!(st.bit_corrected_reads > 0);
         assert!(st.injected_bits > 0);
         // Scrub-by-rewrite then verify clean.

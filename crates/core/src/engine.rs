@@ -15,7 +15,11 @@ use crate::rank::{apply_code_delta, ChipStore, EurModel};
 use crate::stats::CoreStats;
 
 /// Errors surfaced by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Display strings of the device-level variants are stable — the
+/// fault-campaign corpus records them verbatim — and service failures
+/// keep their cause reachable through [`std::error::Error::source`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoreError {
     /// Block address beyond the configured capacity.
     OutOfRange(u64),
@@ -32,6 +36,17 @@ pub enum CoreError {
     Unsupported(&'static str),
     /// A Write-CRC protected transfer exhausted its retry budget.
     LinkFailed,
+    /// The request never reached the memory pipeline: a service-layer
+    /// queue or worker failure. The wrapped [`ServiceError`] is also
+    /// reachable through [`std::error::Error::source`].
+    Service(ServiceError),
+}
+
+impl CoreError {
+    /// A service-layer failure with no underlying cause.
+    pub fn service(kind: ServiceFailure) -> Self {
+        CoreError::Service(ServiceError::new(kind))
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -45,11 +60,93 @@ impl fmt::Display for CoreError {
                 write!(f, "no layer in the stack handles `{kind}` accesses")
             }
             CoreError::LinkFailed => write!(f, "write link exhausted its retry budget"),
+            CoreError::Service(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Service(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// How a service-layer request was lost (see [`CoreError::Service`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceFailure {
+    /// The shard's request queue is closed (service shut down).
+    QueueClosed,
+    /// A shard worker terminated abnormally (panicked or died).
+    WorkerLost,
+}
+
+impl fmt::Display for ServiceFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceFailure::QueueClosed => write!(f, "shard request queue is closed"),
+            ServiceFailure::WorkerLost => write!(f, "shard worker terminated abnormally"),
+        }
+    }
+}
+
+/// A service-layer failure: the request was dropped before any device
+/// saw it. Wraps the transport-level cause (when one exists) so the
+/// full chain is inspectable via [`std::error::Error::source`].
+#[derive(Debug, Clone)]
+pub struct ServiceError {
+    kind: ServiceFailure,
+    source: Option<std::sync::Arc<dyn std::error::Error + Send + Sync + 'static>>,
+}
+
+impl ServiceError {
+    /// A failure with no underlying cause.
+    pub fn new(kind: ServiceFailure) -> Self {
+        ServiceError { kind, source: None }
+    }
+
+    /// A failure wrapping its transport-level cause.
+    pub fn with_source(
+        kind: ServiceFailure,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> Self {
+        ServiceError {
+            kind,
+            source: Some(std::sync::Arc::new(source)),
+        }
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> ServiceFailure {
+        self.kind
+    }
+}
+
+// Equality ignores the attached cause: two queue-closed errors are the
+// same failure for retry/assertion purposes regardless of provenance.
+impl PartialEq for ServiceError {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl Eq for ServiceError {}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memory service unavailable: {}", self.kind)
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_deref()
+            .map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
 
 /// How a read was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,7 +177,7 @@ pub enum ReadPath {
 }
 
 /// A successful block read.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReadOutcome {
     /// The 64 B block contents.
     pub data: [u8; 64],
@@ -397,17 +494,31 @@ impl ChipkillMemory {
     /// [`CoreError::OutOfRange`], [`CoreError::Disabled`],
     /// [`CoreError::Uncorrectable`], [`CoreError::MultiChipFailure`].
     pub fn read_block(&mut self, addr: u64) -> Result<ReadOutcome, CoreError> {
+        let mut data = [0u8; 64];
+        let path = self.read_block_into(addr, &mut data)?;
+        Ok(ReadOutcome { data, path })
+    }
+
+    /// [`ChipkillMemory::read_block`] decoding directly into the
+    /// caller's buffer: the hot-path form, skipping the outcome copy.
+    /// On error the buffer contents are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChipkillMemory::read_block`].
+    pub fn read_block_into(
+        &mut self,
+        addr: u64,
+        data: &mut [u8; 64],
+    ) -> Result<ReadPath, CoreError> {
         self.check_addr(addr)?;
         self.stats.reads += 1;
 
         // With a known-failed chip, go straight to erasure correction.
         if let Some(chip) = self.known_failed {
-            let data = self.read_via_erasure(addr, chip)?;
+            *data = self.read_via_erasure(addr, chip)?;
             self.stats.erasure_reads += 1;
-            return Ok(ReadOutcome {
-                data,
-                path: ReadPath::ChipkillErasure { chip },
-            });
+            return Ok(ReadPath::ChipkillErasure { chip });
         }
 
         let mut word = [0u8; 72];
@@ -419,22 +530,20 @@ impl ChipkillMemory {
         {
             ThresholdOutcome::Clean => {
                 self.stats.clean_reads += 1;
-                Ok(ReadOutcome {
-                    data: word[8..].try_into().expect("64 data bytes"),
-                    path: ReadPath::Clean,
-                })
+                data.copy_from_slice(&word[8..]);
+                Ok(ReadPath::Clean)
             }
             ThresholdOutcome::Accepted { corrections } => {
                 self.stats.rs_accepted += 1;
                 self.stats.rs_corrections += corrections as u64;
-                Ok(ReadOutcome {
-                    data: word[8..].try_into().expect("64 data bytes"),
-                    path: ReadPath::RsCorrected { corrections },
-                })
+                data.copy_from_slice(&word[8..]);
+                Ok(ReadPath::RsCorrected { corrections })
             }
             ThresholdOutcome::Rejected(_) => {
                 self.stats.fallbacks += 1;
-                self.vlew_fallback_read(addr)
+                let out = self.vlew_fallback_read(addr)?;
+                *data = out.data;
+                Ok(out.path)
             }
         }
     }

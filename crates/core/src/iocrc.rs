@@ -11,8 +11,8 @@
 use pmck_nvram::BitErrorInjector;
 use pmck_rt::rng::Rng;
 
-use crate::device::{Access, AccessContext, AccessOutcome, BlockDevice};
-use crate::engine::CoreError;
+use crate::device::{Access, AccessContext, AccessOutcome, BlockDevice, LayerId};
+use crate::engine::{CoreError, ReadPath};
 use crate::stats::CoreStats;
 
 /// CRC-16/CCITT-FALSE over `data` (polynomial 0x1021, init 0xFFFF) —
@@ -182,14 +182,14 @@ impl<D: BlockDevice> LinkProtected<D> {
     ) -> Result<AccessOutcome, CoreError> {
         let mut delivered = None;
         let outcome = self.link.send(&data, ctx.rng(), |w| delivered = Some(*w));
-        let st = ctx.layer_mut("link");
+        let st = ctx.layer_mut(LayerId::Link);
         st.writes += 1;
         match outcome {
             TransmitOutcome::Clean => {}
             TransmitOutcome::Retransmitted { retries } => st.retransmissions += retries as u64,
             TransmitOutcome::Failed => {
                 st.link_failures += 1;
-                ctx.trace("link", || format!("write {addr} -> link failed"));
+                ctx.trace(LayerId::Link, || format!("write {addr} -> link failed"));
                 return Err(CoreError::LinkFailed);
             }
         }
@@ -204,8 +204,8 @@ impl<D: BlockDevice> LinkProtected<D> {
 }
 
 impl<D: BlockDevice> BlockDevice for LinkProtected<D> {
-    fn label(&self) -> &'static str {
-        "link"
+    fn id(&self) -> LayerId {
+        LayerId::Link
     }
 
     fn num_blocks(&self) -> u64 {
@@ -231,6 +231,16 @@ impl<D: BlockDevice> BlockDevice for LinkProtected<D> {
             // Reads and maintenance traffic stay on-module.
             other => self.inner.access(other, ctx),
         }
+    }
+
+    fn read_into(
+        &mut self,
+        addr: u64,
+        data: &mut [u8; 64],
+        ctx: &mut AccessContext,
+    ) -> Result<ReadPath, CoreError> {
+        // Reads stay on-module: no link traversal, nothing to record.
+        self.inner.read_into(addr, data, ctx)
     }
 }
 
@@ -347,7 +357,7 @@ mod tests {
                 other => panic!("unexpected outcome {other:?}"),
             }
         }
-        let st = ctx.layer("link").unwrap();
+        let st = ctx.layer(LayerId::Link).unwrap();
         assert_eq!(st.writes, 200);
         assert!(st.retransmissions > 0, "1e-3 BER must force resends");
         assert_eq!(st.retransmissions, dev.link().retransmissions());
@@ -375,6 +385,6 @@ mod tests {
             }
         }
         assert!(failures > 0);
-        assert_eq!(ctx.layer("link").unwrap().link_failures, failures);
+        assert_eq!(ctx.layer(LayerId::Link).unwrap().link_failures, failures);
     }
 }

@@ -57,6 +57,7 @@ mod iocrc;
 mod layout;
 mod patrol;
 mod rank;
+mod request;
 mod restripe;
 mod scrub;
 mod stack;
@@ -65,11 +66,15 @@ mod wearlevel;
 
 pub use baseline::{BaselineMemory, BaselineReadOutcome};
 pub use config::ChipkillConfig;
-pub use device::{Access, AccessContext, AccessOutcome, BlockDevice, LayerStats, TraceEvent};
-pub use engine::{ChipkillMemory, CoreError, ReadOutcome, ReadPath};
+pub use device::{
+    Access, AccessContext, AccessOutcome, BlockDevice, LayerId, LayerStats, ParseLayerIdError,
+    TraceEvent,
+};
+pub use engine::{ChipkillMemory, CoreError, ReadOutcome, ReadPath, ServiceError, ServiceFailure};
 pub use iocrc::{crc16, BusFault, LinkProtected, TransmitOutcome, WriteLink};
 pub use layout::ChipkillLayout;
 pub use patrol::{PatrolReport, PatrolScrubber, Patrolled};
+pub use request::{Request, Response};
 pub use restripe::{Restripeable, RestripedMemory, BLOCKS_PER_GROUP};
 pub use scrub::ScrubReport;
 pub use stack::{Stack, StackBuilder};

@@ -10,8 +10,8 @@
 //! scrubber as middleware: it answers [`Access::PatrolStep`] and can
 //! interleave increments automatically with demand traffic.
 
-use crate::device::{Access, AccessContext, AccessOutcome, BlockDevice};
-use crate::engine::CoreError;
+use crate::device::{Access, AccessContext, AccessOutcome, BlockDevice, LayerId};
+use crate::engine::{CoreError, ReadPath};
 use crate::stats::CoreStats;
 
 /// Progress report from one patrol increment.
@@ -178,7 +178,7 @@ impl<D: BlockDevice> Patrolled<D> {
 
     fn run_step(&mut self, ctx: &mut AccessContext) -> Result<PatrolReport, CoreError> {
         let report = self.scrubber.step_ctx(&mut self.inner, ctx)?;
-        let st = ctx.layer_mut("patrol");
+        let st = ctx.layer_mut(LayerId::Patrol);
         st.patrol_steps += 1;
         if report.completed_pass {
             st.patrol_passes += 1;
@@ -188,8 +188,8 @@ impl<D: BlockDevice> Patrolled<D> {
 }
 
 impl<D: BlockDevice> BlockDevice for Patrolled<D> {
-    fn label(&self) -> &'static str {
-        "patrol"
+    fn id(&self) -> LayerId {
+        LayerId::Patrol
     }
 
     fn num_blocks(&self) -> u64 {
@@ -225,13 +225,34 @@ impl<D: BlockDevice> BlockDevice for Patrolled<D> {
                         // must not fail the demand access that scheduled
                         // it; the error is visible in the layer stats.
                         if self.run_step(ctx).is_err() {
-                            ctx.layer_mut("patrol").errors += 1;
+                            ctx.layer_mut(LayerId::Patrol).errors += 1;
                         }
                     }
                 }
                 Ok(out)
             }
         }
+    }
+
+    fn read_into(
+        &mut self,
+        addr: u64,
+        data: &mut [u8; 64],
+        ctx: &mut AccessContext,
+    ) -> Result<ReadPath, CoreError> {
+        let path = self.inner.read_into(addr, data, ctx)?;
+        if self.every > 0 {
+            self.since_step += 1;
+            if self.since_step >= self.every {
+                self.since_step = 0;
+                // Same contract as `access`: a background increment
+                // tripping over damage must not fail the demand read.
+                if self.run_step(ctx).is_err() {
+                    ctx.layer_mut(LayerId::Patrol).errors += 1;
+                }
+            }
+        }
+        Ok(path)
     }
 }
 
@@ -342,7 +363,7 @@ mod tests {
                 other => panic!("unexpected outcome {other:?}"),
             }
         }
-        let st = ctx.layer("patrol").unwrap();
+        let st = ctx.layer(LayerId::Patrol).unwrap();
         assert_eq!(st.patrol_steps, 64 / 4);
         assert!(dev.scrubber().passes() >= 1);
         assert_eq!(st.patrol_passes, dev.scrubber().passes());
@@ -357,7 +378,7 @@ mod tests {
             AccessOutcome::Patrolled(r) => assert_eq!(r.blocks_scrubbed, 16),
             other => panic!("unexpected outcome {other:?}"),
         }
-        assert_eq!(ctx.layer("patrol").unwrap().patrol_steps, 1);
-        assert_eq!(ctx.layer("chipkill").unwrap().scrubs, 16);
+        assert_eq!(ctx.layer(LayerId::Patrol).unwrap().patrol_steps, 1);
+        assert_eq!(ctx.layer(LayerId::Chipkill).unwrap().scrubs, 16);
     }
 }

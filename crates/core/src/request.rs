@@ -1,0 +1,222 @@
+//! The client-facing request vocabulary.
+//!
+//! [`Request`]/[`Response`] are the one public surface clients program
+//! against: [`crate::Stack::submit`] executes a single request against a
+//! composed stack, and `pmck-service`'s `ShardedService::submit_batch`
+//! executes batches of them across shards. The `Stack` convenience
+//! methods (`read`, `write`, `scrub`, …) are thin wrappers over
+//! `submit`; [`crate::Access`]/[`crate::AccessOutcome`] remain the
+//! *internal* vocabulary layers use to talk to each other.
+//!
+//! A request either targets one block ([`Request::addr`] returns
+//! `Some`) or the whole device (`None`); a sharded front end routes the
+//! former to the owning shard and broadcasts the latter to every shard.
+
+use pmck_nvram::FaultEvent;
+
+use crate::device::{Access, AccessOutcome};
+use crate::engine::ReadOutcome;
+use crate::patrol::PatrolReport;
+use crate::scrub::ScrubReport;
+
+/// One client request against a protection stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// Demand read of one 64 B block.
+    Read(u64),
+    /// Conventional write of one 64 B block.
+    Write {
+        /// Block address.
+        addr: u64,
+        /// New block contents.
+        data: [u8; 64],
+    },
+    /// Bitwise-sum write (§V-D): `data` carries `old ⊕ new`.
+    WriteSum {
+        /// Block address.
+        addr: u64,
+        /// The bitwise sum delivered to the chips.
+        data: [u8; 64],
+    },
+    /// Correct one block and rewrite it in place.
+    Scrub(u64),
+    /// Advance the patrol scrubber by one increment.
+    PatrolStep,
+    /// Fault-injection hook: i.i.d. bit flips at the given RBER.
+    InjectRber(f64),
+    /// Fault-injection hook: one scheduled campaign event.
+    Fault(FaultEvent),
+    /// Full boot-time scrub.
+    BootScrub,
+    /// Check stored code bits against stored data.
+    Verify,
+    /// Rebuild the detected failed chip, if any.
+    Repair,
+    /// Reconfigure into the §V-E re-striped layout.
+    Restripe,
+}
+
+impl Request {
+    /// Short, stable name of the request kind.
+    pub fn kind(&self) -> &'static str {
+        Access::from(*self).kind()
+    }
+
+    /// The block address the request targets, if it has one. Requests
+    /// without an address apply to the whole device (and are broadcast
+    /// to every shard by a sharded front end).
+    pub fn addr(&self) -> Option<u64> {
+        match self {
+            Request::Read(a) | Request::Scrub(a) => Some(*a),
+            Request::Write { addr, .. } | Request::WriteSum { addr, .. } => Some(*addr),
+            _ => None,
+        }
+    }
+
+    /// The same request retargeted at `addr`. Returns the request
+    /// unchanged when it carries no address.
+    pub fn with_addr(self, addr: u64) -> Request {
+        match self {
+            Request::Read(_) => Request::Read(addr),
+            Request::Scrub(_) => Request::Scrub(addr),
+            Request::Write { data, .. } => Request::Write { addr, data },
+            Request::WriteSum { data, .. } => Request::WriteSum { addr, data },
+            other => other,
+        }
+    }
+}
+
+impl From<Request> for Access {
+    fn from(req: Request) -> Access {
+        match req {
+            Request::Read(a) => Access::Read(a),
+            Request::Write { addr, data } => Access::Write { addr, data },
+            Request::WriteSum { addr, data } => Access::WriteSum { addr, data },
+            Request::Scrub(a) => Access::Scrub(a),
+            Request::PatrolStep => Access::PatrolStep,
+            Request::InjectRber(rber) => Access::InjectRber(rber),
+            Request::Fault(ev) => Access::Fault(ev),
+            Request::BootScrub => Access::BootScrub,
+            Request::Verify => Access::Verify,
+            Request::Repair => Access::Repair,
+            Request::Restripe => Access::Restripe,
+        }
+    }
+}
+
+/// The successful result of a [`Request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// Data plus the decode path that produced it.
+    Read(ReadOutcome),
+    /// The write (conventional or sum) committed.
+    Written,
+    /// The block was corrected and rewritten.
+    Scrubbed,
+    /// One patrol increment ran.
+    Patrolled(PatrolReport),
+    /// Fault injection disturbed `bits` stored bits.
+    Injected {
+        /// Bits (or cells) disturbed.
+        bits: usize,
+    },
+    /// The boot scrub completed.
+    BootScrubbed(ScrubReport),
+    /// Result of the consistency check.
+    Verified(bool),
+    /// The failed chip (if any) was rebuilt.
+    Repaired {
+        /// The chip that was rebuilt, or `None` if none was detected.
+        chip: Option<usize>,
+    },
+    /// The device reconfigured into the re-striped layout.
+    Restriped,
+}
+
+impl Response {
+    /// The read outcome, when this answers a [`Request::Read`].
+    pub fn read(self) -> Option<ReadOutcome> {
+        match self {
+            Response::Read(out) => Some(out),
+            _ => None,
+        }
+    }
+
+    /// The patrol report, when this answers a [`Request::PatrolStep`].
+    pub fn patrolled(self) -> Option<PatrolReport> {
+        match self {
+            Response::Patrolled(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Disturbed bits, when this answers a fault-injection request.
+    pub fn injected_bits(self) -> Option<usize> {
+        match self {
+            Response::Injected { bits } => Some(bits),
+            _ => None,
+        }
+    }
+
+    /// The scrub report, when this answers a [`Request::BootScrub`].
+    pub fn boot_scrubbed(self) -> Option<ScrubReport> {
+        match self {
+            Response::BootScrubbed(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The verdict, when this answers a [`Request::Verify`].
+    pub fn verified(self) -> Option<bool> {
+        match self {
+            Response::Verified(ok) => Some(ok),
+            _ => None,
+        }
+    }
+}
+
+impl From<AccessOutcome> for Response {
+    fn from(out: AccessOutcome) -> Response {
+        match out {
+            AccessOutcome::Read(o) => Response::Read(o),
+            AccessOutcome::Written => Response::Written,
+            AccessOutcome::Scrubbed => Response::Scrubbed,
+            AccessOutcome::Patrolled(r) => Response::Patrolled(r),
+            AccessOutcome::Injected { bits } => Response::Injected { bits },
+            AccessOutcome::BootScrubbed(r) => Response::BootScrubbed(r),
+            AccessOutcome::Verified(ok) => Response::Verified(ok),
+            AccessOutcome::Repaired { chip } => Response::Repaired { chip },
+            AccessOutcome::Restriped => Response::Restriped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_and_retarget_round_trip() {
+        let w = Request::Write {
+            addr: 5,
+            data: [1; 64],
+        };
+        assert_eq!(w.addr(), Some(5));
+        assert_eq!(w.with_addr(9).addr(), Some(9));
+        assert_eq!(Request::Read(3).with_addr(0), Request::Read(0));
+        assert_eq!(Request::Verify.addr(), None);
+        assert_eq!(Request::Verify.with_addr(7), Request::Verify);
+    }
+
+    #[test]
+    fn request_kind_matches_access_kind() {
+        for (req, kind) in [
+            (Request::Read(0), "read"),
+            (Request::Scrub(0), "scrub"),
+            (Request::PatrolStep, "patrol_step"),
+            (Request::Restripe, "restripe"),
+        ] {
+            assert_eq!(req.kind(), kind);
+        }
+    }
+}

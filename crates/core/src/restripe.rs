@@ -13,8 +13,8 @@ use pmck_bch::{BchCode, BitPoly};
 use pmck_nvram::BitErrorInjector;
 use pmck_rt::rng::Rng;
 
-use crate::device::{Access, AccessContext, AccessOutcome, BlockDevice};
-use crate::engine::{ChipkillMemory, CoreError};
+use crate::device::{Access, AccessContext, AccessOutcome, BlockDevice, LayerId};
+use crate::engine::{ChipkillMemory, CoreError, ReadPath};
 use crate::stats::CoreStats;
 
 /// Blocks per reconfigured VLEW (256 B / 64 B).
@@ -238,8 +238,8 @@ impl Restripeable {
 }
 
 impl BlockDevice for Restripeable {
-    fn label(&self) -> &'static str {
-        "restripeable"
+    fn id(&self) -> LayerId {
+        LayerId::Restripeable
     }
 
     fn num_blocks(&self) -> u64 {
@@ -272,12 +272,12 @@ impl BlockDevice for Restripeable {
                         Ok(restriped) => {
                             self.state = RestripeState::Restriped(restriped);
                             self.final_stats = Some(stats);
-                            ctx.trace("restripeable", || "restripe -> restriped".into());
+                            ctx.trace(LayerId::Restripeable, || "restripe -> restriped".into());
                             Ok(AccessOutcome::Restriped)
                         }
                         Err(e) => {
                             self.state = RestripeState::Chipkill(rank);
-                            ctx.layer_mut("restripeable").errors += 1;
+                            ctx.layer_mut(LayerId::Restripeable).errors += 1;
                             Err(e)
                         }
                     }
@@ -290,6 +290,15 @@ impl BlockDevice for Restripeable {
             // Per-access stats land under the active layout's label.
             other => self.active_mut().access(other, ctx),
         }
+    }
+
+    fn read_into(
+        &mut self,
+        addr: u64,
+        data: &mut [u8; 64],
+        ctx: &mut AccessContext,
+    ) -> Result<ReadPath, CoreError> {
+        self.active_mut().read_into(addr, data, ctx)
     }
 }
 

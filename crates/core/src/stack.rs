@@ -15,10 +15,13 @@ use pmck_rt::metrics::MetricsRegistry;
 
 use crate::baseline::BaselineMemory;
 use crate::config::ChipkillConfig;
-use crate::device::{Access, AccessContext, AccessOutcome, BlockDevice, LayerStats, TraceEvent};
-use crate::engine::{ChipkillMemory, CoreError, ReadOutcome};
+use crate::device::{
+    Access, AccessContext, AccessOutcome, BlockDevice, LayerId, LayerStats, TraceEvent,
+};
+use crate::engine::{ChipkillMemory, CoreError, ReadOutcome, ReadPath};
 use crate::iocrc::{BusFault, LinkProtected};
 use crate::patrol::{PatrolReport, Patrolled};
+use crate::request::{Request, Response};
 use crate::restripe::Restripeable;
 use crate::scrub::ScrubReport;
 use crate::stats::CoreStats;
@@ -46,13 +49,27 @@ impl Stack {
         Stack { dev, ctx }
     }
 
-    /// Runs one raw access through the pipeline.
+    /// Runs one raw access through the pipeline — the device-level
+    /// escape hatch below the [`Request`] surface.
     ///
     /// # Errors
     ///
     /// As [`BlockDevice::access`].
     pub fn access(&mut self, access: Access) -> Result<AccessOutcome, CoreError> {
         self.dev.access(access, &mut self.ctx)
+    }
+
+    /// Executes one client [`Request`]. This is the primary entry point;
+    /// every typed convenience method below is a thin wrapper over it,
+    /// and `pmck-service` batches it across shards.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::access`].
+    pub fn submit(&mut self, req: &Request) -> Result<Response, CoreError> {
+        self.dev
+            .access(Access::from(*req), &mut self.ctx)
+            .map(Response::from)
     }
 
     /// Capacity (in blocks) as seen at the top of the stack.
@@ -66,10 +83,22 @@ impl Stack {
     ///
     /// As [`BlockDevice::access`].
     pub fn read(&mut self, addr: u64) -> Result<ReadOutcome, CoreError> {
-        match self.access(Access::Read(addr))? {
-            AccessOutcome::Read(out) => Ok(out),
+        match self.submit(&Request::Read(addr))? {
+            Response::Read(out) => Ok(out),
             other => unreachable!("read returned {other:?}"),
         }
+    }
+
+    /// Reads one block directly into `data`, returning only the decode
+    /// path — the hot-path form of [`Stack::read`], skipping the
+    /// outcome copy. Stats and tracing are identical to `read`. On
+    /// error the buffer contents are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::access`].
+    pub fn read_into(&mut self, addr: u64, data: &mut [u8; 64]) -> Result<ReadPath, CoreError> {
+        self.dev.read_into(addr, data, &mut self.ctx)
     }
 
     /// Writes one block (conventional path).
@@ -78,7 +107,8 @@ impl Stack {
     ///
     /// As [`BlockDevice::access`].
     pub fn write(&mut self, addr: u64, data: &[u8; 64]) -> Result<(), CoreError> {
-        self.access(Access::Write { addr, data: *data }).map(|_| ())
+        self.submit(&Request::Write { addr, data: *data })
+            .map(|_| ())
     }
 
     /// Writes one block via the bitwise-sum path (`data` = old ⊕ new).
@@ -87,7 +117,7 @@ impl Stack {
     ///
     /// As [`BlockDevice::access`].
     pub fn write_sum(&mut self, addr: u64, data: &[u8; 64]) -> Result<(), CoreError> {
-        self.access(Access::WriteSum { addr, data: *data })
+        self.submit(&Request::WriteSum { addr, data: *data })
             .map(|_| ())
     }
 
@@ -97,7 +127,7 @@ impl Stack {
     ///
     /// As [`BlockDevice::access`].
     pub fn scrub(&mut self, addr: u64) -> Result<(), CoreError> {
-        self.access(Access::Scrub(addr)).map(|_| ())
+        self.submit(&Request::Scrub(addr)).map(|_| ())
     }
 
     /// Runs one patrol increment (requires a patrol layer).
@@ -106,8 +136,8 @@ impl Stack {
     ///
     /// [`CoreError::Unsupported`] without a patrol layer.
     pub fn patrol_step(&mut self) -> Result<PatrolReport, CoreError> {
-        match self.access(Access::PatrolStep)? {
-            AccessOutcome::Patrolled(r) => Ok(r),
+        match self.submit(&Request::PatrolStep)? {
+            Response::Patrolled(r) => Ok(r),
             other => unreachable!("patrol_step returned {other:?}"),
         }
     }
@@ -118,8 +148,8 @@ impl Stack {
     ///
     /// As [`BlockDevice::access`].
     pub fn inject_bit_errors(&mut self, rber: f64) -> Result<usize, CoreError> {
-        match self.access(Access::InjectRber(rber))? {
-            AccessOutcome::Injected { bits } => Ok(bits),
+        match self.submit(&Request::InjectRber(rber))? {
+            Response::Injected { bits } => Ok(bits),
             other => unreachable!("inject returned {other:?}"),
         }
     }
@@ -130,8 +160,8 @@ impl Stack {
     ///
     /// As [`BlockDevice::access`].
     pub fn apply_fault(&mut self, event: &FaultEvent) -> Result<usize, CoreError> {
-        match self.access(Access::Fault(*event))? {
-            AccessOutcome::Injected { bits } => Ok(bits),
+        match self.submit(&Request::Fault(*event))? {
+            Response::Injected { bits } => Ok(bits),
             other => unreachable!("fault returned {other:?}"),
         }
     }
@@ -142,8 +172,8 @@ impl Stack {
     ///
     /// As [`BlockDevice::access`].
     pub fn boot_scrub(&mut self) -> Result<ScrubReport, CoreError> {
-        match self.access(Access::BootScrub)? {
-            AccessOutcome::BootScrubbed(r) => Ok(r),
+        match self.submit(&Request::BootScrub)? {
+            Response::BootScrubbed(r) => Ok(r),
             other => unreachable!("boot_scrub returned {other:?}"),
         }
     }
@@ -154,8 +184,8 @@ impl Stack {
     ///
     /// As [`BlockDevice::access`].
     pub fn verify_consistent(&mut self) -> Result<bool, CoreError> {
-        match self.access(Access::Verify)? {
-            AccessOutcome::Verified(ok) => Ok(ok),
+        match self.submit(&Request::Verify)? {
+            Response::Verified(ok) => Ok(ok),
             other => unreachable!("verify returned {other:?}"),
         }
     }
@@ -166,8 +196,8 @@ impl Stack {
     ///
     /// As [`BlockDevice::access`].
     pub fn repair_detected(&mut self) -> Result<Option<usize>, CoreError> {
-        match self.access(Access::Repair)? {
-            AccessOutcome::Repaired { chip } => Ok(chip),
+        match self.submit(&Request::Repair)? {
+            Response::Repaired { chip } => Ok(chip),
             other => unreachable!("repair returned {other:?}"),
         }
     }
@@ -179,7 +209,7 @@ impl Stack {
     ///
     /// [`CoreError::Unsupported`] without a restripeable base.
     pub fn restripe(&mut self) -> Result<(), CoreError> {
-        self.access(Access::Restripe).map(|_| ())
+        self.submit(&Request::Restripe).map(|_| ())
     }
 
     /// The chip failure detected by decode logic, if any.
@@ -192,13 +222,13 @@ impl Stack {
         self.dev.core_stats()
     }
 
-    /// Stats recorded under `label`, if that layer has seen traffic.
-    pub fn layer(&self, label: &str) -> Option<LayerStats> {
-        self.ctx.layer(label)
+    /// Stats recorded under `id`, if that layer has seen traffic.
+    pub fn layer(&self, id: LayerId) -> Option<LayerStats> {
+        self.ctx.layer(id)
     }
 
     /// All per-layer stats in first-access order.
-    pub fn layers(&self) -> &[(&'static str, LayerStats)] {
+    pub fn layers(&self) -> &[(LayerId, LayerStats)] {
         self.ctx.layers()
     }
 
@@ -258,7 +288,7 @@ enum BaseKind {
 ///     .build();
 /// stack.write(5, &[0xAB; 64]).unwrap();
 /// assert_eq!(stack.read(5).unwrap().data, [0xAB; 64]);
-/// assert!(stack.layer("chipkill").is_some());
+/// assert!(stack.layer(pmck_core::LayerId::Chipkill).is_some());
 /// ```
 pub struct StackBuilder {
     blocks: u64,
@@ -426,8 +456,13 @@ mod tests {
             assert_eq!(&stack.read(a as u64).unwrap().data, b, "block {a}");
         }
         // Every configured layer saw traffic.
-        for label in ["link", "wearlevel", "patrol", "chipkill"] {
-            assert!(stack.layer(label).is_some(), "layer {label} silent");
+        for id in [
+            LayerId::Link,
+            LayerId::Wearlevel,
+            LayerId::Patrol,
+            LayerId::Chipkill,
+        ] {
+            assert!(stack.layer(id).is_some(), "layer {id} silent");
         }
         assert!(stack.core_stats().unwrap().reads > 0);
     }
@@ -469,7 +504,7 @@ mod tests {
         for (a, b) in truth.iter().enumerate() {
             assert_eq!(&stack.read(a as u64).unwrap().data, b);
         }
-        assert!(stack.layer("wearlevel").unwrap().gap_moves > 0);
+        assert!(stack.layer(LayerId::Wearlevel).unwrap().gap_moves > 0);
         assert_eq!(stack.restripe(), Err(CoreError::Unsupported("restripe")));
         assert_eq!(stack.core_stats(), None);
     }

@@ -27,6 +27,21 @@ pub struct CoreStats {
 }
 
 impl CoreStats {
+    /// Adds `other`'s counters into `self` — the aggregation a sharded
+    /// service uses to sum per-shard engine stats.
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.clean_reads += other.clean_reads;
+        self.rs_accepted += other.rs_accepted;
+        self.rs_corrections += other.rs_corrections;
+        self.fallbacks += other.fallbacks;
+        self.vlew_bits_corrected += other.vlew_bits_corrected;
+        self.erasure_reads += other.erasure_reads;
+        self.chip_failures_detected += other.chip_failures_detected;
+        self.due_events += other.due_events;
+    }
+
     /// Fraction of reads that needed the VLEW fallback.
     pub fn fallback_fraction(&self) -> f64 {
         if self.reads == 0 {

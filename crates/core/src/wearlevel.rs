@@ -20,8 +20,10 @@
 //! a bare [`ChipkillMemory`].
 
 use crate::config::ChipkillConfig;
-use crate::device::{record_access, Access, AccessContext, AccessOutcome, BlockDevice};
-use crate::engine::{ChipkillMemory, CoreError, ReadOutcome};
+use crate::device::{
+    record_access, record_read_into, Access, AccessContext, AccessOutcome, BlockDevice, LayerId,
+};
+use crate::engine::{ChipkillMemory, CoreError, ReadOutcome, ReadPath};
 use crate::stats::CoreStats;
 
 /// Start-Gap wear-levelled view of an inner block device.
@@ -177,7 +179,7 @@ impl<D: BlockDevice> WearLevelled<D> {
             ctx,
         )?;
         self.advance_gap();
-        ctx.layer_mut("wearlevel").gap_moves += 1;
+        ctx.layer_mut(LayerId::Wearlevel).gap_moves += 1;
         Ok(())
     }
 }
@@ -241,8 +243,8 @@ impl WearLevelled<ChipkillMemory> {
 }
 
 impl<D: BlockDevice> BlockDevice for WearLevelled<D> {
-    fn label(&self) -> &'static str {
-        "wearlevel"
+    fn id(&self) -> LayerId {
+        LayerId::Wearlevel
     }
 
     /// Capacity as seen above the layer: logical blocks only.
@@ -297,7 +299,21 @@ impl<D: BlockDevice> BlockDevice for WearLevelled<D> {
             // Whole-device operations are not address-translated.
             other => self.inner.access(other, ctx),
         };
-        record_access(ctx, "wearlevel", &access, &result);
+        record_access(ctx, LayerId::Wearlevel, &access, &result);
+        result
+    }
+
+    fn read_into(
+        &mut self,
+        addr: u64,
+        data: &mut [u8; 64],
+        ctx: &mut AccessContext,
+    ) -> Result<ReadPath, CoreError> {
+        let result = self.check(addr).and_then(|()| {
+            let phys = self.physical_of(addr);
+            self.inner.read_into(phys, data, ctx)
+        });
+        record_read_into(ctx, LayerId::Wearlevel, addr, &result);
         result
     }
 }
@@ -434,7 +450,7 @@ mod tests {
             }
         }
         assert_eq!(
-            ctx.layer("wearlevel").unwrap().gap_moves,
+            ctx.layer(LayerId::Wearlevel).unwrap().gap_moves,
             stacked.gap_moves()
         );
     }

@@ -109,4 +109,23 @@ fn clean_read_path_is_allocation_free_after_warmup() {
          {} reads)",
         4 * n
     );
+
+    // --- Copy-free variant: Stack::read_into decodes straight into the
+    // caller's buffer and must be just as allocation-free. ---
+    let mut buf = [0u8; 64];
+    let read_into_allocs = count_allocs(|| {
+        for _ in 0..4 {
+            for a in 0..n {
+                let path = stack.read_into(a, &mut buf).unwrap();
+                assert!(matches!(path, ReadPath::Clean));
+            }
+        }
+    });
+    assert_eq!(
+        read_into_allocs,
+        0,
+        "clean Stack::read_into must not allocate after warm-up \
+         (counted {read_into_allocs} allocations over {} reads)",
+        4 * n
+    );
 }

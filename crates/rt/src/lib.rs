@@ -12,6 +12,10 @@
 //! * [`par`] — a `std::thread::scope`-based chunked parallel map whose
 //!   per-chunk RNG seeds are derived deterministically, so Monte-Carlo
 //!   campaigns are bit-identical at any worker count.
+//! * [`pool`] — a pinned worker pool (one persistent thread per worker,
+//!   long-lived per-worker state, batched in-order collection) for
+//!   service-shaped workloads like `pmck-service`'s shards (replaces
+//!   `rayon`/`crossbeam` channel pools).
 //! * [`metrics`] — a lightweight counter/gauge/histogram registry with
 //!   JSON export: one uniform observability surface for the memory
 //!   controller, the LLC, and the chipkill engine.
@@ -26,6 +30,7 @@
 pub mod json;
 pub mod metrics;
 pub mod par;
+pub mod pool;
 pub mod rng;
 
 pub use json::Json;

@@ -93,11 +93,7 @@ impl Xoshiro256StarStar {
     /// [`crate::par::mc_chunks`] uses one stream per Monte-Carlo chunk so
     /// results do not depend on which thread runs which chunk.
     pub fn from_seed_stream(seed: u64, stream: u64) -> Self {
-        // Mix the stream index through one SplitMix64 step so that
-        // (seed, stream) and (seed + k·GAMMA, 0) cannot collide for the
-        // small stream indices used in practice.
-        let salt = SplitMix64::new(stream).next_u64();
-        Self::seed_from_u64(seed ^ salt)
+        Self::seed_from_u64(stream_seed(seed, stream))
     }
 
     /// Returns the next value of the stream.
@@ -118,6 +114,19 @@ impl Rng for Xoshiro256StarStar {
     fn next_u64(&mut self) -> u64 {
         Xoshiro256StarStar::next_u64(self)
     }
+}
+
+/// The derived `u64` seed for stream `stream` of master seed `seed` —
+/// the same derivation [`Xoshiro256StarStar::from_seed_stream`] uses.
+///
+/// Exposed so components that seed *sub*-systems per stream (e.g. one
+/// `Stack` per shard in `pmck-service`) can reproduce a shard's seed
+/// exactly when replaying its request stream sequentially.
+pub fn stream_seed(seed: u64, stream: u64) -> u64 {
+    // Mix the stream index through one SplitMix64 step so that
+    // (seed, stream) and (seed + k·GAMMA, 0) cannot collide for the
+    // small stream indices used in practice.
+    seed ^ SplitMix64::new(stream).next_u64()
 }
 
 impl<R: Rng + ?Sized> Rng for &mut R {

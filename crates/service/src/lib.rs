@@ -1,0 +1,482 @@
+//! `pmck-service` — a sharded, multi-threaded memory service over the
+//! chipkill protection stack.
+//!
+//! The paper's runtime path (per-block RS threshold decode with VLEW
+//! fallback) is embarrassingly parallel across independent 64 B blocks.
+//! [`ShardedService`] exploits that: it owns N independent
+//! [`pmck_core::Stack`]s, partitions the block address space across them
+//! by interleave (global address `a` lives on shard `a % N` at local
+//! address `a / N`), and drives them with `pmck-rt`'s [`PinnedPool`] —
+//! one persistent worker thread per shard, so each shard keeps its
+//! engine-lifetime scratch buffers and the zero-allocation read fast
+//! path while different shards decode in parallel.
+//!
+//! Clients speak the [`Request`]/[`Response`] vocabulary from
+//! `pmck-core` in batches: [`ShardedService::submit_batch`] routes each
+//! addressed request to its owning shard, broadcasts whole-device
+//! requests (patrol step, fault injection, verify, …) to every shard,
+//! and returns responses in request order.
+//!
+//! # Determinism
+//!
+//! Results are independent of thread scheduling: shard `s` is seeded
+//! from stream `s` of the service seed ([`pmck_rt::rng::stream_seed`]),
+//! each shard executes its requests in staged order, and batch results
+//! are collected shard-by-shard in index order. Replaying the same
+//! per-shard request streams sequentially against identically-seeded
+//! single `Stack`s therefore produces bit-identical block contents and
+//! stats — the equivalence the top-level `service_equivalence` test
+//! checks.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmck_core::{ChipkillConfig, Request, Response, StackBuilder};
+//! use pmck_service::ShardedService;
+//!
+//! let mut svc = ShardedService::new(4, 7, |_, seed| {
+//!     StackBuilder::proposal(64, ChipkillConfig::default())
+//!         .seed(seed)
+//!         .build()
+//! });
+//! assert_eq!(svc.num_blocks(), 256);
+//! let reqs = [
+//!     Request::Write { addr: 5, data: [0xAB; 64] },
+//!     Request::Read(5),
+//! ];
+//! let out = svc.submit_batch(&reqs);
+//! assert_eq!(out[0], Ok(Response::Written));
+//! assert_eq!(out[1].clone().unwrap().read().unwrap().data, [0xAB; 64]);
+//! ```
+
+use std::sync::Arc;
+
+use pmck_core::{
+    CoreError, CoreStats, LayerId, LayerStats, Request, Response, ServiceError, ServiceFailure,
+    Stack,
+};
+use pmck_rt::metrics::MetricsRegistry;
+use pmck_rt::pool::{PinnedPool, PoolError};
+use pmck_rt::rng::stream_seed;
+
+/// One request tagged with its position in the submitted batch.
+type Job = (u32, Request);
+/// The shard's answer, tagged with the same position.
+type JobResult = (u32, Result<Response, CoreError>);
+
+/// A sharded, multi-threaded front end over N independent [`Stack`]s.
+///
+/// See the crate docs for the sharding and determinism model.
+pub struct ShardedService {
+    pool: PinnedPool<Stack, Job, JobResult>,
+    /// Per-shard capacity in blocks (local addresses).
+    shard_blocks: Vec<u64>,
+    /// Whether `out[i]` holds a real response yet (reused per batch).
+    filled: Vec<bool>,
+}
+
+impl ShardedService {
+    /// Builds `shards` stacks with `make(shard, shard_seed)` and spawns
+    /// one pinned worker per shard. `shard_seed` is stream `shard` of
+    /// `seed` ([`stream_seed`]), so a shard's behavior is reproducible
+    /// by seeding a standalone `Stack` the same way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize, seed: u64, mut make: impl FnMut(usize, u64) -> Stack) -> Self {
+        assert!(shards > 0, "service needs at least one shard");
+        let stacks: Vec<Stack> = (0..shards)
+            .map(|s| make(s, stream_seed(seed, s as u64)))
+            .collect();
+        Self::from_stacks(stacks)
+    }
+
+    /// Wraps pre-built stacks directly (one shard per stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stacks` is empty.
+    pub fn from_stacks(stacks: Vec<Stack>) -> Self {
+        let shard_blocks: Vec<u64> = stacks.iter().map(Stack::num_blocks).collect();
+        let pool = PinnedPool::new(stacks, |_, stack: &mut Stack, (idx, req): Job| {
+            (idx, stack.submit(&req))
+        });
+        ShardedService {
+            pool,
+            shard_blocks,
+            filled: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shard_blocks.len()
+    }
+
+    /// Total capacity in blocks across all shards.
+    pub fn num_blocks(&self) -> u64 {
+        self.shard_blocks.iter().sum()
+    }
+
+    /// The shard and local address owning global address `addr`, or
+    /// `None` if `addr` is beyond the interleaved address space.
+    pub fn route(&self, addr: u64) -> Option<(usize, u64)> {
+        let n = self.shard_blocks.len() as u64;
+        let shard = (addr % n) as usize;
+        let local = addr / n;
+        (local < self.shard_blocks[shard]).then_some((shard, local))
+    }
+
+    /// Executes a batch: addressed requests run on their owning shard
+    /// (in parallel across shards, in batch order within a shard);
+    /// whole-device requests are broadcast to every shard and their
+    /// per-shard responses merged. `out` is cleared and filled with one
+    /// result per request, in request order; reusing the same `out`
+    /// across batches keeps the steady state allocation-free.
+    pub fn submit_batch_into(
+        &mut self,
+        reqs: &[Request],
+        out: &mut Vec<Result<Response, CoreError>>,
+    ) {
+        const PENDING: Result<Response, CoreError> = Err(CoreError::Unsupported("pending"));
+        out.clear();
+        out.resize(reqs.len(), PENDING);
+        self.filled.clear();
+        self.filled.resize(reqs.len(), false);
+        let shards = self.shards();
+        for (i, req) in reqs.iter().enumerate() {
+            let idx = u32::try_from(i).expect("batch longer than u32::MAX");
+            match req.addr() {
+                Some(addr) => match self.route(addr) {
+                    Some((shard, local)) => self.pool.stage(shard, (idx, req.with_addr(local))),
+                    None => {
+                        out[i] = Err(CoreError::OutOfRange(addr));
+                        self.filled[i] = true;
+                    }
+                },
+                None => {
+                    for shard in 0..shards {
+                        self.pool.stage(shard, (idx, *req));
+                    }
+                }
+            }
+        }
+        let filled = &mut self.filled;
+        let run = self.pool.run(|_, (idx, res)| {
+            let i = idx as usize;
+            if filled[i] {
+                merge_broadcast(&mut out[i], res);
+            } else {
+                out[i] = res;
+                filled[i] = true;
+            }
+        });
+        if let Err(pool_err) = run {
+            // The batch is indivisible from the client's view: if the
+            // pool failed, every slot reports the service failure.
+            let err = CoreError::Service(ServiceError::with_source(
+                match pool_err {
+                    PoolError::Closed => ServiceFailure::QueueClosed,
+                    PoolError::WorkerPanicked => ServiceFailure::WorkerLost,
+                },
+                Arc::new(pool_err),
+            ));
+            for slot in out.iter_mut() {
+                *slot = Err(err.clone());
+            }
+        }
+    }
+
+    /// [`ShardedService::submit_batch_into`] returning a fresh `Vec`.
+    pub fn submit_batch(&mut self, reqs: &[Request]) -> Vec<Result<Response, CoreError>> {
+        let mut out = Vec::new();
+        self.submit_batch_into(reqs, &mut out);
+        out
+    }
+
+    /// Executes one request (a batch of one).
+    ///
+    /// # Errors
+    ///
+    /// As [`Stack::submit`], plus [`CoreError::Service`] when the pool
+    /// is shut down or a shard worker died.
+    pub fn submit(&mut self, req: &Request) -> Result<Response, CoreError> {
+        let mut out = Vec::with_capacity(1);
+        self.submit_batch_into(std::slice::from_ref(req), &mut out);
+        out.pop().expect("one request yields one response")
+    }
+
+    /// Runs `f` against one shard's stack (blocks while that shard is
+    /// mid-batch). For maintenance that needs a concrete shard — e.g.
+    /// repairing a chip failure localized to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn with_shard<T>(&self, shard: usize, f: impl FnOnce(&mut Stack) -> T) -> T {
+        self.pool.with_state(shard, f)
+    }
+
+    /// Engine counters summed across shards (`None` if no shard has a
+    /// chipkill engine).
+    pub fn core_stats(&self) -> Option<CoreStats> {
+        let mut total: Option<CoreStats> = None;
+        for s in 0..self.shards() {
+            if let Some(st) = self.pool.with_state(s, |stack| stack.core_stats()) {
+                total.get_or_insert_with(CoreStats::default).merge(&st);
+            }
+        }
+        total
+    }
+
+    /// Per-layer stats summed across shards, in each layer's first-seen
+    /// order on the lowest shard that saw it.
+    pub fn layers(&self) -> Vec<(LayerId, LayerStats)> {
+        let mut merged: Vec<(LayerId, LayerStats)> = Vec::new();
+        for s in 0..self.shards() {
+            self.pool.with_state(s, |stack| {
+                for &(id, st) in stack.layers() {
+                    match merged.iter_mut().find(|(mid, _)| *mid == id) {
+                        Some((_, acc)) => acc.merge(&st),
+                        None => merged.push((id, st)),
+                    }
+                }
+            });
+        }
+        merged
+    }
+
+    /// Publishes the aggregated cross-shard view — per-layer counters
+    /// under `<prefix>.layer.<label>.*`, engine counters under
+    /// `<prefix>.engine.*` (same keys as [`Stack::publish_metrics`]) —
+    /// plus the shard count under `<prefix>.shards`.
+    pub fn publish_metrics(&self, reg: &MetricsRegistry, prefix: &str) {
+        for (id, stats) in self.layers() {
+            stats.publish_metrics(reg, &format!("{prefix}.layer.{id}"));
+        }
+        if let Some(core) = self.core_stats() {
+            core.publish_metrics(reg, &format!("{prefix}.engine"));
+        }
+        reg.set_counter(&format!("{prefix}.shards"), self.shards() as u64);
+    }
+
+    /// Stops and joins the shard workers. Subsequent batches fail with
+    /// [`ServiceFailure::QueueClosed`]; per-shard state stays readable
+    /// through [`ShardedService::with_shard`] and the stats accessors.
+    pub fn shutdown(&mut self) {
+        self.pool.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ShardedService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedService")
+            .field("shards", &self.shards())
+            .field("num_blocks", &self.num_blocks())
+            .finish()
+    }
+}
+
+/// Folds one more shard's answer to a broadcast request into the
+/// accumulated response, in shard order.
+fn merge_broadcast(acc: &mut Result<Response, CoreError>, next: Result<Response, CoreError>) {
+    match (&mut *acc, next) {
+        // The first error (in shard order) wins and sticks.
+        (Err(_), _) => {}
+        (Ok(_), Err(e)) => *acc = Err(e),
+        (Ok(have), Ok(got)) => match (have, got) {
+            (Response::Patrolled(a), Response::Patrolled(b)) => {
+                a.blocks_scrubbed += b.blocks_scrubbed;
+                a.blocks_skipped += b.blocks_skipped;
+                // The service-level pass completes when every shard's
+                // scrubber wrapped.
+                a.completed_pass &= b.completed_pass;
+            }
+            (Response::Injected { bits: a }, Response::Injected { bits: b }) => *a += b,
+            (Response::BootScrubbed(a), Response::BootScrubbed(b)) => {
+                a.stripes_scrubbed += b.stripes_scrubbed;
+                a.bits_corrected += b.bits_corrected;
+                a.words_with_errors += b.words_with_errors;
+                if a.chip_rebuilt.is_none() {
+                    a.chip_rebuilt = b.chip_rebuilt;
+                }
+            }
+            (Response::Verified(a), Response::Verified(b)) => *a &= b,
+            (Response::Repaired { chip: a }, Response::Repaired { chip: b }) if a.is_none() => {
+                *a = b;
+            }
+            // Identical unit responses (Written/Scrubbed/Restriped):
+            // the first one already says it all.
+            _ => {}
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmck_core::{ChipkillConfig, ReadPath, StackBuilder};
+    use std::error::Error as _;
+
+    fn svc(shards: usize, blocks_per_shard: u64, seed: u64) -> ShardedService {
+        ShardedService::new(shards, seed, |_, s| {
+            StackBuilder::proposal(blocks_per_shard, ChipkillConfig::default())
+                .seed(s)
+                .build()
+        })
+    }
+
+    #[test]
+    fn interleaved_round_trip_across_shards() {
+        let mut svc = svc(4, 32, 1);
+        assert_eq!(svc.num_blocks(), 128);
+        let writes: Vec<Request> = (0..128u64)
+            .map(|a| Request::Write {
+                addr: a,
+                data: [a as u8; 64],
+            })
+            .collect();
+        for r in svc.submit_batch(&writes) {
+            assert_eq!(r, Ok(Response::Written));
+        }
+        let reads: Vec<Request> = (0..128u64).map(Request::Read).collect();
+        for (a, r) in svc.submit_batch(&reads).into_iter().enumerate() {
+            let out = r.unwrap().read().unwrap();
+            assert_eq!(out.data, [a as u8; 64], "block {a}");
+            assert_eq!(out.path, ReadPath::Clean);
+        }
+        let stats = svc.core_stats().unwrap();
+        assert_eq!(stats.reads, 128);
+        assert_eq!(stats.writes, 128);
+    }
+
+    #[test]
+    fn out_of_range_is_answered_inline() {
+        let mut svc = svc(2, 32, 2);
+        let out = svc.submit_batch(&[Request::Read(3), Request::Read(64), Request::Read(999)]);
+        assert!(out[0].is_ok());
+        assert_eq!(out[1], Err(CoreError::OutOfRange(64)));
+        assert_eq!(out[2], Err(CoreError::OutOfRange(999)));
+    }
+
+    #[test]
+    fn broadcasts_merge_across_shards() {
+        let mut svc = svc(4, 32, 3);
+        let fills: Vec<Request> = (0..128u64)
+            .map(|a| Request::Write {
+                addr: a,
+                data: [0x5A; 64],
+            })
+            .collect();
+        svc.submit_batch(&fills);
+        // Verify is AND across shards.
+        assert_eq!(svc.submit(&Request::Verify), Ok(Response::Verified(true)));
+        // Injection sums the per-shard flips (4 shards at a rate that
+        // flips a fair number of bits each).
+        let bits = svc
+            .submit(&Request::InjectRber(1e-3))
+            .unwrap()
+            .injected_bits()
+            .unwrap();
+        assert!(bits > 100, "4 shards x 32 blocks at 1e-3: got {bits}");
+        // Boot scrub sums its counters.
+        let report = svc
+            .submit(&Request::BootScrub)
+            .unwrap()
+            .boot_scrubbed()
+            .unwrap();
+        assert!(report.bits_corrected > 0);
+        // A patrol step sums scrubbed blocks; every shard's 16-block
+        // increment wraps its 16-block device, so the pass completes.
+        let p = svc
+            .submit(&Request::PatrolStep)
+            .map(|r| r.patrolled())
+            .unwrap_err();
+        // No patrol layer in this stack: the first shard's error wins.
+        assert_eq!(p, CoreError::Unsupported("patrol_step"));
+    }
+
+    #[test]
+    fn patrol_step_broadcast_sums_increments() {
+        let mut svc = ShardedService::new(2, 9, |_, s| {
+            StackBuilder::proposal(32, ChipkillConfig::default())
+                .patrolled(32, 0)
+                .seed(s)
+                .build()
+        });
+        let r = svc
+            .submit(&Request::PatrolStep)
+            .unwrap()
+            .patrolled()
+            .unwrap();
+        assert_eq!(r.blocks_scrubbed, 64);
+        assert!(r.completed_pass);
+    }
+
+    #[test]
+    fn shutdown_fails_batches_with_full_error_chain() {
+        let mut svc = svc(2, 8, 4);
+        svc.shutdown();
+        let out = svc.submit_batch(&[Request::Read(0)]);
+        let err = out[0].clone().unwrap_err();
+        let CoreError::Service(ref se) = err else {
+            panic!("expected service error, got {err:?}");
+        };
+        assert_eq!(se.kind(), ServiceFailure::QueueClosed);
+        // Display stays stable for corpus replay...
+        assert_eq!(
+            err.to_string(),
+            "memory service unavailable: shard request queue is closed"
+        );
+        // ...while source() exposes the transport chain.
+        let source = err.source().expect("service error has a source");
+        let transport = source.source().expect("chain reaches the pool error");
+        assert_eq!(transport.to_string(), PoolError::Closed.to_string());
+        // Shard state is still reachable for post-mortem stats.
+        assert_eq!(svc.core_stats().unwrap().reads, 0);
+    }
+
+    #[test]
+    fn aggregated_metrics_match_summed_layers() {
+        let mut svc = svc(2, 8, 5);
+        let reqs: Vec<Request> = (0..16u64)
+            .map(|a| Request::Write {
+                addr: a,
+                data: [1; 64],
+            })
+            .chain((0..16u64).map(Request::Read))
+            .collect();
+        svc.submit_batch(&reqs);
+        let reg = MetricsRegistry::new();
+        svc.publish_metrics(&reg, "svc");
+        assert_eq!(reg.counter("svc.layer.chipkill.reads"), 16);
+        assert_eq!(reg.counter("svc.engine.writes"), 16);
+        assert_eq!(reg.counter("svc.shards"), 2);
+        let chipkill = svc
+            .layers()
+            .into_iter()
+            .find(|(id, _)| *id == LayerId::Chipkill)
+            .unwrap()
+            .1;
+        assert_eq!(chipkill.reads, 16);
+        assert_eq!(chipkill.writes, 16);
+    }
+
+    #[test]
+    fn batch_reuse_keeps_results_in_request_order() {
+        let mut svc = svc(3, 8, 6);
+        let mut out = Vec::new();
+        for round in 0..10u64 {
+            let reqs: Vec<Request> = (0..24u64)
+                .map(|a| Request::Write {
+                    addr: (a + round) % 24,
+                    data: [round as u8; 64],
+                })
+                .collect();
+            svc.submit_batch_into(&reqs, &mut out);
+            assert_eq!(out.len(), 24);
+            assert!(out.iter().all(|r| *r == Ok(Response::Written)));
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`memsim`] | `pmck-memsim` | bank-timing memory controller + EUR |
 //! | [`cachesim`] | `pmck-cachesim` | SAM/OMV LLC hierarchy |
 //! | [`chipkill`] | `pmck-core` | **the proposal**: boot scrub + runtime path |
+//! | [`service`] | `pmck-service` | sharded multi-threaded memory service front end |
 //! | [`workloads`] | `pmck-workloads` | WHISPER/SPLASH-style trace generators |
 //! | [`analysis`] | `pmck-analysis` | storage/SDC/bandwidth analytics |
 //! | [`sim`] | `pmck-sim` | full-system simulator (Figures 10–18) |
@@ -44,5 +45,6 @@ pub use pmck_memsim as memsim;
 pub use pmck_nvram as nvram;
 pub use pmck_rs as rs;
 pub use pmck_rt as rt;
+pub use pmck_service as service;
 pub use pmck_sim as sim;
 pub use pmck_workloads as workloads;

@@ -13,7 +13,7 @@
 //! [`StackBuilder`]: `chipkill` base, manual-step patrol below the
 //! wear-level remap.
 
-use pmck::chipkill::{ChipkillConfig, Stack, StackBuilder};
+use pmck::chipkill::{ChipkillConfig, LayerId, Stack, StackBuilder};
 use pmck::rt::rng::{Rng, StdRng};
 
 const LOGICAL_BLOCKS: u64 = 96;
@@ -86,12 +86,12 @@ fn scrub_mid_remap_sees_consistent_vlew_code_bits() {
         }
     }
 
-    let wearlevel = stack.layer("wearlevel").expect("wear-level layer");
+    let wearlevel = stack.layer(LayerId::Wearlevel).expect("wear-level layer");
     assert!(
         wearlevel.gap_moves > 0,
         "the campaign must have exercised remaps"
     );
-    let patrol = stack.layer("patrol").expect("patrol layer");
+    let patrol = stack.layer(LayerId::Patrol).expect("patrol layer");
     assert!(patrol.patrol_steps > 0, "patrol must have run");
     assert!(stack.verify_consistent().unwrap());
     for block in 0..LOGICAL_BLOCKS {
@@ -144,7 +144,7 @@ fn patrol_under_wear_leveling_repairs_injected_errors() {
     assert!(injected_total > 0, "the campaign must have injected errors");
     assert!(
         stack
-            .layer("wearlevel")
+            .layer(LayerId::Wearlevel)
             .expect("wear-level layer")
             .gap_moves
             > 0,
@@ -155,8 +155,8 @@ fn patrol_under_wear_leveling_repairs_injected_errors() {
     // boot scrub repairs any remaining VLEW-level damage (including bits
     // that landed in parity storage), after which the whole rank must
     // verify and every logical block must read back its last write.
-    let target = stack.layer("patrol").map_or(0, |s| s.patrol_passes) + 1;
-    while stack.layer("patrol").map_or(0, |s| s.patrol_passes) < target {
+    let target = stack.layer(LayerId::Patrol).map_or(0, |s| s.patrol_passes) + 1;
+    while stack.layer(LayerId::Patrol).map_or(0, |s| s.patrol_passes) < target {
         stack.patrol_step().unwrap();
     }
     stack.boot_scrub().unwrap();

@@ -1,0 +1,173 @@
+//! Determinism/equivalence: a 4-shard [`ShardedService`] is bit-for-bit
+//! a deterministic function of its seed and request stream, independent
+//! of thread scheduling.
+//!
+//! For several seeds, the same benign campaign (writes, reads, scrubs,
+//! low-rate injection, patrol steps, verifies) is driven twice:
+//!
+//! 1. through the sharded service in batches, and
+//! 2. through four standalone [`Stack`]s — one per shard, seeded with
+//!    the same derived stream seeds ([`stream_seed`]) — replaying each
+//!    shard's share of the stream sequentially in batch order.
+//!
+//! The two executions must agree on every addressed response, on every
+//! merged broadcast response, on the summed [`CoreStats`], and on the
+//! final contents of every block.
+
+use pmck::chipkill::{ChipkillConfig, CoreStats, Request, Response, Stack, StackBuilder};
+use pmck::rt::rng::{stream_seed, Rng, StdRng};
+use pmck::service::ShardedService;
+
+const SHARDS: usize = 4;
+const BLOCKS_PER_SHARD: u64 = 32;
+const ROUNDS: usize = 60;
+const BATCH: usize = 24;
+
+fn build_stack(blocks: u64, seed: u64) -> Stack {
+    StackBuilder::proposal(blocks, ChipkillConfig::default())
+        .patrolled(8, 0)
+        .wear_levelled(4)
+        .seed(seed)
+        .build()
+}
+
+/// One benign batch of requests over the interleaved address space.
+fn gen_batch(rng: &mut StdRng, total: u64, round: usize) -> Vec<Request> {
+    let mut batch = Vec::with_capacity(BATCH + 1);
+    for _ in 0..BATCH {
+        let addr = rng.gen_range(0..total);
+        let req = match rng.gen_range(0u32..8) {
+            0..=2 => {
+                let mut data = [0u8; 64];
+                rng.fill_bytes(&mut data[..]);
+                Request::Write { addr, data }
+            }
+            3..=5 => Request::Read(addr),
+            6 => Request::Scrub(addr),
+            _ => Request::PatrolStep,
+        };
+        batch.push(req);
+    }
+    // A sprinkle of whole-device traffic: low-rate injection (well
+    // inside the RS threshold) and a consistency check.
+    if round % 10 == 3 {
+        batch.push(Request::InjectRber(2e-6));
+    }
+    if round % 10 == 7 {
+        batch.push(Request::Verify);
+    }
+    batch
+}
+
+/// Replays `batch` against the standalone per-shard stacks in batch
+/// order, producing the response the service should give each request:
+/// addressed requests run on the owning shard; broadcasts run on every
+/// shard in index order with their responses merged the way the service
+/// merges them.
+fn replay_batch(
+    stacks: &mut [Stack],
+    batch: &[Request],
+) -> Vec<Result<Response, pmck::chipkill::CoreError>> {
+    let n = stacks.len() as u64;
+    batch
+        .iter()
+        .map(|req| match req.addr() {
+            Some(addr) => {
+                let shard = (addr % n) as usize;
+                stacks[shard].submit(&req.with_addr(addr / n))
+            }
+            None => {
+                let mut merged = None;
+                for stack in stacks.iter_mut() {
+                    let res = stack.submit(req);
+                    merged = Some(match (merged, res) {
+                        (None, r) => r,
+                        (Some(Err(e)), _) => Err(e),
+                        (Some(Ok(_)), Err(e)) => Err(e),
+                        (Some(Ok(a)), Ok(b)) => Ok(merge(a, b)),
+                    });
+                }
+                merged.expect("at least one shard")
+            }
+        })
+        .collect()
+}
+
+/// The service's broadcast merge, restated for the benign request mix
+/// this campaign uses.
+fn merge(a: Response, b: Response) -> Response {
+    match (a, b) {
+        (Response::Patrolled(mut x), Response::Patrolled(y)) => {
+            x.blocks_scrubbed += y.blocks_scrubbed;
+            x.blocks_skipped += y.blocks_skipped;
+            x.completed_pass &= y.completed_pass;
+            Response::Patrolled(x)
+        }
+        (Response::Injected { bits: x }, Response::Injected { bits: y }) => {
+            Response::Injected { bits: x + y }
+        }
+        (Response::Verified(x), Response::Verified(y)) => Response::Verified(x & y),
+        (first, _) => first,
+    }
+}
+
+#[test]
+fn four_shard_service_matches_sequential_replay() {
+    for seed in [11u64, 42, 9001] {
+        // The service and the standalone stacks derive per-shard seeds
+        // the same way, so shard s behaves identically in both worlds.
+        let mut svc = ShardedService::new(SHARDS, seed, |_, shard_seed| {
+            build_stack(BLOCKS_PER_SHARD, shard_seed)
+        });
+        let mut stacks: Vec<Stack> = (0..SHARDS)
+            .map(|s| build_stack(BLOCKS_PER_SHARD, stream_seed(seed, s as u64)))
+            .collect();
+        let total = svc.num_blocks();
+        assert_eq!(total, SHARDS as u64 * BLOCKS_PER_SHARD);
+
+        // The campaign stream itself comes from one workload RNG and is
+        // fed verbatim to both executions.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE0_0111);
+        for round in 0..ROUNDS {
+            let batch = gen_batch(&mut rng, total, round);
+            let got = svc.submit_batch(&batch);
+            let want = replay_batch(&mut stacks, &batch);
+            for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                assert_eq!(
+                    g, w,
+                    "seed {seed} round {round} request {i}: {:?}",
+                    batch[i]
+                );
+            }
+        }
+
+        // Summed engine counters agree exactly...
+        let svc_stats = svc.core_stats().expect("chipkill base");
+        let mut seq_stats = CoreStats::default();
+        for stack in &stacks {
+            seq_stats.merge(&stack.core_stats().expect("chipkill base"));
+        }
+        assert_eq!(
+            svc_stats, seq_stats,
+            "seed {seed}: summed CoreStats diverged"
+        );
+
+        // ...and so does every block's final content (compared after
+        // the stats, since reads bump counters on both sides alike).
+        for (shard, seq_stack) in stacks.iter_mut().enumerate() {
+            for local in 0..seq_stack.num_blocks() {
+                let svc_data = svc.with_shard(shard, |stack| {
+                    let mut buf = [0u8; 64];
+                    stack.read_into(local, &mut buf).map(|_| buf)
+                });
+                let mut buf = [0u8; 64];
+                let seq_data = seq_stack.read_into(local, &mut buf).map(|_| buf);
+                assert_eq!(
+                    svc_data, seq_data,
+                    "seed {seed}: shard {shard} block {local} contents diverged"
+                );
+            }
+        }
+        svc.shutdown();
+    }
+}

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use pmck_bch::BchCode;
-use pmck_core::{ChipkillConfig, Request, Stack, StackBuilder};
+use pmck_core::{ChipkillConfig, PmemConfig, Request, Stack, StackBuilder};
 use pmck_gf::SyndromeRows;
 use pmck_rs::{RsCode, RsScratch};
 use pmck_rt::json::Json;
@@ -382,6 +382,34 @@ fn readpath_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
     }
 }
 
+/// `pmem/*`: the persistence-domain hot paths. `flush_clean_write`
+/// rewrites already-durable data and flushes — the EUR drain finds
+/// nothing, the compare-skip staging copies nothing, and the fence is
+/// empty, so `allocs_per_op` is expected at 0. `recovery_replay` is the
+/// cold path: cut power, replay the sealed intent-log record, and
+/// rebuild the live arrays wholesale from the durable image.
+fn pmem_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
+    if wants(cfg, "pmem/flush_clean_write") {
+        let mut stack = filled_stack(|b| b.persistent(PmemConfig::default()), 0.0);
+        stack.flush().expect("seal the filled image");
+        let block = [0xA5u8; 64];
+        stack.write(0, &block).expect("in range");
+        stack.flush().expect("seal the probe block");
+        rows.push(scenario(cfg, "pmem/flush_clean_write", 64, || {
+            stack.write(0, &block).expect("in range");
+            stack.flush().expect("clean flush")
+        }));
+    }
+    if wants(cfg, "pmem/recovery_replay") {
+        let mut stack = filled_stack(|b| b.persistent(PmemConfig::default()), 0.0);
+        stack.flush().expect("seal the filled image");
+        rows.push(scenario(cfg, "pmem/recovery_replay", 0, || {
+            stack.power_cut().expect("power cut");
+            stack.recover().expect("recover").lines_redone
+        }));
+    }
+}
+
 /// `service/parallel_read_throughput`: clean-read ops/sec through the
 /// sharded service at 1/2/4/8 shards over the same 256-block address
 /// space, batched full-space read sweeps. `allocs_per_op` measures the
@@ -530,6 +558,7 @@ fn main() {
     bch_scenarios(&cfg, &mut rows);
     rs_scenarios(&cfg, &mut rows);
     readpath_scenarios(&cfg, &mut rows);
+    pmem_scenarios(&cfg, &mut rows);
     service_scenarios(&cfg, &mut rows);
 
     let mut doc = Json::object()

@@ -16,7 +16,7 @@
 //!
 //! ```text
 //! soak [--blocks N] [--cycles N] [--seed N] [--schedule FILE] [--short]
-//!      [--shards N] [--pretty]
+//!      [--shards N] [--crash] [--pretty]
 //! ```
 //!
 //! `--short` is the CI profile (small rank, few cycles). `--shards N`
@@ -28,9 +28,17 @@
 //! request). Output is a single JSON document on stdout; the exit code
 //! is nonzero if any read diverged from the mirror, the final verify
 //! failed, or the re-stripe readback diverged.
+//!
+//! `--crash` runs the campaign on a persistent stack (`pmck-pmem`
+//! media behind the rank): the mirror is snapshotted at every flush,
+//! scheduled fault events are made durable immediately, and periodic
+//! power cuts discard everything since the last fence — recovery must
+//! then match the snapshot exactly, under the same byte-for-byte read
+//! checks as the rest of the soak.
 
 use pmck_core::{
-    ChipkillConfig, CoreError, LayerId, ReadPath, Request, Response, Stack, StackBuilder,
+    ChipkillConfig, CoreError, LayerId, PmemConfig, ReadPath, Request, Response, Stack,
+    StackBuilder,
 };
 use pmck_memsim::FaultTimeline;
 use pmck_nvram::{ChipFailureKind, FaultEvent, FaultKind, FaultSchedule};
@@ -44,6 +52,7 @@ struct Config {
     seed: u64,
     schedule_file: Option<String>,
     shards: Option<usize>,
+    crash: bool,
     pretty: bool,
 }
 
@@ -55,6 +64,7 @@ impl Config {
             seed: 0x50AC,
             schedule_file: None,
             shards: None,
+            crash: false,
             pretty: false,
         };
         let mut args = std::env::args().skip(1);
@@ -80,6 +90,7 @@ impl Config {
                     cfg.blocks = 64;
                     cfg.cycles = 3_000;
                 }
+                "--crash" => cfg.crash = true,
                 "--pretty" => cfg.pretty = true,
                 other => usage(&format!("unknown argument: {other}")),
             }
@@ -97,7 +108,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: soak [--blocks N] [--cycles N] [--seed N] [--schedule FILE] [--short] \
-         [--shards N] [--pretty]"
+         [--shards N] [--crash] [--pretty]"
     );
     std::process::exit(2);
 }
@@ -172,6 +183,25 @@ struct Counters {
     path_rs: u64,
     path_fallback: u64,
     path_erasure: u64,
+    crash_flushes: u64,
+    lines_flushed: u64,
+    power_cuts: u64,
+    lost_lines: u64,
+    records_replayed: u64,
+    lines_redone: u64,
+}
+
+impl Counters {
+    fn crash_json(&self, enabled: bool) -> Json {
+        Json::object()
+            .with("enabled", enabled)
+            .with("flushes", self.crash_flushes)
+            .with("lines_flushed", self.lines_flushed)
+            .with("power_cuts", self.power_cuts)
+            .with("lost_lines", self.lost_lines)
+            .with("records_replayed", self.records_replayed)
+            .with("lines_redone", self.lines_redone)
+    }
 }
 
 /// Rebuilds the detected failed chip, if the decode paths found one.
@@ -221,12 +251,18 @@ fn run_sharded(cfg: &Config, shards: usize) -> ! {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let per_shard = cfg.blocks.div_ceil(shards as u64);
-    let mut svc = ShardedService::new(shards, cfg.seed ^ 0x5011_D1E5, |_, seed| {
-        StackBuilder::proposal(per_shard, ChipkillConfig::default())
+    let crash = cfg.crash;
+    let mut svc = ShardedService::new(shards, cfg.seed ^ 0x5011_D1E5, move |_, seed| {
+        let builder = StackBuilder::proposal(per_shard, ChipkillConfig::default())
             .patrolled(2, 0)
             .wear_levelled(8)
-            .seed(seed)
-            .build()
+            .seed(seed);
+        let builder = if crash {
+            builder.persistent(PmemConfig::default())
+        } else {
+            builder
+        };
+        builder.build()
     });
     // Per-shard capacity rounds up to whole stripes, so the campaign
     // covers the service's real (interleaved) address space.
@@ -243,6 +279,20 @@ fn run_sharded(cfg: &Config, shards: usize) -> ! {
     for r in svc.submit_batch(&fills) {
         r.expect("initial fill");
     }
+    // The crash model: `snapshot` mirrors the durable state (what the
+    // last broadcast flush fenced); a power cut rolls the mirror back
+    // to it.
+    let mut snapshot = mirror.clone();
+    let mut c = Counters::default();
+    if cfg.crash {
+        let flushed = svc
+            .submit(&Request::Flush)
+            .expect("initial flush")
+            .flushed_lines()
+            .expect("flush responds with lines");
+        c.crash_flushes += 1;
+        c.lines_flushed += flushed;
+    }
 
     /// What the walk over a batch's responses should do at each slot.
     enum Expect {
@@ -253,7 +303,6 @@ fn run_sharded(cfg: &Config, shards: usize) -> ! {
         Patrol,
     }
 
-    let mut c = Counters::default();
     let mut reqs: Vec<Request> = Vec::new();
     let mut expects: Vec<Expect> = Vec::new();
     let mut out: Vec<Result<Response, CoreError>> = Vec::new();
@@ -264,15 +313,18 @@ fn run_sharded(cfg: &Config, shards: usize) -> ! {
     let mut retried: Vec<u64> = Vec::new();
 
     let mut window_start = 0u64;
+    let mut window_index = 0u64;
     while window_start < cfg.cycles {
         let window_end = (window_start + WINDOW).min(cfg.cycles);
         reqs.clear();
         expects.clear();
         retried.clear();
+        let mut had_event = false;
         for cycle in window_start..window_end {
             for event in schedule.events_in(cycle, cycle + 1).to_vec() {
                 reqs.push(Request::Fault(event));
                 expects.push(Expect::Event);
+                had_event = true;
             }
             let rber = schedule.rber_at(cycle);
             if rber > 0.0 {
@@ -405,7 +457,65 @@ fn run_sharded(cfg: &Config, shards: usize) -> ! {
             });
         }
 
+        // Crash leg, at window granularity: scheduled fault events are
+        // made durable right away (so a later cut cannot "heal" a chip
+        // the campaign considers failed), the mirror is snapshotted at
+        // every broadcast flush, and a periodic power cut + recovery
+        // rolls the mirror back to the snapshot.
+        if cfg.crash {
+            if had_event || window_index % 2 == 1 {
+                let flushed = svc
+                    .submit(&Request::Flush)
+                    .expect("window flush")
+                    .flushed_lines()
+                    .expect("flush responds with lines");
+                c.crash_flushes += 1;
+                c.lines_flushed += flushed;
+                snapshot.copy_from_slice(&mirror);
+            }
+            if window_index % 8 == 7 {
+                match svc.submit(&Request::PowerCut).expect("power cut") {
+                    Response::PowerLost { lost_lines } => c.lost_lines += lost_lines,
+                    other => panic!("power cut answered {other:?}"),
+                }
+                c.power_cuts += 1;
+                let rep = svc
+                    .submit(&Request::Recover)
+                    .expect("recovery")
+                    .recovered()
+                    .expect("recover responds with a report");
+                c.records_replayed += rep.records_replayed;
+                c.lines_redone += rep.lines_redone;
+                mirror.copy_from_slice(&snapshot);
+            }
+        }
+
         window_start = window_end;
+        window_index += 1;
+    }
+
+    // One final cut straight after a flush: recovery must land exactly
+    // on the just-fenced image before the closing sweep checks it.
+    if cfg.crash {
+        c.lines_flushed += svc
+            .submit(&Request::Flush)
+            .expect("final flush")
+            .flushed_lines()
+            .expect("flush responds with lines");
+        c.crash_flushes += 1;
+        snapshot.copy_from_slice(&mirror);
+        match svc.submit(&Request::PowerCut).expect("final power cut") {
+            Response::PowerLost { lost_lines } => c.lost_lines += lost_lines,
+            other => panic!("power cut answered {other:?}"),
+        }
+        c.power_cuts += 1;
+        let rep = svc
+            .submit(&Request::Recover)
+            .expect("final recovery")
+            .recovered()
+            .expect("recover responds with a report");
+        c.records_replayed += rep.records_replayed;
+        c.lines_redone += rep.lines_redone;
     }
 
     // Closing sweep, batched: a broadcast boot scrub, a full patrol
@@ -503,6 +613,7 @@ fn run_sharded(cfg: &Config, shards: usize) -> ! {
         )
         .with("core_stats", stats.to_json())
         .with("layers", layers)
+        .with("crash", c.crash_json(cfg.crash))
         .with(
             "verdict",
             Json::object()
@@ -541,25 +652,40 @@ fn main() {
 
     // The whole protection configuration comes from the composition API:
     // restripeable chipkill base, patrol (manual stepping) over physical
-    // addresses, Start-Gap wear leveling on top.
-    let mut stack = StackBuilder::proposal(cfg.blocks, ChipkillConfig::default())
+    // addresses, Start-Gap wear leveling on top (and, under `--crash`,
+    // persistent media at the bottom).
+    let builder = StackBuilder::proposal(cfg.blocks, ChipkillConfig::default())
         .restripeable()
         .patrolled(2, 0)
         .wear_levelled(8)
-        .seed(cfg.seed ^ 0x5011_D1E5)
-        .build();
+        .seed(cfg.seed ^ 0x5011_D1E5);
+    let builder = if cfg.crash {
+        builder.persistent(PmemConfig::default())
+    } else {
+        builder
+    };
+    let mut stack = builder.build();
     let mut mirror: Vec<[u8; 64]> = Vec::with_capacity(cfg.blocks as usize);
     for block in 0..cfg.blocks {
         let data = pattern(&mut rng);
         stack.write(block, &data).expect("initial fill");
         mirror.push(data);
     }
+    // The crash model: `snapshot` mirrors the durable state (what the
+    // last flush fenced); a power cut rolls the mirror back to it.
+    let mut snapshot = mirror.clone();
 
     let mut c = Counters::default();
+    if cfg.crash {
+        c.lines_flushed += stack.flush().expect("initial flush");
+        c.crash_flushes += 1;
+    }
     for cycle in 0..cfg.cycles {
+        let mut fault_this_cycle = false;
         for event in schedule.events_in(cycle, cycle + 1).to_vec() {
             c.event_bits += stack.apply_fault(&event).expect("fault event") as u64;
             c.events_applied += 1;
+            fault_this_cycle = true;
         }
         let rber = schedule.rber_at(cycle);
         if rber > 0.0 {
@@ -632,6 +758,40 @@ fn main() {
         }
 
         repair_if_detected(&mut stack, cycle, &mut c);
+
+        // Crash leg: scheduled fault events are made durable right away
+        // (so a later cut cannot "heal" a chip the campaign considers
+        // failed), the mirror is snapshotted at every flush, and a
+        // periodic power cut + recovery rolls the mirror back to the
+        // snapshot.
+        if cfg.crash {
+            if fault_this_cycle || cycle % 97 == 96 {
+                c.lines_flushed += stack.flush().expect("crash flush");
+                c.crash_flushes += 1;
+                snapshot.copy_from_slice(&mirror);
+            }
+            if cycle % 503 == 502 {
+                c.lost_lines += stack.power_cut().expect("power cut");
+                c.power_cuts += 1;
+                let rep = stack.recover().expect("recovery");
+                c.records_replayed += rep.records_replayed;
+                c.lines_redone += rep.lines_redone;
+                mirror.copy_from_slice(&snapshot);
+            }
+        }
+    }
+
+    // One final cut straight after a flush: recovery must land exactly
+    // on the just-fenced image before the closing sweep checks it.
+    if cfg.crash {
+        c.lines_flushed += stack.flush().expect("final flush");
+        c.crash_flushes += 1;
+        snapshot.copy_from_slice(&mirror);
+        c.lost_lines += stack.power_cut().expect("final power cut");
+        c.power_cuts += 1;
+        let rep = stack.recover().expect("final recovery");
+        c.records_replayed += rep.records_replayed;
+        c.lines_redone += rep.lines_redone;
     }
 
     // Closing sweep: the boot scrub first (it repairs a still-failed
@@ -664,7 +824,22 @@ fn main() {
             },
         })
         .expect("re-stripe chip failure");
+    if cfg.crash {
+        // The flip must start from a durable state that already knows
+        // about the dead rank.
+        c.lines_flushed += stack.flush().expect("pre-restripe flush");
+        c.crash_flushes += 1;
+    }
     stack.restripe().expect("re-stripe after chip failure");
+    if cfg.crash {
+        // The re-stripe commit fenced the whole re-laid-out image, so a
+        // cut straight after it must recover to the new layout intact.
+        c.lost_lines += stack.power_cut().expect("post-restripe power cut");
+        c.power_cuts += 1;
+        let rep = stack.recover().expect("post-restripe recovery");
+        c.records_replayed += rep.records_replayed;
+        c.lines_redone += rep.lines_redone;
+    }
     for block in 0..cfg.blocks {
         match stack.read_into(block, &mut buf) {
             Ok(_) if buf == mirror[block as usize] => {}
@@ -730,6 +905,7 @@ fn main() {
         )
         .with("core_stats", stats.to_json())
         .with("layers", layers)
+        .with("crash", c.crash_json(cfg.crash))
         .with(
             "verdict",
             Json::object()

@@ -64,6 +64,16 @@ pub enum Access {
     /// Reconfigure into the §V-E re-striped layout (handled by a
     /// [`crate::Restripeable`] layer).
     Restripe,
+    /// Commit every dirty line of the persistence domain durably
+    /// (flush-all + fence; a no-op without a domain).
+    Flush,
+    /// Simulate power loss: everything not flushed *and* fenced is
+    /// discarded from the persistence domain's volatile staging.
+    PowerCut,
+    /// Rebuild the device from the durable image after a power cut:
+    /// replay the intent log, reload layout/wear metadata, reconstruct
+    /// the volatile arrays.
+    Recover,
 }
 
 impl Access {
@@ -81,6 +91,9 @@ impl Access {
             Access::Verify => "verify",
             Access::Repair => "repair",
             Access::Restripe => "restripe",
+            Access::Flush => "flush",
+            Access::PowerCut => "power_cut",
+            Access::Recover => "recover",
         }
     }
 
@@ -121,6 +134,40 @@ pub enum AccessOutcome {
     },
     /// The device reconfigured into the re-striped layout.
     Restriped,
+    /// The persistence domain committed its dirty lines.
+    Flushed {
+        /// Lines made durable (0 when nothing was dirty, or when the
+        /// stack has no persistence domain).
+        lines: u64,
+    },
+    /// Power was cut; unflushed volatile state is gone.
+    PowerLost {
+        /// Volatile lines discarded by the cut.
+        lost_lines: u64,
+    },
+    /// The device rebuilt itself from the durable image.
+    Recovered(RecoveryReport),
+}
+
+/// What a [`Access::Recover`] pass did (summed across shards by the
+/// service's broadcast merge).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sealed intent-log records replayed (0 or 1 per domain).
+    pub records_replayed: u64,
+    /// Lines rewritten from the log onto the durable image.
+    pub lines_redone: u64,
+    /// Whether the durable metadata selected the re-striped layout.
+    pub restriped: bool,
+}
+
+impl RecoveryReport {
+    /// Folds another shard's report into this one.
+    pub fn merge(&mut self, other: &RecoveryReport) {
+        self.records_replayed += other.records_replayed;
+        self.lines_redone += other.lines_redone;
+        self.restriped |= other.restriped;
+    }
 }
 
 /// Identifies one layer of a composed stack.
@@ -144,11 +191,13 @@ pub enum LayerId {
     Patrol,
     /// Write-CRC link protection ([`crate::LinkProtected`]).
     Link,
+    /// The persistence domain (flush/fence epochs and the intent log).
+    Pmem,
 }
 
 impl LayerId {
     /// Every layer, in stack order (base layouts first).
-    pub const ALL: [LayerId; 7] = [
+    pub const ALL: [LayerId; 8] = [
         LayerId::Chipkill,
         LayerId::Baseline,
         LayerId::Restriped,
@@ -156,6 +205,7 @@ impl LayerId {
         LayerId::Wearlevel,
         LayerId::Patrol,
         LayerId::Link,
+        LayerId::Pmem,
     ];
 
     /// The stable string form used in JSON reports and metric names.
@@ -168,6 +218,7 @@ impl LayerId {
             LayerId::Wearlevel => "wearlevel",
             LayerId::Patrol => "patrol",
             LayerId::Link => "link",
+            LayerId::Pmem => "pmem",
         }
     }
 }
@@ -246,6 +297,22 @@ pub struct LayerStats {
     pub retransmissions: u64,
     /// Writes whose link retry budget was exhausted.
     pub link_failures: u64,
+    /// Persistence-domain flush commands executed.
+    pub flushes: u64,
+    /// Persistence-domain fences executed.
+    pub fences: u64,
+    /// Dirty lines made durable by flushes.
+    pub lines_flushed: u64,
+    /// Intent-log records written.
+    pub log_records: u64,
+    /// Intent-log bytes written.
+    pub log_bytes: u64,
+    /// Lines left partially persisted by a power cut.
+    pub torn_lines: u64,
+    /// Recovery passes completed.
+    pub recoveries: u64,
+    /// Lines redone from the intent log during recovery.
+    pub lines_redone: u64,
 }
 
 impl LayerStats {
@@ -267,6 +334,14 @@ impl LayerStats {
         self.patrol_passes += other.patrol_passes;
         self.retransmissions += other.retransmissions;
         self.link_failures += other.link_failures;
+        self.flushes += other.flushes;
+        self.fences += other.fences;
+        self.lines_flushed += other.lines_flushed;
+        self.log_records += other.log_records;
+        self.log_bytes += other.log_bytes;
+        self.torn_lines += other.torn_lines;
+        self.recoveries += other.recoveries;
+        self.lines_redone += other.lines_redone;
     }
 
     /// Publishes every counter into `reg` under `<prefix>.<name>`.
@@ -288,6 +363,14 @@ impl LayerStats {
         c("patrol_passes", self.patrol_passes);
         c("retransmissions", self.retransmissions);
         c("link_failures", self.link_failures);
+        c("flushes", self.flushes);
+        c("fences", self.fences);
+        c("lines_flushed", self.lines_flushed);
+        c("log_records", self.log_records);
+        c("log_bytes", self.log_bytes);
+        c("torn_lines", self.torn_lines);
+        c("recoveries", self.recoveries);
+        c("lines_redone", self.lines_redone);
     }
 
     /// The counters as a JSON object (stable key order).
@@ -309,6 +392,14 @@ impl LayerStats {
             .with("patrol_passes", self.patrol_passes)
             .with("retransmissions", self.retransmissions)
             .with("link_failures", self.link_failures)
+            .with("flushes", self.flushes)
+            .with("fences", self.fences)
+            .with("lines_flushed", self.lines_flushed)
+            .with("log_records", self.log_records)
+            .with("log_bytes", self.log_bytes)
+            .with("torn_lines", self.torn_lines)
+            .with("recoveries", self.recoveries)
+            .with("lines_redone", self.lines_redone)
     }
 }
 
@@ -448,6 +539,13 @@ pub trait BlockDevice: Send {
     fn core_stats(&self) -> Option<CoreStats> {
         None
     }
+
+    /// The persistence domain at the bottom of the stack, when the base
+    /// was built with one. Mid-stack layers forward; volatile stacks
+    /// return `None`.
+    fn pmem_domain(&mut self) -> Option<&mut crate::pmem::PmemDomain> {
+        None
+    }
 }
 
 impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
@@ -477,6 +575,9 @@ impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
     }
     fn core_stats(&self) -> Option<CoreStats> {
         (**self).core_stats()
+    }
+    fn pmem_domain(&mut self) -> Option<&mut crate::pmem::PmemDomain> {
+        (**self).pmem_domain()
     }
 }
 
@@ -574,6 +675,11 @@ fn describe_outcome(out: &AccessOutcome) -> String {
         AccessOutcome::Verified(ok) => format!("verified {ok}"),
         AccessOutcome::Repaired { chip } => format!("repaired {chip:?}"),
         AccessOutcome::Restriped => "restriped".into(),
+        AccessOutcome::Flushed { lines } => format!("flushed {lines}"),
+        AccessOutcome::PowerLost { lost_lines } => format!("power_lost {lost_lines}"),
+        AccessOutcome::Recovered(r) => {
+            format!("recovered {} lines redone", r.lines_redone)
+        }
     }
 }
 
@@ -633,10 +739,18 @@ impl BlockDevice for ChipkillMemory {
                     .map(|_| AccessOutcome::Repaired { chip: Some(chip) }),
                 None => Ok(AccessOutcome::Repaired { chip: None }),
             },
+            // No-ops without a persistence domain; see `crate::pmem`.
+            Access::Flush => self.handle_flush(ctx),
+            Access::PowerCut => self.handle_power_cut(),
+            Access::Recover => self.handle_recover(ctx),
             Access::PatrolStep | Access::Restripe => Err(CoreError::Unsupported(access.kind())),
         };
         record_access(ctx, LayerId::Chipkill, &access, &result);
         result
+    }
+
+    fn pmem_domain(&mut self) -> Option<&mut crate::pmem::PmemDomain> {
+        self.domain.as_mut()
     }
 }
 
@@ -718,9 +832,13 @@ impl BlockDevice for BaselineMemory {
                 }
                 Ok(AccessOutcome::Verified(clean))
             }
-            Access::WriteSum { .. } | Access::PatrolStep | Access::Repair | Access::Restripe => {
-                Err(CoreError::Unsupported(access.kind()))
-            }
+            Access::WriteSum { .. }
+            | Access::PatrolStep
+            | Access::Repair
+            | Access::Restripe
+            | Access::Flush
+            | Access::PowerCut
+            | Access::Recover => Err(CoreError::Unsupported(access.kind())),
         };
         record_access(ctx, LayerId::Baseline, &access, &result);
         result
@@ -787,12 +905,20 @@ impl BlockDevice for RestripedMemory {
                 }))
             }
             Access::Verify => Ok(AccessOutcome::Verified(self.verify_consistent())),
+            // No-ops without a persistence domain; see `crate::pmem`.
+            Access::Flush => self.handle_flush(ctx),
+            Access::PowerCut => self.handle_power_cut(),
+            Access::Recover => self.handle_recover(ctx),
             Access::WriteSum { .. } | Access::PatrolStep | Access::Repair | Access::Restripe => {
                 Err(CoreError::Unsupported(access.kind()))
             }
         };
         record_access(ctx, LayerId::Restriped, &access, &result);
         result
+    }
+
+    fn pmem_domain(&mut self) -> Option<&mut crate::pmem::PmemDomain> {
+        self.domain.as_mut()
     }
 }
 

@@ -40,12 +40,21 @@ pub enum CoreError {
     /// queue or worker failure. The wrapped [`ServiceError`] is also
     /// reachable through [`std::error::Error::source`].
     Service(ServiceError),
+    /// Crash recovery could not reconstruct the durable image (corrupt
+    /// intent log or metadata). The wrapped [`RecoveryError`] is also
+    /// reachable through [`std::error::Error::source`].
+    Recovery(RecoveryError),
 }
 
 impl CoreError {
     /// A service-layer failure with no underlying cause.
     pub fn service(kind: ServiceFailure) -> Self {
         CoreError::Service(ServiceError::new(kind))
+    }
+
+    /// A recovery failure with no underlying cause.
+    pub fn recovery(kind: RecoveryFailure) -> Self {
+        CoreError::Recovery(RecoveryError::new(kind))
     }
 }
 
@@ -61,6 +70,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::LinkFailed => write!(f, "write link exhausted its retry budget"),
             CoreError::Service(e) => write!(f, "{e}"),
+            CoreError::Recovery(e) => write!(f, "{e}"),
         }
     }
 }
@@ -69,6 +79,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Service(e) => Some(e),
+            CoreError::Recovery(e) => Some(e),
             _ => None,
         }
     }
@@ -148,6 +159,86 @@ impl std::error::Error for ServiceError {
     }
 }
 
+/// How crash recovery failed (see [`CoreError::Recovery`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryFailure {
+    /// An intent-log record claims content no seal could cover.
+    UnsealedRecord,
+    /// Durable metadata failed its CRC check.
+    CrcMismatch,
+    /// A sealed log entry targets a block outside the durable image —
+    /// the torn state cannot be redone.
+    TornBlock,
+}
+
+impl fmt::Display for RecoveryFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryFailure::UnsealedRecord => write!(f, "unsealed intent-log record"),
+            RecoveryFailure::CrcMismatch => write!(f, "metadata CRC mismatch"),
+            RecoveryFailure::TornBlock => write!(f, "unrecoverable torn block"),
+        }
+    }
+}
+
+/// A crash-recovery failure: the durable image cannot be reconstructed
+/// into a decodable state. Wraps the media-level cause (when one
+/// exists) so the full chain is inspectable via
+/// [`std::error::Error::source`].
+#[derive(Debug, Clone)]
+pub struct RecoveryError {
+    kind: RecoveryFailure,
+    source: Option<std::sync::Arc<dyn std::error::Error + Send + Sync + 'static>>,
+}
+
+impl RecoveryError {
+    /// A failure with no underlying cause.
+    pub fn new(kind: RecoveryFailure) -> Self {
+        RecoveryError { kind, source: None }
+    }
+
+    /// A failure wrapping its media-level cause.
+    pub fn with_source(
+        kind: RecoveryFailure,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> Self {
+        RecoveryError {
+            kind,
+            source: Some(std::sync::Arc::new(source)),
+        }
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> RecoveryFailure {
+        self.kind
+    }
+}
+
+// Equality ignores the attached cause, matching the ServiceError
+// convention: two CRC mismatches are the same failure for assertion
+// purposes regardless of provenance.
+impl PartialEq for RecoveryError {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl Eq for RecoveryError {}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "recovery failed: {}", self.kind)
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_deref()
+            .map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
+
 /// How a read was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReadPath {
@@ -209,6 +300,9 @@ pub struct ChipkillMemory {
     pub(crate) known_failed: Option<usize>,
     disabled: HashSet<u64>,
     stats: CoreStats,
+    /// Persistence domain, when the rank backs a persistent stack.
+    /// `None` keeps the whole flush vocabulary a no-op.
+    pub(crate) domain: Option<crate::pmem::PmemDomain>,
 }
 
 impl ChipkillMemory {
@@ -248,7 +342,25 @@ impl ChipkillMemory {
             known_failed: None,
             disabled: HashSet::new(),
             stats: CoreStats::default(),
+            domain: None,
         }
+    }
+
+    /// The configuration the rank was built with.
+    pub fn config(&self) -> &ChipkillConfig {
+        &self.cfg
+    }
+
+    /// Installs a persistence domain. The caller is responsible for
+    /// issuing the initial [`crate::Access::Flush`] that seals the
+    /// first durable epoch.
+    pub fn set_domain(&mut self, domain: crate::pmem::PmemDomain) {
+        self.domain = Some(domain);
+    }
+
+    /// Removes and returns the persistence domain, if any.
+    pub fn take_domain(&mut self) -> Option<crate::pmem::PmemDomain> {
+        self.domain.take()
     }
 
     /// Capacity in blocks (rounded up to whole stripes).
@@ -363,6 +475,9 @@ impl ChipkillMemory {
     /// Drains every pending EUR register into the code arrays (a full
     /// "row close"; also required before scrubbing or measuring C).
     pub fn flush_eur(&mut self) {
+        if self.eur.occupancy() == 0 {
+            return;
+        }
         let layout = self.layout;
         let code = self.vlew.clone();
         for (c, s) in self.eur.pending_keys() {
@@ -402,8 +517,7 @@ impl ChipkillMemory {
         self.corrected_word_into(addr, &mut old72)?;
         let mut new72 = [0u8; 72];
         new72[8..].copy_from_slice(new);
-        let check = self.rs.parity(new);
-        new72[..8].copy_from_slice(&check);
+        self.rs.parity_into(new, &mut new72[..8]);
         self.commit_write(addr, &old72, &new72);
         self.eur.writes_seen += 1;
         self.stats.writes += 1;
@@ -426,7 +540,8 @@ impl ChipkillMemory {
         let off = self.layout.offset_in_stripe(addr);
         // The controller computes the check-byte sum once; each chip then
         // updates independently.
-        let check_sum = self.rs.parity(sum);
+        let mut check_sum = [0u8; 8];
+        self.rs.parity_into(sum, &mut check_sum);
         let parity_idx = self.layout.data_chips;
         for c in 0..self.layout.data_chips {
             let mut delta8 = [0u8; 8];
@@ -924,7 +1039,8 @@ impl ChipkillMemory {
                         let region = corrected[c].as_ref().expect("survivor");
                         data[c * 8..(c + 1) * 8].copy_from_slice(&region[off * 8..(off + 1) * 8]);
                     }
-                    let check = self.rs.parity(&data);
+                    let mut check = [0u8; 8];
+                    self.rs.parity_into(&data, &mut check);
                     let layout = self.layout;
                     self.chips[parity_idx]
                         .block_slice_mut(stripe, off, &layout)

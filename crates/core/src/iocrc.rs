@@ -220,6 +220,10 @@ impl<D: BlockDevice> BlockDevice for LinkProtected<D> {
         self.inner.core_stats()
     }
 
+    fn pmem_domain(&mut self) -> Option<&mut crate::pmem::PmemDomain> {
+        self.inner.pmem_domain()
+    }
+
     fn access(
         &mut self,
         access: Access,

@@ -56,6 +56,7 @@ mod engine;
 mod iocrc;
 mod layout;
 mod patrol;
+mod pmem;
 mod rank;
 mod request;
 mod restripe;
@@ -68,12 +69,16 @@ pub use baseline::{BaselineMemory, BaselineReadOutcome};
 pub use config::ChipkillConfig;
 pub use device::{
     Access, AccessContext, AccessOutcome, BlockDevice, LayerId, LayerStats, ParseLayerIdError,
-    TraceEvent,
+    RecoveryReport, TraceEvent,
 };
-pub use engine::{ChipkillMemory, CoreError, ReadOutcome, ReadPath, ServiceError, ServiceFailure};
+pub use engine::{
+    ChipkillMemory, CoreError, ReadOutcome, ReadPath, RecoveryError, RecoveryFailure, ServiceError,
+    ServiceFailure,
+};
 pub use iocrc::{crc16, BusFault, LinkProtected, TransmitOutcome, WriteLink};
 pub use layout::ChipkillLayout;
 pub use patrol::{PatrolReport, PatrolScrubber, Patrolled};
+pub use pmem::PmemDomain;
 pub use request::{Request, Response};
 pub use restripe::{Restripeable, RestripedMemory, BLOCKS_PER_GROUP};
 pub use scrub::ScrubReport;
@@ -83,3 +88,4 @@ pub use wearlevel::{WearLevelled, WearLevelledMemory};
 
 // Re-exports used in public signatures.
 pub use pmck_nvram::{ChipFailureKind, FailedChip};
+pub use pmck_pmem::{MediaStats, PmemConfig};

@@ -204,6 +204,10 @@ impl<D: BlockDevice> BlockDevice for Patrolled<D> {
         self.inner.core_stats()
     }
 
+    fn pmem_domain(&mut self) -> Option<&mut crate::pmem::PmemDomain> {
+        self.inner.pmem_domain()
+    }
+
     fn access(
         &mut self,
         access: Access,

@@ -54,6 +54,12 @@ pub enum Request {
     Repair,
     /// Reconfigure into the §V-E re-striped layout.
     Restripe,
+    /// Flush and fence every dirty line into the persistence domain.
+    Flush,
+    /// Simulate a power cut: volatile state (CPU cache + WPQ) is lost.
+    PowerCut,
+    /// Replay the intent log and rebuild runtime state from media.
+    Recover,
 }
 
 impl Request {
@@ -100,6 +106,9 @@ impl From<Request> for Access {
             Request::Verify => Access::Verify,
             Request::Repair => Access::Repair,
             Request::Restripe => Access::Restripe,
+            Request::Flush => Access::Flush,
+            Request::PowerCut => Access::PowerCut,
+            Request::Recover => Access::Recover,
         }
     }
 }
@@ -131,6 +140,18 @@ pub enum Response {
     },
     /// The device reconfigured into the re-striped layout.
     Restriped,
+    /// The flush/fence drained into the persistence domain.
+    Flushed {
+        /// Dirty lines made durable by the fence.
+        lines: u64,
+    },
+    /// The power cut discarded the listed volatile lines.
+    PowerLost {
+        /// Dirty lines that were lost with the power.
+        lost_lines: u64,
+    },
+    /// Recovery replayed the intent log and rebuilt runtime state.
+    Recovered(crate::device::RecoveryReport),
 }
 
 impl Response {
@@ -173,6 +194,22 @@ impl Response {
             _ => None,
         }
     }
+
+    /// Lines made durable, when this answers a [`Request::Flush`].
+    pub fn flushed_lines(self) -> Option<u64> {
+        match self {
+            Response::Flushed { lines } => Some(lines),
+            _ => None,
+        }
+    }
+
+    /// The recovery report, when this answers a [`Request::Recover`].
+    pub fn recovered(self) -> Option<crate::device::RecoveryReport> {
+        match self {
+            Response::Recovered(r) => Some(r),
+            _ => None,
+        }
+    }
 }
 
 impl From<AccessOutcome> for Response {
@@ -187,6 +224,9 @@ impl From<AccessOutcome> for Response {
             AccessOutcome::Verified(ok) => Response::Verified(ok),
             AccessOutcome::Repaired { chip } => Response::Repaired { chip },
             AccessOutcome::Restriped => Response::Restriped,
+            AccessOutcome::Flushed { lines } => Response::Flushed { lines },
+            AccessOutcome::PowerLost { lost_lines } => Response::PowerLost { lost_lines },
+            AccessOutcome::Recovered(r) => Response::Recovered(r),
         }
     }
 }

@@ -25,11 +25,14 @@ pub const BLOCKS_PER_GROUP: usize = 4;
 /// VLEWs stripe across the rank in 4-block groups.
 #[derive(Debug, Clone)]
 pub struct RestripedMemory {
-    data: Vec<u8>,
-    codes: Vec<u8>, // 33 B per 4-block group
-    num_blocks: u64,
-    vlew: BchCode,
-    bits_corrected: u64,
+    pub(crate) data: Vec<u8>,
+    pub(crate) codes: Vec<u8>, // 33 B per 4-block group
+    pub(crate) num_blocks: u64,
+    pub(crate) vlew: BchCode,
+    pub(crate) bits_corrected: u64,
+    /// Persistence domain, moved over from the chipkill rank at the
+    /// re-stripe transition (see `crate::pmem`).
+    pub(crate) domain: Option<crate::pmem::PmemDomain>,
 }
 
 impl RestripedMemory {
@@ -55,6 +58,7 @@ impl RestripedMemory {
             num_blocks,
             vlew,
             bits_corrected: 0,
+            domain: None,
         };
         for g in 0..groups {
             let code = out.encode_group(g);
@@ -186,7 +190,7 @@ impl RestripedMemory {
 // stack, and boxing the engine would put an indirection on every access.
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
-enum RestripeState {
+pub(crate) enum RestripeState {
     Chipkill(ChipkillMemory),
     Restriped(RestripedMemory),
     /// Transient marker while ownership moves between layouts; never
@@ -202,16 +206,25 @@ enum RestripeState {
 /// reads every block, which would otherwise pollute them).
 #[derive(Debug, Clone)]
 pub struct Restripeable {
-    state: RestripeState,
-    final_stats: Option<CoreStats>,
+    pub(crate) state: RestripeState,
+    pub(crate) final_stats: Option<CoreStats>,
+    /// Construction parameters of the wrapped rank, kept so recovery can
+    /// rebuild the chipkill layout from the durable image after a crash
+    /// cut the re-stripe transition short (see `crate::pmem`).
+    pub(crate) cfg: crate::config::ChipkillConfig,
+    pub(crate) physical_blocks: u64,
 }
 
 impl Restripeable {
     /// Wraps a live chipkill rank.
     pub fn new(rank: ChipkillMemory) -> Self {
+        let cfg = *rank.config();
+        let physical_blocks = rank.num_blocks();
         Restripeable {
             state: RestripeState::Chipkill(rank),
             final_stats: None,
+            cfg,
+            physical_blocks,
         }
     }
 
@@ -228,7 +241,7 @@ impl Restripeable {
         }
     }
 
-    fn active_mut(&mut self) -> &mut dyn BlockDevice {
+    pub(crate) fn active_mut(&mut self) -> &mut dyn BlockDevice {
         match &mut self.state {
             RestripeState::Chipkill(m) => m,
             RestripeState::Restriped(m) => m,
@@ -268,8 +281,21 @@ impl BlockDevice for Restripeable {
                     // Snapshot demand-period stats before the rebuild
                     // reads (and erasure-decodes) every block.
                     let stats = *rank.stats();
+                    // The rebuild stages the complete new image in memory
+                    // before any committed state changes: on failure the
+                    // chipkill layout stands untouched — there is no
+                    // partial transition to roll back.
                     match RestripedMemory::from_failed_rank(&mut rank) {
-                        Ok(restriped) => {
+                        Ok(mut restriped) => {
+                            restriped.domain = rank.take_domain();
+                            // Commit the layout flip through the intent
+                            // log: the re-striped image plus flipped
+                            // metadata fence as one transaction, so a
+                            // crash recovers whole-old or whole-new.
+                            // Without a domain the log is a no-op and
+                            // the in-memory swap is the whole commit —
+                            // one code path either way.
+                            restriped.commit_restripe(ctx);
                             self.state = RestripeState::Restriped(restriped);
                             self.final_stats = Some(stats);
                             ctx.trace(LayerId::Restripeable, || "restripe -> restriped".into());
@@ -287,6 +313,10 @@ impl BlockDevice for Restripeable {
                     Err(CoreError::Unsupported("restripe"))
                 }
             },
+            // Recovery may land on either side of the durable layout
+            // flip, so it is resolved here rather than by the active
+            // layout (see `crate::pmem`).
+            Access::Recover => self.recover_across(ctx),
             // Per-access stats land under the active layout's label.
             other => self.active_mut().access(other, ctx),
         }
@@ -299,6 +329,10 @@ impl BlockDevice for Restripeable {
         ctx: &mut AccessContext,
     ) -> Result<ReadPath, CoreError> {
         self.active_mut().read_into(addr, data, ctx)
+    }
+
+    fn pmem_domain(&mut self) -> Option<&mut crate::pmem::PmemDomain> {
+        self.active_mut().pmem_domain()
     }
 }
 

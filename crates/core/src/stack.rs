@@ -212,6 +212,67 @@ impl Stack {
         self.submit(&Request::Restripe).map(|_| ())
     }
 
+    /// Flushes and fences every dirty line into the persistence domain;
+    /// returns the lines made durable (0 on a volatile stack).
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::access`].
+    pub fn flush(&mut self) -> Result<u64, CoreError> {
+        match self.submit(&Request::Flush)? {
+            Response::Flushed { lines } => Ok(lines),
+            other => unreachable!("flush returned {other:?}"),
+        }
+    }
+
+    /// Simulates a power cut; returns the volatile lines lost with the
+    /// power (0 on a volatile stack).
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::access`].
+    pub fn power_cut(&mut self) -> Result<u64, CoreError> {
+        match self.submit(&Request::PowerCut)? {
+            Response::PowerLost { lost_lines } => Ok(lost_lines),
+            other => unreachable!("power_cut returned {other:?}"),
+        }
+    }
+
+    /// Replays the intent log and rebuilds runtime state from the
+    /// durable image (a no-op report on a volatile stack).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Recovery`] when the durable state is unrecoverable.
+    pub fn recover(&mut self) -> Result<crate::device::RecoveryReport, CoreError> {
+        match self.submit(&Request::Recover)? {
+            Response::Recovered(r) => Ok(r),
+            other => unreachable!("recover returned {other:?}"),
+        }
+    }
+
+    /// The persistence domain, when the stack was built with one.
+    pub fn pmem_domain(&mut self) -> Option<&mut crate::pmem::PmemDomain> {
+        self.dev.pmem_domain()
+    }
+
+    /// Arms the power-cut fuse `steps` durable chunk writes into the
+    /// future; returns whether the stack has a domain to arm.
+    pub fn arm_fuse(&mut self, steps: u64) -> bool {
+        match self.dev.pmem_domain() {
+            Some(d) => {
+                d.arm_fuse(steps);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Durable chunk writes attempted so far, when persistent.
+    pub fn pmem_steps(&mut self) -> Option<u64> {
+        self.dev.pmem_domain().map(|d| d.steps_taken())
+    }
+
     /// The chip failure detected by decode logic, if any.
     pub fn detected_failed_chip(&self) -> Option<usize> {
         self.dev.detected_failed_chip()
@@ -297,6 +358,7 @@ pub struct StackBuilder {
     wear_level: Option<u64>,
     patrol: Option<(u64, u64)>,
     link: Option<(BusFault, u32)>,
+    persistent: Option<pmck_pmem::PmemConfig>,
     seed: u64,
     trace: bool,
 }
@@ -311,6 +373,7 @@ impl StackBuilder {
             wear_level: None,
             patrol: None,
             link: None,
+            persistent: None,
             seed: 0,
             trace: false,
         }
@@ -325,6 +388,7 @@ impl StackBuilder {
             wear_level: None,
             patrol: None,
             link: None,
+            persistent: None,
             seed: 0,
             trace: false,
         }
@@ -361,6 +425,20 @@ impl StackBuilder {
         self
     }
 
+    /// Gives the stack a persistence domain: writes become durable only
+    /// at [`Stack::flush`], a [`Stack::power_cut`] discards everything
+    /// since the last flush, and [`Stack::recover`] replays the intent
+    /// log. The build itself issues one initial flush so the first
+    /// recovery has a sealed epoch to return to.
+    ///
+    /// # Panics
+    ///
+    /// [`StackBuilder::build`] panics if combined with a baseline base.
+    pub fn persistent(mut self, cfg: pmck_pmem::PmemConfig) -> Self {
+        self.persistent = Some(cfg);
+        self
+    }
+
     /// Seeds the context's fault-injection RNG (default 0).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -388,7 +466,15 @@ impl StackBuilder {
         };
         let mut dev: Box<dyn BlockDevice> = match self.base {
             BaseKind::Proposal { cfg } => {
-                let rank = ChipkillMemory::new(physical, cfg);
+                let mut rank = ChipkillMemory::new(physical, cfg);
+                if let Some(pcfg) = self.persistent {
+                    rank.set_domain(crate::pmem::PmemDomain::for_rank(
+                        rank.layout(),
+                        rank.stripes(),
+                        rank.num_blocks(),
+                        pcfg,
+                    ));
+                }
                 if self.restripeable {
                     Box::new(Restripeable::new(rank))
                 } else {
@@ -399,6 +485,10 @@ impl StackBuilder {
                 assert!(
                     !self.restripeable,
                     "re-striping is a proposal-only mechanism"
+                );
+                assert!(
+                    self.persistent.is_none(),
+                    "persistence is a proposal-only mechanism"
                 );
                 Box::new(BaselineMemory::new(physical))
             }
@@ -418,7 +508,13 @@ impl StackBuilder {
         if self.trace {
             ctx = ctx.with_trace();
         }
-        Stack::from_parts(dev, ctx)
+        let mut stack = Stack::from_parts(dev, ctx);
+        if self.persistent.is_some() {
+            // Seal the initial (all-zero) image so the first recovery
+            // has a durable epoch to return to.
+            stack.flush().expect("initial flush cannot fail");
+        }
+        stack
     }
 }
 

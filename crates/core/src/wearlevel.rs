@@ -296,11 +296,34 @@ impl<D: BlockDevice> BlockDevice for WearLevelled<D> {
                 let phys = self.physical_of(logical);
                 self.inner.access(Access::Scrub(phys), ctx)
             }),
-            // Whole-device operations are not address-translated.
-            other => self.inner.access(other, ctx),
+            // Whole-device operations are not address-translated, but
+            // ones that fence durable state must carry the current
+            // Start-Gap position down into the domain's metadata first —
+            // and recovery restores the mapping the metadata recorded.
+            other => {
+                if matches!(other, Access::Flush | Access::Restripe) {
+                    if let Some(d) = self.inner.pmem_domain() {
+                        d.set_wear(self.gap, self.start);
+                    }
+                }
+                let out = self.inner.access(other, ctx);
+                if matches!(other, Access::Recover) && out.is_ok() {
+                    if let Some(d) = self.inner.pmem_domain() {
+                        let (gap, start) = d.wear();
+                        self.gap = gap;
+                        self.start = start;
+                        self.writes_since_move = 0;
+                    }
+                }
+                out
+            }
         };
         record_access(ctx, LayerId::Wearlevel, &access, &result);
         result
+    }
+
+    fn pmem_domain(&mut self) -> Option<&mut crate::pmem::PmemDomain> {
+        self.inner.pmem_domain()
     }
 
     fn read_into(

@@ -397,6 +397,118 @@ impl Case for ChipkillErasureCase {
     }
 }
 
+/// The durable operation a [`CrashPlan`] cuts power inside.
+///
+/// Each kind names one intent-logged mutation of the persistence
+/// domain: draining the EUR at a flush, a scrub repair-in-place over a
+/// dead chip, a batch of Start-Gap moves, or the §V-E re-stripe layout
+/// flip. The campaign driver owns the mapping from kind to concrete
+/// request sequence; this type only carries the name through JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashOp {
+    /// Writes that populate the EUR, then the flush that drains it.
+    EurDrain,
+    /// A chip failure followed by scrub repair-in-place, then a flush.
+    Repair,
+    /// Writes that trigger Start-Gap moves, then a flush.
+    StartGap,
+    /// A chip failure checkpointed durably, then the re-stripe flip.
+    Restripe,
+}
+
+impl CrashOp {
+    /// Every operation the campaign covers.
+    pub const ALL: [CrashOp; 4] = [
+        CrashOp::EurDrain,
+        CrashOp::Repair,
+        CrashOp::StartGap,
+        CrashOp::Restripe,
+    ];
+
+    /// Stable corpus name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashOp::EurDrain => "eur-drain",
+            CrashOp::Repair => "repair",
+            CrashOp::StartGap => "start-gap",
+            CrashOp::Restripe => "restripe",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        CrashOp::ALL.into_iter().find(|op| op.name() == name)
+    }
+}
+
+/// One power-cut point inside a durable operation; the case shape for
+/// the crash-recovery campaign.
+///
+/// `cut_step` indexes the fuse budget: the number of durable 8-byte
+/// chunk writes that succeed before the media dies silently. The
+/// campaign maps it into the operation's measured step space —
+/// `from_end` anchors it to the *end* of the operation (`cut_step = 1`
+/// with `from_end` cuts just before the final chunk, i.e. a torn
+/// map-commit), which is how crafted corpus entries pin the dangerous
+/// tail of a re-stripe regardless of the exact step count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// The durable operation under test.
+    pub op: CrashOp,
+    /// Workload seed (block fill pattern, stack RNG streams).
+    pub seed: u64,
+    /// Raw cut coordinate, mapped modulo the operation's step count.
+    pub cut_step: u64,
+    /// Anchor `cut_step` to the end of the operation instead of the
+    /// start.
+    pub from_end: bool,
+}
+
+impl Case for CrashPlan {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("op", self.op.name())
+            .with("seed", self.seed)
+            .with("cut_step", self.cut_step)
+            .with("from_end", self.from_end)
+    }
+
+    fn from_json(value: &Json) -> Option<Self> {
+        Some(CrashPlan {
+            op: CrashOp::from_name(value.get("op")?.as_str()?)?,
+            seed: value.get("seed")?.as_u64()?,
+            cut_step: value.get("cut_step")?.as_u64()?,
+            from_end: value.get("from_end")?.as_bool()?,
+        })
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // The op and seed define the scenario; only the cut coordinate
+        // shrinks, toward the start of the operation.
+        if self.from_end {
+            out.push(CrashPlan {
+                from_end: false,
+                ..self.clone()
+            });
+        }
+        if self.cut_step != 0 {
+            out.push(CrashPlan {
+                cut_step: 0,
+                ..self.clone()
+            });
+            out.push(CrashPlan {
+                cut_step: self.cut_step / 2,
+                ..self.clone()
+            });
+            out.push(CrashPlan {
+                cut_step: self.cut_step - 1,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
 /// An arbitrary JSON value tree; the case shape for `pmck_rt::json`
 /// round-trip properties.
 #[derive(Debug, Clone, PartialEq)]
@@ -612,6 +724,25 @@ mod tests {
             .filter(|c| c.errors.len() == 2)
             .count();
         assert_eq!(two_error_candidates, 3);
+    }
+
+    #[test]
+    fn crash_plan_round_trips_and_shrinks_toward_the_start() {
+        let case = CrashPlan {
+            op: CrashOp::Restripe,
+            seed: 9,
+            cut_step: 40,
+            from_end: true,
+        };
+        assert_eq!(CrashPlan::from_json(&case.to_json()), Some(case.clone()));
+        let shrunk = case.shrink();
+        assert!(shrunk.iter().any(|c| !c.from_end));
+        assert!(shrunk.iter().any(|c| c.cut_step == 0));
+        assert!(shrunk.iter().any(|c| c.cut_step == 20));
+        // Unknown op names are rejected, not defaulted.
+        let mut bad = case.to_json();
+        bad.set("op", "warp-core");
+        assert_eq!(CrashPlan::from_json(&bad), None);
     }
 
     #[test]

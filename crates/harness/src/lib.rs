@@ -47,7 +47,8 @@ pub mod oracle;
 pub mod runner;
 
 pub use cases::{
-    BitFlipCase, ByteErrorCase, ChipkillErasureCase, ErasureCase, FieldPairCase, JsonCase,
+    BitFlipCase, ByteErrorCase, ChipkillErasureCase, CrashOp, CrashPlan, ErasureCase,
+    FieldPairCase, JsonCase,
 };
 pub use oracle::{
     diff_bch, diff_rs_erasures, ref_bch_decode, ref_rs_erasure_decode, RefBchOutcome, RefRsOutcome,

@@ -131,12 +131,27 @@ impl RsCode {
     ///
     /// Panics if `data.len() != k`.
     pub fn parity(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; self.r];
+        self.parity_into(data, &mut out);
+        out
+    }
+
+    /// Computes the `r` check bytes for `data` into `out`, without
+    /// allocating. The LFSR register lives on the stack (`n ≤ 255`, so
+    /// `r < 255` always fits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k` or `out.len() != r`.
+    pub fn parity_into(&self, data: &[u8], out: &mut [u8]) {
         assert_eq!(data.len(), self.k, "need exactly {} data bytes", self.k);
+        assert_eq!(out.len(), self.r, "parity buffer length mismatch");
         // Synthetic LFSR division: process data from the highest degree
         // (last byte of `data` = degree n−1) down.
         let f = &self.field;
         let g = self.generator.coeffs(); // g[r] == 1
-        let mut reg = vec![0u32; self.r];
+        let mut reg_buf = [0u32; 255];
+        let reg = &mut reg_buf[..self.r];
         for &byte in data.iter().rev() {
             let feedback = reg[self.r - 1] ^ byte as u32;
             for i in (1..self.r).rev() {
@@ -144,7 +159,9 @@ impl RsCode {
             }
             reg[0] = f.mul(feedback, g[0]);
         }
-        reg.iter().map(|&v| v as u8).collect()
+        for (o, &v) in out.iter_mut().zip(reg.iter()) {
+            *o = v as u8;
+        }
     }
 
     /// Extracts the `k` data bytes from a codeword.

@@ -306,6 +306,11 @@ fn merge_broadcast(acc: &mut Result<Response, CoreError>, next: Result<Response,
             (Response::Repaired { chip: a }, Response::Repaired { chip: b }) if a.is_none() => {
                 *a = b;
             }
+            (Response::Flushed { lines: a }, Response::Flushed { lines: b }) => *a += b,
+            (Response::PowerLost { lost_lines: a }, Response::PowerLost { lost_lines: b }) => {
+                *a += b;
+            }
+            (Response::Recovered(a), Response::Recovered(b)) => a.merge(&b),
             // Identical unit responses (Written/Scrubbed/Restriped):
             // the first one already says it all.
             _ => {}
@@ -412,6 +417,45 @@ mod tests {
             .unwrap();
         assert_eq!(r.blocks_scrubbed, 64);
         assert!(r.completed_pass);
+    }
+
+    #[test]
+    fn flush_cut_recover_broadcasts_sum_across_persistent_shards() {
+        let mut svc = ShardedService::new(4, 11, |_, s| {
+            StackBuilder::proposal(16, ChipkillConfig::default())
+                .persistent(pmck_core::PmemConfig::default())
+                .seed(s)
+                .build()
+        });
+        let writes: Vec<Request> = (0..64u64)
+            .map(|a| Request::Write {
+                addr: a,
+                data: [a as u8 ^ 0x5a; 64],
+            })
+            .collect();
+        for r in svc.submit_batch(&writes) {
+            assert_eq!(r, Ok(Response::Written));
+        }
+        let flushed = svc
+            .submit(&Request::Flush)
+            .unwrap()
+            .flushed_lines()
+            .unwrap();
+        assert!(flushed > 0, "dirty writes must flush lines");
+        // Everything is fenced, so a power cut loses nothing...
+        let lost = match svc.submit(&Request::PowerCut).unwrap() {
+            Response::PowerLost { lost_lines } => lost_lines,
+            other => panic!("expected PowerLost, got {other:?}"),
+        };
+        assert_eq!(lost, 0);
+        let rec = svc.submit(&Request::Recover).unwrap().recovered().unwrap();
+        assert!(!rec.restriped);
+        // ...and every block reads back clean after recovery.
+        let reads: Vec<Request> = (0..64u64).map(Request::Read).collect();
+        for (a, r) in svc.submit_batch(&reads).into_iter().enumerate() {
+            let out = r.unwrap().read().unwrap();
+            assert_eq!(out.data, [a as u8 ^ 0x5a; 64], "block {a}");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | [`nvram`] | `pmck-nvram` | RBER retention curves, error injection |
 //! | [`memsim`] | `pmck-memsim` | bank-timing memory controller + EUR |
 //! | [`cachesim`] | `pmck-cachesim` | SAM/OMV LLC hierarchy |
+//! | [`pmem`] | `pmck-pmem` | persistent media: flush/fence epochs, intent log |
 //! | [`chipkill`] | `pmck-core` | **the proposal**: boot scrub + runtime path |
 //! | [`service`] | `pmck-service` | sharded multi-threaded memory service front end |
 //! | [`workloads`] | `pmck-workloads` | WHISPER/SPLASH-style trace generators |
@@ -43,6 +44,7 @@ pub use pmck_core as chipkill;
 pub use pmck_gf as gf;
 pub use pmck_memsim as memsim;
 pub use pmck_nvram as nvram;
+pub use pmck_pmem as pmem;
 pub use pmck_rs as rs;
 pub use pmck_rt as rt;
 pub use pmck_service as service;

@@ -14,7 +14,9 @@
 //! merged broadcast response, on the summed [`CoreStats`], and on the
 //! final contents of every block.
 
-use pmck::chipkill::{ChipkillConfig, CoreStats, Request, Response, Stack, StackBuilder};
+use pmck::chipkill::{
+    ChipkillConfig, CoreStats, PmemConfig, Request, Response, Stack, StackBuilder,
+};
 use pmck::rt::rng::{stream_seed, Rng, StdRng};
 use pmck::service::ShardedService;
 
@@ -107,6 +109,16 @@ fn merge(a: Response, b: Response) -> Response {
             Response::Injected { bits: x + y }
         }
         (Response::Verified(x), Response::Verified(y)) => Response::Verified(x & y),
+        (Response::Flushed { lines: x }, Response::Flushed { lines: y }) => {
+            Response::Flushed { lines: x + y }
+        }
+        (Response::PowerLost { lost_lines: x }, Response::PowerLost { lost_lines: y }) => {
+            Response::PowerLost { lost_lines: x + y }
+        }
+        (Response::Recovered(mut x), Response::Recovered(y)) => {
+            x.merge(&y);
+            Response::Recovered(x)
+        }
         (first, _) => first,
     }
 }
@@ -154,6 +166,90 @@ fn four_shard_service_matches_sequential_replay() {
 
         // ...and so does every block's final content (compared after
         // the stats, since reads bump counters on both sides alike).
+        for (shard, seq_stack) in stacks.iter_mut().enumerate() {
+            for local in 0..seq_stack.num_blocks() {
+                let svc_data = svc.with_shard(shard, |stack| {
+                    let mut buf = [0u8; 64];
+                    stack.read_into(local, &mut buf).map(|_| buf)
+                });
+                let mut buf = [0u8; 64];
+                let seq_data = seq_stack.read_into(local, &mut buf).map(|_| buf);
+                assert_eq!(
+                    svc_data, seq_data,
+                    "seed {seed}: shard {shard} block {local} contents diverged"
+                );
+            }
+        }
+        svc.shutdown();
+    }
+}
+
+/// The persistent variant: a 4-shard service over `StackBuilder::persistent`
+/// stacks, with `Flush`/`PowerCut`/`Recover` broadcasts mixed into the
+/// campaign, stays bit-identical to sequential per-shard replay. Power
+/// cuts roll unflushed writes back to the last fence on both sides, so
+/// the merged broadcast responses, the summed counters, and the final
+/// block contents must all agree exactly.
+#[test]
+fn persistent_shard_broadcasts_match_sequential_replay() {
+    for seed in [5u64, 77] {
+        let build = |blocks: u64, s: u64| -> Stack {
+            StackBuilder::proposal(blocks, ChipkillConfig::default())
+                .persistent(PmemConfig::default())
+                .seed(s)
+                .build()
+        };
+        let mut svc = ShardedService::new(SHARDS, seed, |_, s| build(BLOCKS_PER_SHARD, s));
+        let mut stacks: Vec<Stack> = (0..SHARDS)
+            .map(|s| build(BLOCKS_PER_SHARD, stream_seed(seed, s as u64)))
+            .collect();
+        let total = svc.num_blocks();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1_0E5);
+        for round in 0..30 {
+            let mut batch = Vec::with_capacity(BATCH + 2);
+            for _ in 0..BATCH {
+                let addr = rng.gen_range(0..total);
+                batch.push(match rng.gen_range(0u32..6) {
+                    0..=2 => {
+                        let mut data = [0u8; 64];
+                        rng.fill_bytes(&mut data[..]);
+                        Request::Write { addr, data }
+                    }
+                    3..=4 => Request::Read(addr),
+                    _ => Request::Scrub(addr),
+                });
+            }
+            if round % 3 == 1 {
+                batch.push(Request::Flush);
+            }
+            if round % 7 == 5 {
+                // Cut power and immediately recover: writes since the
+                // last flush are rolled back identically on both sides.
+                batch.push(Request::PowerCut);
+                batch.push(Request::Recover);
+            }
+            let got = svc.submit_batch(&batch);
+            let want = replay_batch(&mut stacks, &batch);
+            for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                assert_eq!(
+                    g, w,
+                    "seed {seed} round {round} request {i}: {:?}",
+                    batch[i]
+                );
+            }
+        }
+
+        let svc_stats = svc.core_stats().expect("chipkill base");
+        let mut seq_stats = CoreStats::default();
+        for stack in &stacks {
+            seq_stats.merge(&stack.core_stats().expect("chipkill base"));
+        }
+        assert_eq!(
+            svc_stats, seq_stats,
+            "seed {seed}: summed CoreStats diverged"
+        );
+
         for (shard, seq_stack) in stacks.iter_mut().enumerate() {
             for local in 0..seq_stack.num_blocks() {
                 let svc_data = svc.with_shard(shard, |stack| {

@@ -3,6 +3,7 @@
 
 use pmck_gf::{BitPoly, FieldPoly, Gf2m};
 
+use crate::chien::ChienPlan;
 use crate::error::BchError;
 use crate::syndrome::SyndromePlan;
 
@@ -38,6 +39,8 @@ pub struct BchCode {
     pub(crate) generator: BitPoly,
     /// Byte-sliced syndrome evaluation plan (the decode hot-path kernel).
     pub(crate) plan: SyndromePlan,
+    /// Bit-sliced Chien search plan (64 candidate positions per step).
+    pub(crate) chien: ChienPlan,
 }
 
 impl BchCode {
@@ -62,6 +65,7 @@ impl BchCode {
             return Err(BchError::CodeTooLong(k + r, natural));
         }
         let plan = SyndromePlan::new(&field, t);
+        let chien = ChienPlan::new(&field, t, k + r);
         Ok(BchCode {
             field,
             t,
@@ -69,6 +73,7 @@ impl BchCode {
             r,
             generator,
             plan,
+            chien,
         })
     }
 

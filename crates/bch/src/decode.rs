@@ -1,9 +1,47 @@
-//! BCH decoding: syndromes, Berlekamp–Massey, Chien search.
+//! BCH decoding: syndromes, Berlekamp–Massey, bit-sliced Chien search,
+//! and an opt-in beyond-bound list decoder.
+//!
+//! The decoder is allocation-free on the hot path: syndromes, the BM
+//! polynomials, the Chien plane accumulators, and the corrected-position
+//! list all live in a reusable [`BchScratch`]. The `*_scratch` entry
+//! points take an explicit scratch and return [`BchDecodeView`] slices
+//! into it; the classic [`BchCode::decode`] borrows a per-thread pooled
+//! scratch, so it too stops allocating internally once warm (only the
+//! owned [`DecodeOutcome`] is heap-backed). [`BchCode::decode_batch`]
+//! runs many words through one scratch so scrub and patrol sweeps keep
+//! the plan tables hot and share every buffer.
+//!
+//! Correction is verified without re-reducing the whole word: a decode
+//! proposing flips at positions `P` is valid iff the syndromes of the
+//! error pattern match the received syndromes (`S_j(e) == S_j(r)` for
+//! all `2t` of them — syndromes exactly characterize codeword
+//! membership), which costs `deg·t` table lookups instead of another
+//! 2312-bit polynomial reduction.
+
+use std::cell::RefCell;
 
 use pmck_gf::BitPoly;
 
 use crate::code::BchCode;
 use crate::error::BchError;
+
+/// How far a decode is allowed to reach.
+///
+/// `Bounded` is the classic Berlekamp–Massey bounded-distance decoder:
+/// up to `t` errors, miscorrection behavior identical to the PGZ
+/// reference oracle. `BeyondBound` additionally runs an unraveling-style
+/// list decoder when the bounded decode rejects: it re-decodes the same
+/// syndromes under every single-position pre-flip hypothesis, correcting
+/// weight `t+1` patterns when exactly one candidate codeword emerges and
+/// rejecting (never guessing) when the list is empty or ambiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DecodePolicy {
+    /// Bounded-distance decoding only: up to `t` errors.
+    #[default]
+    Bounded,
+    /// Bounded first, then the unraveling list fallback at radius `t+1`.
+    BeyondBound,
+}
 
 /// The result of a successful [`BchCode::decode`] call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,13 +67,157 @@ impl DecodeOutcome {
     }
 }
 
+/// A view of a successful decode, borrowing the scratch it ran in.
+///
+/// All accessors return slices into the scratch — no heap allocation.
+/// Convert with [`BchDecodeView::to_outcome`] when the result must
+/// outlive the scratch borrow.
+#[derive(Debug, Clone, Copy)]
+pub struct BchDecodeView<'s> {
+    corrected: &'s [usize],
+    t: usize,
+}
+
+impl BchDecodeView<'_> {
+    /// The bit positions that were flipped to restore the codeword,
+    /// ascending. Empty when the word was already clean.
+    pub fn corrected_bits(&self) -> &[usize] {
+        self.corrected
+    }
+
+    /// The number of corrected bit errors.
+    pub fn num_corrected(&self) -> usize {
+        self.corrected.len()
+    }
+
+    /// Whether the received word was already a valid codeword.
+    pub fn was_clean(&self) -> bool {
+        self.corrected.is_empty()
+    }
+
+    /// Whether the correction exceeded the bounded-distance radius `t`,
+    /// i.e. only the beyond-bound list decoder could have produced it.
+    pub fn beyond_bound(&self) -> bool {
+        self.corrected.len() > self.t
+    }
+
+    /// Copies the view into an owned [`DecodeOutcome`].
+    pub fn to_outcome(&self) -> DecodeOutcome {
+        DecodeOutcome {
+            corrected: self.corrected.to_vec(),
+        }
+    }
+}
+
+/// The per-word verdict of a [`BchCode::decode_batch`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// The word was already a valid codeword; untouched.
+    Clean,
+    /// `bits` bit flips restored the codeword in place. `beyond_bound`
+    /// marks corrections only the list fallback could reach.
+    Corrected {
+        /// Number of bits flipped.
+        bits: usize,
+        /// Whether the correction exceeded the bounded radius `t`.
+        beyond_bound: bool,
+    },
+    /// The pattern was rejected; the word is untouched.
+    Uncorrectable,
+}
+
+impl BatchOutcome {
+    /// The number of bits corrected (zero for clean and uncorrectable
+    /// words).
+    pub fn bits_corrected(&self) -> usize {
+        match self {
+            BatchOutcome::Corrected { bits, .. } => *bits,
+            _ => 0,
+        }
+    }
+
+    /// Whether the word was already clean.
+    pub fn was_clean(&self) -> bool {
+        matches!(self, BatchOutcome::Clean)
+    }
+
+    /// Whether the word was rejected as uncorrectable.
+    pub fn is_uncorrectable(&self) -> bool {
+        matches!(self, BatchOutcome::Uncorrectable)
+    }
+}
+
+/// Reusable decoder working memory, sized once for a given code so that
+/// every subsequent decode is heap-allocation-free (the batch-outcome
+/// buffer grows to the largest batch seen, then stays).
+///
+/// A scratch built for one `(m, t, k)` geometry works for any
+/// [`BchCode`] with the same geometry. Build one per decoding context
+/// (engine, bench loop, test) and reuse it across calls.
+#[derive(Debug, Clone)]
+pub struct BchScratch {
+    /// Received-word syndromes `S_1..S_2t` (`synd[j-1] = S_j`).
+    synd: Vec<u32>,
+    /// Error-pattern syndromes for the algebraic verification step.
+    esynd: Vec<u32>,
+    /// Error-locator polynomial σ (index = degree).
+    sigma: Vec<u32>,
+    /// BM correction polynomial B.
+    bm_b: Vec<u32>,
+    /// BM save buffer (old σ during length changes).
+    bm_saved: Vec<u32>,
+    /// Bit-sliced Chien plane accumulators (`t·m` words).
+    acc: Vec<u64>,
+    /// Corrected positions, ascending (≤ t+1 entries).
+    positions: Vec<usize>,
+    /// First list-decode candidate pattern (≤ t+1 entries).
+    candidate: Vec<usize>,
+    /// List-decode trial syndromes under a pre-flip hypothesis.
+    trial: Vec<u32>,
+    /// Incremental `α^{j·p}` state per odd `j` for trial syndromes.
+    xj: Vec<u32>,
+    /// Per-word verdicts of the last batch decode.
+    outcomes: Vec<BatchOutcome>,
+}
+
+impl BchScratch {
+    /// A scratch sized for `code`'s geometry.
+    pub fn new(code: &BchCode) -> Self {
+        let t2 = 2 * code.t;
+        BchScratch {
+            synd: vec![0; t2],
+            esynd: vec![0; t2],
+            sigma: vec![0; t2 + 1],
+            bm_b: vec![0; t2 + 1],
+            bm_saved: vec![0; t2 + 1],
+            acc: vec![0; code.chien.acc_len()],
+            positions: Vec::with_capacity(code.t + 1),
+            candidate: Vec::with_capacity(code.t + 1),
+            trial: vec![0; t2],
+            xj: vec![0; code.t],
+            outcomes: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch pool backing the classic (scratch-less) decode
+    /// API, keyed by code geometry. The few geometries in play per
+    /// thread make a linear scan cheaper than any map.
+    static SCRATCH_POOL: RefCell<Vec<(u32, usize, usize, BchScratch)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
 impl BchCode {
     /// Decodes `word` in place: computes syndromes, runs Berlekamp–Massey
-    /// to find the error-locator polynomial, locates errors via Chien
-    /// search, and flips the erroneous bits.
+    /// to find the error-locator polynomial, locates errors via the
+    /// bit-sliced Chien search, and flips the erroneous bits.
     ///
     /// On success returns which bits were corrected. Patterns of up to
     /// [`BchCode::t`] bit errors are always corrected exactly.
+    ///
+    /// Borrows a per-thread pooled scratch; use
+    /// [`BchCode::decode_scratch`] to control the scratch explicitly.
     ///
     /// # Errors
     ///
@@ -45,37 +227,116 @@ impl BchCode {
     ///   Note that, as with any bounded-distance decoder, patterns of more
     ///   than `t` errors may also *miscorrect* silently.
     pub fn decode(&self, word: &mut BitPoly) -> Result<DecodeOutcome, BchError> {
-        if word.len() != self.len() {
-            return Err(BchError::LengthMismatch(word.len(), self.len()));
+        self.with_pooled_scratch(|code, scratch| {
+            code.decode_scratch(word, scratch).map(|v| v.to_outcome())
+        })
+    }
+
+    /// As [`BchCode::decode`], but running in the caller's `scratch` and
+    /// returning a slice view into it. Performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// As [`BchCode::decode`].
+    pub fn decode_scratch<'s>(
+        &self,
+        word: &mut BitPoly,
+        scratch: &'s mut BchScratch,
+    ) -> Result<BchDecodeView<'s>, BchError> {
+        self.decode_core(word, scratch)?;
+        Ok(BchDecodeView {
+            corrected: &scratch.positions,
+            t: self.t,
+        })
+    }
+
+    /// Decodes `word` with the unraveling-style list fallback: the
+    /// bounded-distance decode runs first, and when it rejects, every
+    /// single-position pre-flip hypothesis is re-decoded on adjusted
+    /// syndromes. A weight-`t+1` pattern is corrected iff exactly one
+    /// candidate codeword emerges; an empty or ambiguous list rejects.
+    ///
+    /// Within radius `t+1` this never miscorrects: the true codeword is
+    /// always in the list (any correct guess reduces the residual to
+    /// weight `t`), so a wrong unique candidate cannot exist. The cost is
+    /// `n` Berlekamp–Massey runs on the failure path (~ms-scale for the
+    /// VLEW), which is why the policy is an opt-in recovery knob rather
+    /// than the default.
+    ///
+    /// # Errors
+    ///
+    /// As [`BchCode::decode`]; [`BchError::Uncorrectable`] now also means
+    /// the list was empty or ambiguous.
+    pub fn decode_beyond_bound_scratch<'s>(
+        &self,
+        word: &mut BitPoly,
+        scratch: &'s mut BchScratch,
+    ) -> Result<BchDecodeView<'s>, BchError> {
+        match self.decode_core(word, scratch) {
+            Ok(()) => {}
+            Err(BchError::Uncorrectable) => self.list_decode_core(word, scratch)?,
+            Err(e) => return Err(e),
         }
-        let mut syndromes = vec![0u32; 2 * self.t];
-        if self.syndromes_into(word, &mut syndromes) {
-            return Ok(DecodeOutcome { corrected: vec![] });
+        Ok(BchDecodeView {
+            corrected: &scratch.positions,
+            t: self.t,
+        })
+    }
+
+    /// Decodes every word of `words` in place through one shared
+    /// `scratch`, returning one [`BatchOutcome`] per word (same order).
+    /// Boot scrubs and patrol sweeps use this to amortize table walks:
+    /// the plan tables stay hot across the batch and no per-word state is
+    /// re-allocated. Equivalent to [`BchCode::decode_scratch`] per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any word is not `n` bits long (a batch is homogeneous by
+    /// construction; per-word length errors would mask caller bugs).
+    pub fn decode_batch<'s>(
+        &self,
+        words: &mut [BitPoly],
+        scratch: &'s mut BchScratch,
+    ) -> &'s [BatchOutcome] {
+        self.decode_batch_policy(words, DecodePolicy::Bounded, scratch)
+    }
+
+    /// As [`BchCode::decode_batch`], with the decode reach selected by
+    /// `policy` (see [`DecodePolicy`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`BchCode::decode_batch`].
+    pub fn decode_batch_policy<'s>(
+        &self,
+        words: &mut [BitPoly],
+        policy: DecodePolicy,
+        scratch: &'s mut BchScratch,
+    ) -> &'s [BatchOutcome] {
+        for w in words.iter_mut() {
+            assert_eq!(w.len(), self.len(), "batch word length mismatch");
+            let res = match policy {
+                DecodePolicy::Bounded => self.decode_core(w, scratch),
+                DecodePolicy::BeyondBound => match self.decode_core(w, scratch) {
+                    Err(BchError::Uncorrectable) => self.list_decode_core(w, scratch),
+                    other => other,
+                },
+            };
+            let outcome = match res {
+                Ok(()) if scratch.positions.is_empty() => BatchOutcome::Clean,
+                Ok(()) => BatchOutcome::Corrected {
+                    bits: scratch.positions.len(),
+                    beyond_bound: scratch.positions.len() > self.t,
+                },
+                Err(_) => BatchOutcome::Uncorrectable,
+            };
+            scratch.outcomes.push(outcome);
         }
-        let sigma = self.berlekamp_massey(&syndromes);
-        let deg = sigma.len() - 1;
-        if deg == 0 || deg > self.t {
-            return Err(BchError::Uncorrectable);
-        }
-        let locations = self.chien_search(&sigma);
-        if locations.len() != deg {
-            return Err(BchError::Uncorrectable);
-        }
-        for &loc in &locations {
-            word.flip(loc);
-        }
-        // A correct decode must yield a valid codeword; a miscorrection of
-        // an overweight pattern can still land on a codeword (that is what
-        // SDC is), but landing off-codeword means the decode failed.
-        if !self.is_codeword(word) {
-            for &loc in &locations {
-                word.flip(loc);
-            }
-            return Err(BchError::Uncorrectable);
-        }
-        let mut corrected = locations;
-        corrected.sort_unstable();
-        Ok(DecodeOutcome { corrected })
+        // Keep only this batch's verdicts: drain older ones from the
+        // front so the buffer's capacity is reused, not regrown.
+        let start = scratch.outcomes.len() - words.len();
+        scratch.outcomes.drain(..start);
+        &scratch.outcomes
     }
 
     /// Computes the 2t syndromes `S_j = r(alpha^j)`, `j = 1..=2t`.
@@ -84,6 +345,9 @@ impl BchCode {
     /// `alpha^j`, then evaluate the short remainder) and exploits the
     /// binary-code identity `S_{2j} = S_j^2`: only odd syndromes are
     /// evaluated directly.
+    ///
+    /// Allocates the result; every internal decode path uses
+    /// [`BchCode::syndromes_into`] instead.
     ///
     /// # Panics
     ///
@@ -106,14 +370,207 @@ impl BchCode {
         self.plan.syndromes_into(&self.field, word, out)
     }
 
-    /// Berlekamp–Massey: returns the error-locator polynomial sigma as a
-    /// coefficient vector (index = degree, `sigma[0] == 1`).
-    fn berlekamp_massey(&self, s: &[u32]) -> Vec<u32> {
+    /// Runs `f` with the pooled scratch for this code's geometry,
+    /// creating it on the thread's first decode of this geometry.
+    fn with_pooled_scratch<T>(&self, f: impl FnOnce(&BchCode, &mut BchScratch) -> T) -> T {
+        let key = (self.field.degree(), self.t, self.k);
+        SCRATCH_POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            let idx = match pool.iter().position(|&(m, t, k, _)| (m, t, k) == key) {
+                Some(i) => i,
+                None => {
+                    pool.push((key.0, key.1, key.2, BchScratch::new(self)));
+                    pool.len() - 1
+                }
+            };
+            f(self, &mut pool[idx].3)
+        })
+    }
+
+    /// The bounded-distance decode engine. On `Ok(())` the word has been
+    /// corrected and verified and `scratch.positions` holds the flipped
+    /// positions ascending (empty for a clean word); on error the word is
+    /// unmodified. `scratch.synd` holds the received syndromes whenever
+    /// the length check passed.
+    fn decode_core(&self, word: &mut BitPoly, scratch: &mut BchScratch) -> Result<(), BchError> {
+        if word.len() != self.len() {
+            return Err(BchError::LengthMismatch(word.len(), self.len()));
+        }
+        scratch.positions.clear();
+        // Fast path: a clean word exits before any locator machinery.
+        if self.syndromes_into(word, &mut scratch.synd) {
+            return Ok(());
+        }
+        let deg = self.berlekamp_massey_into(scratch);
+        if deg == 0 || deg > self.t {
+            return Err(BchError::Uncorrectable);
+        }
+        let found = self.chien.search(
+            &self.field,
+            &scratch.sigma[..=deg],
+            &mut scratch.acc,
+            &mut scratch.positions,
+        );
+        if found != deg {
+            scratch.positions.clear();
+            return Err(BchError::Uncorrectable);
+        }
+        // A correct decode must yield a valid codeword; landing
+        // off-codeword means the decode failed. Verified algebraically:
+        // the flipped word is a codeword iff the error pattern's
+        // syndromes equal the received ones.
+        if !self.error_syndromes_match(&scratch.positions, &scratch.synd, &mut scratch.esynd) {
+            scratch.positions.clear();
+            return Err(BchError::Uncorrectable);
+        }
+        for &p in &scratch.positions {
+            word.flip(p);
+        }
+        Ok(())
+    }
+
+    /// The unraveling list decoder, run after a bounded-distance reject
+    /// (`scratch.synd` holds the received syndromes). For every position
+    /// `p`, the syndromes are adjusted by `α^{j·p}` (hypothesizing an
+    /// error there) and re-decoded; each success yields a candidate
+    /// pattern of weight `t+1`. Exactly one distinct candidate corrects;
+    /// none or several reject with the word unmodified.
+    fn list_decode_core(
+        &self,
+        word: &mut BitPoly,
+        scratch: &mut BchScratch,
+    ) -> Result<(), BchError> {
         let f = &self.field;
+        let t2 = 2 * self.t;
+        scratch.candidate.clear();
+        scratch.xj.fill(1); // α^{j·0} for every odd j
+        let mut found = false;
+        for p in 0..self.len() {
+            // Trial syndromes S'_j = S_j + α^{j·p}: odd from the
+            // incremental state, even via the Frobenius square (squaring
+            // distributes over the XOR adjustment).
+            for i in 0..self.t {
+                scratch.trial[2 * i] = scratch.synd[2 * i] ^ scratch.xj[i];
+            }
+            for j in (2..=t2).step_by(2) {
+                scratch.trial[j - 1] = f.square(scratch.trial[j / 2 - 1]);
+            }
+            if self.trial_decode(p, scratch) {
+                // `positions` now holds the candidate pattern (the guess
+                // merged with the residual roots), weight t+1.
+                if !found {
+                    found = true;
+                    std::mem::swap(&mut scratch.candidate, &mut scratch.positions);
+                } else if scratch.candidate != scratch.positions {
+                    // Two distinct codewords within radius t+1: refusing
+                    // to guess is the whole point of the uniqueness rule.
+                    scratch.positions.clear();
+                    return Err(BchError::Uncorrectable);
+                }
+            }
+            // Advance α^{j·p} → α^{j·(p+1)} for every odd j.
+            for (i, x) in scratch.xj.iter_mut().enumerate() {
+                *x = f.mul(*x, f.alpha_pow(2 * i as u64 + 1));
+            }
+        }
+        if !found {
+            scratch.positions.clear();
+            return Err(BchError::Uncorrectable);
+        }
+        std::mem::swap(&mut scratch.candidate, &mut scratch.positions);
+        for &p in &scratch.positions {
+            word.flip(p);
+        }
+        Ok(())
+    }
+
+    /// One list-decode trial: BM + Chien + verification on the adjusted
+    /// syndromes in `scratch.trial`, with the guess position `p` merged
+    /// in. On `true`, `scratch.positions` holds the sorted candidate
+    /// pattern of weight `deg + 1 = t + 1`.
+    fn trial_decode(&self, p: usize, scratch: &mut BchScratch) -> bool {
+        // An all-zero trial would mean a weight-1 pattern explains the
+        // word — impossible after a bounded reject, which is complete
+        // within radius t.
+        if scratch.trial.iter().all(|&s| s == 0) {
+            debug_assert!(false, "weight-1 residual after a bounded reject");
+            return false;
+        }
+        let deg = {
+            // BM runs on the trial syndromes: swap them into place so
+            // `berlekamp_massey_into` reads its usual buffer.
+            std::mem::swap(&mut scratch.synd, &mut scratch.trial);
+            let deg = self.berlekamp_massey_into(scratch);
+            std::mem::swap(&mut scratch.synd, &mut scratch.trial);
+            deg
+        };
+        if deg == 0 || deg > self.t {
+            return false;
+        }
+        scratch.positions.clear();
+        let found = self.chien.search(
+            &self.field,
+            &scratch.sigma[..=deg],
+            &mut scratch.acc,
+            &mut scratch.positions,
+        );
+        if found != deg {
+            return false;
+        }
+        if !self.error_syndromes_match(&scratch.positions, &scratch.trial, &mut scratch.esynd) {
+            return false;
+        }
+        // The residual containing the guess itself would collapse to a
+        // weight ≤ t pattern for the original syndromes — impossible
+        // after a bounded reject; drop it defensively.
+        if scratch.positions.contains(&p) {
+            debug_assert!(false, "guess position re-appeared as a residual root");
+            return false;
+        }
+        scratch.positions.push(p);
+        scratch.positions.sort_unstable();
+        true
+    }
+
+    /// Whether the error pattern at `positions` has exactly the syndromes
+    /// `synd`: odd syndromes by direct evaluation (`deg` table lookups
+    /// each), even ones via `S_2j = S_j²`. Equivalent to re-checking
+    /// codeword membership of the flipped word, at a fraction of the
+    /// cost.
+    fn error_syndromes_match(&self, positions: &[usize], synd: &[u32], esynd: &mut [u32]) -> bool {
+        let f = &self.field;
+        let t2 = 2 * self.t;
+        for j in (1..=t2 as u64).step_by(2) {
+            let mut acc = 0u32;
+            for &p in positions {
+                acc ^= f.alpha_pow(j * p as u64);
+            }
+            esynd[j as usize - 1] = acc;
+        }
+        for j in (2..=t2).step_by(2) {
+            esynd[j - 1] = f.square(esynd[j / 2 - 1]);
+        }
+        esynd == synd
+    }
+
+    /// Berlekamp–Massey over `scratch.synd`, leaving the error-locator
+    /// polynomial σ in `scratch.sigma` (index = degree, `sigma[0] == 1`)
+    /// and returning its degree. Allocation-free: the iteration's save
+    /// buffer is swapped, not cloned.
+    fn berlekamp_massey_into(&self, scratch: &mut BchScratch) -> usize {
+        let f = &self.field;
+        let BchScratch {
+            synd: s,
+            sigma,
+            bm_b: b,
+            bm_saved: saved,
+            ..
+        } = scratch;
         let n = s.len();
-        let mut sigma = vec![0u32; n + 1];
+        sigma.fill(0);
         sigma[0] = 1;
-        let mut b = sigma.clone();
+        b.fill(0);
+        b[0] = 1;
         let mut l = 0usize; // current LFSR length
         let mut m = 1usize; // steps since last length change
         let mut bb = 1u32; // last nonzero discrepancy
@@ -128,7 +585,7 @@ impl BchCode {
             if d == 0 {
                 m += 1;
             } else if 2 * l <= i {
-                let t_saved = sigma.clone();
+                saved.copy_from_slice(sigma);
                 let coef = f.div(d, bb).expect("bb is nonzero");
                 for j in 0..n + 1 - m {
                     if b[j] != 0 {
@@ -136,7 +593,7 @@ impl BchCode {
                     }
                 }
                 l = i + 1 - l;
-                b = t_saved;
+                std::mem::swap(b, saved);
                 bb = d;
                 m = 1;
             } else {
@@ -149,35 +606,7 @@ impl BchCode {
                 m += 1;
             }
         }
-        sigma.truncate(l + 1);
-        while sigma.len() > 1 && *sigma.last().expect("nonempty") == 0 {
-            sigma.pop();
-        }
-        sigma
-    }
-
-    /// Chien search: finds codeword positions `p` (within the shortened
-    /// length) such that `sigma(alpha^{-p}) == 0`.
-    fn chien_search(&self, sigma: &[u32]) -> Vec<usize> {
-        let f = &self.field;
-        let order = f.order() as u64;
-        let mut out = Vec::new();
-        for p in 0..self.len() as u64 {
-            // Evaluate sigma at alpha^{-p}.
-            let x = f.alpha_pow(order - (p % order));
-            let mut acc = 0u32;
-            let mut xp = 1u32;
-            for &c in sigma {
-                if c != 0 {
-                    acc ^= f.mul(c, xp);
-                }
-                xp = f.mul(xp, x);
-            }
-            if acc == 0 {
-                out.push(p as usize);
-            }
-        }
-        out
+        (0..=l).rev().find(|&i| sigma[i] != 0).unwrap_or(0)
     }
 }
 
@@ -187,7 +616,9 @@ mod tests {
 
     // The seeded randomized properties (historical seeds 42, 7, 99, 1)
     // live in `tests/props.rs` on the harness runner with shrinking and
-    // corpus replay; only deterministic/exhaustive checks remain inline.
+    // corpus replay; the differential campaigns against the PGZ oracle
+    // live in `crates/harness/tests/differential.rs`. Only
+    // deterministic/exhaustive checks remain inline.
 
     #[test]
     fn clean_word_decodes_with_no_corrections() {
@@ -231,6 +662,11 @@ mod tests {
             code.decode(&mut w),
             Err(BchError::LengthMismatch(_, _))
         ));
+        let mut scratch = BchScratch::new(&code);
+        assert!(matches!(
+            code.decode_scratch(&mut w, &mut scratch),
+            Err(BchError::LengthMismatch(_, _))
+        ));
     }
 
     #[test]
@@ -244,5 +680,122 @@ mod tests {
         cw.flip(code.parity_bits() - 1);
         code.decode(&mut cw).unwrap();
         assert_eq!(cw, clean);
+    }
+
+    #[test]
+    fn scratch_and_pooled_paths_agree() {
+        let code = BchCode::new(8, 3, 64).unwrap();
+        let mut scratch = BchScratch::new(&code);
+        let data: Vec<u8> = (0..8).map(|i| (i * 31 + 7) as u8).collect();
+        let clean = code.encode_bytes(&data);
+        for errs in 0..=3usize {
+            let mut w1 = clean.clone();
+            let mut w2 = clean.clone();
+            for e in 0..errs {
+                w1.flip(e * 29 + 1);
+                w2.flip(e * 29 + 1);
+            }
+            let pooled = code.decode(&mut w1).unwrap();
+            let view = code.decode_scratch(&mut w2, &mut scratch).unwrap();
+            assert_eq!(pooled.corrected_bits(), view.corrected_bits(), "{errs}");
+            assert!(!view.beyond_bound());
+            assert_eq!(w1, w2);
+            assert_eq!(w1, clean);
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_word_decodes() {
+        let code = BchCode::new(8, 3, 64).unwrap();
+        let mut scratch = BchScratch::new(&code);
+        let clean = code.encode_bytes(&[0xA5; 8]);
+        let mut words: Vec<BitPoly> = (0..6).map(|_| clean.clone()).collect();
+        // Word 0 clean, 1..=3 errorful within radius, 4 overweight-but-
+        // detected is not guaranteed, so craft 4 errors far apart, 5 clean.
+        words[1].flip(3);
+        words[2].flip(10);
+        words[2].flip(40);
+        words[3].flip(0);
+        words[3].flip(33);
+        words[3].flip(87);
+        for p in [1, 20, 41, 62] {
+            words[4].flip(p);
+        }
+        let outcomes = code.decode_batch(&mut words, &mut scratch).to_vec();
+        assert_eq!(outcomes.len(), 6);
+        assert!(outcomes[0].was_clean());
+        assert_eq!(outcomes[1].bits_corrected(), 1);
+        assert_eq!(outcomes[2].bits_corrected(), 2);
+        assert_eq!(outcomes[3].bits_corrected(), 3);
+        assert!(outcomes[5].was_clean());
+        for (i, w) in words.iter().enumerate() {
+            match outcomes[i] {
+                BatchOutcome::Clean | BatchOutcome::Corrected { .. } => {
+                    if !outcomes[i].is_uncorrectable() && outcomes[i].bits_corrected() <= 3 {
+                        assert!(code.is_codeword(w), "word {i}");
+                    }
+                }
+                BatchOutcome::Uncorrectable => {
+                    // Untouched: still 4 flips away from clean.
+                    assert!(!code.is_codeword(w));
+                }
+            }
+        }
+        // An empty batch is a no-op with an empty verdict list.
+        let empty: &[BatchOutcome] = code.decode_batch(&mut [], &mut scratch);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn beyond_bound_recovers_t_plus_one_or_rejects_never_miscorrects() {
+        let code = BchCode::new(6, 2, 20).unwrap();
+        let clean = code.encode(&BitPoly::from_u64(0x2F1D3, 20));
+        let mut scratch = BchScratch::new(&code);
+        let mut recovered = 0usize;
+        let mut rejected = 0usize;
+        // All weight-3 (t+1) patterns over a position subsample.
+        let n = code.len();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    if (a + b + c) % 7 != 0 {
+                        continue; // subsample for test time
+                    }
+                    let mut w = clean.clone();
+                    w.flip(a);
+                    w.flip(b);
+                    w.flip(c);
+                    // Skip patterns the bounded decoder resolves (possibly
+                    // by miscorrection — that is bounded-distance SDC, not
+                    // the list decoder's business).
+                    let mut probe = w.clone();
+                    if code.decode_scratch(&mut probe, &mut scratch).is_ok() {
+                        continue;
+                    }
+                    match code.decode_beyond_bound_scratch(&mut w, &mut scratch) {
+                        Ok(view) => {
+                            assert_eq!(view.corrected_bits(), &[a, b, c]);
+                            assert!(view.beyond_bound());
+                            assert_eq!(w, clean, "pattern {a},{b},{c}");
+                            recovered += 1;
+                        }
+                        Err(BchError::Uncorrectable) => {
+                            // Ambiguous list: word must be untouched.
+                            let mut expect = clean.clone();
+                            expect.flip(a);
+                            expect.flip(b);
+                            expect.flip(c);
+                            assert_eq!(w, expect);
+                            rejected += 1;
+                        }
+                        Err(e) => panic!("unexpected error {e:?}"),
+                    }
+                }
+            }
+        }
+        assert!(recovered > 0, "list decoder never fired");
+        // Either outcome is legal; what is *illegal* is a silent
+        // miscorrection, asserted above by exact ground-truth recovery.
+        let _ = rejected;
     }
 }

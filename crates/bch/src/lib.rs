@@ -37,6 +37,7 @@
 //! assert_eq!(code.extract_data_bytes(&cw), data);
 //! ```
 
+mod chien;
 mod code;
 mod decode;
 mod encode;
@@ -44,7 +45,7 @@ mod error;
 mod syndrome;
 
 pub use code::BchCode;
-pub use decode::DecodeOutcome;
+pub use decode::{BatchOutcome, BchDecodeView, BchScratch, DecodeOutcome, DecodePolicy};
 pub use error::BchError;
 pub use syndrome::SyndromePlan;
 

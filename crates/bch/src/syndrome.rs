@@ -11,6 +11,13 @@
 //! the field. That is `⌈n/8⌉` table lookups per odd syndrome — ~290 for
 //! the VLEW — independent of error weight, with even syndromes still
 //! derived by squaring (`S_2j = S_j²`).
+//!
+//! Each reduction chain is serially dependent (every table step needs the
+//! previous remainder), so a single chain leaves the core mostly idle.
+//! The kernel therefore walks the word once per *group of four* direct
+//! syndromes, advancing four independent remainder chains per byte — the
+//! loads and XORs of the four chains overlap in the pipeline, recovering
+//! most of the latency the dependence chain would otherwise serialize.
 
 use pmck_gf::{BitPoly, FieldPoly, Gf2m};
 
@@ -46,6 +53,9 @@ pub struct SyndromePlan {
     t: usize,
     /// Entry `i` computes the odd syndrome `S_{2i+1}`.
     odd: Vec<OddSyndrome>,
+    /// Indices into `odd` of the `Direct` entries, in order — the chains
+    /// the interleaved limb walk schedules four at a time.
+    direct: Vec<usize>,
 }
 
 impl std::fmt::Debug for SyndromePlan {
@@ -142,7 +152,13 @@ impl SyndromePlan {
                 eval,
             });
         }
-        SyndromePlan { t, odd }
+        let direct = odd
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, OddSyndrome::Direct { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        SyndromePlan { t, odd, direct }
     }
 
     /// The number of syndromes the plan covers, `2t`.
@@ -160,51 +176,31 @@ impl SyndromePlan {
     pub fn syndromes_into(&self, field: &Gf2m, word: &BitPoly, out: &mut [u32]) -> bool {
         assert_eq!(out.len(), 2 * self.t, "syndrome buffer length mismatch");
         let mut nonzero = 0u32;
+        // Direct odds first, four interleaved reduction chains per limb
+        // walk; the last partial group narrows the interleave width.
+        let mut chunk = self.direct.as_slice();
+        while !chunk.is_empty() {
+            let n = chunk.len().min(4);
+            let (head, rest) = chunk.split_at(n);
+            match n {
+                4 => self.reduce_group::<4>(head, word, out, &mut nonzero),
+                3 => self.reduce_group::<3>(head, word, out, &mut nonzero),
+                2 => self.reduce_group::<2>(head, word, out, &mut nonzero),
+                _ => self.reduce_group::<1>(head, word, out, &mut nonzero),
+            }
+            chunk = rest;
+        }
+        // Derived odds square an already-computed direct syndrome (a
+        // derivation's root is always the coset's first odd, a `Direct`).
         for (idx, plan) in self.odd.iter().enumerate() {
-            let s = match plan {
-                OddSyndrome::Direct {
-                    deg,
-                    mask,
-                    table,
-                    eval,
-                } => {
-                    let d = *deg;
-                    // Consume the word's limbs eight bits per step, most
-                    // significant byte first; bits at or beyond `len` in
-                    // the top limb are guaranteed zero, so whole limbs can
-                    // be eaten without masking.
-                    let mut rem = 0u32;
-                    for &limb in word.limbs().iter().rev() {
-                        let mut shift = 56u32;
-                        loop {
-                            let byte = ((limb >> shift) & 0xFF) as u32;
-                            let t = (rem << 8) | byte;
-                            rem = (t & mask) ^ table[(t >> d) as usize];
-                            if shift == 0 {
-                                break;
-                            }
-                            shift -= 8;
-                        }
-                    }
-                    // Evaluate the d-bit remainder at alpha^j.
-                    let mut acc = 0u32;
-                    let mut bits = rem;
-                    while bits != 0 {
-                        acc ^= eval[bits.trailing_zeros() as usize];
-                        bits &= bits - 1;
-                    }
-                    acc
+            if let OddSyndrome::Derived { from, squarings } = plan {
+                let mut v = out[2 * from];
+                for _ in 0..*squarings {
+                    v = field.square(v);
                 }
-                OddSyndrome::Derived { from, squarings } => {
-                    let mut v = out[2 * from];
-                    for _ in 0..*squarings {
-                        v = field.square(v);
-                    }
-                    v
-                }
-            };
-            out[2 * idx] = s;
-            nonzero |= s;
+                out[2 * idx] = v;
+                nonzero |= v;
+            }
         }
         // Even syndromes of a binary code: S_2j = S_j².
         for j in (2..=2 * self.t).step_by(2) {
@@ -213,6 +209,65 @@ impl SyndromePlan {
             nonzero |= v;
         }
         nonzero == 0
+    }
+
+    /// Runs `N` direct reduction chains (`idxs`, indices into `odd`) over
+    /// one pass of the word's limbs, then evaluates each remainder and
+    /// stores `out[2·idx] = S_{2·idx+1}`.
+    fn reduce_group<const N: usize>(
+        &self,
+        idxs: &[usize],
+        word: &BitPoly,
+        out: &mut [u32],
+        nonzero: &mut u32,
+    ) {
+        debug_assert_eq!(idxs.len(), N);
+        // (deg, mask, table, eval) per chain; the fixed-size `[u32; 256]`
+        // table views plus the `& 0xFF` index below let the inner loop run
+        // without bounds checks.
+        let parts: [(u32, u32, &[u32; 256], &[u32]); N] =
+            std::array::from_fn(|i| match &self.odd[idxs[i]] {
+                OddSyndrome::Direct {
+                    deg,
+                    mask,
+                    table,
+                    eval,
+                } => {
+                    let table: &[u32; 256] =
+                        table.as_slice().try_into().expect("table has 256 entries");
+                    (*deg, *mask, table, eval.as_slice())
+                }
+                OddSyndrome::Derived { .. } => unreachable!("direct index at a derived entry"),
+            });
+        // Consume the word's limbs eight bits per step, most significant
+        // byte first; bits at or beyond `len` in the top limb are
+        // guaranteed zero, so whole limbs can be eaten without masking.
+        let mut rem = [0u32; N];
+        for &limb in word.limbs().iter().rev() {
+            let mut shift = 56u32;
+            loop {
+                let byte = ((limb >> shift) & 0xFF) as u32;
+                for (r, &(d, mask, table, _)) in rem.iter_mut().zip(&parts) {
+                    let t = (*r << 8) | byte;
+                    *r = (t & mask) ^ table[((t >> d) & 0xFF) as usize];
+                }
+                if shift == 0 {
+                    break;
+                }
+                shift -= 8;
+            }
+        }
+        // Evaluate each d-bit remainder at its alpha^j.
+        for (i, (&idx, &(_, _, _, eval))) in idxs.iter().zip(&parts).enumerate() {
+            let mut acc = 0u32;
+            let mut bits = rem[i];
+            while bits != 0 {
+                acc ^= eval[bits.trailing_zeros() as usize];
+                bits &= bits - 1;
+            }
+            out[2 * idx] = acc;
+            *nonzero |= acc;
+        }
     }
 }
 

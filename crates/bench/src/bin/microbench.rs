@@ -26,7 +26,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use pmck_bch::BchCode;
+use pmck_bch::{BchCode, BchScratch};
 use pmck_core::{ChipkillConfig, PmemConfig, Request, Stack, StackBuilder};
 use pmck_gf::SyndromeRows;
 use pmck_rs::{RsCode, RsScratch};
@@ -219,8 +219,24 @@ fn bch_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
             code.syndromes_into(std::hint::black_box(&dirty), &mut s)
         }));
     }
-    for nerr in [1usize, 5, 22] {
-        let name = format!("bch/decode_{nerr}err");
+    if wants(cfg, "bch/decode_clean") {
+        // The scrub fast path: syndrome check on an error-free word
+        // through the scratch decoder (0 allocs/op).
+        let mut scratch = BchScratch::new(&code);
+        let mut w = clean.clone();
+        rows.push(scenario(cfg, "bch/decode_clean", 256, || {
+            w.copy_from(std::hint::black_box(&clean));
+            code.decode_scratch(&mut w, &mut scratch)
+                .expect("clean")
+                .num_corrected()
+        }));
+    }
+    // Errorful decodes at the radius boundary markers: 1 error (the
+    // common single-cell upset), 2 errors (BM degree > 1 engages the
+    // full locator machinery), and t = 22 (the worst correctable case,
+    // dominated by the bit-sliced Chien scan).
+    for (tag, nerr) in [("t1", 1usize), ("t2", 2), ("tmax", 22)] {
+        let name = format!("bch/decode_errorful_{tag}");
         if !wants(cfg, &name) {
             continue;
         }
@@ -232,9 +248,41 @@ fn bch_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
         for &p in &pos {
             word.flip(p);
         }
+        let mut scratch = BchScratch::new(&code);
+        let mut w = word.clone();
         rows.push(scenario(cfg, &name, 256, || {
-            let mut w = word.clone();
-            code.decode(&mut w).expect("correctable")
+            w.copy_from(std::hint::black_box(&word));
+            code.decode_scratch(&mut w, &mut scratch)
+                .expect("correctable")
+                .num_corrected()
+        }));
+    }
+    if wants(cfg, "bch/decode_batch_scrub") {
+        // A boot-scrub stripe window: 9 VLEW words, mostly clean with a
+        // few errorful lanes — the shape `decode_vlew_stripe_into`
+        // hands to the batch decoder.
+        let weights = [0usize, 1, 0, 2, 0, 0, 5, 0, 1];
+        let words: Vec<_> = weights
+            .iter()
+            .map(|&nerr| {
+                let mut word = clean.clone();
+                let mut pos = std::collections::BTreeSet::new();
+                while pos.len() < nerr {
+                    pos.insert(rng.gen_range(0..code.len()));
+                }
+                for &p in &pos {
+                    word.flip(p);
+                }
+                word
+            })
+            .collect();
+        let mut batch = words.clone();
+        let mut scratch = BchScratch::new(&code);
+        rows.push(scenario(cfg, "bch/decode_batch_scrub", 9 * 256, || {
+            for (dst, src) in batch.iter_mut().zip(&words) {
+                dst.copy_from(std::hint::black_box(src));
+            }
+            code.decode_batch(&mut batch, &mut scratch).len()
         }));
     }
 }

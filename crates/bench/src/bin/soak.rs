@@ -406,7 +406,8 @@ fn run_sharded(cfg: &Config, shards: usize) -> ! {
                                     c.path_clean += 1;
                                 }
                                 ReadPath::RsCorrected { .. } => c.path_rs += 1,
-                                ReadPath::VlewFallback { .. } => c.path_fallback += 1,
+                                ReadPath::VlewFallback { .. }
+                                | ReadPath::VlewListDecoded { .. } => c.path_fallback += 1,
                                 ReadPath::ChipkillErasure { .. } => c.path_erasure += 1,
                             }
                             if o.data != mirror[*addr as usize] && !retried.contains(addr) {
@@ -723,7 +724,9 @@ fn main() {
                         match path {
                             ReadPath::Clean | ReadPath::BitCorrected { .. } => c.path_clean += 1,
                             ReadPath::RsCorrected { .. } => c.path_rs += 1,
-                            ReadPath::VlewFallback { .. } => c.path_fallback += 1,
+                            ReadPath::VlewFallback { .. } | ReadPath::VlewListDecoded { .. } => {
+                                c.path_fallback += 1
+                            }
                             ReadPath::ChipkillErasure { .. } => c.path_erasure += 1,
                         }
                         if buf != mirror[block as usize] {

@@ -1,5 +1,7 @@
 //! Engine configuration.
 
+use pmck_bch::DecodePolicy;
+
 use crate::layout::ChipkillLayout;
 
 /// Configuration of the chipkill-correct engine.
@@ -14,6 +16,10 @@ pub struct ChipkillConfig {
     /// Registerfile (EUR, §V-D). Disabling models the no-coalescing
     /// ablation; functional results are identical either way.
     pub eur_enabled: bool,
+    /// How far VLEW decoding reaches: `Bounded` stops at the designed
+    /// radius `t`; `BeyondBound` additionally tries the unraveling list
+    /// decoder at radius `t + 1` before declaring a word uncorrectable.
+    pub decode_policy: DecodePolicy,
 }
 
 impl Default for ChipkillConfig {
@@ -22,6 +28,7 @@ impl Default for ChipkillConfig {
             layout: ChipkillLayout::default(),
             threshold: 2,
             eur_enabled: true,
+            decode_policy: DecodePolicy::Bounded,
         }
     }
 }
@@ -46,6 +53,7 @@ mod tests {
         let c = ChipkillConfig::default();
         assert_eq!(c.threshold, 2);
         assert!(c.eur_enabled);
+        assert_eq!(c.decode_policy, DecodePolicy::Bounded);
         assert_eq!(c.layout.blocks_per_vlew(), 32);
     }
 

@@ -279,6 +279,9 @@ pub struct LayerStats {
     pub rs_corrected: u64,
     /// Reads that fell back to VLEW decoding.
     pub vlew_fallbacks: u64,
+    /// VLEW-fallback reads that needed the unraveling list decoder for
+    /// at least one chip word (beyond-bound rescues).
+    pub list_decoded_reads: u64,
     /// Reads served through chip-failure erasure correction.
     pub erasure_reads: u64,
     /// Reads corrected by a single-tier BCH (baseline / re-striped).
@@ -325,6 +328,7 @@ impl LayerStats {
         self.clean_reads += other.clean_reads;
         self.rs_corrected += other.rs_corrected;
         self.vlew_fallbacks += other.vlew_fallbacks;
+        self.list_decoded_reads += other.list_decoded_reads;
         self.erasure_reads += other.erasure_reads;
         self.bit_corrected_reads += other.bit_corrected_reads;
         self.bits_corrected += other.bits_corrected;
@@ -354,6 +358,7 @@ impl LayerStats {
         c("clean_reads", self.clean_reads);
         c("rs_corrected", self.rs_corrected);
         c("vlew_fallbacks", self.vlew_fallbacks);
+        c("list_decoded_reads", self.list_decoded_reads);
         c("erasure_reads", self.erasure_reads);
         c("bit_corrected_reads", self.bit_corrected_reads);
         c("bits_corrected", self.bits_corrected);
@@ -383,6 +388,7 @@ impl LayerStats {
             .with("clean_reads", self.clean_reads)
             .with("rs_corrected", self.rs_corrected)
             .with("vlew_fallbacks", self.vlew_fallbacks)
+            .with("list_decoded_reads", self.list_decoded_reads)
             .with("erasure_reads", self.erasure_reads)
             .with("bit_corrected_reads", self.bit_corrected_reads)
             .with("bits_corrected", self.bits_corrected)
@@ -651,6 +657,11 @@ fn record_read_path(st: &mut LayerStats, path: &ReadPath) {
             st.bit_corrected_reads += 1;
             st.bits_corrected += *bits_corrected as u64;
         }
+        ReadPath::VlewListDecoded { bits_corrected } => {
+            st.vlew_fallbacks += 1;
+            st.list_decoded_reads += 1;
+            st.bits_corrected += *bits_corrected as u64;
+        }
     }
 }
 
@@ -661,6 +672,9 @@ fn describe_read_path(path: &ReadPath) -> String {
         ReadPath::VlewFallback { bits_corrected } => format!("vlew_fallback {bits_corrected}"),
         ReadPath::ChipkillErasure { chip } => format!("erasure chip {chip}"),
         ReadPath::BitCorrected { bits_corrected } => format!("bit_corrected {bits_corrected}"),
+        ReadPath::VlewListDecoded { bits_corrected } => {
+            format!("vlew_list_decoded {bits_corrected}")
+        }
     }
 }
 
@@ -901,6 +915,7 @@ impl BlockDevice for RestripedMemory {
                     stripes_scrubbed: groups,
                     bits_corrected: (self.bits_corrected() - before) as usize,
                     words_with_errors: 0,
+                    list_rescues: 0,
                     chip_rebuilt: None,
                 }))
             }

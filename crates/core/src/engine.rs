@@ -4,7 +4,7 @@
 use std::collections::HashSet;
 use std::fmt;
 
-use pmck_bch::{BchCode, BitPoly};
+use pmck_bch::{BatchOutcome, BchCode, BchScratch, BitPoly, DecodePolicy};
 use pmck_nvram::{BitErrorInjector, ChipFailureKind, FailedChip, FaultEvent, FaultKind};
 use pmck_rs::{RsCode, RsScratch, ThresholdOutcome};
 use pmck_rt::rng::Rng;
@@ -265,6 +265,14 @@ pub enum ReadPath {
         /// Bit errors corrected while serving the read.
         bits_corrected: usize,
     },
+    /// The VLEW fallback needed the unraveling list decoder for at least
+    /// one chip word: some VLEW carried `t + 1` errors and was rescued
+    /// beyond the Berlekamp–Massey bound
+    /// ([`pmck_bch::DecodePolicy::BeyondBound`]).
+    VlewListDecoded {
+        /// Bit errors corrected across the stripe's VLEWs.
+        bits_corrected: usize,
+    },
 }
 
 /// A successful block read.
@@ -293,6 +301,15 @@ pub struct ChipkillMemory {
     /// Reusable RS decoder working memory: the runtime read path decodes
     /// into this instead of allocating per access.
     rs_scratch: RsScratch,
+    /// Reusable BCH decoder working memory shared by every VLEW decode
+    /// (runtime fallback, scrubs, repair) — one syndrome/BM/Chien scratch
+    /// per rank instead of per decode.
+    bch_scratch: BchScratch,
+    /// Reusable VLEW codeword buffer for single-word decodes.
+    vlew_cw: BitPoly,
+    /// Reusable per-stripe batch of VLEW codewords (one per chip) for the
+    /// batched boot-scrub decode path. Lazily sized on first use.
+    vlew_batch: Vec<BitPoly>,
     pub(crate) eur: EurModel,
     /// Ground-truth injected failure (set by [`ChipkillMemory::fail_chip`]).
     failed_chip: Option<FailedChip>,
@@ -328,15 +345,21 @@ impl ChipkillMemory {
             .collect();
         let rs = RsCode::per_block();
         let rs_scratch = RsScratch::new(&rs);
+        let vlew = BchCode::vlew();
+        let bch_scratch = BchScratch::new(&vlew);
+        let vlew_cw = BitPoly::zero(vlew.len());
         ChipkillMemory {
             cfg,
             layout,
             num_blocks,
             stripes,
             chips,
-            vlew: BchCode::vlew(),
+            vlew,
             rs,
             rs_scratch,
+            bch_scratch,
+            vlew_cw,
+            vlew_batch: Vec::new(),
             eur: EurModel::default(),
             failed_chip: None,
             known_failed: None,
@@ -671,10 +694,12 @@ impl ChipkillMemory {
         let mut corrected: Vec<Option<Vec<u8>>> = Vec::new();
         let mut failed: Vec<usize> = Vec::new();
         let mut bits = 0usize;
+        let mut rescued_any = false;
         for c in 0..self.layout.total_chips() {
             match self.decode_vlew(c, stripe) {
-                Ok((data, _code, n)) => {
+                Ok((data, _code, n, rescued)) => {
                     bits += n;
+                    rescued_any |= rescued;
                     corrected.push(Some(data));
                 }
                 Err(()) => {
@@ -692,12 +717,16 @@ impl ChipkillMemory {
                     let region = corrected[c].as_ref().expect("no failure");
                     data[c * 8..(c + 1) * 8].copy_from_slice(&region[off * 8..(off + 1) * 8]);
                 }
-                Ok(ReadOutcome {
-                    data,
-                    path: ReadPath::VlewFallback {
+                let path = if rescued_any {
+                    ReadPath::VlewListDecoded {
                         bits_corrected: bits,
-                    },
-                })
+                    }
+                } else {
+                    ReadPath::VlewFallback {
+                        bits_corrected: bits,
+                    }
+                };
+                Ok(ReadOutcome { data, path })
             }
             1 => {
                 let chip = failed[0];
@@ -728,7 +757,7 @@ impl ChipkillMemory {
                 continue;
             }
             match self.decode_vlew(c, stripe) {
-                Ok((data, _, _)) => corrected.push(Some(data)),
+                Ok((data, _, _, _)) => corrected.push(Some(data)),
                 Err(()) => {
                     self.stats.due_events += 1;
                     return Err(CoreError::MultiChipFailure);
@@ -780,29 +809,117 @@ impl ChipkillMemory {
         Ok(word[8..].try_into().expect("64 data bytes"))
     }
 
-    /// Decodes one chip's VLEW for `stripe`, returning the corrected
-    /// 256 B data region, 33 B code region, and the number of bit errors
-    /// corrected. The stored arrays are *not* modified.
-    pub(crate) fn decode_vlew(
-        &self,
+    /// Assembles chip `chip`'s VLEW codeword for `stripe` into `dst`
+    /// without allocating. The VLEW parity region (264 bits = 33 B) is
+    /// byte-aligned, so both regions drop in via byte splices.
+    fn load_vlew_word(
+        chips: &[ChipStore],
+        layout: &ChipkillLayout,
+        vlew: &BchCode,
         chip: usize,
         stripe: usize,
-    ) -> Result<(Vec<u8>, Vec<u8>, usize), ()> {
-        let mut cw = BitPoly::zero(self.vlew.len());
-        let code_bits = BitPoly::from_bytes(self.chips[chip].vlew_code(stripe, &self.layout));
-        cw.splice(0, &code_bits.slice(0, self.vlew.parity_bits()));
-        let data_bits = BitPoly::from_bytes(self.chips[chip].vlew_data(stripe, &self.layout));
-        cw.splice(self.vlew.parity_bits(), &data_bits);
-        match self.vlew.decode(&mut cw) {
-            Ok(outcome) => {
-                let data = cw
-                    .slice(self.vlew.parity_bits(), self.vlew.data_bits())
-                    .to_bytes();
-                let code = cw.slice(0, self.vlew.parity_bits()).to_bytes();
-                Ok((data, code, outcome.num_corrected()))
+        dst: &mut BitPoly,
+    ) {
+        debug_assert_eq!(vlew.parity_bits() % 8, 0, "VLEW parity is byte-aligned");
+        dst.splice_bytes(
+            0,
+            &chips[chip].vlew_code(stripe, layout)[..vlew.parity_bits() / 8],
+        );
+        dst.splice_bytes(vlew.parity_bits(), chips[chip].vlew_data(stripe, layout));
+    }
+
+    /// Decodes one chip's VLEW for `stripe` through the shared scratch,
+    /// returning the corrected 256 B data region, 33 B code region, the
+    /// number of bit errors corrected, and whether the unraveling list
+    /// decoder (not plain bounded-distance decoding) produced the result.
+    /// The stored arrays are *not* modified.
+    ///
+    /// The reach is set by [`ChipkillConfig::decode_policy`]; list-decoder
+    /// rescues are counted in [`CoreStats::list_rescues`].
+    pub(crate) fn decode_vlew(
+        &mut self,
+        chip: usize,
+        stripe: usize,
+    ) -> Result<(Vec<u8>, Vec<u8>, usize, bool), ()> {
+        Self::load_vlew_word(
+            &self.chips,
+            &self.layout,
+            &self.vlew,
+            chip,
+            stripe,
+            &mut self.vlew_cw,
+        );
+        let res = match self.cfg.decode_policy {
+            DecodePolicy::Bounded => self
+                .vlew
+                .decode_scratch(&mut self.vlew_cw, &mut self.bch_scratch),
+            DecodePolicy::BeyondBound => self
+                .vlew
+                .decode_beyond_bound_scratch(&mut self.vlew_cw, &mut self.bch_scratch),
+        };
+        match res {
+            Ok(view) => {
+                let n = view.num_corrected();
+                let rescued = view.beyond_bound();
+                if rescued {
+                    self.stats.list_rescues += 1;
+                }
+                let mut data = vec![0u8; self.vlew.data_bits() / 8];
+                let mut code = vec![0u8; self.vlew.parity_bits() / 8];
+                self.vlew_cw
+                    .extract_bytes(self.vlew.parity_bits(), &mut data);
+                self.vlew_cw.extract_bytes(0, &mut code);
+                Ok((data, code, n, rescued))
             }
             Err(_) => Err(()),
         }
+    }
+
+    /// Boot-scrub support: decodes every chip's VLEW of `stripe` as one
+    /// batch through the shared scratch, leaving per-chip outcomes in
+    /// `outcomes` (cleared first). Corrected words stay in the internal
+    /// batch buffer for write-back via
+    /// [`ChipkillMemory::write_back_vlew`]; storage is untouched here.
+    /// List-decoder rescues are counted in [`CoreStats::list_rescues`].
+    pub(crate) fn decode_vlew_stripe_into(
+        &mut self,
+        stripe: usize,
+        outcomes: &mut Vec<BatchOutcome>,
+    ) {
+        let chips = self.layout.total_chips();
+        if self.vlew_batch.len() != chips {
+            self.vlew_batch = (0..chips).map(|_| BitPoly::zero(self.vlew.len())).collect();
+        }
+        for (chip, w) in self.vlew_batch.iter_mut().enumerate() {
+            Self::load_vlew_word(&self.chips, &self.layout, &self.vlew, chip, stripe, w);
+        }
+        let res = self.vlew.decode_batch_policy(
+            &mut self.vlew_batch,
+            self.cfg.decode_policy,
+            &mut self.bch_scratch,
+        );
+        outcomes.clear();
+        outcomes.extend_from_slice(res);
+        for o in outcomes.iter() {
+            if let BatchOutcome::Corrected {
+                beyond_bound: true, ..
+            } = o
+            {
+                self.stats.list_rescues += 1;
+            }
+        }
+    }
+
+    /// Writes the batch-corrected word for `chip` (left in the batch
+    /// buffer by [`ChipkillMemory::decode_vlew_stripe_into`]) back into
+    /// that chip's stored data and code regions.
+    pub(crate) fn write_back_vlew(&mut self, chip: usize, stripe: usize) {
+        let layout = self.layout;
+        let r = self.vlew.parity_bits();
+        let w = &self.vlew_batch[chip];
+        let chips = &mut self.chips;
+        w.extract_bytes(0, &mut chips[chip].vlew_code_mut(stripe, &layout)[..r / 8]);
+        w.extract_bytes(r, chips[chip].vlew_data_mut(stripe, &layout));
     }
 
     /// Corrects the full 72-byte word of a block into `word` (RS first,
@@ -825,12 +942,12 @@ impl ChipkillMemory {
                 self.close_stripe(stripe);
                 let off = self.layout.offset_in_stripe(addr);
                 let parity_idx = self.layout.data_chips;
-                let (pd, _, _) = self
+                let (pd, _, _, _) = self
                     .decode_vlew(parity_idx, stripe)
                     .map_err(|_| CoreError::Uncorrectable)?;
                 word[..8].copy_from_slice(&pd[off * 8..(off + 1) * 8]);
                 for c in 0..self.layout.data_chips {
-                    let (cd, _, _) = self
+                    let (cd, _, _, _) = self
                         .decode_vlew(c, stripe)
                         .map_err(|_| CoreError::Uncorrectable)?;
                     let (s, e) = self.layout.rs_positions_of_data_chip(c);
@@ -1015,7 +1132,7 @@ impl ChipkillMemory {
                 if c == chip {
                     corrected.push(None);
                 } else {
-                    let (d, code, _) = self
+                    let (d, code, _, _) = self
                         .decode_vlew(c, stripe)
                         .map_err(|_| CoreError::Uncorrectable)?;
                     // Write back the corrected survivor regions.

@@ -87,5 +87,6 @@ pub use stats::CoreStats;
 pub use wearlevel::{WearLevelled, WearLevelledMemory};
 
 // Re-exports used in public signatures.
+pub use pmck_bch::DecodePolicy;
 pub use pmck_nvram::{ChipFailureKind, FailedChip};
 pub use pmck_pmem::{MediaStats, PmemConfig};

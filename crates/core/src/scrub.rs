@@ -1,7 +1,7 @@
 //! Boot-time scrubbing (§V-B): VLEW-decode everything, rebuild failed
 //! chips, and report what happened.
 
-use pmck_bch::BitPoly;
+use pmck_bch::{BatchOutcome, BitPoly};
 
 use crate::engine::{ChipkillMemory, CoreError};
 
@@ -14,6 +14,10 @@ pub struct ScrubReport {
     pub bits_corrected: usize,
     /// VLEW words that needed at least one correction.
     pub words_with_errors: usize,
+    /// Words recovered by the unraveling list decoder beyond the designed
+    /// radius `t` (only nonzero under
+    /// [`pmck_bch::DecodePolicy::BeyondBound`]).
+    pub list_rescues: usize,
     /// Chip rebuilt through erasure correction, if a failure was found.
     pub chip_rebuilt: Option<usize>,
 }
@@ -34,24 +38,24 @@ impl ChipkillMemory {
         self.flush_eur();
         let mut report = ScrubReport::default();
         let mut failed_chips: Vec<usize> = Vec::new();
-        let total_chips = self.layout().total_chips();
+        // One batched decode per stripe: all nine chip words walk the
+        // shared scratch together, amortizing syndrome-table and Chien
+        // plan traffic across the sweep.
+        let mut outcomes: Vec<BatchOutcome> = Vec::new();
         for stripe in 0..self.stripes() {
-            for chip in 0..total_chips {
-                match self.decode_vlew(chip, stripe) {
-                    Ok((data, code, n)) => {
-                        if n > 0 {
-                            report.bits_corrected += n;
-                            report.words_with_errors += 1;
-                            let layout = *self.layout();
-                            self.chips[chip]
-                                .vlew_data_mut(stripe, &layout)
-                                .copy_from_slice(&data);
-                            self.chips[chip]
-                                .vlew_code_mut(stripe, &layout)
-                                .copy_from_slice(&code);
+            self.decode_vlew_stripe_into(stripe, &mut outcomes);
+            for (chip, outcome) in outcomes.iter().enumerate() {
+                match *outcome {
+                    BatchOutcome::Clean => {}
+                    BatchOutcome::Corrected { bits, beyond_bound } => {
+                        report.bits_corrected += bits;
+                        report.words_with_errors += 1;
+                        if beyond_bound {
+                            report.list_rescues += 1;
                         }
+                        self.write_back_vlew(chip, stripe);
                     }
-                    Err(()) => {
+                    BatchOutcome::Uncorrectable => {
                         if !failed_chips.contains(&chip) {
                             failed_chips.push(chip);
                         }

@@ -10,6 +10,7 @@
 //! device with its [`AccessContext`], exposing typed convenience
 //! wrappers over [`BlockDevice::access`].
 
+use pmck_bch::DecodePolicy;
 use pmck_nvram::FaultEvent;
 use pmck_rt::metrics::MetricsRegistry;
 
@@ -401,6 +402,20 @@ impl StackBuilder {
     /// [`StackBuilder::build`] panics if combined with a baseline base.
     pub fn restripeable(mut self) -> Self {
         self.restripeable = true;
+        self
+    }
+
+    /// Selects how far VLEW decoding reaches on a proposal base:
+    /// [`DecodePolicy::Bounded`] (the default) stops at the designed
+    /// radius `t`; [`DecodePolicy::BeyondBound`] also tries the
+    /// unraveling list decoder at radius `t + 1` before declaring a word
+    /// uncorrectable. Rescues show up in
+    /// [`crate::CoreStats::list_rescues`] and as
+    /// [`crate::ReadPath::VlewListDecoded`]. No-op on a baseline base.
+    pub fn decode_policy(mut self, policy: DecodePolicy) -> Self {
+        if let BaseKind::Proposal { cfg } = &mut self.base {
+            cfg.decode_policy = policy;
+        }
         self
     }
 

@@ -18,6 +18,10 @@ pub struct CoreStats {
     pub fallbacks: u64,
     /// Bit errors corrected by fallback VLEW decodes.
     pub vlew_bits_corrected: u64,
+    /// VLEW words recovered by the unraveling list decoder beyond the
+    /// designed radius `t` (only under
+    /// [`pmck_bch::DecodePolicy::BeyondBound`]).
+    pub list_rescues: u64,
     /// Reads served through chip-failure erasure correction.
     pub erasure_reads: u64,
     /// Chip failures detected by the decode paths.
@@ -37,6 +41,7 @@ impl CoreStats {
         self.rs_corrections += other.rs_corrections;
         self.fallbacks += other.fallbacks;
         self.vlew_bits_corrected += other.vlew_bits_corrected;
+        self.list_rescues += other.list_rescues;
         self.erasure_reads += other.erasure_reads;
         self.chip_failures_detected += other.chip_failures_detected;
         self.due_events += other.due_events;
@@ -62,6 +67,7 @@ impl CoreStats {
         c("rs_corrections", self.rs_corrections);
         c("fallbacks", self.fallbacks);
         c("vlew_bits_corrected", self.vlew_bits_corrected);
+        c("list_rescues", self.list_rescues);
         c("erasure_reads", self.erasure_reads);
         c("chip_failures_detected", self.chip_failures_detected);
         c("due_events", self.due_events);
@@ -81,6 +87,7 @@ impl CoreStats {
             .with("rs_corrections", self.rs_corrections)
             .with("fallbacks", self.fallbacks)
             .with("vlew_bits_corrected", self.vlew_bits_corrected)
+            .with("list_rescues", self.list_rescues)
             .with("erasure_reads", self.erasure_reads)
             .with("chip_failures_detected", self.chip_failures_detected)
             .with("due_events", self.due_events)

@@ -8,6 +8,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use pmck_bch::{BchCode, BchScratch};
 use pmck_core::{ChipkillConfig, ChipkillMemory, ReadPath, StackBuilder};
 
 /// Pass-through allocator that counts allocation calls.
@@ -127,5 +128,39 @@ fn clean_read_path_is_allocation_free_after_warmup() {
         "clean Stack::read_into must not allocate after warm-up \
          (counted {read_into_allocs} allocations over {} reads)",
         4 * n
+    );
+
+    // --- Errorful BCH decode: the scratch-based decoder (syndromes_into,
+    // bit-sliced Chien search, in-place correction) must be
+    // allocation-free per word once the scratch exists. This pins the
+    // whole errorful path, not just the clean syndrome check. ---
+    let code = BchCode::vlew();
+    let mut scratch = BchScratch::new(&code);
+    let clean = code.encode_bytes(&[0x5A; 256]);
+    let mut word = clean.clone();
+    // Warm-up: one decode at each weight exercised below.
+    for w in 1..=5usize {
+        word.copy_from(&clean);
+        for j in 0..w {
+            word.flip(j * 97);
+        }
+        code.decode_scratch(&mut word, &mut scratch).unwrap();
+    }
+    let decode_allocs = count_allocs(|| {
+        for round in 0..32usize {
+            word.copy_from(&clean);
+            let w = 1 + round % 5;
+            for j in 0..w {
+                word.flip((round * 53 + j * 97) % code.len());
+            }
+            let view = code.decode_scratch(&mut word, &mut scratch).unwrap();
+            assert_eq!(view.num_corrected(), w);
+            assert_eq!(word, clean);
+        }
+    });
+    assert_eq!(
+        decode_allocs, 0,
+        "errorful BchCode::decode_scratch must not allocate per word \
+         (counted {decode_allocs} allocations over 32 decodes)"
     );
 }

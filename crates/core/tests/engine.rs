@@ -336,3 +336,98 @@ fn threshold_zero_always_falls_back_on_any_error() {
         );
     }
 }
+
+#[test]
+fn beyond_bound_policy_rescues_t_plus_one_errors_at_runtime() {
+    use pmck_core::DecodePolicy;
+    let t = 22; // VLEW designed correction capability
+    for policy in [DecodePolicy::Bounded, DecodePolicy::BeyondBound] {
+        let cfg = ChipkillConfig {
+            decode_policy: policy,
+            ..ChipkillConfig::default()
+        };
+        let mut mem = ChipkillMemory::new(32, cfg);
+        let blocks: Vec<[u8; 64]> = (0..mem.num_blocks())
+            .map(|a| {
+                let b = pattern_block(a);
+                mem.write_block(a, &b).unwrap();
+                b
+            })
+            .collect();
+        // t + 1 single-bit errors in chip 0's VLEW (one per block), plus
+        // one bit each in chips 1 and 2 of block 0 so block 0's RS word
+        // carries three bad bytes and rejects past the threshold.
+        for i in 0..=t {
+            mem.corrupt_chip_byte(0, i as u64, 0, 1);
+        }
+        mem.corrupt_chip_byte(1, 0, 0, 1);
+        mem.corrupt_chip_byte(2, 0, 0, 1);
+        let out = mem.read_block(0).unwrap();
+        assert_eq!(out.data, blocks[0], "data recovered under {policy:?}");
+        match policy {
+            DecodePolicy::Bounded => {
+                // Bounded decoding rejects the overweight chip word and
+                // the rank degrades to erasure reads.
+                assert_eq!(out.path, ReadPath::ChipkillErasure { chip: 0 });
+                assert_eq!(mem.stats().list_rescues, 0);
+                assert_eq!(mem.detected_failed_chip(), Some(0));
+            }
+            DecodePolicy::BeyondBound => {
+                // The unraveling list decoder rescues the word; no chip
+                // is declared failed.
+                assert_eq!(
+                    out.path,
+                    ReadPath::VlewListDecoded {
+                        bits_corrected: t + 3
+                    }
+                );
+                assert_eq!(mem.stats().list_rescues, 1);
+                assert_eq!(mem.detected_failed_chip(), None);
+            }
+        }
+    }
+}
+
+#[test]
+fn boot_scrub_counts_list_rescues_under_beyond_bound_policy() {
+    use pmck_core::DecodePolicy;
+    let t = 22;
+    for policy in [DecodePolicy::Bounded, DecodePolicy::BeyondBound] {
+        let cfg = ChipkillConfig {
+            decode_policy: policy,
+            ..ChipkillConfig::default()
+        };
+        let mut mem = ChipkillMemory::new(32, cfg);
+        let blocks: Vec<[u8; 64]> = (0..mem.num_blocks())
+            .map(|a| {
+                let b = pattern_block(a);
+                mem.write_block(a, &b).unwrap();
+                b
+            })
+            .collect();
+        for i in 0..=t {
+            mem.corrupt_chip_byte(0, i as u64, 0, 1);
+        }
+        let report = mem.boot_scrub().unwrap();
+        assert_eq!(report.stripes_scrubbed, 1);
+        match policy {
+            DecodePolicy::Bounded => {
+                // The overweight chip word is uncorrectable: the scrub
+                // treats chip 0 as failed and rebuilds it by erasure.
+                assert_eq!(report.chip_rebuilt, Some(0));
+                assert_eq!(report.list_rescues, 0);
+            }
+            DecodePolicy::BeyondBound => {
+                assert_eq!(report.chip_rebuilt, None);
+                assert_eq!(report.list_rescues, 1);
+                assert_eq!(report.words_with_errors, 1);
+                assert_eq!(report.bits_corrected, t + 1);
+                assert_eq!(mem.stats().list_rescues, 1);
+            }
+        }
+        assert!(mem.verify_consistent(), "scrub restores consistency");
+        for (a, b) in blocks.iter().enumerate() {
+            assert_eq!(&mem.read_block(a as u64).unwrap().data, b, "block {a}");
+        }
+    }
+}

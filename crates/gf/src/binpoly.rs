@@ -102,6 +102,62 @@ impl BitPoly {
         self.len == 0
     }
 
+    /// Overwrites `self` with `src`'s bits without reallocating — the
+    /// allocation-free counterpart of `clone_from` for hot loops that
+    /// reuse one buffer across iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logical lengths differ.
+    #[inline]
+    pub fn copy_from(&mut self, src: &BitPoly) {
+        assert_eq!(self.len, src.len, "copy_from length mismatch");
+        self.bits.copy_from_slice(&src.bits);
+    }
+
+    /// Overwrites the bit range `[offset, offset + 8·bytes.len())` with
+    /// `bytes` in little-endian bit order (as [`BitPoly::from_bytes`])
+    /// without allocating — the in-place counterpart of building a
+    /// temporary `from_bytes` polynomial and [`BitPoly::splice`]-ing it in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is not byte-aligned or the range runs past the
+    /// logical length.
+    pub fn splice_bytes(&mut self, offset: usize, bytes: &[u8]) {
+        assert_eq!(offset % 8, 0, "splice_bytes offset must be byte-aligned");
+        assert!(
+            offset + bytes.len() * 8 <= self.len,
+            "splice_bytes range out of bounds"
+        );
+        for (i, &b) in bytes.iter().enumerate() {
+            let bit = offset + i * 8;
+            let limb = bit / 64;
+            let shift = bit % 64;
+            self.bits[limb] = (self.bits[limb] & !(0xFFu64 << shift)) | ((b as u64) << shift);
+        }
+    }
+
+    /// Copies the bit range `[offset, offset + 8·out.len())` into `out` in
+    /// little-endian bit order — the allocation-free inverse of
+    /// [`BitPoly::splice_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is not byte-aligned or the range runs past the
+    /// logical length.
+    pub fn extract_bytes(&self, offset: usize, out: &mut [u8]) {
+        assert_eq!(offset % 8, 0, "extract_bytes offset must be byte-aligned");
+        assert!(
+            offset + out.len() * 8 <= self.len,
+            "extract_bytes range out of bounds"
+        );
+        for (i, o) in out.iter_mut().enumerate() {
+            let bit = offset + i * 8;
+            *o = (self.bits[bit / 64] >> (bit % 64)) as u8;
+        }
+    }
+
     /// Reads bit `i`.
     ///
     /// # Panics
@@ -334,6 +390,41 @@ mod tests {
     fn get_out_of_range_panics() {
         let p = BitPoly::zero(8);
         let _ = p.get(8);
+    }
+
+    #[test]
+    fn splice_and_extract_bytes_match_from_to_bytes() {
+        // splice_bytes at a byte-aligned offset must agree with the
+        // allocating splice(from_bytes(..)) path, and extract_bytes must
+        // invert it.
+        let mut p = BitPoly::from_bytes(&[0xFFu8; 9]); // 72 bits, all ones
+        let payload = [0xDEu8, 0xAD, 0xBE, 0xEF];
+        p.splice_bytes(24, &payload);
+        let mut q = BitPoly::from_bytes(&[0xFFu8; 9]);
+        q.splice(24, &BitPoly::from_bytes(&payload));
+        assert_eq!(p.to_bytes(), q.to_bytes());
+        let mut got = [0u8; 4];
+        p.extract_bytes(24, &mut got);
+        assert_eq!(got, payload);
+        // Bits outside the spliced range are untouched.
+        let mut edges = [0u8; 3];
+        p.extract_bytes(0, &mut edges);
+        assert_eq!(edges, [0xFF; 3]);
+    }
+
+    #[test]
+    fn copy_from_reuses_buffer() {
+        let src = BitPoly::from_bytes(&[0x12u8, 0x34, 0x56]);
+        let mut dst = BitPoly::zero(24);
+        dst.copy_from(&src);
+        assert_eq!(dst.to_bytes(), src.to_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "byte-aligned")]
+    fn splice_bytes_rejects_unaligned_offset() {
+        let mut p = BitPoly::zero(32);
+        p.splice_bytes(3, &[0xAA]);
     }
 
     #[test]

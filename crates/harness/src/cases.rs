@@ -315,6 +315,62 @@ impl Case for BitFlipCase {
     }
 }
 
+/// A batch of [`BitFlipCase`] words decoded together; the case shape for
+/// the batched BCH decode API. The interesting region is mixed batches —
+/// clean, correctable, and overweight words sharing one scratch — plus
+/// the edges (empty batch, single word).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitFlipBatchCase {
+    /// The words of the batch, in decode order.
+    pub words: Vec<BitFlipCase>,
+}
+
+impl BitFlipBatchCase {
+    /// The corrupted codewords of every entry, in order.
+    pub fn corrupted(&self, code: &pmck_bch::BchCode) -> Vec<pmck_bch::BitPoly> {
+        self.words.iter().map(|w| w.corrupted(code)).collect()
+    }
+}
+
+impl Case for BitFlipBatchCase {
+    fn to_json(&self) -> Json {
+        let mut words = Json::array();
+        for w in &self.words {
+            words.push(w.to_json());
+        }
+        Json::object().with("words", words)
+    }
+
+    fn from_json(value: &Json) -> Option<Self> {
+        Some(BitFlipBatchCase {
+            words: value
+                .get("words")?
+                .as_array()?
+                .iter()
+                .map(BitFlipCase::from_json)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // Drop one word at a time, then shrink each word in place.
+        for i in 0..self.words.len() {
+            let mut cand = self.clone();
+            cand.words.remove(i);
+            out.push(cand);
+        }
+        for i in 0..self.words.len() {
+            for shrunk in self.words[i].shrink() {
+                let mut cand = self.clone();
+                cand.words[i] = shrunk;
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
 /// A whole-chip failure plus one scattered symbol error on a *surviving*
 /// chip; the case shape for engine-level chipkill-erasure properties.
 ///

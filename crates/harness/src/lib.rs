@@ -47,11 +47,12 @@ pub mod oracle;
 pub mod runner;
 
 pub use cases::{
-    BitFlipCase, ByteErrorCase, ChipkillErasureCase, CrashOp, CrashPlan, ErasureCase,
-    FieldPairCase, JsonCase,
+    BitFlipBatchCase, BitFlipCase, ByteErrorCase, ChipkillErasureCase, CrashOp, CrashPlan,
+    ErasureCase, FieldPairCase, JsonCase,
 };
 pub use oracle::{
-    diff_bch, diff_rs_erasures, ref_bch_decode, ref_rs_erasure_decode, RefBchOutcome, RefRsOutcome,
+    diff_bch, diff_bch_batch, diff_bch_scratch, diff_rs_erasures, ref_bch_decode,
+    ref_rs_erasure_decode, RefBchOutcome, RefRsOutcome,
 };
 pub use runner::{Case, Failure, RunReport, Runner};
 

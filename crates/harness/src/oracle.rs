@@ -20,7 +20,7 @@
 //! *exactly*, not just approximately. [`diff_bch`] and
 //! [`diff_rs_erasures`] run both sides and report any divergence.
 
-use pmck_bch::{BchCode, BchError, BitPoly};
+use pmck_bch::{BatchOutcome, BchCode, BchError, BchScratch, BitPoly};
 use pmck_gf::Gf2m;
 use pmck_rs::{RsCode, RsError};
 
@@ -244,6 +244,111 @@ pub fn diff_bch(code: &BchCode, word: &BitPoly) -> Result<(), String> {
             production.as_ref().map(|o| o.corrected_bits().to_vec())
         )),
     }
+}
+
+/// [`diff_bch`] for the scratch-based decode path: runs
+/// `decode_scratch` through a caller-owned [`BchScratch`] and checks the
+/// verdict against the PGZ reference. Reusing one scratch across a whole
+/// campaign is the point — state leaking between decodes would show up
+/// as a divergence.
+///
+/// # Errors
+///
+/// Returns a description of the divergence, suitable as a property
+/// failure message.
+pub fn diff_bch_scratch(
+    code: &BchCode,
+    word: &BitPoly,
+    scratch: &mut BchScratch,
+) -> Result<(), String> {
+    let reference = ref_bch_decode(code, word);
+    let mut prod_word = word.clone();
+    let production = code.decode_scratch(&mut prod_word, scratch);
+    match (&reference, &production) {
+        (RefBchOutcome::Clean, Ok(view)) if view.was_clean() => Ok(()),
+        (RefBchOutcome::Corrected(positions), Ok(view))
+            if !view.was_clean() && view.corrected_bits() == &positions[..] =>
+        {
+            Ok(())
+        }
+        (RefBchOutcome::Uncorrectable, Err(BchError::Uncorrectable)) => {
+            if prod_word == *word {
+                Ok(())
+            } else {
+                Err("BCH scratch: production reported Uncorrectable but modified the word".into())
+            }
+        }
+        _ => Err(format!(
+            "BCH scratch divergence: reference {:?} vs production {:?}",
+            reference,
+            production.as_ref().map(|v| v.corrected_bits().to_vec())
+        )),
+    }
+}
+
+/// [`diff_bch`] for the batched decode API: decodes every word of the
+/// batch in one `decode_batch` call and checks each per-word
+/// [`BatchOutcome`] — and the corrected word contents — against the PGZ
+/// reference run independently per word.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence, suitable as a property
+/// failure message.
+pub fn diff_bch_batch(
+    code: &BchCode,
+    words: &[BitPoly],
+    scratch: &mut BchScratch,
+) -> Result<(), String> {
+    let mut batch: Vec<BitPoly> = words.to_vec();
+    let outcomes: Vec<BatchOutcome> = code.decode_batch(&mut batch, scratch).to_vec();
+    if outcomes.len() != words.len() {
+        return Err(format!(
+            "BCH batch: {} outcomes for {} words",
+            outcomes.len(),
+            words.len()
+        ));
+    }
+    for (i, (word, outcome)) in words.iter().zip(&outcomes).enumerate() {
+        let reference = ref_bch_decode(code, word);
+        match (&reference, outcome) {
+            (RefBchOutcome::Clean, BatchOutcome::Clean) => {
+                if batch[i] != *word {
+                    return Err(format!("BCH batch word {i}: clean word was modified"));
+                }
+            }
+            (
+                RefBchOutcome::Corrected(positions),
+                BatchOutcome::Corrected {
+                    bits,
+                    beyond_bound: false,
+                },
+            ) if *bits == positions.len() => {
+                let mut expect = word.clone();
+                for &p in positions {
+                    expect.flip(p);
+                }
+                if batch[i] != expect {
+                    return Err(format!(
+                        "BCH batch word {i}: corrected word disagrees with reference flips {positions:?}"
+                    ));
+                }
+            }
+            (RefBchOutcome::Uncorrectable, BatchOutcome::Uncorrectable) => {
+                if batch[i] != *word {
+                    return Err(format!(
+                        "BCH batch word {i}: production reported Uncorrectable but modified the word"
+                    ));
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "BCH batch word {i} divergence: reference {reference:?} vs production {outcome:?}"
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Runs the production strict erasure decoder (`decode_erasures`) and

@@ -8,8 +8,11 @@
 //! correction radius so clean, correctable, and overweight words are
 //! all exercised.
 
-use pmck_bch::BchCode;
-use pmck_harness::{diff_bch, diff_rs_erasures, BitFlipCase, ErasureCase, Runner};
+use pmck_bch::{BchCode, BchScratch};
+use pmck_harness::{
+    diff_bch, diff_bch_batch, diff_bch_scratch, diff_rs_erasures, BitFlipBatchCase, BitFlipCase,
+    ErasureCase, Runner,
+};
 use pmck_rs::RsCode;
 use pmck_rt::rng::{Rng, StdRng};
 
@@ -85,6 +88,51 @@ fn bch_differential_campaign_vlew() {
         |case| diff_bch(&code, &case.corrupted(&code)),
     );
     assert_eq!(report.generated, 1_500);
+}
+
+/// 100 000 cases against BCH(8, t=3, k=64) through the scratch-based
+/// decode path, reusing ONE scratch for the whole campaign: any state
+/// leaking from a previous decode (stale syndromes, unclears positions,
+/// a poisoned BM register) shows up as a divergence from the stateless
+/// PGZ reference.
+#[test]
+fn bch_scratch_differential_campaign() {
+    let code = BchCode::new(8, 3, 64).expect("valid parameters");
+    let mut scratch = BchScratch::new(&code);
+    let report = Runner::new("diff:bch:scratch:m8t3")
+        .seed(0xB06)
+        .cases(100_000)
+        .run(
+            |rng| gen_bit_flips(rng, &code, 2 * code.t()),
+            |case| diff_bch_scratch(&code, &case.corrupted(&code), &mut scratch),
+        );
+    assert_eq!(report.generated, 100_000);
+}
+
+/// 20 000 batches of 0..=6 words against the batched decode API, again
+/// with one shared scratch. Mixed batches — clean, correctable, and
+/// overweight words interleaved — are the interesting region; every
+/// per-word outcome and corrected word must match the per-word PGZ
+/// reference.
+#[test]
+fn bch_batch_differential_campaign() {
+    let code = BchCode::new(8, 3, 64).expect("valid parameters");
+    let mut scratch = BchScratch::new(&code);
+    let report = Runner::new("diff:bch:batch:m8t3")
+        .seed(0xB07)
+        .cases(20_000)
+        .run(
+            |rng| {
+                let n = rng.gen_range(0usize..=6);
+                BitFlipBatchCase {
+                    words: (0..n)
+                        .map(|_| gen_bit_flips(rng, &code, 2 * code.t()))
+                        .collect(),
+                }
+            },
+            |case| diff_bch_batch(&code, &case.corrupted(&code), &mut scratch),
+        );
+    assert_eq!(report.generated, 20_000);
 }
 
 /// 100 000 cases against RS(72, 64): 0..=8 declared erasures with

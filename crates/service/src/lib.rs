@@ -298,6 +298,7 @@ fn merge_broadcast(acc: &mut Result<Response, CoreError>, next: Result<Response,
                 a.stripes_scrubbed += b.stripes_scrubbed;
                 a.bits_corrected += b.bits_corrected;
                 a.words_with_errors += b.words_with_errors;
+                a.list_rescues += b.list_rescues;
                 if a.chip_rebuilt.is_none() {
                     a.chip_rebuilt = b.chip_rebuilt;
                 }
@@ -400,6 +401,44 @@ mod tests {
             .unwrap_err();
         // No patrol layer in this stack: the first shard's error wins.
         assert_eq!(p, CoreError::Unsupported("patrol_step"));
+    }
+
+    #[test]
+    fn boot_scrub_broadcast_merges_list_rescues() {
+        use pmck_core::{AccessContext, ChipkillMemory, DecodePolicy};
+        // Each shard carries one chip word with t + 1 = 23 bit errors —
+        // recoverable only by the unraveling list decoder. The broadcast
+        // scrub must batch-decode each shard and sum the rescue counts.
+        let stacks = (0..2u64)
+            .map(|shard| {
+                let cfg = ChipkillConfig {
+                    decode_policy: DecodePolicy::BeyondBound,
+                    ..ChipkillConfig::default()
+                };
+                let mut mem = ChipkillMemory::new(32, cfg);
+                for a in 0..mem.num_blocks() {
+                    mem.write_block(a, &[shard as u8; 64]).unwrap();
+                }
+                for i in 0..23u64 {
+                    mem.corrupt_chip_byte(0, i, 0, 1);
+                }
+                Stack::from_parts(Box::new(mem), AccessContext::new(shard))
+            })
+            .collect();
+        let mut svc = ShardedService::from_stacks(stacks);
+        let report = svc
+            .submit(&Request::BootScrub)
+            .unwrap()
+            .boot_scrubbed()
+            .unwrap();
+        assert_eq!(report.stripes_scrubbed, 2);
+        assert_eq!(report.words_with_errors, 2);
+        assert_eq!(report.list_rescues, 2);
+        assert_eq!(report.bits_corrected, 46);
+        assert_eq!(report.chip_rebuilt, None);
+        assert_eq!(svc.submit(&Request::Verify), Ok(Response::Verified(true)));
+        // The rescues also surface through the aggregated engine stats.
+        assert_eq!(svc.core_stats().unwrap().list_rescues, 2);
     }
 
     #[test]

@@ -139,7 +139,7 @@ impl Emitter {
             return false;
         };
         match coupling.on_read(la) {
-            Some(ReadPath::VlewFallback { .. }) => {
+            Some(ReadPath::VlewFallback { .. }) | Some(ReadPath::VlewListDecoded { .. }) => {
                 self.fallback_events += 1;
                 true
             }

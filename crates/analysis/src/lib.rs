@@ -37,6 +37,7 @@ pub mod proposal;
 pub mod schemes;
 pub mod sdc;
 pub mod storage;
+pub mod tier;
 
 /// The paper's uncorrectable-error reliability target: fewer than one
 /// block with a UE per 10¹⁵ blocks, at any instant.

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact `frontier` (see `pmck_bench::experiments::frontier`).
+
+fn main() {
+    pmck_bench::experiments::frontier::run().print();
+}

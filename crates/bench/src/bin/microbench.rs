@@ -27,7 +27,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use pmck_bch::{BchCode, BchScratch};
-use pmck_core::{ChipkillConfig, PmemConfig, Request, Stack, StackBuilder};
+use pmck_core::{
+    Access, AccessContext, BlockDevice, ChipkillConfig, PmemConfig, ProtectionTier, Request, Stack,
+    StackBuilder, TierPolicy, TieredMemory,
+};
 use pmck_gf::SyndromeRows;
 use pmck_rs::{RsCode, RsScratch};
 use pmck_rt::json::Json;
@@ -430,6 +433,65 @@ fn readpath_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
     }
 }
 
+/// `tier/*`: the adaptive-tier paths. The three read scenarios time the
+/// clean read path under each protection layout (the dense tier decodes
+/// against shorter VLEW spans, the RS-only tier skips VLEW bookkeeping
+/// entirely); `migrate_region` times a full region re-encode between
+/// the paper and RS-only tiers, image buffer allocation included —
+/// `allocs_per_op` is expected non-zero here, unlike the read paths.
+fn tier_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
+    for tier in ProtectionTier::ALL {
+        let name = format!("tier/read_{}", tier.as_str());
+        if !wants(cfg, &name) {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut stack = StackBuilder::proposal(256, ChipkillConfig::for_tier(tier))
+            .seed(5)
+            .build();
+        for a in 0..stack.num_blocks() {
+            let mut b = [0u8; 64];
+            rng.fill_bytes(&mut b[..]);
+            stack.write(a, &b).unwrap();
+        }
+        let mut a = 0;
+        let mut buf = [0u8; 64];
+        rows.push(scenario(cfg, &name, 64, || {
+            a = (a + 1) % stack.num_blocks();
+            let path = stack.read_into(a, &mut buf).expect("clean");
+            (buf[0], path)
+        }));
+    }
+    if wants(cfg, "tier/migrate_region") {
+        // One 32-block region ping-ponging between the paper and
+        // RS-only tiers: each op is one full read-out + re-encode +
+        // tier commit.
+        let mut mem = TieredMemory::new(32, 1, ChipkillConfig::default(), TierPolicy::default());
+        let mut ctx = AccessContext::new(7);
+        for a in 0..mem.num_blocks() {
+            let data = [a as u8 ^ 0x3C; 64];
+            mem.access(Access::Write { addr: a, data }, &mut ctx)
+                .expect("prefill");
+        }
+        let mut worn = false;
+        rows.push(scenario(cfg, "tier/migrate_region", 32 * 64, || {
+            // Alternate the observed RBER across the paper boundary so
+            // every step migrates.
+            mem.rber_mut().reset_observation(0);
+            let rate = if worn { 100_000 } else { 1 };
+            mem.rber_mut().record_observation(0, rate, 1_000_000_000);
+            worn = !worn;
+            match mem.access(Access::TierStep, &mut ctx).expect("tier step") {
+                pmck_core::AccessOutcome::Tiered(r) => {
+                    assert_eq!(r.migrations, 1, "every step must migrate");
+                    r.migrations
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }));
+    }
+}
+
 /// `pmem/*`: the persistence-domain hot paths. `flush_clean_write`
 /// rewrites already-durable data and flushes — the EUR drain finds
 /// nothing, the compare-skip staging copies nothing, and the fence is
@@ -606,6 +668,7 @@ fn main() {
     bch_scenarios(&cfg, &mut rows);
     rs_scenarios(&cfg, &mut rows);
     readpath_scenarios(&cfg, &mut rows);
+    tier_scenarios(&cfg, &mut rows);
     pmem_scenarios(&cfg, &mut rows);
     service_scenarios(&cfg, &mut rows);
 

@@ -38,7 +38,7 @@
 
 use pmck_core::{
     ChipkillConfig, CoreError, LayerId, PmemConfig, ReadPath, Request, Response, Stack,
-    StackBuilder,
+    StackBuilder, TierPolicy,
 };
 use pmck_memsim::FaultTimeline;
 use pmck_nvram::{ChipFailureKind, FaultEvent, FaultKind, FaultSchedule};
@@ -53,6 +53,7 @@ struct Config {
     schedule_file: Option<String>,
     shards: Option<usize>,
     crash: bool,
+    tiers: bool,
     pretty: bool,
 }
 
@@ -65,6 +66,7 @@ impl Config {
             schedule_file: None,
             shards: None,
             crash: false,
+            tiers: false,
             pretty: false,
         };
         let mut args = std::env::args().skip(1);
@@ -91,9 +93,13 @@ impl Config {
                     cfg.cycles = 3_000;
                 }
                 "--crash" => cfg.crash = true,
+                "--tiers" => cfg.tiers = true,
                 "--pretty" => cfg.pretty = true,
                 other => usage(&format!("unknown argument: {other}")),
             }
+        }
+        if cfg.tiers && cfg.shards.is_some() {
+            usage("--tiers is a single-stack mode (tiering owns the rank layout)");
         }
         cfg
     }
@@ -108,7 +114,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: soak [--blocks N] [--cycles N] [--seed N] [--schedule FILE] [--short] \
-         [--shards N] [--crash] [--pretty]"
+         [--shards N] [--crash] [--tiers] [--pretty]"
     );
     std::process::exit(2);
 }
@@ -138,9 +144,28 @@ fn default_schedule(cycles: u64) -> FaultSchedule {
     FaultSchedule::parse(&text).expect("built-in schedule must parse")
 }
 
+/// The benign campaign for the tiered leg: background RBER with a mild
+/// retention ramp, no chip kills or structured faults — tier migration
+/// must never race a failed chip, and the leg's point is the policy's
+/// response to measured RBER alone.
+fn benign_schedule(cycles: u64) -> FaultSchedule {
+    let pct = |p: u64| cycles * p / 100;
+    let text = format!(
+        "at 0 rber 1e-8\n\
+         ramp {r0}..{r1} rber 1e-8..1e-6\n",
+        r0 = pct(40),
+        r1 = pct(60),
+    );
+    FaultSchedule::parse(&text).expect("benign schedule must parse")
+}
+
 fn load_schedule(cfg: &Config) -> FaultSchedule {
     let Some(path) = &cfg.schedule_file else {
-        return default_schedule(cfg.cycles);
+        return if cfg.tiers {
+            benign_schedule(cfg.cycles)
+        } else {
+            default_schedule(cfg.cycles)
+        };
     };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: cannot read schedule {path}: {e}");
@@ -189,6 +214,8 @@ struct Counters {
     lost_lines: u64,
     records_replayed: u64,
     lines_redone: u64,
+    tier_steps: u64,
+    tier_migrations: u64,
 }
 
 impl Counters {
@@ -652,11 +679,18 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // The whole protection configuration comes from the composition API:
-    // restripeable chipkill base, patrol (manual stepping) over physical
-    // addresses, Start-Gap wear leveling on top (and, under `--crash`,
-    // persistent media at the bottom).
-    let builder = StackBuilder::proposal(cfg.blocks, ChipkillConfig::default())
-        .restripeable()
+    // restripeable chipkill base (or, under `--tiers`, a region-tiered
+    // base with the adaptive layout policy), patrol (manual stepping)
+    // over physical addresses, Start-Gap wear leveling on top (and,
+    // under `--crash`, persistent media at the bottom).
+    let base = StackBuilder::proposal(cfg.blocks, ChipkillConfig::default());
+    let base = if cfg.tiers {
+        let regions = (cfg.blocks / 32).max(1) as usize;
+        base.tiered(regions, TierPolicy::default())
+    } else {
+        base.restripeable()
+    };
+    let builder = base
         .patrolled(2, 0)
         .wear_levelled(8)
         .seed(cfg.seed ^ 0x5011_D1E5);
@@ -762,6 +796,25 @@ fn main() {
 
         repair_if_detected(&mut stack, cycle, &mut c);
 
+        // Tier leg: a periodic tier step lets the policy act on the
+        // RBER each region has measured from the background injections
+        // (the first step already migrates pristine regions down to the
+        // RS-only tier).
+        if cfg.tiers && cycle % 128 == 127 {
+            let report = stack.tier_step().expect("tier step");
+            c.tier_steps += 1;
+            c.tier_migrations += report.migrations;
+            // A migration commits the region's whole image through its
+            // persistence domain, so under `--crash` the durable state
+            // just moved past the last snapshot: re-fence and re-snapshot
+            // so a later cut rolls the mirror to a matching point.
+            if cfg.crash && report.migrations > 0 {
+                c.lines_flushed += stack.flush().expect("post-migration flush");
+                c.crash_flushes += 1;
+                snapshot.copy_from_slice(&mirror);
+            }
+        }
+
         // Crash leg: scheduled fault events are made durable right away
         // (so a later cut cannot "heal" a chip the campaign considers
         // failed), the mirror is snapshotted at every flush, and a
@@ -817,41 +870,53 @@ fn main() {
     // Re-stripe leg (§V-E): fail a chip, transition the live rank into
     // the 4-block VLEW layout *in place* through the pipeline, and
     // confirm every block survives under the same wear-level remap.
+    // Skipped under `--tiers`: tiering owns the base layout, so the
+    // §V-E transition is exercised by the non-tiered profile (the
+    // tiered equivalent — a crash-cut tier migration — runs in the
+    // harness crash campaign instead).
     let mut restripe_mismatches = 0u64;
-    stack
-        .apply_fault(&FaultEvent {
-            at_cycle: cfg.cycles,
-            kind: FaultKind::ChipKill {
-                chip: 3,
-                kind: ChipFailureKind::RandomGarbage,
-            },
-        })
-        .expect("re-stripe chip failure");
-    if cfg.crash {
-        // The flip must start from a durable state that already knows
-        // about the dead rank.
-        c.lines_flushed += stack.flush().expect("pre-restripe flush");
-        c.crash_flushes += 1;
-    }
-    stack.restripe().expect("re-stripe after chip failure");
-    if cfg.crash {
-        // The re-stripe commit fenced the whole re-laid-out image, so a
-        // cut straight after it must recover to the new layout intact.
-        c.lost_lines += stack.power_cut().expect("post-restripe power cut");
-        c.power_cuts += 1;
-        let rep = stack.recover().expect("post-restripe recovery");
-        c.records_replayed += rep.records_replayed;
-        c.lines_redone += rep.lines_redone;
-    }
-    for block in 0..cfg.blocks {
-        match stack.read_into(block, &mut buf) {
-            Ok(_) if buf == mirror[block as usize] => {}
-            _ => restripe_mismatches += 1,
+    let mut restripe_consistent = true;
+    if !cfg.tiers {
+        stack
+            .apply_fault(&FaultEvent {
+                at_cycle: cfg.cycles,
+                kind: FaultKind::ChipKill {
+                    chip: 3,
+                    kind: ChipFailureKind::RandomGarbage,
+                },
+            })
+            .expect("re-stripe chip failure");
+        if cfg.crash {
+            // The flip must start from a durable state that already knows
+            // about the dead rank.
+            c.lines_flushed += stack.flush().expect("pre-restripe flush");
+            c.crash_flushes += 1;
         }
+        stack.restripe().expect("re-stripe after chip failure");
+        if cfg.crash {
+            // The re-stripe commit fenced the whole re-laid-out image, so a
+            // cut straight after it must recover to the new layout intact.
+            c.lost_lines += stack.power_cut().expect("post-restripe power cut");
+            c.power_cuts += 1;
+            let rep = stack.recover().expect("post-restripe recovery");
+            c.records_replayed += rep.records_replayed;
+            c.lines_redone += rep.lines_redone;
+        }
+        for block in 0..cfg.blocks {
+            match stack.read_into(block, &mut buf) {
+                Ok(_) if buf == mirror[block as usize] => {}
+                _ => restripe_mismatches += 1,
+            }
+        }
+        restripe_consistent = stack.verify_consistent().expect("post-restripe verify");
     }
-    let restripe_consistent = stack.verify_consistent().expect("post-restripe verify");
 
-    let failed = c.read_mismatches > 0
+    // The tiered leg must have migrated at least once (pristine regions
+    // step down from the boot tier on the first tier step).
+    let tier_failed = cfg.tiers && c.tier_migrations == 0;
+
+    let failed = tier_failed
+        || c.read_mismatches > 0
         || c.read_errors > 0
         || sweep_mismatches > 0
         || restripe_mismatches > 0
@@ -909,6 +974,21 @@ fn main() {
         .with("core_stats", stats.to_json())
         .with("layers", layers)
         .with("crash", c.crash_json(cfg.crash))
+        .with("tier", {
+            let mut t = Json::object()
+                .with("enabled", cfg.tiers)
+                .with("steps", c.tier_steps)
+                .with("migrations", c.tier_migrations);
+            if let Some(report) = stack.tier_report() {
+                t = t
+                    .with("regions", report.regions)
+                    .with("rs_only_regions", report.rs_only_regions)
+                    .with("paper_regions", report.paper_regions)
+                    .with("dense_regions", report.dense_regions)
+                    .with("blended_storage_cost", report.blended_cost());
+            }
+            t
+        })
         .with(
             "verdict",
             Json::object()
@@ -920,8 +1000,10 @@ fn main() {
                     scrub_report.bits_corrected as u64,
                 )
                 .with("sweep_mismatches", sweep_mismatches)
+                .with("restripe_skipped", cfg.tiers)
                 .with("restripe_mismatches", restripe_mismatches)
                 .with("restripe_verify_consistent", restripe_consistent)
+                .with("tier_migrated", c.tier_migrations > 0)
                 .with("passed", !failed),
         );
 

@@ -20,6 +20,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig18;
+pub mod frontier;
 pub mod runtime;
 pub mod scrub;
 pub mod sec3a;
@@ -39,6 +40,7 @@ pub fn analytic() -> Vec<Experiment> {
         fig07::run(),
         sec3a::run(),
         storage::run(),
+        frontier::run(),
         scrub::run(),
         runtime::run(),
         appendix::run(),

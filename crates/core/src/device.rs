@@ -74,6 +74,10 @@ pub enum Access {
     /// replay the intent log, reload layout/wear metadata, reconstruct
     /// the volatile arrays.
     Recover,
+    /// Re-evaluate the tier policy over every region and migrate the
+    /// regions whose measured RBER crossed a threshold (handled by a
+    /// [`crate::TieredMemory`] base).
+    TierStep,
 }
 
 impl Access {
@@ -94,6 +98,7 @@ impl Access {
             Access::Flush => "flush",
             Access::PowerCut => "power_cut",
             Access::Recover => "recover",
+            Access::TierStep => "tier_step",
         }
     }
 
@@ -147,6 +152,8 @@ pub enum AccessOutcome {
     },
     /// The device rebuilt itself from the durable image.
     Recovered(RecoveryReport),
+    /// One tier-policy pass ran over the regions.
+    Tiered(crate::tier::TierReport),
 }
 
 /// What a [`Access::Recover`] pass did (summed across shards by the
@@ -193,14 +200,17 @@ pub enum LayerId {
     Link,
     /// The persistence domain (flush/fence epochs and the intent log).
     Pmem,
+    /// The adaptive per-region tiering base ([`crate::TieredMemory`]).
+    Tiered,
 }
 
 impl LayerId {
     /// Every layer, in stack order (base layouts first).
-    pub const ALL: [LayerId; 8] = [
+    pub const ALL: [LayerId; 9] = [
         LayerId::Chipkill,
         LayerId::Baseline,
         LayerId::Restriped,
+        LayerId::Tiered,
         LayerId::Restripeable,
         LayerId::Wearlevel,
         LayerId::Patrol,
@@ -219,6 +229,7 @@ impl LayerId {
             LayerId::Patrol => "patrol",
             LayerId::Link => "link",
             LayerId::Pmem => "pmem",
+            LayerId::Tiered => "tiered",
         }
     }
 }
@@ -316,6 +327,16 @@ pub struct LayerStats {
     pub recoveries: u64,
     /// Lines redone from the intent log during recovery.
     pub lines_redone: u64,
+    /// Regions currently at the RS-only tier (absolute count, refreshed
+    /// on every tier step so shard merges sum to fleet totals).
+    pub rs_only_regions: u64,
+    /// Regions currently at the paper's RS+VLEW tier (absolute count).
+    pub paper_regions: u64,
+    /// Regions currently at the dense high-protection tier (absolute
+    /// count).
+    pub dense_regions: u64,
+    /// Tier migrations completed (monotonic counter).
+    pub tier_migrations: u64,
 }
 
 impl LayerStats {
@@ -346,6 +367,10 @@ impl LayerStats {
         self.torn_lines += other.torn_lines;
         self.recoveries += other.recoveries;
         self.lines_redone += other.lines_redone;
+        self.rs_only_regions += other.rs_only_regions;
+        self.paper_regions += other.paper_regions;
+        self.dense_regions += other.dense_regions;
+        self.tier_migrations += other.tier_migrations;
     }
 
     /// Publishes every counter into `reg` under `<prefix>.<name>`.
@@ -376,6 +401,10 @@ impl LayerStats {
         c("torn_lines", self.torn_lines);
         c("recoveries", self.recoveries);
         c("lines_redone", self.lines_redone);
+        c("rs_only_regions", self.rs_only_regions);
+        c("paper_regions", self.paper_regions);
+        c("dense_regions", self.dense_regions);
+        c("tier_migrations", self.tier_migrations);
     }
 
     /// The counters as a JSON object (stable key order).
@@ -406,6 +435,10 @@ impl LayerStats {
             .with("torn_lines", self.torn_lines)
             .with("recoveries", self.recoveries)
             .with("lines_redone", self.lines_redone)
+            .with("rs_only_regions", self.rs_only_regions)
+            .with("paper_regions", self.paper_regions)
+            .with("dense_regions", self.dense_regions)
+            .with("tier_migrations", self.tier_migrations)
     }
 }
 
@@ -552,6 +585,12 @@ pub trait BlockDevice: Send {
     fn pmem_domain(&mut self) -> Option<&mut crate::pmem::PmemDomain> {
         None
     }
+
+    /// The tier census, when a [`crate::TieredMemory`] anchors the
+    /// stack. Mid-stack layers forward; single-tier bases return `None`.
+    fn tier_report(&self) -> Option<crate::tier::TierReport> {
+        None
+    }
 }
 
 impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
@@ -584,6 +623,9 @@ impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
     }
     fn pmem_domain(&mut self) -> Option<&mut crate::pmem::PmemDomain> {
         (**self).pmem_domain()
+    }
+    fn tier_report(&self) -> Option<crate::tier::TierReport> {
+        (**self).tier_report()
     }
 }
 
@@ -694,6 +736,7 @@ fn describe_outcome(out: &AccessOutcome) -> String {
         AccessOutcome::Recovered(r) => {
             format!("recovered {} lines redone", r.lines_redone)
         }
+        AccessOutcome::Tiered(r) => format!("tiered {} migrations", r.migrations),
     }
 }
 
@@ -757,7 +800,9 @@ impl BlockDevice for ChipkillMemory {
             Access::Flush => self.handle_flush(ctx),
             Access::PowerCut => self.handle_power_cut(),
             Access::Recover => self.handle_recover(ctx),
-            Access::PatrolStep | Access::Restripe => Err(CoreError::Unsupported(access.kind())),
+            Access::PatrolStep | Access::Restripe | Access::TierStep => {
+                Err(CoreError::Unsupported(access.kind()))
+            }
         };
         record_access(ctx, LayerId::Chipkill, &access, &result);
         result
@@ -852,7 +897,8 @@ impl BlockDevice for BaselineMemory {
             | Access::Restripe
             | Access::Flush
             | Access::PowerCut
-            | Access::Recover => Err(CoreError::Unsupported(access.kind())),
+            | Access::Recover
+            | Access::TierStep => Err(CoreError::Unsupported(access.kind())),
         };
         record_access(ctx, LayerId::Baseline, &access, &result);
         result
@@ -924,9 +970,11 @@ impl BlockDevice for RestripedMemory {
             Access::Flush => self.handle_flush(ctx),
             Access::PowerCut => self.handle_power_cut(),
             Access::Recover => self.handle_recover(ctx),
-            Access::WriteSum { .. } | Access::PatrolStep | Access::Repair | Access::Restripe => {
-                Err(CoreError::Unsupported(access.kind()))
-            }
+            Access::WriteSum { .. }
+            | Access::PatrolStep
+            | Access::Repair
+            | Access::Restripe
+            | Access::TierStep => Err(CoreError::Unsupported(access.kind())),
         };
         record_access(ctx, LayerId::Restriped, &access, &result);
         result

@@ -295,6 +295,12 @@ pub struct ChipkillMemory {
     layout: ChipkillLayout,
     num_blocks: u64,
     stripes: usize,
+    /// Whether the configured tier runs the VLEW boot tier (cached from
+    /// the tier's [`crate::Layout`]).
+    vlew_enabled: bool,
+    /// Bonus blocks per stripe reclaimed from the code area (RS-only
+    /// tier; 0 otherwise).
+    bonus_per_stripe: usize,
     pub(crate) chips: Vec<ChipStore>,
     pub(crate) vlew: BchCode,
     pub(crate) rs: RsCode,
@@ -345,10 +351,17 @@ impl ChipkillMemory {
             .collect();
         let rs = RsCode::per_block();
         let rs_scratch = RsScratch::new(&rs);
-        let vlew = BchCode::vlew();
+        // The VLEW geometry comes from the layout: the BCH generator
+        // depends only on (m, t), so every tier shares the 33 B code
+        // region while protecting a tier-specific data span.
+        let vlew = BchCode::new(12, 22, layout.vlew_data_bytes * 8)
+            .expect("validated layouts yield constructible VLEW parameters");
+        debug_assert_eq!(vlew.parity_bits() / 8, layout.vlew_code_bytes);
         let bch_scratch = BchScratch::new(&vlew);
         let vlew_cw = BitPoly::zero(vlew.len());
         ChipkillMemory {
+            vlew_enabled: cfg.vlew_enabled(),
+            bonus_per_stripe: cfg.bonus_blocks_per_stripe(),
             cfg,
             layout,
             num_blocks,
@@ -404,6 +417,25 @@ impl ChipkillMemory {
     /// The configured layout.
     pub fn layout(&self) -> &ChipkillLayout {
         &self.layout
+    }
+
+    /// The protection tier the rank runs at.
+    pub fn tier(&self) -> crate::layout::ProtectionTier {
+        self.cfg.tier
+    }
+
+    /// Total storage cost of the configured tier (check bits per user
+    /// bit).
+    pub fn storage_cost(&self) -> f64 {
+        self.cfg.total_storage_cost()
+    }
+
+    /// Bonus blocks reclaimed from the VLEW code area (RS-only tier;
+    /// 0 for VLEW-bearing tiers). Addressed separately from the primary
+    /// space via [`ChipkillMemory::read_bonus_block`] /
+    /// [`ChipkillMemory::write_bonus_block`].
+    pub fn bonus_blocks(&self) -> u64 {
+        (self.stripes * self.bonus_per_stripe) as u64
     }
 
     /// The chip failure detected so far, if any.
@@ -576,7 +608,7 @@ impl ChipkillMemory {
                     *b ^= d;
                 }
             }
-            if delta8.iter().any(|&d| d != 0) {
+            if self.vlew_enabled && delta8.iter().any(|&d| d != 0) {
                 let delta = self.vlew_delta_for(off, &delta8);
                 self.apply_chip_code_update(c, stripe, &delta);
             }
@@ -588,7 +620,7 @@ impl ChipkillMemory {
                 *b ^= d;
             }
         }
-        if check_sum.iter().any(|&d| d != 0) {
+        if self.vlew_enabled && check_sum.iter().any(|&d| d != 0) {
             let delta = self.vlew_delta_for(off, &check_sum);
             self.apply_chip_code_update(parity_idx, stripe, &delta);
         }
@@ -601,24 +633,27 @@ impl ChipkillMemory {
         let stripe = self.layout.stripe_of(addr);
         let off = self.layout.offset_in_stripe(addr);
         let parity_idx = self.layout.data_chips;
-        // VLEW code updates from the corrected delta.
-        let mut delta8 = [0u8; 8];
-        for c in 0..self.layout.data_chips {
-            let (s, e) = self.layout.rs_positions_of_data_chip(c);
-            for (d, i) in delta8.iter_mut().zip(s..e) {
+        // VLEW code updates from the corrected delta (VLEW-bearing tiers
+        // only; the RS-only tier keeps no code to maintain).
+        if self.vlew_enabled {
+            let mut delta8 = [0u8; 8];
+            for c in 0..self.layout.data_chips {
+                let (s, e) = self.layout.rs_positions_of_data_chip(c);
+                for (d, i) in delta8.iter_mut().zip(s..e) {
+                    *d = old72[i] ^ new72[i];
+                }
+                if delta8.iter().any(|&d| d != 0) {
+                    let delta = self.vlew_delta_for(off, &delta8);
+                    self.apply_chip_code_update(c, stripe, &delta);
+                }
+            }
+            for (d, i) in delta8.iter_mut().zip(0..8) {
                 *d = old72[i] ^ new72[i];
             }
             if delta8.iter().any(|&d| d != 0) {
                 let delta = self.vlew_delta_for(off, &delta8);
-                self.apply_chip_code_update(c, stripe, &delta);
+                self.apply_chip_code_update(parity_idx, stripe, &delta);
             }
-        }
-        for (d, i) in delta8.iter_mut().zip(0..8) {
-            *d = old72[i] ^ new72[i];
-        }
-        if delta8.iter().any(|&d| d != 0) {
-            let delta = self.vlew_delta_for(off, &delta8);
-            self.apply_chip_code_update(parity_idx, stripe, &delta);
         }
         self.scatter_block(addr, new72);
     }
@@ -678,6 +713,13 @@ impl ChipkillMemory {
                 Ok(ReadPath::RsCorrected { corrections })
             }
             ThresholdOutcome::Rejected(_) => {
+                if !self.vlew_enabled {
+                    // RS-only tier: the full RS radius was already spent
+                    // (threshold = rs_check_bytes / 2); there is no
+                    // deeper tier to fall back to.
+                    self.stats.due_events += 1;
+                    return Err(CoreError::Uncorrectable);
+                }
                 self.stats.fallbacks += 1;
                 let out = self.vlew_fallback_read(addr)?;
                 *data = out.data;
@@ -747,7 +789,15 @@ impl ChipkillMemory {
 
     /// Erasure-corrects a block given a known-failed chip, decoding the
     /// surviving chips' VLEWs first so the RS erasure input is clean.
+    /// The RS-only tier has no VLEWs to pre-correct with and erasure-
+    /// decodes the raw gathered word instead.
     fn read_via_erasure(&mut self, addr: u64, chip: usize) -> Result<[u8; 64], CoreError> {
+        if !self.vlew_enabled {
+            self.stats.erasure_reads += 1;
+            let mut word = [0u8; 72];
+            self.gather_block_into(addr, &mut word);
+            return self.erasure_decode_word(&mut word, chip);
+        }
         let stripe = self.layout.stripe_of(addr);
         self.close_stripe(stripe);
         let mut corrected: Vec<Option<Vec<u8>>> = Vec::new();
@@ -807,6 +857,176 @@ impl ChipkillMemory {
             .decode_with_erasures_scratch(&mut word, &erasures, &mut self.rs_scratch)
             .map_err(|_| CoreError::Uncorrectable)?;
         Ok(word[8..].try_into().expect("64 data bytes"))
+    }
+
+    /// Erasure-decodes a gathered 72-byte word in place with `chip`'s
+    /// positions as erasures, returning the 64 data bytes. With the
+    /// parity chip failed the data chips alone carry the block.
+    fn erasure_decode_word(
+        &mut self,
+        word: &mut [u8; 72],
+        chip: usize,
+    ) -> Result<[u8; 64], CoreError> {
+        let parity_idx = self.layout.data_chips;
+        if chip == parity_idx {
+            return Ok(word[8..].try_into().expect("64 data bytes"));
+        }
+        let (es, ee) = self.layout.rs_positions_of_data_chip(chip);
+        let mut erasures = [0usize; 8];
+        for (slot, p) in erasures.iter_mut().zip(es..ee) {
+            *slot = p;
+        }
+        self.rs
+            .decode_with_erasures_scratch(word, &erasures, &mut self.rs_scratch)
+            .map_err(|_| CoreError::Uncorrectable)?;
+        Ok(word[8..].try_into().expect("64 data bytes"))
+    }
+
+    /// RS-scrubs one primary block (RS-only tier's boot scrub unit):
+    /// threshold-decodes the word and rewrites it if corrections were
+    /// made. Returns the number of symbols corrected.
+    pub(crate) fn rs_scrub_block(&mut self, addr: u64) -> Result<usize, CoreError> {
+        let mut word = [0u8; 72];
+        self.gather_block_into(addr, &mut word);
+        match self
+            .rs
+            .decode_with_threshold_scratch(&mut word, self.cfg.threshold, &mut self.rs_scratch)
+            .expect("word length is correct")
+        {
+            ThresholdOutcome::Clean => Ok(0),
+            ThresholdOutcome::Accepted { corrections } => {
+                self.scatter_block(addr, &word);
+                Ok(corrections)
+            }
+            ThresholdOutcome::Rejected(_) => Err(CoreError::Uncorrectable),
+        }
+    }
+
+    /// [`ChipkillMemory::rs_scrub_block`] for a bonus block.
+    pub(crate) fn rs_scrub_bonus(&mut self, idx: u64) -> Result<usize, CoreError> {
+        let mut word = [0u8; 72];
+        self.gather_bonus_into(idx, &mut word);
+        match self
+            .rs
+            .decode_with_threshold_scratch(&mut word, self.cfg.threshold, &mut self.rs_scratch)
+            .expect("word length is correct")
+        {
+            ThresholdOutcome::Clean => Ok(0),
+            ThresholdOutcome::Accepted { corrections } => {
+                self.scatter_bonus(idx, &word);
+                Ok(corrections)
+            }
+            ThresholdOutcome::Rejected(_) => Err(CoreError::Uncorrectable),
+        }
+    }
+
+    /// Gathers bonus block `idx`'s 72-byte RS word from the chips' code
+    /// regions: check bytes from the parity chip's slice, then each data
+    /// chip's 8 bytes, mirroring [`ChipkillMemory::gather_block_into`].
+    pub(crate) fn gather_bonus_into(&self, idx: u64, word: &mut [u8; 72]) {
+        let stripe = idx as usize / self.bonus_per_stripe;
+        let base = (idx as usize % self.bonus_per_stripe) * self.layout.chip_bytes;
+        let cb = self.layout.chip_bytes;
+        let parity_idx = self.layout.data_chips;
+        word[..self.layout.rs_check_bytes].copy_from_slice(
+            &self.chips[parity_idx].vlew_code(stripe, &self.layout)[base..base + cb],
+        );
+        for c in 0..self.layout.data_chips {
+            let (s, e) = self.layout.rs_positions_of_data_chip(c);
+            word[s..e]
+                .copy_from_slice(&self.chips[c].vlew_code(stripe, &self.layout)[base..base + cb]);
+        }
+    }
+
+    fn scatter_bonus(&mut self, idx: u64, word: &[u8; 72]) {
+        let stripe = idx as usize / self.bonus_per_stripe;
+        let base = (idx as usize % self.bonus_per_stripe) * self.layout.chip_bytes;
+        let cb = self.layout.chip_bytes;
+        let parity_idx = self.layout.data_chips;
+        let layout = self.layout;
+        self.chips[parity_idx].vlew_code_mut(stripe, &layout)[base..base + cb]
+            .copy_from_slice(&word[..layout.rs_check_bytes]);
+        for c in 0..layout.data_chips {
+            let (s, e) = layout.rs_positions_of_data_chip(c);
+            self.chips[c].vlew_code_mut(stripe, &layout)[base..base + cb]
+                .copy_from_slice(&word[s..e]);
+        }
+    }
+
+    /// Reads a bonus block (RS-only tier): RS threshold decode over the
+    /// reclaimed code-area word, erasure correction with a known-failed
+    /// chip. There is no VLEW behind these blocks, so a rejected word is
+    /// a detected uncorrectable error.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unsupported`] on VLEW-bearing tiers (no reclaimed
+    /// capacity), [`CoreError::OutOfRange`], [`CoreError::Uncorrectable`].
+    pub fn read_bonus_block(&mut self, idx: u64) -> Result<ReadOutcome, CoreError> {
+        if self.bonus_per_stripe == 0 {
+            return Err(CoreError::Unsupported("bonus_read"));
+        }
+        if idx >= self.bonus_blocks() {
+            return Err(CoreError::OutOfRange(idx));
+        }
+        self.stats.reads += 1;
+        let mut word = [0u8; 72];
+        self.gather_bonus_into(idx, &mut word);
+        if let Some(chip) = self.known_failed {
+            let data = self.erasure_decode_word(&mut word, chip)?;
+            self.stats.erasure_reads += 1;
+            return Ok(ReadOutcome {
+                data,
+                path: ReadPath::ChipkillErasure { chip },
+            });
+        }
+        match self
+            .rs
+            .decode_with_threshold_scratch(&mut word, self.cfg.threshold, &mut self.rs_scratch)
+            .expect("word length is correct")
+        {
+            ThresholdOutcome::Clean => {
+                self.stats.clean_reads += 1;
+                Ok(ReadOutcome {
+                    data: word[8..].try_into().expect("64 data bytes"),
+                    path: ReadPath::Clean,
+                })
+            }
+            ThresholdOutcome::Accepted { corrections } => {
+                self.stats.rs_accepted += 1;
+                self.stats.rs_corrections += corrections as u64;
+                Ok(ReadOutcome {
+                    data: word[8..].try_into().expect("64 data bytes"),
+                    path: ReadPath::RsCorrected { corrections },
+                })
+            }
+            ThresholdOutcome::Rejected(_) => {
+                self.stats.due_events += 1;
+                Err(CoreError::Uncorrectable)
+            }
+        }
+    }
+
+    /// Writes a bonus block (RS-only tier). Bonus blocks carry no VLEW,
+    /// so the write is a plain encode-and-scatter — no old value needed.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unsupported`] on VLEW-bearing tiers,
+    /// [`CoreError::OutOfRange`].
+    pub fn write_bonus_block(&mut self, idx: u64, new: &[u8; 64]) -> Result<(), CoreError> {
+        if self.bonus_per_stripe == 0 {
+            return Err(CoreError::Unsupported("bonus_write"));
+        }
+        if idx >= self.bonus_blocks() {
+            return Err(CoreError::OutOfRange(idx));
+        }
+        let mut word = [0u8; 72];
+        word[8..].copy_from_slice(new);
+        self.rs.parity_into(new, &mut word[..8]);
+        self.scatter_bonus(idx, &word);
+        self.stats.writes += 1;
+        Ok(())
     }
 
     /// Assembles chip `chip`'s VLEW codeword for `stripe` into `dst`
@@ -938,6 +1158,9 @@ impl ChipkillMemory {
         {
             ThresholdOutcome::Clean | ThresholdOutcome::Accepted { .. } => Ok(()),
             ThresholdOutcome::Rejected(_) => {
+                if !self.vlew_enabled {
+                    return Err(CoreError::Uncorrectable);
+                }
                 let stripe = self.layout.stripe_of(addr);
                 self.close_stripe(stripe);
                 let off = self.layout.offset_in_stripe(addr);
@@ -1123,6 +1346,9 @@ impl ChipkillMemory {
     ///
     /// [`CoreError::Uncorrectable`] if some block cannot be rebuilt.
     pub fn repair_chip(&mut self, chip: usize) -> Result<(), CoreError> {
+        if !self.vlew_enabled {
+            return self.repair_chip_rs_only(chip);
+        }
         let parity_idx = self.layout.data_chips;
         self.flush_eur();
         for stripe in 0..self.stripes {
@@ -1179,6 +1405,51 @@ impl ChipkillMemory {
             self.chips[chip]
                 .vlew_code_mut(stripe, &layout)
                 .copy_from_slice(&code_bytes);
+        }
+        self.failed_chip = None;
+        self.known_failed = None;
+        Ok(())
+    }
+
+    /// RS-only repair: every primary and bonus word is erasure-rebuilt
+    /// (or, for the parity chip, its check bytes recomputed from the
+    /// stored data). Without VLEWs the survivors cannot be pre-corrected,
+    /// so residual random bit errors on them survive the rebuild — the
+    /// tier's documented trade-off.
+    fn repair_chip_rs_only(&mut self, chip: usize) -> Result<(), CoreError> {
+        let parity_idx = self.layout.data_chips;
+        for addr in 0..self.num_blocks {
+            let stripe = self.layout.stripe_of(addr);
+            let off = self.layout.offset_in_stripe(addr);
+            let mut word = [0u8; 72];
+            self.gather_block_into(addr, &mut word);
+            let layout = self.layout;
+            if chip == parity_idx {
+                let data: [u8; 64] = word[8..].try_into().expect("64 data bytes");
+                let mut check = [0u8; 8];
+                self.rs.parity_into(&data, &mut check);
+                self.chips[parity_idx]
+                    .block_slice_mut(stripe, off, &layout)
+                    .copy_from_slice(&check);
+            } else {
+                let data = self.erasure_decode_word(&mut word, chip)?;
+                self.chips[chip]
+                    .block_slice_mut(stripe, off, &layout)
+                    .copy_from_slice(&data[chip * 8..(chip + 1) * 8]);
+            }
+        }
+        for idx in 0..self.bonus_blocks() {
+            let mut word = [0u8; 72];
+            self.gather_bonus_into(idx, &mut word);
+            if chip == parity_idx {
+                let data: [u8; 64] = word[8..].try_into().expect("64 data bytes");
+                let mut check = [0u8; 8];
+                self.rs.parity_into(&data, &mut check);
+                word[..8].copy_from_slice(&check);
+            } else {
+                self.erasure_decode_word(&mut word, chip)?;
+            }
+            self.scatter_bonus(idx, &word);
         }
         self.failed_chip = None;
         self.known_failed = None;

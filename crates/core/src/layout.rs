@@ -1,4 +1,20 @@
-//! Rank-level data and ECC layout (paper §V-A, Figure 6).
+//! Rank-level data and ECC layout (paper §V-A, Figure 6), plus the
+//! pluggable protection tiers layered on top of it.
+//!
+//! The paper fixes one design point — RS(72, 64) per block plus a
+//! t = 22 BCH VLEW per 256 B of chip data, 27% storage cost everywhere.
+//! [`Layout`] generalizes that into a trait with three implementations
+//! selected by [`ProtectionTier`]:
+//!
+//! | tier | VLEW | RS threshold | storage cost | intended for |
+//! |---|---|---|---|---|
+//! | [`RsOnlyLayout`] | off (code area → bonus blocks) | 4 (full radius) | ≈ 12.9% | healthy regions |
+//! | [`PaperLayout`] | 256 B / chip, t = 22 | 2 | ≈ 27% | the paper's fixed point |
+//! | [`DenseLayout`] | 128 B / chip, t = 22 | 2 | ≈ 41.5% | worn regions |
+//!
+//! All three share the RS(72, 64) block codeword and the 9-chip rank, so
+//! the engine's gather/scatter kernels are reused unchanged; only the
+//! per-chip VLEW striping and the decode policy differ.
 
 /// Geometry of the proposed layout. The defaults are the paper's:
 /// 64 B blocks over 8 data chips + 1 parity chip; per chip, each 256 B of
@@ -94,6 +110,260 @@ impl ChipkillLayout {
     pub fn rs_positions_of_parity_chip(&self) -> (usize, usize) {
         (0, self.rs_check_bytes)
     }
+
+    /// The dense (Chip-Guard-style) geometry: the same 9-chip rank and
+    /// RS(72, 64) block codeword, but each VLEW covers only 128 B of
+    /// chip data with the same 33 B of t = 22 BCH code — twice the
+    /// code density of the paper's point.
+    pub fn dense() -> Self {
+        ChipkillLayout {
+            vlew_data_bytes: 128,
+            ..ChipkillLayout::default()
+        }
+    }
+
+    /// Checks the geometry invariants every derived quantity assumes.
+    ///
+    /// An invalid geometry would otherwise *silently* miscompute
+    /// `stripe_of`/`offset_in_stripe` (non-divisible VLEW striping) or
+    /// `vlew_fallback_extra_blocks` (zero code bytes), so builders call
+    /// this before constructing an engine.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.block_bytes == 0 || self.data_chips == 0 || self.chip_bytes == 0 {
+            return Err("block_bytes, data_chips, and chip_bytes must be nonzero".into());
+        }
+        if self.block_bytes != self.data_chips * self.chip_bytes {
+            return Err(format!(
+                "block_bytes ({}) must equal data_chips ({}) x chip_bytes ({})",
+                self.block_bytes, self.data_chips, self.chip_bytes
+            ));
+        }
+        if self.vlew_data_bytes == 0 || !self.vlew_data_bytes.is_multiple_of(self.chip_bytes) {
+            return Err(format!(
+                "vlew_data_bytes ({}) must be a nonzero multiple of chip_bytes ({})",
+                self.vlew_data_bytes, self.chip_bytes
+            ));
+        }
+        if self.vlew_code_bytes == 0 {
+            return Err("vlew_code_bytes must be nonzero".into());
+        }
+        if self.rs_check_bytes == 0 {
+            return Err("rs_check_bytes must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+/// The protection tier a region (or a whole rank) runs at. Selects one
+/// of the three [`Layout`] implementations; [`TierPolicy`] assigns a
+/// tier to each region from its measured RBER.
+///
+/// [`TierPolicy`]: crate::tier::TierPolicy
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtectionTier {
+    /// RS(72, 64) only; the VLEW code area is reclaimed as bonus blocks.
+    RsOnly,
+    /// The paper's fixed RS + VLEW design point (§V-A).
+    Paper,
+    /// Dense VLEW striping (128 B/chip at t = 22) for worn regions.
+    Dense,
+}
+
+impl ProtectionTier {
+    /// Every tier, in ascending protection order.
+    pub const ALL: [ProtectionTier; 3] = [
+        ProtectionTier::RsOnly,
+        ProtectionTier::Paper,
+        ProtectionTier::Dense,
+    ];
+
+    /// Stable lowercase name (metrics keys, JSON, corpus entries).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProtectionTier::RsOnly => "rs_only",
+            ProtectionTier::Paper => "paper",
+            ProtectionTier::Dense => "dense",
+        }
+    }
+
+    /// The durable meta-line tag. `Paper` encodes as 0 so pre-tier meta
+    /// lines (whose word 6 was reserved-zero) decode as the paper tier.
+    pub fn tag(self) -> u64 {
+        match self {
+            ProtectionTier::Paper => 0,
+            ProtectionTier::RsOnly => 1,
+            ProtectionTier::Dense => 2,
+        }
+    }
+
+    /// Decodes a durable meta-line tag back into a tier.
+    pub fn from_tag(tag: u64) -> Option<Self> {
+        match tag {
+            0 => Some(ProtectionTier::Paper),
+            1 => Some(ProtectionTier::RsOnly),
+            2 => Some(ProtectionTier::Dense),
+            _ => None,
+        }
+    }
+
+    /// The tier's [`Layout`] implementation.
+    pub fn layout(self) -> &'static dyn Layout {
+        match self {
+            ProtectionTier::RsOnly => &RsOnlyLayout,
+            ProtectionTier::Paper => &PaperLayout,
+            ProtectionTier::Dense => &DenseLayout,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtectionTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for ProtectionTier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ProtectionTier::ALL
+            .into_iter()
+            .find(|t| t.as_str() == s)
+            .ok_or_else(|| format!("unknown protection tier: {s}"))
+    }
+}
+
+/// A pluggable rank protection layout: the geometry plus the decode
+/// policy knobs that distinguish the three tiers. Implementations are
+/// stateless unit structs reachable through [`ProtectionTier::layout`],
+/// so configs stay `Copy` and carry only the tier tag.
+pub trait Layout {
+    /// The tier this layout implements.
+    fn tier(&self) -> ProtectionTier;
+
+    /// Human-readable name.
+    fn name(&self) -> &'static str {
+        self.tier().as_str()
+    }
+
+    /// The rank geometry the engine should use.
+    fn geometry(&self) -> ChipkillLayout;
+
+    /// Whether the per-chip VLEW boot tier is active. When `false` the
+    /// code area holds bonus blocks instead of BCH code bits.
+    fn vlew_enabled(&self) -> bool {
+        true
+    }
+
+    /// The RS acceptance threshold (max corrections accepted without
+    /// escalating). The paper point uses 2 to bound SDC; an RS-only
+    /// layout has no fallback tier and spends the full radius.
+    fn rs_threshold(&self) -> usize;
+
+    /// Bonus 64 B blocks reclaimed from each stripe's code area (0 for
+    /// VLEW-bearing layouts).
+    fn bonus_blocks_per_stripe(&self) -> usize {
+        0
+    }
+
+    /// Total storage cost: check bytes per user-data byte.
+    fn total_storage_cost(&self) -> f64;
+
+    /// Validates the layout's geometry invariants.
+    fn validate(&self) -> Result<(), String> {
+        self.geometry().validate()
+    }
+}
+
+/// The paper's fixed design point: RS(72, 64) at threshold 2 with the
+/// 256 B / 33 B t = 22 VLEW boot tier — ≈ 27% total storage cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaperLayout;
+
+impl Layout for PaperLayout {
+    fn tier(&self) -> ProtectionTier {
+        ProtectionTier::Paper
+    }
+
+    fn geometry(&self) -> ChipkillLayout {
+        ChipkillLayout::default()
+    }
+
+    fn rs_threshold(&self) -> usize {
+        2
+    }
+
+    fn total_storage_cost(&self) -> f64 {
+        self.geometry().total_storage_cost()
+    }
+}
+
+/// The healthy-region layout: RS(72, 64) alone, spending the full
+/// correction radius. The per-chip VLEW code area is reclaimed as bonus
+/// blocks — four extra RS-protected 64 B blocks per stripe, striped
+/// 8 B/chip across the code region exactly like primary blocks — so the
+/// storage cost drops to ≈ 12.9%.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RsOnlyLayout;
+
+impl Layout for RsOnlyLayout {
+    fn tier(&self) -> ProtectionTier {
+        ProtectionTier::RsOnly
+    }
+
+    fn geometry(&self) -> ChipkillLayout {
+        ChipkillLayout::default()
+    }
+
+    fn vlew_enabled(&self) -> bool {
+        false
+    }
+
+    fn rs_threshold(&self) -> usize {
+        // No VLEW fallback behind the block code: spend the full
+        // radius, floor(rs_check_bytes / 2) = 4 symbol corrections.
+        self.geometry().rs_check_bytes / 2
+    }
+
+    fn bonus_blocks_per_stripe(&self) -> usize {
+        let g = self.geometry();
+        g.vlew_code_bytes / g.chip_bytes
+    }
+
+    fn total_storage_cost(&self) -> f64 {
+        let g = self.geometry();
+        // Per stripe: 9 chips x (256 + 33) physical bytes serve
+        // 8 x 256 primary data bytes plus the reclaimed bonus blocks.
+        let physical = g.total_chips() * (g.vlew_data_bytes + g.vlew_code_bytes);
+        let user =
+            g.data_chips * g.vlew_data_bytes + self.bonus_blocks_per_stripe() * g.block_bytes;
+        (physical - user) as f64 / user as f64
+    }
+}
+
+/// The worn-region layout: the same t = 22 BCH code over half the data
+/// (128 B per VLEW), doubling the code density per stored bit in the
+/// style of Chip Guard's strengthened per-chip ECC — ≈ 41.5% storage
+/// cost, bought only where the measured RBER demands it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DenseLayout;
+
+impl Layout for DenseLayout {
+    fn tier(&self) -> ProtectionTier {
+        ProtectionTier::Dense
+    }
+
+    fn geometry(&self) -> ChipkillLayout {
+        ChipkillLayout::dense()
+    }
+
+    fn rs_threshold(&self) -> usize {
+        2
+    }
+
+    fn total_storage_cost(&self) -> f64 {
+        self.geometry().total_storage_cost()
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +415,105 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_chip_panics() {
         let _ = ChipkillLayout::default().rs_positions_of_data_chip(8);
+    }
+
+    #[test]
+    fn validate_accepts_the_shipped_geometries() {
+        ChipkillLayout::default().validate().unwrap();
+        ChipkillLayout::dense().validate().unwrap();
+        for tier in ProtectionTier::ALL {
+            tier.layout().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_each_broken_invariant() {
+        let good = ChipkillLayout::default();
+        let cases = [
+            ChipkillLayout {
+                chip_bytes: 0,
+                ..good
+            },
+            // block no longer data_chips x chip_bytes
+            ChipkillLayout {
+                block_bytes: 60,
+                ..good
+            },
+            // VLEW striping not block-aligned
+            ChipkillLayout {
+                vlew_data_bytes: 260,
+                ..good
+            },
+            ChipkillLayout {
+                vlew_data_bytes: 0,
+                ..good
+            },
+            ChipkillLayout {
+                vlew_code_bytes: 0,
+                ..good
+            },
+            ChipkillLayout {
+                rs_check_bytes: 0,
+                ..good
+            },
+        ];
+        for bad in cases {
+            assert!(bad.validate().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn tier_table() {
+        use std::str::FromStr;
+        for tier in ProtectionTier::ALL {
+            let l = tier.layout();
+            assert_eq!(l.tier(), tier);
+            assert_eq!(l.name(), tier.as_str());
+            assert_eq!(ProtectionTier::from_str(tier.as_str()), Ok(tier));
+            assert_eq!(ProtectionTier::from_tag(tier.tag()), Some(tier));
+            // Every tier keeps the RS(72, 64) block codeword the engine
+            // scratch buffers assume.
+            assert_eq!(l.geometry().rs_codeword_bytes(), 72);
+        }
+        // Word 6 of pre-tier meta lines was reserved-zero: it must keep
+        // decoding as the paper tier.
+        assert_eq!(ProtectionTier::Paper.tag(), 0);
+        assert_eq!(ProtectionTier::from_tag(7), None);
+        assert!(ProtectionTier::from_str("warp-core").is_err());
+    }
+
+    #[test]
+    fn tier_costs_bracket_the_paper_point() {
+        let rs_only = ProtectionTier::RsOnly.layout().total_storage_cost();
+        let paper = ProtectionTier::Paper.layout().total_storage_cost();
+        let dense = ProtectionTier::Dense.layout().total_storage_cost();
+        assert!((paper - 0.2699).abs() < 0.001, "paper {paper}");
+        assert!(
+            (rs_only - 297.0 / 2304.0).abs() < 1e-12,
+            "rs_only {rs_only}"
+        );
+        assert!((dense - 0.4150).abs() < 0.001, "dense {dense}");
+        assert!(rs_only < paper && paper < dense);
+    }
+
+    #[test]
+    fn rs_only_reclaims_four_bonus_blocks_per_stripe() {
+        let l = RsOnlyLayout;
+        assert_eq!(l.bonus_blocks_per_stripe(), 4);
+        assert!(!l.vlew_enabled());
+        assert_eq!(l.rs_threshold(), 4);
+        // The bonus blocks' per-chip slices (4 x 8 = 32 B) fit inside
+        // each chip's 33 B code region.
+        let g = l.geometry();
+        assert!(l.bonus_blocks_per_stripe() * g.chip_bytes <= g.vlew_code_bytes);
+    }
+
+    #[test]
+    fn dense_geometry_doubles_code_density() {
+        let d = ChipkillLayout::dense();
+        assert_eq!(d.blocks_per_vlew(), 16);
+        assert_eq!(d.vlew_code_bytes, 33);
+        assert_eq!(d.vlew_fallback_extra_blocks(), 19);
+        assert!(d.vlew_overhead() > 2.0 * ChipkillLayout::default().vlew_overhead() - 1e-9);
     }
 }

@@ -63,6 +63,7 @@ mod restripe;
 mod scrub;
 mod stack;
 mod stats;
+mod tier;
 mod wearlevel;
 
 pub use baseline::{BaselineMemory, BaselineReadOutcome};
@@ -76,7 +77,7 @@ pub use engine::{
     ServiceFailure,
 };
 pub use iocrc::{crc16, BusFault, LinkProtected, TransmitOutcome, WriteLink};
-pub use layout::ChipkillLayout;
+pub use layout::{ChipkillLayout, DenseLayout, Layout, PaperLayout, ProtectionTier, RsOnlyLayout};
 pub use patrol::{PatrolReport, PatrolScrubber, Patrolled};
 pub use pmem::PmemDomain;
 pub use request::{Request, Response};
@@ -84,6 +85,7 @@ pub use restripe::{Restripeable, RestripedMemory, BLOCKS_PER_GROUP};
 pub use scrub::ScrubReport;
 pub use stack::{Stack, StackBuilder};
 pub use stats::CoreStats;
+pub use tier::{TierPolicy, TierReport, TieredMemory};
 pub use wearlevel::{WearLevelled, WearLevelledMemory};
 
 // Re-exports used in public signatures.

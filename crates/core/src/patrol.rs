@@ -208,6 +208,10 @@ impl<D: BlockDevice> BlockDevice for Patrolled<D> {
         self.inner.pmem_domain()
     }
 
+    fn tier_report(&self) -> Option<crate::tier::TierReport> {
+        self.inner.tier_report()
+    }
+
     fn access(
         &mut self,
         access: Access,

@@ -44,7 +44,7 @@ use pmck_pmem::{crc32, FenceReport, PersistentMedia, PmemConfig, ReplayOutcome};
 
 use crate::device::{Access, AccessContext, AccessOutcome, LayerId, RecoveryReport};
 use crate::engine::{ChipkillMemory, CoreError, RecoveryError, RecoveryFailure};
-use crate::layout::ChipkillLayout;
+use crate::layout::{ChipkillLayout, ProtectionTier};
 use crate::rank::EurModel;
 use crate::restripe::{RestripeState, Restripeable, RestripedMemory, BLOCKS_PER_GROUP};
 
@@ -144,6 +144,10 @@ pub(crate) struct MetaLine {
     pub wear_gap: u64,
     /// Start-Gap start position at the time of the fence.
     pub wear_start: u64,
+    /// Protection tier of the durable chipkill image (word 6; `Paper`
+    /// encodes as 0, so pre-tier meta lines — whose word 6 was
+    /// reserved-zero — decode as the paper tier).
+    pub tier: ProtectionTier,
 }
 
 impl MetaLine {
@@ -156,7 +160,7 @@ impl MetaLine {
             self.failed_chip.map_or(META_NO_CHIP, |c| c as u64),
             self.wear_gap,
             self.wear_start,
-            0, // reserved
+            self.tier.tag(),
         ];
         for (i, w) in words.iter().enumerate() {
             line[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
@@ -185,11 +189,13 @@ impl MetaLine {
             c if (c as usize) < chips => Some(c as usize),
             _ => return Err(bad()),
         };
+        let tier = ProtectionTier::from_tag(word(6)).ok_or_else(bad)?;
         Ok(MetaLine {
             restriped,
             failed_chip,
             wear_gap: word(4),
             wear_start: word(5),
+            tier,
         })
     }
 }
@@ -279,12 +285,18 @@ impl PmemDomain {
     }
 
     /// Stages the metadata line for the given layout state.
-    pub(crate) fn stage_meta(&mut self, restriped: bool, failed_chip: Option<usize>) {
+    pub(crate) fn stage_meta(
+        &mut self,
+        restriped: bool,
+        failed_chip: Option<usize>,
+        tier: ProtectionTier,
+    ) {
         let line = MetaLine {
             restriped,
             failed_chip,
             wear_gap: self.wear_gap,
             wear_start: self.wear_start,
+            tier,
         }
         .encode();
         self.media.stage(self.map.meta(), &line);
@@ -352,6 +364,8 @@ impl ChipkillMemory {
     /// Re-stages the whole live image (all chip arrays plus metadata)
     /// into the media; compare-skip keeps unchanged lines clean.
     pub(crate) fn stage_image(&mut self) {
+        let tier = self.config().tier;
+        let failed = self.known_failed;
         let Some(domain) = self.domain.as_mut() else {
             return;
         };
@@ -359,8 +373,7 @@ impl ChipkillMemory {
             domain.media.stage(domain.map.chip_data(c), &chip.data);
             domain.media.stage(domain.map.chip_code(c), &chip.code);
         }
-        let failed = self.known_failed;
-        domain.stage_meta(false, failed);
+        domain.stage_meta(false, failed, tier);
     }
 
     /// Rebuilds the live arrays wholesale from the recovered image. The
@@ -443,7 +456,7 @@ impl RestripedMemory {
         };
         domain.media.stage(domain.map.b_data(), &self.data);
         domain.media.stage(domain.map.b_code(), &self.codes);
-        domain.stage_meta(true, None);
+        domain.stage_meta(true, None, ProtectionTier::Paper);
     }
 
     /// Rebuilds the live arrays from the recovered region B image.
@@ -683,6 +696,7 @@ mod tests {
             failed_chip: Some(3),
             wear_gap: 17,
             wear_start: 5,
+            tier: ProtectionTier::Dense,
         };
         let line = meta.encode();
         assert_eq!(MetaLine::decode(&line, 9).unwrap(), meta);

@@ -60,6 +60,9 @@ pub enum Request {
     PowerCut,
     /// Replay the intent log and rebuild runtime state from media.
     Recover,
+    /// Run one tier-policy pass: re-evaluate every region's measured
+    /// RBER and migrate regions whose protection tier changed.
+    TierStep,
 }
 
 impl Request {
@@ -109,6 +112,7 @@ impl From<Request> for Access {
             Request::Flush => Access::Flush,
             Request::PowerCut => Access::PowerCut,
             Request::Recover => Access::Recover,
+            Request::TierStep => Access::TierStep,
         }
     }
 }
@@ -152,6 +156,8 @@ pub enum Response {
     },
     /// Recovery replayed the intent log and rebuilt runtime state.
     Recovered(crate::device::RecoveryReport),
+    /// One tier-policy pass ran over the regions.
+    Tiered(crate::tier::TierReport),
 }
 
 impl Response {
@@ -210,6 +216,14 @@ impl Response {
             _ => None,
         }
     }
+
+    /// The tier report, when this answers a [`Request::TierStep`].
+    pub fn tiered(self) -> Option<crate::tier::TierReport> {
+        match self {
+            Response::Tiered(r) => Some(r),
+            _ => None,
+        }
+    }
 }
 
 impl From<AccessOutcome> for Response {
@@ -227,6 +241,7 @@ impl From<AccessOutcome> for Response {
             AccessOutcome::Flushed { lines } => Response::Flushed { lines },
             AccessOutcome::PowerLost { lost_lines } => Response::PowerLost { lost_lines },
             AccessOutcome::Recovered(r) => Response::Recovered(r),
+            AccessOutcome::Tiered(r) => Response::Tiered(r),
         }
     }
 }

@@ -35,6 +35,9 @@ impl ChipkillMemory {
     /// itself fails. In both cases data may be partially scrubbed but no
     /// wrong data is silently accepted.
     pub fn boot_scrub(&mut self) -> Result<ScrubReport, CoreError> {
+        if !self.config().vlew_enabled() {
+            return self.boot_scrub_rs_only();
+        }
         self.flush_eur();
         let mut report = ScrubReport::default();
         let mut failed_chips: Vec<usize> = Vec::new();
@@ -76,13 +79,44 @@ impl ChipkillMemory {
         }
     }
 
+    /// The RS-only tier's boot scrub: no VLEWs exist, so every primary
+    /// and bonus word is RS-threshold-scrubbed instead. `bits_corrected`
+    /// counts corrected RS *symbols* on this tier (the finest unit the
+    /// code sees); a rejected word is a detected uncorrectable error.
+    fn boot_scrub_rs_only(&mut self) -> Result<ScrubReport, CoreError> {
+        let mut report = ScrubReport::default();
+        for addr in 0..self.num_blocks() {
+            if self.is_disabled(addr) {
+                continue;
+            }
+            let n = self.rs_scrub_block(addr)?;
+            if n > 0 {
+                report.words_with_errors += 1;
+                report.bits_corrected += n;
+            }
+        }
+        for idx in 0..self.bonus_blocks() {
+            let n = self.rs_scrub_bonus(idx)?;
+            if n > 0 {
+                report.words_with_errors += 1;
+                report.bits_corrected += n;
+            }
+        }
+        report.stripes_scrubbed = self.stripes();
+        Ok(report)
+    }
+
     /// Verifies rank-wide ECC consistency: every chip's VLEW must be a
-    /// valid codeword and every block's RS word must be clean. Pending
-    /// EUR registers are drained first (their updates are part of the
-    /// consistent state). Intended for tests and post-scrub assertions;
-    /// cost is linear in capacity.
+    /// valid codeword (VLEW-bearing tiers) and every block's RS word —
+    /// bonus blocks included — must be clean. Pending EUR registers are
+    /// drained first (their updates are part of the consistent state).
+    /// Intended for tests and post-scrub assertions; cost is linear in
+    /// capacity.
     pub fn verify_consistent(&mut self) -> bool {
         self.flush_eur();
+        if !self.config().vlew_enabled() {
+            return self.verify_consistent_rs_only();
+        }
         for stripe in 0..self.stripes() {
             for chip in 0..self.layout().total_chips() {
                 let layout = *self.layout();
@@ -102,6 +136,27 @@ impl ChipkillMemory {
             }
             let mut word = [0u8; 72];
             self.gather_block_into(addr, &mut word);
+            if !self.rs.is_codeword(&word) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn verify_consistent_rs_only(&mut self) -> bool {
+        for addr in 0..self.num_blocks() {
+            if self.is_disabled(addr) {
+                continue;
+            }
+            let mut word = [0u8; 72];
+            self.gather_block_into(addr, &mut word);
+            if !self.rs.is_codeword(&word) {
+                return false;
+            }
+        }
+        for idx in 0..self.bonus_blocks() {
+            let mut word = [0u8; 72];
+            self.gather_bonus_into(idx, &mut word);
             if !self.rs.is_codeword(&word) {
                 return false;
             }

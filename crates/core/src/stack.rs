@@ -21,11 +21,13 @@ use crate::device::{
 };
 use crate::engine::{ChipkillMemory, CoreError, ReadOutcome, ReadPath};
 use crate::iocrc::{BusFault, LinkProtected};
+use crate::layout::ProtectionTier;
 use crate::patrol::{PatrolReport, Patrolled};
 use crate::request::{Request, Response};
 use crate::restripe::Restripeable;
 use crate::scrub::ScrubReport;
 use crate::stats::CoreStats;
+use crate::tier::{TierPolicy, TierReport, TieredMemory};
 use crate::wearlevel::WearLevelled;
 
 /// A composed protection stack: a boxed [`BlockDevice`] pipeline plus
@@ -252,6 +254,24 @@ impl Stack {
         }
     }
 
+    /// Runs one tier-policy pass over the regions (requires a
+    /// [`crate::TieredMemory`] base); returns the post-pass census.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unsupported`] without a tiered base.
+    pub fn tier_step(&mut self) -> Result<TierReport, CoreError> {
+        match self.submit(&Request::TierStep)? {
+            Response::Tiered(r) => Ok(r),
+            other => unreachable!("tier_step returned {other:?}"),
+        }
+    }
+
+    /// The current tier census, when a tiered base anchors the stack.
+    pub fn tier_report(&self) -> Option<TierReport> {
+        self.dev.tier_report()
+    }
+
     /// The persistence domain, when the stack was built with one.
     pub fn pmem_domain(&mut self) -> Option<&mut crate::pmem::PmemDomain> {
         self.dev.pmem_domain()
@@ -319,8 +339,11 @@ impl Stack {
         self.ctx.take_trace()
     }
 
-    /// Publishes per-layer counters (`<prefix>.layer.<label>.*`) and, if
-    /// present, the engine stats (`<prefix>.engine.*`).
+    /// Publishes per-layer counters (`<prefix>.layer.<label>.*`), the
+    /// engine stats (`<prefix>.engine.*`) if present, and — on a tiered
+    /// base — the storage-cost gauges: each tier's constant cost under
+    /// `<prefix>.tier_cost.<tier>` and the region-weighted blend under
+    /// `<prefix>.total_storage_cost`.
     pub fn publish_metrics(&self, reg: &MetricsRegistry, prefix: &str) {
         for (label, stats) in self.ctx.layers() {
             stats.publish_metrics(reg, &format!("{prefix}.layer.{label}"));
@@ -328,12 +351,31 @@ impl Stack {
         if let Some(core) = self.core_stats() {
             core.publish_metrics(reg, &format!("{prefix}.engine"));
         }
+        if let Some(report) = self.dev.tier_report() {
+            for tier in ProtectionTier::ALL {
+                reg.set_gauge(
+                    &format!("{prefix}.tier_cost.{tier}"),
+                    tier.layout().total_storage_cost(),
+                );
+            }
+            reg.set_gauge(
+                &format!("{prefix}.total_storage_cost"),
+                report.blended_cost(),
+            );
+        }
     }
 }
 
 enum BaseKind {
-    Proposal { cfg: ChipkillConfig },
+    Proposal {
+        cfg: ChipkillConfig,
+    },
     Baseline,
+    Tiered {
+        cfg: ChipkillConfig,
+        regions: usize,
+        policy: TierPolicy,
+    },
 }
 
 /// Builder assembling any permutation of the paper's protection layers.
@@ -402,6 +444,27 @@ impl StackBuilder {
     /// [`StackBuilder::build`] panics if combined with a baseline base.
     pub fn restripeable(mut self) -> Self {
         self.restripeable = true;
+        self
+    }
+
+    /// Switches a proposal base to adaptive per-region tiering
+    /// ([`crate::TieredMemory`]): the rank splits into `regions` regions,
+    /// each starting at the configured tier, with `policy` migrating
+    /// them as their measured RBER moves ([`Stack::tier_step`]).
+    ///
+    /// # Panics
+    ///
+    /// [`StackBuilder::build`] panics if combined with a baseline base
+    /// or with [`StackBuilder::restripeable`].
+    pub fn tiered(mut self, regions: usize, policy: TierPolicy) -> Self {
+        self.base = match self.base {
+            BaseKind::Proposal { cfg } | BaseKind::Tiered { cfg, .. } => BaseKind::Tiered {
+                cfg,
+                regions,
+                policy,
+            },
+            BaseKind::Baseline => panic!("tiering is a proposal-only mechanism"),
+        };
         self
     }
 
@@ -481,6 +544,9 @@ impl StackBuilder {
         };
         let mut dev: Box<dyn BlockDevice> = match self.base {
             BaseKind::Proposal { cfg } => {
+                cfg.layout
+                    .validate()
+                    .expect("chipkill layout violates a geometry invariant");
                 let mut rank = ChipkillMemory::new(physical, cfg);
                 if let Some(pcfg) = self.persistent {
                     rank.set_domain(crate::pmem::PmemDomain::for_rank(
@@ -495,6 +561,24 @@ impl StackBuilder {
                 } else {
                     Box::new(rank)
                 }
+            }
+            BaseKind::Tiered {
+                cfg,
+                regions,
+                policy,
+            } => {
+                assert!(
+                    !self.restripeable,
+                    "re-striping and tiering both own the base layout; pick one"
+                );
+                cfg.layout
+                    .validate()
+                    .expect("chipkill layout violates a geometry invariant");
+                let mut mem = TieredMemory::new(physical, regions, cfg, policy);
+                if let Some(pcfg) = self.persistent {
+                    mem.set_persistent(pcfg);
+                }
+                Box::new(mem)
             }
             BaseKind::Baseline => {
                 assert!(

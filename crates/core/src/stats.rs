@@ -28,6 +28,9 @@ pub struct CoreStats {
     pub chip_failures_detected: u64,
     /// Detected uncorrectable events (rank loss).
     pub due_events: u64,
+    /// Completed tier migrations (regions re-encoded at a different
+    /// protection tier by [`crate::TieredMemory`]).
+    pub tier_migrations: u64,
 }
 
 impl CoreStats {
@@ -45,6 +48,7 @@ impl CoreStats {
         self.erasure_reads += other.erasure_reads;
         self.chip_failures_detected += other.chip_failures_detected;
         self.due_events += other.due_events;
+        self.tier_migrations += other.tier_migrations;
     }
 
     /// Fraction of reads that needed the VLEW fallback.
@@ -71,6 +75,7 @@ impl CoreStats {
         c("erasure_reads", self.erasure_reads);
         c("chip_failures_detected", self.chip_failures_detected);
         c("due_events", self.due_events);
+        c("tier_migrations", self.tier_migrations);
         reg.set_gauge(
             &format!("{prefix}.fallback_fraction"),
             self.fallback_fraction(),
@@ -91,6 +96,7 @@ impl CoreStats {
             .with("erasure_reads", self.erasure_reads)
             .with("chip_failures_detected", self.chip_failures_detected)
             .with("due_events", self.due_events)
+            .with("tier_migrations", self.tier_migrations)
             .with("fallback_fraction", self.fallback_fraction())
     }
 }

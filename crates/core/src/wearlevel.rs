@@ -326,6 +326,10 @@ impl<D: BlockDevice> BlockDevice for WearLevelled<D> {
         self.inner.pmem_domain()
     }
 
+    fn tier_report(&self) -> Option<crate::tier::TierReport> {
+        self.inner.tier_report()
+    }
+
     fn read_into(
         &mut self,
         addr: u64,

@@ -457,9 +457,10 @@ impl Case for ChipkillErasureCase {
 ///
 /// Each kind names one intent-logged mutation of the persistence
 /// domain: draining the EUR at a flush, a scrub repair-in-place over a
-/// dead chip, a batch of Start-Gap moves, or the §V-E re-stripe layout
-/// flip. The campaign driver owns the mapping from kind to concrete
-/// request sequence; this type only carries the name through JSON.
+/// dead chip, a batch of Start-Gap moves, the §V-E re-stripe layout
+/// flip, or a tier-policy migration re-encoding a region. The campaign
+/// driver owns the mapping from kind to concrete request sequence; this
+/// type only carries the name through JSON.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrashOp {
     /// Writes that populate the EUR, then the flush that drains it.
@@ -470,15 +471,18 @@ pub enum CrashOp {
     StartGap,
     /// A chip failure checkpointed durably, then the re-stripe flip.
     Restripe,
+    /// Unflushed writes riding a tier-policy migration's single fence.
+    TierMigrate,
 }
 
 impl CrashOp {
     /// Every operation the campaign covers.
-    pub const ALL: [CrashOp; 4] = [
+    pub const ALL: [CrashOp; 5] = [
         CrashOp::EurDrain,
         CrashOp::Repair,
         CrashOp::StartGap,
         CrashOp::Restripe,
+        CrashOp::TierMigrate,
     ];
 
     /// Stable corpus name.
@@ -488,6 +492,7 @@ impl CrashOp {
             CrashOp::Repair => "repair",
             CrashOp::StartGap => "start-gap",
             CrashOp::Restripe => "restripe",
+            CrashOp::TierMigrate => "tier-migrate",
         }
     }
 

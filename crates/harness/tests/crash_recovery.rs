@@ -20,14 +20,21 @@
 //! Reference runs are cached per `(op, seed)`, so the campaign affords
 //! thousands of cut points. Failures shrink (toward early cuts) and
 //! persist into `tests/corpus/` like every other property in the
-//! workspace; the checked-in crafted entry pins the torn re-stripe
+//! workspace; the checked-in crafted entries pin the torn re-stripe
 //! map-commit (a cut between the stripe writes and the final meta-line
-//! chunks).
+//! chunks) and the matching tail of a tier migration's commit fence.
+//!
+//! The tier-migrate leg additionally asserts the recovered *census*:
+//! the region must come back at exactly the pre- or post-migration
+//! tier, and the tier must agree with whichever image recovered.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-use pmck_core::{ChipFailureKind, ChipkillConfig, PmemConfig, Request, Stack, StackBuilder};
+use pmck_core::{
+    ChipFailureKind, ChipkillConfig, PmemConfig, ProtectionTier, Request, Stack, StackBuilder,
+    TierPolicy,
+};
 use pmck_harness::{CrashOp, CrashPlan, FaultEvent, FaultKind, Runner};
 use pmck_rt::Rng;
 
@@ -44,6 +51,9 @@ fn build(op: CrashOp, seed: u64) -> Stack {
         // Small interval so the op's write burst actually moves the gap.
         CrashOp::StartGap => builder.wear_levelled(4),
         CrashOp::Restripe => builder.restripeable(),
+        // One region: the fuse hook targets region 0's media, and a
+        // single region keeps every durable step on the armed domain.
+        CrashOp::TierMigrate => builder.tiered(1, TierPolicy::default()),
         _ => builder,
     };
     builder.seed(seed).build()
@@ -149,6 +159,23 @@ fn run_op(stack: &mut Stack, op: CrashOp, seed: u64) -> Result<(), String> {
                 .submit(&Request::Restripe)
                 .map_err(|e| format!("restripe: {e}"))?;
         }
+        CrashOp::TierMigrate => {
+            // Fresh data on half the blocks stays volatile until the
+            // tier step: the pristine region downgrades paper ->
+            // rs-only, and the migration's single fence commits the
+            // re-encoded image, the unflushed writes, and the tier tag
+            // together. A cut inside it must land wholly on one side.
+            for addr in (0..BLOCKS).step_by(2) {
+                let data = pattern(seed, addr, 0x5a);
+                stack
+                    .submit(&Request::Write { addr, data })
+                    .map_err(|e| format!("tier write {addr}: {e}"))?;
+            }
+            let report = stack.tier_step().map_err(|e| format!("tier step: {e}"))?;
+            if report.migrations == 0 {
+                return Err("tier step migrated nothing".into());
+            }
+        }
     }
     Ok(())
 }
@@ -234,19 +261,55 @@ fn power_cut_recovery_is_whole_image_atomic() {
                 r.steps
             ));
         }
+        if case.op == CrashOp::TierMigrate {
+            // The migration fences the image and the tier tag together:
+            // the recovered census must be exactly the pre-migration
+            // tier (paper) with the pre image, or the post-migration
+            // tier (rs-only) with the post image — never crossed.
+            let census = stack
+                .tier_report()
+                .ok_or_else(|| format!("cut {k}: tiered stack lost its census"))?;
+            let want = if got == r.post {
+                ProtectionTier::RsOnly
+            } else {
+                ProtectionTier::Paper
+            };
+            let tier_of = |c: &pmck_core::TierReport| match (c.paper_regions, c.rs_only_regions) {
+                (1, 0) => Some(ProtectionTier::Paper),
+                (0, 1) => Some(ProtectionTier::RsOnly),
+                _ => None,
+            };
+            if tier_of(&census) != Some(want) {
+                return Err(format!(
+                    "cut {k}/{}: recovered the {} image but the census reports \
+                     paper={} rs_only={} dense={}",
+                    r.steps,
+                    if want == ProtectionTier::RsOnly {
+                        "post"
+                    } else {
+                        "pre"
+                    },
+                    census.paper_regions,
+                    census.rs_only_regions,
+                    census.dense_regions,
+                ));
+            }
+        }
         *cuts_per_op.borrow_mut().entry(key.0).or_insert(0) += 1;
         Ok(())
     };
 
     let report = Runner::new("crash:recovery").seed(0x9c0e).cases(CASES).run(
         |rng| {
-            // Weight cheap operations more heavily; the re-stripe runs
-            // carry the BCH re-encode cost of the whole region-B image.
-            let op = match rng.gen_range(0u32..24) {
+            // Weight cheap operations more heavily; the re-stripe and
+            // tier-migrate runs carry the BCH re-encode cost of a whole
+            // region image.
+            let op = match rng.gen_range(0u32..28) {
                 0..=10 => CrashOp::EurDrain,
                 11..=16 => CrashOp::StartGap,
                 17..=20 => CrashOp::Repair,
-                _ => CrashOp::Restripe,
+                21..=23 => CrashOp::Restripe,
+                _ => CrashOp::TierMigrate,
             };
             CrashPlan {
                 op,

@@ -46,4 +46,4 @@ pub use chipfail::{ChipFailureKind, FailedChip};
 pub use inject::{expected_errors, BitErrorInjector};
 pub use schedule::{FaultEvent, FaultKind, FaultSchedule, ScheduleError};
 pub use tech::{rber_at, rber_band, MemoryTech, RetentionCurve};
-pub use wear::{WearModel, WearState};
+pub use wear::{RegionRber, WearModel, WearState};

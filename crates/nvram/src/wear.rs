@@ -104,6 +104,90 @@ impl WearState {
     }
 }
 
+/// Per-region measured raw bit error rate, feeding adaptive ECC
+/// tiering: each region accumulates a write count (mapped through the
+/// wear model into a predicted wear RBER) and an observed error sample
+/// (errors seen per bits examined, e.g. from fault injection or scrub
+/// sweeps). The measured RBER is the max of the two components — the
+/// policy must provision for whichever signal is worse.
+#[derive(Debug, Clone)]
+pub struct RegionRber {
+    model: WearModel,
+    regions: Vec<RegionWear>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RegionWear {
+    writes: u64,
+    observed_errors: u64,
+    observed_bits: u64,
+}
+
+impl RegionRber {
+    /// A tracker for `regions` regions under the given wear model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions == 0`.
+    pub fn new(regions: usize, model: WearModel) -> Self {
+        assert!(regions > 0, "at least one region");
+        RegionRber {
+            model,
+            regions: vec![RegionWear::default(); regions],
+        }
+    }
+
+    /// Number of tracked regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The wear model the predicted component is derived from.
+    pub fn model(&self) -> &WearModel {
+        &self.model
+    }
+
+    /// Records `n` block writes against `region`.
+    pub fn record_writes(&mut self, region: usize, n: u64) {
+        let r = &mut self.regions[region];
+        r.writes = r.writes.saturating_add(n);
+    }
+
+    /// Records an observed error sample for `region`: `errors` erroneous
+    /// bits out of `bits` examined.
+    pub fn record_observation(&mut self, region: usize, errors: u64, bits: u64) {
+        let r = &mut self.regions[region];
+        r.observed_errors = r.observed_errors.saturating_add(errors);
+        r.observed_bits = r.observed_bits.saturating_add(bits);
+    }
+
+    /// Total writes recorded against `region`.
+    pub fn writes(&self, region: usize) -> u64 {
+        self.regions[region].writes
+    }
+
+    /// The region's measured RBER: max(wear-predicted, observed sample
+    /// rate). 0 for a fresh region with no observations.
+    pub fn measured_rber(&self, region: usize) -> f64 {
+        let r = self.regions[region];
+        let predicted = self.model.error_probability(r.writes);
+        let observed = if r.observed_bits == 0 {
+            0.0
+        } else {
+            r.observed_errors as f64 / r.observed_bits as f64
+        };
+        predicted.max(observed)
+    }
+
+    /// Clears the observed sample for `region` (e.g. after a scrub
+    /// rewrites the cells the sample was drawn from).
+    pub fn reset_observation(&mut self, region: usize) {
+        let r = &mut self.regions[region];
+        r.observed_errors = 0;
+        r.observed_bits = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +225,29 @@ mod tests {
         };
         assert!(!m.is_worn_out(9, 0.1));
         assert!(m.is_worn_out(10, 0.1));
+    }
+
+    #[test]
+    fn region_rber_tracks_both_components() {
+        let model = WearModel {
+            endurance: 1000,
+            gamma: 1.0,
+            p_max: 1.0,
+        };
+        let mut t = RegionRber::new(2, model);
+        assert_eq!(t.num_regions(), 2);
+        assert_eq!(t.measured_rber(0), 0.0);
+        // Wear-predicted component.
+        t.record_writes(0, 100);
+        assert!((t.measured_rber(0) - 0.1).abs() < 1e-12);
+        assert_eq!(t.writes(0), 100);
+        // Observed component dominates when worse.
+        t.record_observation(0, 300, 1000);
+        assert!((t.measured_rber(0) - 0.3).abs() < 1e-12);
+        t.reset_observation(0);
+        assert!((t.measured_rber(0) - 0.1).abs() < 1e-12);
+        // Regions are independent.
+        assert_eq!(t.measured_rber(1), 0.0);
     }
 
     #[test]

@@ -52,8 +52,8 @@
 use std::sync::Arc;
 
 use pmck_core::{
-    CoreError, CoreStats, LayerId, LayerStats, Request, Response, ServiceError, ServiceFailure,
-    Stack,
+    CoreError, CoreStats, LayerId, LayerStats, ProtectionTier, Request, Response, ServiceError,
+    ServiceFailure, Stack, TierReport,
 };
 use pmck_rt::metrics::MetricsRegistry;
 use pmck_rt::pool::{PinnedPool, PoolError};
@@ -247,10 +247,28 @@ impl ShardedService {
         merged
     }
 
+    /// Fleet-wide tier census merged across shards (`None` if no shard
+    /// runs a tiered base). The blended storage cost is region-weighted,
+    /// so it matches what a single tiered rank of the same composition
+    /// would report.
+    pub fn tier_report(&self) -> Option<TierReport> {
+        let mut total: Option<TierReport> = None;
+        for s in 0..self.shards() {
+            if let Some(r) = self.pool.with_state(s, |stack| stack.tier_report()) {
+                match total.as_mut() {
+                    Some(acc) => acc.merge(&r),
+                    None => total = Some(r),
+                }
+            }
+        }
+        total
+    }
+
     /// Publishes the aggregated cross-shard view — per-layer counters
     /// under `<prefix>.layer.<label>.*`, engine counters under
     /// `<prefix>.engine.*` (same keys as [`Stack::publish_metrics`]) —
-    /// plus the shard count under `<prefix>.shards`.
+    /// plus the shard count under `<prefix>.shards` and, for tiered
+    /// fleets, the per-tier and blended storage costs.
     pub fn publish_metrics(&self, reg: &MetricsRegistry, prefix: &str) {
         for (id, stats) in self.layers() {
             stats.publish_metrics(reg, &format!("{prefix}.layer.{id}"));
@@ -259,6 +277,18 @@ impl ShardedService {
             core.publish_metrics(reg, &format!("{prefix}.engine"));
         }
         reg.set_counter(&format!("{prefix}.shards"), self.shards() as u64);
+        if let Some(report) = self.tier_report() {
+            for tier in ProtectionTier::ALL {
+                reg.set_gauge(
+                    &format!("{prefix}.tier_cost.{}", tier.as_str()),
+                    tier.layout().total_storage_cost(),
+                );
+            }
+            reg.set_gauge(
+                &format!("{prefix}.total_storage_cost"),
+                report.blended_cost(),
+            );
+        }
     }
 
     /// Stops and joins the shard workers. Subsequent batches fail with
@@ -312,6 +342,7 @@ fn merge_broadcast(acc: &mut Result<Response, CoreError>, next: Result<Response,
                 *a += b;
             }
             (Response::Recovered(a), Response::Recovered(b)) => a.merge(&b),
+            (Response::Tiered(a), Response::Tiered(b)) => a.merge(&b),
             // Identical unit responses (Written/Scrubbed/Restriped):
             // the first one already says it all.
             _ => {}
@@ -544,6 +575,40 @@ mod tests {
             .1;
         assert_eq!(chipkill.reads, 16);
         assert_eq!(chipkill.writes, 16);
+    }
+
+    #[test]
+    fn tiered_fleet_merges_census_and_publishes_blended_cost() {
+        use pmck_core::TierPolicy;
+        let mut svc = ShardedService::new(2, 12, |_, s| {
+            StackBuilder::proposal(64, ChipkillConfig::default())
+                .tiered(2, TierPolicy::default())
+                .seed(s)
+                .build()
+        });
+        // Before any step, every region boots at the paper tier.
+        let boot = svc.tier_report().unwrap();
+        assert_eq!(boot.regions, 4);
+        assert_eq!(boot.paper_regions, 4);
+        // A broadcast tier step sums census and migrations across the
+        // fleet: pristine regions (measured RBER 0) all step down to
+        // the RS-only tier.
+        let report = svc.submit(&Request::TierStep).unwrap().tiered().unwrap();
+        assert_eq!(report.regions, 4);
+        assert_eq!(report.rs_only_regions, 4);
+        assert_eq!(report.migrations, 4);
+        let reg = MetricsRegistry::new();
+        svc.publish_metrics(&reg, "svc");
+        let paper = ProtectionTier::Paper.layout().total_storage_cost();
+        let rs_only = ProtectionTier::RsOnly.layout().total_storage_cost();
+        let blended = reg.gauge("svc.total_storage_cost").unwrap();
+        assert!(
+            (blended - rs_only).abs() < 1e-4,
+            "all-rs_only fleet: {blended}"
+        );
+        assert_eq!(reg.gauge("svc.tier_cost.paper"), Some(paper));
+        assert_eq!(reg.gauge("svc.tier_cost.rs_only"), Some(rs_only));
+        assert!(reg.gauge("svc.tier_cost.dense").unwrap() > paper);
     }
 
     #[test]

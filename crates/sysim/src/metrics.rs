@@ -38,6 +38,11 @@ pub struct SimResult {
     pub vlew_fallbacks: u64,
     /// The coupled chipkill engine's counters (proposal runs only).
     pub engine: Option<CoreStats>,
+    /// Total ECC storage cost of the coupled stack as a fraction of the
+    /// data capacity (proposal runs only). Single-tier stacks report
+    /// their layout's fixed cost (the paper's ~27%); tiered stacks
+    /// report the region-weighted blended cost.
+    pub storage_cost: Option<f64>,
     /// Per-layer breakdown from the functional stack's
     /// [`pmck_core::AccessContext`], bottom-up order as first accessed.
     pub layers: Vec<(String, LayerStats)>,
@@ -101,6 +106,9 @@ impl ToJson for SimResult {
         if let Some(engine) = &self.engine {
             out = out.with("engine", engine.to_json());
         }
+        if let Some(cost) = self.storage_cost {
+            out = out.with("total_storage_cost", cost);
+        }
         out
     }
 }
@@ -133,6 +141,9 @@ impl SimResult {
         if let Some(engine) = &self.engine {
             engine.publish_metrics(reg, &format!("{prefix}.engine"));
         }
+        if let Some(cost) = self.storage_cost {
+            reg.set_gauge(&format!("{prefix}.total_storage_cost"), cost);
+        }
         for (label, stats) in &self.layers {
             stats.publish_metrics(reg, &format!("{prefix}.layer.{label}"));
         }
@@ -158,6 +169,7 @@ mod tests {
             dirty_pm_avg: 0.0,
             vlew_fallbacks: 0,
             engine: None,
+            storage_cost: None,
             layers: Vec::new(),
             llc_hit_rate: 0.0,
             row_hit_rate: 0.0,
@@ -201,14 +213,17 @@ mod tests {
             },
         )];
         r.vlew_fallbacks = 3;
+        r.storage_cost = Some(0.27);
         let dumped = r.to_json().dump();
         assert!(dumped.contains("\"vlew_fallbacks\":3"), "{dumped}");
         assert!(dumped.contains("\"engine\""), "{dumped}");
         assert!(dumped.contains("\"chipkill\""), "{dumped}");
+        assert!(dumped.contains("\"total_storage_cost\""), "{dumped}");
 
         let reg = MetricsRegistry::new();
         r.publish_metrics(&reg, "sim");
         assert_eq!(reg.counter("sim.engine.fallbacks"), 3);
         assert_eq!(reg.counter("sim.layer.chipkill.reads"), 7);
+        assert_eq!(reg.gauge("sim.total_storage_cost"), Some(0.27));
     }
 }

@@ -108,6 +108,16 @@ impl EngineCoupling {
         self.stack.core_stats()
     }
 
+    /// Blended ECC storage cost of the coupled stack: tiered stacks
+    /// report the live region-weighted mix, single-tier stacks their
+    /// layout's fixed cost.
+    fn storage_cost(&self) -> f64 {
+        self.stack
+            .tier_report()
+            .map(|r| r.blended_cost())
+            .unwrap_or_else(|| ChipkillConfig::default().total_storage_cost())
+    }
+
     fn layers(&self) -> Vec<(String, LayerStats)> {
         self.stack
             .layers()
@@ -481,6 +491,7 @@ impl Simulator {
             dirty_samples.iter().sum::<f64>() / dirty_samples.len() as f64
         };
         let engine = emitter.coupling.as_ref().and_then(|c| c.core_stats());
+        let storage_cost = emitter.coupling.as_ref().map(|c| c.storage_cost());
         let layers = emitter
             .coupling
             .as_ref()
@@ -501,6 +512,7 @@ impl Simulator {
             dirty_pm_avg,
             vlew_fallbacks: emitter.fallback_events,
             engine,
+            storage_cost,
             layers,
             llc_hit_rate: llc.hit_rate(),
             row_hit_rate: stats.row_hit_rate(),

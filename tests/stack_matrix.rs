@@ -3,12 +3,18 @@
 //! under a short, benign `FaultSchedule` (background RBER only).
 //!
 //! Proposal bases run all 16 combinations of {restripeable, wear-level,
-//! auto-patrol, link protection}; baseline bases run the 8 combinations
-//! without re-striping (a proposal-only mechanism). Restripeable
-//! variants additionally transition in place at the end of the campaign
-//! and must still read back every block.
+//! auto-patrol, link protection} at the paper tier, plus the 8 combos
+//! without re-striping (a paper-layout mechanism) at each of the other
+//! two protection tiers; baseline bases run the 8 combinations without
+//! re-striping. Tiered bases run the 8 {wear, patrol, link} combos with
+//! periodic tier-policy passes folded into the campaign — reads must
+//! survive the migrations. Restripeable variants additionally
+//! transition in place at the end of the campaign and must still read
+//! back every block, and a differential leg replays one identical
+//! request sequence against a tiered stack and a fixed single-tier
+//! stack, asserting every read agrees.
 
-use pmck::chipkill::{BusFault, ChipkillConfig, Stack, StackBuilder};
+use pmck::chipkill::{BusFault, ChipkillConfig, ProtectionTier, Stack, StackBuilder, TierPolicy};
 use pmck::nvram::FaultSchedule;
 use pmck::rt::rng::{Rng, StdRng};
 
@@ -19,38 +25,75 @@ struct Variant {
     name: String,
     stack: Stack,
     restripeable: bool,
+    tiered: bool,
 }
 
 fn variants() -> Vec<Variant> {
     let mut out = Vec::new();
-    for restripe in [false, true] {
-        for wear in [false, true] {
-            for patrol in [false, true] {
-                for link in [false, true] {
-                    let mut b = StackBuilder::proposal(BLOCKS, ChipkillConfig::default());
-                    let mut name = String::from("proposal");
-                    if restripe {
-                        b = b.restripeable();
-                        name.push_str("+restripe");
+    for tier in ProtectionTier::ALL {
+        for restripe in [false, true] {
+            // The §V-E re-stripe flip is a paper-layout mechanism.
+            if restripe && tier != ProtectionTier::Paper {
+                continue;
+            }
+            for wear in [false, true] {
+                for patrol in [false, true] {
+                    for link in [false, true] {
+                        let mut b = StackBuilder::proposal(BLOCKS, ChipkillConfig::for_tier(tier));
+                        let mut name = format!("proposal:{}", tier.as_str());
+                        if restripe {
+                            b = b.restripeable();
+                            name.push_str("+restripe");
+                        }
+                        if patrol {
+                            b = b.patrolled(3, 16);
+                            name.push_str("+patrol");
+                        }
+                        if wear {
+                            b = b.wear_levelled(4);
+                            name.push_str("+wearlevel");
+                        }
+                        if link {
+                            b = b.link_protected(BusFault { ber: 1e-6 }, 8);
+                            name.push_str("+link");
+                        }
+                        out.push(Variant {
+                            stack: b.seed(0xA11 ^ out.len() as u64).build(),
+                            name,
+                            restripeable: restripe,
+                            tiered: false,
+                        });
                     }
-                    if patrol {
-                        b = b.patrolled(3, 16);
-                        name.push_str("+patrol");
-                    }
-                    if wear {
-                        b = b.wear_levelled(4);
-                        name.push_str("+wearlevel");
-                    }
-                    if link {
-                        b = b.link_protected(BusFault { ber: 1e-6 }, 8);
-                        name.push_str("+link");
-                    }
-                    out.push(Variant {
-                        stack: b.seed(0xA11 ^ out.len() as u64).build(),
-                        name,
-                        restripeable: restripe,
-                    });
                 }
+            }
+        }
+    }
+    // Tiered bases: the adaptive policy owns the rank layout, so no
+    // re-stripe; the campaign folds tier-policy passes in instead.
+    for wear in [false, true] {
+        for patrol in [false, true] {
+            for link in [false, true] {
+                let mut b = StackBuilder::proposal(BLOCKS, ChipkillConfig::default())
+                    .tiered(3, TierPolicy::default());
+                let mut name = String::from("tiered");
+                if patrol {
+                    b = b.patrolled(3, 16);
+                    name.push_str("+patrol");
+                }
+                if wear {
+                    b = b.wear_levelled(4);
+                    name.push_str("+wearlevel");
+                }
+                if link {
+                    b = b.link_protected(BusFault { ber: 1e-6 }, 8);
+                    name.push_str("+link");
+                }
+                out.push(Variant {
+                    stack: b.seed(0x71E2 ^ out.len() as u64).build(),
+                    name,
+                    restripeable: false,
+                    tiered: true,
+                });
             }
         }
     }
@@ -75,6 +118,7 @@ fn variants() -> Vec<Variant> {
                     stack: b.seed(0xBA5E ^ out.len() as u64).build(),
                     name,
                     restripeable: false,
+                    tiered: false,
                 });
             }
         }
@@ -111,6 +155,7 @@ fn every_stack_permutation_preserves_read_after_write() {
             name,
             stack,
             restripeable,
+            tiered,
         } = variant;
         let mut rng = StdRng::seed_from_u64(0x3A7A ^ name.len() as u64);
         let mut versions = vec![0u32; BLOCKS as usize];
@@ -154,6 +199,14 @@ fn every_stack_permutation_preserves_read_after_write() {
                         .unwrap_or_else(|e| panic!("{name}: round {round} inject failed: {e}"));
                 }
             }
+            // Tiered bases take a policy pass mid-campaign; reads after
+            // it must survive whatever migrations the measured RBER
+            // triggered.
+            if *tiered && round % 40 == 39 {
+                stack
+                    .tier_step()
+                    .unwrap_or_else(|e| panic!("{name}: round {round} tier step failed: {e}"));
+            }
         }
 
         for block in 0..BLOCKS {
@@ -164,6 +217,16 @@ fn every_stack_permutation_preserves_read_after_write() {
                 out.data,
                 pattern(block, versions[block as usize]),
                 "{name}: closing sweep diverged at block {block}"
+            );
+        }
+
+        // Tiered permutations must have actually migrated under the
+        // benign schedule (pristine regions settle onto rs-only).
+        if *tiered {
+            let report = stack.tier_report().expect("tiered base reports a census");
+            assert!(
+                report.migrations >= 1,
+                "{name}: the campaign never exercised a migration"
             );
         }
 
@@ -184,5 +247,62 @@ fn every_stack_permutation_preserves_read_after_write() {
                 );
             }
         }
+    }
+}
+
+/// Differential replay: one identical request sequence runs against a
+/// three-region tiered stack (tier-policy passes folded in) and a fixed
+/// single-tier stack. Tier migrations are a protection-layout concern
+/// only — every read must agree between the two, before and after the
+/// regions settle onto their measured tiers.
+#[test]
+fn tiered_replay_is_differentially_equivalent_to_single_tier() {
+    let schedule = benign_schedule();
+    let mut tiered = StackBuilder::proposal(BLOCKS, ChipkillConfig::default())
+        .tiered(3, TierPolicy::default())
+        .seed(0xD1FF)
+        .build();
+    let mut fixed = StackBuilder::proposal(BLOCKS, ChipkillConfig::default())
+        .seed(0xD1FF)
+        .build();
+    let mut rng = StdRng::seed_from_u64(0x0DD_B175);
+
+    for block in 0..BLOCKS {
+        let data = pattern(block, 0);
+        tiered.write(block, &data).unwrap();
+        fixed.write(block, &data).unwrap();
+    }
+    let mut migrations = 0u64;
+    for round in 0..ROUNDS {
+        let block = rng.gen_range(0..BLOCKS);
+        match rng.gen_range(0u32..4) {
+            0 | 1 => {
+                let data = pattern(block, round as u32 + 1);
+                tiered.write(block, &data).unwrap();
+                fixed.write(block, &data).unwrap();
+            }
+            2 => {
+                let a = tiered.read(block).unwrap();
+                let b = fixed.read(block).unwrap();
+                assert_eq!(
+                    a.data, b.data,
+                    "round {round}: replay diverged at block {block}"
+                );
+            }
+            _ => {
+                let rber = schedule.rber_at(round);
+                tiered.inject_bit_errors(rber).unwrap();
+                fixed.inject_bit_errors(rber).unwrap();
+            }
+        }
+        if round % 24 == 23 {
+            migrations += tiered.tier_step().unwrap().migrations;
+        }
+    }
+    assert!(migrations >= 1, "the replay never exercised a migration");
+    for block in 0..BLOCKS {
+        let a = tiered.read(block).unwrap();
+        let b = fixed.read(block).unwrap();
+        assert_eq!(a.data, b.data, "closing sweep diverged at block {block}");
     }
 }

@@ -588,6 +588,109 @@ fn service_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
         );
         svc.shutdown();
     }
+
+    if wants(cfg, "service/ring_submit_latency") {
+        // One ticket ping-ponged through a single-shard ring: the
+        // round-trip floor of the streaming plane (submit → SPSC push →
+        // worker wake → decode → completion pop), with no batching to
+        // amortize it.
+        let mut svc = ShardedService::with_clients(1, 1, 5, |_, seed| {
+            StackBuilder::proposal(64, ChipkillConfig::default())
+                .seed(seed)
+                .build()
+        });
+        let mut client = svc.take_client().expect("one spare lane");
+        for a in 0..svc.num_blocks() {
+            let t = client
+                .submit(&Request::Write {
+                    addr: a,
+                    data: [a as u8; 64],
+                })
+                .expect("prefill submit");
+            client.wait_response(t).expect("prefill");
+        }
+        let blocks = svc.num_blocks();
+        let mut a = 0u64;
+        rows.push(scenario(cfg, "service/ring_submit_latency", 64, || {
+            a = (a + 1) % blocks;
+            let t = client.try_submit(&Request::Read(a)).expect("window free");
+            client.wait_response(t).expect("clean read")
+        }));
+        drop(client);
+        svc.shutdown();
+    }
+
+    for shards in [1usize, 4, 8] {
+        let name = format!("service/streaming_read_throughput/{shards}shard");
+        if !wants(cfg, &name) {
+            continue;
+        }
+        // The streaming plane at full window: tickets pipelined 64 deep
+        // so the client never waits for a specific response before
+        // submitting the next request — the saturation shape, measured
+        // per op.
+        const WINDOW: usize = 64;
+        let per_shard = TOTAL_BLOCKS / shards as u64;
+        let mut svc = ShardedService::with_clients(shards, 1, 5, |_, seed| {
+            StackBuilder::proposal(per_shard, ChipkillConfig::default())
+                .seed(seed)
+                .build()
+        });
+        let mut client = svc.take_client().expect("one spare lane");
+        let mut rng = StdRng::seed_from_u64(5);
+        for a in 0..TOTAL_BLOCKS {
+            let mut data = [0u8; 64];
+            rng.fill_bytes(&mut data[..]);
+            let t = client
+                .submit(&Request::Write { addr: a, data })
+                .expect("prefill submit");
+            client.wait_response(t).expect("prefill");
+        }
+        let mut pending = std::collections::VecDeque::with_capacity(WINDOW);
+        let mut run = |ops: u64| {
+            for i in 0..ops {
+                if pending.len() == WINDOW {
+                    let t = pending.pop_front().unwrap();
+                    client.wait_response(t).expect("clean read");
+                }
+                let t = client
+                    .try_submit(&Request::Read(i % TOTAL_BLOCKS))
+                    .expect("window has room");
+                pending.push_back(t);
+            }
+            for t in pending.drain(..) {
+                client.wait_response(t).expect("clean read");
+            }
+        };
+        run(cfg.iters.max(TOTAL_BLOCKS)); // warmup
+        let mut best_ns = f64::INFINITY;
+        let mut total_ns = 0.0;
+        let ops_per_batch = cfg.iters.max(TOTAL_BLOCKS);
+        let allocs_before = ALLOC_CALLS.load(Ordering::Relaxed);
+        for _ in 0..cfg.batches {
+            let start = Instant::now();
+            run(ops_per_batch);
+            let ns = start.elapsed().as_nanos() as f64 / ops_per_batch as f64;
+            best_ns = best_ns.min(ns);
+            total_ns += ns;
+        }
+        let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - allocs_before;
+        rows.push(
+            Json::object()
+                .with("name", name)
+                .with("shards", shards as u64)
+                .with("ns_per_op_best", best_ns)
+                .with("ns_per_op_mean", total_ns / cfg.batches as f64)
+                .with("ops_per_s_best", 1e9 / best_ns)
+                .with(
+                    "allocs_per_op",
+                    allocs as f64 / (cfg.batches * ops_per_batch) as f64,
+                )
+                .with("bytes_per_op", 64u64),
+        );
+        drop(client);
+        svc.shutdown();
+    }
 }
 
 /// Per-scenario regression thresholds for the baseline gate. Scenarios

@@ -92,6 +92,10 @@ pub enum ServiceFailure {
     QueueClosed,
     /// A shard worker terminated abnormally (panicked or died).
     WorkerLost,
+    /// The shard's bounded submission queue is full right now; the
+    /// request was not enqueued and can be retried after draining
+    /// completions (streaming admission control, never fatal).
+    Backpressure,
 }
 
 impl fmt::Display for ServiceFailure {
@@ -99,6 +103,7 @@ impl fmt::Display for ServiceFailure {
         match self {
             ServiceFailure::QueueClosed => write!(f, "shard request queue is closed"),
             ServiceFailure::WorkerLost => write!(f, "shard worker terminated abnormally"),
+            ServiceFailure::Backpressure => write!(f, "shard submission queue is full"),
         }
     }
 }

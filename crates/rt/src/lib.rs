@@ -12,10 +12,13 @@
 //! * [`par`] — a `std::thread::scope`-based chunked parallel map whose
 //!   per-chunk RNG seeds are derived deterministically, so Monte-Carlo
 //!   campaigns are bit-identical at any worker count.
-//! * [`pool`] — a pinned worker pool (one persistent thread per worker,
-//!   long-lived per-worker state, batched in-order collection) for
-//!   service-shaped workloads like `pmck-service`'s shards (replaces
-//!   `rayon`/`crossbeam` channel pools).
+//! * [`pool`] — worker pools with pinned per-worker state: the batched
+//!   [`pool::PinnedPool`] (Mutex+Condvar mailboxes, whole-batch
+//!   collection) and the lock-free streaming [`pool::ShardPool`] built
+//!   on [`ring`] (replaces `rayon`/`crossbeam` channel pools).
+//! * [`ring`] — fixed-capacity lock-free SPSC/MPSC rings plus a
+//!   spin-then-park [`ring::Parker`]: the transport under `ShardPool`
+//!   and the telemetry path of `pmck-service`.
 //! * [`metrics`] — a lightweight counter/gauge/histogram registry with
 //!   JSON export: one uniform observability surface for the memory
 //!   controller, the LLC, and the chipkill engine.
@@ -31,6 +34,7 @@ pub mod json;
 pub mod metrics;
 pub mod par;
 pub mod pool;
+pub mod ring;
 pub mod rng;
 
 pub use json::Json;

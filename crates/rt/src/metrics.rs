@@ -6,8 +6,24 @@
 //! binary a uniform observability surface: `registry.to_json().pretty()`
 //! is the whole story of a run.
 //!
-//! All mutation goes through `&self` (a mutex guards the map), so one
-//! registry can be shared across components and threads.
+//! Two recording speeds coexist:
+//!
+//! * **Registry calls** (`inc`, `set_gauge`, `observe`) take the map
+//!   mutex per call — fine for publishing a finished stats struct or
+//!   low-rate events.
+//! * **Handles** ([`MetricsRegistry::counter_handle`] /
+//!   [`MetricsRegistry::gauge_handle`]) resolve the name once and hand
+//!   back the underlying atomic cell; recording through a handle is one
+//!   `fetch_add`/`store`, safe from any number of threads, and never
+//!   touches the registry lock — the shape per-op hot paths (shard
+//!   workers, producer threads) need.
+//!
+//! [`Histogram`] is an HDR-style log-bucketed histogram: power-of-two
+//! major buckets refined by 16 linear sub-buckets each, so any recorded
+//! value is off by at most 1/16 (6.25%) and p50/p99/p999 extraction
+//! ([`Histogram::quantile`]) is a single bucket walk. Latency samples in
+//! nanoseconds span nine decades; this layout covers the full `u64`
+//! range in 976 counters.
 //!
 //! # Examples
 //!
@@ -19,65 +35,126 @@
 //! reg.set_gauge("llc.hit_rate", 0.93);
 //! reg.observe("read.latency_ns", 120.0);
 //! assert_eq!(reg.counter("mem.reads"), 3);
-//! let json = reg.to_json();
-//! assert_eq!(json.get("mem.reads").unwrap().as_u64(), Some(3));
+//!
+//! // Hot-path form: resolve once, record lock-free.
+//! let reads = reg.counter_handle("mem.reads");
+//! reads.inc(1);
+//! assert_eq!(reg.counter("mem.reads"), 4);
 //! ```
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::json::Json;
 
-/// Histogram bucket layout: powers of two up to 2⁶³ plus overflow.
-const HIST_BUCKETS: usize = 65;
+/// Linear sub-buckets per power-of-two major bucket (and the size of
+/// the leading exact-value region `0..16`).
+const SUB: usize = 16;
+const SUB_BITS: u32 = 4;
+/// 16 exact low buckets + 16 sub-buckets for each exponent 4..=63.
+const HIST_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
 
-/// A log₂-bucketed histogram of non-negative samples.
+/// An HDR-style histogram of non-negative integer samples (latencies in
+/// nanoseconds, sizes in bytes, ...).
+///
+/// Values `0..16` are exact; larger values land in the sub-bucket
+/// `[v, v·(1+1/16))` of their power of two, so quantiles are tight to
+/// 6.25% across the whole `u64` range with a fixed 976-slot footprint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
-    /// `counts[i]` holds samples with `floor(log2(v)) == i - 1`
-    /// (`counts[0]` holds samples `< 1`); the last bucket is overflow.
-    counts: Vec<u64>,
+    counts: Box<[u64; HIST_BUCKETS]>,
     sum: f64,
     count: u64,
-    min: f64,
-    max: f64,
+    min: u64,
+    max: u64,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
-            counts: vec![0; HIST_BUCKETS],
+            counts: Box::new([0; HIST_BUCKETS]),
             sum: 0.0,
             count: 0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
+            min: u64::MAX,
+            max: 0,
         }
     }
 }
 
 impl Histogram {
-    fn bucket(v: f64) -> usize {
-        if v < 1.0 {
-            0
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket(v: u64) -> usize {
+        if v < SUB as u64 {
+            v as usize
         } else {
-            let exp = v.log2().floor() as usize;
-            (exp + 1).min(HIST_BUCKETS - 1)
+            let e = 63 - v.leading_zeros(); // 4..=63
+            let sub = ((v >> (e - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+            SUB + (e - SUB_BITS) as usize * SUB + sub
         }
     }
 
-    /// Records one sample; negative or non-finite samples clamp to 0.
-    pub fn observe(&mut self, v: f64) {
-        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+    /// The largest value mapping into bucket `i` (the bound
+    /// [`Histogram::quantile`] reports).
+    fn bucket_upper(i: usize) -> u64 {
+        if i < SUB {
+            i as u64
+        } else {
+            let e = (i - SUB) / SUB + SUB_BITS as usize;
+            let sub = ((i - SUB) % SUB) as u128;
+            let upper = (SUB as u128 + sub + 1) << (e - SUB_BITS as usize);
+            u64::try_from(upper - 1).unwrap_or(u64::MAX)
+        }
+    }
+
+    /// Records one integer sample.
+    pub fn record(&mut self, v: u64) {
         self.counts[Self::bucket(v)] += 1;
-        self.sum += v;
+        self.sum += v as f64;
         self.count += 1;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
 
+    /// Records one float sample; negative or non-finite samples clamp
+    /// to 0, fractional samples round to the nearest integer.
+    pub fn observe(&mut self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        self.record(v.round() as u64);
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
     }
 
     /// Mean of samples (0 when empty).
@@ -89,23 +166,30 @@ impl Histogram {
         }
     }
 
-    /// An upper bound on the `q`-quantile from the bucket boundaries
-    /// (0 when empty; `q` clamps to `[0, 1]`).
-    pub fn quantile_bound(&self, q: f64) -> f64 {
+    /// The `q`-quantile: an upper bound within 1/16 of the true value
+    /// (0 when empty; `q` clamps to `[0, 1]`). `quantile(0.5)` is the
+    /// median bucket's upper edge, `quantile(0.999)` the p999.
+    pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
-            return 0.0;
+            return 0;
         }
         let q = q.clamp(0.0, 1.0);
-        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                // Bucket i spans [2^(i-1), 2^i); report the upper edge.
-                return if i == 0 { 1.0 } else { 2f64.powi(i as i32) };
+                // Never report past the actually-observed extremes.
+                return Self::bucket_upper(i).min(self.max);
             }
         }
         self.max
+    }
+
+    /// [`Histogram::quantile`] as `f64`, for callers mixing histogram
+    /// bounds with gauge arithmetic.
+    pub fn quantile_bound(&self, q: f64) -> f64 {
+        self.quantile(q) as f64
     }
 
     fn to_json(&self) -> Json {
@@ -113,18 +197,65 @@ impl Histogram {
         j.set("count", self.count);
         j.set("sum", self.sum);
         j.set("mean", self.mean());
-        j.set("min", if self.count == 0 { 0.0 } else { self.min });
-        j.set("max", if self.count == 0 { 0.0 } else { self.max });
-        j.set("p50_bound", self.quantile_bound(0.5));
-        j.set("p99_bound", self.quantile_bound(0.99));
+        j.set("min", self.min());
+        j.set("max", self.max());
+        j.set("p50", self.quantile(0.5));
+        j.set("p99", self.quantile(0.99));
+        j.set("p999", self.quantile(0.999));
         j
     }
 }
 
-#[derive(Debug, Clone, PartialEq)]
+/// A lock-free counter cell handed out by
+/// [`MetricsRegistry::counter_handle`]. Cloning shares the same cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `by` (wrapping); safe from any thread, no lock.
+    pub fn inc(&self, by: u64) {
+        self.cell.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Sets the absolute value.
+    pub fn set(&self, value: u64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free gauge cell handed out by
+/// [`MetricsRegistry::gauge_handle`]. Cloning shares the same cell.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge; safe from any thread, no lock.
+    pub fn set(&self, value: f64) {
+        self.cell.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Clone)]
 enum Metric {
-    Counter(u64),
-    Gauge(f64),
+    /// The cell is shared with every handed-out [`Counter`], so
+    /// `set_counter`/`inc` and handle recordings see one value.
+    Counter(Arc<AtomicU64>),
+    /// f64 bits, shared with every handed-out [`Gauge`].
+    Gauge(Arc<AtomicU64>),
     Histogram(Histogram),
 }
 
@@ -154,27 +285,77 @@ impl MetricsRegistry {
     ///
     /// Panics if `name` already names a gauge or histogram.
     pub fn inc(&self, name: &str, by: u64) {
-        self.with_lock(
-            |m| match m.entry(name.to_owned()).or_insert(Metric::Counter(0)) {
-                Metric::Counter(v) => *v += by,
-                _ => panic!("metric {name} is not a counter"),
-            },
-        );
+        self.counter_cell(name).fetch_add(by, Ordering::Relaxed);
     }
 
     /// Sets the counter `name` to an absolute value (for publishing a
     /// finished stats struct in one shot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already names a gauge or histogram.
     pub fn set_counter(&self, name: &str, value: u64) {
+        self.counter_cell(name).store(value, Ordering::Relaxed);
+    }
+
+    /// The shared atomic cell behind counter `name`, creating it at 0.
+    /// Recording through the returned [`Counter`] never takes the
+    /// registry lock — hand one to each hot-path thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already names a gauge or histogram.
+    pub fn counter_handle(&self, name: &str) -> Counter {
+        Counter {
+            cell: self.counter_cell(name),
+        }
+    }
+
+    fn counter_cell(&self, name: &str) -> Arc<AtomicU64> {
         self.with_lock(|m| {
-            m.insert(name.to_owned(), Metric::Counter(value));
-        });
+            match m
+                .entry(name.to_owned())
+                .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))))
+            {
+                Metric::Counter(cell) => Arc::clone(cell),
+                _ => panic!("metric {name} is not a counter"),
+            }
+        })
     }
 
     /// Sets the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already names a counter or histogram.
     pub fn set_gauge(&self, name: &str, value: f64) {
+        self.gauge_cell(name)
+            .store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The shared atomic cell behind gauge `name`, creating it at 0.0.
+    /// Recording through the returned [`Gauge`] never takes the
+    /// registry lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already names a counter or histogram.
+    pub fn gauge_handle(&self, name: &str) -> Gauge {
+        Gauge {
+            cell: self.gauge_cell(name),
+        }
+    }
+
+    fn gauge_cell(&self, name: &str) -> Arc<AtomicU64> {
         self.with_lock(|m| {
-            m.insert(name.to_owned(), Metric::Gauge(value));
-        });
+            match m
+                .entry(name.to_owned())
+                .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+            {
+                Metric::Gauge(cell) => Arc::clone(cell),
+                _ => panic!("metric {name} is not a gauge"),
+            }
+        })
     }
 
     /// Records a sample into the histogram `name` (creating it empty).
@@ -194,10 +375,38 @@ impl MetricsRegistry {
         });
     }
 
+    /// Merges a whole pre-aggregated histogram into `name` (creating it
+    /// empty first) — the bulk-publication path for components that
+    /// record into their own [`Histogram`] off-lock and flush
+    /// periodically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already names a counter or gauge.
+    pub fn record_histogram(&self, name: &str, hist: &Histogram) {
+        self.with_lock(|m| {
+            match m
+                .entry(name.to_owned())
+                .or_insert_with(|| Metric::Histogram(Histogram::default()))
+            {
+                Metric::Histogram(h) => h.merge(hist),
+                _ => panic!("metric {name} is not a histogram"),
+            }
+        });
+    }
+
+    /// Replaces the histogram `name` with a snapshot (overwrite, not
+    /// merge) — for republishing a live histogram each reporting tick.
+    pub fn set_histogram(&self, name: &str, hist: &Histogram) {
+        self.with_lock(|m| {
+            m.insert(name.to_owned(), Metric::Histogram(hist.clone()));
+        });
+    }
+
     /// Reads a counter (0 if absent or a different kind).
     pub fn counter(&self, name: &str) -> u64 {
         self.with_lock(|m| match m.get(name) {
-            Some(Metric::Counter(v)) => *v,
+            Some(Metric::Counter(v)) => v.load(Ordering::Relaxed),
             _ => 0,
         })
     }
@@ -205,7 +414,7 @@ impl MetricsRegistry {
     /// Reads a gauge (`None` if absent or a different kind).
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.with_lock(|m| match m.get(name) {
-            Some(Metric::Gauge(v)) => Some(*v),
+            Some(Metric::Gauge(v)) => Some(f64::from_bits(v.load(Ordering::Relaxed))),
             _ => None,
         })
     }
@@ -223,7 +432,8 @@ impl MetricsRegistry {
         self.with_lock(|m| m.keys().cloned().collect())
     }
 
-    /// Removes every metric.
+    /// Removes every metric. Handles issued earlier keep working but
+    /// are orphaned (their cells are no longer exported).
     pub fn clear(&self) {
         self.with_lock(|m| m.clear());
     }
@@ -235,8 +445,10 @@ impl MetricsRegistry {
             let mut out = Json::object();
             for (name, metric) in m.iter() {
                 match metric {
-                    Metric::Counter(v) => out.set(name.clone(), *v),
-                    Metric::Gauge(v) => out.set(name.clone(), *v),
+                    Metric::Counter(v) => out.set(name.clone(), v.load(Ordering::Relaxed)),
+                    Metric::Gauge(v) => {
+                        out.set(name.clone(), f64::from_bits(v.load(Ordering::Relaxed)))
+                    }
                     Metric::Histogram(h) => out.set(name.clone(), h.to_json()),
                 };
             }
@@ -261,27 +473,124 @@ mod tests {
     }
 
     #[test]
+    fn counter_handles_share_the_cell() {
+        let reg = MetricsRegistry::new();
+        let h1 = reg.counter_handle("ops");
+        let h2 = reg.counter_handle("ops");
+        h1.inc(5);
+        h2.inc(7);
+        assert_eq!(h1.get(), 12);
+        assert_eq!(reg.counter("ops"), 12);
+        // set_counter writes the same cell the handles hold.
+        reg.set_counter("ops", 100);
+        assert_eq!(h2.get(), 100);
+        h1.set(3);
+        assert_eq!(reg.counter("ops"), 3);
+    }
+
+    #[test]
+    fn handles_record_concurrently_without_the_lock() {
+        let reg = MetricsRegistry::new();
+        let h = reg.counter_handle("t");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.inc(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("t"), 4000);
+    }
+
+    #[test]
     fn gauges_overwrite() {
         let reg = MetricsRegistry::new();
         reg.set_gauge("g", 1.5);
         reg.set_gauge("g", 2.5);
         assert_eq!(reg.gauge("g"), Some(2.5));
         assert_eq!(reg.gauge("missing"), None);
+        let h = reg.gauge_handle("g");
+        h.set(-0.25);
+        assert_eq!(reg.gauge("g"), Some(-0.25));
+        assert_eq!(h.get(), -0.25);
     }
 
     #[test]
-    fn histogram_summary() {
+    fn histogram_buckets_are_tight() {
+        // Exact below 16.
+        for v in 0..16u64 {
+            assert_eq!(Histogram::bucket_upper(Histogram::bucket(v)), v);
+        }
+        // Within 1/16 above.
+        for &v in &[16u64, 100, 1000, 123_456, u32::MAX as u64, u64::MAX / 3] {
+            let upper = Histogram::bucket_upper(Histogram::bucket(v));
+            assert!(upper >= v, "{v}: upper {upper}");
+            assert!(
+                (upper - v) as f64 <= v as f64 / 16.0 + 1.0,
+                "{v}: upper {upper} too loose"
+            );
+        }
+        assert_eq!(
+            Histogram::bucket_upper(Histogram::bucket(u64::MAX)),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn histogram_summary_and_quantiles() {
         let mut h = Histogram::default();
-        for v in [1.0, 2.0, 3.0, 100.0] {
-            h.observe(v);
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
         }
         assert_eq!(h.count(), 4);
         assert!((h.mean() - 26.5).abs() < 1e-12);
-        assert!(h.quantile_bound(0.5) <= 4.0);
-        assert!(h.quantile_bound(1.0) >= 100.0);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!(h.quantile(0.5) <= 4);
+        assert!(h.quantile(1.0) >= 100);
         let empty = Histogram::default();
         assert_eq!(empty.mean(), 0.0);
-        assert_eq!(empty.quantile_bound(0.5), 0.0);
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.min(), 0);
+
+        // A long-tailed latency shape: quantiles order correctly and
+        // land inside 1/16 of the true order statistics.
+        let mut lat = Histogram::default();
+        for i in 0..1000u64 {
+            lat.record(100 + i); // uniform 100..1100
+        }
+        lat.record(1_000_000); // one outlier
+        let (p50, p99, p999) = (lat.quantile(0.5), lat.quantile(0.99), lat.quantile(0.999));
+        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        assert!((550..=700).contains(&p50), "p50 {p50}");
+        assert!((1050..=1200).contains(&p99), "p99 {p99}");
+        // True p999 order statistic is 1099; the bound is its bucket's
+        // upper edge, within 1/16.
+        assert!((1099..=1099 + 1099 / 16 + 1).contains(&p999), "p999 {p999}");
+        assert_eq!(lat.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut both = Histogram::default();
+        for i in 0..500u64 {
+            a.record(i * 3);
+            both.record(i * 3);
+        }
+        for i in 0..300u64 {
+            b.record(i * 7 + 1);
+            both.record(i * 7 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), both.quantile(q));
+        }
     }
 
     #[test]
@@ -308,10 +617,23 @@ mod tests {
         assert_eq!(keys, vec!["a.gauge", "m.hist", "z.counter"]);
         assert_eq!(j.get("z.counter").unwrap().as_u64(), Some(5));
         assert_eq!(j.get("a.gauge").unwrap().as_f64(), Some(0.5));
-        assert_eq!(
-            j.get("m.hist").unwrap().get("count").unwrap().as_u64(),
-            Some(1)
-        );
+        let hist = j.get("m.hist").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(hist.get("p999").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn record_histogram_merges_and_set_histogram_overwrites() {
+        let reg = MetricsRegistry::new();
+        let mut local = Histogram::default();
+        for v in [10u64, 20, 30] {
+            local.record(v);
+        }
+        reg.record_histogram("lat", &local);
+        reg.record_histogram("lat", &local);
+        assert_eq!(reg.histogram("lat").unwrap().count(), 6);
+        reg.set_histogram("lat", &local);
+        assert_eq!(reg.histogram("lat").unwrap(), local);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! The batched `PinnedPool` service — kept as the measuring stick.
+//!
+//! [`BatchService`] is the PR 5 transport: `Mutex`+`Condvar` mailboxes,
+//! one lock per shard per batch, and a whole-batch barrier (the caller
+//! blocks until the slowest shard drains). It is correct and simple,
+//! which is exactly what a baseline should be: the `saturate` bench runs
+//! the same workloads against [`BatchService`] and the ring-based
+//! [`crate::ShardedService`] and reports the throughput ratio.
+//!
+//! The request routing, broadcast merge, and determinism model are
+//! identical to the streaming service (both delegate to the same
+//! helpers), so any measured difference is the transport.
+
+use std::sync::Arc;
+
+use pmck_core::{CoreError, CoreStats, Request, Response, ServiceError, ServiceFailure, Stack};
+use pmck_rt::pool::{PinnedPool, PoolError};
+use pmck_rt::rng::stream_seed;
+
+use crate::{merge_broadcast, route_addr};
+
+/// One request tagged with its position in the submitted batch.
+type Job = (u32, Request);
+/// The shard's answer, tagged with the same position.
+type JobResult = (u32, Result<Response, CoreError>);
+
+/// A sharded front end over N independent [`Stack`]s with **batched**
+/// submission: every batch takes each shard's mailbox lock once, wakes
+/// the workers through a condvar, and waits for the whole batch before
+/// returning.
+pub struct BatchService {
+    pool: PinnedPool<Stack, Job, JobResult>,
+    /// Per-shard capacity in blocks (local addresses).
+    shard_blocks: Vec<u64>,
+    /// Whether `out[i]` holds a real response yet (reused per batch).
+    filled: Vec<bool>,
+}
+
+impl BatchService {
+    /// Builds `shards` stacks with `make(shard, shard_seed)` and spawns
+    /// one pinned worker per shard; `shard_seed` is stream `shard` of
+    /// `seed` ([`stream_seed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize, seed: u64, mut make: impl FnMut(usize, u64) -> Stack) -> Self {
+        assert!(shards > 0, "service needs at least one shard");
+        let stacks: Vec<Stack> = (0..shards)
+            .map(|s| make(s, stream_seed(seed, s as u64)))
+            .collect();
+        Self::from_stacks(stacks)
+    }
+
+    /// Wraps pre-built stacks directly (one shard per stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stacks` is empty.
+    pub fn from_stacks(stacks: Vec<Stack>) -> Self {
+        let shard_blocks: Vec<u64> = stacks.iter().map(Stack::num_blocks).collect();
+        let pool = PinnedPool::new(stacks, |_, stack: &mut Stack, (idx, req): Job| {
+            (idx, stack.submit(&req))
+        });
+        BatchService {
+            pool,
+            shard_blocks,
+            filled: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shard_blocks.len()
+    }
+
+    /// Total capacity in blocks across all shards.
+    pub fn num_blocks(&self) -> u64 {
+        self.shard_blocks.iter().sum()
+    }
+
+    /// The shard and local address owning global address `addr`.
+    pub fn route(&self, addr: u64) -> Option<(usize, u64)> {
+        route_addr(&self.shard_blocks, addr)
+    }
+
+    /// Executes a batch behind the whole-batch barrier; `out` is cleared
+    /// and filled with one result per request, in request order.
+    pub fn submit_batch_into(
+        &mut self,
+        reqs: &[Request],
+        out: &mut Vec<Result<Response, CoreError>>,
+    ) {
+        const PENDING: Result<Response, CoreError> = Err(CoreError::Unsupported("pending"));
+        out.clear();
+        out.resize(reqs.len(), PENDING);
+        self.filled.clear();
+        self.filled.resize(reqs.len(), false);
+        let shards = self.shards();
+        for (i, req) in reqs.iter().enumerate() {
+            let idx = u32::try_from(i).expect("batch longer than u32::MAX");
+            match req.addr() {
+                Some(addr) => match self.route(addr) {
+                    Some((shard, local)) => self.pool.stage(shard, (idx, req.with_addr(local))),
+                    None => {
+                        out[i] = Err(CoreError::OutOfRange(addr));
+                        self.filled[i] = true;
+                    }
+                },
+                None => {
+                    for shard in 0..shards {
+                        self.pool.stage(shard, (idx, *req));
+                    }
+                }
+            }
+        }
+        let filled = &mut self.filled;
+        let run = self.pool.run(|_, (idx, res)| {
+            let i = idx as usize;
+            if filled[i] {
+                merge_broadcast(&mut out[i], res);
+            } else {
+                out[i] = res;
+                filled[i] = true;
+            }
+        });
+        if let Err(pool_err) = run {
+            // The batch is indivisible from the client's view: if the
+            // pool failed, every slot reports the service failure.
+            let err = CoreError::Service(ServiceError::with_source(
+                match pool_err {
+                    PoolError::Closed => ServiceFailure::QueueClosed,
+                    PoolError::WorkerPanicked => ServiceFailure::WorkerLost,
+                },
+                Arc::new(pool_err),
+            ));
+            for slot in out.iter_mut() {
+                *slot = Err(err.clone());
+            }
+        }
+    }
+
+    /// [`BatchService::submit_batch_into`] returning a fresh `Vec`.
+    pub fn submit_batch(&mut self, reqs: &[Request]) -> Vec<Result<Response, CoreError>> {
+        let mut out = Vec::new();
+        self.submit_batch_into(reqs, &mut out);
+        out
+    }
+
+    /// Executes one request (a batch of one).
+    ///
+    /// # Errors
+    ///
+    /// As [`Stack::submit`], plus [`CoreError::Service`] when the pool
+    /// is shut down or a shard worker died.
+    pub fn submit(&mut self, req: &Request) -> Result<Response, CoreError> {
+        let mut out = Vec::with_capacity(1);
+        self.submit_batch_into(std::slice::from_ref(req), &mut out);
+        out.pop().expect("one request yields one response")
+    }
+
+    /// Runs `f` against one shard's stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn with_shard<T>(&self, shard: usize, f: impl FnOnce(&mut Stack) -> T) -> T {
+        self.pool.with_state(shard, f)
+    }
+
+    /// Engine counters summed across shards.
+    pub fn core_stats(&self) -> Option<CoreStats> {
+        let mut total: Option<CoreStats> = None;
+        for s in 0..self.shards() {
+            if let Some(st) = self.pool.with_state(s, |stack| stack.core_stats()) {
+                total.get_or_insert_with(CoreStats::default).merge(&st);
+            }
+        }
+        total
+    }
+
+    /// Stops and joins the shard workers.
+    pub fn shutdown(&mut self) {
+        self.pool.shutdown();
+    }
+}
+
+impl std::fmt::Debug for BatchService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchService")
+            .field("shards", &self.shards())
+            .field("num_blocks", &self.num_blocks())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmck_core::{ChipkillConfig, StackBuilder};
+
+    #[test]
+    fn batch_service_round_trips_and_matches_streaming_routing() {
+        let mut svc = BatchService::new(4, 7, |_, s| {
+            StackBuilder::proposal(32, ChipkillConfig::default())
+                .seed(s)
+                .build()
+        });
+        assert_eq!(svc.num_blocks(), 128);
+        assert_eq!(svc.route(5), Some((1, 1)));
+        let writes: Vec<Request> = (0..64u64)
+            .map(|a| Request::Write {
+                addr: a,
+                data: [a as u8; 64],
+            })
+            .collect();
+        for r in svc.submit_batch(&writes) {
+            assert_eq!(r, Ok(Response::Written));
+        }
+        let reads: Vec<Request> = (0..64u64).map(Request::Read).collect();
+        for (a, r) in svc.submit_batch(&reads).into_iter().enumerate() {
+            assert_eq!(r.unwrap().read().unwrap().data, [a as u8; 64]);
+        }
+        assert_eq!(svc.core_stats().unwrap().reads, 64);
+        svc.shutdown();
+        let out = svc.submit_batch(&[Request::Read(0)]);
+        assert!(matches!(out[0], Err(CoreError::Service(_))));
+    }
+}

@@ -6,27 +6,47 @@
 //! [`ShardedService`] exploits that: it owns N independent
 //! [`pmck_core::Stack`]s, partitions the block address space across them
 //! by interleave (global address `a` lives on shard `a % N` at local
-//! address `a / N`), and drives them with `pmck-rt`'s [`PinnedPool`] —
-//! one persistent worker thread per shard, so each shard keeps its
-//! engine-lifetime scratch buffers and the zero-allocation read fast
-//! path while different shards decode in parallel.
+//! address `a / N`), and drives them with `pmck-rt`'s lock-free
+//! [`ShardPool`] — one persistent worker thread per shard fed through
+//! per-client SPSC rings, so each shard keeps its engine-lifetime
+//! scratch buffers and the zero-allocation read fast path while
+//! different shards decode in parallel and different producers never
+//! contend.
 //!
-//! Clients speak the [`Request`]/[`Response`] vocabulary from
-//! `pmck-core` in batches: [`ShardedService::submit_batch`] routes each
-//! addressed request to its owning shard, broadcasts whole-device
-//! requests (patrol step, fault injection, verify, …) to every shard,
-//! and returns responses in request order.
+//! Two submission planes share the same routing and merge rules:
+//!
+//! * **Batched** ([`ShardedService::submit_batch`]): routes each
+//!   addressed request to its owning shard, broadcasts whole-device
+//!   requests (patrol step, fault injection, verify, …) to every shard,
+//!   and returns responses in request order. Internally this *streams*:
+//!   requests are submitted ahead up to the ticket window and redeemed
+//!   in order, so no whole-batch barrier exists.
+//! * **Streaming** ([`ServiceClient`], from
+//!   [`ShardedService::take_client`]): `try_submit` → [`Ticket`] →
+//!   `poll_response`/`wait_response`, with explicit
+//!   [`pmck_core::ServiceFailure::Backpressure`] admission control.
+//!   Each client owns a private lane of rings, so N producer threads
+//!   drive the shards with zero shared locks.
+//!
+//! The completion path records per-request latency into a lossy MPSC
+//! telemetry ring; [`ShardedService::publish_metrics`] folds the
+//! samples into per-shard HDR histograms (p50/p99/p999).
+//!
+//! The batched `PinnedPool` transport survives as
+//! [`baseline::BatchService`] — the measuring stick the `saturate`
+//! bench compares against.
 //!
 //! # Determinism
 //!
 //! Results are independent of thread scheduling: shard `s` is seeded
 //! from stream `s` of the service seed ([`pmck_rt::rng::stream_seed`]),
-//! each shard executes its requests in staged order, and batch results
-//! are collected shard-by-shard in index order. Replaying the same
-//! per-shard request streams sequentially against identically-seeded
-//! single `Stack`s therefore produces bit-identical block contents and
-//! stats — the equivalence the top-level `service_equivalence` test
-//! checks.
+//! each `(client, shard)` ring is FIFO so a shard executes one client's
+//! requests in submission order, and broadcast responses are buffered
+//! per shard and merged in shard index order once complete. Replaying
+//! the same per-shard request streams sequentially against
+//! identically-seeded single `Stack`s therefore produces bit-identical
+//! block contents and stats — the equivalence the top-level
+//! `service_equivalence` test checks, including under backpressure.
 //!
 //! # Examples
 //!
@@ -49,30 +69,70 @@
 //! assert_eq!(out[1].clone().unwrap().read().unwrap().data, [0xAB; 64]);
 //! ```
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use pmck_core::{
-    CoreError, CoreStats, LayerId, LayerStats, ProtectionTier, Request, Response, ServiceError,
-    ServiceFailure, Stack, TierReport,
+    CoreError, CoreStats, LayerId, LayerStats, ProtectionTier, Request, Response, Stack, TierReport,
 };
-use pmck_rt::metrics::MetricsRegistry;
-use pmck_rt::pool::{PinnedPool, PoolError};
+use pmck_rt::metrics::{Histogram, MetricsRegistry};
+use pmck_rt::pool::ShardPool;
+use pmck_rt::ring::{mpsc, MpscConsumer};
 use pmck_rt::rng::stream_seed;
 
-/// One request tagged with its position in the submitted batch.
-type Job = (u32, Request);
-/// The shard's answer, tagged with the same position.
-type JobResult = (u32, Result<Response, CoreError>);
+pub mod baseline;
+mod client;
+
+pub use client::{ServiceClient, Ticket};
+
+use client::{Comp, Job, LatencySample, BROADCAST_SHARD, SUBMIT_DEPTH, TICKET_WINDOW};
+
+/// Capacity of the service-wide latency telemetry ring. Lossy by
+/// design: overflow increments a drop counter instead of stalling.
+const TELEMETRY_DEPTH: usize = 4096;
+
+/// The shard and local address owning global `addr` under block
+/// interleave, or `None` when `addr` is beyond the address space.
+pub(crate) fn route_addr(shard_blocks: &[u64], addr: u64) -> Option<(usize, u64)> {
+    let n = shard_blocks.len() as u64;
+    let shard = (addr % n) as usize;
+    let local = addr / n;
+    (local < shard_blocks[shard]).then_some((shard, local))
+}
+
+/// Latency histograms folded from the telemetry ring (cold path: only
+/// touched by `publish_metrics` / `latency_report`).
+struct Telemetry {
+    rx: MpscConsumer<LatencySample>,
+    per_shard: Vec<Histogram>,
+    broadcast: Histogram,
+}
+
+impl Telemetry {
+    fn drain(&mut self) {
+        while let Some(sample) = self.rx.try_pop() {
+            if sample.shard == BROADCAST_SHARD {
+                self.broadcast.record(sample.ns);
+            } else {
+                self.per_shard[sample.shard as usize].record(sample.ns);
+            }
+        }
+    }
+}
 
 /// A sharded, multi-threaded front end over N independent [`Stack`]s.
 ///
-/// See the crate docs for the sharding and determinism model.
+/// See the crate docs for the sharding, streaming, and determinism
+/// model.
 pub struct ShardedService {
-    pool: PinnedPool<Stack, Job, JobResult>,
-    /// Per-shard capacity in blocks (local addresses).
-    shard_blocks: Vec<u64>,
-    /// Whether `out[i]` holds a real response yet (reused per batch).
-    filled: Vec<bool>,
+    pool: ShardPool<Stack>,
+    /// The service's own lane, backing the batched API.
+    primary: ServiceClient,
+    /// Extra lanes created up front, claimable via `take_client`.
+    spare: Vec<ServiceClient>,
+    shard_blocks: Arc<[u64]>,
+    telemetry: Mutex<Telemetry>,
+    dropped_samples: Arc<AtomicU64>,
 }
 
 impl ShardedService {
@@ -84,12 +144,24 @@ impl ShardedService {
     /// # Panics
     ///
     /// Panics if `shards == 0`.
-    pub fn new(shards: usize, seed: u64, mut make: impl FnMut(usize, u64) -> Stack) -> Self {
+    pub fn new(shards: usize, seed: u64, make: impl FnMut(usize, u64) -> Stack) -> Self {
+        Self::with_clients(shards, 0, seed, make)
+    }
+
+    /// As [`ShardedService::new`], but also provisions `clients` extra
+    /// streaming lanes claimable with [`ShardedService::take_client`] —
+    /// one per producer thread.
+    pub fn with_clients(
+        shards: usize,
+        clients: usize,
+        seed: u64,
+        mut make: impl FnMut(usize, u64) -> Stack,
+    ) -> Self {
         assert!(shards > 0, "service needs at least one shard");
         let stacks: Vec<Stack> = (0..shards)
             .map(|s| make(s, stream_seed(seed, s as u64)))
             .collect();
-        Self::from_stacks(stacks)
+        Self::from_stacks_with_clients(stacks, clients)
     }
 
     /// Wraps pre-built stacks directly (one shard per stack).
@@ -98,14 +170,44 @@ impl ShardedService {
     ///
     /// Panics if `stacks` is empty.
     pub fn from_stacks(stacks: Vec<Stack>) -> Self {
-        let shard_blocks: Vec<u64> = stacks.iter().map(Stack::num_blocks).collect();
-        let pool = PinnedPool::new(stacks, |_, stack: &mut Stack, (idx, req): Job| {
-            (idx, stack.submit(&req))
+        Self::from_stacks_with_clients(stacks, 0)
+    }
+
+    /// [`ShardedService::from_stacks`] plus `clients` extra streaming
+    /// lanes.
+    pub fn from_stacks_with_clients(stacks: Vec<Stack>, clients: usize) -> Self {
+        let shard_blocks: Arc<[u64]> = stacks.iter().map(Stack::num_blocks).collect();
+        let shards = shard_blocks.len();
+        let (pool, raw_clients) = ShardPool::with_clients(
+            stacks,
+            1 + clients,
+            SUBMIT_DEPTH,
+            TICKET_WINDOW,
+            |_, stack: &mut Stack, (slot, req): Job| -> Comp { (slot, stack.submit(&req)) },
+        );
+        let (telemetry_tx, telemetry_rx) = mpsc::<LatencySample>(TELEMETRY_DEPTH);
+        let dropped_samples = Arc::new(AtomicU64::new(0));
+        let mut lanes = raw_clients.into_iter().map(|raw| {
+            ServiceClient::new(
+                raw,
+                Arc::clone(&shard_blocks),
+                telemetry_tx.clone(),
+                Arc::clone(&dropped_samples),
+            )
         });
+        let primary = lanes.next().expect("at least one lane");
+        let spare: Vec<ServiceClient> = lanes.collect();
         ShardedService {
             pool,
+            primary,
+            spare,
             shard_blocks,
-            filled: Vec::new(),
+            telemetry: Mutex::new(Telemetry {
+                rx: telemetry_rx,
+                per_shard: (0..shards).map(|_| Histogram::new()).collect(),
+                broadcast: Histogram::new(),
+            }),
+            dropped_samples,
         }
     }
 
@@ -122,70 +224,36 @@ impl ShardedService {
     /// The shard and local address owning global address `addr`, or
     /// `None` if `addr` is beyond the interleaved address space.
     pub fn route(&self, addr: u64) -> Option<(usize, u64)> {
-        let n = self.shard_blocks.len() as u64;
-        let shard = (addr % n) as usize;
-        let local = addr / n;
-        (local < self.shard_blocks[shard]).then_some((shard, local))
+        route_addr(&self.shard_blocks, addr)
+    }
+
+    /// Claims one of the streaming lanes provisioned at construction
+    /// (`None` once all are taken). The returned client is `Send`:
+    /// move it to its producer thread and drive the shards directly,
+    /// concurrently with this service's own batched API.
+    pub fn take_client(&mut self) -> Option<ServiceClient> {
+        self.spare.pop()
+    }
+
+    /// Streaming lanes still claimable.
+    pub fn spare_clients(&self) -> usize {
+        self.spare.len()
     }
 
     /// Executes a batch: addressed requests run on their owning shard
     /// (in parallel across shards, in batch order within a shard);
     /// whole-device requests are broadcast to every shard and their
-    /// per-shard responses merged. `out` is cleared and filled with one
-    /// result per request, in request order; reusing the same `out`
-    /// across batches keeps the steady state allocation-free.
+    /// per-shard responses merged in shard index order. `out` is
+    /// cleared and filled with one result per request, in request
+    /// order; reusing the same `out` across batches keeps the steady
+    /// state allocation-free. Submission streams ahead up to the ticket
+    /// window — there is no whole-batch barrier.
     pub fn submit_batch_into(
         &mut self,
         reqs: &[Request],
         out: &mut Vec<Result<Response, CoreError>>,
     ) {
-        const PENDING: Result<Response, CoreError> = Err(CoreError::Unsupported("pending"));
-        out.clear();
-        out.resize(reqs.len(), PENDING);
-        self.filled.clear();
-        self.filled.resize(reqs.len(), false);
-        let shards = self.shards();
-        for (i, req) in reqs.iter().enumerate() {
-            let idx = u32::try_from(i).expect("batch longer than u32::MAX");
-            match req.addr() {
-                Some(addr) => match self.route(addr) {
-                    Some((shard, local)) => self.pool.stage(shard, (idx, req.with_addr(local))),
-                    None => {
-                        out[i] = Err(CoreError::OutOfRange(addr));
-                        self.filled[i] = true;
-                    }
-                },
-                None => {
-                    for shard in 0..shards {
-                        self.pool.stage(shard, (idx, *req));
-                    }
-                }
-            }
-        }
-        let filled = &mut self.filled;
-        let run = self.pool.run(|_, (idx, res)| {
-            let i = idx as usize;
-            if filled[i] {
-                merge_broadcast(&mut out[i], res);
-            } else {
-                out[i] = res;
-                filled[i] = true;
-            }
-        });
-        if let Err(pool_err) = run {
-            // The batch is indivisible from the client's view: if the
-            // pool failed, every slot reports the service failure.
-            let err = CoreError::Service(ServiceError::with_source(
-                match pool_err {
-                    PoolError::Closed => ServiceFailure::QueueClosed,
-                    PoolError::WorkerPanicked => ServiceFailure::WorkerLost,
-                },
-                Arc::new(pool_err),
-            ));
-            for slot in out.iter_mut() {
-                *slot = Err(err.clone());
-            }
-        }
+        self.primary.submit_batch_into(reqs, out);
     }
 
     /// [`ShardedService::submit_batch_into`] returning a fresh `Vec`.
@@ -208,7 +276,7 @@ impl ShardedService {
     }
 
     /// Runs `f` against one shard's stack (blocks while that shard is
-    /// mid-batch). For maintenance that needs a concrete shard — e.g.
+    /// mid-burst). For maintenance that needs a concrete shard — e.g.
     /// repairing a chip failure localized to it.
     ///
     /// # Panics
@@ -264,11 +332,27 @@ impl ShardedService {
         total
     }
 
+    /// Folds pending telemetry samples and returns the completion-path
+    /// latency histograms: `(per_shard, broadcast)`, in nanoseconds.
+    pub fn latency_report(&self) -> (Vec<Histogram>, Histogram) {
+        let mut tel = self.telemetry.lock().unwrap_or_else(|e| e.into_inner());
+        tel.drain();
+        (tel.per_shard.clone(), tel.broadcast.clone())
+    }
+
+    /// Latency samples dropped because the telemetry ring was full
+    /// (lossy by design; the data path never stalls on telemetry).
+    pub fn dropped_samples(&self) -> u64 {
+        self.dropped_samples.load(Ordering::Relaxed)
+    }
+
     /// Publishes the aggregated cross-shard view — per-layer counters
     /// under `<prefix>.layer.<label>.*`, engine counters under
     /// `<prefix>.engine.*` (same keys as [`Stack::publish_metrics`]) —
-    /// plus the shard count under `<prefix>.shards` and, for tiered
-    /// fleets, the per-tier and blended storage costs.
+    /// plus the shard count under `<prefix>.shards`, the completion
+    /// latency histograms under `<prefix>.latency.*` (per shard,
+    /// broadcast, and merged `all`, each with p50/p99/p999), and, for
+    /// tiered fleets, the per-tier and blended storage costs.
     pub fn publish_metrics(&self, reg: &MetricsRegistry, prefix: &str) {
         for (id, stats) in self.layers() {
             stats.publish_metrics(reg, &format!("{prefix}.layer.{id}"));
@@ -277,6 +361,22 @@ impl ShardedService {
             core.publish_metrics(reg, &format!("{prefix}.engine"));
         }
         reg.set_counter(&format!("{prefix}.shards"), self.shards() as u64);
+        {
+            let mut tel = self.telemetry.lock().unwrap_or_else(|e| e.into_inner());
+            tel.drain();
+            let mut all = Histogram::new();
+            for (s, hist) in tel.per_shard.iter().enumerate() {
+                all.merge(hist);
+                reg.set_histogram(&format!("{prefix}.latency.shard{s}"), hist);
+            }
+            all.merge(&tel.broadcast);
+            reg.set_histogram(&format!("{prefix}.latency.broadcast"), &tel.broadcast);
+            reg.set_histogram(&format!("{prefix}.latency.all"), &all);
+            reg.set_counter(
+                &format!("{prefix}.latency.dropped_samples"),
+                self.dropped_samples.load(Ordering::Relaxed),
+            );
+        }
         if let Some(report) = self.tier_report() {
             for tier in ProtectionTier::ALL {
                 reg.set_gauge(
@@ -291,9 +391,12 @@ impl ShardedService {
         }
     }
 
-    /// Stops and joins the shard workers. Subsequent batches fail with
-    /// [`ServiceFailure::QueueClosed`]; per-shard state stays readable
-    /// through [`ShardedService::with_shard`] and the stats accessors.
+    /// Stops accepting new work, **drains** queued requests (their
+    /// tickets stay redeemable), and joins the shard workers.
+    /// Subsequent batches fail with
+    /// [`pmck_core::ServiceFailure::QueueClosed`]; per-shard state stays
+    /// readable through [`ShardedService::with_shard`] and the stats
+    /// accessors.
     pub fn shutdown(&mut self) {
         self.pool.shutdown();
     }
@@ -304,13 +407,21 @@ impl std::fmt::Debug for ShardedService {
         f.debug_struct("ShardedService")
             .field("shards", &self.shards())
             .field("num_blocks", &self.num_blocks())
+            .field("spare_clients", &self.spare.len())
             .finish()
     }
 }
 
 /// Folds one more shard's answer to a broadcast request into the
-/// accumulated response, in shard order.
-fn merge_broadcast(acc: &mut Result<Response, CoreError>, next: Result<Response, CoreError>) {
+/// accumulated response. **Callers must fold in shard index order** —
+/// several rules are order-sensitive (first error wins, first rebuilt
+/// chip wins, the tier census rounds per fold); the streaming client
+/// guarantees this by buffering per-shard parts and merging once all
+/// arrived.
+pub(crate) fn merge_broadcast(
+    acc: &mut Result<Response, CoreError>,
+    next: Result<Response, CoreError>,
+) {
     match (&mut *acc, next) {
         // The first error (in shard order) wins and sticks.
         (Err(_), _) => {}
@@ -353,7 +464,7 @@ fn merge_broadcast(acc: &mut Result<Response, CoreError>, next: Result<Response,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmck_core::{ChipkillConfig, ReadPath, StackBuilder};
+    use pmck_core::{ChipkillConfig, ReadPath, ServiceFailure, StackBuilder};
     use std::error::Error as _;
 
     fn svc(shards: usize, blocks_per_shard: u64, seed: u64) -> ShardedService {
@@ -546,7 +657,10 @@ mod tests {
         // ...while source() exposes the transport chain.
         let source = err.source().expect("service error has a source");
         let transport = source.source().expect("chain reaches the pool error");
-        assert_eq!(transport.to_string(), PoolError::Closed.to_string());
+        assert_eq!(
+            transport.to_string(),
+            pmck_rt::pool::PoolError::Closed.to_string()
+        );
         // Shard state is still reachable for post-mortem stats.
         assert_eq!(svc.core_stats().unwrap().reads, 0);
     }
@@ -626,5 +740,200 @@ mod tests {
             assert_eq!(out.len(), 24);
             assert!(out.iter().all(|r| *r == Ok(Response::Written)));
         }
+    }
+
+    #[test]
+    fn streaming_tickets_redeem_in_any_order() {
+        let mut svc = ShardedService::with_clients(2, 1, 21, |_, s| {
+            StackBuilder::proposal(16, ChipkillConfig::default())
+                .seed(s)
+                .build()
+        });
+        let mut client = svc.take_client().expect("one spare lane");
+        assert!(svc.take_client().is_none());
+        let t0 = client
+            .try_submit(&Request::Write {
+                addr: 0,
+                data: [7; 64],
+            })
+            .unwrap();
+        let t1 = client
+            .try_submit(&Request::Write {
+                addr: 1,
+                data: [8; 64],
+            })
+            .unwrap();
+        let t2 = client.try_submit(&Request::Read(0)).unwrap();
+        assert_eq!(client.in_flight(), 3);
+        // Redeem newest-first: order must not matter.
+        let r2 = client.wait_response(t2);
+        assert_eq!(r2.unwrap().read().unwrap().data, [7; 64]);
+        assert_eq!(client.wait_response(t1), Ok(Response::Written));
+        assert_eq!(client.wait_response(t0), Ok(Response::Written));
+        assert_eq!(client.in_flight(), 0);
+        // An out-of-range submit still yields a (failing) ticket.
+        let t = client.try_submit(&Request::Read(1 << 40)).unwrap();
+        assert_eq!(client.wait_response(t), Err(CoreError::OutOfRange(1 << 40)));
+        // Broadcasts stream too.
+        let tv = client.try_submit(&Request::Verify).unwrap();
+        assert_eq!(client.wait_response(tv), Ok(Response::Verified(true)));
+    }
+
+    #[test]
+    fn streaming_window_reports_backpressure() {
+        let mut svc = ShardedService::with_clients(1, 1, 22, |_, s| {
+            StackBuilder::proposal(8, ChipkillConfig::default())
+                .seed(s)
+                .build()
+        });
+        let mut client = svc.take_client().unwrap();
+        let mut tickets = Vec::new();
+        // Fill the whole ticket window without redeeming: at some point
+        // admission control must push back (window or ring, whichever
+        // first), and the error must be retryable Backpressure.
+        let err = loop {
+            match client.try_submit(&Request::Read(0)) {
+                Ok(t) => tickets.push(t),
+                Err(e) => break e,
+            }
+            assert!(tickets.len() <= client.window(), "window overran");
+        };
+        let CoreError::Service(se) = &err else {
+            panic!("expected service error, got {err:?}");
+        };
+        assert_eq!(se.kind(), ServiceFailure::Backpressure);
+        // Redeeming the backlog clears the pressure.
+        for t in tickets.drain(..) {
+            client.wait_response(t).unwrap();
+        }
+        assert_eq!(client.in_flight(), 0);
+        let t = client.try_submit(&Request::Read(0)).unwrap();
+        client.wait_response(t).unwrap();
+    }
+
+    #[test]
+    fn worker_panic_fails_every_outstanding_ticket() {
+        use pmck_core::{Access, AccessContext, AccessOutcome, BlockDevice};
+        // A device that panics when block 3 is read: shard 1 dies mid
+        // stream while earlier requests are still in flight.
+        struct Grenade {
+            blocks: u64,
+        }
+        impl BlockDevice for Grenade {
+            fn id(&self) -> LayerId {
+                LayerId::Chipkill
+            }
+            fn num_blocks(&self) -> u64 {
+                self.blocks
+            }
+            fn access(
+                &mut self,
+                access: Access,
+                _ctx: &mut AccessContext,
+            ) -> Result<AccessOutcome, CoreError> {
+                if let Access::Read(addr) = access {
+                    assert!(addr != 3, "boom");
+                }
+                Ok(AccessOutcome::Written)
+            }
+        }
+        let stacks: Vec<Stack> = (0..2)
+            .map(|s| {
+                Stack::from_parts(
+                    Box::new(Grenade { blocks: 8 }),
+                    pmck_core::AccessContext::new(s),
+                )
+            })
+            .collect();
+        let mut svc = ShardedService::from_stacks_with_clients(stacks, 1);
+        let mut client = svc.take_client().unwrap();
+        // Request stream: a few benign ops, the grenade, more ops.
+        let mut tickets = Vec::new();
+        for addr in [0u64, 1, 2, 7, 6] {
+            tickets.push(client.try_submit(&Request::Read(addr)).unwrap());
+        }
+        let mut outcomes = Vec::new();
+        for t in tickets {
+            outcomes.push(client.wait_response(t));
+        }
+        // Global address 7 routes to shard 1 local 3 -> panic. Every
+        // ticket resolves: benign ones may have completed, but at least
+        // the post-panic ones surface WorkerLost instead of hanging.
+        let lost = outcomes
+            .iter()
+            .filter(|r| {
+                matches!(r, Err(CoreError::Service(se)) if se.kind() == ServiceFailure::WorkerLost)
+            })
+            .count();
+        assert!(lost >= 1, "no ticket surfaced WorkerLost: {outcomes:?}");
+        // The batched plane reports the poisoned pool too.
+        let out = svc.submit_batch(&[Request::Read(0)]);
+        assert!(
+            matches!(&out[0], Err(CoreError::Service(se)) if se.kind() == ServiceFailure::WorkerLost),
+            "batched plane after panic: {out:?}"
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_submitted_requests() {
+        let mut svc = ShardedService::with_clients(2, 1, 23, |_, s| {
+            StackBuilder::proposal(16, ChipkillConfig::default())
+                .seed(s)
+                .build()
+        });
+        let mut client = svc.take_client().unwrap();
+        let mut tickets = Vec::new();
+        for a in 0..16u64 {
+            tickets.push(
+                client
+                    .try_submit(&Request::Write {
+                        addr: a,
+                        data: [a as u8; 64],
+                    })
+                    .unwrap(),
+            );
+        }
+        // Shut down while the writes may still be queued: the drain
+        // contract says every accepted request completes.
+        svc.shutdown();
+        for t in tickets {
+            assert_eq!(client.wait_response(t), Ok(Response::Written));
+        }
+        // New submissions are refused.
+        let err = client.try_submit(&Request::Read(0)).unwrap_err();
+        let CoreError::Service(se) = &err else {
+            panic!("expected service error, got {err:?}");
+        };
+        assert_eq!(se.kind(), ServiceFailure::QueueClosed);
+        // The drained writes really landed in the shard state.
+        assert_eq!(svc.core_stats().unwrap().writes, 16);
+    }
+
+    #[test]
+    fn latency_histograms_are_published() {
+        let mut svc = svc(2, 16, 24);
+        let reqs: Vec<Request> = (0..32u64)
+            .map(|a| Request::Write {
+                addr: a,
+                data: [3; 64],
+            })
+            .chain((0..32u64).map(Request::Read))
+            .collect();
+        svc.submit_batch(&reqs);
+        svc.submit(&Request::Verify).unwrap();
+        let reg = MetricsRegistry::new();
+        svc.publish_metrics(&reg, "svc");
+        let all = reg.histogram("svc.latency.all").expect("latency.all");
+        assert_eq!(all.count(), 65, "64 addressed + 1 broadcast");
+        let p50 = all.quantile(0.50);
+        let p99 = all.quantile(0.99);
+        let p999 = all.quantile(0.999);
+        assert!(p50 > 0 && p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        let bcast = reg.histogram("svc.latency.broadcast").unwrap();
+        assert_eq!(bcast.count(), 1);
+        assert_eq!(reg.counter("svc.latency.dropped_samples"), 0);
+        let (per_shard, _) = svc.latency_report();
+        assert_eq!(per_shard.len(), 2);
+        assert_eq!(per_shard[0].count() + per_shard[1].count(), 64);
     }
 }

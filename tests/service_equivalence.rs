@@ -267,3 +267,139 @@ fn persistent_shard_broadcasts_match_sequential_replay() {
         svc.shutdown();
     }
 }
+
+/// The streaming plane under backpressure: an 8-shard service driven
+/// through [`ServiceClient`] tickets — deliberately overrunning the
+/// ticket window every round so admission control must push back — stays
+/// bit-identical to sequential per-shard replay.
+///
+/// Requests are streamed with `try_submit`; every
+/// [`ServiceFailure::Backpressure`] rejection redeems the oldest
+/// outstanding ticket and retries, so the window recycles under
+/// pressure exactly as a real producer would drive it. Per-shard ring
+/// FIFO plus shard-index-ordered broadcast merging is what makes this
+/// equal to the batched plane — this test is the proof.
+#[test]
+fn eight_shard_streaming_under_backpressure_matches_sequential_replay() {
+    use pmck::chipkill::ServiceFailure;
+    use std::collections::VecDeque;
+
+    const STREAM_SHARDS: usize = 8;
+    const STREAM_ROUNDS: usize = 12;
+    // More in-flight candidates than the ticket window, so every round
+    // is guaranteed to hit window backpressure at least once.
+    const STREAM_BATCH: usize = 300;
+
+    for seed in [3u64, 19, 4242] {
+        let mut svc = ShardedService::with_clients(STREAM_SHARDS, 1, seed, |_, shard_seed| {
+            build_stack(BLOCKS_PER_SHARD, shard_seed)
+        });
+        let mut client = svc.take_client().expect("one spare lane");
+        let mut stacks: Vec<Stack> = (0..STREAM_SHARDS)
+            .map(|s| build_stack(BLOCKS_PER_SHARD, stream_seed(seed, s as u64)))
+            .collect();
+        let total = svc.num_blocks();
+        let window = client.window();
+        assert!(STREAM_BATCH > window, "batch must overrun the window");
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x57_12EA);
+        let mut backpressured = 0u64;
+        for round in 0..STREAM_ROUNDS {
+            let mut batch = Vec::with_capacity(STREAM_BATCH);
+            for i in 0..STREAM_BATCH {
+                // Every third round skews hard onto one shard so the
+                // per-shard submission ring (much smaller than the
+                // window) fills too, not just the ticket window.
+                let addr = if round % 3 == 2 {
+                    let hot = (round / 3) % STREAM_SHARDS;
+                    let local = rng.gen_range(0..BLOCKS_PER_SHARD);
+                    local * STREAM_SHARDS as u64 + hot as u64
+                } else {
+                    rng.gen_range(0..total)
+                };
+                let req = match rng.gen_range(0u32..8) {
+                    0..=2 => {
+                        let mut data = [0u8; 64];
+                        rng.fill_bytes(&mut data[..]);
+                        Request::Write { addr, data }
+                    }
+                    3..=5 => Request::Read(addr),
+                    6 => Request::Scrub(addr),
+                    _ => Request::PatrolStep,
+                };
+                batch.push(req);
+                if i == STREAM_BATCH / 2 && round % 4 == 1 {
+                    batch.push(Request::Verify);
+                }
+            }
+
+            // Stream the whole batch through the ticket API, redeeming
+            // the oldest ticket whenever admission control pushes back.
+            let mut out = vec![None; batch.len()];
+            let mut fifo: VecDeque<(usize, pmck::service::Ticket)> = VecDeque::new();
+            for (i, req) in batch.iter().enumerate() {
+                loop {
+                    match client.try_submit(req) {
+                        Ok(t) => {
+                            fifo.push_back((i, t));
+                            break;
+                        }
+                        Err(pmck::chipkill::CoreError::Service(se))
+                            if se.kind() == ServiceFailure::Backpressure =>
+                        {
+                            backpressured += 1;
+                            let (j, t) = fifo.pop_front().expect("backpressure with no tickets");
+                            out[j] = Some(client.wait_response(t));
+                        }
+                        Err(other) => panic!("seed {seed} round {round}: {other:?}"),
+                    }
+                }
+            }
+            for (j, t) in fifo.drain(..) {
+                out[j] = Some(client.wait_response(t));
+            }
+            assert_eq!(client.in_flight(), 0);
+
+            let want = replay_batch(&mut stacks, &batch);
+            for (i, (g, w)) in out.iter().zip(want.iter()).enumerate() {
+                let g = g.as_ref().expect("every request resolved");
+                assert_eq!(
+                    g, w,
+                    "seed {seed} round {round} request {i}: {:?}",
+                    batch[i]
+                );
+            }
+        }
+        assert!(
+            backpressured > 0,
+            "seed {seed}: the campaign never hit backpressure — the test \
+             no longer exercises admission control"
+        );
+
+        let svc_stats = svc.core_stats().expect("chipkill base");
+        let mut seq_stats = CoreStats::default();
+        for stack in &stacks {
+            seq_stats.merge(&stack.core_stats().expect("chipkill base"));
+        }
+        assert_eq!(
+            svc_stats, seq_stats,
+            "seed {seed}: summed CoreStats diverged"
+        );
+
+        for (shard, seq_stack) in stacks.iter_mut().enumerate() {
+            for local in 0..seq_stack.num_blocks() {
+                let svc_data = svc.with_shard(shard, |stack| {
+                    let mut buf = [0u8; 64];
+                    stack.read_into(local, &mut buf).map(|_| buf)
+                });
+                let mut buf = [0u8; 64];
+                let seq_data = seq_stack.read_into(local, &mut buf).map(|_| buf);
+                assert_eq!(
+                    svc_data, seq_data,
+                    "seed {seed}: shard {shard} block {local} contents diverged"
+                );
+            }
+        }
+        svc.shutdown();
+    }
+}

@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use pmck_bch::{BchCode, BchScratch};
+use pmck_cluster::{Cluster, ClusterConfig};
 use pmck_core::{
     Access, AccessContext, BlockDevice, ChipkillConfig, PmemConfig, ProtectionTier, Request, Stack,
     StackBuilder, TierPolicy, TieredMemory,
@@ -693,6 +694,67 @@ fn service_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
     }
 }
 
+/// `cluster/*`: the replicated tier's quorum walk over local `Stack`
+/// nodes. The replicated-read scenarios time the clean fast path — the
+/// walk serves from the first healthy replica and exits at read
+/// quorum, so 3-node cost should track 1-node cost plus the placement
+/// arithmetic, and both are expected at 0 allocs/op. `read_repair`
+/// times the full repair round-trip: every op marks one replica stale,
+/// and the next read of that block re-writes it from the served data.
+fn cluster_scenarios(cfg: &Config, rows: &mut Vec<Json>) {
+    const BLOCKS: u64 = 96;
+    for (name, nodes, replicas) in [
+        ("cluster/replicated_read_1node", 1usize, 1usize),
+        ("cluster/replicated_read_3node", 3, 3),
+    ] {
+        if !wants(cfg, name) {
+            continue;
+        }
+        let c = ClusterConfig {
+            replicas,
+            write_quorum: 1,
+            read_quorum: 1,
+        };
+        let mut cl = Cluster::local(nodes, BLOCKS, 5, c);
+        let mut rng = StdRng::seed_from_u64(5);
+        for a in 0..BLOCKS {
+            let mut b = [0u8; 64];
+            rng.fill_bytes(&mut b[..]);
+            cl.write_block(a, &b).expect("prefill");
+        }
+        let mut a = 0;
+        rows.push(scenario(cfg, name, 64, || {
+            a = (a + 1) % BLOCKS;
+            let out = cl.read_block(a).expect("clean");
+            (out.data[0], out.replica)
+        }));
+    }
+    if wants(cfg, "cluster/read_repair") {
+        let c = ClusterConfig {
+            replicas: 2,
+            write_quorum: 1,
+            read_quorum: 1,
+        };
+        let mut cl = Cluster::local(3, BLOCKS, 5, c);
+        let mut rng = StdRng::seed_from_u64(5);
+        for a in 0..BLOCKS {
+            let mut b = [0u8; 64];
+            rng.fill_bytes(&mut b[..]);
+            cl.write_block(a, &b).expect("prefill");
+        }
+        let mut a = 0;
+        rows.push(scenario(cfg, "cluster/read_repair", 64, || {
+            a = (a + 1) % BLOCKS;
+            // Stale the *first* replica in placement order so the walk
+            // skips it, serves from the second, and write-repairs it.
+            cl.mark_replica_stale(a, 0);
+            let out = cl.read_block(a).expect("repairable");
+            assert_eq!(out.repaired, 1, "every op must heal the stale replica");
+            out.data[0]
+        }));
+    }
+}
+
 /// Per-scenario regression thresholds for the baseline gate. Scenarios
 /// dominated by rare slow iterations (fault-heavy reads, patrol-driven
 /// stacks) get more headroom than tight single-kernel loops.
@@ -774,6 +836,7 @@ fn main() {
     tier_scenarios(&cfg, &mut rows);
     pmem_scenarios(&cfg, &mut rows);
     service_scenarios(&cfg, &mut rows);
+    cluster_scenarios(&cfg, &mut rows);
 
     let mut doc = Json::object()
         .with("harness", "microbench")

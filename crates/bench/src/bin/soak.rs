@@ -35,7 +35,16 @@
 //! power cuts discard everything since the last fence — recovery must
 //! then match the snapshot exactly, under the same byte-for-byte read
 //! checks as the rest of the soak.
+//!
+//! `--cluster N` runs a replicated campaign through `pmck-cluster`: N
+//! virtual nodes (each a 2-shard `ShardedService`), 2 replicas per
+//! block, quorum reads and writes. Mid-run one node is killed and
+//! later revived + rebuilt; every read is mirror-checked throughout,
+//! and the run closes with an anti-entropy sweep, a rank-wide boot
+//! scrub, a full readback, a per-replica decodability sweep, and a
+//! cluster-wide verify.
 
+use pmck_cluster::{Cluster, ClusterConfig, NodeStatus};
 use pmck_core::{
     ChipkillConfig, CoreError, LayerId, PmemConfig, ReadPath, Request, Response, Stack,
     StackBuilder, TierPolicy,
@@ -52,6 +61,7 @@ struct Config {
     seed: u64,
     schedule_file: Option<String>,
     shards: Option<usize>,
+    cluster: Option<usize>,
     crash: bool,
     tiers: bool,
     pretty: bool,
@@ -65,6 +75,7 @@ impl Config {
             seed: 0x50AC,
             schedule_file: None,
             shards: None,
+            cluster: None,
             crash: false,
             tiers: false,
             pretty: false,
@@ -88,6 +99,13 @@ impl Config {
                     }
                     cfg.shards = Some(n as usize);
                 }
+                "--cluster" => {
+                    let n = need(args.next(), "--cluster");
+                    if n < 2 {
+                        usage("--cluster needs at least 2 nodes (replicas need distinct homes)");
+                    }
+                    cfg.cluster = Some(n as usize);
+                }
                 "--short" => {
                     cfg.blocks = 64;
                     cfg.cycles = 3_000;
@@ -100,6 +118,9 @@ impl Config {
         }
         if cfg.tiers && cfg.shards.is_some() {
             usage("--tiers is a single-stack mode (tiering owns the rank layout)");
+        }
+        if cfg.cluster.is_some() && (cfg.tiers || cfg.crash || cfg.shards.is_some()) {
+            usage("--cluster is its own mode (nodes are plain sharded services)");
         }
         cfg
     }
@@ -114,7 +135,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: soak [--blocks N] [--cycles N] [--seed N] [--schedule FILE] [--short] \
-         [--shards N] [--crash] [--tiers] [--pretty]"
+         [--shards N] [--cluster N] [--crash] [--tiers] [--pretty]"
     );
     std::process::exit(2);
 }
@@ -669,8 +690,144 @@ fn run_sharded(cfg: &Config, shards: usize) -> ! {
     std::process::exit(0);
 }
 
+/// The replicated campaign through the `pmck-cluster` tier.
+///
+/// No media faults here — the cluster soak's subject is topology
+/// churn: a node dies mid-run (its missed writes tracked stale),
+/// comes back, and is rebuilt from its peers, all while every demand
+/// read is checked byte-for-byte against the mirror. The closing
+/// sweep must leave every replica on every node directly decodable.
+fn run_cluster(cfg: &Config, nodes: usize) -> ! {
+    const SHARDS_PER_NODE: usize = 2;
+    let ccfg = ClusterConfig {
+        replicas: 2,
+        write_quorum: 1,
+        read_quorum: 1,
+    };
+    let mut cluster = Cluster::sharded(nodes, SHARDS_PER_NODE, cfg.blocks, cfg.seed, ccfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut mirror: Vec<[u8; 64]> = Vec::with_capacity(cfg.blocks as usize);
+    for addr in 0..cfg.blocks {
+        let data = pattern(&mut rng);
+        cluster.write_block(addr, &data).expect("initial fill");
+        mirror.push(data);
+    }
+
+    let victim = (cfg.seed % nodes as u64) as usize;
+    let kill_at = cfg.cycles * 35 / 100;
+    let revive_at = cfg.cycles * 55 / 100;
+
+    let mut read_mismatches = 0u64;
+    let mut rebuilt = 0u64;
+    for cycle in 0..cfg.cycles {
+        if cycle == kill_at {
+            cluster.kill_node(victim);
+        } else if cycle == revive_at {
+            cluster.revive_node(victim);
+            rebuilt = cluster.rebuild_node(victim).expect("rebuild");
+        }
+        let addr = rng.gen_range(0..cfg.blocks);
+        if rng.gen_bool(0.5) {
+            let data = pattern(&mut rng);
+            cluster.write_block(addr, &data).expect("quorum write");
+            mirror[addr as usize] = data;
+        } else {
+            let out = cluster.read_block(addr).expect("quorum read");
+            if out.data != mirror[addr as usize] {
+                read_mismatches += 1;
+                eprintln!("cycle {cycle}: block {addr} read diverged from mirror");
+            }
+        }
+    }
+    if cluster.node_status(victim) != NodeStatus::Up {
+        cluster.revive_node(victim);
+        rebuilt = cluster.rebuild_node(victim).expect("closing rebuild");
+    }
+
+    // Closing sweep: anti-entropy (read-repair + scrub every block),
+    // then a full readback and a per-replica decodability check.
+    let sweep = cluster.anti_entropy_sweep();
+    let mut sweep_mismatches = 0u64;
+    let mut replica_mismatches = 0u64;
+    for addr in 0..cfg.blocks {
+        match cluster.read_block(addr) {
+            Ok(out) if out.data == mirror[addr as usize] => {}
+            _ => sweep_mismatches += 1,
+        }
+        for r in 0..cluster.replicas() {
+            let (n, local) = cluster.place(addr, r);
+            match cluster.node_mut(n).submit(&Request::Read(local)) {
+                Ok(resp) if resp.read().is_some_and(|o| o.data == mirror[addr as usize]) => {}
+                _ => replica_mismatches += 1,
+            }
+        }
+    }
+    let consistent = cluster.verify_all().expect("closing verify");
+    let stats = cluster.stats();
+    let stale_after: u64 = (0..nodes).map(|n| cluster.node_stale_blocks(n)).sum();
+    cluster.shutdown_nodes();
+
+    let failed = read_mismatches > 0
+        || sweep.unreadable > 0
+        || sweep_mismatches > 0
+        || replica_mismatches > 0
+        || stale_after > 0
+        || !consistent;
+
+    let doc = Json::object()
+        .with("harness", "soak")
+        .with(
+            "config",
+            Json::object()
+                .with("blocks", cfg.blocks)
+                .with("cycles", cfg.cycles)
+                .with("seed", cfg.seed)
+                .with("cluster_nodes", nodes as u64)
+                .with("replicas", cluster.replicas() as u64),
+        )
+        .with(
+            "campaign",
+            Json::object()
+                .with("writes", stats.writes)
+                .with("reads", stats.reads)
+                .with("degraded_reads", stats.degraded_reads)
+                .with("read_repairs", stats.read_repairs)
+                .with("quorum_failures", stats.quorum_failures)
+                .with("rebuilt_blocks", stats.rebuilt_blocks)
+                .with("rebuild_healed", rebuilt)
+                .with("sweeps", stats.sweeps)
+                .with("scrubbed", stats.scrubbed),
+        )
+        .with(
+            "verdict",
+            Json::object()
+                .with("read_mismatches", read_mismatches)
+                .with("sweep_unreadable", sweep.unreadable)
+                .with("sweep_mismatches", sweep_mismatches)
+                .with("replica_mismatches", replica_mismatches)
+                .with("stale_after_sweep", stale_after)
+                .with("final_verify_consistent", consistent)
+                .with("passed", !failed),
+        );
+
+    if cfg.pretty {
+        println!("{}", doc.pretty());
+    } else {
+        println!("{}", doc.dump());
+    }
+    if failed {
+        eprintln!("soak: FAILED (see verdict in report)");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let cfg = Config::from_args();
+    if let Some(nodes) = cfg.cluster {
+        run_cluster(&cfg, nodes);
+    }
     if let Some(shards) = cfg.shards {
         run_sharded(&cfg, shards);
     }

@@ -44,6 +44,12 @@ pub enum CoreError {
     /// intent log or metadata). The wrapped [`RecoveryError`] is also
     /// reachable through [`std::error::Error::source`].
     Recovery(RecoveryError),
+    /// A replicated-tier failure: the cluster could not assemble a
+    /// quorum or ran out of replicas. The wrapped [`ClusterError`] is
+    /// also reachable through [`std::error::Error::source`], and its own
+    /// source (when present) is the per-node [`CoreError`] that sank the
+    /// last replica — so the chain reaches the transport layer.
+    Cluster(ClusterError),
 }
 
 impl CoreError {
@@ -55,6 +61,11 @@ impl CoreError {
     /// A recovery failure with no underlying cause.
     pub fn recovery(kind: RecoveryFailure) -> Self {
         CoreError::Recovery(RecoveryError::new(kind))
+    }
+
+    /// A cluster-tier failure with no underlying cause.
+    pub fn cluster(kind: ClusterFailure) -> Self {
+        CoreError::Cluster(ClusterError::new(kind))
     }
 }
 
@@ -71,6 +82,7 @@ impl fmt::Display for CoreError {
             CoreError::LinkFailed => write!(f, "write link exhausted its retry budget"),
             CoreError::Service(e) => write!(f, "{e}"),
             CoreError::Recovery(e) => write!(f, "{e}"),
+            CoreError::Cluster(e) => write!(f, "{e}"),
         }
     }
 }
@@ -80,6 +92,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Service(e) => Some(e),
             CoreError::Recovery(e) => Some(e),
+            CoreError::Cluster(e) => Some(e),
             _ => None,
         }
     }
@@ -237,6 +250,96 @@ impl fmt::Display for RecoveryError {
 }
 
 impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_deref()
+            .map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
+
+/// How a replicated-tier request failed (see [`CoreError::Cluster`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterFailure {
+    /// The addressed node is administratively down.
+    NodeDown(usize),
+    /// Too few replicas acknowledged a write.
+    QuorumLost {
+        /// Acknowledgements the quorum required.
+        needed: usize,
+        /// Acknowledgements actually collected.
+        got: usize,
+    },
+    /// Every replica placement failed to serve the block (down,
+    /// stale, or erroring).
+    ReplicasExhausted,
+}
+
+impl fmt::Display for ClusterFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterFailure::NodeDown(n) => write!(f, "cluster node {n} is down"),
+            ClusterFailure::QuorumLost { needed, got } => {
+                write!(f, "quorum not reached ({got} of {needed} replicas)")
+            }
+            ClusterFailure::ReplicasExhausted => {
+                write!(f, "every replica failed to serve the block")
+            }
+        }
+    }
+}
+
+/// A replicated-tier failure: the cluster exhausted its placement or
+/// quorum options. Wraps the per-node cause (when one exists) — itself
+/// usually a [`CoreError::Service`] whose chain continues into the
+/// transport — so the full path from cluster verdict to shard-pool
+/// fault is inspectable via [`std::error::Error::source`].
+#[derive(Debug, Clone)]
+pub struct ClusterError {
+    kind: ClusterFailure,
+    source: Option<std::sync::Arc<dyn std::error::Error + Send + Sync + 'static>>,
+}
+
+impl ClusterError {
+    /// A failure with no underlying cause.
+    pub fn new(kind: ClusterFailure) -> Self {
+        ClusterError { kind, source: None }
+    }
+
+    /// A failure wrapping its per-node cause.
+    pub fn with_source(
+        kind: ClusterFailure,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> Self {
+        ClusterError {
+            kind,
+            source: Some(std::sync::Arc::new(source)),
+        }
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> ClusterFailure {
+        self.kind
+    }
+}
+
+// Equality ignores the attached cause, matching the ServiceError
+// convention: two exhausted-replica verdicts are the same failure for
+// assertion purposes regardless of which node sank last.
+impl PartialEq for ClusterError {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl Eq for ClusterError {}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster request failed: {}", self.kind)
+    }
+}
+
+impl std::error::Error for ClusterError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         self.source
             .as_deref()

@@ -63,6 +63,7 @@ mod restripe;
 mod scrub;
 mod stack;
 mod stats;
+mod submit;
 mod tier;
 mod wearlevel;
 
@@ -73,18 +74,19 @@ pub use device::{
     RecoveryReport, TraceEvent,
 };
 pub use engine::{
-    ChipkillMemory, CoreError, ReadOutcome, ReadPath, RecoveryError, RecoveryFailure, ServiceError,
-    ServiceFailure,
+    ChipkillMemory, ClusterError, ClusterFailure, CoreError, ReadOutcome, ReadPath, RecoveryError,
+    RecoveryFailure, ServiceError, ServiceFailure,
 };
 pub use iocrc::{crc16, BusFault, LinkProtected, TransmitOutcome, WriteLink};
 pub use layout::{ChipkillLayout, DenseLayout, Layout, PaperLayout, ProtectionTier, RsOnlyLayout};
 pub use patrol::{PatrolReport, PatrolScrubber, Patrolled};
 pub use pmem::PmemDomain;
-pub use request::{Request, Response};
+pub use request::{merge_broadcast, Request, Response};
 pub use restripe::{Restripeable, RestripedMemory, BLOCKS_PER_GROUP};
 pub use scrub::ScrubReport;
 pub use stack::{Stack, StackBuilder};
 pub use stats::CoreStats;
+pub use submit::{EagerTickets, SubmitTicket, Submitter};
 pub use tier::{TierPolicy, TierReport, TieredMemory};
 pub use wearlevel::{WearLevelled, WearLevelledMemory};
 

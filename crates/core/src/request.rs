@@ -226,6 +226,56 @@ impl Response {
     }
 }
 
+/// Folds one more device's answer to a broadcast (whole-device) request
+/// into the accumulated response. **Callers must fold in device index
+/// order** — several rules are order-sensitive (first error wins, first
+/// rebuilt chip wins, the tier census rounds per fold); `pmck-service`'s
+/// streaming client guarantees this by buffering per-shard parts and
+/// merging once all arrived, and `pmck-cluster` folds its nodes in node
+/// index order.
+pub fn merge_broadcast(
+    acc: &mut Result<Response, crate::engine::CoreError>,
+    next: Result<Response, crate::engine::CoreError>,
+) {
+    match (&mut *acc, next) {
+        // The first error (in device order) wins and sticks.
+        (Err(_), _) => {}
+        (Ok(_), Err(e)) => *acc = Err(e),
+        (Ok(have), Ok(got)) => match (have, got) {
+            (Response::Patrolled(a), Response::Patrolled(b)) => {
+                a.blocks_scrubbed += b.blocks_scrubbed;
+                a.blocks_skipped += b.blocks_skipped;
+                // The merged pass completes when every device's
+                // scrubber wrapped.
+                a.completed_pass &= b.completed_pass;
+            }
+            (Response::Injected { bits: a }, Response::Injected { bits: b }) => *a += b,
+            (Response::BootScrubbed(a), Response::BootScrubbed(b)) => {
+                a.stripes_scrubbed += b.stripes_scrubbed;
+                a.bits_corrected += b.bits_corrected;
+                a.words_with_errors += b.words_with_errors;
+                a.list_rescues += b.list_rescues;
+                if a.chip_rebuilt.is_none() {
+                    a.chip_rebuilt = b.chip_rebuilt;
+                }
+            }
+            (Response::Verified(a), Response::Verified(b)) => *a &= b,
+            (Response::Repaired { chip: a }, Response::Repaired { chip: b }) if a.is_none() => {
+                *a = b;
+            }
+            (Response::Flushed { lines: a }, Response::Flushed { lines: b }) => *a += b,
+            (Response::PowerLost { lost_lines: a }, Response::PowerLost { lost_lines: b }) => {
+                *a += b;
+            }
+            (Response::Recovered(a), Response::Recovered(b)) => a.merge(&b),
+            (Response::Tiered(a), Response::Tiered(b)) => a.merge(&b),
+            // Identical unit responses (Written/Scrubbed/Restriped):
+            // the first one already says it all.
+            _ => {}
+        },
+    }
+}
+
 impl From<AccessOutcome> for Response {
     fn from(out: AccessOutcome) -> Response {
         match out {

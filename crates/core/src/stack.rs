@@ -27,6 +27,7 @@ use crate::request::{Request, Response};
 use crate::restripe::Restripeable;
 use crate::scrub::ScrubReport;
 use crate::stats::CoreStats;
+use crate::submit::{EagerTickets, SubmitTicket, Submitter};
 use crate::tier::{TierPolicy, TierReport, TieredMemory};
 use crate::wearlevel::WearLevelled;
 
@@ -35,6 +36,8 @@ use crate::wearlevel::WearLevelled;
 pub struct Stack {
     dev: Box<dyn BlockDevice>,
     ctx: AccessContext,
+    /// Ticket bookkeeping for the eager [`Submitter`] surface.
+    tickets: EagerTickets,
 }
 
 impl std::fmt::Debug for Stack {
@@ -49,7 +52,11 @@ impl std::fmt::Debug for Stack {
 impl Stack {
     /// Bundles an already-composed device with a context.
     pub fn from_parts(dev: Box<dyn BlockDevice>, ctx: AccessContext) -> Self {
-        Stack { dev, ctx }
+        Stack {
+            dev,
+            ctx,
+            tickets: EagerTickets::new(),
+        }
     }
 
     /// Runs one raw access through the pipeline — the device-level
@@ -363,6 +370,29 @@ impl Stack {
                 report.blended_cost(),
             );
         }
+    }
+}
+
+/// The eager side of the unified submission surface: `try_submit`
+/// executes the request on the spot, so tickets are immediately
+/// redeemable and backpressure never occurs. Existing call sites keep
+/// resolving to the inherent methods of the same names.
+impl Submitter for Stack {
+    fn num_blocks(&self) -> u64 {
+        Stack::num_blocks(self)
+    }
+
+    fn submit(&mut self, req: &Request) -> Result<Response, CoreError> {
+        Stack::submit(self, req)
+    }
+
+    fn try_submit(&mut self, req: &Request) -> Result<SubmitTicket, CoreError> {
+        let res = Stack::submit(self, req);
+        Ok(self.tickets.issue(res))
+    }
+
+    fn poll(&mut self, ticket: SubmitTicket) -> Option<Result<Response, CoreError>> {
+        self.tickets.claim(ticket)
     }
 }
 

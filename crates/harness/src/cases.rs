@@ -570,6 +570,103 @@ impl Case for CrashPlan {
     }
 }
 
+/// The disturbance a [`ClusterPlan`] drives the replicated tier
+/// through. The campaign driver owns the mapping from scenario to
+/// concrete node operations; this type only carries the name through
+/// JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterScenario {
+    /// No disturbance: pure replicated traffic.
+    Clean,
+    /// A node dies mid-campaign, is revived later, and must rebuild.
+    NodeLoss,
+    /// A node is suspended (slow replica) and resumed; anti-entropy
+    /// heals what it missed.
+    SlowReplica,
+    /// A correlated DDR4-style fault mix from a seeded schedule: error
+    /// bursts and a row fault everywhere, plus a chip failure on one
+    /// node racing local repair against remote read-repair.
+    FaultMix,
+}
+
+impl ClusterScenario {
+    /// Every scenario the campaign covers.
+    pub const ALL: [ClusterScenario; 4] = [
+        ClusterScenario::Clean,
+        ClusterScenario::NodeLoss,
+        ClusterScenario::SlowReplica,
+        ClusterScenario::FaultMix,
+    ];
+
+    /// Stable corpus name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterScenario::Clean => "clean",
+            ClusterScenario::NodeLoss => "node-loss",
+            ClusterScenario::SlowReplica => "slow-replica",
+            ClusterScenario::FaultMix => "fault-mix",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        ClusterScenario::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+/// One replicated-tier differential run; the case shape for the
+/// cluster campaign. The driver replays the same seeded logical write
+/// stream into a cluster and a single-node reference and requires the
+/// two (and a pure mirror) to stay bit-identical through the scenario's
+/// disturbance, including after node-loss recovery and read-repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterPlan {
+    /// The disturbance under test.
+    pub scenario: ClusterScenario,
+    /// Workload seed (write stream, fill pattern, node RNG streams).
+    pub seed: u64,
+    /// Read/write operations after the fill; scenario events anchor to
+    /// fixed fractions of this span.
+    pub cycles: u64,
+}
+
+impl Case for ClusterPlan {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("scenario", self.scenario.name())
+            .with("seed", self.seed)
+            .with("cycles", self.cycles)
+    }
+
+    fn from_json(value: &Json) -> Option<Self> {
+        Some(ClusterPlan {
+            scenario: ClusterScenario::from_name(value.get("scenario")?.as_str()?)?,
+            seed: value.get("seed")?.as_u64()?,
+            cycles: value.get("cycles")?.as_u64()?,
+        })
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // The scenario and seed define the run; only the traffic span
+        // shrinks, toward an immediate disturbance.
+        if self.cycles != 0 {
+            out.push(ClusterPlan {
+                cycles: 0,
+                ..self.clone()
+            });
+            out.push(ClusterPlan {
+                cycles: self.cycles / 2,
+                ..self.clone()
+            });
+            out.push(ClusterPlan {
+                cycles: self.cycles - 1,
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
 /// An arbitrary JSON value tree; the case shape for `pmck_rt::json`
 /// round-trip properties.
 #[derive(Debug, Clone, PartialEq)]

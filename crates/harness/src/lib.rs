@@ -47,8 +47,8 @@ pub mod oracle;
 pub mod runner;
 
 pub use cases::{
-    BitFlipBatchCase, BitFlipCase, ByteErrorCase, ChipkillErasureCase, CrashOp, CrashPlan,
-    ErasureCase, FieldPairCase, JsonCase,
+    BitFlipBatchCase, BitFlipCase, ByteErrorCase, ChipkillErasureCase, ClusterPlan,
+    ClusterScenario, CrashOp, CrashPlan, ErasureCase, FieldPairCase, JsonCase,
 };
 pub use oracle::{
     diff_bch, diff_bch_batch, diff_bch_scratch, diff_rs_erasures, ref_bch_decode,
@@ -56,4 +56,4 @@ pub use oracle::{
 };
 pub use runner::{Case, Failure, RunReport, Runner};
 
-pub use pmck_nvram::{FaultEvent, FaultKind, FaultSchedule, ScheduleError};
+pub use pmck_nvram::{ChipFailureKind, FaultEvent, FaultKind, FaultSchedule, ScheduleError};

@@ -34,6 +34,8 @@ pub struct BatchService {
     shard_blocks: Vec<u64>,
     /// Whether `out[i]` holds a real response yet (reused per batch).
     filled: Vec<bool>,
+    /// Ticket bookkeeping for the eager [`pmck_core::Submitter`] surface.
+    tickets: pmck_core::EagerTickets,
 }
 
 impl BatchService {
@@ -66,6 +68,7 @@ impl BatchService {
             pool,
             shard_blocks,
             filled: Vec::new(),
+            tickets: pmck_core::EagerTickets::new(),
         }
     }
 
@@ -86,6 +89,12 @@ impl BatchService {
 
     /// Executes a batch behind the whole-batch barrier; `out` is cleared
     /// and filled with one result per request, in request order.
+    ///
+    /// **Deprecation note:** new code should program against the
+    /// [`pmck_core::Submitter`] surface (which `BatchService` also
+    /// implements) instead of calling the batch methods directly; the
+    /// direct batch API remains only for the `saturate` benchmark and
+    /// existing comparisons against the PR 5 transport.
     pub fn submit_batch_into(
         &mut self,
         reqs: &[Request],
@@ -141,6 +150,9 @@ impl BatchService {
     }
 
     /// [`BatchService::submit_batch_into`] returning a fresh `Vec`.
+    ///
+    /// **Deprecation note:** prefer the [`pmck_core::Submitter`]
+    /// surface; see [`BatchService::submit_batch_into`].
     pub fn submit_batch(&mut self, reqs: &[Request]) -> Vec<Result<Response, CoreError>> {
         let mut out = Vec::new();
         self.submit_batch_into(reqs, &mut out);
@@ -182,6 +194,30 @@ impl BatchService {
     /// Stops and joins the shard workers.
     pub fn shutdown(&mut self) {
         self.pool.shutdown();
+    }
+}
+
+/// The unified submission surface over the barrier transport: each
+/// request runs as a batch of one, eagerly, so tickets are immediately
+/// redeemable and backpressure never occurs. This is the recommended
+/// way to drive a `BatchService`; the direct batch methods survive for
+/// the `saturate` comparison only.
+impl pmck_core::Submitter for BatchService {
+    fn num_blocks(&self) -> u64 {
+        BatchService::num_blocks(self)
+    }
+
+    fn submit(&mut self, req: &Request) -> Result<Response, CoreError> {
+        BatchService::submit(self, req)
+    }
+
+    fn try_submit(&mut self, req: &Request) -> Result<pmck_core::SubmitTicket, CoreError> {
+        let res = BatchService::submit(self, req);
+        Ok(self.tickets.issue(res))
+    }
+
+    fn poll(&mut self, ticket: pmck_core::SubmitTicket) -> Option<Result<Response, CoreError>> {
+        self.tickets.claim(ticket)
     }
 }
 

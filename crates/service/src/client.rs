@@ -525,6 +525,42 @@ impl ServiceClient {
     }
 }
 
+/// The streaming side of the unified submission surface. The inherent
+/// methods of the same names keep winning method resolution, so
+/// existing `client.submit(..) -> Ticket` call sites are untouched; the
+/// trait maps [`Ticket`] to the transport-generic
+/// [`pmck_core::SubmitTicket`] (`tag` = window slot, `seq` = ticket
+/// generation) and back.
+impl pmck_core::Submitter for ServiceClient {
+    fn num_blocks(&self) -> u64 {
+        ServiceClient::num_blocks(self)
+    }
+
+    fn submit(&mut self, req: &Request) -> Result<Response, CoreError> {
+        let ticket = ServiceClient::submit(self, req)?;
+        self.wait_response(ticket)
+    }
+
+    fn try_submit(&mut self, req: &Request) -> Result<pmck_core::SubmitTicket, CoreError> {
+        ServiceClient::try_submit(self, req)
+            .map(|t| pmck_core::SubmitTicket::from_parts(t.slot, t.seq))
+    }
+
+    fn poll(&mut self, ticket: pmck_core::SubmitTicket) -> Option<Result<Response, CoreError>> {
+        self.poll_response(Ticket {
+            slot: ticket.tag(),
+            seq: ticket.seq(),
+        })
+    }
+
+    fn wait(&mut self, ticket: pmck_core::SubmitTicket) -> Result<Response, CoreError> {
+        self.wait_response(Ticket {
+            slot: ticket.tag(),
+            seq: ticket.seq(),
+        })
+    }
+}
+
 impl std::fmt::Debug for ServiceClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServiceClient")

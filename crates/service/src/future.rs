@@ -1,0 +1,187 @@
+//! A dependency-free async/await adapter over the ticket plane.
+//!
+//! [`ServiceClient::submit_async`] wraps one request as a hand-rolled
+//! [`Future`]: the first poll submits through
+//! [`ServiceClient::try_submit`] (re-arming the waker and staying
+//! `Pending` under [`pmck_core::ServiceFailure::Backpressure`]), later
+//! polls claim the response through
+//! [`ServiceClient::poll_response`]. No runtime, no channels, no
+//! allocation beyond the future itself living on the caller's stack —
+//! any executor works, including the minimal [`block_on`] below.
+//!
+//! The future borrows the client mutably, so one client drives one
+//! async submission at a time — the streaming form for overlapping
+//! requests remains the ticket API or
+//! [`ServiceClient::submit_batch_into`]. The adapter exists to let
+//! async code `await` a service response without hand-writing the
+//! poll loop, which is exactly the ROADMAP item 3 leftover.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use pmck_core::{CoreError, Request, Response};
+
+use crate::client::{is_backpressure, Ticket};
+use crate::ServiceClient;
+
+/// State machine behind [`ServiceClient::submit_async`].
+enum FutureState {
+    /// Not yet admitted (fresh, or pushed back by backpressure).
+    Unsubmitted,
+    /// Admitted; the ticket claims the eventual response.
+    InFlight(Ticket),
+    /// Response handed out; polling again is a contract violation.
+    Done,
+}
+
+/// A single in-flight request as a [`Future`]. Created by
+/// [`ServiceClient::submit_async`]; resolves to the same
+/// `Result<Response, CoreError>` the synchronous paths produce.
+///
+/// The future is `Unpin` (its state lives inline, nothing
+/// self-referential), re-arms its waker whenever it returns `Pending`
+/// (progress depends on shard workers, not on an external event the
+/// executor could subscribe to), and must not be polled after
+/// completion.
+pub struct SubmitFuture<'c> {
+    client: &'c mut ServiceClient,
+    req: Request,
+    state: FutureState,
+}
+
+impl Future for SubmitFuture<'_> {
+    type Output = Result<Response, CoreError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        loop {
+            match this.state {
+                FutureState::Unsubmitted => match this.client.try_submit(&this.req) {
+                    Ok(ticket) => this.state = FutureState::InFlight(ticket),
+                    Err(e) if is_backpressure(&e) => {
+                        cx.waker().wake_by_ref();
+                        return Poll::Pending;
+                    }
+                    Err(e) => {
+                        this.state = FutureState::Done;
+                        return Poll::Ready(Err(e));
+                    }
+                },
+                FutureState::InFlight(ticket) => match this.client.poll_response(ticket) {
+                    Some(res) => {
+                        this.state = FutureState::Done;
+                        return Poll::Ready(res);
+                    }
+                    None => {
+                        cx.waker().wake_by_ref();
+                        return Poll::Pending;
+                    }
+                },
+                FutureState::Done => panic!("SubmitFuture polled after completion"),
+            }
+        }
+    }
+}
+
+impl ServiceClient {
+    /// Submits one request as an awaitable [`SubmitFuture`]. See the
+    /// module docs for the polling contract; errors are exactly those
+    /// of [`ServiceClient::try_submit`] /
+    /// [`ServiceClient::poll_response`], with retryable backpressure
+    /// absorbed into `Pending`.
+    pub fn submit_async(&mut self, req: &Request) -> SubmitFuture<'_> {
+        SubmitFuture {
+            client: self,
+            req: *req,
+            state: FutureState::Unsubmitted,
+        }
+    }
+}
+
+/// Drives one future to completion on the current thread: poll, and
+/// park until the waker fires. Self-waking futures (like
+/// [`SubmitFuture`]) degrade this into a polling loop, which is the
+/// intended minimal-executor behavior — no reactor exists to do better
+/// without a dependency.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    struct ThreadWaker(std::thread::Thread);
+    impl std::task::Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            // A wake that raced ahead of this park left the thread's
+            // unpark token set, so the park returns immediately — no
+            // lost wakeups.
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShardedService;
+    use pmck_core::{ChipkillConfig, ReadPath, ServiceFailure, StackBuilder};
+    use pmck_rt::rng::{Rng, StdRng};
+
+    fn svc(shards: usize, blocks_per_shard: u64, seed: u64) -> ShardedService {
+        ShardedService::with_clients(shards, 1, seed, |_, s| {
+            StackBuilder::proposal(blocks_per_shard, ChipkillConfig::default())
+                .seed(s)
+                .build()
+        })
+    }
+
+    #[test]
+    fn seeded_async_round_trips_match_written_data() {
+        let mut svc = svc(3, 32, 11);
+        let mut client = svc.take_client().expect("spare lane");
+        let blocks = pmck_core::Submitter::num_blocks(&client);
+        let mut rng = StdRng::seed_from_u64(0xA57);
+        let mut truth = vec![[0u8; 64]; blocks as usize];
+        for _ in 0..96 {
+            let addr = rng.gen_range(0..blocks);
+            let mut data = [0u8; 64];
+            for b in data.iter_mut() {
+                *b = rng.next_u64() as u8;
+            }
+            let res = block_on(client.submit_async(&Request::Write { addr, data }));
+            assert_eq!(res, Ok(Response::Written));
+            truth[addr as usize] = data;
+        }
+        for (addr, want) in truth.iter().enumerate() {
+            let res = block_on(client.submit_async(&Request::Read(addr as u64))).unwrap();
+            let out = res.read().unwrap();
+            assert_eq!(&out.data, want, "block {addr}");
+            assert_eq!(out.path, ReadPath::Clean);
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn async_broadcast_and_error_paths_resolve() {
+        let mut svc = svc(2, 16, 12);
+        let mut client = svc.take_client().expect("spare lane");
+        let verified = block_on(client.submit_async(&Request::Verify)).unwrap();
+        assert_eq!(verified.verified(), Some(true));
+        let out_of_range = block_on(client.submit_async(&Request::Read(10_000)));
+        assert_eq!(out_of_range, Err(CoreError::OutOfRange(10_000)));
+        svc.shutdown();
+        // Post-shutdown the future resolves to the service failure
+        // instead of pending forever.
+        let dead = block_on(client.submit_async(&Request::Read(0)));
+        assert_eq!(dead, Err(CoreError::service(ServiceFailure::QueueClosed)));
+    }
+}

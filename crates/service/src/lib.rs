@@ -82,8 +82,10 @@ use pmck_rt::rng::stream_seed;
 
 pub mod baseline;
 mod client;
+mod future;
 
 pub use client::{ServiceClient, Ticket};
+pub use future::{block_on, SubmitFuture};
 
 use client::{Comp, Job, LatencySample, BROADCAST_SHARD, SUBMIT_DEPTH, TICKET_WINDOW};
 
@@ -402,6 +404,33 @@ impl ShardedService {
     }
 }
 
+/// The unified submission surface, backed by the service's primary
+/// streaming lane: `try_submit`/`poll` stream through the same rings as
+/// [`ShardedService::submit_batch`], so tickets obtained here interleave
+/// correctly with batched traffic on the same lane. Existing call sites
+/// keep resolving to the inherent methods of the same names.
+impl pmck_core::Submitter for ShardedService {
+    fn num_blocks(&self) -> u64 {
+        ShardedService::num_blocks(self)
+    }
+
+    fn submit(&mut self, req: &Request) -> Result<Response, CoreError> {
+        ShardedService::submit(self, req)
+    }
+
+    fn try_submit(&mut self, req: &Request) -> Result<pmck_core::SubmitTicket, CoreError> {
+        pmck_core::Submitter::try_submit(&mut self.primary, req)
+    }
+
+    fn poll(&mut self, ticket: pmck_core::SubmitTicket) -> Option<Result<Response, CoreError>> {
+        pmck_core::Submitter::poll(&mut self.primary, ticket)
+    }
+
+    fn wait(&mut self, ticket: pmck_core::SubmitTicket) -> Result<Response, CoreError> {
+        pmck_core::Submitter::wait(&mut self.primary, ticket)
+    }
+}
+
 impl std::fmt::Debug for ShardedService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedService")
@@ -412,54 +441,10 @@ impl std::fmt::Debug for ShardedService {
     }
 }
 
-/// Folds one more shard's answer to a broadcast request into the
-/// accumulated response. **Callers must fold in shard index order** —
-/// several rules are order-sensitive (first error wins, first rebuilt
-/// chip wins, the tier census rounds per fold); the streaming client
-/// guarantees this by buffering per-shard parts and merging once all
-/// arrived.
-pub(crate) fn merge_broadcast(
-    acc: &mut Result<Response, CoreError>,
-    next: Result<Response, CoreError>,
-) {
-    match (&mut *acc, next) {
-        // The first error (in shard order) wins and sticks.
-        (Err(_), _) => {}
-        (Ok(_), Err(e)) => *acc = Err(e),
-        (Ok(have), Ok(got)) => match (have, got) {
-            (Response::Patrolled(a), Response::Patrolled(b)) => {
-                a.blocks_scrubbed += b.blocks_scrubbed;
-                a.blocks_skipped += b.blocks_skipped;
-                // The service-level pass completes when every shard's
-                // scrubber wrapped.
-                a.completed_pass &= b.completed_pass;
-            }
-            (Response::Injected { bits: a }, Response::Injected { bits: b }) => *a += b,
-            (Response::BootScrubbed(a), Response::BootScrubbed(b)) => {
-                a.stripes_scrubbed += b.stripes_scrubbed;
-                a.bits_corrected += b.bits_corrected;
-                a.words_with_errors += b.words_with_errors;
-                a.list_rescues += b.list_rescues;
-                if a.chip_rebuilt.is_none() {
-                    a.chip_rebuilt = b.chip_rebuilt;
-                }
-            }
-            (Response::Verified(a), Response::Verified(b)) => *a &= b,
-            (Response::Repaired { chip: a }, Response::Repaired { chip: b }) if a.is_none() => {
-                *a = b;
-            }
-            (Response::Flushed { lines: a }, Response::Flushed { lines: b }) => *a += b,
-            (Response::PowerLost { lost_lines: a }, Response::PowerLost { lost_lines: b }) => {
-                *a += b;
-            }
-            (Response::Recovered(a), Response::Recovered(b)) => a.merge(&b),
-            (Response::Tiered(a), Response::Tiered(b)) => a.merge(&b),
-            // Identical unit responses (Written/Scrubbed/Restriped):
-            // the first one already says it all.
-            _ => {}
-        },
-    }
-}
+// The broadcast fold moved into pmck-core (`pmck_core::merge_broadcast`)
+// so the cluster tier can merge node answers with the same
+// order-sensitive rules; re-imported here for the client and baseline.
+pub(crate) use pmck_core::merge_broadcast;
 
 #[cfg(test)]
 mod tests {

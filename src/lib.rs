@@ -16,6 +16,7 @@
 //! | [`pmem`] | `pmck-pmem` | persistent media: flush/fence epochs, intent log |
 //! | [`chipkill`] | `pmck-core` | **the proposal**: boot scrub + runtime path |
 //! | [`service`] | `pmck-service` | sharded multi-threaded memory service front end |
+//! | [`cluster`] | `pmck-cluster` | replicated multi-node tier: quorum reads, read-repair |
 //! | [`workloads`] | `pmck-workloads` | WHISPER/SPLASH-style trace generators |
 //! | [`analysis`] | `pmck-analysis` | storage/SDC/bandwidth analytics |
 //! | [`sim`] | `pmck-sim` | full-system simulator (Figures 10–18) |
@@ -40,6 +41,7 @@
 pub use pmck_analysis as analysis;
 pub use pmck_bch as bch;
 pub use pmck_cachesim as cachesim;
+pub use pmck_cluster as cluster;
 pub use pmck_core as chipkill;
 pub use pmck_gf as gf;
 pub use pmck_memsim as memsim;
